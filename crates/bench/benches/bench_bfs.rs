@@ -1,0 +1,72 @@
+//! BFS kernel benchmarks: sequential baseline vs parallel top-down vs
+//! direction-optimizing (the Table 3 / Figure 3 BFS-phase story, plus the
+//! α/β ablation of DESIGN.md §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parhde_bfs::direction_opt::{bfs_direction_opt, bfs_direction_opt_params, BETA};
+use parhde_bfs::multi::bfs_multi_source;
+use parhde_bfs::serial::bfs_serial;
+use parhde_bfs::top_down::bfs_top_down;
+use parhde_graph::gen::{geometric, kron, pref_attach};
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let skewed = pref_attach(20_000, 12, 1);
+    let kron_g = kron(13, 12, 2);
+    let road = geometric(20_000, 3.0, 3);
+
+    let mut group = c.benchmark_group("bfs/skewed_20k");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(bfs_serial(&skewed, 0)))
+    });
+    group.bench_function("top_down_parallel", |b| {
+        b.iter(|| black_box(bfs_top_down(&skewed, 0)))
+    });
+    group.bench_function("direction_optimizing", |b| {
+        b.iter(|| black_box(bfs_direction_opt(&skewed, 0)))
+    });
+    group.bench_function("direction_opt_alpha_off", |b| {
+        b.iter(|| black_box(bfs_direction_opt_params(&skewed, 0, 0, BETA)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bfs/kron_s13");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(bfs_serial(&kron_g, 0)))
+    });
+    group.bench_function("direction_optimizing", |b| {
+        b.iter(|| black_box(bfs_direction_opt(&kron_g, 0)))
+    });
+    group.finish();
+
+    // High-diameter graphs: the case where direction optimization cannot
+    // help (the paper's road_usa explanation).
+    let mut group = c.benchmark_group("bfs/road_20k");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(bfs_serial(&road, 0)))
+    });
+    group.bench_function("direction_optimizing", |b| {
+        b.iter(|| black_box(bfs_direction_opt(&road, 0)))
+    });
+    group.finish();
+
+    // Table 6 kernel: one parallel BFS per source vs concurrent serial
+    // BFSes over 30 random sources.
+    let sources: Vec<u32> = (0..30).map(|i| i * 600 + 7).collect();
+    let mut group = c.benchmark_group("bfs/multi_source_30");
+    group.sample_size(10);
+    group.bench_function("serialized_parallel_bfs", |b| {
+        b.iter(|| {
+            for &s in &sources {
+                black_box(bfs_direction_opt(&road, s));
+            }
+        })
+    });
+    group.bench_function("concurrent_serial_bfs", |b| {
+        b.iter(|| black_box(bfs_multi_source(&road, &sources)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! DOrtho kernel benchmarks: Modified vs Classical Gram-Schmidt, plain vs
+//! D-weighted (Table 7), at the paper's two subspace sizes, plus the small
+//! Jacobi eigensolve to document its "negligible" cost claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::eig::jacobi::symmetric_eigen;
+use parhde_linalg::ortho::{cgs, mgs, DROP_TOLERANCE};
+use parhde_util::Xoshiro256StarStar;
+use std::hint::black_box;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> ColMajorMatrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| rng.next_f64()).collect();
+    ColMajorMatrix::from_data(rows, cols, data)
+}
+
+fn bench_ortho(c: &mut Criterion) {
+    let n = 100_000;
+    let weights: Vec<f64> = {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        (0..n).map(|_| 1.0 + rng.next_f64() * 15.0).collect()
+    };
+    for s in [10usize, 30] {
+        let base = random_matrix(n, s + 1, 11);
+        let mut group = c.benchmark_group(format!("dortho/n100k_s{s}"));
+        group.sample_size(10);
+        group.bench_function("mgs_dweighted", |b| {
+            b.iter(|| {
+                let mut m = base.clone();
+                black_box(mgs(&mut m, Some(&weights), DROP_TOLERANCE))
+            })
+        });
+        group.bench_function("cgs_dweighted", |b| {
+            b.iter(|| {
+                let mut m = base.clone();
+                black_box(cgs(&mut m, Some(&weights), DROP_TOLERANCE))
+            })
+        });
+        group.bench_function("mgs_plain", |b| {
+            b.iter(|| {
+                let mut m = base.clone();
+                black_box(mgs(&mut m, None, DROP_TOLERANCE))
+            })
+        });
+        group.bench_function("cgs_plain", |b| {
+            b.iter(|| {
+                let mut m = base.clone();
+                black_box(cgs(&mut m, None, DROP_TOLERANCE))
+            })
+        });
+        group.finish();
+    }
+
+    // The s×s eigensolve the paper calls negligible — confirm it stays in
+    // the microsecond range even at s = 50.
+    for s in [10usize, 50] {
+        let mut sym = ColMajorMatrix::zeros(s, s);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        for i in 0..s {
+            for j in 0..=i {
+                let v = rng.next_f64();
+                sym.set(i, j, v);
+                sym.set(j, i, v);
+            }
+        }
+        c.bench_function(&format!("eigensolve/jacobi_s{s}"), |b| {
+            b.iter(|| black_box(symmetric_eigen(&sym)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_ortho);
+criterion_main!(benches);

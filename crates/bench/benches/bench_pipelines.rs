@@ -1,0 +1,94 @@
+//! Whole-pipeline benchmarks: ParHDE vs the prior-work baseline (Table 3),
+//! PHDE and PivotMDS (Table 5), pivot strategies (Table 6), and the
+//! eigen-projection / raw-projection variants (§4.5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parhde::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use parhde::phde::PhdeConfig;
+use parhde::prior::prior_hde;
+use parhde::zoom::zoom;
+use parhde::{par_hde, phde, pivot_mds};
+use parhde_graph::gen::{barth5_like, geometric, pref_attach};
+use std::hint::black_box;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let skewed = pref_attach(20_000, 12, 1);
+    let road = geometric(20_000, 3.0, 3);
+
+    // Table 3: ParHDE vs prior, per graph family.
+    for (name, g) in [("skewed", &skewed), ("road", &road)] {
+        let cfg = ParHdeConfig::default();
+        let mut group = c.benchmark_group(format!("pipeline/{name}_20k"));
+        group.sample_size(10);
+        group.bench_function("parhde", |b| b.iter(|| black_box(par_hde(g, &cfg))));
+        group.bench_function("prior_baseline", |b| {
+            b.iter(|| black_box(prior_hde(g, &cfg)))
+        });
+        let pcfg = PhdeConfig::default();
+        group.bench_function("phde", |b| b.iter(|| black_box(phde(g, &pcfg))));
+        group.bench_function("pivot_mds", |b| {
+            b.iter(|| black_box(pivot_mds(g, &pcfg)))
+        });
+        group.finish();
+    }
+
+    // Table 6: pivot strategies at s = 30 on the high-diameter graph.
+    let mut group = c.benchmark_group("pivots/road_20k_s30");
+    group.sample_size(10);
+    for (label, pivots) in [
+        ("kcenters", PivotStrategy::KCenters),
+        ("random", PivotStrategy::Random),
+    ] {
+        let cfg = ParHdeConfig { subspace: 30, pivots, ..ParHdeConfig::default() };
+        group.bench_function(label, |b| b.iter(|| black_box(par_hde(&road, &cfg))));
+    }
+    group.finish();
+
+    // Variant ablations on the mesh used by the figure reproductions.
+    let mesh = barth5_like();
+    let mut group = c.benchmark_group("variants/barth5");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("default_dortho_mgs", ParHdeConfig::default()),
+        (
+            "cgs",
+            ParHdeConfig { ortho: OrthoMethod::Cgs, ..ParHdeConfig::default() },
+        ),
+        (
+            "plain_ortho",
+            ParHdeConfig { d_orthogonalize: false, ..ParHdeConfig::default() },
+        ),
+        (
+            "project_from_raw",
+            ParHdeConfig { project_from_raw: true, ..ParHdeConfig::default() },
+        ),
+    ] {
+        group.bench_function(label, |b| b.iter(|| black_box(par_hde(&mesh, &cfg))));
+    }
+    group.finish();
+
+    // The §4.5.2 zoom feature must stay interactive-speed.
+    c.bench_function("zoom/barth5_10hop", |b| {
+        b.iter(|| black_box(zoom(&mesh, 7000, 10, &ParHdeConfig::default())))
+    });
+
+    // Future-work extensions: multilevel driver and geometric partitioning.
+    let mut group = c.benchmark_group("extensions/barth5");
+    group.sample_size(10);
+    group.bench_function("multilevel_hde", |b| {
+        b.iter(|| {
+            black_box(parhde::multilevel::multilevel_hde(
+                &mesh,
+                &parhde::multilevel::MultilevelConfig::default(),
+            ))
+        })
+    });
+    let (layout, _) = par_hde(&mesh, &ParHdeConfig::default());
+    group.bench_function("coordinate_bisection_8", |b| {
+        b.iter(|| black_box(parhde::partition::coordinate_bisection(&layout, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

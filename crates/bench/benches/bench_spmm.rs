@@ -1,0 +1,66 @@
+//! TripleProd kernel benchmarks (the `P = L·S` step that dominates §4.4):
+//! implicit Laplacian vs explicitly materialized CSR Laplacian (the
+//! `mkl_sparse_d_mm` ablation — the paper measured its implicit kernel
+//! 2.5× faster than MKL's), the vertex-ordering effect, and the small
+//! `Z = SᵀP` gemm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parhde_graph::order::shuffle_vertices;
+use parhde_graph::gen::{grid2d, web_locality};
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::gemm::at_b;
+use parhde_linalg::spmm::{laplacian_spmm, laplacian_spmm_by_columns, ExplicitLaplacian};
+use parhde_util::Xoshiro256StarStar;
+use std::hint::black_box;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> ColMajorMatrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| rng.next_f64()).collect();
+    ColMajorMatrix::from_data(rows, cols, data)
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let web = web_locality(40_000, 14, 1);
+    let n = web.num_vertices();
+    let s = random_matrix(n, 10, 7);
+    let deg = web.degree_vector();
+    let explicit = ExplicitLaplacian::build(&web);
+
+    let mut group = c.benchmark_group("spmm/web_40k_s10");
+    group.bench_function("implicit_laplacian", |b| {
+        b.iter(|| black_box(laplacian_spmm(&web, &deg, &s)))
+    });
+    group.bench_function("explicit_laplacian", |b| {
+        b.iter(|| black_box(explicit.spmm(&s)))
+    });
+    group.bench_function("column_at_a_time", |b| {
+        b.iter(|| black_box(laplacian_spmm_by_columns(&web, &deg, &s)))
+    });
+    group.finish();
+
+    // Ordering ablation (§4.4: shuffled sk-2005 slows LS 6.8×).
+    let shuffled = shuffle_vertices(&web, 99);
+    let deg_shuf = shuffled.degree_vector();
+    let mut group = c.benchmark_group("spmm/ordering");
+    group.bench_function("native_locality_order", |b| {
+        b.iter(|| black_box(laplacian_spmm(&web, &deg, &s)))
+    });
+    group.bench_function("random_permutation", |b| {
+        b.iter(|| black_box(laplacian_spmm(&shuffled, &deg_shuf, &s)))
+    });
+    group.finish();
+
+    // The Sᵀ(LS) dgemm step at both paper subspace sizes.
+    let grid = grid2d(180, 180);
+    let gn = grid.num_vertices();
+    for s_dim in [10usize, 50] {
+        let sm = random_matrix(gn, s_dim, 3);
+        let p = random_matrix(gn, s_dim, 4);
+        c.bench_function(&format!("gemm/at_b_32k_s{s_dim}"), |b| {
+            b.iter(|| black_box(at_b(&sm, &p)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

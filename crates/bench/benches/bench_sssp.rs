@@ -1,0 +1,46 @@
+//! SSSP benchmarks (§3.3 / §4.4): Dijkstra baseline vs Δ-stepping across
+//! bucket widths, on unit and random integer weights — the paper notes the
+//! weighted slowdown "is dependent on the setting for Δ".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parhde_graph::builder::build_weighted_from_edges;
+use parhde_graph::gen::geometric;
+use parhde_graph::WeightedCsr;
+use parhde_sssp::{delta_stepping, dijkstra, suggest_delta};
+use parhde_util::Xoshiro256StarStar;
+use std::hint::black_box;
+
+fn bench_sssp(c: &mut Criterion) {
+    let road = geometric(30_000, 3.0, 1);
+    let unit = WeightedCsr::unit_weights(road.clone());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+    let edges: Vec<(u32, u32, f64)> = road
+        .edges()
+        .map(|(u, v)| (u, v, (1 + rng.next_below(255)) as f64))
+        .collect();
+    let weighted = build_weighted_from_edges(road.num_vertices(), edges);
+
+    let mut group = c.benchmark_group("sssp/unit_weights_30k");
+    group.sample_size(10);
+    group.bench_function("dijkstra", |b| b.iter(|| black_box(dijkstra(&unit, 0))));
+    group.bench_function("delta_stepping_d1", |b| {
+        b.iter(|| black_box(delta_stepping(&unit, 0, 1.0)))
+    });
+    group.finish();
+
+    let suggested = suggest_delta(&weighted);
+    let mut group = c.benchmark_group("sssp/random_weights_30k");
+    group.sample_size(10);
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| black_box(dijkstra(&weighted, 0)))
+    });
+    for delta in [16.0, 64.0, suggested, 1024.0] {
+        group.bench_function(format!("delta_stepping_d{delta:.0}"), |b| {
+            b.iter(|| black_box(delta_stepping(&weighted, 0, delta)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! `parhde-layout` — command-line graph layout.
+//!
+//! Reads a graph (Matrix Market or whitespace edge list), preprocesses it
+//! the way the paper does (simple, undirected, largest connected
+//! component), lays it out, and writes a PNG drawing plus an optional
+//! coordinate CSV.
+//!
+//! ```text
+//! parhde-layout <input> [options]
+//!
+//!   <input>                .mtx (MatrixMarket) or edge-list text file
+//!   --algo parhde|phde|pivotmds|multilevel   (default parhde)
+//!   --subspace <s>         pivot count (default 50)
+//!   --random-pivots        uniform random pivots instead of k-centers
+//!   --cgs                  Classical Gram-Schmidt DOrtho
+//!   --plain-ortho          plain orthogonalization (eigen-projection)
+//!   --seed <u64>           PRNG seed (default 0x9a7de)
+//!   --size <px>            image width/height (default 1000)
+//!   --vertices <r>         draw vertex discs of radius r
+//!   --out <file.png>       output image (default <input>.png)
+//!   --csv <file.csv>       also write "id,x,y" coordinates
+//!   --report               print the structural graph report first
+//! ```
+
+use parhde::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use parhde::multilevel::{multilevel_hde, MultilevelConfig};
+use parhde::phde::PhdeConfig;
+use parhde::{par_hde, phde, pivot_mds, Layout};
+use parhde_draw::render::{render_graph, RenderOptions};
+use parhde_graph::prep::largest_component;
+use parhde_graph::report::GraphReport;
+use parhde_graph::CsrGraph;
+use parhde_util::Timer;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("parhde-layout: {msg}");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: parhde-layout <input.mtx|edges.txt> [options] (see source header)");
+        exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let input = PathBuf::from(&args[0]);
+    let mut algo = "parhde".to_string();
+    let mut subspace = 50usize;
+    let mut pivots = PivotStrategy::KCenters;
+    let mut ortho = OrthoMethod::Mgs;
+    let mut d_orthogonalize = true;
+    let mut seed = 0x9a_7deu64;
+    let mut size = 1000u32;
+    let mut vertex_radius = 0.0f64;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut report = false;
+
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| fail("missing value for option"))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => algo = value(&mut i),
+            "--subspace" => {
+                subspace = value(&mut i).parse().unwrap_or_else(|_| fail("bad --subspace"))
+            }
+            "--random-pivots" => pivots = PivotStrategy::Random,
+            "--cgs" => ortho = OrthoMethod::Cgs,
+            "--plain-ortho" => d_orthogonalize = false,
+            "--seed" => seed = value(&mut i).parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--size" => size = value(&mut i).parse().unwrap_or_else(|_| fail("bad --size")),
+            "--vertices" => {
+                vertex_radius = value(&mut i).parse().unwrap_or_else(|_| fail("bad --vertices"))
+            }
+            "--out" => out = Some(PathBuf::from(value(&mut i))),
+            "--csv" => csv = Some(PathBuf::from(value(&mut i))),
+            "--report" => report = true,
+            other => fail(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    // Load.
+    let text = std::fs::read_to_string(&input)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", input.display())));
+    let raw: CsrGraph = if text.trim_start().starts_with("%%MatrixMarket") {
+        parhde_graph::io::parse_matrix_market(&text)
+            .unwrap_or_else(|e| fail(&format!("MatrixMarket parse error: {e}")))
+    } else {
+        parhde_graph::io::parse_edge_list(&text, 0)
+            .unwrap_or_else(|e| fail(&format!("edge-list parse error: {e}")))
+    };
+
+    // Preprocess (§4.1).
+    let ex = largest_component(&raw);
+    let g = ex.graph;
+    eprintln!(
+        "loaded {}: n = {} m = {} (largest component of {} vertices)",
+        input.display(),
+        g.num_vertices(),
+        g.num_edges(),
+        raw.num_vertices()
+    );
+    if report {
+        eprintln!("report: {}", GraphReport::of(&g).summary());
+    }
+    if g.num_vertices() < 8 {
+        fail("graph too small to lay out (need ≥ 8 vertices)");
+    }
+
+    let cfg = ParHdeConfig {
+        subspace: subspace.min(g.num_vertices() / 2).max(2),
+        pivots,
+        ortho,
+        d_orthogonalize,
+        seed,
+        ..ParHdeConfig::default()
+    };
+
+    // Lay out.
+    let t = Timer::start();
+    let layout: Layout = match algo.as_str() {
+        "parhde" => par_hde(&g, &cfg).0,
+        "phde" => phde(&g, &PhdeConfig::from(&cfg)).0,
+        "pivotmds" => pivot_mds(&g, &PhdeConfig::from(&cfg)).0,
+        "multilevel" => {
+            multilevel_hde(&g, &MultilevelConfig { base: cfg, ..Default::default() }).0
+        }
+        other => fail(&format!("unknown algorithm {other}")),
+    };
+    eprintln!("{algo} layout in {:.1} ms", t.seconds() * 1e3);
+
+    // Render.
+    let opts = RenderOptions {
+        width: size,
+        height: size,
+        vertex_radius,
+        ..RenderOptions::default()
+    };
+    let canvas = render_graph(g.edges(), &layout.x, &layout.y, &opts);
+    let out = out.unwrap_or_else(|| input.with_extension("png"));
+    canvas
+        .save_png(&out)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
+    println!("wrote {}", out.display());
+
+    // Optional CSV (ids are the ORIGINAL input ids via the LCC mapping).
+    if let Some(csv_path) = csv {
+        let mut text = String::from("id,x,y\n");
+        for v in 0..g.num_vertices() {
+            text.push_str(&format!(
+                "{},{},{}\n",
+                ex.old_ids[v], layout.x[v], layout.y[v]
+            ));
+        }
+        std::fs::write(&csv_path, text)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", csv_path.display())));
+        println!("wrote {}", csv_path.display());
+    }
+}

@@ -1,0 +1,278 @@
+//! Figure reproductions (Figures 1–8).
+
+use crate::report::{banner, breakdown_row, row};
+use crate::Opts;
+use parhde::config::{ParHdeConfig, PivotStrategy};
+use parhde::layout::Layout;
+use parhde::phde::PhdeConfig;
+use parhde::prior::prior_hde;
+use parhde::stats::{phase, HdeStats};
+use parhde::zoom::zoom;
+use parhde::{par_hde, phde, pivot_mds};
+use parhde_bench::collection;
+use parhde_draw::render::{render_graph, RenderOptions};
+use parhde_graph::gaps::gap_distribution;
+use parhde_graph::gen::barth5_like;
+use parhde_graph::CsrGraph;
+use parhde_linalg::eig::power::dominant_walk_eigenvectors;
+use parhde_util::threads::{run_with_threads, scaling_thread_counts};
+use parhde_util::Xoshiro256StarStar;
+
+const BREAKDOWN_W: [usize; 8] = [12, 10, 10, 10, 10, 0, 0, 0];
+
+fn save(opts: &Opts, name: &str, g: &CsrGraph, layout: &Layout) {
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    let path = opts.out.join(name);
+    let canvas = render_graph(g.edges(), &layout.x, &layout.y, &RenderOptions::default());
+    canvas.save_png(&path).expect("write PNG");
+    println!("wrote {}", path.display());
+}
+
+/// Figure 1 — barth5: ParHDE layout vs the dominant eigenvectors of the
+/// normalized adjacency.
+pub fn fig1(opts: &Opts) {
+    banner(
+        "Figure 1 — barth5: ParHDE vs exact spectral drawing",
+        "Figure 1: both drawings capture the global four-hole structure",
+    );
+    let g = barth5_like();
+    let (hde_layout, stats) = par_hde(&g, &ParHdeConfig::with_subspace(50));
+    save(opts, "fig1_top_parhde.png", &g, &hde_layout);
+    println!(
+        "ParHDE: s = 50, kept {} directions, axis eigenvalues {:?}",
+        stats.s_kept, stats.axis_eigenvalues
+    );
+    let (vecs, report) = dominant_walk_eigenvectors(&g, 2, 20_000, 1e-10, 11, None);
+    let exact = Layout::new(vecs[0].clone(), vecs[1].clone());
+    save(opts, "fig1_bottom_eigenvectors.png", &g, &exact);
+    println!(
+        "exact spectral: walk eigenvalues {:?} after {} matvecs",
+        report.eigenvalues, report.matvecs
+    );
+    let hde_e = parhde::quality::energy_objective(&g, &hde_layout);
+    let opt_e = parhde::quality::energy_objective(&g, &exact);
+    println!("energy: ParHDE {hde_e:.5} vs spectral optimum {opt_e:.5}");
+}
+
+/// Figure 2 — adjacency-gap distributions with Fibonacci binning.
+pub fn fig2(opts: &Opts) {
+    banner(
+        "Figure 2 — adjacency-list gap distributions (Fibonacci bins)",
+        "Figure 2: sk-2005 gaps skew small; urand/kron/twitter skew large",
+    );
+    for spec in collection::large_five() {
+        let g = spec.build_scaled(opts.scale);
+        let d = gap_distribution(&g);
+        let expect = parhde_graph::gaps::GapDistribution::expected_total(&g);
+        println!(
+            "\n{}: {} gaps (identity 2m−n check: {}), gaps ≤ 64: {:.1}%",
+            spec.name,
+            d.total,
+            if d.total == expect { "ok" } else { "MISMATCH" },
+            100.0 * d.fraction_below(64)
+        );
+        // Log-log series, a few representative bins.
+        print!("  [upper:count] ");
+        for b in d.bins.iter().filter(|b| b.count > 0).take(18) {
+            print!("{}:{} ", b.upper, b.count);
+        }
+        println!();
+    }
+}
+
+fn grouped(stats: &HdeStats) -> [f64; 4] {
+    stats.grouped().percentages()
+}
+
+/// Figure 3 — phase breakdowns: ParHDE on all threads, ParHDE on one
+/// thread, and the prior implementation.
+pub fn fig3(opts: &Opts) {
+    banner(
+        "Figure 3 — breakdown: ParHDE (par), ParHDE (1 thread), prior",
+        "Figure 3: BFS and TripleProd dominate; prior is BFS-bound",
+    );
+    let cfg = ParHdeConfig::default();
+    let max = *scaling_thread_counts().last().unwrap();
+    row(&["Graph", "BFS%", "TriPr%", "DOrth%", "Other%"], &BREAKDOWN_W);
+    println!("-- ParHDE, {max} thread(s):");
+    let mut one_thread = Vec::new();
+    let mut prior_rows = Vec::new();
+    for spec in collection::large_five() {
+        let g = spec.build_scaled(opts.scale);
+        let (_, stats) = run_with_threads(max, || par_hde(&g, &cfg));
+        breakdown_row(spec.name, grouped(&stats), &BREAKDOWN_W);
+        let (_, s1) = run_with_threads(1, || par_hde(&g, &cfg));
+        one_thread.push((spec.name, grouped(&s1)));
+        let (_, sp) = prior_hde(&g, &cfg);
+        prior_rows.push((spec.name, grouped(&sp)));
+    }
+    println!("-- ParHDE, 1 thread:");
+    for (name, pct) in one_thread {
+        breakdown_row(name, pct, &BREAKDOWN_W);
+    }
+    println!("-- prior implementation:");
+    for (name, pct) in prior_rows {
+        breakdown_row(name, pct, &BREAKDOWN_W);
+    }
+}
+
+/// Figure 4 — relative scaling of the overall pipeline and each stage.
+pub fn fig4(opts: &Opts) {
+    banner(
+        "Figure 4 — relative scaling of ParHDE and constituent steps",
+        "Figure 4: urand27 scales best; DOrtho plateaus ≈7 threads",
+    );
+    let counts = scaling_thread_counts();
+    println!("thread counts: {counts:?}");
+    let cfg = ParHdeConfig::default();
+    for spec in collection::large_five() {
+        let g = spec.build_scaled(opts.scale);
+        let mut base: Option<(f64, f64, f64, f64)> = None;
+        println!("\n{}:", spec.name);
+        row(
+            &["threads", "Overall", "BFS", "TriplePr", "DOrtho"],
+            &[8, 10, 10, 10, 10],
+        );
+        for &c in &counts {
+            let (_, stats) = run_with_threads(c, || par_hde(&g, &cfg));
+            let g4 = stats.grouped();
+            let overall = g4.total();
+            let vals = (overall, g4.bfs, g4.triple_prod, g4.dortho);
+            let b = *base.get_or_insert(vals);
+            row(
+                &[
+                    &c.to_string(),
+                    &format!("{:.2}×", b.0 / vals.0),
+                    &format!("{:.2}×", b.1 / vals.1),
+                    &format!("{:.2}×", b.2 / vals.2),
+                    &format!("{:.2}×", b.3 / vals.3),
+                ],
+                &[8, 10, 10, 10, 10],
+            );
+        }
+    }
+}
+
+/// Figure 5 — s = 50 breakdown, BFS-phase split, TripleProd split.
+pub fn fig5(opts: &Opts) {
+    banner(
+        "Figure 5 — s = 50 breakdown; BFS split; TripleProd split",
+        "Figure 5: DOrtho grows at s = 50; traversal dominates BFS; \
+         LS dominates except sk-2005/road_usa",
+    );
+    let cfg = ParHdeConfig::with_subspace(50);
+    row(
+        &["Graph", "BFS%", "TriPr%", "DOrth%", "Other%", "trav/ovh", "LS/gemm"],
+        &[12, 10, 10, 10, 10, 12, 12],
+    );
+    for spec in collection::large_five() {
+        let g = spec.build_scaled(opts.scale);
+        let (_, stats) = par_hde(&g, &cfg);
+        let pct = grouped(&stats);
+        let bfs = stats.phases.seconds(phase::BFS);
+        let ovh = stats.phases.seconds(phase::BFS_OTHER);
+        let ls = stats.phases.seconds(phase::LS);
+        let gemm = stats.phases.seconds(phase::GEMM);
+        row(
+            &[
+                spec.name,
+                &format!("{:.1}%", pct[0]),
+                &format!("{:.1}%", pct[1]),
+                &format!("{:.1}%", pct[2]),
+                &format!("{:.1}%", pct[3]),
+                &format!("{:.0}/{:.0}", 100.0 * bfs / (bfs + ovh), 100.0 * ovh / (bfs + ovh)),
+                &format!("{:.0}/{:.0}", 100.0 * ls / (ls + gemm), 100.0 * gemm / (ls + gemm)),
+            ],
+            &[12, 10, 10, 10, 10, 12, 12],
+        );
+    }
+}
+
+/// Figure 6 — PivotMDS breakdowns (max and 1 thread) and PHDE breakdown.
+pub fn fig6(opts: &Opts) {
+    banner(
+        "Figure 6 — PivotMDS (par, 1 thread) and PHDE breakdowns",
+        "Figure 6: BFS dominates all three charts",
+    );
+    let cfg = PhdeConfig::default();
+    let max = *scaling_thread_counts().last().unwrap();
+    let header = ["Graph", "BFS%", "Cntr%", "MatMul%", "Other%"];
+    let fold = |stats: &HdeStats| -> [f64; 4] {
+        let p = &stats.phases;
+        let bfs = p.seconds(phase::BFS) + p.seconds(phase::BFS_OTHER);
+        let cntr = p.seconds(phase::COL_CENTER) + p.seconds(phase::DBL_CENTER);
+        let mm = p.seconds(phase::GEMM);
+        let other = p.seconds(phase::EIGEN) + p.seconds(phase::PROJECT) + p.seconds(phase::INIT);
+        let total = bfs + cntr + mm + other;
+        if total <= 0.0 {
+            return [0.0; 4];
+        }
+        [bfs, cntr, mm, other].map(|v| 100.0 * v / total)
+    };
+    println!("-- PivotMDS, {max} thread(s):");
+    row(&header, &BREAKDOWN_W);
+    let mut mds1 = Vec::new();
+    let mut phde_rows = Vec::new();
+    for spec in collection::large_five() {
+        let g = spec.build_scaled(opts.scale);
+        let (_, s) = run_with_threads(max, || pivot_mds(&g, &cfg));
+        breakdown_row(spec.name, fold(&s), &BREAKDOWN_W);
+        let (_, s1) = run_with_threads(1, || pivot_mds(&g, &cfg));
+        mds1.push((spec.name, fold(&s1)));
+        let (_, sp) = run_with_threads(max, || phde(&g, &cfg));
+        phde_rows.push((spec.name, fold(&sp)));
+    }
+    println!("-- PivotMDS, 1 thread:");
+    for (name, pct) in mds1 {
+        breakdown_row(name, pct, &BREAKDOWN_W);
+    }
+    println!("-- PHDE, {max} thread(s):");
+    for (name, pct) in phde_rows {
+        breakdown_row(name, pct, &BREAKDOWN_W);
+    }
+}
+
+/// Figure 7 — barth5 drawings: ParHDE with random pivots, PHDE, PivotMDS.
+pub fn fig7(opts: &Opts) {
+    banner(
+        "Figure 7 — barth5 drawings: random-pivot ParHDE, PHDE, PivotMDS",
+        "Figure 7: all three capture the four-hole global structure",
+    );
+    let g = barth5_like();
+    let cfg = ParHdeConfig {
+        subspace: 50,
+        pivots: PivotStrategy::Random,
+        ..ParHdeConfig::default()
+    };
+    let (l, _) = par_hde(&g, &cfg);
+    save(opts, "fig7_top_parhde_random_pivots.png", &g, &l);
+    let pcfg = PhdeConfig { subspace: 50, ..PhdeConfig::default() };
+    let (l, _) = phde(&g, &pcfg);
+    save(opts, "fig7_middle_phde.png", &g, &l);
+    let (l, _) = pivot_mds(&g, &pcfg);
+    save(opts, "fig7_bottom_pivotmds.png", &g, &l);
+}
+
+/// Figure 8 — zoomed drawing of a 10-hop neighborhood.
+pub fn fig8(opts: &Opts) {
+    banner(
+        "Figure 8 — zoom: 10-hop neighborhood of a random barth5 vertex",
+        "Figure 8 / §4.5.2",
+    );
+    let g = barth5_like();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(collection::SEED);
+    let center = rng.next_index(g.num_vertices()) as u32;
+    let view = zoom(&g, center, 10, &ParHdeConfig::default());
+    println!(
+        "center {} → {} vertices, {} edges in the 10-hop ball",
+        center,
+        view.graph.num_vertices(),
+        view.graph.num_edges()
+    );
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    let path = opts.out.join("fig8_zoom_10hop.png");
+    let optr = RenderOptions { vertex_radius: 2.0, ..RenderOptions::default() };
+    let canvas = render_graph(view.graph.edges(), &view.layout.x, &view.layout.y, &optr);
+    canvas.save_png(&path).expect("write PNG");
+    println!("wrote {}", path.display());
+}

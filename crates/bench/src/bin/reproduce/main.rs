@@ -1,0 +1,116 @@
+//! `reproduce` — regenerates every table and figure of the ParHDE paper.
+//!
+//! ```text
+//! cargo run -p parhde-bench --release --bin reproduce -- <experiment> [opts]
+//!
+//! experiments:
+//!   table1   empirical validation of the Table 1 asymptotics (s vs s² scaling)
+//!   table2   the graph collection (m, n after preprocessing)
+//!   table3   ParHDE vs the prior parallel implementation (s = 10)
+//!   table4   ParHDE time + relative speedup over thread sweep
+//!   table5   PHDE and PivotMDS times + relative speedup
+//!   table6   k-centers vs random pivots, BFS phase, 30 sources
+//!   table7   MGS vs CGS D-orthogonalization time
+//!   fig1     barth5 drawings: ParHDE vs exact eigenvectors (PNG files)
+//!   fig2     adjacency-gap distributions (Fibonacci binned, log-log series)
+//!   fig3     phase breakdowns: ParHDE parallel / 1-thread / prior
+//!   fig4     scaling of Overall/BFS/TripleProd/DOrtho vs threads
+//!   fig5     s = 50 breakdown; BFS traversal-vs-overhead; LS vs SᵀLS
+//!   fig6     PivotMDS (parallel & 1-thread) and PHDE breakdowns
+//!   fig7     barth5 drawings: random pivots, PHDE, PivotMDS (PNG files)
+//!   fig8     zoomed 10-hop neighborhood drawing (PNG file)
+//!   ordering vertex-ordering ablation (§4.4: shuffled ids slow LS)
+//!   sssp     SSSP vs BFS on the road graph (§4.4)
+//!   refine   HDE + centroid refinement vs cold power iteration (§4.5.3)
+//!   all      everything above in order
+//!
+//! options:
+//!   --out <dir>    output directory for PNGs (default ./figures)
+//!   --scale <k>    extra graph-scale doublings (default 0 = laptop scale)
+//! ```
+//!
+//! Absolute numbers differ from the paper (different hardware, graphs ~1000×
+//! smaller); the *shapes* — who wins, phase mixes, scaling trends — are the
+//! reproduction targets recorded in EXPERIMENTS.md.
+
+mod figures;
+mod report;
+mod tables;
+
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+pub struct Opts {
+    /// Output directory for figures.
+    pub out: PathBuf,
+    /// Extra scale doublings for the graph collection.
+    pub scale: u32,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut opts = Opts { out: PathBuf::from("figures"), scale: 0 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                opts.out = PathBuf::from(args.get(i).expect("--out needs a value"));
+            }
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs an integer");
+            }
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => panic!("unexpected argument {other}"),
+        }
+        i += 1;
+    }
+    let experiment = experiment.unwrap_or_else(|| {
+        eprintln!("no experiment named; running `all` (see --help in source header)");
+        "all".to_string()
+    });
+
+    run(&experiment, &opts);
+}
+
+fn run(experiment: &str, opts: &Opts) {
+    match experiment {
+        "table1" => tables::table1(opts),
+        "table2" => tables::table2(opts),
+        "table3" => tables::table3(opts),
+        "table4" => tables::table4(opts),
+        "table5" => tables::table5(opts),
+        "table6" => tables::table6(opts),
+        "table7" => tables::table7(opts),
+        "fig1" => figures::fig1(opts),
+        "fig2" => figures::fig2(opts),
+        "fig3" => figures::fig3(opts),
+        "fig4" => figures::fig4(opts),
+        "fig5" => figures::fig5(opts),
+        "fig6" => figures::fig6(opts),
+        "fig7" => figures::fig7(opts),
+        "fig8" => figures::fig8(opts),
+        "ordering" => tables::ordering(opts),
+        "sssp" => tables::sssp(opts),
+        "refine" => tables::refine(opts),
+        "all" => {
+            for e in [
+                "table2", "table1", "table3", "table4", "table5", "table6",
+                "table7", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                "fig7", "fig8", "ordering", "sssp", "refine",
+            ] {
+                run(e, opts);
+                println!();
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; see the source header for the list");
+            std::process::exit(2);
+        }
+    }
+}

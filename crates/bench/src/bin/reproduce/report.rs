@@ -1,0 +1,45 @@
+//! Small reporting helpers for the reproduce binary.
+
+use parhde_util::fmt;
+
+/// Prints a section banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("(paper: {paper_ref})");
+    println!("================================================================");
+}
+
+/// Prints a fixed-width row of cells.
+pub fn row(cells: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, &w) in cells.iter().zip(widths) {
+        line.push_str(&fmt::pad(cell, w));
+        line.push_str("  ");
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Formats seconds for table cells.
+pub fn secs(s: f64) -> String {
+    fmt::seconds(s)
+}
+
+/// Formats a speedup for table cells.
+pub fn speedup(x: f64) -> String {
+    fmt::speedup(x)
+}
+
+/// Renders a percentage-breakdown line: `name  bfs% tp% dortho% other%`.
+pub fn breakdown_row(name: &str, pct: [f64; 4], widths: &[usize]) {
+    row(
+        &[
+            name,
+            &format!("{:.1}%", pct[0]),
+            &format!("{:.1}%", pct[1]),
+            &format!("{:.1}%", pct[2]),
+            &format!("{:.1}%", pct[3]),
+        ],
+        widths,
+    );
+}

@@ -1,0 +1,59 @@
+//! STREAM-Triad memory-bandwidth probe.
+//!
+//! The paper reports "a STREAM Triad bandwidth of 112 GB/s on the 28-core
+//! system" (§4.1) to contextualize why DOrtho saturates early (Figure 4).
+//! This binary measures the same kernel — `a[i] = b[i] + α·c[i]` — with
+//! rayon across the host's cores, so EXPERIMENTS.md can record the local
+//! equivalent.
+//!
+//! ```text
+//! cargo run -p parhde-bench --release --bin triad [-- <MiB per array>]
+//! ```
+
+use parhde_util::threads::{run_with_threads, scaling_thread_counts};
+use parhde_util::Timer;
+use rayon::prelude::*;
+
+const REPS: usize = 10;
+
+fn main() {
+    let mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let len = mib * (1 << 20) / 8;
+    let b = vec![1.5f64; len];
+    let c = vec![2.5f64; len];
+    let mut a = vec![0.0f64; len];
+    let alpha = 3.0;
+    println!("STREAM Triad: 3 arrays × {mib} MiB, {REPS} reps per thread count");
+    for threads in scaling_thread_counts() {
+        let secs = run_with_threads(threads, || {
+            // Warm-up pass.
+            triad(&mut a, &b, &c, alpha);
+            let t = Timer::start();
+            for _ in 0..REPS {
+                triad(&mut a, &b, &c, alpha);
+            }
+            t.seconds()
+        });
+        // Triad moves 3 arrays per pass (2 reads + 1 write).
+        let bytes = REPS * 3 * len * 8;
+        println!(
+            "  {threads:>3} thread(s): {:.1} GB/s",
+            bytes as f64 / secs / 1e9
+        );
+        assert!(a[0] == 1.5 + alpha * 2.5, "triad result check");
+    }
+}
+
+fn triad(a: &mut [f64], b: &[f64], c: &[f64], alpha: f64) {
+    a.par_chunks_mut(1 << 15)
+        .zip(b.par_chunks(1 << 15))
+        .zip(c.par_chunks(1 << 15))
+        .for_each(|((ca, cb), cc)| {
+            for ((x, &y), &z) in ca.iter_mut().zip(cb).zip(cc) {
+                *x = y + alpha * z;
+            }
+        });
+}

@@ -1,0 +1,11 @@
+//! Workload definitions shared by the `reproduce` binary and the criterion
+//! benches.
+//!
+//! [`collection`] defines the ten-graph benchmark collection mirroring the
+//! paper's Table 2 at laptop scale; [`collection::GraphSpec::scale_factor`]
+//! lets the same harness regenerate paper-sized instances on bigger
+//! hardware.
+
+#![warn(missing_docs)]
+
+pub mod collection;

@@ -1,0 +1,134 @@
+//! Parallel bottom-up BFS expansion.
+//!
+//! In a bottom-up step, every *unvisited* vertex scans its own adjacency
+//! list looking for a neighbor on the current frontier; on the first hit it
+//! adopts that neighbor as parent and stops scanning. When the frontier is a
+//! large fraction of the graph this examines far fewer edges than top-down
+//! (most scans exit after one or two probes), which is the entire payoff of
+//! direction optimization on low-diameter, skewed-degree graphs.
+//!
+//! Distance updates here are the paper's "atomic-free" writes (§3.1): only
+//! the rayon task that owns vertex `v`'s iteration writes `dist[v]`, so a
+//! relaxed store (plain store at ISA level) suffices; the level-end join
+//! publishes it to all workers.
+
+use crate::frontier::AtomicBitmap;
+use crate::UNREACHED;
+use parhde_graph::CsrGraph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Vertex-range grain for bottom-up sweeps.
+const VERTEX_CHUNK: usize = 1024;
+
+/// Runs one bottom-up level step.
+///
+/// `current` marks the frontier (vertices at `level − 1`); discovered
+/// vertices are written into `next` and their distances set to `level`.
+/// Returns `(awakened_count, edges_scanned)`.
+pub fn bottom_up_step(
+    g: &CsrGraph,
+    current: &AtomicBitmap,
+    next: &AtomicBitmap,
+    dist: &[AtomicU32],
+    level: u32,
+) -> (usize, usize) {
+    let n = g.num_vertices();
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(VERTEX_CHUNK)
+        .map(|lo| (lo, (lo + VERTEX_CHUNK).min(n)))
+        .collect();
+    let (awakened, scanned) = ranges
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut awakened = 0usize;
+            let mut scanned = 0usize;
+            #[allow(clippy::needless_range_loop)] // v is simultaneously the vertex id
+            for v in lo..hi {
+                if dist[v].load(Ordering::Relaxed) != UNREACHED {
+                    continue;
+                }
+                for &u in g.neighbors(v as u32) {
+                    scanned += 1;
+                    if current.get(u as usize) {
+                        // Atomic-free distance write: v is only touched by
+                        // this task. Relaxed store compiles to a plain store.
+                        dist[v].store(level, Ordering::Relaxed);
+                        next.set(v);
+                        awakened += 1;
+                        break; // early exit: first parent suffices
+                    }
+                }
+            }
+            (awakened, scanned)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    (awakened, scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_graph::gen::{complete, grid2d, star};
+
+    fn fresh_dist(n: usize, source: u32) -> Vec<AtomicU32> {
+        let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+        dist[source as usize].store(0, Ordering::Relaxed);
+        dist
+    }
+
+    #[test]
+    fn star_resolves_in_one_bottom_up_step() {
+        let g = star(50);
+        let dist = fresh_dist(50, 0);
+        let current = AtomicBitmap::from_ids(50, &[0]);
+        let next = AtomicBitmap::new(50);
+        let (awakened, scanned) = bottom_up_step(&g, &current, &next, &dist, 1);
+        assert_eq!(awakened, 49);
+        // Each leaf scans exactly one edge (its only neighbor is the hub).
+        assert_eq!(scanned, 49);
+        assert!((1..50u32).all(|v| dist[v as usize].load(Ordering::Relaxed) == 1));
+        assert_eq!(next.count_ones(), 49);
+    }
+
+    #[test]
+    fn early_exit_reduces_scans_on_complete_graph() {
+        // From a full frontier of K_n minus one vertex, the straggler scans
+        // exactly 1 edge instead of n−1.
+        let g = complete(20);
+        let dist = fresh_dist(20, 0);
+        for v in 1..19u32 {
+            dist[v as usize].store(1, Ordering::Relaxed);
+        }
+        let frontier: Vec<u32> = (0..19).collect();
+        let current = AtomicBitmap::from_ids(20, &frontier);
+        let next = AtomicBitmap::new(20);
+        let (awakened, scanned) = bottom_up_step(&g, &current, &next, &dist, 2);
+        assert_eq!(awakened, 1);
+        assert_eq!(scanned, 1, "early exit should stop at the first frontier hit");
+    }
+
+    #[test]
+    fn grid_level_matches_expected_ring() {
+        let g = grid2d(5, 5);
+        let dist = fresh_dist(25, 12); // center
+        let current = AtomicBitmap::from_ids(25, &[12]);
+        let next = AtomicBitmap::new(25);
+        let (awakened, _) = bottom_up_step(&g, &current, &next, &dist, 1);
+        assert_eq!(awakened, 4); // von Neumann neighbors of the center
+        let mut ids = next.to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![7, 11, 13, 17]);
+    }
+
+    #[test]
+    fn no_frontier_awakens_nothing() {
+        let g = grid2d(3, 3);
+        let dist = fresh_dist(9, 0);
+        let current = AtomicBitmap::new(9);
+        let next = AtomicBitmap::new(9);
+        let (awakened, _) = bottom_up_step(&g, &current, &next, &dist, 1);
+        assert_eq!(awakened, 0);
+        assert_eq!(next.count_ones(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Frontier containers shared by the parallel BFS variants.
+//!
+//! Two representations, as in the GAP implementation: a *queue* (dense list
+//! of frontier vertices, natural for top-down) and a *bitmap* (one bit per
+//! vertex, natural for bottom-up, where membership tests dominate). The
+//! direction-optimizing driver converts between them when it switches
+//! direction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity concurrent bitmap over vertex ids.
+///
+/// `set` uses a relaxed `fetch_or`; readers use relaxed loads. BFS level
+/// synchronization provides the necessary happens-before edges (each level
+/// ends with a rayon join, which synchronizes all workers), so relaxed
+/// per-bit operations are sufficient — the same reasoning GAP's C++ code
+/// uses with its unsynchronized bitmap plus barrier.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates an all-zero bitmap over `len` ids.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, len }
+    }
+
+    /// Number of ids covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers zero ids.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` (idempotent, thread-safe).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Clears all bits (single-threaded use between levels).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Collects set bit indices ascending (bitmap → queue conversion).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push((wi * 64 + b) as u32);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Builds a bitmap with the given bits set (queue → bitmap conversion).
+    pub fn from_ids(len: usize, ids: &[u32]) -> Self {
+        let bm = Self::new(len);
+        for &i in ids {
+            bm.set(i as usize);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let bm = AtomicBitmap::new(130);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(65) && !bm.get(128));
+        assert_eq!(bm.count_ones(), 4);
+    }
+
+    #[test]
+    fn to_vec_is_sorted_and_complete() {
+        let bm = AtomicBitmap::from_ids(200, &[150, 3, 64, 3, 199]);
+        assert_eq!(bm.to_vec(), vec![3, 64, 150, 199]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bm = AtomicBitmap::from_ids(100, &[1, 2, 3]);
+        bm.clear();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn concurrent_sets_are_all_visible() {
+        let bm = AtomicBitmap::new(10_000);
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            if i % 3 == 0 {
+                bm.set(i);
+            }
+        });
+        assert_eq!(bm.count_ones(), 10_000 / 3 + 1);
+        assert!(bm.get(9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        AtomicBitmap::new(10).set(10);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = AtomicBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.to_vec(), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,238 @@
+//! BFS with parent tracking (the GAP output shape).
+//!
+//! "While the GAP BFS maintains a BFS tree by storing parents of reachable
+//! vertices, we further need distances from the source vertex" (§3.1).
+//! ParHDE itself only needs distances, but the BFS-tree form is what
+//! downstream graph applications (connectivity certificates, path
+//! reconstruction, the partition example's region growth) consume, so the
+//! substrate provides it too: a direction-optimizing traversal that records
+//! both parent and distance per vertex.
+
+use crate::bottom_up::bottom_up_step;
+use crate::direction_opt::{ALPHA, BETA};
+use crate::frontier::AtomicBitmap;
+use crate::{BfsResult, UNREACHED};
+use parhde_graph::CsrGraph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A BFS tree: distances plus parent pointers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsTree {
+    /// Hop distances ([`UNREACHED`] when unreachable).
+    pub dist: Vec<u32>,
+    /// `parent[v]` for reached `v` (the source is its own parent);
+    /// [`UNREACHED`] otherwise.
+    pub parent: Vec<u32>,
+    /// Number of reached vertices.
+    pub reached: usize,
+}
+
+impl BfsTree {
+    /// Reconstructs the root-to-`v` path (inclusive), or `None` if `v` is
+    /// unreached.
+    pub fn path_to(&self, v: u32) -> Option<Vec<u32>> {
+        if self.dist[v as usize] == UNREACHED {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The distance-only view.
+    pub fn to_result(&self) -> BfsResult {
+        let levels = self
+            .dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHED)
+            .max()
+            .map(|d| d as usize + 1)
+            .unwrap_or(0);
+        BfsResult { dist: self.dist.clone(), reached: self.reached, levels }
+    }
+}
+
+/// Direction-optimizing BFS that also records parent pointers.
+///
+/// Top-down steps claim the *parent* cell by CAS (exactly GAP's scheme) and
+/// then write the distance without contention; bottom-up steps write both
+/// from the owning task.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_tree(g: &CsrGraph, source: u32) -> BfsTree {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    parent[source as usize].store(source, Ordering::Relaxed);
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let mut frontier = vec![source];
+    let mut frontier_len = 1usize;
+    let mut reached = 1usize;
+    let mut level = 0u32;
+    let mut bottom_up = false;
+    let mut current_bm: Option<AtomicBitmap> = None;
+    let mut edges_to_check = g.num_arcs().saturating_sub(g.degree(source));
+    let mut scout = g.degree(source);
+
+    while frontier_len > 0 {
+        level += 1;
+        if !bottom_up && scout > edges_to_check / ALPHA && frontier_len > 1 {
+            current_bm = Some(AtomicBitmap::from_ids(n, &frontier));
+            bottom_up = true;
+        }
+        if bottom_up {
+            let cur = current_bm.take().expect("bitmap in bottom-up mode");
+            let next = AtomicBitmap::new(n);
+            // Reuse the distance-only step, then fill parents for the newly
+            // awakened level (each new vertex scans for any neighbor one
+            // level up — deterministic: the smallest-id parent is chosen).
+            let (awakened, _) = bottom_up_step(g, &cur, &next, &dist, level);
+            let ids = next.to_vec();
+            ids.par_iter().for_each(|&v| {
+                for &u in g.neighbors(v) {
+                    if dist[u as usize].load(Ordering::Relaxed) == level - 1 {
+                        parent[v as usize].store(u, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+            reached += awakened;
+            frontier_len = awakened;
+            if frontier_len == 0 {
+                break;
+            }
+            if frontier_len < n / BETA {
+                frontier = ids;
+                scout = frontier.iter().map(|&v| g.degree(v)).sum();
+                edges_to_check = edges_to_check.saturating_sub(scout);
+                bottom_up = false;
+            } else {
+                current_bm = Some(next);
+            }
+        } else {
+            let next: Vec<Vec<u32>> = frontier
+                .par_chunks(256)
+                .map(|chunk| {
+                    let mut local = Vec::new();
+                    for &v in chunk {
+                        for &u in g.neighbors(v) {
+                            if parent[u as usize].load(Ordering::Relaxed) == UNREACHED
+                                && parent[u as usize]
+                                    .compare_exchange(
+                                        UNREACHED,
+                                        v,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                // Winner of the parent CAS owns the distance
+                                // cell: plain (relaxed) store, as in §3.1.
+                                dist[u as usize].store(level, Ordering::Relaxed);
+                                local.push(u);
+                            }
+                        }
+                    }
+                    local
+                })
+                .collect();
+            let mut flat = Vec::new();
+            for l in next {
+                flat.extend_from_slice(&l);
+            }
+            reached += flat.len();
+            frontier_len = flat.len();
+            if frontier_len == 0 {
+                break;
+            }
+            scout = flat.iter().map(|&v| g.degree(v)).sum();
+            edges_to_check = edges_to_check.saturating_sub(scout);
+            frontier = flat;
+        }
+    }
+
+    BfsTree {
+        dist: dist.into_iter().map(AtomicU32::into_inner).collect(),
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::bfs_serial;
+    use parhde_graph::builder::build_from_edges;
+    use parhde_graph::gen::{chain, grid2d, pref_attach};
+
+    fn check_tree(g: &CsrGraph, source: u32, t: &BfsTree) {
+        let reference = bfs_serial(g, source);
+        assert_eq!(t.dist, reference.dist, "distances disagree with serial");
+        assert_eq!(t.reached, reference.reached);
+        // Parent invariants: the source is its own parent; every other
+        // reached vertex has a parent one level closer and adjacent.
+        assert_eq!(t.parent[source as usize], source);
+        for v in 0..g.num_vertices() as u32 {
+            let d = t.dist[v as usize];
+            if d == UNREACHED {
+                assert_eq!(t.parent[v as usize], UNREACHED);
+            } else if v != source {
+                let p = t.parent[v as usize];
+                assert!(g.has_edge(p, v), "parent {p} of {v} not adjacent");
+                assert_eq!(t.dist[p as usize], d - 1, "parent level of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_on_chain() {
+        let g = chain(40);
+        let t = bfs_tree(&g, 5);
+        check_tree(&g, 5, &t);
+        assert_eq!(t.path_to(0).unwrap(), vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn tree_on_grid() {
+        let g = grid2d(12, 17);
+        let t = bfs_tree(&g, 100);
+        check_tree(&g, 100, &t);
+        // Path lengths equal distances.
+        for v in [0u32, 50, 203] {
+            let p = t.path_to(v).unwrap();
+            assert_eq!(p.len() as u32 - 1, t.dist[v as usize]);
+        }
+    }
+
+    #[test]
+    fn tree_on_skewed_graph_with_bottom_up() {
+        let g = pref_attach(20_000, 16, 3);
+        let t = bfs_tree(&g, 0);
+        check_tree(&g, 0, &t);
+    }
+
+    #[test]
+    fn unreached_vertices_have_no_path() {
+        let g = build_from_edges(4, vec![(0, 1)]);
+        let t = bfs_tree(&g, 0);
+        assert!(t.path_to(3).is_none());
+        assert_eq!(t.to_result().reached, 2);
+    }
+
+    #[test]
+    fn to_result_matches_direct_bfs() {
+        let g = grid2d(9, 9);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.to_result(), bfs_serial(&g, 0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Parallel top-down BFS expansion.
+//!
+//! Each level, workers partition the frontier and attempt to claim every
+//! unvisited neighbor with a compare-and-swap on its distance cell — the
+//! same single-CAS-per-vertex scheme GAP uses for parent claiming (§3.1:
+//! "GAP already uses the compare-and-swap atomic primitive ... we do not
+//! introduce additional overhead"); the reproduction claims the *distance*
+//! cell directly, which subsumes the parent CAS. Winners enqueue the vertex
+//! into a thread-local buffer; buffers concatenate into the next frontier.
+
+use crate::{BfsResult, UNREACHED};
+use parhde_graph::CsrGraph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Grain size for frontier chunking: large enough to amortize rayon task
+/// overhead, small enough to balance skewed-degree frontiers.
+const FRONTIER_CHUNK: usize = 256;
+
+/// Runs one top-down level step.
+///
+/// Claims each newly discovered vertex by CAS-ing its `dist` cell from
+/// [`UNREACHED`] to `level`. Returns `(next_frontier, edges_scanned)`.
+pub fn top_down_step(
+    g: &CsrGraph,
+    frontier: &[u32],
+    dist: &[AtomicU32],
+    level: u32,
+) -> (Vec<u32>, usize) {
+    let chunks: Vec<(Vec<u32>, usize)> = frontier
+        .par_chunks(FRONTIER_CHUNK)
+        .map(|chunk| {
+            let mut local = Vec::new();
+            let mut scanned = 0usize;
+            for &v in chunk {
+                let nb = g.neighbors(v);
+                scanned += nb.len();
+                for &u in nb {
+                    if dist[u as usize].load(Ordering::Relaxed) == UNREACHED
+                        && dist[u as usize]
+                            .compare_exchange(
+                                UNREACHED,
+                                level,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    {
+                        local.push(u);
+                    }
+                }
+            }
+            (local, scanned)
+        })
+        .collect();
+    let mut next = Vec::with_capacity(chunks.iter().map(|(c, _)| c.len()).sum());
+    let mut edges = 0usize;
+    for (c, s) in chunks {
+        next.extend_from_slice(&c);
+        edges += s;
+    }
+    (next, edges)
+}
+
+/// Full top-down-only parallel BFS (the non-direction-optimized ablation).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_top_down(g: &CsrGraph, source: u32) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range");
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut reached = 1usize;
+    let mut levels = 1usize;
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let (next, _) = top_down_step(g, &frontier, &dist, level);
+        reached += next.len();
+        if next.is_empty() {
+            break;
+        }
+        levels += 1;
+        frontier = next;
+    }
+    let dist = dist.into_iter().map(AtomicU32::into_inner).collect();
+    BfsResult { dist, reached, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::bfs_serial;
+    use parhde_graph::gen::{binary_tree, chain, grid2d};
+    use parhde_graph::builder::build_from_edges;
+    use parhde_util::Xoshiro256StarStar;
+
+    #[test]
+    fn matches_serial_on_chain() {
+        let g = chain(64);
+        assert_eq!(bfs_top_down(&g, 0), bfs_serial(&g, 0));
+    }
+
+    #[test]
+    fn matches_serial_on_grid() {
+        let g = grid2d(20, 30);
+        for s in [0u32, 300, 599] {
+            assert_eq!(bfs_top_down(&g, s), bfs_serial(&g, s));
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_tree() {
+        let g = binary_tree(127);
+        assert_eq!(bfs_top_down(&g, 0), bfs_serial(&g, 0));
+    }
+
+    #[test]
+    fn matches_serial_on_random_graphs() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        for trial in 0..10 {
+            let n = 200 + trial * 37;
+            let edges: Vec<(u32, u32)> = (0..n * 3)
+                .map(|_| (rng.next_index(n) as u32, rng.next_index(n) as u32))
+                .collect();
+            let g = build_from_edges(n, edges);
+            let s = rng.next_index(n) as u32;
+            assert_eq!(bfs_top_down(&g, s), bfs_serial(&g, s), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn step_counts_scanned_edges() {
+        let g = chain(5);
+        let dist: Vec<AtomicU32> = (0..5).map(|_| AtomicU32::new(UNREACHED)).collect();
+        dist[0].store(0, Ordering::Relaxed);
+        let (next, scanned) = top_down_step(&g, &[0], &dist, 1);
+        assert_eq!(next, vec![1]);
+        assert_eq!(scanned, 1); // degree of vertex 0
+    }
+}

@@ -1,0 +1,189 @@
+//! LSB-first bit I/O for DEFLATE streams.
+//!
+//! DEFLATE packs data elements starting at the least-significant bit of
+//! each byte. Plain values (extra bits, stored-block lengths) are written
+//! LSB-first; Huffman codes are written starting from their most
+//! significant bit (RFC 1951 §3.1.1).
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `count` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "at most 32 bits per call");
+        for i in 0..count {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.out.push(0);
+            }
+            if bit != 0 {
+                *self.out.last_mut().unwrap() |= 1 << self.bit_pos;
+            }
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Writes a Huffman code of `len` bits, most-significant bit first.
+    pub fn write_huffman(&mut self, code: u32, len: u8) {
+        for i in (0..len).rev() {
+            self.write_bits((code >> i) & 1, 1);
+        }
+    }
+
+    /// Pads to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        self.bit_pos = 0;
+    }
+
+    /// Appends raw bytes (must be byte-aligned).
+    ///
+    /// # Panics
+    /// Panics if the writer is mid-byte.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(self.bit_pos, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the buffer (final partial byte is
+    /// zero-padded).
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Bytes written so far (including any partial byte).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Reads bits LSB-first from a byte slice (used by the test-only inflater).
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    byte: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, byte: 0, bit: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    /// Panics at end of input.
+    pub fn read_bit(&mut self) -> u32 {
+        assert!(self.byte < self.data.len(), "bit reader exhausted");
+        let b = (self.data[self.byte] >> self.bit) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+        b as u32
+    }
+
+    /// Reads `count` bits LSB-first.
+    pub fn read_bits(&mut self, count: u8) -> u32 {
+        let mut v = 0;
+        for i in 0..count {
+            v |= self.read_bit() << i;
+        }
+        v
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+    }
+
+    /// Reads `n` aligned bytes.
+    ///
+    /// # Panics
+    /// Panics if not aligned or out of data.
+    pub fn read_bytes(&mut self, n: usize) -> &'a [u8] {
+        assert_eq!(self.bit, 0, "read_bytes requires byte alignment");
+        let out = &self.data[self.byte..self.byte + n];
+        self.byte += n;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11110000, 8);
+        w.write_bits(1, 1);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(r.read_bits(8), 0b11110000);
+        assert_eq!(r.read_bit(), 1);
+    }
+
+    #[test]
+    fn huffman_codes_are_msb_first() {
+        let mut w = BitWriter::new();
+        // Code 0b011 of length 3, MSB first → bits 0, 1, 1.
+        w.write_huffman(0b011, 3);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bit(), 0);
+        assert_eq!(r.read_bit(), 1);
+        assert_eq!(r.read_bit(), 1);
+    }
+
+    #[test]
+    fn alignment_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_byte();
+        w.write_bytes(&[0xAB, 0xCD]);
+        let buf = w.finish();
+        assert_eq!(buf, vec![0x01, 0xAB, 0xCD]);
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bit(), 1);
+        r.align_byte();
+        assert_eq!(r.read_bytes(2), &[0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn empty_writer() {
+        assert!(BitWriter::new().is_empty());
+        assert_eq!(BitWriter::new().finish(), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn over_read_panics() {
+        BitReader::new(&[]).read_bit();
+    }
+}

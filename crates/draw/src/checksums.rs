@@ -1,0 +1,107 @@
+//! CRC-32 (ISO-HDLC, as used by PNG chunks) and Adler-32 (zlib trailer).
+
+/// CRC-32 lookup table for polynomial 0xEDB88320, built at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 of `data` (PNG convention: init all-ones, final
+/// complement).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming CRC-32: feed chunks with a running register (start from
+/// `0xFFFF_FFFF`, finish by XOR-ing `0xFFFF_FFFF`).
+pub fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
+    let table = crc_table();
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+const ADLER_MOD: u32 = 65_521;
+
+/// Computes the Adler-32 checksum of `data` (zlib trailer).
+pub fn adler32(data: &[u8]) -> u32 {
+    let (mut a, mut b) = (1u32, 0u32);
+    // Process in chunks small enough that the u32 accumulators cannot
+    // overflow before the modulo (5552 is the standard bound).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= ADLER_MOD;
+        b %= ADLER_MOD;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_iend_chunk() {
+        // The CRC of the literal bytes "IEND" — a constant every PNG ends
+        // with, handy as an independent check: AE 42 60 82.
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut c = 0xFFFF_FFFFu32;
+        c = crc32_update(c, &data[..10]);
+        c = crc32_update(c, &data[10..]);
+        assert_eq!(c ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn adler32_check_value() {
+        // Known vector: "Wikipedia" → 0x11E60398.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_empty_is_one() {
+        assert_eq!(adler32(b""), 1);
+    }
+
+    #[test]
+    fn adler32_large_input_no_overflow() {
+        let data = vec![0xFFu8; 1 << 20];
+        // Compare against a naive u64 implementation.
+        let (mut a, mut b) = (1u64, 0u64);
+        for &byte in &data {
+            a = (a + byte as u64) % ADLER_MOD as u64;
+            b = (b + a) % ADLER_MOD as u64;
+        }
+        assert_eq!(adler32(&data), ((b as u32) << 16) | a as u32);
+    }
+}

@@ -1,0 +1,77 @@
+//! Colors and palettes.
+
+/// An 8-bit RGB color.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rgb(
+    /// Red channel.
+    pub u8,
+    /// Green channel.
+    pub u8,
+    /// Blue channel.
+    pub u8,
+);
+
+impl Rgb {
+    /// White.
+    pub const WHITE: Rgb = Rgb(255, 255, 255);
+    /// Black.
+    pub const BLACK: Rgb = Rgb(0, 0, 0);
+    /// Medium gray (used for inter-partition edges in §4.5.4 drawings).
+    pub const GRAY: Rgb = Rgb(170, 170, 170);
+    /// Pure red.
+    pub const RED: Rgb = Rgb(220, 30, 30);
+    /// Pure blue.
+    pub const BLUE: Rgb = Rgb(30, 60, 220);
+
+    /// Linear interpolation between two colors (`t` clamped to `[0, 1]`).
+    pub fn lerp(a: Rgb, b: Rgb, t: f64) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: u8, y: u8| (x as f64 + (y as f64 - x as f64) * t).round() as u8;
+        Rgb(mix(a.0, b.0), mix(a.1, b.1), mix(a.2, b.2))
+    }
+}
+
+/// A qualitative palette for partition/cluster coloring (§4.5.4: "different
+/// colors for intra- and inter-partition edges"). Colors repeat past 10
+/// partitions.
+pub fn partition_color(partition: u32) -> Rgb {
+    const PALETTE: [Rgb; 10] = [
+        Rgb(31, 119, 180),
+        Rgb(255, 127, 14),
+        Rgb(44, 160, 44),
+        Rgb(214, 39, 40),
+        Rgb(148, 103, 189),
+        Rgb(140, 86, 75),
+        Rgb(227, 119, 194),
+        Rgb(127, 127, 127),
+        Rgb(188, 189, 34),
+        Rgb(23, 190, 207),
+    ];
+    PALETTE[(partition as usize) % PALETTE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(Rgb::lerp(Rgb::BLACK, Rgb::WHITE, 0.0), Rgb::BLACK);
+        assert_eq!(Rgb::lerp(Rgb::BLACK, Rgb::WHITE, 1.0), Rgb::WHITE);
+        assert_eq!(Rgb::lerp(Rgb::BLACK, Rgb::WHITE, 0.5), Rgb(128, 128, 128));
+    }
+
+    #[test]
+    fn lerp_clamps() {
+        assert_eq!(Rgb::lerp(Rgb::BLACK, Rgb::WHITE, -3.0), Rgb::BLACK);
+        assert_eq!(Rgb::lerp(Rgb::BLACK, Rgb::WHITE, 7.0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn partition_colors_distinct_and_cyclic() {
+        let c0 = partition_color(0);
+        let c1 = partition_color(1);
+        assert_ne!(c0, c1);
+        assert_eq!(partition_color(10), c0);
+    }
+}

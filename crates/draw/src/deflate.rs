@@ -1,0 +1,341 @@
+//! DEFLATE (RFC 1951) compression with fixed Huffman codes, plus the
+//! matching decompressor used to round-trip-test the encoder.
+//!
+//! The compressor targets the workload at hand — PNG scanlines of drawings
+//! that are mostly flat background — with a greedy matcher over a small set
+//! of short distances: distance 1 and 2 (byte runs) and 3/4 (RGB/RGBA pixel
+//! runs). That compresses a blank canvas by ~99% while staying a few dozen
+//! lines of clear code. Incompressible data degrades gracefully to literal
+//! bytes (fixed-Huffman literals are at most 9 bits, a ≤ 12.5% expansion).
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Distances the matcher considers (byte runs and pixel runs).
+const MATCH_DISTANCES: [usize; 4] = [1, 2, 3, 4];
+/// Minimum profitable match length.
+const MIN_MATCH: usize = 5;
+/// DEFLATE's maximum match length.
+const MAX_MATCH: usize = 258;
+
+/// Compresses `data` into a raw DEFLATE stream (single final block, fixed
+/// Huffman codes).
+pub fn deflate_fixed(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(1, 1); // BFINAL
+    w.write_bits(0b01, 2); // BTYPE = fixed Huffman
+
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        for &dist in &MATCH_DISTANCES {
+            if dist > i {
+                continue;
+            }
+            let mut len = 0usize;
+            let max = (data.len() - i).min(MAX_MATCH);
+            while len < max && data[i + len - dist] == data[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            write_length(&mut w, best_len);
+            write_distance(&mut w, best_dist);
+            i += best_len;
+        } else {
+            write_literal(&mut w, data[i]);
+            i += 1;
+        }
+    }
+    write_literal_code(&mut w, 256); // end of block
+    w.finish()
+}
+
+/// Writes a literal byte with the fixed literal/length code.
+fn write_literal(w: &mut BitWriter, byte: u8) {
+    write_literal_code(w, byte as u32);
+}
+
+/// Fixed Huffman literal/length code table (RFC 1951 §3.2.6).
+fn write_literal_code(w: &mut BitWriter, sym: u32) {
+    match sym {
+        0..=143 => w.write_huffman(0x30 + sym, 8),
+        144..=255 => w.write_huffman(0x190 + (sym - 144), 9),
+        256..=279 => w.write_huffman(sym - 256, 7),
+        280..=287 => w.write_huffman(0xC0 + (sym - 280), 8),
+        _ => unreachable!("invalid literal/length symbol {sym}"),
+    }
+}
+
+/// Length code table: (symbol, extra bits, base length).
+const LENGTH_CODES: [(u32, u8, usize); 29] = [
+    (257, 0, 3), (258, 0, 4), (259, 0, 5), (260, 0, 6), (261, 0, 7),
+    (262, 0, 8), (263, 0, 9), (264, 0, 10), (265, 1, 11), (266, 1, 13),
+    (267, 1, 15), (268, 1, 17), (269, 2, 19), (270, 2, 23), (271, 2, 27),
+    (272, 2, 31), (273, 3, 35), (274, 3, 43), (275, 3, 51), (276, 3, 59),
+    (277, 4, 67), (278, 4, 83), (279, 4, 99), (280, 4, 115), (281, 5, 131),
+    (282, 5, 163), (283, 5, 195), (284, 5, 227), (285, 0, 258),
+];
+
+/// Distance code table: (symbol, extra bits, base distance).
+const DIST_CODES: [(u32, u8, usize); 30] = [
+    (0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (4, 1, 5), (5, 1, 7),
+    (6, 2, 9), (7, 2, 13), (8, 3, 17), (9, 3, 25), (10, 4, 33), (11, 4, 49),
+    (12, 5, 65), (13, 5, 97), (14, 6, 129), (15, 6, 193), (16, 7, 257),
+    (17, 7, 385), (18, 8, 513), (19, 8, 769), (20, 9, 1025), (21, 9, 1537),
+    (22, 10, 2049), (23, 10, 3073), (24, 11, 4097), (25, 11, 6145),
+    (26, 12, 8193), (27, 12, 12289), (28, 13, 16385), (29, 13, 24577),
+];
+
+fn write_length(w: &mut BitWriter, len: usize) {
+    debug_assert!((3..=MAX_MATCH).contains(&len));
+    // Find the last code whose base is ≤ len.
+    let idx = LENGTH_CODES
+        .iter()
+        .rposition(|&(_, _, base)| base <= len)
+        .expect("length in range");
+    let (sym, extra, base) = LENGTH_CODES[idx];
+    write_literal_code(w, sym);
+    if extra > 0 {
+        w.write_bits((len - base) as u32, extra);
+    }
+}
+
+fn write_distance(w: &mut BitWriter, dist: usize) {
+    let idx = DIST_CODES
+        .iter()
+        .rposition(|&(_, _, base)| base <= dist)
+        .expect("distance in range");
+    let (sym, extra, base) = DIST_CODES[idx];
+    // Fixed distance codes are plain 5-bit numbers, MSB first.
+    w.write_huffman(sym, 5);
+    if extra > 0 {
+        w.write_bits((dist - base) as u32, extra);
+    }
+}
+
+/// Wraps a DEFLATE stream in the zlib container (RFC 1950): CMF/FLG header
+/// plus the Adler-32 of the uncompressed data — the format PNG `IDAT`
+/// chunks require.
+pub fn zlib_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    // CMF: deflate, 32K window (0x78). FLG: check bits so (CMF·256+FLG) %
+    // 31 == 0 with no preset dictionary, fastest-compression hint → 0x01.
+    out.push(0x78);
+    out.push(0x01);
+    out.extend_from_slice(&deflate_fixed(data));
+    out.extend_from_slice(&crate::checksums::adler32(data).to_be_bytes());
+    out
+}
+
+// --------------------------------------------------------------------------
+// Inflate (supports exactly what the compressor emits plus stored blocks) —
+// used by round-trip tests and kept small deliberately.
+// --------------------------------------------------------------------------
+
+/// Decompresses a raw DEFLATE stream consisting of stored and/or
+/// fixed-Huffman blocks.
+///
+/// # Panics
+/// Panics on malformed input or dynamic-Huffman blocks (which this
+/// workspace never produces).
+pub fn inflate(data: &[u8]) -> Vec<u8> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let final_block = r.read_bit() == 1;
+        let btype = r.read_bits(2);
+        match btype {
+            0b00 => {
+                r.align_byte();
+                let len = u16::from_le_bytes(r.read_bytes(2).try_into().unwrap());
+                let nlen = u16::from_le_bytes(r.read_bytes(2).try_into().unwrap());
+                assert_eq!(len, !nlen, "stored block LEN/NLEN mismatch");
+                out.extend_from_slice(r.read_bytes(len as usize));
+            }
+            0b01 => loop {
+                let sym = read_fixed_literal(&mut r);
+                match sym {
+                    0..=255 => out.push(sym as u8),
+                    256 => break,
+                    257..=285 => {
+                        let (_, extra, base) = LENGTH_CODES
+                            .iter()
+                            .copied()
+                            .find(|&(s, _, _)| s == sym)
+                            .expect("valid length symbol");
+                        let len = base + r.read_bits(extra) as usize;
+                        let dsym = {
+                            // 5-bit fixed distance code, MSB first.
+                            let mut v = 0u32;
+                            for _ in 0..5 {
+                                v = (v << 1) | r.read_bit();
+                            }
+                            v
+                        };
+                        let (_, dextra, dbase) = DIST_CODES
+                            .iter()
+                            .copied()
+                            .find(|&(s, _, _)| s == dsym)
+                            .expect("valid distance symbol");
+                        let dist = dbase + r.read_bits(dextra) as usize;
+                        assert!(dist <= out.len(), "distance beyond output");
+                        for _ in 0..len {
+                            out.push(out[out.len() - dist]);
+                        }
+                    }
+                    _ => panic!("invalid symbol {sym}"),
+                }
+            },
+            other => panic!("unsupported block type {other}"),
+        }
+        if final_block {
+            break;
+        }
+    }
+    out
+}
+
+/// Decodes one fixed-Huffman literal/length symbol.
+fn read_fixed_literal(r: &mut BitReader) -> u32 {
+    // Read 7 bits MSB-first, then extend as needed per the fixed table.
+    let mut code = 0u32;
+    for _ in 0..7 {
+        code = (code << 1) | r.read_bit();
+    }
+    if code <= 0b0010111 {
+        return 256 + code; // 7-bit codes 0000000-0010111 → 256..279
+    }
+    code = (code << 1) | r.read_bit(); // extend to 8
+    if (0x30..=0xBF).contains(&code) {
+        return code - 0x30; // 8-bit codes → 0..143
+    }
+    if (0xC0..=0xC7).contains(&code) {
+        return 280 + (code - 0xC0); // 8-bit codes → 280..287
+    }
+    code = (code << 1) | r.read_bit(); // extend to 9
+    assert!((0x190..=0x1FF).contains(&code), "bad fixed code {code:#x}");
+    144 + (code - 0x190) // 9-bit codes → 144..255
+}
+
+/// Unwraps and decompresses a zlib stream, verifying the Adler-32 trailer.
+///
+/// # Panics
+/// Panics on malformed streams or checksum mismatch.
+pub fn zlib_decompress(data: &[u8]) -> Vec<u8> {
+    assert!(data.len() >= 6, "zlib stream too short");
+    assert_eq!(data[0] & 0x0F, 8, "not a deflate zlib stream");
+    assert_eq!(
+        (u16::from_be_bytes([data[0], data[1]])) % 31,
+        0,
+        "bad zlib header check"
+    );
+    let body = &data[2..data.len() - 4];
+    let out = inflate(body);
+    let expect = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    assert_eq!(
+        crate::checksums::adler32(&out),
+        expect,
+        "Adler-32 mismatch"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_util::Xoshiro256StarStar;
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(zlib_decompress(&zlib_compress(b"")), b"");
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"hello hello hello hello world!";
+        assert_eq!(zlib_decompress(&zlib_compress(data)), data);
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        assert_eq!(zlib_decompress(&zlib_compress(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.next_u64() as u8).collect();
+        assert_eq!(zlib_decompress(&zlib_compress(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_flat_with_long_runs() {
+        let mut data = vec![0xFFu8; 100_000];
+        data[50_000] = 0; // interrupt the run
+        assert_eq!(zlib_decompress(&zlib_compress(&data)), data);
+    }
+
+    #[test]
+    fn flat_data_compresses_well() {
+        let data = vec![0u8; 65_536];
+        let z = zlib_compress(&data);
+        assert!(
+            z.len() < data.len() / 50,
+            "blank canvas should compress ≥ 50×: {} → {}",
+            data.len(),
+            z.len()
+        );
+    }
+
+    #[test]
+    fn rgb_pixel_runs_compress() {
+        // Repeating 3-byte pixels exercise the distance-3 matcher.
+        let data: Vec<u8> = [0xDE, 0xAD, 0xBE]
+            .iter()
+            .copied()
+            .cycle()
+            .take(30_000)
+            .collect();
+        let z = zlib_compress(&data);
+        assert!(z.len() < 1000, "pixel runs should compress: {}", z.len());
+        assert_eq!(zlib_decompress(&z), data);
+    }
+
+    #[test]
+    fn incompressible_data_expands_boundedly() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.next_u64() as u8).collect();
+        let z = zlib_compress(&data);
+        // ≤ 9 bits per literal + headers.
+        assert!(z.len() < data.len() * 9 / 8 + 64);
+    }
+
+    #[test]
+    fn inflate_handles_stored_blocks() {
+        // Hand-build a stored block: BFINAL=1, BTYPE=00, aligned LEN/NLEN.
+        let payload = b"stored!";
+        let mut w = crate::bits::BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&(payload.len() as u16).to_le_bytes());
+        w.write_bytes(&(!(payload.len() as u16)).to_le_bytes());
+        w.write_bytes(payload);
+        assert_eq!(inflate(&w.finish()), payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "Adler-32 mismatch")]
+    fn corrupt_trailer_detected() {
+        let mut z = zlib_compress(b"data data data data data");
+        let n = z.len();
+        z[n - 1] ^= 0xFF;
+        zlib_decompress(&z);
+    }
+}

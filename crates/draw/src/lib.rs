@@ -1,0 +1,29 @@
+//! Drawing backend for ParHDE layouts.
+//!
+//! The paper renders layouts with "an open-source Portable Network Graphics
+//! (PNG) format file writer ... edges are drawn as straight lines of fixed
+//! thickness" (§4.1; the writing step is untimed). This crate is that
+//! substrate, built from scratch:
+//!
+//! * [`checksums`] — CRC-32 (PNG chunks) and Adler-32 (zlib);
+//! * [`bits`] — LSB-first bit I/O for DEFLATE;
+//! * [`deflate`] — a DEFLATE compressor emitting fixed-Huffman blocks with
+//!   short-distance run matching (ideal for mostly-flat drawings), plus a
+//!   matching inflater used by the round-trip tests;
+//! * [`png`] — the PNG container encoder (IHDR/IDAT/IEND);
+//! * [`raster`] — an RGB canvas with Bresenham line drawing;
+//! * [`render`] — layout → image, including the partition-coloring mode of
+//!   §4.5.4 (different colors for intra- vs. inter-partition edges).
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod checksums;
+pub mod color;
+pub mod deflate;
+pub mod png;
+pub mod raster;
+pub mod render;
+
+pub use raster::Canvas;
+pub use render::{render_graph, RenderOptions};

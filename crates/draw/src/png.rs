@@ -1,0 +1,177 @@
+//! PNG container encoding (RFC 2083): 8-bit RGB, non-interlaced.
+
+use crate::checksums::crc32;
+use crate::deflate::zlib_compress;
+
+/// The 8-byte PNG file signature.
+pub const SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1A, b'\n'];
+
+/// Encodes an RGB image (`pixels` = `width·height·3` bytes, row-major) as a
+/// complete PNG file.
+///
+/// Scanlines use filter type 0 (None); compression is the fixed-Huffman
+/// zlib stream from [`crate::deflate`].
+///
+/// # Panics
+/// Panics if the pixel buffer size does not match the dimensions or a
+/// dimension is zero.
+pub fn encode_rgb(width: u32, height: u32, pixels: &[u8]) -> Vec<u8> {
+    assert!(width > 0 && height > 0, "image dimensions must be positive");
+    assert_eq!(
+        pixels.len(),
+        width as usize * height as usize * 3,
+        "pixel buffer size mismatch"
+    );
+
+    let mut out = Vec::with_capacity(pixels.len() / 4 + 128);
+    out.extend_from_slice(&SIGNATURE);
+
+    // IHDR.
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&width.to_be_bytes());
+    ihdr.extend_from_slice(&height.to_be_bytes());
+    ihdr.push(8); // bit depth
+    ihdr.push(2); // color type: truecolor RGB
+    ihdr.push(0); // compression method
+    ihdr.push(0); // filter method
+    ihdr.push(0); // no interlace
+    write_chunk(&mut out, b"IHDR", &ihdr);
+
+    // IDAT: filter byte 0 before each scanline, then zlib.
+    let row_bytes = width as usize * 3;
+    let mut raw = Vec::with_capacity(pixels.len() + height as usize);
+    for row in pixels.chunks(row_bytes) {
+        raw.push(0); // filter: None
+        raw.extend_from_slice(row);
+    }
+    write_chunk(&mut out, b"IDAT", &zlib_compress(&raw));
+
+    // IEND.
+    write_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Appends one chunk: length, type, data, CRC (over type + data).
+fn write_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let mut crc_input = Vec::with_capacity(4 + data.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(data);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// Decodes a PNG produced by [`encode_rgb`] back into
+/// `(width, height, pixels)` — used by round-trip tests; supports exactly
+/// the feature set the encoder emits (8-bit RGB, filter 0, one IDAT).
+///
+/// # Panics
+/// Panics on anything the encoder would not have produced or on checksum
+/// mismatches.
+pub fn decode_rgb(data: &[u8]) -> (u32, u32, Vec<u8>) {
+    assert!(data.len() > 8 && data[..8] == SIGNATURE, "bad PNG signature");
+    let mut pos = 8usize;
+    let mut width = 0u32;
+    let mut height = 0u32;
+    let mut idat: Vec<u8> = Vec::new();
+    loop {
+        let len = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let kind = &data[pos + 4..pos + 8];
+        let body = &data[pos + 8..pos + 8 + len];
+        let crc = u32::from_be_bytes(
+            data[pos + 8 + len..pos + 12 + len].try_into().unwrap(),
+        );
+        let mut crc_input = Vec::with_capacity(4 + len);
+        crc_input.extend_from_slice(kind);
+        crc_input.extend_from_slice(body);
+        assert_eq!(crc, crc32(&crc_input), "chunk CRC mismatch");
+        match kind {
+            b"IHDR" => {
+                width = u32::from_be_bytes(body[0..4].try_into().unwrap());
+                height = u32::from_be_bytes(body[4..8].try_into().unwrap());
+                assert_eq!(body[8], 8, "bit depth");
+                assert_eq!(body[9], 2, "color type");
+            }
+            b"IDAT" => idat.extend_from_slice(body),
+            b"IEND" => break,
+            other => panic!("unexpected chunk {:?}", std::str::from_utf8(other)),
+        }
+        pos += 12 + len;
+    }
+    let raw = crate::deflate::zlib_decompress(&idat);
+    let row_bytes = width as usize * 3;
+    let mut pixels = Vec::with_capacity(row_bytes * height as usize);
+    for row in raw.chunks(row_bytes + 1) {
+        assert_eq!(row[0], 0, "only filter 0 supported");
+        pixels.extend_from_slice(&row[1..]);
+    }
+    (width, height, pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_tiny_image() {
+        let pixels = vec![
+            255, 0, 0, /**/ 0, 255, 0, //
+            0, 0, 255, /**/ 255, 255, 255,
+        ];
+        let png = encode_rgb(2, 2, &pixels);
+        let (w, h, back) = decode_rgb(&png);
+        assert_eq!((w, h), (2, 2));
+        assert_eq!(back, pixels);
+    }
+
+    #[test]
+    fn roundtrip_larger_image() {
+        let (w, h) = (101u32, 57u32);
+        let pixels: Vec<u8> = (0..w * h * 3).map(|i| (i % 251) as u8).collect();
+        let png = encode_rgb(w, h, &pixels);
+        let (dw, dh, back) = decode_rgb(&png);
+        assert_eq!((dw, dh), (w, h));
+        assert_eq!(back, pixels);
+    }
+
+    #[test]
+    fn signature_and_structure() {
+        let png = encode_rgb(1, 1, &[0, 0, 0]);
+        assert_eq!(&png[..8], &SIGNATURE);
+        // First chunk must be a 13-byte IHDR.
+        assert_eq!(&png[8..12], &13u32.to_be_bytes());
+        assert_eq!(&png[12..16], b"IHDR");
+        // File ends with the constant IEND chunk.
+        assert_eq!(
+            &png[png.len() - 12..],
+            &[0, 0, 0, 0, b'I', b'E', b'N', b'D', 0xAE, 0x42, 0x60, 0x82]
+        );
+    }
+
+    #[test]
+    fn white_canvas_compresses() {
+        let pixels = vec![255u8; 200 * 200 * 3];
+        let png = encode_rgb(200, 200, &pixels);
+        assert!(
+            png.len() < pixels.len() / 20,
+            "white canvas PNG too large: {}",
+            png.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_rejected() {
+        encode_rgb(2, 2, &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CRC mismatch")]
+    fn corruption_detected() {
+        let mut png = encode_rgb(4, 4, &[128; 48]);
+        let n = png.len();
+        png[n - 20] ^= 0xFF; // corrupt inside IDAT
+        decode_rgb(&png);
+    }
+}

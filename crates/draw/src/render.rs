@@ -1,0 +1,251 @@
+//! Rendering graph layouts to images.
+//!
+//! Deliberately decoupled from the layout crate: a renderer needs only the
+//! coordinate arrays and an edge iterator, so this module takes exactly
+//! those. "Edges are drawn as straight lines of fixed thickness" (§4.1).
+
+use crate::color::{partition_color, Rgb};
+use crate::raster::Canvas;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOptions {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Blank border around the drawing, pixels.
+    pub margin: u32,
+    /// Background color.
+    pub background: Rgb,
+    /// Edge color (single-color mode).
+    pub edge_color: Rgb,
+    /// Radius for vertex discs; 0 disables vertex drawing.
+    pub vertex_radius: f64,
+    /// Anti-aliased (Xiaolin Wu) edges instead of hard Bresenham lines.
+    pub antialias: bool,
+    /// Vertex color.
+    pub vertex_color: Rgb,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self {
+            width: 800,
+            height: 800,
+            margin: 20,
+            background: Rgb::WHITE,
+            edge_color: Rgb(40, 40, 40),
+            vertex_radius: 0.0,
+            antialias: false,
+            vertex_color: Rgb::RED,
+        }
+    }
+}
+
+/// Scales layout coordinates into the drawable area, preserving aspect.
+fn scaled(x: &[f64], y: &[f64], opt: &RenderOptions) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(x.len(), y.len(), "coordinate arrays must match");
+    assert!(
+        2 * opt.margin < opt.width && 2 * opt.margin < opt.height,
+        "margin leaves no drawable area"
+    );
+    let w = (opt.width - 2 * opt.margin) as f64;
+    let h = (opt.height - 2 * opt.margin) as f64;
+    let min_x = x.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_x = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min_y = y.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_y = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max_x - min_x).max(max_y - min_y);
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // also catches NaN spans
+    if !(span > 0.0) {
+        let cx = opt.width as f64 / 2.0;
+        let cy = opt.height as f64 / 2.0;
+        return (vec![cx; x.len()], vec![cy; y.len()]);
+    }
+    let scale = w.min(h) / span;
+    let off_x = opt.margin as f64 + (w - (max_x - min_x) * scale) / 2.0;
+    let off_y = opt.margin as f64 + (h - (max_y - min_y) * scale) / 2.0;
+    let sx = x.iter().map(|v| (v - min_x) * scale + off_x).collect();
+    let sy = y.iter().map(|v| (v - min_y) * scale + off_y).collect();
+    (sx, sy)
+}
+
+/// Renders a node-link drawing of a graph layout.
+///
+/// `edges` yields each undirected edge once; `x`/`y` are per-vertex
+/// coordinates (any scale — they are fitted to the canvas).
+///
+/// # Panics
+/// Panics if coordinate arrays mismatch or an edge endpoint is out of
+/// range.
+pub fn render_graph(
+    edges: impl Iterator<Item = (u32, u32)>,
+    x: &[f64],
+    y: &[f64],
+    opt: &RenderOptions,
+) -> Canvas {
+    let (sx, sy) = scaled(x, y, opt);
+    let mut canvas = Canvas::new(opt.width, opt.height, opt.background);
+    for (u, v) in edges {
+        let (u, v) = (u as usize, v as usize);
+        if opt.antialias {
+            canvas.draw_line_aa(sx[u], sy[u], sx[v], sy[v], opt.edge_color);
+        } else {
+            canvas.draw_line(sx[u], sy[u], sx[v], sy[v], opt.edge_color);
+        }
+    }
+    if opt.vertex_radius > 0.0 {
+        for i in 0..sx.len() {
+            canvas.draw_disc(sx[i], sy[i], opt.vertex_radius, opt.vertex_color);
+        }
+    }
+    canvas
+}
+
+/// Renders a partition-colored drawing (§4.5.4): intra-partition edges get
+/// their partition's palette color, inter-partition edges are gray —
+/// "these visualizations shed insights into the inner workings of
+/// partitioning/clustering algorithms".
+///
+/// # Panics
+/// Panics if `partition` is shorter than the vertex count.
+pub fn render_partitioned(
+    edges: impl Iterator<Item = (u32, u32)>,
+    x: &[f64],
+    y: &[f64],
+    partition: &[u32],
+    opt: &RenderOptions,
+) -> Canvas {
+    assert_eq!(partition.len(), x.len(), "partition labels per vertex");
+    let (sx, sy) = scaled(x, y, opt);
+    let mut canvas = Canvas::new(opt.width, opt.height, opt.background);
+    // Draw inter-partition edges first so intra-partition structure stays
+    // visible on top.
+    let all: Vec<(u32, u32)> = edges.collect();
+    for &(u, v) in &all {
+        if partition[u as usize] != partition[v as usize] {
+            let (u, v) = (u as usize, v as usize);
+            canvas.draw_line(sx[u], sy[u], sx[v], sy[v], Rgb::GRAY);
+        }
+    }
+    for &(u, v) in &all {
+        if partition[u as usize] == partition[v as usize] {
+            let color = partition_color(partition[u as usize]);
+            let (u, v) = (u as usize, v as usize);
+            canvas.draw_line(sx[u], sy[u], sx[v], sy[v], color);
+        }
+    }
+    canvas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_triangle() {
+        let x = [0.0, 1.0, 0.5];
+        let y = [0.0, 0.0, 1.0];
+        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let c = render_graph(edges.iter().copied(), &x, &y, &RenderOptions::default());
+        assert!(c.count_not(Rgb::WHITE) > 100, "triangle should leave ink");
+    }
+
+    #[test]
+    fn degenerate_layout_renders_blank_center_dot_only() {
+        let x = [5.0, 5.0];
+        let y = [5.0, 5.0];
+        let opt = RenderOptions { vertex_radius: 1.0, ..Default::default() };
+        let c = render_graph([(0u32, 1u32)].into_iter(), &x, &y, &opt);
+        // Everything collapses to the center pixel neighborhood.
+        assert!(c.count_not(Rgb::WHITE) < 30);
+        assert_ne!(c.get_pixel(400, 400), Rgb::WHITE);
+    }
+
+    #[test]
+    fn vertices_drawn_when_radius_positive() {
+        let x = [0.0, 1.0];
+        let y = [0.0, 1.0];
+        let opt = RenderOptions { vertex_radius: 3.0, ..Default::default() };
+        let c = render_graph(std::iter::empty(), &x, &y, &opt);
+        assert!(c.count_not(Rgb::WHITE) >= 2, "vertex discs missing");
+    }
+
+    #[test]
+    fn partition_rendering_uses_distinct_colors() {
+        let x = [0.0, 1.0, 0.0, 1.0];
+        let y = [0.0, 0.0, 1.0, 1.0];
+        let edges = [(0u32, 1u32), (2, 3), (0, 2)];
+        let parts = [0u32, 0, 1, 1];
+        let c = render_partitioned(
+            edges.iter().copied(),
+            &x,
+            &y,
+            &parts,
+            &RenderOptions::default(),
+        );
+        // Expect at least three distinct non-background colors: two
+        // partition colors plus gray.
+        let mut seen = std::collections::HashSet::new();
+        for px in 0..c.width() {
+            for py in 0..c.height() {
+                let p = c.get_pixel(px, py);
+                if p != Rgb::WHITE {
+                    seen.insert((p.0, p.1, p.2));
+                }
+            }
+        }
+        assert!(seen.len() >= 3, "saw colors: {seen:?}");
+    }
+
+    #[test]
+    fn margin_is_respected() {
+        let x = [0.0, 1.0];
+        let y = [0.0, 1.0];
+        let opt = RenderOptions { margin: 50, ..Default::default() };
+        let c = render_graph([(0u32, 1u32)].into_iter(), &x, &y, &opt);
+        for i in 0..c.width() {
+            for m in 0..40u32 {
+                assert_eq!(c.get_pixel(i, m), Rgb::WHITE, "ink in top margin");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no drawable area")]
+    fn absurd_margin_rejected() {
+        let opt = RenderOptions { margin: 500, width: 100, height: 100, ..Default::default() };
+        render_graph(std::iter::empty(), &[0.0], &[0.0], &opt);
+    }
+}
+
+#[cfg(test)]
+mod aa_tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    #[test]
+    fn antialiased_rendering_produces_gray_coverage() {
+        let x = [0.0, 1.0];
+        let y = [0.0, 0.43];
+        let opt = RenderOptions {
+            width: 120,
+            height: 120,
+            antialias: true,
+            edge_color: Rgb::BLACK,
+            ..RenderOptions::default()
+        };
+        let c = render_graph([(0u32, 1u32)].into_iter(), &x, &y, &opt);
+        let mut grays = 0;
+        for px in 0..c.width() {
+            for py in 0..c.height() {
+                let p = c.get_pixel(px, py);
+                if p != Rgb::WHITE && p != Rgb::BLACK {
+                    grays += 1;
+                }
+            }
+        }
+        assert!(grays > 5, "AA mode should blend edge pixels, saw {grays}");
+    }
+}

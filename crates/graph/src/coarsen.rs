@@ -1,0 +1,234 @@
+//! Graph coarsening by edge matching — the multilevel substrate.
+//!
+//! The paper's prior work ran HDE "in a multilevel setup" [27, 33] and its
+//! future work plans "to adapt ParHDE to be compatible with the multilevel
+//! approach". The standard machinery is implemented here: a maximal
+//! matching contracts matched pairs into coarse vertices, repeatedly, until
+//! the graph is small; layouts computed on the coarse graph are prolonged
+//! back through the mapping.
+
+use crate::csr::CsrGraph;
+use parhde_util::Xoshiro256StarStar;
+
+/// One coarsening step: the coarse graph and the fine→coarse vertex map.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The contracted graph (self-loops and parallel edges removed).
+    pub coarse: CsrGraph,
+    /// `map[fine] = coarse` vertex id.
+    pub map: Vec<u32>,
+}
+
+/// Contracts a maximal matching chosen by randomized heavy-neighbor
+/// preference: vertices are visited in random order; an unmatched vertex
+/// matches its lowest-degree unmatched neighbor (low degree first keeps the
+/// coarse degree distribution tame). Unmatched vertices survive alone.
+///
+/// # Panics
+/// Panics on an empty graph.
+pub fn coarsen_matching(g: &CsrGraph, seed: u64) -> Coarsening {
+    let n = g.num_vertices();
+    assert!(n > 0, "cannot coarsen an empty graph");
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    Xoshiro256StarStar::seed_from_u64(seed ^ 0xC0A4).shuffle(&mut order);
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<u32> = None;
+        for &u in g.neighbors(v) {
+            if mate[u as usize] == UNMATCHED {
+                best = match best {
+                    Some(b) if g.degree(b) <= g.degree(u) => Some(b),
+                    _ => Some(u),
+                };
+            }
+        }
+        if let Some(u) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+        } else {
+            mate[v as usize] = v; // matched with itself
+        }
+    }
+
+    // Assign coarse ids: the lower endpoint of each matched pair owns the
+    // coarse vertex; ids ascend with fine ids, preserving ordering locality.
+    let mut map = vec![0u32; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        let m = mate[v as usize];
+        if m >= v {
+            map[v as usize] = next;
+            next += 1;
+        } else {
+            map[v as usize] = map[m as usize];
+        }
+    }
+    let coarse_n = next as usize;
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(u, v)| (map[u as usize], map[v as usize]))
+        .filter(|&(a, b)| a != b)
+        .collect();
+    Coarsening {
+        coarse: crate::builder::build_from_edges(coarse_n, edges),
+        map,
+    }
+}
+
+/// A full coarsening hierarchy, finest first.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Graphs from finest (the input) to coarsest.
+    pub graphs: Vec<CsrGraph>,
+    /// `maps[l][v_fine] = v_coarse` between `graphs[l]` and `graphs[l+1]`.
+    pub maps: Vec<Vec<u32>>,
+}
+
+/// Builds a hierarchy by repeated matching contraction until the graph has
+/// at most `min_vertices` vertices, contraction stalls (a contraction that
+/// removes under 10% of vertices stops the process), or `max_levels` is
+/// reached.
+///
+/// # Panics
+/// Panics if `min_vertices` is zero.
+pub fn build_hierarchy(
+    g: &CsrGraph,
+    min_vertices: usize,
+    max_levels: usize,
+    seed: u64,
+) -> Hierarchy {
+    assert!(min_vertices > 0, "min_vertices must be positive");
+    let mut graphs = vec![g.clone()];
+    let mut maps = Vec::new();
+    for level in 0..max_levels {
+        let current = graphs.last().unwrap();
+        if current.num_vertices() <= min_vertices {
+            break;
+        }
+        let step = coarsen_matching(current, seed.wrapping_add(level as u64));
+        let shrink = step.coarse.num_vertices() as f64 / current.num_vertices() as f64;
+        if shrink > 0.9 {
+            break; // stalled (e.g. a star graph matches almost nothing)
+        }
+        maps.push(step.map);
+        graphs.push(step.coarse);
+    }
+    Hierarchy { graphs, maps }
+}
+
+impl Hierarchy {
+    /// Number of levels (≥ 1; level 0 is the input graph).
+    pub fn levels(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// The coarsest graph.
+    pub fn coarsest(&self) -> &CsrGraph {
+        self.graphs.last().expect("hierarchy is never empty")
+    }
+
+    /// Prolongs per-vertex values from level `l+1` to level `l` (each fine
+    /// vertex takes its coarse vertex's value).
+    ///
+    /// # Panics
+    /// Panics if `l+1` is out of range or sizes mismatch.
+    pub fn prolong(&self, l: usize, coarse_values: &[f64]) -> Vec<f64> {
+        let map = &self.maps[l];
+        assert_eq!(
+            coarse_values.len(),
+            self.graphs[l + 1].num_vertices(),
+            "coarse value length mismatch"
+        );
+        map.iter().map(|&c| coarse_values[c as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain, complete, grid2d, star};
+    use crate::prep::is_connected;
+
+    #[test]
+    fn matching_halves_a_chain() {
+        let g = chain(100);
+        let c = coarsen_matching(&g, 1);
+        // A path has a near-perfect matching: the coarse graph is between
+        // n/2 and ~0.7n vertices.
+        assert!(c.coarse.num_vertices() >= 50);
+        assert!(c.coarse.num_vertices() <= 70);
+        assert!(is_connected(&c.coarse));
+    }
+
+    #[test]
+    fn map_is_surjective_onto_coarse_ids() {
+        let g = grid2d(12, 12);
+        let c = coarsen_matching(&g, 3);
+        let mut seen = vec![false; c.coarse.num_vertices()];
+        for &m in &c.map {
+            seen[m as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coarse ids must all be used");
+    }
+
+    #[test]
+    fn contraction_preserves_connectivity() {
+        for g in [grid2d(20, 20), complete(30), chain(64)] {
+            let c = coarsen_matching(&g, 7);
+            assert!(is_connected(&c.coarse));
+        }
+    }
+
+    #[test]
+    fn coarse_edges_come_from_fine_edges() {
+        let g = grid2d(8, 8);
+        let c = coarsen_matching(&g, 5);
+        for (a, b) in c.coarse.edges() {
+            // There must exist a fine edge mapping onto (a, b).
+            let witness = g.edges().any(|(u, v)| {
+                let (mu, mv) = (c.map[u as usize], c.map[v as usize]);
+                (mu, mv) == (a, b) || (mv, mu) == (a, b)
+            });
+            assert!(witness, "coarse edge ({a},{b}) has no fine witness");
+        }
+    }
+
+    #[test]
+    fn hierarchy_reaches_target_size() {
+        let g = grid2d(40, 40);
+        let h = build_hierarchy(&g, 100, 20, 1);
+        assert!(h.coarsest().num_vertices() <= 100);
+        assert!(h.levels() >= 3);
+        // Sizes strictly decrease.
+        for w in h.graphs.windows(2) {
+            assert!(w[1].num_vertices() < w[0].num_vertices());
+        }
+    }
+
+    #[test]
+    fn hierarchy_stalls_gracefully_on_star() {
+        // A star matches only one pair per level from the hub; contraction
+        // stalls and the builder must stop rather than loop.
+        let g = star(1000);
+        let h = build_hierarchy(&g, 10, 50, 2);
+        assert!(h.levels() <= 3);
+    }
+
+    #[test]
+    fn prolong_broadcasts_coarse_values() {
+        let g = chain(10);
+        let h = build_hierarchy(&g, 4, 10, 3);
+        let coarse_vals: Vec<f64> = (0..h.graphs[1].num_vertices())
+            .map(|i| i as f64)
+            .collect();
+        let fine = h.prolong(0, &coarse_vals);
+        assert_eq!(fine.len(), 10);
+        for (v, &val) in fine.iter().enumerate() {
+            assert_eq!(val, coarse_vals[h.maps[0][v] as usize]);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Adjacency-list gap distributions with Fibonacci binning (Figure 2).
+//!
+//! For a vertex `u` with sorted adjacencies `v1 < v2 < … < vk`, the *gaps*
+//! are `v2−v1, …, vk−v(k−1)`. Gaps measure the memory locality of accesses
+//! of the form `S[v], v ∈ Adj(u)`: small gaps mean nearby cache lines. The
+//! paper plots a histogram of all gaps with bin widths from the Fibonacci
+//! sequence (Vigna's "Fibonacci binning"), and notes the identity
+//! `Σ counts = 2m − n` (which holds when every vertex has degree ≥ 1).
+
+use crate::csr::CsrGraph;
+use rayon::prelude::*;
+
+/// One Fibonacci histogram bin: counts gaps `g` with `lower ≤ g < upper`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GapBin {
+    /// Inclusive lower edge.
+    pub lower: u64,
+    /// Exclusive upper edge (a Fibonacci number).
+    pub upper: u64,
+    /// Number of gaps falling in `[lower, upper)`.
+    pub count: u64,
+}
+
+/// The gap histogram of a graph, Fibonacci-binned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GapDistribution {
+    /// Bins in ascending order. Trailing empty bins are trimmed.
+    pub bins: Vec<GapBin>,
+    /// Total number of gaps (`Σ counts`).
+    pub total: u64,
+}
+
+/// Fibonacci bin edges `x0=0, x1=1, x2=2, x3=3, x4=5, …` covering `max`.
+///
+/// Per the paper: `x0 = 0, x1 = 1, xi = x(i−1) + x(i−2)` — i.e. edges are
+/// 0, 1, 2 (= 1+1 via the degenerate start… the sequence used is 0, 1, 2,
+/// 3, 5, 8, 13, …). A plotted point `[xi, c]` counts gaps in `[x(i−1), xi)`.
+pub fn fibonacci_edges(max: u64) -> Vec<u64> {
+    let mut edges = vec![0u64, 1];
+    let (mut a, mut b) = (1u64, 2u64);
+    while edges.last().copied().unwrap() <= max {
+        edges.push(b);
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    edges
+}
+
+/// Computes the Fibonacci-binned adjacency-gap distribution of `g`
+/// (Figure 2). Parallel over vertices.
+pub fn gap_distribution(g: &CsrGraph) -> GapDistribution {
+    let n = g.num_vertices();
+    // Largest possible gap is n − 1.
+    let edges = fibonacci_edges(n.max(2) as u64);
+    let nbins = edges.len() - 1;
+
+    let counts = (0..n as u32)
+        .into_par_iter()
+        .fold(
+            || vec![0u64; nbins],
+            |mut acc, v| {
+                for w in g.neighbors(v).windows(2) {
+                    let gap = (w[1] - w[0]) as u64;
+                    // bin i covers [edges[i], edges[i+1]): find it by binary
+                    // search (partition_point gives first edge > gap).
+                    let i = edges.partition_point(|&e| e <= gap) - 1;
+                    acc[i.min(nbins - 1)] += 1;
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![0u64; nbins],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+
+    let mut bins: Vec<GapBin> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| GapBin { lower: edges[i], upper: edges[i + 1], count })
+        .collect();
+    while bins.last().is_some_and(|b| b.count == 0) {
+        bins.pop();
+    }
+    let total = counts.iter().sum();
+    GapDistribution { bins, total }
+}
+
+impl GapDistribution {
+    /// The paper's sanity identity: for a graph with minimum degree ≥ 1,
+    /// the number of gaps is `Σ_v (deg(v) − 1) = 2m − n`.
+    pub fn expected_total(g: &CsrGraph) -> u64 {
+        (0..g.num_vertices() as u32)
+            .map(|v| g.degree(v).saturating_sub(1) as u64)
+            .sum()
+    }
+
+    /// Fraction of gaps strictly below `threshold` — a scalar locality
+    /// score used by tests and the ordering experiments.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut below = 0u64;
+        for b in &self.bins {
+            if b.upper <= threshold {
+                below += b.count;
+            } else if b.lower < threshold {
+                // Partial bin: apportion uniformly (only used for scoring).
+                let span = (b.upper - b.lower) as f64;
+                let part = (threshold - b.lower) as f64;
+                below += (b.count as f64 * part / span) as u64;
+            }
+        }
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain, complete, grid2d};
+    use crate::order::shuffle_vertices;
+
+    #[test]
+    fn fib_edges_start_correctly() {
+        let e = fibonacci_edges(20);
+        assert_eq!(&e[..8], &[0, 1, 2, 3, 5, 8, 13, 21]);
+    }
+
+    #[test]
+    fn chain_gaps_are_all_two() {
+        // Interior vertices of a chain have neighbors v−1, v+1: gap 2.
+        let g = chain(100);
+        let d = gap_distribution(&g);
+        assert_eq!(d.total, 98); // n − 2 interior vertices
+        // All gaps are 2, which lives in bin [2, 3).
+        let bin2 = d.bins.iter().find(|b| b.lower == 2).unwrap();
+        assert_eq!(bin2.count, 98);
+        assert_eq!(d.total, GapDistribution::expected_total(&g));
+    }
+
+    #[test]
+    fn complete_graph_total_matches_identity() {
+        let g = complete(20);
+        let d = gap_distribution(&g);
+        // 2m − n = 2·190 − 20 = 360.
+        assert_eq!(d.total, 360);
+        assert_eq!(d.total, GapDistribution::expected_total(&g));
+        // All gaps in K_n are 1 except the skip over self (gap 2).
+        let ones = d.bins.iter().find(|b| b.lower == 1).unwrap().count;
+        let twos = d.bins.iter().find(|b| b.lower == 2).unwrap().count;
+        assert_eq!(ones + twos, 360);
+        assert_eq!(twos, 18); // each interior-diagonal vertex contributes one
+    }
+
+    #[test]
+    fn shuffling_destroys_grid_locality() {
+        let g = grid2d(60, 60);
+        let before = gap_distribution(&g).fraction_below(64);
+        let after = gap_distribution(&shuffle_vertices(&g, 1)).fraction_below(64);
+        assert!(
+            before > 0.4 && after < 0.2,
+            "locality before {before:.3}, after {after:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_adjacent_graph_has_zero_total() {
+        let g = crate::builder::build_from_edges(5, vec![]);
+        let d = gap_distribution(&g);
+        assert_eq!(d.total, 0);
+        assert!(d.bins.is_empty());
+        assert_eq!(d.fraction_below(10), 0.0);
+    }
+
+    #[test]
+    fn bins_partition_all_gaps() {
+        let g = grid2d(30, 30);
+        let d = gap_distribution(&g);
+        let sum: u64 = d.bins.iter().map(|b| b.count).sum();
+        assert_eq!(sum, d.total);
+        assert_eq!(d.total, GapDistribution::expected_total(&g));
+        // Bin edges are contiguous.
+        for w in d.bins.windows(2) {
+            assert_eq!(w[0].upper, w[1].lower);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Kronecker (R-MAT) graph generator — Graph500 / GAP `kron` analogue.
+//!
+//! Samples each edge by recursively descending `scale` levels of the 2×2
+//! initiator matrix with the Graph500 parameters A = 0.57, B = 0.19,
+//! C = 0.19, D = 0.05, then applies a random permutation to vertex ids — the
+//! paper relies on this shuffle when reading Figure 2: "the vertex
+//! identifiers are random shuffled in the graph generator", which destroys
+//! ordering locality just like `urand`.
+
+use crate::builder::build_from_edges;
+use crate::csr::CsrGraph;
+use parhde_util::{SplitMix64, Xoshiro256StarStar};
+use rayon::prelude::*;
+
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generates a Kronecker graph with `2^scale` vertices and a nominal
+/// `edgefactor · 2^scale` edges (Graph500 uses edgefactor 16), seeded by
+/// `seed`. Vertex identifiers are randomly permuted.
+///
+/// # Panics
+/// Panics if `scale == 0`, `scale > 31`, or `edgefactor == 0`.
+pub fn kron(scale: u32, edgefactor: usize, seed: u64) -> CsrGraph {
+    assert!(scale > 0 && scale <= 31, "scale must be in 1..=31");
+    assert!(edgefactor > 0, "edgefactor must be positive");
+    let n = 1usize << scale;
+    let target_edges = edgefactor * n;
+    const CHUNK: usize = 1 << 14;
+    let num_chunks = target_edges.div_ceil(CHUNK);
+    let base = SplitMix64::new(seed ^ 0x6b72_6f6e).next_u64();
+
+    // Random permutation of vertex ids (Fisher-Yates with the same seed).
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut prng = Xoshiro256StarStar::seed_from_u64(base ^ 0x5045_524d);
+    prng.shuffle(&mut perm);
+
+    let edges: Vec<(u32, u32)> = (0..num_chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let lo = c * CHUNK;
+            let hi = (lo + CHUNK).min(target_edges);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(
+                base ^ (c as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            );
+            let perm = &perm;
+            (lo..hi).map(move |_| {
+                let (mut u, mut v) = (0usize, 0usize);
+                for _ in 0..scale {
+                    u <<= 1;
+                    v <<= 1;
+                    let r = rng.next_f64();
+                    if r < A {
+                        // top-left quadrant: no bits set
+                    } else if r < A + B {
+                        v |= 1;
+                    } else if r < A + B + C {
+                        u |= 1;
+                    } else {
+                        u |= 1;
+                        v |= 1;
+                    }
+                }
+                (perm[u], perm[v])
+            })
+        })
+        .collect();
+    build_from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_is_deterministic() {
+        assert_eq!(kron(10, 8, 5), kron(10, 8, 5));
+    }
+
+    #[test]
+    fn kron_has_skewed_degrees() {
+        let g = kron(12, 16, 1);
+        let avg = g.average_degree();
+        let max = g.max_degree() as f64;
+        // Power-law-ish: the hub degree should dwarf the average.
+        assert!(
+            max > 8.0 * avg,
+            "expected skew: max {max} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn kron_loses_many_duplicate_edges() {
+        // R-MAT resamples hot quadrants, so dedup removes a noticeable
+        // fraction — realized m is clearly below nominal (as with GAP).
+        let g = kron(10, 16, 2);
+        let nominal = 16 << 10;
+        assert!(g.num_edges() < nominal);
+        assert!(g.num_edges() > nominal / 4);
+    }
+
+    #[test]
+    fn kron_validates_csr_invariants() {
+        let g = kron(8, 8, 3);
+        let _ = CsrGraph::new(g.offsets().to_vec(), g.adjacency().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn kron_rejects_zero_scale() {
+        kron(0, 16, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper's Table 2 collection mixes two GAP-generated synthetic graphs
+//! (urand27, kron27) with eight SuiteSparse matrices. The originals range up
+//! to 2.1 billion edges; this reproduction generates seeded analogues whose
+//! *structural* properties match what each graph is used to probe:
+//!
+//! | Paper graph | Analogue | Property probed |
+//! |---|---|---|
+//! | urand27 | [`urand`] | uniform degrees, zero locality, low diameter |
+//! | kron27 | [`kron`] | skewed degrees, shuffled ids, low diameter |
+//! | sk-2005 | [`web_locality`] | power-law + locality-friendly ordering |
+//! | twitter7 | [`pref_attach`] | heavy-tailed degrees, shuffled ids |
+//! | road_usa | [`geometric`] | tiny degrees, huge diameter |
+//! | ecology1 | [`grid2d`] | regular 2D stencil |
+//! | barth5 | [`mesh::mesh_with_holes`] | planar FEM mesh with holes (Figures 1/7/8) |
+//!
+//! Every generator takes an explicit seed and is deterministic; the
+//! benchmark harness pins seeds so tables are reproducible run-to-run.
+
+mod geometric;
+mod kron;
+mod mesh;
+mod pref_attach;
+mod simple;
+mod urand;
+mod web;
+
+pub use geometric::geometric;
+pub use kron::kron;
+pub use mesh::{barth5_like, mesh_with_holes};
+pub use pref_attach::pref_attach;
+pub use simple::{binary_tree, chain, complete, cycle, grid2d, star};
+pub use urand::urand;
+pub use web::web_locality;

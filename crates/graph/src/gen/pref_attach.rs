@@ -1,0 +1,102 @@
+//! Preferential-attachment generator — the twitter7 analogue.
+//!
+//! Barabási–Albert attachment yields the heavy-tailed degree distribution of
+//! social graphs; a final random permutation of vertex ids removes the
+//! temporal ordering locality, mirroring twitter7's unfavourable gap
+//! distribution in Figure 2.
+
+use crate::builder::build_from_edges;
+use crate::csr::CsrGraph;
+use parhde_util::{SplitMix64, Xoshiro256StarStar};
+
+/// Generates a preferential-attachment graph: vertices arrive one at a time
+/// and each connects to `attach` earlier vertices sampled with probability
+/// proportional to current degree (via the standard repeated-endpoint
+/// trick). Vertex ids are then randomly permuted.
+///
+/// # Panics
+/// Panics if `n == 0` or `attach == 0`.
+pub fn pref_attach(n: usize, attach: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "pref_attach requires n > 0");
+    assert!(attach > 0, "pref_attach requires attach > 0");
+    let mut rng =
+        Xoshiro256StarStar::seed_from_u64(SplitMix64::new(seed ^ 0x7477_6974).next_u64());
+
+    // `endpoints` holds every edge endpoint ever created; sampling an index
+    // uniformly from it samples a vertex ∝ degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * attach);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * attach);
+
+    // Seed clique among the first `attach + 1` vertices (or all of them for
+    // tiny n) so early sampling is well-defined.
+    let seed_k = (attach + 1).min(n);
+    for u in 0..seed_k as u32 {
+        for v in (u + 1)..seed_k as u32 {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in seed_k..n {
+        for _ in 0..attach {
+            let t = endpoints[rng.next_index(endpoints.len())];
+            edges.push((v as u32, t));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+
+    // Shuffle ids (destroys arrival-order locality, like twitter7).
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut perm);
+    for e in &mut edges {
+        *e = (perm[e.0 as usize], perm[e.1 as usize]);
+    }
+    build_from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::is_connected;
+
+    #[test]
+    fn pref_attach_is_deterministic() {
+        assert_eq!(pref_attach(500, 4, 1), pref_attach(500, 4, 1));
+    }
+
+    #[test]
+    fn pref_attach_is_connected() {
+        // Every new vertex attaches to an existing one, so the graph is
+        // connected by construction.
+        assert!(is_connected(&pref_attach(2000, 3, 7)));
+    }
+
+    #[test]
+    fn pref_attach_has_heavy_tail() {
+        let g = pref_attach(20_000, 8, 3);
+        let avg = g.average_degree();
+        let max = g.max_degree() as f64;
+        assert!(
+            max > 10.0 * avg,
+            "expected hub: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn pref_attach_edge_count() {
+        let n = 3000;
+        let attach = 5;
+        let g = pref_attach(n, attach, 2);
+        // seed clique 15 + (n - 6)·5 minus a few duplicate collisions
+        let nominal = 15 + (n - 6) * attach;
+        assert!(g.num_edges() <= nominal);
+        assert!(g.num_edges() as f64 > 0.9 * nominal as f64);
+    }
+
+    #[test]
+    fn pref_attach_tiny_n_is_clique() {
+        let g = pref_attach(3, 5, 1);
+        assert_eq!(g.num_edges(), 3); // K_3
+    }
+}

@@ -1,0 +1,165 @@
+//! Elementary deterministic graph families.
+//!
+//! Used throughout the test suites as worst/best cases the paper discusses:
+//! a linear [`chain`] is the paper's example of both the ideal gap
+//! distribution (Figure 2: "a gap of just 2 occurring n−2 times") and the
+//! worst case for level-synchronous BFS depth (§3: "consider a linear chain
+//! of vertices"); [`grid2d`] is the ecology1 analogue.
+
+use crate::builder::build_from_edges;
+use crate::csr::CsrGraph;
+
+/// Path graph `0 – 1 – … – n−1`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> CsrGraph {
+    assert!(n > 0, "chain requires n > 0");
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| (i as u32, (i + 1) as u32))
+        .collect();
+    build_from_edges(n, edges)
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle requires n ≥ 3");
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i as u32, (i + 1) as u32)).collect();
+    edges.push(((n - 1) as u32, 0));
+    build_from_edges(n, edges)
+}
+
+/// Star graph: vertex 0 adjacent to all others.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n > 0, "star requires n > 0");
+    let edges = (1..n).map(|i| (0, i as u32)).collect();
+    build_from_edges(n, edges)
+}
+
+/// Complete graph `K_n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> CsrGraph {
+    assert!(n > 0, "complete requires n > 0");
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    build_from_edges(n, edges)
+}
+
+/// Complete binary tree on `n` vertices (vertex `i` has children `2i+1`,
+/// `2i+2` where they exist).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn binary_tree(n: usize) -> CsrGraph {
+    assert!(n > 0, "binary_tree requires n > 0");
+    let edges = (1..n).map(|i| (((i - 1) / 2) as u32, i as u32)).collect();
+    build_from_edges(n, edges)
+}
+
+/// `rows × cols` 2D grid with 4-neighbor (von Neumann) connectivity and
+/// row-major vertex ids — the ecology1 analogue (ecology1 is a 1000×1000
+/// 5-point-stencil matrix).
+///
+/// # Panics
+/// Panics if either dimension is 0.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid2d requires positive dimensions");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    build_from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::is_connected;
+
+    #[test]
+    fn chain_structure() {
+        let g = chain(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn chain_of_one_is_a_single_vertex() {
+        let g = chain(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!((0..6u32).all(|v| g.degree(v) == 2));
+        assert!(g.has_edge(5, 0));
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10u32).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!((0..6u32).all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3); // parent 0, children 3 and 4
+        assert_eq!(g.degree(6), 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8 = 17.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (row 1, col 1)
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_degenerate_line() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_edges(), 4); // equals chain(5)
+    }
+}

@@ -1,0 +1,93 @@
+//! Uniform random graph generator (GAP `-u` analogue).
+//!
+//! Produces the Erdős–Rényi-style G(n, m) graphs the GAP Benchmark Suite
+//! generates for `urand`: `degree·n/2` edges with endpoints drawn uniformly
+//! at random. Self-loops and duplicates are dropped during CSR construction,
+//! so the realized edge count is slightly below the nominal one, exactly as
+//! with GAP's generator after the paper's preprocessing.
+
+use crate::builder::build_from_edges;
+use crate::csr::CsrGraph;
+use parhde_util::{SplitMix64, Xoshiro256StarStar};
+use rayon::prelude::*;
+
+/// Generates a uniform random graph with `n` vertices and a nominal average
+/// degree of `degree` (so `n·degree/2` sampled edges), seeded by `seed`.
+///
+/// Edge sampling is parallel: the edge range is split into chunks and each
+/// chunk derives an independent PRNG stream from `(seed, chunk_index)`, so
+/// output is deterministic regardless of thread count.
+///
+/// # Panics
+/// Panics if `n == 0` or `degree == 0`.
+pub fn urand(n: usize, degree: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "urand requires n > 0");
+    assert!(degree > 0, "urand requires degree > 0");
+    let target_edges = n * degree / 2;
+    const CHUNK: usize = 1 << 14;
+    let num_chunks = target_edges.div_ceil(CHUNK);
+    let edges: Vec<(u32, u32)> = (0..num_chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let lo = c * CHUNK;
+            let hi = (lo + CHUNK).min(target_edges);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(
+                SplitMix64::new(seed ^ 0x7572_616e_6400).next_u64() ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            (lo..hi).map(move |_| {
+                (
+                    rng.next_index(n) as u32,
+                    rng.next_index(n) as u32,
+                )
+            })
+        })
+        .collect();
+    build_from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urand_is_deterministic() {
+        let a = urand(1000, 8, 42);
+        let b = urand(1000, 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn urand_seed_changes_output() {
+        let a = urand(1000, 8, 1);
+        let b = urand(1000, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn urand_edge_count_near_nominal() {
+        let n = 10_000;
+        let g = urand(n, 16, 7);
+        let nominal = n * 16 / 2;
+        // A few collisions/self-loops are removed; expect within 1%.
+        assert!(g.num_edges() <= nominal);
+        assert!(
+            g.num_edges() as f64 > nominal as f64 * 0.99,
+            "too many lost edges: {} of {}",
+            g.num_edges(),
+            nominal
+        );
+    }
+
+    #[test]
+    fn urand_degrees_are_roughly_uniform() {
+        let g = urand(5000, 16, 3);
+        // Binomial(≈16): max degree should stay well below a power-law tail.
+        assert!(g.max_degree() < 64, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn urand_validates_csr_invariants() {
+        let g = urand(300, 6, 11);
+        let _ = CsrGraph::new(g.offsets().to_vec(), g.adjacency().to_vec());
+    }
+}

@@ -1,0 +1,114 @@
+//! Web-crawl-like generator with ordering locality — the sk-2005 analogue.
+//!
+//! sk-2005 is the paper's showcase for vertex-ordering locality: its crawl
+//! order gives adjacency-list gaps concentrated at small values (Figure 2),
+//! which makes the `LS` SpMM step "much faster than expected" (§4.4) — and
+//! randomly permuting its ids slows LS by 6.8×. This generator reproduces
+//! that property: most links are *local* (geometrically distributed gaps,
+//! like links within a site) and a minority are *global* copies of earlier
+//! vertices' links (producing a skewed in-degree tail, like popular pages).
+
+use crate::builder::build_from_edges;
+use crate::csr::CsrGraph;
+use parhde_util::{SplitMix64, Xoshiro256StarStar};
+
+/// Fraction of links that are near-neighbor ("same host") links.
+const LOCAL_FRACTION: f64 = 0.85;
+/// Mean gap of a local link (geometric distribution).
+const LOCAL_MEAN_GAP: f64 = 12.0;
+
+/// Generates a web-like graph on `n` vertices with ≈`degree·n/2` edges in
+/// which vertex ids carry strong locality, plus a power-law-ish tail from
+/// copied links.
+///
+/// # Panics
+/// Panics if `n < 2` or `degree == 0`.
+pub fn web_locality(n: usize, degree: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "web_locality requires n ≥ 2");
+    assert!(degree > 0, "web_locality requires degree > 0");
+    let mut rng =
+        Xoshiro256StarStar::seed_from_u64(SplitMix64::new(seed ^ 0x0077_6562).next_u64());
+    let links_per_vertex = degree.div_ceil(2).max(1);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * links_per_vertex);
+    // `targets` accumulates link targets for degree-proportional copying.
+    let mut targets: Vec<u32> = Vec::with_capacity(n * links_per_vertex);
+    let p = 1.0 / LOCAL_MEAN_GAP;
+
+    for v in 1..n as u32 {
+        for _ in 0..links_per_vertex {
+            let local = rng.next_f64() < LOCAL_FRACTION || targets.is_empty();
+            let t = if local {
+                // Geometric gap ≥ 1, clamped to valid ids below v.
+                let g = (rng.next_f64().ln() / (1.0 - p).ln()).ceil().max(1.0);
+                let gap = (g as u64).min(v as u64) as u32;
+                v - gap
+            } else {
+                // Copy: re-link to a target sampled ∝ its in-link count.
+                targets[rng.next_index(targets.len())]
+            };
+            if t != v {
+                edges.push((v, t));
+                targets.push(t);
+            }
+        }
+    }
+    build_from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_is_deterministic() {
+        assert_eq!(web_locality(3000, 8, 4), web_locality(3000, 8, 4));
+    }
+
+    #[test]
+    fn web_ordering_has_strong_locality() {
+        let g = web_locality(20_000, 10, 1);
+        let mut small = 0usize;
+        let mut total = 0usize;
+        for v in 0..g.num_vertices() as u32 {
+            for w in g.neighbors(v).windows(2) {
+                total += 1;
+                if w[1] - w[0] <= 64 {
+                    small += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = small as f64 / total as f64;
+        assert!(
+            frac > 0.5,
+            "only {frac:.2} of gaps are ≤ 64; locality missing"
+        );
+    }
+
+    #[test]
+    fn web_has_degree_skew() {
+        let g = web_locality(20_000, 10, 2);
+        assert!(
+            g.max_degree() as f64 > 5.0 * g.average_degree(),
+            "max {} vs avg {}",
+            g.max_degree(),
+            g.average_degree()
+        );
+    }
+
+    #[test]
+    fn web_edge_count_near_nominal() {
+        let n = 10_000;
+        let g = web_locality(n, 10, 3);
+        // links_per_vertex = 5 per vertex; duplicates reduce this somewhat
+        // (local gaps collide), but should stay within 2×.
+        assert!(g.num_edges() > n * 5 / 2);
+        assert!(g.num_edges() <= n * 5);
+    }
+
+    #[test]
+    fn web_validates_csr_invariants() {
+        let g = web_locality(400, 6, 9);
+        let _ = CsrGraph::new(g.offsets().to_vec(), g.adjacency().to_vec());
+    }
+}

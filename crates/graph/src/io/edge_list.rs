@@ -1,0 +1,111 @@
+//! Plain-text edge-list parsing.
+//!
+//! One edge per line, whitespace-separated 0-indexed endpoints with an
+//! optional weight: `u v` or `u v w`. Lines starting with `#` or `%` are
+//! comments. The number of vertices is one more than the largest endpoint
+//! unless `min_vertices` raises it.
+
+use crate::builder::{build_from_edges, build_weighted_from_edges};
+use crate::csr::{CsrGraph, WeightedCsr};
+
+/// Parses an unweighted edge list (extra columns ignored).
+///
+/// # Errors
+/// Returns a message naming the first malformed line.
+pub fn parse_edge_list(text: &str, min_vertices: usize) -> Result<CsrGraph, String> {
+    let mut edges = Vec::new();
+    let mut n = min_vertices;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: bad source in {line:?}", i + 1))?;
+        let v: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: bad target in {line:?}", i + 1))?;
+        n = n.max(u as usize + 1).max(v as usize + 1);
+        edges.push((u, v));
+    }
+    Ok(build_from_edges(n, edges))
+}
+
+/// Parses a weighted edge list; missing weight columns default to 1.
+///
+/// # Errors
+/// Returns a message naming the first malformed line.
+pub fn parse_weighted_edge_list(
+    text: &str,
+    min_vertices: usize,
+) -> Result<WeightedCsr, String> {
+    let mut edges = Vec::new();
+    let mut n = min_vertices;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: bad source in {line:?}", i + 1))?;
+        let v: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: bad target in {line:?}", i + 1))?;
+        let w: f64 = match it.next() {
+            None => 1.0,
+            Some(t) => t
+                .parse()
+                .map_err(|_| format!("line {}: bad weight in {line:?}", i + 1))?,
+        };
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(format!("line {}: weight must be finite ≥ 0", i + 1));
+        }
+        n = n.max(u as usize + 1).max(v as usize + 1);
+        edges.push((u, v, w));
+    }
+    Ok(build_weighted_from_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_list() {
+        let g = parse_edge_list("0 1\n1 2\n# comment\n\n2 0\n", 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated() {
+        let g = parse_edge_list("0 1\n", 5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_edge_list("0 x\n", 0).is_err());
+        assert!(parse_edge_list("0\n", 0).is_err());
+    }
+
+    #[test]
+    fn weighted_defaults_to_unit() {
+        let w = parse_weighted_edge_list("0 1 2.5\n1 2\n", 0).unwrap();
+        assert_eq!(w.weight(0, 1), Some(2.5));
+        assert_eq!(w.weight(1, 2), Some(1.0));
+    }
+
+    #[test]
+    fn weighted_rejects_negative() {
+        assert!(parse_weighted_edge_list("0 1 -3\n", 0).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Matrix Market (`.mtx`) coordinate-format parsing and writing.
+//!
+//! Supports the subset the SuiteSparse graph corpus uses: `matrix
+//! coordinate` with `pattern`, `real`, or `integer` fields and `general` or
+//! `symmetric` symmetry. Entries are 1-indexed. Parsed entries become an
+//! undirected edge list: direction is ignored (paper §4.1), diagonal entries
+//! (self-loops) are dropped by the downstream builder, and for weighted
+//! reads the absolute value is used (SuiteSparse matrices can carry signed
+//! values; similarity weights must be non-negative, §2.1).
+
+use crate::builder::{build_from_edges, build_weighted_from_edges};
+use crate::csr::{CsrGraph, WeightedCsr};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixMarketError {
+    /// The header line is missing or not `%%MatrixMarket matrix coordinate …`.
+    BadHeader(String),
+    /// An unsupported field or symmetry qualifier.
+    Unsupported(String),
+    /// A malformed size or entry line (line number, content).
+    BadLine(usize, String),
+    /// Entry indices out of the declared dimensions.
+    OutOfRange(usize),
+}
+
+impl std::fmt::Display for MatrixMarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader(h) => write!(f, "bad MatrixMarket header: {h}"),
+            Self::Unsupported(q) => write!(f, "unsupported MatrixMarket qualifier: {q}"),
+            Self::BadLine(ln, s) => write!(f, "malformed line {ln}: {s}"),
+            Self::OutOfRange(ln) => write!(f, "index out of range on line {ln}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixMarketError {}
+
+struct Parsed {
+    n: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+fn parse(text: &str) -> Result<Parsed, MatrixMarketError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MatrixMarketError::BadHeader("<empty input>".into()))?;
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(MatrixMarketError::BadHeader(header.into()));
+    }
+    if toks[2] != "coordinate" {
+        return Err(MatrixMarketError::Unsupported(toks[2].clone()));
+    }
+    let field = toks[3].as_str();
+    if !matches!(field, "pattern" | "real" | "integer") {
+        return Err(MatrixMarketError::Unsupported(field.into()));
+    }
+    let symmetry = toks[4].as_str();
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(MatrixMarketError::Unsupported(symmetry.into()));
+    }
+
+    // Size line: first non-comment line.
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if size.is_none() {
+            let r: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
+            let c: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
+            let nnz: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
+            size = Some((r, c, nnz));
+            entries.reserve(nnz);
+            continue;
+        }
+        let (rows, cols, _) = size.unwrap();
+        let r: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
+        let c: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(MatrixMarketError::OutOfRange(i + 1));
+        }
+        let w: f64 = if field == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .and_then(|t| t.parse::<f64>().ok())
+                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?
+                .abs()
+        };
+        entries.push(((r - 1) as u32, (c - 1) as u32, w));
+    }
+    let (rows, cols, _) = size.ok_or_else(|| {
+        MatrixMarketError::BadLine(0, "missing size line".into())
+    })?;
+    // Treat the matrix as the adjacency of a graph on max(rows, cols)
+    // vertices (square matrices in practice).
+    Ok(Parsed { n: rows.max(cols), entries })
+}
+
+/// Parses a Matrix Market text into an unweighted, undirected, simple
+/// [`CsrGraph`] (weights ignored; direction ignored; loops dropped).
+pub fn parse_matrix_market(text: &str) -> Result<CsrGraph, MatrixMarketError> {
+    let p = parse(text)?;
+    let edges: Vec<(u32, u32)> = p.entries.iter().map(|&(u, v, _)| (u, v)).collect();
+    Ok(build_from_edges(p.n, edges))
+}
+
+/// Parses a Matrix Market text into a weighted undirected graph
+/// (`pattern` files get unit weights; values are taken by absolute value;
+/// when duplicates disagree, the smaller weight wins).
+pub fn parse_matrix_market_weighted(text: &str) -> Result<WeightedCsr, MatrixMarketError> {
+    let p = parse(text)?;
+    Ok(build_weighted_from_edges(p.n, p.entries))
+}
+
+/// Writes an unweighted graph as a symmetric pattern Matrix Market text
+/// (lower-triangular entries, 1-indexed).
+pub fn write_matrix_market(g: &CsrGraph) -> String {
+    let mut out = String::new();
+    out.push_str("%%MatrixMarket matrix coordinate pattern symmetric\n");
+    out.push_str(&format!(
+        "{} {} {}\n",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_edges()
+    ));
+    for (u, v) in g.edges() {
+        // symmetric format stores the lower triangle: row ≥ col.
+        out.push_str(&format!("{} {}\n", v + 1, u + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid2d;
+
+    const TRIANGLE: &str = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                            % a comment\n\
+                            3 3 3\n\
+                            2 1\n\
+                            3 1\n\
+                            3 2\n";
+
+    #[test]
+    fn parses_symmetric_pattern() {
+        let g = parse_matrix_market(TRIANGLE).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn parses_general_real_with_duplicates_and_loops() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 5\n\
+                    1 2 1.5\n\
+                    2 1 1.5\n\
+                    1 1 9.0\n\
+                    2 3 -2.0\n\
+                    3 2 2.0\n";
+        let g = parse_matrix_market(text).unwrap();
+        assert_eq!(g.num_edges(), 2); // loop dropped, duplicates merged
+        let w = parse_matrix_market_weighted(text).unwrap();
+        assert_eq!(w.weight(1, 2), Some(2.0)); // |-2.0|
+        assert_eq!(w.weight(0, 1), Some(1.5));
+    }
+
+    #[test]
+    fn roundtrip_write_then_parse() {
+        let g = grid2d(7, 5);
+        let text = write_matrix_market(&g);
+        let h = parse_matrix_market(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_matrix_market("%%NotMM\n1 1 0\n"),
+            Err(MatrixMarketError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_complex() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n";
+        assert!(matches!(
+            parse_matrix_market(text),
+            Err(MatrixMarketError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(matches!(
+            parse_matrix_market(text),
+            Err(MatrixMarketError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n";
+        assert!(matches!(
+            parse_matrix_market(text),
+            Err(MatrixMarketError::BadLine(..))
+        ));
+    }
+
+    #[test]
+    fn pattern_weighted_gets_unit_weights() {
+        let w = parse_matrix_market_weighted(TRIANGLE).unwrap();
+        assert_eq!(w.weight(0, 1), Some(1.0));
+    }
+}

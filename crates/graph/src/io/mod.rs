@@ -1,0 +1,18 @@
+//! Graph input/output.
+//!
+//! * [`matrix_market`] — the SuiteSparse collection's exchange format; the
+//!   paper's non-synthetic inputs are all MatrixMarket files. Symmetric and
+//!   general, `pattern`/`real`/`integer` fields are supported; the parsed
+//!   edge list then goes through the standard preprocessing pipeline.
+//! * [`edge_list`] — whitespace-separated `u v [w]` text lines.
+//! * [`binary`] — a fast seekless binary CSR snapshot (magic + counts +
+//!   raw arrays, little-endian) so large generated graphs can be cached
+//!   between benchmark runs.
+
+pub mod binary;
+pub mod edge_list;
+pub mod matrix_market;
+
+pub use binary::{read_csr_binary, write_csr_binary};
+pub use edge_list::{parse_edge_list, parse_weighted_edge_list};
+pub use matrix_market::{parse_matrix_market, write_matrix_market, MatrixMarketError};

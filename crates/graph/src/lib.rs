@@ -1,0 +1,56 @@
+//! Graph substrate for the ParHDE reproduction.
+//!
+//! The paper (§3.1) stores graphs "in a compressed sparse row (CSR)-like
+//! format" and, for unweighted graphs, never materializes weights or the
+//! Laplacian. This crate provides that representation plus everything needed
+//! to produce the paper's inputs:
+//!
+//! * [`csr`] — the immutable [`CsrGraph`] adjacency structure and the
+//!   weighted companion [`csr::WeightedCsr`] used by Δ-stepping SSSP.
+//! * [`builder`] — edge-list ingestion with the preprocessing the paper
+//!   applies (§4.1): drop self-loops and parallel edges, ignore direction.
+//! * [`prep`] — largest-connected-component extraction with
+//!   order-preserving relabeling, plus induced-subgraph and k-hop
+//!   neighborhood extraction (used by the "zoom" feature, §4.5.2).
+//! * [`gen`] — seeded synthetic generators standing in for the paper's
+//!   Table 2 collection (GAP urand/kron plus SuiteSparse-like analogues).
+//! * [`order`] — vertex reorderings (random shuffle, BFS, degree) for the
+//!   §4.4 locality experiments.
+//! * [`gaps`] — adjacency-gap distributions with Fibonacci binning
+//!   (Figure 2).
+//! * [`io`] — Matrix Market and edge-list text formats and a fast binary
+//!   snapshot format.
+//! * [`coarsen`] — matching-based coarsening hierarchies (the multilevel
+//!   substrate).
+//! * [`report`] — one-pass structural profiles (size, skew, diameter,
+//!   ordering locality).
+//!
+//! # Example
+//!
+//! ```
+//! use parhde_graph::builder::build_from_edges;
+//! use parhde_graph::prep::largest_component;
+//!
+//! // Messy input: duplicates, a self-loop, two components.
+//! let g = build_from_edges(6, vec![(0, 1), (1, 0), (1, 1), (1, 2), (4, 5)]);
+//! assert_eq!(g.num_edges(), 3);                       // cleaned
+//! let lcc = largest_component(&g);
+//! assert_eq!(lcc.graph.num_vertices(), 3);            // {0, 1, 2}
+//! assert_eq!(lcc.old_ids, vec![0, 1, 2]);             // order preserved
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coarsen;
+pub mod csr;
+pub mod decompose;
+pub mod gaps;
+pub mod gen;
+pub mod io;
+pub mod order;
+pub mod prep;
+pub mod report;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, WeightedCsr};

@@ -1,0 +1,123 @@
+//! The shared BFS phase: produce the distance matrix `B ∈ R^{n×s}`.
+//!
+//! ParHDE, PHDE and PivotMDS all begin identically (compare Algorithms 2
+//! and 3): `s` BFS traversals from pivots chosen either by the
+//! farthest-first k-centers heuristic or uniformly at random. This module
+//! hosts that phase once; the pipelines differ only in what they do with
+//! `B` afterwards.
+
+use crate::config::PivotStrategy;
+use crate::pivots::{farthest_vertex, fold_min_distance};
+use crate::stats::{phase, HdeStats};
+use parhde_bfs::direction_opt::bfs_direction_opt_into_f64;
+use parhde_bfs::multi::bfs_multi_source_into_f64;
+use parhde_bfs::serial::bfs_serial_into_f64;
+use parhde_graph::CsrGraph;
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_util::{Timer, Xoshiro256StarStar};
+
+/// Runs the BFS phase: fills and returns `B` (one distance column per
+/// pivot), recording pivots, phase times, and traversal statistics into
+/// `stats`. `rng` supplies the random start vertex / random pivots.
+///
+/// When `parallel_bfs` is false every traversal is the sequential queue
+/// BFS (the prior-work configuration of Table 3); the k-centers strategy is
+/// otherwise identical.
+///
+/// # Panics
+/// Panics if the graph is not connected.
+pub(crate) fn run_bfs_phase(
+    g: &CsrGraph,
+    s: usize,
+    strategy: PivotStrategy,
+    rng: &mut Xoshiro256StarStar,
+    parallel_bfs: bool,
+    stats: &mut HdeStats,
+) -> ColMajorMatrix {
+    let n = g.num_vertices();
+    let mut b = ColMajorMatrix::zeros(n, s);
+    match strategy {
+        PivotStrategy::KCenters => {
+            let mut min_dist = vec![f64::INFINITY; n];
+            let mut src = rng.next_index(n) as u32;
+            for i in 0..s {
+                stats.sources.push(src);
+                let t = Timer::start();
+                let reached = if parallel_bfs {
+                    let (reached, trav) =
+                        bfs_direction_opt_into_f64(g, src, b.col_mut(i));
+                    crate::parhde::accumulate(&mut stats.traversal, trav);
+                    reached
+                } else {
+                    bfs_serial_into_f64(g, src, b.col_mut(i))
+                };
+                stats.phases.add(phase::BFS, t.elapsed());
+                crate::parhde::assert_connected(reached, n);
+                let t = Timer::start();
+                fold_min_distance(&mut min_dist, b.col(i));
+                src = farthest_vertex(&min_dist);
+                stats.phases.add(phase::BFS_OTHER, t.elapsed());
+            }
+        }
+        PivotStrategy::Random => {
+            let t = Timer::start();
+            let sources: Vec<u32> = rng
+                .sample_distinct(n, s)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+            stats.sources = sources.clone();
+            stats.phases.add(phase::BFS_OTHER, t.elapsed());
+            let t = Timer::start();
+            let mut cols = b.columns_mut();
+            let reached = bfs_multi_source_into_f64(g, &sources, &mut cols);
+            stats.phases.add(phase::BFS, t.elapsed());
+            crate::parhde::assert_connected(reached[0], n);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_graph::gen::grid2d;
+
+    #[test]
+    fn kcenters_phase_fills_all_columns() {
+        let g = grid2d(10, 10);
+        let mut stats = HdeStats::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let b = run_bfs_phase(&g, 5, PivotStrategy::KCenters, &mut rng, true, &mut stats);
+        assert_eq!(b.cols(), 5);
+        assert_eq!(stats.sources.len(), 5);
+        // Every column holds finite distances with a zero at its source.
+        for (i, &src) in stats.sources.iter().enumerate() {
+            assert_eq!(b.get(src as usize, i), 0.0);
+            assert!(b.col(i).iter().all(|d| d.is_finite()));
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_phases_agree() {
+        let g = grid2d(9, 9);
+        let mut sa = HdeStats::default();
+        let mut sb = HdeStats::default();
+        let mut ra = Xoshiro256StarStar::seed_from_u64(2);
+        let mut rb = Xoshiro256StarStar::seed_from_u64(2);
+        let ba = run_bfs_phase(&g, 4, PivotStrategy::KCenters, &mut ra, true, &mut sa);
+        let bb = run_bfs_phase(&g, 4, PivotStrategy::KCenters, &mut rb, false, &mut sb);
+        assert_eq!(sa.sources, sb.sources);
+        assert_eq!(ba.data(), bb.data());
+    }
+
+    #[test]
+    fn random_phase_uses_distinct_sources() {
+        let g = grid2d(8, 8);
+        let mut stats = HdeStats::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let _ = run_bfs_phase(&g, 6, PivotStrategy::Random, &mut rng, true, &mut stats);
+        let set: std::collections::HashSet<_> = stats.sources.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Configuration for the ParHDE pipeline and its variants.
+
+/// How pivot (source) vertices are selected for the BFS phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PivotStrategy {
+    /// Farthest-first 2-approximation to k-centers (Algorithm 3 line 8):
+    /// each next source is the vertex maximizing the minimum distance to all
+    /// previous sources. BFSes are serialized (each internally parallel)
+    /// because of the dependency between iterations.
+    KCenters,
+    /// Uniformly random distinct pivots chosen up front; the BFSes are
+    /// independent, so "threads concurrently perform multiple BFSes" (§4.4,
+    /// Table 6). Wins for small graphs and when `s` exceeds thread count.
+    Random,
+}
+
+/// Which Gram-Schmidt procedure the DOrtho phase uses (Table 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrthoMethod {
+    /// Modified Gram-Schmidt, BLAS-1 only — the paper's default.
+    Mgs,
+    /// Classical Gram-Schmidt, BLAS-2 — consistently ~2–3× faster, but
+    /// requires all distance vectors precomputed.
+    Cgs,
+}
+
+/// Configuration of a ParHDE run.
+#[derive(Clone, Debug)]
+pub struct ParHdeConfig {
+    /// Subspace dimension `s` — the number of BFS pivots. The paper uses
+    /// `s = 10` for timing tables and notes `s = 50` is a common layout
+    /// choice.
+    pub subspace: usize,
+    /// Pivot selection strategy.
+    pub pivots: PivotStrategy,
+    /// Gram-Schmidt variant for DOrtho.
+    pub ortho: OrthoMethod,
+    /// `true` (default) for D-orthogonalization — approximating the
+    /// generalized eigenproblem `Lx = μDx` (degree-normalized vectors).
+    /// `false` for plain orthogonalization — approximating the Laplacian
+    /// eigenvectors instead (§4.5.1; "for graphs with uniform degree
+    /// distributions the results are more or less identical").
+    pub d_orthogonalize: bool,
+    /// PRNG seed for the start vertex / random pivots.
+    pub seed: u64,
+    /// Degenerate-vector drop threshold (Algorithm 3 line 12; paper: 1e-3).
+    pub drop_tolerance: f64,
+    /// `false` (default): project the layout from the orthonormal basis,
+    /// `[x, y] = S·Y` — the formulation of Koren's subspace optimization.
+    /// `true`: project from the raw distance matrix, `[x, y] = B·Y`, the
+    /// literal final line of the paper's Algorithm 1/3 listings. The two
+    /// differ by the (triangular) Gram-Schmidt change of basis; `S·Y` is
+    /// used by default because it is the mathematically consistent
+    /// projection for the subspace eigenproblem (see DESIGN.md).
+    pub project_from_raw: bool,
+}
+
+impl Default for ParHdeConfig {
+    fn default() -> Self {
+        Self {
+            subspace: 10,
+            pivots: PivotStrategy::KCenters,
+            ortho: OrthoMethod::Mgs,
+            d_orthogonalize: true,
+            seed: 0x9a_7de,
+            drop_tolerance: 1e-3,
+            project_from_raw: false,
+        }
+    }
+}
+
+impl ParHdeConfig {
+    /// A config with the given subspace dimension, other fields default.
+    pub fn with_subspace(s: usize) -> Self {
+        Self { subspace: s, ..Self::default() }
+    }
+
+    /// Validates parameter sanity against a graph of `n` vertices.
+    ///
+    /// # Panics
+    /// Panics if `subspace` is 0 or ≥ `n`, or the tolerance is negative.
+    pub fn validate(&self, n: usize) {
+        assert!(self.subspace > 0, "subspace dimension must be positive");
+        assert!(
+            self.subspace < n,
+            "subspace dimension {} must be below n = {n}",
+            self.subspace
+        );
+        assert!(self.drop_tolerance >= 0.0, "drop tolerance must be ≥ 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ParHdeConfig::default();
+        assert_eq!(c.subspace, 10);
+        assert_eq!(c.pivots, PivotStrategy::KCenters);
+        assert_eq!(c.ortho, OrthoMethod::Mgs);
+        assert!(c.d_orthogonalize);
+        assert_eq!(c.drop_tolerance, 1e-3);
+    }
+
+    #[test]
+    fn with_subspace_overrides() {
+        assert_eq!(ParHdeConfig::with_subspace(50).subspace, 50);
+    }
+
+    #[test]
+    fn validate_accepts_sane() {
+        ParHdeConfig::default().validate(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn validate_rejects_oversized_subspace() {
+        ParHdeConfig::with_subspace(10).validate(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn validate_rejects_zero_subspace() {
+        ParHdeConfig::with_subspace(0).validate(10);
+    }
+}

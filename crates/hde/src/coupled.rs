@@ -1,0 +1,170 @@
+//! Coupled BFS + D-orthogonalization (§4.4).
+//!
+//! Table 7's discussion notes that CGS "requires all distance vectors to be
+//! precomputed ... whereas the default procedure can also be executed with
+//! a coupled BFS and D-orthogonalization steps". The coupled schedule
+//! orthogonalizes each distance vector the moment its BFS completes,
+//! overlapping the O(s²n) DOrtho work across the BFS phase instead of
+//! concentrating it afterwards — attractive for streaming/incremental use,
+//! with byte-identical results to the decoupled MGS pipeline (same
+//! operations in the same order). Pivot selection still folds the *raw*
+//! distances, so the k-centers sequence is unchanged.
+
+use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::layout::Layout;
+use crate::parhde::{accumulate, assert_connected, subspace_axes};
+use crate::pivots::{farthest_vertex, fold_min_distance};
+use crate::stats::{phase, HdeStats};
+use parhde_bfs::direction_opt::bfs_direction_opt_into_f64;
+use parhde_graph::CsrGraph;
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::gemm::{a_small, at_b};
+use parhde_linalg::ortho::mgs_step;
+use parhde_linalg::spmm::laplacian_spmm;
+use parhde_util::{Timer, Xoshiro256StarStar};
+
+/// Runs ParHDE with the coupled BFS/DOrtho schedule.
+///
+/// Only the k-centers pivot strategy and MGS are compatible with coupling
+/// (random pivots batch all BFSes; CGS needs the full matrix).
+///
+/// # Panics
+/// Panics like [`crate::par_hde`], or if the configuration requests random
+/// pivots, CGS, or raw-basis projection.
+pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
+    let n = g.num_vertices();
+    cfg.validate(n);
+    assert_eq!(
+        cfg.pivots,
+        PivotStrategy::KCenters,
+        "coupled mode requires k-centers pivots"
+    );
+    assert_eq!(cfg.ortho, OrthoMethod::Mgs, "coupled mode requires MGS");
+    assert!(
+        !cfg.project_from_raw,
+        "coupled mode discards raw distance columns; use the S-basis projection"
+    );
+    let s = cfg.subspace;
+    let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+
+    let t = Timer::start();
+    let mut smat = ColMajorMatrix::zeros(n, s + 1);
+    smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
+    let degrees = g.degree_vector();
+    let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
+    // Process the constant column through the same MGS step the decoupled
+    // pipeline uses, so the floating-point operation sequence (and thus the
+    // result) is bit-identical.
+    let mut kept: Vec<usize> = Vec::with_capacity(s + 1);
+    let kept0 = mgs_step(&mut smat, &kept, 0, weights, cfg.drop_tolerance);
+    debug_assert!(kept0, "the constant column has unit norm");
+    kept.push(0);
+    let mut dropped = 0usize;
+    let mut raw = vec![0.0f64; n];
+    let mut min_dist = vec![f64::INFINITY; n];
+    let mut src = rng.next_index(n) as u32;
+    stats.phases.add(phase::INIT, t.elapsed());
+
+    for i in 1..=s {
+        stats.sources.push(src);
+        // BFS straight into a raw buffer (pivot selection needs raw
+        // distances; the S column gets the orthogonalized version).
+        let t = Timer::start();
+        let (reached, trav) = bfs_direction_opt_into_f64(g, src, &mut raw);
+        stats.phases.add(phase::BFS, t.elapsed());
+        accumulate(&mut stats.traversal, trav);
+        assert_connected(reached, n);
+
+        let t = Timer::start();
+        fold_min_distance(&mut min_dist, &raw);
+        src = farthest_vertex(&min_dist);
+        stats.phases.add(phase::BFS_OTHER, t.elapsed());
+
+        // Coupled DOrtho: orthogonalize this column immediately.
+        let t = Timer::start();
+        smat.col_mut(i).copy_from_slice(&raw);
+        if mgs_step(&mut smat, &kept, i, weights, cfg.drop_tolerance) {
+            kept.push(i);
+        } else {
+            dropped += 1;
+        }
+        stats.phases.add(phase::DORTHO, t.elapsed());
+    }
+
+    // Compact to the kept non-constant columns.
+    let t = Timer::start();
+    smat.retain_columns(&kept);
+    let survivors: Vec<usize> = (1..smat.cols()).collect();
+    smat.retain_columns(&survivors);
+    stats.dropped_columns = dropped;
+    stats.s_kept = smat.cols();
+    stats.phases.add(phase::DORTHO, t.elapsed());
+    assert!(smat.cols() >= 2, "fewer than two directions survived");
+
+    // TripleProd + eigensolve + projection, identical to the decoupled path.
+    let t = Timer::start();
+    let prod = laplacian_spmm(g, &degrees, &smat);
+    stats.phases.add(phase::LS, t.elapsed());
+    let t = Timer::start();
+    let z = at_b(&smat, &prod);
+    stats.phases.add(phase::GEMM, t.elapsed());
+    let t = Timer::start();
+    let (y, mus) = subspace_axes(&smat, &z, weights);
+    stats.axis_eigenvalues = mus;
+    stats.phases.add(phase::EIGEN, t.elapsed());
+    let t = Timer::start();
+    let coords = a_small(&smat, &y);
+    let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
+    stats.phases.add(phase::PROJECT, t.elapsed());
+    (layout, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parhde::par_hde;
+    use parhde_graph::gen::{barth5_like, grid2d};
+
+    #[test]
+    fn coupled_equals_decoupled_mgs() {
+        // Same operations in the same order ⇒ identical layouts.
+        for g in [grid2d(20, 20), barth5_like()] {
+            let cfg = ParHdeConfig::default();
+            let (a, sa) = par_hde(&g, &cfg);
+            let (b, sb) = par_hde_coupled(&g, &cfg);
+            assert_eq!(sa.sources, sb.sources, "pivot sequences differ");
+            assert_eq!(sa.s_kept, sb.s_kept);
+            assert_eq!(a, b, "coupled layout must be identical");
+        }
+    }
+
+    #[test]
+    fn coupled_interleaves_phase_time() {
+        let g = grid2d(30, 30);
+        let (_, stats) = par_hde_coupled(&g, &ParHdeConfig::default());
+        // Both phases recorded, once per BFS iteration.
+        assert!(stats.phases.seconds(phase::BFS) > 0.0);
+        assert!(stats.phases.seconds(phase::DORTHO) > 0.0);
+        assert_eq!(stats.sources.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires MGS")]
+    fn coupled_rejects_cgs() {
+        let g = grid2d(8, 8);
+        let cfg = ParHdeConfig { ortho: OrthoMethod::Cgs, ..ParHdeConfig::default() };
+        par_hde_coupled(&g, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-centers")]
+    fn coupled_rejects_random_pivots() {
+        let g = grid2d(8, 8);
+        let cfg = ParHdeConfig {
+            pivots: PivotStrategy::Random,
+            ..ParHdeConfig::default()
+        };
+        par_hde_coupled(&g, &cfg);
+    }
+}

@@ -1,0 +1,160 @@
+//! 2-D layouts: the algorithm's output type.
+
+/// A 2-dimensional graph layout: coordinates per vertex.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layout {
+    /// X coordinates, one per vertex.
+    pub x: Vec<f64>,
+    /// Y coordinates, one per vertex.
+    pub y: Vec<f64>,
+}
+
+impl Layout {
+    /// Creates a layout from coordinate vectors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any coordinate is non-finite.
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "coordinate vectors must match");
+        assert!(
+            x.iter().chain(&y).all(|v| v.is_finite()),
+            "layout coordinates must be finite"
+        );
+        Self { x, y }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if the layout has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Position of vertex `v`.
+    pub fn position(&self, v: u32) -> (f64, f64) {
+        (self.x[v as usize], self.y[v as usize])
+    }
+
+    /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)`.
+    ///
+    /// # Panics
+    /// Panics if the layout is empty.
+    pub fn bounding_box(&self) -> (f64, f64, f64, f64) {
+        assert!(!self.is_empty(), "bounding box of empty layout");
+        let min_x = self.x.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_x = self.x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min_y = self.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_y = self.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (min_x, min_y, max_x, max_y)
+    }
+
+    /// Euclidean distance between two vertices in the layout.
+    pub fn distance(&self, u: u32, v: u32) -> f64 {
+        let (ux, uy) = self.position(u);
+        let (vx, vy) = self.position(v);
+        ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    }
+
+    /// Rescales coordinates in place to fit `[0, w] × [0, h]`, preserving
+    /// aspect ratio; degenerate axes map to the center. Used by the PNG
+    /// renderer.
+    pub fn fit_to(&mut self, w: f64, h: f64) {
+        if self.is_empty() {
+            return;
+        }
+        let (min_x, min_y, max_x, max_y) = self.bounding_box();
+        let span_x = max_x - min_x;
+        let span_y = max_y - min_y;
+        let span = span_x.max(span_y);
+        if span <= 0.0 {
+            for v in self.x.iter_mut() {
+                *v = w / 2.0;
+            }
+            for v in self.y.iter_mut() {
+                *v = h / 2.0;
+            }
+            return;
+        }
+        let scale = w.min(h) / span;
+        // Center the used extent inside the target rectangle.
+        let off_x = (w - span_x * scale) / 2.0;
+        let off_y = (h - span_y * scale) / 2.0;
+        for v in self.x.iter_mut() {
+            *v = (*v - min_x) * scale + off_x;
+        }
+        for v in self.y.iter_mut() {
+            *v = (*v - min_y) * scale + off_y;
+        }
+    }
+
+    /// Per-axis standard deviation — a scalar collapse detector (a healthy
+    /// layout spreads vertices along both axes).
+    pub fn axis_stddev(&self) -> (f64, f64) {
+        let n = self.len().max(1) as f64;
+        let mx = self.x.iter().sum::<f64>() / n;
+        let my = self.y.iter().sum::<f64>() / n;
+        let sx = (self.x.iter().map(|v| (v - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (self.y.iter().map(|v| (v - my).powi(2)).sum::<f64>() / n).sqrt();
+        (sx, sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let l = Layout::new(vec![0.0, 1.0], vec![2.0, 3.0]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.position(1), (1.0, 3.0));
+        assert!((l.distance(0, 1) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let l = Layout::new(vec![-1.0, 5.0, 2.0], vec![0.0, -3.0, 4.0]);
+        assert_eq!(l.bounding_box(), (-1.0, -3.0, 5.0, 4.0));
+    }
+
+    #[test]
+    fn fit_scales_into_target() {
+        let mut l = Layout::new(vec![0.0, 10.0], vec![0.0, 5.0]);
+        l.fit_to(100.0, 100.0);
+        let (min_x, min_y, max_x, max_y) = l.bounding_box();
+        assert!(min_x >= -1e-9 && min_y >= -1e-9);
+        assert!(max_x <= 100.0 + 1e-9 && max_y <= 100.0 + 1e-9);
+        // Aspect preserved: x-span (10) twice the y-span (5).
+        assert!(((max_x - min_x) - 2.0 * (max_y - min_y)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_degenerate_centers() {
+        let mut l = Layout::new(vec![3.0, 3.0], vec![3.0, 3.0]);
+        l.fit_to(80.0, 60.0);
+        assert_eq!(l.position(0), (40.0, 30.0));
+    }
+
+    #[test]
+    fn stddev_detects_collapse() {
+        let flat = Layout::new(vec![1.0, 1.0, 1.0], vec![0.0, 1.0, 2.0]);
+        let (sx, sy) = flat.axis_stddev();
+        assert_eq!(sx, 0.0);
+        assert!(sy > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        Layout::new(vec![f64::NAN], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn rejects_mismatch() {
+        Layout::new(vec![0.0], vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! **ParHDE** — shared-memory parallel High-Dimensional Embedding graph
+//! layout, a from-scratch Rust reproduction of Mishra, Kirmani & Madduri,
+//! *Fast Spectral Graph Layout on Multicore Platforms*, ICPP 2020.
+//!
+//! # The algorithm
+//!
+//! HDE (Koren) computes a 2-D graph layout by eigen-projection *in a
+//! subspace*: instead of solving the full `n×n` spectral problem, it spans a
+//! small subspace with `s` graph-distance vectors (BFS from pivot vertices),
+//! D-orthogonalizes them, and solves the spectral layout problem restricted
+//! to that subspace — an `s×s` eigenproblem. ParHDE parallelizes the three
+//! compute-intensive phases:
+//!
+//! 1. **BFS phase** — `s` traversals with the direction-optimizing parallel
+//!    BFS, each writing a column of `B ∈ R^{n×s}`; pivots are chosen by the
+//!    farthest-first k-centers heuristic (or uniformly at random);
+//! 2. **DOrtho phase** — Gram-Schmidt D-orthogonalization of the columns
+//!    (Modified by default, Classical as the faster BLAS-2 option),
+//!    dropping degenerate vectors;
+//! 3. **TripleProd phase** — `P = L·S` as an implicit-Laplacian SpMM
+//!    followed by the small dense product `Z = Sᵀ·P`.
+//!
+//! A negligible `s×s` eigensolve and the projection `[x, y]` finish the
+//! layout.
+//!
+//! # Asymptotics (paper Table 1)
+//!
+//! | Phase | Work | Depth |
+//! |---|---|---|
+//! | ParallelBFS | `s(d_max·n + γm)` | `s·max(d_max, log n)` |
+//! | BFS: other | `sn` | `s·log n` |
+//! | DOrtho | `s²n` | `s²·log n` |
+//! | TripleProd: LS | `s(m+n)` | `log n` |
+//! | TripleProd: matmul | `s²n` | `log n` |
+//!
+//! The empirical `ops-count` mode of the benchmark harness validates the
+//! `s` / `s²` scaling split (Table 1 / Figure 5).
+//!
+//! # Variants provided
+//!
+//! * [`parhde::par_hde`] — the main algorithm (Algorithm 3);
+//! * [`phde::phde`] — the older PCA-based HDE (Algorithm 2);
+//! * [`pivot_mds::pivot_mds`] — PivotMDS (double-centered distances);
+//! * plain orthogonalization instead of D-orthogonalization via
+//!   [`config::ParHdeConfig::d_orthogonalize`] (§4.5.1 eigen-projection);
+//! * weighted graphs via Δ-stepping SSSP ([`weighted`], §3.3);
+//! * [`prior`] — the prior-work baseline of Table 3 (sequential BFS +
+//!   explicitly materialized Laplacian);
+//! * [`zoom`] — k-hop neighborhood re-layout (§4.5.2);
+//! * [`refine`] — weighted-centroid refinement and eigensolver
+//!   preconditioning (§4.5.3);
+//! * [`coupled`] — the coupled BFS + D-orthogonalization schedule (§4.4);
+//! * [`partition`] — geometric partitioning from layout coordinates
+//!   (§4.5.4);
+//! * [`stress`] — sparse stress majorization seeded by ParHDE (§4.5.4);
+//! * [`multilevel`] — multilevel ParHDE (§5 future work).
+//!
+//! # Example
+//!
+//! ```
+//! use parhde::{par_hde, config::ParHdeConfig};
+//! use parhde_graph::gen::grid2d;
+//!
+//! let graph = grid2d(20, 20);
+//! let (layout, stats) = par_hde(&graph, &ParHdeConfig::default());
+//! assert_eq!(layout.len(), 400);
+//! assert_eq!(stats.sources.len(), 10);          // s = 10 BFS pivots
+//! // Edges land much closer together than random vertex pairs:
+//! let q = parhde::quality::layout_quality(&graph, &layout, 200, 7);
+//! assert!(q.contraction() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub(crate) mod bfs_phase;
+pub mod config;
+pub mod coupled;
+pub mod layout;
+pub mod multilevel;
+pub mod parhde;
+pub mod partition;
+pub mod phde;
+pub mod pivot_mds;
+pub mod pivots;
+pub mod prior;
+pub mod quality;
+pub mod refine;
+pub mod stats;
+pub mod stress;
+pub mod weighted;
+pub mod zoom;
+
+pub use config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+pub use layout::Layout;
+pub use parhde::{par_hde, par_hde_nd};
+pub use phde::phde;
+pub use pivot_mds::pivot_mds;
+pub use stats::HdeStats;

@@ -1,0 +1,384 @@
+//! The ParHDE pipeline (Algorithm 3).
+
+use crate::bfs_phase::run_bfs_phase;
+use crate::config::{OrthoMethod, ParHdeConfig};
+use crate::layout::Layout;
+use crate::stats::{phase, HdeStats};
+use parhde_graph::CsrGraph;
+use parhde_linalg::blas1::{dot, dot_weighted};
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::eig::jacobi::symmetric_eigen;
+use parhde_linalg::gemm::{a_small, at_b};
+use parhde_linalg::ortho::{cgs, mgs};
+use parhde_linalg::spmm::laplacian_spmm;
+use parhde_util::{Timer, Xoshiro256StarStar};
+
+/// Runs ParHDE on a connected unweighted graph, producing a 2-D layout and
+/// per-phase statistics.
+///
+/// # Panics
+/// Panics if the configuration is invalid for the graph, if the graph is
+/// not connected (run [`parhde_graph::prep::largest_component`] first —
+/// the paper's §4.1 preprocessing), or if fewer than two independent
+/// subspace directions survive orthogonalization.
+pub fn par_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
+    let (coords, stats) = par_hde_nd(g, cfg, 2);
+    (
+        Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
+        stats,
+    )
+}
+
+/// ParHDE generalized to a `p`-dimensional embedding (§2.1: "in practice,
+/// `p` is chosen to be 2 or 3 for screen layouts"). Returns the `n×p`
+/// coordinate matrix (column `k` is the `k`-th axis, ordered by ascending
+/// generalized eigenvalue) and the phase statistics.
+///
+/// # Panics
+/// As [`par_hde`]; additionally requires `1 ≤ p` and at least `p`
+/// surviving subspace directions.
+pub fn par_hde_nd(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+) -> (ColMajorMatrix, HdeStats) {
+    let n = g.num_vertices();
+    cfg.validate(n);
+    assert!(p >= 1, "embedding dimension must be at least 1");
+    let s = cfg.subspace;
+    let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
+
+    // ---- Init -----------------------------------------------------------
+    let t = Timer::start();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+    stats.phases.add(phase::INIT, t.elapsed());
+
+    // ---- BFS phase ------------------------------------------------------
+    let b = run_bfs_phase(g, s, cfg.pivots, &mut rng, true, &mut stats);
+
+    // ---- Assemble S = [1/√n | B] ----------------------------------------
+    let t = Timer::start();
+    let mut smat = ColMajorMatrix::zeros(n, s + 1);
+    let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+    smat.col_mut(0).fill(inv_sqrt_n);
+    for i in 0..s {
+        smat.col_mut(i + 1).copy_from_slice(b.col(i));
+    }
+    let degrees = g.degree_vector();
+    stats.phases.add(phase::INIT, t.elapsed());
+
+    // ---- DOrtho phase ---------------------------------------------------
+    let t = Timer::start();
+    let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
+    let outcome = match cfg.ortho {
+        OrthoMethod::Mgs => mgs(&mut smat, weights, cfg.drop_tolerance),
+        OrthoMethod::Cgs => cgs(&mut smat, weights, cfg.drop_tolerance),
+    };
+    // Drop the 0th (degenerate constant) column — Algorithm 3 line 16. It
+    // always survives orthogonalization (it is processed first and has unit
+    // norm), landing at physical index 0 of the compacted matrix.
+    debug_assert_eq!(outcome.kept.first(), Some(&0));
+    let survivors: Vec<usize> = (1..smat.cols()).collect();
+    smat.retain_columns(&survivors);
+    stats.dropped_columns = outcome.dropped.len();
+    stats.s_kept = smat.cols();
+    stats.phases.add(phase::DORTHO, t.elapsed());
+    assert!(
+        smat.cols() >= p,
+        "only {} independent subspace directions survived for a {p}-D \
+         embedding; increase the subspace dimension (s = {s})",
+        smat.cols()
+    );
+
+    // ---- TripleProd phase -------------------------------------------------
+    let t = Timer::start();
+    let prod = laplacian_spmm(g, &degrees, &smat);
+    stats.phases.add(phase::LS, t.elapsed());
+    let t = Timer::start();
+    let z = at_b(&smat, &prod);
+    stats.phases.add(phase::GEMM, t.elapsed());
+
+    // ---- Eigensolve -------------------------------------------------------
+    let t = Timer::start();
+    let (y, mus) = subspace_axes_nd(&smat, &z, weights, p);
+    stats.axis_eigenvalues = mus;
+    stats.phases.add(phase::EIGEN, t.elapsed());
+
+    // ---- Projection -------------------------------------------------------
+    let t = Timer::start();
+    let coords = if cfg.project_from_raw {
+        // [x, y] = B·Y (the literal Algorithm 3 line 20): map each kept S
+        // column back to the raw distance column it originated from.
+        // outcome.kept lists original indices in [0, s]; index 0 is the
+        // constant column, original index i ≥ 1 is B's column i − 1.
+        let b_cols: Vec<usize> = outcome.kept[1..].iter().map(|&i| i - 1).collect();
+        let mut b_kept = ColMajorMatrix::zeros(n, b_cols.len());
+        for (dst, &src) in b_cols.iter().enumerate() {
+            b_kept.col_mut(dst).copy_from_slice(b.col(src));
+        }
+        a_small(&b_kept, &y)
+    } else {
+        a_small(&smat, &y)
+    };
+    stats.phases.add(phase::PROJECT, t.elapsed());
+
+    (coords, stats)
+}
+
+/// Solves the subspace layout problem and returns the two axis directions.
+///
+/// In the subspace spanned by the columns of `S`, the layout objective of
+/// Equation 1 becomes the generalized problem `(SᵀLS) y = μ (SᵀDS) y`
+/// (or `SᵀS` on the right for plain orthogonalization). `S` is
+/// (D-)orthogonal with unit Euclidean columns, so the right-hand matrix is
+/// diagonal up to round-off; the diagonal scaling reduces the problem to an
+/// ordinary symmetric eigensolve. The **two smallest** generalized
+/// eigenvalues give the drawing axes — the paper's "top two eigenvectors"
+/// follows the transition-matrix ordering convention where these same
+/// vectors are the *top* of `D⁻¹A` (§2.1: "the eigenvalues of this matrix
+/// are in reverse order").
+///
+/// Shared by the weighted pipeline (crate-private).
+pub(crate) fn subspace_axes(
+    smat: &ColMajorMatrix,
+    z: &ColMajorMatrix,
+    weights: Option<&[f64]>,
+) -> (ColMajorMatrix, Vec<f64>) {
+    subspace_axes_nd(smat, z, weights, 2)
+}
+
+/// [`subspace_axes`] generalized to `p` axes (the `p` smallest generalized
+/// eigenvalues, ascending).
+pub(crate) fn subspace_axes_nd(
+    smat: &ColMajorMatrix,
+    z: &ColMajorMatrix,
+    weights: Option<&[f64]>,
+    p: usize,
+) -> (ColMajorMatrix, Vec<f64>) {
+    let k = smat.cols();
+    assert!(p >= 1 && p <= k, "need 1 ≤ p ≤ {k} axes, got {p}");
+    // Diagonal of SᵀDS (resp. SᵀS).
+    let diag: Vec<f64> = (0..k)
+        .map(|i| match weights {
+            Some(w) => dot_weighted(smat.col(i), w, smat.col(i)),
+            None => dot(smat.col(i), smat.col(i)),
+        })
+        .collect();
+    assert!(
+        diag.iter().all(|&d| d > 0.0),
+        "degenerate subspace metric; graph may have isolated vertices"
+    );
+    let inv_sqrt: Vec<f64> = diag.iter().map(|d| 1.0 / d.sqrt()).collect();
+    // T = W^{-1/2} Z W^{-1/2}, symmetrized against round-off.
+    let mut tmat = ColMajorMatrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            let v = 0.5 * (z.get(i, j) + z.get(j, i)) * inv_sqrt[i] * inv_sqrt[j];
+            tmat.set(i, j, v);
+        }
+    }
+    let eig = symmetric_eigen(&tmat);
+    // The p smallest eigenvalues = the last p in descending order; report
+    // them ascending (axis 0 = smoothest direction).
+    let mut y = ColMajorMatrix::zeros(k, p);
+    let mut mus = Vec::with_capacity(p);
+    for axis in 0..p {
+        let src = k - 1 - axis;
+        mus.push(eig.values[src]);
+        #[allow(clippy::needless_range_loop)] // r indexes two containers at once
+        for r in 0..k {
+            y.set(r, axis, eig.vectors.get(r, src) * inv_sqrt[r]);
+        }
+    }
+    (y, mus)
+}
+
+pub(crate) fn accumulate(
+    total: &mut parhde_bfs::TraversalStats,
+    one: parhde_bfs::TraversalStats,
+) {
+    total.top_down_steps += one.top_down_steps;
+    total.bottom_up_steps += one.bottom_up_steps;
+    total.top_down_edges += one.top_down_edges;
+    total.bottom_up_edges += one.bottom_up_edges;
+}
+
+pub(crate) fn assert_connected(reached: usize, n: usize) {
+    assert_eq!(
+        reached, n,
+        "ParHDE requires a connected graph ({reached} of {n} vertices \
+         reached); extract the largest component first (paper §4.1)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotStrategy;
+    use crate::quality;
+    use parhde_graph::gen::{barth5_like, grid2d, pref_attach};
+
+    #[test]
+    fn grid_layout_is_sane() {
+        let g = grid2d(20, 20);
+        let (layout, stats) = par_hde(&g, &ParHdeConfig::default());
+        assert_eq!(layout.len(), 400);
+        // Not collapsed.
+        let (sx, sy) = layout.axis_stddev();
+        assert!(sx > 1e-6 && sy > 1e-6, "layout collapsed: {sx} {sy}");
+        // All s vectors independent on a grid.
+        assert_eq!(stats.s_kept, 10);
+        assert_eq!(stats.sources.len(), 10);
+        // Edges should be much shorter than random pairs.
+        let q = quality::layout_quality(&g, &layout, 500, 1);
+        assert!(
+            q.mean_edge_length < 0.5 * q.mean_random_pair_distance,
+            "edges not shorter than random pairs: {q:?}"
+        );
+    }
+
+    #[test]
+    fn kcenters_sources_are_distinct_and_spread() {
+        let g = grid2d(15, 15);
+        let (_, stats) = par_hde(&g, &ParHdeConfig::default());
+        let set: std::collections::HashSet<_> = stats.sources.iter().collect();
+        assert_eq!(set.len(), stats.sources.len(), "pivots must be distinct");
+    }
+
+    #[test]
+    fn random_pivots_produce_sane_layout() {
+        let g = barth5_like();
+        let cfg = ParHdeConfig {
+            pivots: PivotStrategy::Random,
+            subspace: 12,
+            ..ParHdeConfig::default()
+        };
+        let (layout, stats) = par_hde(&g, &cfg);
+        assert_eq!(stats.sources.len(), 12);
+        let q = quality::layout_quality(&g, &layout, 500, 2);
+        assert!(q.mean_edge_length < 0.5 * q.mean_random_pair_distance);
+    }
+
+    #[test]
+    fn cgs_matches_mgs_quality() {
+        let g = grid2d(16, 16);
+        let mgs_cfg = ParHdeConfig::default();
+        let cgs_cfg = ParHdeConfig { ortho: OrthoMethod::Cgs, ..ParHdeConfig::default() };
+        let (la, sa) = par_hde(&g, &mgs_cfg);
+        let (lb, sb) = par_hde(&g, &cgs_cfg);
+        assert_eq!(sa.s_kept, sb.s_kept);
+        // Same pivots (same seed) ⇒ nearly identical axis eigenvalues.
+        for (x, y) in sa.axis_eigenvalues.iter().zip(&sb.axis_eigenvalues) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        let qa = quality::layout_quality(&g, &la, 300, 3);
+        let qb = quality::layout_quality(&g, &lb, 300, 3);
+        let ra = qa.mean_edge_length / qa.mean_random_pair_distance;
+        let rb = qb.mean_edge_length / qb.mean_random_pair_distance;
+        assert!((ra - rb).abs() < 0.1, "quality diverged: {ra} vs {rb}");
+    }
+
+    #[test]
+    fn plain_orthogonalization_variant_works() {
+        // §4.5.1: orthogonalization instead of D-orthogonalization
+        // approximates the Laplacian eigenvectors. On a near-regular grid
+        // the layouts are "more or less identical".
+        let g = grid2d(14, 14);
+        let cfg = ParHdeConfig { d_orthogonalize: false, ..ParHdeConfig::default() };
+        let (layout, _) = par_hde(&g, &cfg);
+        let q = quality::layout_quality(&g, &layout, 300, 4);
+        assert!(q.mean_edge_length < 0.5 * q.mean_random_pair_distance);
+    }
+
+    #[test]
+    fn raw_projection_variant_works() {
+        let g = grid2d(12, 12);
+        let cfg = ParHdeConfig { project_from_raw: true, ..ParHdeConfig::default() };
+        let (layout, _) = par_hde(&g, &cfg);
+        let (sx, sy) = layout.axis_stddev();
+        assert!(sx > 1e-9 && sy > 1e-9);
+    }
+
+    #[test]
+    fn skewed_graph_layout_completes() {
+        let g = pref_attach(2000, 4, 9);
+        let (layout, stats) = par_hde(&g, &ParHdeConfig::default());
+        assert_eq!(layout.len(), 2000);
+        // Direction optimization must have engaged on this graph.
+        assert!(stats.traversal.bottom_up_steps > 0);
+        assert!(stats.traversal.gamma(g.num_arcs() * 10) < 1.0);
+    }
+
+    #[test]
+    fn axis_eigenvalues_are_small_and_ordered() {
+        // The two smallest generalized eigenvalues approximate μ₂, μ₃ of
+        // Lx = μDx — nonnegative and below the trivial upper bound 2.
+        let g = grid2d(18, 18);
+        let (_, stats) = par_hde(&g, &ParHdeConfig::default());
+        let mu = &stats.axis_eigenvalues;
+        assert_eq!(mu.len(), 2);
+        assert!(mu[0] <= mu[1] + 1e-12, "axes must be ascending in μ");
+        assert!(mu[0] > -1e-9, "generalized eigenvalue must be ≥ 0");
+        assert!(mu[1] < 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid2d(10, 10);
+        let cfg = ParHdeConfig::default();
+        let (a, _) = par_hde(&g, &cfg);
+        let (b, _) = par_hde(&g, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_dimensional_embedding_works() {
+        let g = grid2d(15, 15);
+        let (coords, stats) = par_hde_nd(&g, &ParHdeConfig::default(), 3);
+        assert_eq!(coords.rows(), 225);
+        assert_eq!(coords.cols(), 3);
+        assert_eq!(stats.axis_eigenvalues.len(), 3);
+        // Ascending eigenvalues; no collapsed axis.
+        for w in stats.axis_eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        for c in 0..3 {
+            let col = coords.col(c);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / col.len() as f64;
+            assert!(var > 1e-12, "axis {c} collapsed");
+        }
+        // First two axes of the 3-D run equal the 2-D run.
+        let (flat, _) = par_hde(&g, &ParHdeConfig::default());
+        assert_eq!(coords.col(0), flat.x.as_slice());
+        assert_eq!(coords.col(1), flat.y.as_slice());
+    }
+
+    #[test]
+    fn one_dimensional_embedding_works() {
+        let g = grid2d(10, 12);
+        let (coords, stats) = par_hde_nd(&g, &ParHdeConfig::default(), 1);
+        assert_eq!(coords.cols(), 1);
+        assert_eq!(stats.axis_eigenvalues.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected graph")]
+    fn disconnected_graph_rejected() {
+        let g = parhde_graph::builder::build_from_edges(
+            40,
+            (0..19u32)
+                .map(|i| (i, i + 1))
+                .chain((20..39u32).map(|i| (i, i + 1)))
+                .collect(),
+        );
+        par_hde(&g, &ParHdeConfig::with_subspace(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn oversized_subspace_rejected() {
+        par_hde(&grid2d(2, 3), &ParHdeConfig::with_subspace(6));
+    }
+}

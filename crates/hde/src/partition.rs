@@ -1,0 +1,179 @@
+//! Geometric graph partitioning from layout coordinates (§4.5.4).
+//!
+//! "The vertex coordinates from ParHDE can be used by geometric graph
+//! partitioners. The ScalaPart partitioner uses a force-directed layout to
+//! compute coordinates. We can use ParHDE instead." This module implements
+//! the classic geometric partitioner — recursive coordinate bisection
+//! (RCB) — over any [`Layout`], plus the cut/balance metrics used to judge
+//! partitions.
+
+use crate::layout::Layout;
+use parhde_graph::CsrGraph;
+
+/// Partitions vertices into `parts` groups by recursive coordinate
+/// bisection of the layout: each step splits the current group at a
+/// coordinate quantile along its wider axis, sizing the two sides
+/// proportionally so any `parts ≥ 1` (not just powers of two) is balanced.
+///
+/// Returns one part id in `[0, parts)` per vertex.
+///
+/// # Panics
+/// Panics if `parts` is zero or exceeds the vertex count.
+pub fn coordinate_bisection(layout: &Layout, parts: usize) -> Vec<u32> {
+    let n = layout.len();
+    assert!(parts >= 1, "at least one part required");
+    assert!(parts <= n, "more parts ({parts}) than vertices ({n})");
+    let mut assignment = vec![0u32; n];
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    rcb(layout, &mut vertices, parts, 0, &mut assignment);
+    assignment
+}
+
+fn rcb(layout: &Layout, group: &mut [u32], parts: usize, first_id: u32, out: &mut [u32]) {
+    if parts == 1 {
+        for &v in group.iter() {
+            out[v as usize] = first_id;
+        }
+        return;
+    }
+    // Split proportionally: left gets ⌊parts/2⌋ of the parts and the
+    // matching share of vertices.
+    let left_parts = parts / 2;
+    let split = group.len() * left_parts / parts;
+
+    // Choose the wider axis within this group.
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in group.iter() {
+        let (x, y) = layout.position(v);
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let use_x = (max_x - min_x) >= (max_y - min_y);
+
+    // Partial sort: place the `split` smallest-coordinate vertices first.
+    // Ties are broken by vertex id, so the split is deterministic.
+    let key = |v: u32| -> (f64, u32) {
+        let (x, y) = layout.position(v);
+        (if use_x { x } else { y }, v)
+    };
+    group.select_nth_unstable_by(split.min(group.len() - 1), |&a, &b| {
+        key(a).partial_cmp(&key(b)).expect("finite coordinates")
+    });
+
+    let (left, right) = group.split_at_mut(split);
+    rcb(layout, left, left_parts, first_id, out);
+    rcb(layout, right, parts - left_parts, first_id + left_parts as u32, out);
+}
+
+/// Number of edges crossing between different parts.
+pub fn edge_cut(g: &CsrGraph, partition: &[u32]) -> usize {
+    assert_eq!(partition.len(), g.num_vertices(), "one label per vertex");
+    g.edges()
+        .filter(|&(u, v)| partition[u as usize] != partition[v as usize])
+        .count()
+}
+
+/// The balance factor: largest part size divided by the ideal `n/parts`
+/// (1.0 is perfect).
+pub fn balance(partition: &[u32], parts: usize) -> f64 {
+    assert!(parts >= 1);
+    let mut sizes = vec![0usize; parts];
+    for &p in partition {
+        sizes[p as usize] += 1;
+    }
+    let max = *sizes.iter().max().unwrap_or(&0);
+    max as f64 * parts as f64 / partition.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParHdeConfig;
+    use crate::parhde::par_hde;
+    use parhde_graph::gen::grid2d;
+    use parhde_util::Xoshiro256StarStar;
+
+    #[test]
+    fn bisection_of_unit_square_is_balanced() {
+        // 100 vertices on a 10×10 lattice of coordinates.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in 0..10 {
+            for c in 0..10 {
+                x.push(c as f64);
+                y.push(r as f64);
+            }
+        }
+        let layout = Layout::new(x, y);
+        for parts in [1usize, 2, 3, 4, 5, 8] {
+            let p = coordinate_bisection(&layout, parts);
+            assert!(p.iter().all(|&id| (id as usize) < parts));
+            let b = balance(&p, parts);
+            assert!(b <= 1.15, "parts = {parts}: balance {b}");
+        }
+    }
+
+    #[test]
+    fn two_clusters_split_cleanly() {
+        // Two separated point clouds must land in different parts.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let offset = if i < 50 { 0.0 } else { 100.0 };
+            x.push(offset + rng.next_f64());
+            y.push(rng.next_f64());
+        }
+        let layout = Layout::new(x, y);
+        let p = coordinate_bisection(&layout, 2);
+        for i in 0..50 {
+            assert_eq!(p[i], p[0], "left cloud split");
+            assert_eq!(p[50 + i], p[50], "right cloud split");
+        }
+        assert_ne!(p[0], p[50]);
+    }
+
+    #[test]
+    fn parhde_coordinates_give_good_grid_cuts() {
+        // §4.5.4 in action: RCB on ParHDE coordinates should produce cuts
+        // near the geometric optimum for a grid (≈ side length per split),
+        // far below a random partition's expected cut.
+        let side = 32usize;
+        let g = grid2d(side, side);
+        let (layout, _) = par_hde(&g, &ParHdeConfig::with_subspace(20));
+        let parts = 4;
+        let p = coordinate_bisection(&layout, parts);
+        let cut = edge_cut(&g, &p);
+        let m = g.num_edges();
+        // Random 4-way partition cuts ~3/4 of all edges.
+        assert!(
+            cut < m / 8,
+            "cut {cut} of {m} too high for geometric partitioning"
+        );
+        assert!(balance(&p, parts) <= 1.05);
+    }
+
+    #[test]
+    fn edge_cut_counts_correctly() {
+        let g = grid2d(2, 2); // square: 4 edges
+        let cut = edge_cut(&g, &[0, 0, 1, 1]);
+        assert_eq!(cut, 2); // the two vertical edges
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn balance_detects_skew() {
+        assert!((balance(&[0, 0, 0, 1], 2) - 1.5).abs() < 1e-12);
+        assert!((balance(&[0, 1, 0, 1], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "more parts")]
+    fn too_many_parts_rejected() {
+        let layout = Layout::new(vec![0.0], vec![0.0]);
+        coordinate_bisection(&layout, 2);
+    }
+}

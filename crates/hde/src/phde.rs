@@ -1,0 +1,139 @@
+//! PHDE — the original PCA-based high-dimensional embedding (Algorithm 2).
+//!
+//! PHDE shares ParHDE's BFS phase but replaces the Laplacian machinery with
+//! principal components analysis of the distance matrix: column-center `B`
+//! into `C`, compute `CᵀC`, take its **top two** eigenvectors, and project
+//! `[x, y] = C·Y` — which maximizes the scatter of the drawing (the
+//! denominator of Equation 1 without D-normalization). Unlike ParHDE there
+//! is no `L·S` product, so the matmul stage is just the `CᵀC` gemm
+//! (Figure 6 right shows the resulting breakdown: BFS, ColCenter, MatMul,
+//! Other).
+
+use crate::bfs_phase::run_bfs_phase;
+use crate::config::{ParHdeConfig, PivotStrategy};
+use crate::layout::Layout;
+use crate::stats::{phase, HdeStats};
+use parhde_graph::CsrGraph;
+use parhde_linalg::center::column_center;
+use parhde_linalg::eig::jacobi::symmetric_eigen;
+use parhde_linalg::gemm::{a_small, at_b};
+use parhde_util::{Timer, Xoshiro256StarStar};
+
+/// Configuration for PHDE / PivotMDS: the subset of [`ParHdeConfig`]
+/// options these PCA-based pipelines use.
+#[derive(Clone, Debug)]
+pub struct PhdeConfig {
+    /// Number of BFS pivots `s` (Algorithm 2 uses 50 by default in the
+    /// original paper; the reproduction defaults to 10 to match Table 5's
+    /// timing setup).
+    pub subspace: usize,
+    /// Pivot selection strategy.
+    pub pivots: PivotStrategy,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for PhdeConfig {
+    fn default() -> Self {
+        Self { subspace: 10, pivots: PivotStrategy::KCenters, seed: 0x9a_7de }
+    }
+}
+
+impl From<&ParHdeConfig> for PhdeConfig {
+    fn from(c: &ParHdeConfig) -> Self {
+        Self { subspace: c.subspace, pivots: c.pivots, seed: c.seed }
+    }
+}
+
+/// Runs PHDE on a connected unweighted graph.
+///
+/// # Panics
+/// Panics if the graph is disconnected or the configuration is invalid.
+pub fn phde(g: &CsrGraph, cfg: &PhdeConfig) -> (Layout, HdeStats) {
+    let n = g.num_vertices();
+    assert!(cfg.subspace >= 2, "PHDE needs at least two pivots");
+    assert!(cfg.subspace < n, "subspace must be below n");
+    let mut stats = HdeStats { s_requested: cfg.subspace, ..HdeStats::default() };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+
+    // BFS phase (shared with ParHDE).
+    let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats);
+
+    // Column centering: make every column zero-mean (two-phase, §3.2).
+    let t = Timer::start();
+    column_center(&mut c);
+    stats.phases.add(phase::COL_CENTER, t.elapsed());
+
+    // MatMul: the small covariance CᵀC.
+    let t = Timer::start();
+    let z = at_b(&c, &c);
+    stats.phases.add(phase::GEMM, t.elapsed());
+
+    // Eigensolve: top two eigenvectors of CᵀC (PCA axes).
+    let t = Timer::start();
+    let eig = symmetric_eigen(&z);
+    let (vals, y) = eig.top(2);
+    stats.axis_eigenvalues = vals;
+    stats.s_kept = c.cols();
+    stats.phases.add(phase::EIGEN, t.elapsed());
+
+    // Projection [x, y] = C·Y.
+    let t = Timer::start();
+    let coords = a_small(&c, &y);
+    let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
+    stats.phases.add(phase::PROJECT, t.elapsed());
+    (layout, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::layout_quality;
+    use parhde_graph::gen::{barth5_like, grid2d};
+
+    #[test]
+    fn phde_layout_is_sane_on_grid() {
+        let g = grid2d(18, 18);
+        let (layout, stats) = phde(&g, &PhdeConfig::default());
+        assert_eq!(layout.len(), 324);
+        let q = layout_quality(&g, &layout, 400, 1);
+        assert!(
+            q.contraction() < 0.5,
+            "PHDE failed to contract edges: {}",
+            q.contraction()
+        );
+        assert_eq!(stats.sources.len(), 10);
+        // PCA eigenvalues are nonnegative, descending.
+        assert!(stats.axis_eigenvalues[0] >= stats.axis_eigenvalues[1]);
+        assert!(stats.axis_eigenvalues[1] >= -1e-9);
+    }
+
+    #[test]
+    fn phde_handles_mesh_with_holes() {
+        let g = barth5_like();
+        let (layout, _) = phde(&g, &PhdeConfig { subspace: 8, ..Default::default() });
+        let (sx, sy) = layout.axis_stddev();
+        assert!(sx > 1e-9 && sy > 1e-9);
+    }
+
+    #[test]
+    fn phde_records_colcenter_phase() {
+        let g = grid2d(10, 10);
+        let (_, stats) = phde(&g, &PhdeConfig::default());
+        assert!(stats.phases.get(phase::COL_CENTER).is_some());
+        assert!(stats.phases.get(phase::LS).is_none(), "PHDE has no LS product");
+    }
+
+    #[test]
+    fn phde_deterministic() {
+        let g = grid2d(9, 9);
+        let cfg = PhdeConfig::default();
+        assert_eq!(phde(&g, &cfg).0, phde(&g, &cfg).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pivots")]
+    fn rejects_tiny_subspace() {
+        phde(&grid2d(4, 4), &PhdeConfig { subspace: 1, ..Default::default() });
+    }
+}

@@ -1,0 +1,115 @@
+//! PivotMDS (Brandes & Pich) — fast approximate classical MDS.
+//!
+//! Computationally a sibling of PHDE (§3.2: "the computational costs of
+//! PivotMDS and PHDE are identical, but they differ in their derivation"):
+//! the `n×s` pivot distance matrix is **double-centered** on its *squared*
+//! entries (`c_ij = −½(d²_ij − rowmean − colmean + totalmean)`) instead of
+//! column-centered, and the drawing axes are again the top two eigenvectors
+//! of `CᵀC` projected through `C`. Figure 6 (left/middle) shows its
+//! breakdown as BFS / DblCntr / MatMul / Other.
+
+use crate::bfs_phase::run_bfs_phase;
+use crate::layout::Layout;
+use crate::phde::PhdeConfig;
+use crate::stats::{phase, HdeStats};
+use parhde_graph::CsrGraph;
+use parhde_linalg::center::{double_center_squared, square_entries};
+use parhde_linalg::eig::jacobi::symmetric_eigen;
+use parhde_linalg::gemm::{a_small, at_b};
+use parhde_util::{Timer, Xoshiro256StarStar};
+
+/// Runs PivotMDS on a connected unweighted graph.
+///
+/// # Panics
+/// Panics if the graph is disconnected or the configuration is invalid.
+pub fn pivot_mds(g: &CsrGraph, cfg: &PhdeConfig) -> (Layout, HdeStats) {
+    let n = g.num_vertices();
+    assert!(cfg.subspace >= 2, "PivotMDS needs at least two pivots");
+    assert!(cfg.subspace < n, "subspace must be below n");
+    let mut stats = HdeStats { s_requested: cfg.subspace, ..HdeStats::default() };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+
+    // BFS phase (shared).
+    let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats);
+
+    // Double centering of squared distances.
+    let t = Timer::start();
+    square_entries(&mut c);
+    double_center_squared(&mut c);
+    stats.phases.add(phase::DBL_CENTER, t.elapsed());
+
+    // MatMul.
+    let t = Timer::start();
+    let z = at_b(&c, &c);
+    stats.phases.add(phase::GEMM, t.elapsed());
+
+    // Eigensolve: top two of CᵀC.
+    let t = Timer::start();
+    let eig = symmetric_eigen(&z);
+    let (vals, y) = eig.top(2);
+    stats.axis_eigenvalues = vals;
+    stats.s_kept = c.cols();
+    stats.phases.add(phase::EIGEN, t.elapsed());
+
+    // Projection.
+    let t = Timer::start();
+    let coords = a_small(&c, &y);
+    let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
+    stats.phases.add(phase::PROJECT, t.elapsed());
+    (layout, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::layout_quality;
+    use parhde_graph::gen::{barth5_like, chain, grid2d};
+
+    #[test]
+    fn pivot_mds_layout_is_sane_on_grid() {
+        let g = grid2d(18, 18);
+        let (layout, stats) = pivot_mds(&g, &PhdeConfig::default());
+        let q = layout_quality(&g, &layout, 400, 1);
+        assert!(
+            q.contraction() < 0.5,
+            "PivotMDS failed to contract edges: {}",
+            q.contraction()
+        );
+        assert!(stats.phases.get(phase::DBL_CENTER).is_some());
+        assert!(stats.phases.get(phase::COL_CENTER).is_none());
+    }
+
+    #[test]
+    fn pivot_mds_recovers_chain_geometry() {
+        // Classical MDS on a path should lay it out along a line: the first
+        // axis dominates the second by a large factor.
+        let g = chain(200);
+        let (layout, stats) = pivot_mds(
+            &g,
+            &PhdeConfig { subspace: 8, ..Default::default() },
+        );
+        let (sx, sy) = layout.axis_stddev();
+        let (big, small) = if sx > sy { (sx, sy) } else { (sy, sx) };
+        assert!(
+            big > 5.0 * small,
+            "chain should be essentially 1-D: spread {big} vs {small}"
+        );
+        assert!(stats.axis_eigenvalues[0] > stats.axis_eigenvalues[1]);
+    }
+
+    #[test]
+    fn pivot_mds_handles_mesh_with_holes() {
+        let g = barth5_like();
+        let (layout, _) =
+            pivot_mds(&g, &PhdeConfig { subspace: 8, ..Default::default() });
+        let (sx, sy) = layout.axis_stddev();
+        assert!(sx > 1e-9 && sy > 1e-9);
+    }
+
+    #[test]
+    fn pivot_mds_deterministic() {
+        let g = grid2d(9, 9);
+        let cfg = PhdeConfig::default();
+        assert_eq!(pivot_mds(&g, &cfg).0, pivot_mds(&g, &cfg).0);
+    }
+}

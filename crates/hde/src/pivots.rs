@@ -1,0 +1,131 @@
+//! Pivot (BFS source) selection.
+//!
+//! The default strategy is the farthest-first 2-approximation to k-centers
+//! (§2.2): start from a random vertex; after each BFS, fold the new distance
+//! column into a running minimum-distance array (Algorithm 1 lines 13-14)
+//! and pick the vertex farthest from all previous sources as the next pivot
+//! (ties broken deterministically towards the lowest id). These two
+//! reductions are the "BFS: Other" row of Table 1 — `O(sn)` work with a
+//! `log n` reduction depth per source.
+
+use rayon::prelude::*;
+
+/// Chunk length for the parallel fold/argmax reductions.
+const CHUNK: usize = 1 << 13;
+
+/// Folds a freshly computed distance column into the running minimum
+/// (`d[j] ← min(d[j], column[j])`), in parallel.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn fold_min_distance(min_dist: &mut [f64], column: &[f64]) {
+    assert_eq!(min_dist.len(), column.len(), "length mismatch");
+    if min_dist.len() < CHUNK {
+        for (m, &c) in min_dist.iter_mut().zip(column) {
+            if c < *m {
+                *m = c;
+            }
+        }
+        return;
+    }
+    min_dist
+        .par_chunks_mut(CHUNK)
+        .zip(column.par_chunks(CHUNK))
+        .for_each(|(ms, cs)| {
+            for (m, &c) in ms.iter_mut().zip(cs) {
+                if c < *m {
+                    *m = c;
+                }
+            }
+        });
+}
+
+/// Returns the vertex maximizing the minimum distance to all previous
+/// sources — the next k-centers pivot. Ties break to the lowest id so the
+/// pipeline is deterministic. Infinite entries (unreached vertices) win
+/// immediately, which steers pivots into unexplored regions.
+///
+/// # Panics
+/// Panics if `min_dist` is empty.
+pub fn farthest_vertex(min_dist: &[f64]) -> u32 {
+    assert!(!min_dist.is_empty(), "empty distance array");
+    let per_chunk: Vec<(usize, f64)> = min_dist
+        .par_chunks(CHUNK)
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (i, &d) in chunk.iter().enumerate() {
+                if d > best.1 {
+                    best = (ci * CHUNK + i, d);
+                }
+            }
+            best
+        })
+        .collect();
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, d) in per_chunk {
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    best.0 as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_takes_elementwise_min() {
+        let mut m = vec![3.0, 1.0, f64::INFINITY];
+        fold_min_distance(&mut m, &[2.0, 5.0, 7.0]);
+        assert_eq!(m, vec![2.0, 1.0, 7.0]);
+    }
+
+    #[test]
+    fn fold_large_matches_scalar() {
+        let n = CHUNK * 2 + 11;
+        let mut a: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let mut expect = a.clone();
+        for (e, &x) in expect.iter_mut().zip(&b) {
+            *e = e.min(x);
+        }
+        fold_min_distance(&mut a, &b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn farthest_picks_max() {
+        assert_eq!(farthest_vertex(&[1.0, 9.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn farthest_tie_breaks_low() {
+        assert_eq!(farthest_vertex(&[5.0, 5.0, 5.0]), 0);
+    }
+
+    #[test]
+    fn farthest_prefers_unreached() {
+        assert_eq!(farthest_vertex(&[3.0, f64::INFINITY, 9.0]), 1);
+    }
+
+    #[test]
+    fn farthest_large_matches_scalar() {
+        let n = CHUNK * 3 + 7;
+        let v: Vec<f64> = (0..n).map(|i| ((i * 7919) % 10007) as f64).collect();
+        let expect = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .unwrap()
+            .0;
+        assert_eq!(farthest_vertex(&v) as usize, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn farthest_empty_panics() {
+        farthest_vertex(&[]);
+    }
+}

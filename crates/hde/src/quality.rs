@@ -1,0 +1,186 @@
+//! Layout quality metrics.
+//!
+//! The paper evaluates drawings qualitatively ("all the drawings capture
+//! global structure with four holes"); for automated testing this module
+//! provides scalar proxies: a good layout places edge endpoints much closer
+//! together than random vertex pairs, and it does not collapse onto a line
+//! or point.
+
+use crate::layout::Layout;
+use parhde_graph::CsrGraph;
+use parhde_util::Xoshiro256StarStar;
+
+/// Scalar quality measurements of a layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayoutQuality {
+    /// Mean Euclidean length of (sampled) graph edges in the layout.
+    pub mean_edge_length: f64,
+    /// Mean Euclidean distance between (sampled) uniformly random vertex
+    /// pairs.
+    pub mean_random_pair_distance: f64,
+    /// Standard deviation of coordinates along x and y.
+    pub spread: (f64, f64),
+}
+
+impl LayoutQuality {
+    /// The edge-contraction ratio (edge length / random-pair distance);
+    /// lower is better, 1.0 means the layout carries no structure.
+    pub fn contraction(&self) -> f64 {
+        if self.mean_random_pair_distance <= 0.0 {
+            return 1.0;
+        }
+        self.mean_edge_length / self.mean_random_pair_distance
+    }
+}
+
+/// Measures layout quality by sampling up to `samples` edges and the same
+/// number of random pairs.
+///
+/// # Panics
+/// Panics if sizes mismatch or the graph has no edges.
+pub fn layout_quality(
+    g: &CsrGraph,
+    layout: &Layout,
+    samples: usize,
+    seed: u64,
+) -> LayoutQuality {
+    assert_eq!(layout.len(), g.num_vertices(), "layout/graph size mismatch");
+    assert!(g.num_edges() > 0, "quality of an edgeless graph is undefined");
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let n = g.num_vertices();
+
+    // Sample edges via random (vertex, incident-edge) draws weighted by
+    // degree — cheap and adequate for a metric.
+    let mut edge_total = 0.0;
+    let mut edge_count = 0usize;
+    while edge_count < samples {
+        let v = rng.next_index(n) as u32;
+        let deg = g.degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let u = g.neighbors(v)[rng.next_index(deg)];
+        edge_total += layout.distance(u, v);
+        edge_count += 1;
+    }
+
+    let mut pair_total = 0.0;
+    for _ in 0..samples {
+        let a = rng.next_index(n) as u32;
+        let b = rng.next_index(n) as u32;
+        pair_total += layout.distance(a, b);
+    }
+
+    LayoutQuality {
+        mean_edge_length: edge_total / samples as f64,
+        mean_random_pair_distance: pair_total / samples as f64,
+        spread: layout.axis_stddev(),
+    }
+}
+
+/// The constrained-minimization objective of Equation 1 evaluated for a
+/// 2-D layout: `Σ_k (x_kᵀ L x_k) / (x_kᵀ D x_k)`. Lower is better; for the
+/// optimal degree-normalized eigenvectors this equals `μ₂ + μ₃`.
+pub fn energy_objective(g: &CsrGraph, layout: &Layout) -> f64 {
+    let deg = g.degree_vector();
+    let mut total = 0.0;
+    for axis in [&layout.x, &layout.y] {
+        let mut num = 0.0;
+        for (u, v) in g.edges() {
+            num += (axis[u as usize] - axis[v as usize]).powi(2);
+        }
+        let den: f64 = axis
+            .iter()
+            .zip(&deg)
+            .map(|(x, d)| x * x * d)
+            .sum();
+        if den > 0.0 {
+            total += num / den;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParHdeConfig;
+    use crate::parhde::par_hde;
+    use parhde_graph::gen::{chain, grid2d};
+    use parhde_linalg::eig::power::dominant_walk_eigenvectors;
+
+    #[test]
+    fn chain_natural_layout_contracts_edges() {
+        let g = chain(100);
+        let layout = Layout::new(
+            (0..100).map(|i| i as f64).collect(),
+            vec![0.0; 100],
+        );
+        let q = layout_quality(&g, &layout, 200, 1);
+        assert!(q.mean_edge_length <= 1.0 + 1e-9);
+        assert!(q.mean_random_pair_distance > 10.0);
+        assert!(q.contraction() < 0.1);
+    }
+
+    #[test]
+    fn random_layout_has_contraction_near_one() {
+        let g = grid2d(20, 20);
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(5);
+        let layout = Layout::new(
+            (0..400).map(|_| rng.next_f64()).collect(),
+            (0..400).map(|_| rng.next_f64()).collect(),
+        );
+        let q = layout_quality(&g, &layout, 1000, 2);
+        assert!(
+            (q.contraction() - 1.0).abs() < 0.15,
+            "random layout contraction {} should be ≈ 1",
+            q.contraction()
+        );
+    }
+
+    #[test]
+    fn energy_of_eigenvector_layout_matches_eigenvalues() {
+        // For exact degree-normalized eigenvectors, the objective equals
+        // (1−λ₂) + (1−λ₃) in walk eigenvalues = μ₂ + μ₃.
+        let g = grid2d(8, 8);
+        let (vecs, report) =
+            dominant_walk_eigenvectors(&g, 2, 4000, 1e-12, 3, None);
+        let layout = Layout::new(vecs[0].clone(), vecs[1].clone());
+        let expected: f64 = report.eigenvalues.iter().map(|l| 1.0 - l).sum();
+        let measured = energy_objective(&g, &layout);
+        assert!(
+            (measured - expected).abs() < 1e-6,
+            "objective {measured} vs eigenvalue sum {expected}"
+        );
+    }
+
+    #[test]
+    fn hde_energy_is_close_to_spectral_optimum() {
+        // HDE approximates the spectral solution: its objective should be
+        // within a small factor of the optimum (and far below random).
+        let g = grid2d(12, 12);
+        let (layout, _) = par_hde(&g, &ParHdeConfig::default());
+        let hde_energy = energy_objective(&g, &layout);
+        let (vecs, _) = dominant_walk_eigenvectors(&g, 2, 4000, 1e-12, 3, None);
+        let opt = energy_objective(&g, &Layout::new(vecs[0].clone(), vecs[1].clone()));
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(9);
+        let rand_layout = Layout::new(
+            (0..144).map(|_| rng.next_f64()).collect(),
+            (0..144).map(|_| rng.next_f64()).collect(),
+        );
+        let rand_energy = energy_objective(&g, &rand_layout);
+        assert!(
+            hde_energy < opt * 20.0 && hde_energy < rand_energy * 0.5,
+            "HDE {hde_energy} vs optimum {opt} vs random {rand_energy}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn edgeless_graph_rejected() {
+        let g = parhde_graph::builder::build_from_edges(3, vec![]);
+        let layout = Layout::new(vec![0.0; 3], vec![0.0; 3]);
+        layout_quality(&g, &layout, 10, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-run statistics and phase breakdowns.
+//!
+//! Figures 3, 5 and 6 of the paper are percentage breakdowns over four
+//! canonical buckets — BFS, TripleProd, DOrtho, Other — with Figure 5
+//! additionally splitting BFS into traversal vs. overhead and TripleProd
+//! into `LS` vs. `Sᵀ(LS)`. [`HdeStats`] records the fine-grained phases and
+//! [`HdeStats::grouped`] folds them into the canonical buckets.
+
+use parhde_bfs::TraversalStats;
+use parhde_util::PhaseTimes;
+
+/// Fine-grained phase names recorded by the pipelines.
+pub mod phase {
+    /// BFS/SSSP traversal proper.
+    pub const BFS: &str = "bfs";
+    /// Source-selection overhead (min-distance update + farthest argmax).
+    pub const BFS_OTHER: &str = "bfs_other";
+    /// Gram-Schmidt (D-)orthogonalization.
+    pub const DORTHO: &str = "dortho";
+    /// The `P = L·S` implicit SpMM.
+    pub const LS: &str = "ls";
+    /// The `Z = Sᵀ·P` dense product ("dgemm" in the paper).
+    pub const GEMM: &str = "gemm";
+    /// Column centering (PHDE).
+    pub const COL_CENTER: &str = "col_center";
+    /// Double centering (PivotMDS).
+    pub const DBL_CENTER: &str = "dbl_center";
+    /// The small eigensolve.
+    pub const EIGEN: &str = "eigensolve";
+    /// Final projection to coordinates.
+    pub const PROJECT: &str = "project";
+    /// Initialization (allocation, seeding).
+    pub const INIT: &str = "init";
+}
+
+/// The four canonical breakdown buckets of Figures 3/5/6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupedBreakdown {
+    /// BFS traversal + source selection, seconds.
+    pub bfs: f64,
+    /// `LS` + `Sᵀ(LS)` (or the centering + matmul stages for PHDE/PivotMDS),
+    /// seconds.
+    pub triple_prod: f64,
+    /// (D-)orthogonalization, seconds.
+    pub dortho: f64,
+    /// Everything else (eigensolve, projection, init), seconds.
+    pub other: f64,
+}
+
+impl GroupedBreakdown {
+    /// Total seconds across buckets.
+    pub fn total(&self) -> f64 {
+        self.bfs + self.triple_prod + self.dortho + self.other
+    }
+
+    /// Percentages in bucket order `[bfs, triple_prod, dortho, other]`
+    /// (all zeros if nothing was recorded).
+    pub fn percentages(&self) -> [f64; 4] {
+        let t = self.total();
+        if t <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            100.0 * self.bfs / t,
+            100.0 * self.triple_prod / t,
+            100.0 * self.dortho / t,
+            100.0 * self.other / t,
+        ]
+    }
+}
+
+/// Statistics from one layout-pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct HdeStats {
+    /// Fine-grained phase times.
+    pub phases: PhaseTimes,
+    /// Aggregated traversal statistics over all BFS runs (zeroed when the
+    /// traversal does not report stats, e.g. sequential BFS or SSSP).
+    pub traversal: TraversalStats,
+    /// Requested subspace dimension `s`.
+    pub s_requested: usize,
+    /// Columns surviving orthogonalization (excluding the constant column).
+    pub s_kept: usize,
+    /// Degenerate columns dropped by DOrtho.
+    pub dropped_columns: usize,
+    /// The eigenvalues selected for the two layout axes (generalized
+    /// Rayleigh quotients for ParHDE; `CᵀC` eigenvalues for PHDE/PivotMDS).
+    pub axis_eigenvalues: Vec<f64>,
+    /// The pivot vertices used, in selection order.
+    pub sources: Vec<u32>,
+}
+
+impl HdeStats {
+    /// Folds fine-grained phases into the four canonical buckets.
+    pub fn grouped(&self) -> GroupedBreakdown {
+        let p = &self.phases;
+        GroupedBreakdown {
+            bfs: p.seconds(phase::BFS) + p.seconds(phase::BFS_OTHER),
+            triple_prod: p.seconds(phase::LS)
+                + p.seconds(phase::GEMM)
+                + p.seconds(phase::COL_CENTER)
+                + p.seconds(phase::DBL_CENTER),
+            dortho: p.seconds(phase::DORTHO),
+            other: p.seconds(phase::EIGEN)
+                + p.seconds(phase::PROJECT)
+                + p.seconds(phase::INIT),
+        }
+    }
+
+    /// Total wall seconds across all recorded phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.total().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn grouping_folds_correctly() {
+        let mut s = HdeStats::default();
+        s.phases.add(phase::BFS, Duration::from_millis(60));
+        s.phases.add(phase::BFS_OTHER, Duration::from_millis(40));
+        s.phases.add(phase::LS, Duration::from_millis(30));
+        s.phases.add(phase::GEMM, Duration::from_millis(20));
+        s.phases.add(phase::DORTHO, Duration::from_millis(25));
+        s.phases.add(phase::EIGEN, Duration::from_millis(5));
+        let g = s.grouped();
+        assert!((g.bfs - 0.1).abs() < 1e-9);
+        assert!((g.triple_prod - 0.05).abs() < 1e-9);
+        assert!((g.dortho - 0.025).abs() < 1e-9);
+        assert!((g.other - 0.005).abs() < 1e-9);
+        assert!((g.total() - 0.18).abs() < 1e-9);
+        let pct = g.percentages();
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = HdeStats::default();
+        let g = s.grouped();
+        assert_eq!(g.total(), 0.0);
+        assert_eq!(g.percentages(), [0.0; 4]);
+        assert_eq!(s.total_seconds(), 0.0);
+    }
+}

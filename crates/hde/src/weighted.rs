@@ -1,0 +1,308 @@
+//! Weighted-graph ParHDE: SSSP distances instead of BFS levels (§3.3).
+//!
+//! The pipeline is Algorithm 3 with two substitutions: the traversal is
+//! Δ-stepping SSSP, and `D`/`L` use weighted degrees. Note the edge-weight
+//! convention flip the paper inherits from HDE vs. PHDE (§2.1 vs. §2.3):
+//! for the *distance* computation, weights are lengths (lower = closer),
+//! while for the Laplacian they are similarities (higher = closer). Using
+//! the same numbers for both makes the two effects cancel, so
+//! [`WeightSemantics`] states which convention the input uses and the
+//! pipeline derives the other side as the reciprocal — with a
+//! [`WeightSemantics::Raw`] escape hatch that feeds the numbers to both
+//! sides unchanged (the literal reading of §3.3).
+
+use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::layout::Layout;
+use crate::parhde::{assert_connected, subspace_axes};
+use crate::pivots::{farthest_vertex, fold_min_distance};
+use crate::stats::{phase, HdeStats};
+use parhde_graph::WeightedCsr;
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::gemm::{a_small, at_b};
+use parhde_linalg::ortho::{cgs, mgs};
+use parhde_linalg::spmm::laplacian_spmm_weighted;
+use parhde_sssp::delta_stepping::delta_stepping_into_f64;
+use parhde_util::{Timer, Xoshiro256StarStar};
+use rayon::prelude::*;
+
+/// How the input edge weights should be interpreted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WeightSemantics {
+    /// Weights are **lengths** (SSSP convention: lower = closer). The
+    /// Laplacian/D side uses reciprocal weights as similarities. Requires
+    /// strictly positive weights.
+    #[default]
+    Lengths,
+    /// Weights are **similarities** (Laplacian convention, §2.1: heavier =
+    /// more similar). SSSP runs on reciprocal weights as lengths. Requires
+    /// strictly positive weights.
+    Similarities,
+    /// Feed the raw numbers to both sides — the literal reading of the
+    /// paper's §3.3. The SSSP stretch and the Laplacian pull then largely
+    /// cancel; useful mainly for performance experiments.
+    Raw,
+}
+
+/// Runs weighted ParHDE with Δ-stepping SSSP for the distance phase.
+///
+/// `delta` is the Δ-stepping bucket width **in length units**; pass
+/// [`parhde_sssp::suggest_delta`]'s output (computed on the length-weighted
+/// graph) when in doubt (§4.4 notes performance "is dependent on the
+/// setting for Δ").
+///
+/// # Panics
+/// Panics under the same conditions as [`crate::par_hde`], if `delta` is
+/// not positive, or if a non-positive weight appears under a reciprocal
+/// semantics.
+pub fn par_hde_weighted(
+    g: &WeightedCsr,
+    cfg: &ParHdeConfig,
+    delta: f64,
+) -> (Layout, HdeStats) {
+    par_hde_weighted_with(g, cfg, delta, WeightSemantics::default())
+}
+
+/// [`par_hde_weighted`] with an explicit [`WeightSemantics`].
+///
+/// # Panics
+/// See [`par_hde_weighted`].
+pub fn par_hde_weighted_with(
+    g: &WeightedCsr,
+    cfg: &ParHdeConfig,
+    delta: f64,
+    semantics: WeightSemantics,
+) -> (Layout, HdeStats) {
+    let n = g.num_vertices();
+    cfg.validate(n);
+    let s = cfg.subspace;
+
+    // Derive the length-weighted graph (for SSSP) and the
+    // similarity-weighted graph (for D and L) from the declared semantics.
+    let reciprocal = |w: &WeightedCsr| -> WeightedCsr {
+        assert!(
+            w.weights().iter().all(|&x| x > 0.0),
+            "reciprocal weight semantics require strictly positive weights"
+        );
+        let inv: Vec<f64> = w.weights().iter().map(|x| 1.0 / x).collect();
+        WeightedCsr::from_parts_unchecked(w.graph().clone(), inv)
+    };
+    let (lengths, sims) = match semantics {
+        WeightSemantics::Lengths => (g.clone(), reciprocal(g)),
+        WeightSemantics::Similarities => (reciprocal(g), g.clone()),
+        WeightSemantics::Raw => (g.clone(), g.clone()),
+    };
+    let g = &lengths;
+
+    let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+    let mut b = ColMajorMatrix::zeros(n, s);
+
+    // ---- SSSP phase -------------------------------------------------------
+    match cfg.pivots {
+        PivotStrategy::KCenters => {
+            let mut min_dist = vec![f64::INFINITY; n];
+            let mut src = rng.next_index(n) as u32;
+            for i in 0..s {
+                stats.sources.push(src);
+                let t = Timer::start();
+                let reached = delta_stepping_into_f64(g, src, delta, b.col_mut(i));
+                stats.phases.add(phase::BFS, t.elapsed());
+                assert_connected(reached, n);
+                let t = Timer::start();
+                fold_min_distance(&mut min_dist, b.col(i));
+                src = farthest_vertex(&min_dist);
+                stats.phases.add(phase::BFS_OTHER, t.elapsed());
+            }
+        }
+        PivotStrategy::Random => {
+            let t = Timer::start();
+            let sources: Vec<u32> = rng
+                .sample_distinct(n, s)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+            stats.sources = sources.clone();
+            stats.phases.add(phase::BFS_OTHER, t.elapsed());
+            let t = Timer::start();
+            let reached: Vec<usize> = sources
+                .par_iter()
+                .zip(b.columns_mut())
+                .map(|(&src, col)| delta_stepping_into_f64(g, src, delta, col))
+                .collect();
+            stats.phases.add(phase::BFS, t.elapsed());
+            assert_connected(reached[0], n);
+        }
+    }
+
+    // ---- S assembly ---------------------------------------------------------
+    let t = Timer::start();
+    let mut smat = ColMajorMatrix::zeros(n, s + 1);
+    smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
+    for i in 0..s {
+        smat.col_mut(i + 1).copy_from_slice(b.col(i));
+    }
+    let degrees = sims.weighted_degree_vector();
+    stats.phases.add(phase::INIT, t.elapsed());
+
+    // ---- DOrtho -------------------------------------------------------------
+    let t = Timer::start();
+    let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
+    let outcome = match cfg.ortho {
+        OrthoMethod::Mgs => mgs(&mut smat, weights, cfg.drop_tolerance),
+        OrthoMethod::Cgs => cgs(&mut smat, weights, cfg.drop_tolerance),
+    };
+    debug_assert_eq!(outcome.kept.first(), Some(&0));
+    let survivors: Vec<usize> = (1..smat.cols()).collect();
+    smat.retain_columns(&survivors);
+    stats.dropped_columns = outcome.dropped.len();
+    stats.s_kept = smat.cols();
+    stats.phases.add(phase::DORTHO, t.elapsed());
+    assert!(smat.cols() >= 2, "fewer than two directions survived");
+
+    // ---- TripleProd -----------------------------------------------------------
+    let t = Timer::start();
+    let p = laplacian_spmm_weighted(&sims, &degrees, &smat);
+    stats.phases.add(phase::LS, t.elapsed());
+    let t = Timer::start();
+    let z = at_b(&smat, &p);
+    stats.phases.add(phase::GEMM, t.elapsed());
+
+    // ---- Eigensolve + projection -----------------------------------------------
+    let t = Timer::start();
+    let (y, mus) = subspace_axes(&smat, &z, weights);
+    stats.axis_eigenvalues = mus;
+    stats.phases.add(phase::EIGEN, t.elapsed());
+    let t = Timer::start();
+    let coords = a_small(&smat, &y);
+    let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
+    stats.phases.add(phase::PROJECT, t.elapsed());
+    (layout, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parhde::par_hde;
+    use parhde_graph::builder::build_weighted_from_edges;
+    use parhde_graph::gen::grid2d;
+    use parhde_util::Xoshiro256StarStar as Rng;
+
+    #[test]
+    fn unit_weights_reproduce_unweighted_layout() {
+        // §4.4 runs SSSP with unit weights as a consistency check; the
+        // distances (and thus the layout) must match the BFS pipeline.
+        let g = grid2d(12, 12);
+        let wg = WeightedCsr::unit_weights(g.clone());
+        let cfg = ParHdeConfig::default();
+        let (a, sa) = par_hde(&g, &cfg);
+        let (b, sb) = par_hde_weighted(&wg, &cfg, 1.0);
+        assert_eq!(sa.sources, sb.sources);
+        for (x, y) in a.x.iter().zip(&b.x) {
+            assert!((x - y).abs() < 1e-8);
+        }
+        for (x, y) in a.y.iter().zip(&b.y) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn random_weights_produce_sane_layout() {
+        let base = grid2d(10, 10);
+        let mut rng = Rng::seed_from_u64(5);
+        let edges: Vec<(u32, u32, f64)> = base
+            .edges()
+            .map(|(u, v)| (u, v, 0.5 + rng.next_f64() * 4.5))
+            .collect();
+        let wg = build_weighted_from_edges(100, edges);
+        let delta = parhde_sssp::suggest_delta(&wg);
+        let (layout, stats) = par_hde_weighted(&wg, &ParHdeConfig::default(), delta);
+        assert_eq!(layout.len(), 100);
+        assert!(stats.s_kept >= 2);
+        let (sx, sy) = layout.axis_stddev();
+        assert!(sx > 1e-9 && sy > 1e-9);
+    }
+
+    #[test]
+    fn semantics_modes_agree_on_unit_weights() {
+        // 1/1 = 1, so all three semantics coincide for unit weights.
+        let g = WeightedCsr::unit_weights(grid2d(8, 8));
+        let cfg = ParHdeConfig::default();
+        let (a, _) = par_hde_weighted_with(&g, &cfg, 1.0, WeightSemantics::Lengths);
+        let (b, _) =
+            par_hde_weighted_with(&g, &cfg, 1.0, WeightSemantics::Similarities);
+        let (c, _) = par_hde_weighted_with(&g, &cfg, 1.0, WeightSemantics::Raw);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn length_semantics_stretch_the_long_edges() {
+        // Grid whose vertical edges are 5× longer than horizontal ones
+        // (similarity 1/5 after reciprocation — enough that the two
+        // cheapest Laplacian modes are both vertical). The cheap variation
+        // directions are then vertical, so the drawing separates vertical
+        // neighbors much more than horizontal ones. (Note the global
+        // aspect ratio stays ≈ 1 — spectral axes are individually
+        // normalized — the weighting shows in per-direction edge lengths.)
+        let base = grid2d(30, 30);
+        let edges: Vec<(u32, u32, f64)> = base
+            .edges()
+            .map(|(u, v)| (u, v, if v == u + 1 { 1.0 } else { 5.0 }))
+            .collect();
+        let wg = build_weighted_from_edges(900, edges);
+        let cfg = ParHdeConfig::with_subspace(15);
+        let direction_ratio = |layout: &Layout| {
+            let (mut h, mut hn, mut v, mut vn) = (0.0, 0usize, 0.0, 0usize);
+            for (u, w) in base.edges() {
+                let d = layout.distance(u, w);
+                if w == u + 1 {
+                    h += d;
+                    hn += 1;
+                } else {
+                    v += d;
+                    vn += 1;
+                }
+            }
+            (v / vn as f64) / (h / hn as f64)
+        };
+        let (long_v, _) =
+            par_hde_weighted_with(&wg, &cfg, 2.0, WeightSemantics::Lengths);
+        let ratio = direction_ratio(&long_v);
+        assert!(
+            ratio > 2.0,
+            "vertical edges should draw much longer than horizontal: {ratio:.2}"
+        );
+        // Raw semantics cancel and keep the two directions comparable.
+        let (raw, _) = par_hde_weighted_with(&wg, &cfg, 2.0, WeightSemantics::Raw);
+        let raw_ratio = direction_ratio(&raw);
+        assert!(
+            raw_ratio < ratio / 1.5,
+            "raw ratio {raw_ratio:.2} should sit below lengths ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn reciprocal_semantics_reject_zero_weights() {
+        let wg = build_weighted_from_edges(3, vec![(0, 1, 0.0), (1, 2, 1.0)]);
+        par_hde_weighted_with(
+            &wg,
+            &ParHdeConfig::with_subspace(1),
+            1.0,
+            WeightSemantics::Lengths,
+        );
+    }
+
+    #[test]
+    fn random_pivot_strategy_works_weighted() {
+        let g = WeightedCsr::unit_weights(grid2d(9, 9));
+        let cfg = ParHdeConfig {
+            pivots: PivotStrategy::Random,
+            subspace: 6,
+            ..ParHdeConfig::default()
+        };
+        let (layout, stats) = par_hde_weighted(&g, &cfg, 1.0);
+        assert_eq!(stats.sources.len(), 6);
+        assert_eq!(layout.len(), 81);
+    }
+}

@@ -1,0 +1,109 @@
+//! The "zoom" feature for interactive multilevel visualization (§4.5.2).
+//!
+//! The user selects a vertex in the global layout; the k-hop neighborhood
+//! of that vertex is extracted as an induced subgraph and re-laid-out with
+//! ParHDE (Figure 8 shows the 10-hop neighborhood of a random vertex of
+//! barth5). Real-time re-layout is feasible because HDE's cost is nearly
+//! linear in the neighborhood size.
+
+use crate::config::ParHdeConfig;
+use crate::layout::Layout;
+use crate::parhde::par_hde;
+use crate::stats::HdeStats;
+use parhde_graph::prep::{induced_subgraph, k_hop_neighborhood};
+use parhde_graph::CsrGraph;
+
+/// A zoomed view: the neighborhood subgraph, its layout, and the mapping
+/// back to the original vertex ids.
+#[derive(Clone, Debug)]
+pub struct ZoomView {
+    /// The induced neighborhood subgraph (contiguous local ids).
+    pub graph: CsrGraph,
+    /// Layout of the subgraph (indexed by local ids).
+    pub layout: Layout,
+    /// `old_ids[local]` is the original vertex id.
+    pub old_ids: Vec<u32>,
+    /// The local id of the zoom center.
+    pub center: u32,
+    /// Pipeline statistics of the sub-layout.
+    pub stats: HdeStats,
+}
+
+/// Extracts the `hops`-hop neighborhood of `center` and lays it out.
+///
+/// The subspace dimension is clamped to the neighborhood size when the
+/// neighborhood is small (a 10-hop ball can have only a handful of
+/// vertices).
+///
+/// # Panics
+/// Panics if `center` is out of range or the neighborhood has fewer than
+/// 4 vertices (nothing meaningful to lay out).
+pub fn zoom(g: &CsrGraph, center: u32, hops: usize, cfg: &ParHdeConfig) -> ZoomView {
+    let ids = k_hop_neighborhood(g, center, hops);
+    assert!(
+        ids.len() >= 4,
+        "{}-hop neighborhood of {center} has only {} vertices",
+        hops,
+        ids.len()
+    );
+    let ex = induced_subgraph(g, &ids);
+    let mut sub_cfg = cfg.clone();
+    // Keep s comfortably below the neighborhood size.
+    sub_cfg.subspace = sub_cfg.subspace.min(ex.graph.num_vertices() / 2).max(2);
+    let (layout, stats) = par_hde(&ex.graph, &sub_cfg);
+    let center_local = ex
+        .new_id(center)
+        .expect("center is in its own neighborhood");
+    ZoomView {
+        graph: ex.graph,
+        layout,
+        old_ids: ex.old_ids,
+        center: center_local,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_graph::gen::{barth5_like, grid2d};
+
+    #[test]
+    fn zoom_extracts_ball_and_lays_out() {
+        let g = grid2d(30, 30);
+        let center = 30 * 15 + 15;
+        let view = zoom(&g, center as u32, 5, &ParHdeConfig::default());
+        // A 5-hop L1 ball in a grid interior has 2k²+2k+1 = 61 vertices.
+        assert_eq!(view.graph.num_vertices(), 61);
+        assert_eq!(view.layout.len(), 61);
+        assert_eq!(view.old_ids[view.center as usize], center as u32);
+        let (sx, sy) = view.layout.axis_stddev();
+        assert!(sx > 1e-9 && sy > 1e-9);
+    }
+
+    #[test]
+    fn zoom_ten_hops_on_mesh() {
+        // The Figure 8 scenario: 10-hop neighborhood of a vertex of the
+        // barth5 analogue.
+        let g = barth5_like();
+        let view = zoom(&g, 7000, 10, &ParHdeConfig::default());
+        assert!(view.graph.num_vertices() > 100);
+        assert!(view.graph.num_vertices() < g.num_vertices());
+        assert!(parhde_graph::prep::is_connected(&view.graph));
+    }
+
+    #[test]
+    fn zoom_clamps_subspace_for_tiny_neighborhoods() {
+        let g = grid2d(20, 20);
+        let cfg = ParHdeConfig::with_subspace(50);
+        let view = zoom(&g, 0, 2, &cfg); // corner: 2-hop ball has 6 vertices
+        assert!(view.stats.s_requested <= view.graph.num_vertices() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "has only")]
+    fn zoom_rejects_degenerate_ball() {
+        let g = grid2d(20, 20);
+        zoom(&g, 0, 0, &ParHdeConfig::default());
+    }
+}

@@ -1,0 +1,231 @@
+//! Parallel BLAS-1 vector kernels.
+//!
+//! These are the inner operations of the DOrtho phase (Algorithm 3 line 11:
+//! dot products and axpy updates on O(n) vectors, parallelized across
+//! threads; the `log n` depth term in Table 1 is the reduction tree of the
+//! dot-product sum).
+//!
+//! Reductions are **deterministic**: vectors are cut into fixed-size chunks,
+//! each chunk is summed sequentially, and the per-chunk partials are summed
+//! in chunk order. Determinism costs nothing here and makes every layout in
+//! the test suite reproducible bit-for-bit across thread counts.
+
+use rayon::prelude::*;
+
+/// Chunk length for parallel reductions; below this, kernels run scalar
+/// (rayon task overhead would dominate for short vectors).
+pub const PAR_CHUNK: usize = 1 << 14;
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    if x.len() < PAR_CHUNK {
+        return x.iter().zip(y).map(|(a, b)| a * b).sum();
+    }
+    let partials: Vec<f64> = x
+        .par_chunks(PAR_CHUNK)
+        .zip(y.par_chunks(PAR_CHUNK))
+        .map(|(cx, cy)| cx.iter().zip(cy).map(|(a, b)| a * b).sum())
+        .collect();
+    partials.iter().sum()
+}
+
+/// D-weighted dot product `xᵀ D y = Σ_i x_i d_i y_i` — the inner product of
+/// the D-orthogonalization (Algorithm 3 line 11 uses `s'_j D s_i`).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot_weighted(x: &[f64], d: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_weighted length mismatch");
+    assert_eq!(x.len(), d.len(), "weight vector length mismatch");
+    if x.len() < PAR_CHUNK {
+        return x
+            .iter()
+            .zip(d)
+            .zip(y)
+            .map(|((a, w), b)| a * w * b)
+            .sum();
+    }
+    let partials: Vec<f64> = x
+        .par_chunks(PAR_CHUNK)
+        .zip(d.par_chunks(PAR_CHUNK))
+        .zip(y.par_chunks(PAR_CHUNK))
+        .map(|((cx, cd), cy)| {
+            cx.iter()
+                .zip(cd)
+                .zip(cy)
+                .map(|((a, w), b)| a * w * b)
+                .sum()
+        })
+        .collect();
+    partials.iter().sum()
+}
+
+/// `y ← y + α·x`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if x.len() < PAR_CHUNK {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+        return;
+    }
+    y.par_chunks_mut(PAR_CHUNK)
+        .zip(x.par_chunks(PAR_CHUNK))
+        .for_each(|(cy, cx)| {
+            for (yi, xi) in cy.iter_mut().zip(cx) {
+                *yi += alpha * xi;
+            }
+        });
+}
+
+/// `x ← α·x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    if x.len() < PAR_CHUNK {
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+        return;
+    }
+    x.par_chunks_mut(PAR_CHUNK).for_each(|c| {
+        for xi in c {
+            *xi *= alpha;
+        }
+    });
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// D-weighted norm `√(xᵀ D x)`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn norm2_weighted(x: &[f64], d: &[f64]) -> f64 {
+    dot_weighted(x, d, x).sqrt()
+}
+
+/// Fills `x` with a constant.
+pub fn fill(x: &mut [f64], v: f64) {
+    if x.len() < PAR_CHUNK {
+        x.fill(v);
+        return;
+    }
+    x.par_chunks_mut(PAR_CHUNK).for_each(|c| c.fill(v));
+}
+
+/// Sum of all entries.
+pub fn sum(x: &[f64]) -> f64 {
+    if x.len() < PAR_CHUNK {
+        return x.iter().sum();
+    }
+    let partials: Vec<f64> = x
+        .par_chunks(PAR_CHUNK)
+        .map(|c| c.iter().sum())
+        .collect();
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_util::Xoshiro256StarStar;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn dot_small() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+    }
+
+    #[test]
+    fn dot_large_matches_scalar() {
+        let n = PAR_CHUNK * 3 + 17;
+        let x = random_vec(n, 1);
+        let y = random_vec(n, 2);
+        let scalar: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - scalar).abs() < 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_pool_sizes() {
+        let n = PAR_CHUNK * 4 + 5;
+        let x = random_vec(n, 3);
+        let y = random_vec(n, 4);
+        let a = parhde_util::threads::run_with_threads(1, || dot(&x, &y));
+        let b = parhde_util::threads::run_with_threads(4, || dot(&x, &y));
+        assert_eq!(a.to_bits(), b.to_bits(), "parallel dot must be bitwise deterministic");
+    }
+
+    #[test]
+    fn weighted_dot_matches_definition() {
+        let x = [1., 2.];
+        let d = [3., 4.];
+        let y = [5., 6.];
+        assert_eq!(dot_weighted(&x, &d, &y), 1. * 3. * 5. + 2. * 4. * 6.);
+    }
+
+    #[test]
+    fn weighted_dot_with_unit_weights_is_dot() {
+        let n = PAR_CHUNK + 100;
+        let x = random_vec(n, 5);
+        let y = random_vec(n, 6);
+        let d = vec![1.0; n];
+        assert!((dot_weighted(&x, &d, &y) - dot(&x, &y)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axpy_small_and_large() {
+        let mut y = vec![1.0; 3];
+        axpy(2.0, &[1., 2., 3.], &mut y);
+        assert_eq!(y, vec![3., 5., 7.]);
+
+        let n = PAR_CHUNK * 2 + 9;
+        let x = random_vec(n, 7);
+        let mut y1 = random_vec(n, 8);
+        let mut y2 = y1.clone();
+        axpy(-0.5, &x, &mut y1);
+        for (yi, xi) in y2.iter_mut().zip(&x) {
+            *yi += -0.5 * xi;
+        }
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let mut x = vec![3.0, 4.0];
+        assert_eq!(norm2(&x), 5.0);
+        scale(2.0, &mut x);
+        assert_eq!(x, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn weighted_norm() {
+        // xᵀDx = 1·2·1 + 2·3·2 = 14
+        assert!((norm2_weighted(&[1., 2.], &[2., 3.]) - 14f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_and_sum() {
+        let mut x = vec![0.0; PAR_CHUNK + 3];
+        fill(&mut x, 2.5);
+        assert!((sum(&x) - 2.5 * x.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

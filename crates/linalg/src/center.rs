@@ -1,0 +1,172 @@
+//! Column centering (PHDE) and double centering (PivotMDS).
+//!
+//! §3.2: "PHDE ... has a column centering step which requires subtracting
+//! the mean of every column from the column entries. We implement this in a
+//! two-phase manner, computing the column means in the first phase and
+//! performing the subtraction in the second phase. PivotMDS requires
+//! double-centering of the distance matrix, which is computationally
+//! similar."
+
+use crate::blas1;
+use crate::dense::ColMajorMatrix;
+use rayon::prelude::*;
+
+/// Subtracts each column's mean from its entries (two-phase, parallel
+/// across columns — columns are contiguous in the layout). Returns the
+/// per-column means that were removed.
+pub fn column_center(m: &mut ColMajorMatrix) -> Vec<f64> {
+    let rows = m.rows();
+    if rows == 0 {
+        return vec![0.0; m.cols()];
+    }
+    let mut means = vec![0.0; m.cols()];
+    m.columns_mut()
+        .into_par_iter()
+        .zip(means.par_iter_mut())
+        .for_each(|(col, mean)| {
+            // Phase 1: mean.
+            *mean = blas1::sum(col) / rows as f64;
+            // Phase 2: subtract.
+            let mu = *mean;
+            for x in col.iter_mut() {
+                *x -= mu;
+            }
+        });
+    means
+}
+
+/// Double-centers the matrix of **squared** distances, PivotMDS-style:
+///
+/// `c_ij = −½ (d²_ij − rowmean_i − colmean_j + totalmean)`
+///
+/// The input should already hold squared distances; the operation is in
+/// place.
+pub fn double_center_squared(m: &mut ColMajorMatrix) {
+    let rows = m.rows();
+    let cols = m.cols();
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    // Column means (parallel per column).
+    let col_means: Vec<f64> = (0..cols)
+        .into_par_iter()
+        .map(|c| blas1::sum(m.col(c)) / rows as f64)
+        .collect();
+    // Row means: accumulate across columns (parallel over row chunks via a
+    // fold over columns kept sequential for determinism; n×s with small s,
+    // so a single pass is cheap).
+    let mut row_sums = vec![0.0; rows];
+    for c in 0..cols {
+        for (rs, &x) in row_sums.iter_mut().zip(m.col(c)) {
+            *rs += x;
+        }
+    }
+    let inv_cols = 1.0 / cols as f64;
+    let row_means: Vec<f64> = row_sums.iter().map(|s| s * inv_cols).collect();
+    let total_mean = blas1::sum(&col_means) / cols as f64;
+
+    let row_means_ref = &row_means;
+    m.columns_mut()
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(c, col)| {
+            let cm = col_means[c];
+            for (r, x) in col.iter_mut().enumerate() {
+                *x = -0.5 * (*x - row_means_ref[r] - cm + total_mean);
+            }
+        });
+}
+
+/// Squares every entry in place (distance matrix → squared distances,
+/// the PivotMDS preprocessing input to [`double_center_squared`]).
+pub fn square_entries(m: &mut ColMajorMatrix) {
+    m.data_mut().par_chunks_mut(1 << 14).for_each(|chunk| {
+        for x in chunk {
+            *x *= *x;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_center_zeroes_means() {
+        let mut m = ColMajorMatrix::from_columns(&[
+            vec![1.0, 2.0, 3.0],
+            vec![10.0, 20.0, 30.0],
+        ]);
+        let means = column_center(&mut m);
+        assert_eq!(means, vec![2.0, 20.0]);
+        assert_eq!(m.col(0), &[-1.0, 0.0, 1.0]);
+        assert!((blas1::sum(m.col(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_center_is_idempotent() {
+        let mut m = ColMajorMatrix::from_columns(&[vec![5.0, 7.0, 9.0]]);
+        column_center(&mut m);
+        let first = m.clone();
+        let means = column_center(&mut m);
+        assert!(means[0].abs() < 1e-12);
+        assert_eq!(m, first);
+    }
+
+    #[test]
+    fn double_center_zeroes_both_margins() {
+        let mut m = ColMajorMatrix::from_columns(&[
+            vec![0.0, 1.0, 4.0],
+            vec![1.0, 0.0, 1.0],
+            vec![4.0, 1.0, 0.0],
+        ]);
+        double_center_squared(&mut m);
+        // All row sums and column sums must vanish after double centering.
+        for c in 0..3 {
+            assert!(blas1::sum(m.col(c)).abs() < 1e-12, "col {c} sum");
+        }
+        for r in 0..3 {
+            let rs: f64 = (0..3).map(|c| m.get(r, c)).sum();
+            assert!(rs.abs() < 1e-12, "row {r} sum");
+        }
+    }
+
+    #[test]
+    fn double_center_classic_mds_identity() {
+        // For points on a line at 0, 1, 3: squared distances reproduce the
+        // Gram matrix of centered coordinates after double centering.
+        let pts = [0.0f64, 1.0, 3.0];
+        let mut m = ColMajorMatrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, (pts[i] - pts[j]).powi(2));
+            }
+        }
+        double_center_squared(&mut m);
+        let mean = pts.iter().sum::<f64>() / 3.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let gram = (pts[i] - mean) * (pts[j] - mean);
+                assert!(
+                    (m.get(i, j) - gram).abs() < 1e-12,
+                    "Gram mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_entries_squares() {
+        let mut m = ColMajorMatrix::from_data(2, 1, vec![-3.0, 2.0]);
+        square_entries(&mut m);
+        assert_eq!(m.data(), &[9.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix_centering_is_safe() {
+        let mut m = ColMajorMatrix::zeros(0, 2);
+        let means = column_center(&mut m);
+        assert_eq!(means, vec![0.0, 0.0]);
+        double_center_squared(&mut m);
+    }
+}

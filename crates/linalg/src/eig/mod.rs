@@ -1,0 +1,17 @@
+//! Eigensolvers.
+//!
+//! Two solvers for two very different regimes:
+//!
+//! * [`jacobi`] — cyclic Jacobi rotations for the dense symmetric `s×s`
+//!   problem of Algorithm 3 line 19 (`s ≤ 50`, so the O(s³)-per-sweep cost
+//!   is the paper's "negligible" eigensolve);
+//! * [`power`] — deflated power iteration on the symmetric normalized
+//!   adjacency `D^{-1/2} A D^{-1/2}`, which yields the degree-normalized
+//!   eigenvectors used for the "exact" reference drawing of Figure 1
+//!   (bottom) and the §4.5.3 eigensolver-preprocessing experiments.
+
+pub mod jacobi;
+pub mod power;
+
+pub use jacobi::{symmetric_eigen, Eigen};
+pub use power::{dominant_walk_eigenvectors, PowerIterationReport};

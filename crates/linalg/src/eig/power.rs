@@ -1,0 +1,242 @@
+//! Deflated power iteration on the normalized adjacency.
+//!
+//! Computes the dominant non-trivial eigenvectors of the walk matrix
+//! `D^{-1}A` — the degree-normalized eigenvectors Koren recommends for
+//! layout (§2.1) and the reference drawing of Figure 1 (bottom). Working in
+//! the symmetric similarity transform `N = D^{-1/2} A D^{-1/2}` keeps the
+//! iteration an ordinary symmetric power method:
+//!
+//! * `N`'s top eigenvector is `D^{1/2}·1` (eigenvalue 1, the trivial one) —
+//!   it is deflated analytically;
+//! * each subsequent vector is power-iterated with re-orthogonalization
+//!   against all previous ones;
+//! * converged vectors `w` map back to walk-matrix eigenvectors via
+//!   `u = D^{-1/2} w`.
+//!
+//! This is also the "expensive eigensolver" that §4.5.3's
+//! HDE-as-preprocessing experiment competes against.
+
+use crate::blas1::{axpy, dot, norm2, scale};
+use crate::spmm::normalized_adjacency_spmv;
+use parhde_graph::CsrGraph;
+use parhde_util::Xoshiro256StarStar;
+
+/// Convergence and cost report from a power-iteration run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerIterationReport {
+    /// Estimated eigenvalues of the walk matrix, one per computed vector.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix-vector products performed in total (the cost unit for the
+    /// §4.5.3 comparison).
+    pub matvecs: usize,
+    /// Whether each vector converged within the iteration cap.
+    pub converged: Vec<bool>,
+}
+
+/// Computes the `k` dominant non-trivial degree-normalized eigenvectors of
+/// the graph's walk matrix `D^{-1}A`.
+///
+/// `max_iters` caps iterations per vector; `tol` is the eigenvector change
+/// threshold (`‖x_{t+1} − x_t‖ < tol` in the symmetric space, checked after
+/// sign alignment). Optionally warm-starts from `init` (one column per
+/// vector, in walk-matrix coordinates — the §4.5.3 use case feeds HDE
+/// output here); missing columns are seeded randomly from `seed`.
+///
+/// Returns `(vectors, report)`, vectors in walk coordinates, D-normalized
+/// so that `uᵀ D u = 1`.
+///
+/// # Panics
+/// Panics if the graph has isolated vertices (no walk matrix), `k == 0`,
+/// or an `init` column has the wrong length.
+pub fn dominant_walk_eigenvectors(
+    g: &CsrGraph,
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+    init: Option<&[Vec<f64>]>,
+) -> (Vec<Vec<f64>>, PowerIterationReport) {
+    let n = g.num_vertices();
+    assert!(k > 0, "k must be positive");
+    let deg = g.degree_vector();
+    assert!(
+        deg.iter().all(|&d| d > 0.0),
+        "walk matrix undefined: graph has isolated vertices"
+    );
+    let inv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+    let sqrt_deg: Vec<f64> = deg.iter().map(|d| d.sqrt()).collect();
+
+    // The trivial top eigenvector of N, normalized.
+    let mut trivial = sqrt_deg.clone();
+    let tn = norm2(&trivial);
+    scale(1.0 / tn, &mut trivial);
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut basis: Vec<Vec<f64>> = vec![trivial];
+    let mut eigenvalues = Vec::with_capacity(k);
+    let mut converged = Vec::with_capacity(k);
+    let mut matvecs = 0usize;
+
+    for idx in 0..k {
+        // Seed: warm start (mapped to symmetric coords w = D^{1/2} u) or random.
+        let mut x: Vec<f64> = match init.and_then(|cols| cols.get(idx)) {
+            Some(u0) => {
+                assert_eq!(u0.len(), n, "init column length mismatch");
+                u0.iter().zip(&sqrt_deg).map(|(u, s)| u * s).collect()
+            }
+            None => (0..n).map(|_| rng.next_f64() - 0.5).collect(),
+        };
+        orthogonalize(&mut x, &basis);
+        let nx = norm2(&x);
+        assert!(nx > 0.0, "degenerate start vector");
+        scale(1.0 / nx, &mut x);
+
+        let mut lambda = 0.0;
+        let mut ok = false;
+        for _ in 0..max_iters {
+            // Iterate the shifted operator (N + I)/2, whose spectrum is
+            // (λ+1)/2 ∈ [0, 1]: monotone in λ, so the dominant direction is
+            // the largest *algebraic* eigenvalue. Plain N would converge to
+            // the −1 eigenvector on bipartite graphs (|−1| = |+1|), which is
+            // useless for layout.
+            let mut y = normalized_adjacency_spmv(g, &inv_sqrt, &x);
+            matvecs += 1;
+            for (yi, xi) in y.iter_mut().zip(&x) {
+                *yi = 0.5 * (*yi + xi);
+            }
+            orthogonalize(&mut y, &basis);
+            let ny = norm2(&y);
+            if ny <= f64::MIN_POSITIVE.sqrt() {
+                // x is (numerically) in the span of the basis ⇒ eigenvalue 0
+                // direction; keep the current x.
+                lambda = 0.0;
+                ok = true;
+                break;
+            }
+            scale(1.0 / ny, &mut y);
+            // Rayleigh quotient estimate uses λ ≈ xᵀNx; with y normalized,
+            // sign-aligned difference measures convergence.
+            let aligned_sign = if dot(&x, &y) < 0.0 { -1.0 } else { 1.0 };
+            let mut diff = 0.0;
+            for (a, b) in x.iter().zip(&y) {
+                let d = a - aligned_sign * b;
+                diff += d * d;
+            }
+            // ny estimates the shifted eigenvalue (λ+1)/2; undo the shift.
+            lambda = 2.0 * ny * aligned_sign - 1.0;
+            x = y;
+            if diff.sqrt() < tol {
+                ok = true;
+                break;
+            }
+        }
+        eigenvalues.push(lambda);
+        converged.push(ok);
+        basis.push(x);
+    }
+
+    // Map back to walk coordinates and D-normalize: u = D^{-1/2} w has
+    // uᵀDu = wᵀw = 1 already.
+    let vectors: Vec<Vec<f64>> = basis[1..]
+        .iter()
+        .map(|w| w.iter().zip(&inv_sqrt).map(|(x, s)| x * s).collect())
+        .collect();
+    (
+        vectors,
+        PowerIterationReport { eigenvalues, matvecs, converged },
+    )
+}
+
+/// Removes the components of `x` along each (orthonormal) basis vector.
+fn orthogonalize(x: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let c = dot(b, x);
+        axpy(-c, b, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas1::dot_weighted;
+    use parhde_graph::gen::{cycle, grid2d};
+
+    #[test]
+    fn cycle_eigenvalues_match_theory() {
+        // Walk matrix of C_n has eigenvalues cos(2πk/n); the dominant
+        // non-trivial one is cos(2π/n) with multiplicity 2.
+        let n = 24;
+        let g = cycle(n);
+        let (vecs, report) =
+            dominant_walk_eigenvectors(&g, 2, 4000, 1e-12, 7, None);
+        let expect = (2.0 * std::f64::consts::PI / n as f64).cos();
+        for (i, lam) in report.eigenvalues.iter().enumerate() {
+            assert!(
+                (lam - expect).abs() < 1e-5,
+                "eigenvalue {i}: {lam} vs {expect}"
+            );
+        }
+        assert_eq!(vecs.len(), 2);
+        assert!(report.converged.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn vectors_are_d_orthonormal_and_nontrivial() {
+        let g = grid2d(10, 10);
+        let deg = g.degree_vector();
+        let (vecs, _) = dominant_walk_eigenvectors(&g, 2, 3000, 1e-11, 3, None);
+        // uᵀDu = 1.
+        for v in &vecs {
+            assert!((dot_weighted(v, &deg, v) - 1.0).abs() < 1e-8);
+        }
+        // D-orthogonal to each other and to 1.
+        assert!(dot_weighted(&vecs[0], &deg, &vecs[1]).abs() < 1e-6);
+        let ones = vec![1.0; 100];
+        for v in &vecs {
+            assert!(dot_weighted(v, &deg, &ones).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        // Check D^{-1}A u ≈ λ u directly in walk coordinates.
+        let g = grid2d(8, 8);
+        let (vecs, report) =
+            dominant_walk_eigenvectors(&g, 1, 5000, 1e-12, 1, None);
+        let u = &vecs[0];
+        let lam = report.eigenvalues[0];
+        for v in 0..g.num_vertices() {
+            let mut acc = 0.0;
+            for &w in g.neighbors(v as u32) {
+                acc += u[w as usize];
+            }
+            acc /= g.degree(v as u32) as f64;
+            assert!(
+                (acc - lam * u[v]).abs() < 1e-5,
+                "residual at {v}: {acc} vs {}",
+                lam * u[v]
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let g = grid2d(12, 12);
+        let (vecs, cold) = dominant_walk_eigenvectors(&g, 1, 5000, 1e-10, 5, None);
+        let (_, warm) =
+            dominant_walk_eigenvectors(&g, 1, 5000, 1e-10, 5, Some(&vecs));
+        assert!(
+            warm.matvecs < cold.matvecs / 2,
+            "warm start {} vs cold {}",
+            warm.matvecs,
+            cold.matvecs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated vertices")]
+    fn isolated_vertex_rejected() {
+        let g = parhde_graph::builder::build_from_edges(3, vec![(0, 1)]);
+        dominant_walk_eigenvectors(&g, 1, 10, 1e-6, 0, None);
+    }
+}

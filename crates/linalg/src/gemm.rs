@@ -1,0 +1,204 @@
+//! Tall-skinny dense products.
+//!
+//! Step 2 of TripleProd is `Z = Sᵀ·P` with `S, P ∈ R^{n×s}` — a product of
+//! an `s×n` and an `n×s` matrix (the paper uses MKL `dgemm` here). With
+//! `s ≤ 50` the result is tiny; the efficient schedule is a parallel
+//! reduction over row blocks, each contributing a local `s×s` partial
+//! product. Partials are combined in block order, so results are
+//! deterministic for a fixed `n`.
+
+use crate::dense::ColMajorMatrix;
+use rayon::prelude::*;
+
+/// Row-block grain for the reduction.
+const ROW_CHUNK: usize = 2048;
+
+/// Computes `Z = Aᵀ·B` for column-major `A (n×p)` and `B (n×q)`;
+/// `Z` is `p×q` column-major.
+///
+/// # Panics
+/// Panics if row counts differ.
+pub fn at_b(a: &ColMajorMatrix, b: &ColMajorMatrix) -> ColMajorMatrix {
+    let n = a.rows();
+    assert_eq!(b.rows(), n, "row count mismatch");
+    let p = a.cols();
+    let q = b.cols();
+    let adata = a.data();
+    let bdata = b.data();
+
+    let partials: Vec<Vec<f64>> = (0..n.max(1))
+        .step_by(ROW_CHUNK)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|lo| {
+            let hi = (lo + ROW_CHUNK).min(n);
+            let mut z = vec![0.0; p * q];
+            for j in 0..q {
+                let bcol = &bdata[j * n..(j + 1) * n];
+                for i in 0..p {
+                    let acol = &adata[i * n..(i + 1) * n];
+                    let mut acc = 0.0;
+                    for r in lo..hi {
+                        acc += acol[r] * bcol[r];
+                    }
+                    z[j * p + i] += acc;
+                }
+            }
+            z
+        })
+        .collect();
+
+    let mut zdata = vec![0.0; p * q];
+    for part in partials {
+        for (zi, pi) in zdata.iter_mut().zip(part) {
+            *zi += pi;
+        }
+    }
+    ColMajorMatrix::from_data(p, q, zdata)
+}
+
+/// Computes the tall product `Y = A·W` for column-major `A (n×p)` and a
+/// small `W (p×q)` — the final projection `[x, y] = B·Y` of Algorithm 3
+/// line 20. Parallel over row blocks of the output.
+///
+/// # Panics
+/// Panics if inner dimensions disagree.
+pub fn a_small(a: &ColMajorMatrix, w: &ColMajorMatrix) -> ColMajorMatrix {
+    let n = a.rows();
+    let p = a.cols();
+    assert_eq!(w.rows(), p, "inner dimension mismatch");
+    let q = w.cols();
+    let adata = a.data();
+
+    let mut out = ColMajorMatrix::zeros(n, q);
+    // Column-major output: parallelize per output column, then per row block
+    // inside — each output column is contiguous and written by disjoint
+    // tasks.
+    let cols: Vec<Vec<f64>> = (0..q)
+        .into_par_iter()
+        .map(|j| {
+            let mut col = vec![0.0; n];
+            for i in 0..p {
+                let coeff = w.get(i, j);
+                if coeff == 0.0 {
+                    continue;
+                }
+                let acol = &adata[i * n..(i + 1) * n];
+                for (c, &av) in col.iter_mut().zip(acol) {
+                    *c += coeff * av;
+                }
+            }
+            col
+        })
+        .collect();
+    for (j, col) in cols.into_iter().enumerate() {
+        out.col_mut(j).copy_from_slice(&col);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_util::Xoshiro256StarStar;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> ColMajorMatrix {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        ColMajorMatrix::from_data(rows, cols, data)
+    }
+
+    fn naive_at_b(a: &ColMajorMatrix, b: &ColMajorMatrix) -> ColMajorMatrix {
+        let mut z = ColMajorMatrix::zeros(a.cols(), b.cols());
+        for i in 0..a.cols() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for r in 0..a.rows() {
+                    acc += a.get(r, i) * b.get(r, j);
+                }
+                z.set(i, j, acc);
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn at_b_small_exact() {
+        let a = ColMajorMatrix::from_data(2, 2, vec![1., 2., 3., 4.]);
+        let b = ColMajorMatrix::from_data(2, 1, vec![5., 6.]);
+        let z = at_b(&a, &b);
+        // Aᵀ = [[1,2],[3,4]]  ⇒ Z = [1·5+2·6, 3·5+4·6] = [17, 39]
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 1);
+        assert_eq!(z.get(0, 0), 17.0);
+        assert_eq!(z.get(1, 0), 39.0);
+    }
+
+    #[test]
+    fn at_b_matches_naive_large() {
+        let a = random_matrix(5000, 7, 1);
+        let b = random_matrix(5000, 4, 2);
+        let fast = at_b(&a, &b);
+        let slow = naive_at_b(&a, &b);
+        for i in 0..fast.data().len() {
+            assert!((fast.data()[i] - slow.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn at_a_is_symmetric_psd_diagonal() {
+        let a = random_matrix(300, 5, 3);
+        let z = at_b(&a, &a);
+        for i in 0..5 {
+            assert!(z.get(i, i) >= 0.0);
+            for j in 0..5 {
+                assert!((z.get(i, j) - z.get(j, i)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn a_small_projection_exact() {
+        // A (3×2) · W (2×2)
+        let a = ColMajorMatrix::from_data(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let w = ColMajorMatrix::from_data(2, 2, vec![1., 0., 0., 1.]);
+        let y = a_small(&a, &w);
+        assert_eq!(y.data(), a.data()); // identity W
+        let w2 = ColMajorMatrix::from_data(2, 1, vec![2., -1.]);
+        let y2 = a_small(&a, &w2);
+        // col = 2·[1,2,3] − [4,5,6] = [−2,−1,0]
+        assert_eq!(y2.col(0), &[-2., -1., 0.]);
+    }
+
+    #[test]
+    fn a_small_matches_naive() {
+        let a = random_matrix(400, 6, 5);
+        let w = random_matrix(6, 2, 6);
+        let y = a_small(&a, &w);
+        for r in 0..400 {
+            for c in 0..2 {
+                let mut acc = 0.0;
+                for k in 0..6 {
+                    acc += a.get(r, k) * w.get(k, c);
+                }
+                assert!((y.get(r, c) - acc).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn at_b_dimension_check() {
+        at_b(&ColMajorMatrix::zeros(3, 1), &ColMajorMatrix::zeros(4, 1));
+    }
+
+    #[test]
+    fn empty_rows_edgecase() {
+        let a = ColMajorMatrix::zeros(0, 3);
+        let b = ColMajorMatrix::zeros(0, 2);
+        let z = at_b(&a, &b);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+    }
+}

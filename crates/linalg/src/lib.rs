@@ -1,0 +1,35 @@
+//! Dense and sparse linear algebra for spectral graph layout.
+//!
+//! ParHDE's numeric phases (§3) are built from a handful of kernels, all
+//! implemented here rather than delegated to MKL/Eigen — mirroring the
+//! paper's own finding that its hand-written OpenMP loops beat both for
+//! these shapes ("we ... found our implementations to be generally faster"):
+//!
+//! * [`dense`] — the column-major matrix `S ∈ R^{n×(s+1)}` and friends
+//!   (Algorithm 3 line 2 specifies column-major so each BFS writes one
+//!   contiguous column).
+//! * [`blas1`] — rayon-parallel vector kernels: dot, D-weighted dot, axpy,
+//!   scale, norms. These are the inner ops of the DOrtho phase.
+//! * [`spmm`] — `P = L·S` computed **implicitly** off the CSR adjacency and
+//!   a dense degree array, never materializing the Laplacian (§3.1); plus
+//!   an explicit-Laplacian ablation and the normalized-adjacency product
+//!   used by the Figure 1 baseline.
+//! * [`gemm`] — the small dense product `Z = Sᵀ·P` (the "dgemm" step).
+//! * [`center`] — column centering (PHDE) and double centering (PivotMDS).
+//! * [`ortho`] — Modified and Classical Gram-Schmidt, plain and D-weighted,
+//!   with the paper's degenerate-vector drop rule (Table 7 compares them).
+//! * [`eig`] — a cyclic Jacobi eigensolver for the small `s×s` symmetric
+//!   problem, and deflated power iteration on the normalized adjacency for
+//!   the "exact" drawings (Figure 1 bottom) and §4.5.3.
+
+#![warn(missing_docs)]
+
+pub mod blas1;
+pub mod center;
+pub mod dense;
+pub mod eig;
+pub mod gemm;
+pub mod ortho;
+pub mod spmm;
+
+pub use dense::ColMajorMatrix;

@@ -1,0 +1,106 @@
+//! Sequential Dijkstra — the SSSP correctness oracle and baseline.
+
+use crate::{SsspResult, UNREACHABLE};
+use parhde_graph::WeightedCsr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry ordered by distance.
+struct Entry {
+    dist: f64,
+    vertex: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.vertex == other.vertex
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap semantics on BinaryHeap (a max-heap).
+        // Distances are finite non-NaN by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Computes single-source shortest paths with binary-heap Dijkstra.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn dijkstra(g: &WeightedCsr, source: u32) -> SsspResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry { dist: 0.0, vertex: source });
+    let mut reached = 0usize;
+    while let Some(Entry { dist: d, vertex: v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        reached += 1;
+        for (u, w) in g.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Entry { dist: nd, vertex: u });
+            }
+        }
+    }
+    SsspResult { dist, reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_graph::builder::build_weighted_from_edges;
+    use parhde_graph::gen::chain;
+    use parhde_graph::WeightedCsr;
+
+    #[test]
+    fn unit_chain_matches_hops() {
+        let g = WeightedCsr::unit_weights(chain(6));
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(r.reached, 6);
+    }
+
+    #[test]
+    fn takes_lighter_detour() {
+        // 0-2 direct costs 10; 0-1-2 costs 3.
+        let g = build_weighted_from_edges(
+            3,
+            vec![(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)],
+        );
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], 3.0);
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = build_weighted_from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+        let r = dijkstra(&g, 0);
+        assert!(r.dist[2].is_infinite());
+        assert_eq!(r.reached, 2);
+        assert_eq!(r.max_distance(), 1.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_free() {
+        let g = build_weighted_from_edges(3, vec![(0, 1, 0.0), (1, 2, 5.0)]);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Single-source shortest paths for weighted ParHDE (§3.3).
+//!
+//! For weighted graphs, ParHDE replaces the BFS phase with SSSP. The paper
+//! uses GAP's **Δ-stepping** (Meyer & Sanders): vertices are kept in
+//! distance buckets of width Δ; each iteration settles the lowest non-empty
+//! bucket by repeatedly relaxing its *light* edges (weight ≤ Δ, which can
+//! re-insert into the same bucket) and then relaxing the *heavy* edges
+//! (weight > Δ, which always land in later buckets) of everything deleted
+//! from the bucket. Following GAP (and the paper's description of it), the
+//! implementation "creates two types of buckets, shared buckets and
+//! thread-local buckets": relaxations first accumulate per-thread, then
+//! merge into the shared structure; buckets are not recycled and settled
+//! (stale) entries are skipped rather than removed.
+//!
+//! [`dijkstra`] is the sequential correctness oracle and baseline.
+
+#![warn(missing_docs)]
+
+pub mod delta_stepping;
+pub mod dijkstra;
+
+pub use delta_stepping::{delta_stepping, suggest_delta};
+pub use dijkstra::dijkstra;
+
+/// Distance assigned to unreachable vertices.
+pub const UNREACHABLE: f64 = f64::INFINITY;
+
+/// Result of an SSSP computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SsspResult {
+    /// `dist[v]` is the shortest-path distance from the source
+    /// ([`UNREACHABLE`] if no path exists).
+    pub dist: Vec<f64>,
+    /// Number of vertices with a finite distance.
+    pub reached: usize,
+}
+
+impl SsspResult {
+    /// Largest finite distance (0.0 when only the source is reached).
+    pub fn max_distance(&self) -> f64 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
+    }
+}

@@ -1,0 +1,81 @@
+//! Human-friendly formatting for the table-reproduction harness.
+
+/// Formats a count with thousands separators, e.g. `2147483376` →
+/// `"2 147 483 376"` (the paper's Table 2 style).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let bytes = digits.as_bytes();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, &b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push(' ');
+        }
+        out.push(b as char);
+    }
+    out
+}
+
+/// Formats seconds with a precision appropriate to magnitude
+/// (e.g. `72` → `"72.0"`, `0.123456` → `"0.123"`).
+pub fn seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.1}")
+    } else if s >= 0.001 {
+        format!("{s:.3}")
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a speedup ratio in the paper's `"18.0 ×"` style.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.1}×")
+}
+
+/// Left-pads or truncates `s` to exactly `width` columns (for fixed-width
+/// table rendering in terminal output). Operates on characters, so
+/// multibyte glyphs like `×` are safe.
+pub fn pad(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        s.chars().take(width).collect()
+    } else {
+        format!("{s:>width$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_groups_correctly() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1 000");
+        assert_eq!(thousands(2_147_483_376), "2 147 483 376");
+    }
+
+    #[test]
+    fn seconds_picks_precision() {
+        assert_eq!(seconds(123.4), "123");
+        assert_eq!(seconds(72.04), "72.0");
+        assert_eq!(seconds(0.1234), "0.123");
+        assert_eq!(seconds(0.0000005), "0.5 µs");
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(18.04), "18.0×");
+        assert_eq!(speedup(2.875), "2.9×");
+    }
+
+    #[test]
+    fn pad_widths() {
+        assert_eq!(pad("abc", 5), "  abc");
+        assert_eq!(pad("abcdef", 4), "abcd");
+        assert_eq!(pad("abcd", 4), "abcd");
+    }
+}

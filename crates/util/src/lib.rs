@@ -1,0 +1,28 @@
+//! Shared utilities for the ParHDE reproduction.
+//!
+//! This crate deliberately has no heavy dependencies: it provides the small,
+//! deterministic building blocks every other crate in the workspace leans on:
+//!
+//! * [`rng`] — seedable, reproducible pseudo-random number generators
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256StarStar`]) used by the graph
+//!   generators and pivot selection. Experiments in the paper are rerun with
+//!   fixed seeds, so all randomness in the workspace flows through these.
+//! * [`timing`] — wall-clock timers and the [`timing::PhaseTimes`] registry
+//!   used to produce the per-phase breakdowns of Figures 3, 5 and 6.
+//! * [`stats`] — summary statistics (mean/min/max/percentiles) for benchmark
+//!   reporting.
+//! * [`fmt`] — human-friendly formatting of counts and durations for the
+//!   table-reproduction harness.
+//! * [`threads`] — helpers to run closures inside rayon pools of an exact
+//!   size, which the scaling experiments (Table 4, Figure 4) sweep.
+
+#![warn(missing_docs)]
+
+pub mod fmt;
+pub mod rng;
+pub mod stats;
+pub mod threads;
+pub mod timing;
+
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use timing::{PhaseTimes, Timer};

@@ -1,0 +1,81 @@
+//! Rayon thread-pool helpers for the scaling experiments.
+//!
+//! The paper's Table 4 and Figure 4 sweep core counts {1, 4, 7, 14, 28}
+//! with compact thread pinning. Rust/rayon has no portable pinning API, so
+//! the reproduction controls only the *pool size*; [`run_with_threads`] runs
+//! a closure inside a dedicated pool of exactly `threads` workers so nested
+//! `par_iter` calls use that pool.
+
+/// Runs `f` inside a fresh rayon thread pool with exactly `threads` workers
+/// and returns its result.
+///
+/// Building a pool costs a few hundred microseconds, which is irrelevant for
+/// the multi-millisecond algorithm runs being measured; callers that measure
+/// microsecond kernels should build one pool and reuse it.
+///
+/// # Panics
+/// Panics if `threads == 0` or if the pool cannot be built.
+pub fn run_with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    assert!(threads > 0, "thread count must be positive");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// The thread counts to sweep in scaling experiments: the paper's
+/// {1, 4, 7, 14, 28} clipped to the host's available parallelism, always
+/// including 1 and the maximum available.
+pub fn scaling_thread_counts() -> Vec<usize> {
+    let max = available_threads();
+    let mut counts: Vec<usize> = [1usize, 4, 7, 14, 28]
+        .into_iter()
+        .filter(|&c| c <= max)
+        .collect();
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Number of hardware threads available to this process.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn run_with_threads_returns_value() {
+        let v = run_with_threads(2, || (0..100).into_par_iter().sum::<i32>());
+        assert_eq!(v, 4950);
+    }
+
+    #[test]
+    fn run_with_threads_uses_requested_pool_size() {
+        let n = run_with_threads(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_panics() {
+        run_with_threads(0, || ());
+    }
+
+    #[test]
+    fn scaling_counts_start_at_one_and_are_sorted() {
+        let counts = scaling_thread_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert!(counts.contains(&available_threads()));
+    }
+}

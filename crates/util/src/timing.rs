@@ -1,0 +1,223 @@
+//! Wall-clock timing and per-phase breakdown accounting.
+//!
+//! The paper's evaluation leans heavily on *phase breakdowns*: Figures 3, 5
+//! and 6 show the percentage of time spent in the BFS, D-Orthogonalization,
+//! TripleProd (split into `LS` and `Sᵀ(LS)`), and "Other" phases. The
+//! [`PhaseTimes`] registry collects named durations during a run and renders
+//! exactly those percentage splits.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a new timer.
+    #[inline]
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed time since the timer was started.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    #[inline]
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Resets the timer to now and returns the time elapsed before the reset.
+    #[inline]
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now.duration_since(self.start);
+        self.start = now;
+        d
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Accumulates named phase durations for a single algorithm run.
+///
+/// Phases may be recorded multiple times (e.g. one `bfs` entry per source
+/// vertex); durations for the same name accumulate. Insertion order of
+/// first occurrence is preserved so breakdowns print in pipeline order.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimes {
+    entries: Vec<(String, Duration)>,
+}
+
+impl PhaseTimes {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to the accumulated duration of phase `name`.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        if let Some((_, total)) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            *total += d;
+        } else {
+            self.entries.push((name.to_string(), d));
+        }
+    }
+
+    /// Times `f`, accumulating its duration under `name`, and returns its result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t = Timer::start();
+        let out = f();
+        self.add(name, t.elapsed());
+        out
+    }
+
+    /// Accumulated duration of phase `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Accumulated seconds of phase `name` (0.0 if not recorded).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.get(name).map(|d| d.as_secs_f64()).unwrap_or(0.0)
+    }
+
+    /// Sum of all recorded phase durations.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Iterates over `(name, duration)` pairs in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.entries.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Percentage of the total attributed to each phase, in recorded order.
+    ///
+    /// This is the quantity plotted in the paper's Figures 3, 5 and 6. If
+    /// nothing was recorded, returns an empty vector.
+    pub fn percentages(&self) -> Vec<(String, f64)> {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return self
+                .entries
+                .iter()
+                .map(|(n, _)| (n.clone(), 0.0))
+                .collect();
+        }
+        self.entries
+            .iter()
+            .map(|(n, d)| (n.clone(), 100.0 * d.as_secs_f64() / total))
+            .collect()
+    }
+
+    /// Merges another registry into this one (summing same-named phases).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (n, d) in other.iter() {
+            self.add(n, d);
+        }
+    }
+
+    /// Number of distinct phases recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no phase has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_nonnegative() {
+        let t = Timer::start();
+        assert!(t.seconds() >= 0.0);
+    }
+
+    #[test]
+    fn timer_lap_resets() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = t.lap();
+        assert!(first >= Duration::from_millis(1));
+        // After the lap, elapsed restarts near zero.
+        assert!(t.elapsed() < first + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut p = PhaseTimes::new();
+        p.add("bfs", Duration::from_millis(10));
+        p.add("bfs", Duration::from_millis(5));
+        p.add("dortho", Duration::from_millis(15));
+        assert_eq!(p.get("bfs"), Some(Duration::from_millis(15)));
+        assert_eq!(p.total(), Duration::from_millis(30));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn phases_preserve_order() {
+        let mut p = PhaseTimes::new();
+        p.add("bfs", Duration::from_millis(1));
+        p.add("tripleprod", Duration::from_millis(1));
+        p.add("dortho", Duration::from_millis(1));
+        p.add("bfs", Duration::from_millis(1));
+        let names: Vec<&str> = p.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["bfs", "tripleprod", "dortho"]);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let mut p = PhaseTimes::new();
+        p.add("a", Duration::from_millis(25));
+        p.add("b", Duration::from_millis(75));
+        let pct = p.percentages();
+        let total: f64 = pct.iter().map(|(_, v)| v).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((pct[0].1 - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentages_of_empty_are_empty() {
+        assert!(PhaseTimes::new().percentages().is_empty());
+        assert!(PhaseTimes::new().is_empty());
+    }
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut p = PhaseTimes::new();
+        let v = p.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(p.get("work").is_some());
+    }
+
+    #[test]
+    fn merge_sums_phases() {
+        let mut a = PhaseTimes::new();
+        a.add("x", Duration::from_millis(10));
+        let mut b = PhaseTimes::new();
+        b.add("x", Duration::from_millis(20));
+        b.add("y", Duration::from_millis(5));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(Duration::from_millis(30)));
+        assert_eq!(a.get("y"), Some(Duration::from_millis(5)));
+    }
+}

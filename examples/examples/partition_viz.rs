@@ -1,0 +1,95 @@
+//! Partition visualization (§4.5.4): lay out a graph with ParHDE, partition
+//! it with a simple BFS-grown partitioner, and render intra-partition edges
+//! in partition colors with inter-partition edges in gray — "these
+//! visualizations shed insights into the inner workings of
+//! partitioning/clustering algorithms".
+//!
+//! ```text
+//! cargo run -p parhde-examples --release --example partition_viz
+//! ```
+
+use parhde::config::ParHdeConfig;
+use parhde::par_hde;
+use parhde::partition::{balance, coordinate_bisection, edge_cut};
+use parhde_bfs::serial::bfs_serial;
+use parhde_draw::render::{render_partitioned, RenderOptions};
+use parhde_graph::gen::barth5_like;
+use parhde_graph::CsrGraph;
+
+/// A toy balanced partitioner: grow `k` BFS regions from spread-out seeds
+/// (level-synchronous, claiming unowned vertices round-robin).
+fn bfs_partition(g: &CsrGraph, k: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    // Seeds: farthest-first via repeated BFS (k-centers flavored).
+    let mut seeds = vec![0u32];
+    for _ in 1..k {
+        let mut min_dist = vec![u32::MAX; n];
+        for &s in &seeds {
+            let r = bfs_serial(g, s);
+            for (m, d) in min_dist.iter_mut().zip(&r.dist) {
+                *m = (*m).min(*d);
+            }
+        }
+        let far = (0..n as u32).max_by_key(|&v| min_dist[v as usize]).unwrap();
+        seeds.push(far);
+    }
+    // Grow regions breadth-first from all seeds simultaneously.
+    const UNOWNED: u32 = u32::MAX;
+    let mut owner = vec![UNOWNED; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    for (p, &s) in seeds.iter().enumerate() {
+        owner[s as usize] = p as u32;
+        frontier.push(s);
+    }
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let p = owner[v as usize];
+            for &u in g.neighbors(v) {
+                if owner[u as usize] == UNOWNED {
+                    owner[u as usize] = p;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    owner
+}
+
+fn main() {
+    let g = barth5_like();
+    let k = 6;
+    let (layout, _) = par_hde(&g, &ParHdeConfig::with_subspace(50));
+
+    // Partitioner 1: BFS-grown regions (a cheap combinatorial baseline).
+    let bfs_parts = bfs_partition(&g, k);
+    // Partitioner 2: geometric — recursive coordinate bisection of the
+    // ParHDE layout, the §4.5.4 ScalaPart-style use of the coordinates.
+    let rcb_parts = coordinate_bisection(&layout, k);
+
+    for (name, partition) in [("BFS-grown", &bfs_parts), ("ParHDE + RCB", &rcb_parts)] {
+        println!(
+            "{name}: edge cut {} of {} ({:.1}%), balance {:.2}",
+            edge_cut(&g, partition),
+            g.num_edges(),
+            100.0 * edge_cut(&g, partition) as f64 / g.num_edges() as f64,
+            balance(partition, k),
+        );
+    }
+
+    for (partition, file) in [
+        (&bfs_parts, "partition_viz_bfs.png"),
+        (&rcb_parts, "partition_viz_rcb.png"),
+    ] {
+        let canvas = render_partitioned(
+            g.edges(),
+            &layout.x,
+            &layout.y,
+            partition,
+            &RenderOptions::default(),
+        );
+        canvas.save_png(std::path::Path::new(file)).expect("write PNG");
+        println!("wrote {file}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: lay out a graph with ParHDE and write a PNG drawing.
+//!
+//! ```text
+//! cargo run -p parhde-examples --release --example quickstart
+//! ```
+
+use parhde::config::ParHdeConfig;
+use parhde::par_hde;
+use parhde::quality::layout_quality;
+use parhde_draw::render::{render_graph, RenderOptions};
+use parhde_graph::gen::barth5_like;
+
+fn main() {
+    // 1. Get a graph. Here: the triangulated mesh-with-holes standing in
+    //    for the paper's barth5 example. Any connected undirected CsrGraph
+    //    works — see parhde_graph::io for Matrix Market / edge-list input.
+    let graph = barth5_like();
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Configure. The defaults follow the paper: s = 10 k-centers pivots,
+    //    Modified Gram-Schmidt D-orthogonalization.
+    let config = ParHdeConfig::default();
+
+    // 3. Run ParHDE.
+    let (layout, stats) = par_hde(&graph, &config);
+    println!(
+        "layout done in {:.1} ms  (BFS {:.1} ms, DOrtho {:.1} ms, LS {:.1} ms)",
+        stats.total_seconds() * 1e3,
+        stats.phases.seconds("bfs") * 1e3,
+        stats.phases.seconds("dortho") * 1e3,
+        stats.phases.seconds("ls") * 1e3,
+    );
+    println!(
+        "subspace: requested {}, kept {} independent directions",
+        stats.s_requested, stats.s_kept
+    );
+
+    // 4. Inspect quality: edges should be far shorter than random pairs.
+    let q = layout_quality(&graph, &layout, 1000, 42);
+    println!(
+        "mean edge length {:.4} vs mean random-pair distance {:.4} \
+         (contraction {:.2})",
+        q.mean_edge_length,
+        q.mean_random_pair_distance,
+        q.contraction()
+    );
+
+    // 5. Draw.
+    let canvas = render_graph(
+        graph.edges(),
+        &layout.x,
+        &layout.y,
+        &RenderOptions::default(),
+    );
+    let path = std::path::Path::new("quickstart_layout.png");
+    canvas.save_png(path).expect("write PNG");
+    println!("wrote {}", path.display());
+}

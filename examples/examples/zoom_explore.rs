@@ -1,0 +1,50 @@
+//! The "zoom" feature (§4.5.2): global layout, then interactive-style
+//! zoom-ins on successively tighter neighborhoods of a chosen vertex.
+//!
+//! ```text
+//! cargo run -p parhde-examples --release --example zoom_explore [vertex]
+//! ```
+
+use parhde::config::ParHdeConfig;
+use parhde::par_hde;
+use parhde::zoom::zoom;
+use parhde_draw::render::{render_graph, RenderOptions};
+use parhde_graph::gen::barth5_like;
+
+fn main() {
+    let g = barth5_like();
+    let center: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7000);
+    println!(
+        "graph: {} vertices; zoom center: {center}",
+        g.num_vertices()
+    );
+
+    // Global layout first.
+    let cfg = ParHdeConfig::default();
+    let (global, stats) = par_hde(&g, &cfg);
+    println!("global layout in {:.1} ms", stats.total_seconds() * 1e3);
+    render_graph(g.edges(), &global.x, &global.y, &RenderOptions::default())
+        .save_png(std::path::Path::new("zoom_global.png"))
+        .expect("write PNG");
+    println!("wrote zoom_global.png");
+
+    // Zoom in: 20-, 10-, and 5-hop neighborhoods (Figure 8 uses 10 hops).
+    for hops in [20usize, 10, 5] {
+        let view = zoom(&g, center, hops, &cfg);
+        println!(
+            "{hops:>2}-hop ball: {} vertices, {} edges, re-layout {:.1} ms",
+            view.graph.num_vertices(),
+            view.graph.num_edges(),
+            view.stats.total_seconds() * 1e3
+        );
+        let opts = RenderOptions { vertex_radius: 2.0, ..RenderOptions::default() };
+        let name = format!("zoom_{hops}hop.png");
+        render_graph(view.graph.edges(), &view.layout.x, &view.layout.y, &opts)
+            .save_png(std::path::Path::new(&name))
+            .expect("write PNG");
+        println!("wrote {name}");
+    }
+}

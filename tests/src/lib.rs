@@ -1,0 +1,1 @@
+//! Integration-test host crate; the tests live in `tests/tests/`.

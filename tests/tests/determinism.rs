@@ -1,0 +1,54 @@
+//! Determinism guarantees: fixed seeds produce bit-identical results, and
+//! results do not depend on the rayon pool size.
+
+use parhde::config::{ParHdeConfig, PivotStrategy};
+use parhde::par_hde;
+use parhde_graph::gen;
+use parhde_util::threads::run_with_threads;
+
+#[test]
+fn layout_is_identical_across_thread_counts() {
+    let g = gen::barth5_like();
+    let cfg = ParHdeConfig::default();
+    let one = run_with_threads(1, || par_hde(&g, &cfg).0);
+    let four = run_with_threads(4, || par_hde(&g, &cfg).0);
+    // Bitwise equality: every reduction in the workspace is chunk-ordered.
+    for (a, b) in one.x.iter().zip(&four.x) {
+        assert_eq!(a.to_bits(), b.to_bits(), "x coordinates diverge");
+    }
+    for (a, b) in one.y.iter().zip(&four.y) {
+        assert_eq!(a.to_bits(), b.to_bits(), "y coordinates diverge");
+    }
+}
+
+#[test]
+fn random_pivots_are_thread_count_invariant() {
+    let g = gen::grid2d(40, 40);
+    let cfg = ParHdeConfig {
+        pivots: PivotStrategy::Random,
+        ..ParHdeConfig::default()
+    };
+    let a = run_with_threads(1, || par_hde(&g, &cfg));
+    let b = run_with_threads(3, || par_hde(&g, &cfg));
+    assert_eq!(a.1.sources, b.1.sources, "pivot selection must not race");
+    assert_eq!(a.0, b.0);
+}
+
+#[test]
+fn generators_are_thread_count_invariant() {
+    for threads in [1usize, 4] {
+        let g = run_with_threads(threads, || gen::urand(20_000, 8, 5));
+        let reference = gen::urand(20_000, 8, 5);
+        assert_eq!(g, reference, "urand with {threads} threads");
+        let k = run_with_threads(threads, || gen::kron(12, 8, 5));
+        assert_eq!(k, gen::kron(12, 8, 5), "kron with {threads} threads");
+    }
+}
+
+#[test]
+fn seeds_differentiate_runs() {
+    let g = gen::grid2d(30, 30);
+    let a = par_hde(&g, &ParHdeConfig { seed: 1, ..ParHdeConfig::default() });
+    let b = par_hde(&g, &ParHdeConfig { seed: 2, ..ParHdeConfig::default() });
+    assert_ne!(a.1.sources, b.1.sources, "different seeds, different pivots");
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the extension features: multilevel layout,
+//! geometric partitioning, p-dimensional embeddings, and orderings.
+
+use parhde::config::ParHdeConfig;
+use parhde::multilevel::{multilevel_hde, MultilevelConfig};
+use parhde::partition::{balance, coordinate_bisection, edge_cut};
+use parhde::quality::layout_quality;
+use parhde::{par_hde, par_hde_nd};
+use parhde_graph::gen;
+use parhde_graph::order::{apply_permutation, rcm_permutation, shuffle_vertices};
+
+#[test]
+fn multilevel_handles_every_generator_family() {
+    let graphs = [gen::grid2d(40, 40),
+        gen::pref_attach(3000, 4, 1),
+        gen::geometric(3000, 3.0, 2),
+        gen::barth5_like()];
+    for (i, g) in graphs.iter().enumerate() {
+        let (layout, stats) = multilevel_hde(g, &MultilevelConfig::default());
+        assert_eq!(layout.len(), g.num_vertices(), "graph {i}");
+        assert!(stats.level_sizes.len() >= 2, "graph {i} never coarsened");
+        let q = layout_quality(g, &layout, 300, 3);
+        assert!(
+            q.contraction() < 0.7,
+            "graph {i}: multilevel contraction {:.3}",
+            q.contraction()
+        );
+    }
+}
+
+#[test]
+fn rcb_partitions_layouts_of_structured_graphs() {
+    let g = gen::grid2d(40, 40);
+    let (layout, _) = par_hde(&g, &ParHdeConfig::with_subspace(20));
+    for parts in [2usize, 4, 7] {
+        let p = coordinate_bisection(&layout, parts);
+        assert!(balance(&p, parts) < 1.1, "parts {parts} imbalanced");
+        let cut = edge_cut(&g, &p);
+        assert!(
+            cut < g.num_edges() / 5,
+            "parts {parts}: cut {cut} of {}",
+            g.num_edges()
+        );
+    }
+}
+
+#[test]
+fn three_d_embedding_separates_a_cube_like_product() {
+    // A thick grid (3-ish-dimensional structure) should use all 3 axes.
+    let g = gen::grid2d(50, 50);
+    let (coords, _) = par_hde_nd(&g, &ParHdeConfig::with_subspace(20), 3);
+    for c in 0..3 {
+        let col = coords.col(c);
+        let mean = col.iter().sum::<f64>() / col.len() as f64;
+        let var: f64 = col.iter().map(|v| (v - mean).powi(2)).sum();
+        assert!(var > 1e-9, "axis {c} collapsed");
+    }
+}
+
+#[test]
+fn rcm_ordering_improves_gap_locality_like_the_paper_predicts() {
+    // §4.4's observation from the other side: a locality-enhancing
+    // reordering must *raise* the small-gap fraction of a shuffled graph.
+    let g = shuffle_vertices(&gen::grid2d(50, 50), 9);
+    let before = parhde_graph::gaps::gap_distribution(&g).fraction_below(64);
+    let h = apply_permutation(&g, &rcm_permutation(&g, 0));
+    let after = parhde_graph::gaps::gap_distribution(&h).fraction_below(64);
+    assert!(
+        after > before + 0.3,
+        "RCM should restore locality: {before:.3} → {after:.3}"
+    );
+}
+
+#[test]
+fn multilevel_hierarchy_prolongation_covers_every_vertex() {
+    let g = gen::barth5_like();
+    let h = parhde_graph::coarsen::build_hierarchy(&g, 200, 30, 5);
+    // A constant vector prolongs to a constant vector through every level.
+    let mut vals = vec![7.25f64; h.coarsest().num_vertices()];
+    for level in (0..h.maps.len()).rev() {
+        vals = h.prolong(level, &vals);
+        assert!(vals.iter().all(|&v| v == 7.25));
+    }
+    assert_eq!(vals.len(), g.num_vertices());
+}

@@ -1,0 +1,207 @@
+//! End-to-end integration tests spanning every workspace crate:
+//! generators → preprocessing → layout pipelines → quality → rendering.
+
+use parhde::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use parhde::phde::PhdeConfig;
+use parhde::prior::prior_hde;
+use parhde::quality::{energy_objective, layout_quality};
+use parhde::weighted::{par_hde_weighted, par_hde_weighted_with, WeightSemantics};
+use parhde::zoom::zoom;
+use parhde::{par_hde, phde, pivot_mds};
+use parhde_draw::png::decode_rgb;
+use parhde_draw::render::{render_graph, RenderOptions};
+use parhde_graph::builder::build_weighted_from_edges;
+use parhde_graph::gen;
+use parhde_graph::prep::largest_component;
+use parhde_graph::WeightedCsr;
+
+/// Every generator family, through the full default pipeline.
+#[test]
+fn all_generator_families_lay_out_sanely() {
+    let graphs: Vec<(&str, parhde_graph::CsrGraph)> = vec![
+        ("urand", largest_component(&gen::urand(4000, 8, 1)).graph),
+        ("kron", largest_component(&gen::kron(11, 8, 2)).graph),
+        ("web", largest_component(&gen::web_locality(4000, 8, 3)).graph),
+        ("pref", gen::pref_attach(4000, 4, 4)),
+        ("road", gen::geometric(4000, 3.0, 5)),
+        ("grid", gen::grid2d(60, 70)),
+        ("mesh", gen::barth5_like()),
+    ];
+    for (name, g) in graphs {
+        let (layout, stats) = par_hde(&g, &ParHdeConfig::default());
+        assert_eq!(layout.len(), g.num_vertices(), "{name}: layout size");
+        assert!(stats.s_kept >= 2, "{name}: kept directions");
+        let q = layout_quality(&g, &layout, 400, 7);
+        assert!(
+            q.contraction() < 0.8,
+            "{name}: layout carries no structure (contraction {:.2})",
+            q.contraction()
+        );
+    }
+}
+
+/// All four pipeline variants agree on the instance and produce comparable
+/// quality on a structured mesh.
+#[test]
+fn variants_produce_comparable_quality_on_mesh() {
+    let g = gen::barth5_like();
+    let cfg = ParHdeConfig::with_subspace(20);
+    let pcfg = PhdeConfig { subspace: 20, ..PhdeConfig::default() };
+    let candidates = vec![
+        ("parhde", par_hde(&g, &cfg).0),
+        ("prior", prior_hde(&g, &cfg).0),
+        ("phde", phde(&g, &pcfg).0),
+        ("pivot_mds", pivot_mds(&g, &pcfg).0),
+    ];
+    for (name, layout) in candidates {
+        let q = layout_quality(&g, &layout, 500, 3);
+        assert!(
+            q.contraction() < 0.3,
+            "{name}: contraction {:.3} too weak for a mesh",
+            q.contraction()
+        );
+    }
+}
+
+/// ParHDE approximates the spectral optimum on a structured graph and the
+/// ordering ParHDE < PHDE-random-quality holds for the energy objective.
+#[test]
+fn parhde_energy_is_near_spectral_optimum() {
+    let g = gen::grid2d(40, 40);
+    let (layout, _) = par_hde(&g, &ParHdeConfig::with_subspace(20));
+    let energy = energy_objective(&g, &layout);
+    // μ₂ + μ₃ for the 40×40 grid walk Laplacian is ≈ 2·(1 − cos(π/40))/2
+    // scaled by degrees — rather than computing exactly, use the power
+    // iteration result as the reference.
+    let (vecs, _) = parhde_linalg::eig::power::dominant_walk_eigenvectors(
+        &g, 2, 10_000, 1e-10, 3, None,
+    );
+    let opt = energy_objective(
+        &g,
+        &parhde::Layout::new(vecs[0].clone(), vecs[1].clone()),
+    );
+    assert!(
+        energy < 25.0 * opt,
+        "ParHDE energy {energy:.6} too far above optimum {opt:.6}"
+    );
+}
+
+/// Weighted pipeline end-to-end, all semantics, vs the BFS pipeline.
+#[test]
+fn weighted_pipeline_consistency() {
+    let g = gen::grid2d(25, 25);
+    let unit = WeightedCsr::unit_weights(g.clone());
+    let cfg = ParHdeConfig::default();
+    let (a, _) = par_hde(&g, &cfg);
+    for semantics in [
+        WeightSemantics::Lengths,
+        WeightSemantics::Similarities,
+        WeightSemantics::Raw,
+    ] {
+        let (b, _) = par_hde_weighted_with(&unit, &cfg, 1.0, semantics);
+        for (x, y) in a.x.iter().zip(&b.x) {
+            assert!((x - y).abs() < 1e-8, "unit weights must match BFS layout");
+        }
+    }
+}
+
+/// Weighted pipeline on an irregular weighted graph, then rendered.
+#[test]
+fn weighted_layout_renders() {
+    let base = gen::geometric(2000, 4.0, 9);
+    let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(13);
+    let edges: Vec<(u32, u32, f64)> = base
+        .edges()
+        .map(|(u, v)| (u, v, 0.5 + rng.next_f64() * 3.0))
+        .collect();
+    let wg = build_weighted_from_edges(base.num_vertices(), edges);
+    let delta = parhde_sssp::suggest_delta(&wg);
+    let (layout, _) = par_hde_weighted(&wg, &ParHdeConfig::default(), delta);
+    let canvas = render_graph(
+        base.edges(),
+        &layout.x,
+        &layout.y,
+        &RenderOptions { width: 200, height: 200, ..RenderOptions::default() },
+    );
+    let png = canvas.to_png();
+    let (w, h, pixels) = decode_rgb(&png);
+    assert_eq!((w, h), (200, 200));
+    // Some ink must be on the canvas.
+    assert!(pixels.chunks(3).any(|p| p != [255, 255, 255]));
+}
+
+/// Zoom on every scale of neighborhood, cross-checked against prep's
+/// neighborhood extraction.
+#[test]
+fn zoom_pipeline_roundtrip() {
+    let g = gen::barth5_like();
+    let center = 4242u32;
+    for hops in [3usize, 8, 15] {
+        let view = zoom(&g, center, hops, &ParHdeConfig::default());
+        let expected = parhde_graph::prep::k_hop_neighborhood(&g, center, hops);
+        assert_eq!(view.old_ids, expected, "hops = {hops}");
+        assert_eq!(view.layout.len(), view.graph.num_vertices());
+        // Every subgraph edge must exist in the parent graph.
+        for (u, v) in view.graph.edges() {
+            assert!(g.has_edge(
+                view.old_ids[u as usize],
+                view.old_ids[v as usize]
+            ));
+        }
+    }
+}
+
+/// CGS and MGS paths agree end-to-end (not just at the kernel level).
+#[test]
+fn cgs_and_mgs_layouts_agree() {
+    let g = gen::kron(10, 8, 6);
+    let g = largest_component(&g).graph;
+    let base = ParHdeConfig::with_subspace(12);
+    let (a, _) = par_hde(&g, &base);
+    let cgs_cfg = ParHdeConfig { ortho: OrthoMethod::Cgs, ..base };
+    let (b, _) = par_hde(&g, &cgs_cfg);
+    let qa = layout_quality(&g, &a, 300, 1).contraction();
+    let qb = layout_quality(&g, &b, 300, 1).contraction();
+    assert!((qa - qb).abs() < 0.15, "contraction {qa:.3} vs {qb:.3}");
+}
+
+/// Random pivots traverse a different set of sources but land in the same
+/// quality regime.
+#[test]
+fn random_pivots_quality_parity() {
+    let g = gen::grid2d(50, 50);
+    let kc = ParHdeConfig::with_subspace(15);
+    let rp = ParHdeConfig {
+        pivots: PivotStrategy::Random,
+        ..ParHdeConfig::with_subspace(15)
+    };
+    let (a, sa) = par_hde(&g, &kc);
+    let (b, sb) = par_hde(&g, &rp);
+    assert_ne!(sa.sources, sb.sources);
+    let qa = layout_quality(&g, &a, 400, 5).contraction();
+    let qb = layout_quality(&g, &b, 400, 5).contraction();
+    assert!(qa < 0.35 && qb < 0.35, "contractions {qa:.3}, {qb:.3}");
+}
+
+/// Matrix Market → preprocessing → layout: the I/O path feeds the pipeline.
+#[test]
+fn matrix_market_to_layout() {
+    let g = gen::grid2d(20, 20);
+    let text = parhde_graph::io::write_matrix_market(&g);
+    let parsed = parhde_graph::io::parse_matrix_market(&text).unwrap();
+    assert_eq!(parsed, g);
+    let (layout, _) = par_hde(&parsed, &ParHdeConfig::default());
+    assert_eq!(layout.len(), 400);
+}
+
+/// Binary snapshot round-trips a generated benchmark graph.
+#[test]
+fn binary_snapshot_roundtrip_through_pipeline() {
+    let g = gen::pref_attach(3000, 4, 8);
+    let bytes = parhde_graph::io::write_csr_binary(&g);
+    let restored = parhde_graph::io::read_csr_binary(&bytes).unwrap();
+    assert_eq!(g, restored);
+    let (a, _) = par_hde(&g, &ParHdeConfig::default());
+    let (b, _) = par_hde(&restored, &ParHdeConfig::default());
+    assert_eq!(a, b);
+}

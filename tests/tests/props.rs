@@ -1,0 +1,386 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use parhde_bfs::direction_opt::bfs_direction_opt;
+use parhde_bfs::serial::bfs_serial;
+use parhde_graph::builder::{build_from_edges, build_weighted_from_edges};
+use parhde_graph::gaps::{gap_distribution, GapDistribution};
+use parhde_graph::io::{read_csr_binary, write_csr_binary};
+use parhde_graph::order::{apply_permutation, random_permutation};
+use parhde_graph::prep::{connected_components, induced_subgraph, largest_component};
+use parhde_graph::CsrGraph;
+use parhde_linalg::blas1::{dot, norm2};
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::ortho::{cgs, max_cross_product, mgs, DROP_TOLERANCE};
+use parhde_sssp::{delta_stepping, dijkstra};
+
+/// Strategy: an arbitrary messy edge list over `n ≤ 60` vertices.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)
+            .prop_map(move |edges| build_from_edges(n, edges))
+    })
+}
+
+proptest! {
+    /// The builder always produces a structurally valid CSR graph.
+    #[test]
+    fn builder_output_satisfies_all_invariants(g in arb_graph()) {
+        // The validating constructor re-checks everything (sortedness,
+        // symmetry, no loops, ranges).
+        let _ = CsrGraph::new(g.offsets().to_vec(), g.adjacency().to_vec());
+    }
+
+    /// Handshake lemma: Σ deg(v) = 2m.
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let sum: usize = (0..g.num_vertices() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    /// Binary snapshots round-trip exactly.
+    #[test]
+    fn binary_io_roundtrip(g in arb_graph()) {
+        let bytes = write_csr_binary(&g);
+        prop_assert_eq!(read_csr_binary(&bytes).unwrap(), g);
+    }
+
+    /// Matrix Market round-trips exactly.
+    #[test]
+    fn matrix_market_roundtrip(g in arb_graph()) {
+        let text = parhde_graph::io::write_matrix_market(&g);
+        prop_assert_eq!(parhde_graph::io::parse_matrix_market(&text).unwrap(), g);
+    }
+
+    /// Relabeling preserves the degree multiset and edge count.
+    #[test]
+    fn permutation_preserves_structure(g in arb_graph(), seed in any::<u64>()) {
+        let perm = random_permutation(g.num_vertices(), seed);
+        let h = apply_permutation(&g, &perm);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        let mut da: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        let mut db: Vec<usize> = (0..h.num_vertices() as u32).map(|v| h.degree(v)).collect();
+        da.sort_unstable();
+        db.sort_unstable();
+        prop_assert_eq!(da, db);
+        // Double permutation with inverse returns the original.
+        let mut inverse = vec![0u32; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            inverse[new as usize] = old as u32;
+        }
+        prop_assert_eq!(apply_permutation(&h, &inverse), g);
+    }
+
+    /// Component sizes partition the vertex set; the largest component
+    /// extraction is a connected induced subgraph of the right size.
+    #[test]
+    fn components_partition_vertices(g in arb_graph()) {
+        let c = connected_components(&g);
+        let total: usize = c.sizes.iter().sum();
+        prop_assert_eq!(total, g.num_vertices());
+        let ex = largest_component(&g);
+        prop_assert_eq!(ex.graph.num_vertices(), c.sizes[c.largest() as usize]);
+        prop_assert!(parhde_graph::prep::is_connected(&ex.graph));
+    }
+
+    /// Induced subgraphs never contain foreign edges and preserve adjacency
+    /// among kept vertices.
+    #[test]
+    fn induced_subgraph_is_faithful(g in arb_graph(), keep_bits in any::<u64>()) {
+        let keep: Vec<u32> = (0..g.num_vertices() as u32)
+            .filter(|&v| keep_bits >> (v % 64) & 1 == 1)
+            .collect();
+        let ex = induced_subgraph(&g, &keep);
+        for (u, v) in ex.graph.edges() {
+            prop_assert!(g.has_edge(ex.old_ids[u as usize], ex.old_ids[v as usize]));
+        }
+        for (i, &a) in ex.old_ids.iter().enumerate() {
+            for (j, &b) in ex.old_ids.iter().enumerate().skip(i + 1) {
+                if g.has_edge(a, b) {
+                    prop_assert!(ex.graph.has_edge(i as u32, j as u32));
+                }
+            }
+        }
+    }
+
+    /// The gap-count identity Σ counts = Σ_v (deg(v) − 1)⁺ holds for all
+    /// graphs, and bins tile the gap range contiguously.
+    #[test]
+    fn gap_identity(g in arb_graph()) {
+        let d = gap_distribution(&g);
+        prop_assert_eq!(d.total, GapDistribution::expected_total(&g));
+        for w in d.bins.windows(2) {
+            prop_assert_eq!(w[0].upper, w[1].lower);
+        }
+    }
+
+    /// Parallel BFS equals serial BFS on arbitrary graphs and sources.
+    #[test]
+    fn bfs_parallel_equals_serial(g in arb_graph(), src_raw in any::<u32>()) {
+        let src = src_raw % g.num_vertices() as u32;
+        let (r, stats) = bfs_direction_opt(&g, src);
+        prop_assert_eq!(&r, &bfs_serial(&g, src));
+        // Work accounting never exceeds examining each arc twice plus the
+        // bottom-up rescans (bounded by levels·n but certainly ≤ total
+        // possible): sanity-check γ stays finite and positive.
+        if g.num_edges() > 0 {
+            prop_assert!(stats.total_edges() <= g.num_arcs() * (r.levels + 1));
+        }
+    }
+
+    /// Δ-stepping equals Dijkstra for arbitrary weighted graphs / Δ.
+    #[test]
+    fn delta_stepping_equals_dijkstra(
+        n in 2usize..40,
+        raw_edges in proptest::collection::vec((any::<u16>(), any::<u16>(), 0.01f64..20.0), 0..120),
+        delta in 0.05f64..50.0,
+        src_raw in any::<u32>(),
+    ) {
+        let edges: Vec<(u32, u32, f64)> = raw_edges
+            .into_iter()
+            .map(|(u, v, w)| ((u as usize % n) as u32, (v as usize % n) as u32, w))
+            .collect();
+        let g = build_weighted_from_edges(n, edges);
+        let src = src_raw % n as u32;
+        let a = delta_stepping(&g, src, delta);
+        let b = dijkstra(&g, src);
+        prop_assert_eq!(a.reached, b.reached);
+        for v in 0..n {
+            if a.dist[v].is_finite() || b.dist[v].is_finite() {
+                prop_assert!((a.dist[v] - b.dist[v]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Gram-Schmidt postconditions on arbitrary matrices: orthogonal
+    /// surviving columns of unit norm, and MGS/CGS keep the same columns.
+    #[test]
+    fn gram_schmidt_postconditions(
+        rows in 4usize..40,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        let m0 = ColMajorMatrix::from_data(rows, cols, data);
+        let mut a = m0.clone();
+        let mut b = m0.clone();
+        let oa = mgs(&mut a, None, DROP_TOLERANCE);
+        let ob = cgs(&mut b, None, DROP_TOLERANCE);
+        prop_assert_eq!(&oa.kept, &ob.kept);
+        prop_assert!(max_cross_product(&a, None) < 1e-6);
+        for c in 0..a.cols() {
+            prop_assert!((norm2(a.col(c)) - 1.0).abs() < 1e-9);
+        }
+        // Kept + dropped partitions the original columns.
+        let mut all: Vec<usize> = oa.kept.iter().chain(&oa.dropped).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..cols).collect::<Vec<_>>());
+    }
+
+    /// dot is symmetric and Cauchy-Schwarz holds for the parallel kernels.
+    #[test]
+    fn blas1_properties(
+        x in proptest::collection::vec(-100.0f64..100.0, 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let y: Vec<f64> = (0..x.len()).map(|_| rng.next_f64() - 0.5).collect();
+        let xy = dot(&x, &y);
+        let yx = dot(&y, &x);
+        prop_assert!((xy - yx).abs() < 1e-9);
+        prop_assert!(xy.abs() <= norm2(&x) * norm2(&y) + 1e-9);
+    }
+
+    /// PNG encode/decode round-trips arbitrary small images.
+    #[test]
+    fn png_roundtrip(
+        w in 1u32..24,
+        h in 1u32..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let pixels: Vec<u8> = (0..w * h * 3).map(|_| rng.next_u64() as u8).collect();
+        let png = parhde_draw::png::encode_rgb(w, h, &pixels);
+        let (dw, dh, back) = parhde_draw::png::decode_rgb(&png);
+        prop_assert_eq!((dw, dh), (w, h));
+        prop_assert_eq!(back, pixels);
+    }
+
+    /// zlib round-trips arbitrary byte strings.
+    #[test]
+    fn zlib_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let z = parhde_draw::deflate::zlib_compress(&data);
+        prop_assert_eq!(parhde_draw::deflate::zlib_decompress(&z), data);
+    }
+}
+
+proptest! {
+    /// `edges()` and `has_edge` describe the same edge set.
+    #[test]
+    fn edges_iterator_consistent_with_has_edge(g in arb_graph()) {
+        let mut count = 0usize;
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+            count += 1;
+        }
+        prop_assert_eq!(count, g.num_edges());
+    }
+
+    /// k-hop neighborhoods grow monotonically with the radius and always
+    /// contain the center.
+    #[test]
+    fn k_hop_neighborhoods_are_monotone(g in arb_graph(), center_raw in any::<u32>()) {
+        let center = center_raw % g.num_vertices() as u32;
+        let mut previous: Vec<u32> = Vec::new();
+        for hops in 0..5usize {
+            let ball = parhde_graph::prep::k_hop_neighborhood(&g, center, hops);
+            prop_assert!(ball.binary_search(&center).is_ok());
+            for v in &previous {
+                prop_assert!(ball.binary_search(v).is_ok(), "ball shrank at {hops}");
+            }
+            previous = ball;
+        }
+    }
+
+    /// RCM always emits a valid permutation and never worsens a path-like
+    /// bandwidth beyond the graph's own structure.
+    #[test]
+    fn rcm_is_always_a_permutation(g in arb_graph(), start_raw in any::<u32>()) {
+        let start = start_raw % g.num_vertices() as u32;
+        let perm = parhde_graph::order::rcm_permutation(&g, start);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.num_vertices() as u32).collect::<Vec<_>>());
+        // Applying it preserves the structure.
+        let h = parhde_graph::order::apply_permutation(&g, &perm);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    /// Coarsening invariants: the map is a surjection onto a strictly
+    /// smaller-or-equal vertex set, and coarse degrees are bounded by the
+    /// sum of the pair's fine degrees.
+    #[test]
+    fn coarsening_invariants(g in arb_graph(), seed in any::<u64>()) {
+        let c = parhde_graph::coarsen::coarsen_matching(&g, seed);
+        prop_assert!(c.coarse.num_vertices() <= g.num_vertices());
+        prop_assert!(2 * c.coarse.num_vertices() >= g.num_vertices(),
+            "matching can at most halve the graph");
+        let mut seen = vec![false; c.coarse.num_vertices()];
+        for &m in &c.map {
+            prop_assert!((m as usize) < c.coarse.num_vertices());
+            seen[m as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert!(c.coarse.num_edges() <= g.num_edges());
+    }
+
+    /// Jacobi eigendecomposition invariants on arbitrary symmetric
+    /// matrices: trace preservation, residuals, orthonormality.
+    #[test]
+    fn jacobi_eigendecomposition_invariants(
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let mut m = ColMajorMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng.next_f64() * 4.0 - 2.0;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let e = parhde_linalg::eig::jacobi::symmetric_eigen(&m);
+        let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
+        let eigsum: f64 = e.values.iter().sum();
+        prop_assert!((trace - eigsum).abs() < 1e-8 * (1.0 + trace.abs()));
+        for k in 0..n {
+            let vk = e.vectors.col(k);
+            prop_assert!((norm2(vk) - 1.0).abs() < 1e-8);
+            for i in 0..n {
+                let mut av = 0.0;
+                for (j, &x) in vk.iter().enumerate() {
+                    av += m.get(i, j) * x;
+                }
+                prop_assert!(
+                    (av - e.values[k] * vk[i]).abs() < 1e-6,
+                    "residual for pair {k} at row {i}"
+                );
+            }
+        }
+    }
+
+    /// Layout fit_to always lands inside the box and preserves relative
+    /// order along each axis.
+    #[test]
+    fn layout_fit_respects_bounds(
+        coords in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..60),
+        w in 1.0f64..2000.0,
+        h in 1.0f64..2000.0,
+    ) {
+        let x: Vec<f64> = coords.iter().map(|c| c.0).collect();
+        let y: Vec<f64> = coords.iter().map(|c| c.1).collect();
+        let mut layout = parhde::Layout::new(x.clone(), y.clone());
+        layout.fit_to(w, h);
+        for i in 0..layout.len() {
+            let (px, py) = layout.position(i as u32);
+            prop_assert!(px >= -1e-9 && px <= w + 1e-9);
+            prop_assert!(py >= -1e-9 && py <= h + 1e-9);
+        }
+        // Monotone: order along x preserved.
+        for i in 0..x.len() {
+            for j in 0..x.len() {
+                if x[i] < x[j] {
+                    prop_assert!(layout.x[i] <= layout.x[j] + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Stress majorization never increases the stress of an already-good
+    /// layout by much and strictly helps bad ones over enough sweeps.
+    #[test]
+    fn stress_majorization_makes_progress(seed in any::<u64>()) {
+        use parhde::stress::StressModel;
+        let g = parhde_graph::gen::grid2d(6, 6);
+        let model = StressModel::build(&g, 2, seed);
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed ^ 1);
+        let random = parhde::Layout::new(
+            (0..36).map(|_| rng.next_f64() * 5.0).collect(),
+            (0..36).map(|_| rng.next_f64() * 5.0).collect(),
+        );
+        let s0 = model.stress(&random);
+        let s1 = model.stress(&model.majorize(&random, 25));
+        prop_assert!(s1 <= s0 * 1.01, "stress rose: {s0} → {s1}");
+    }
+
+    /// Fibonacci bin edges grow per the recurrence and cover any max.
+    #[test]
+    fn fibonacci_edges_cover(max in 1u64..1_000_000) {
+        let e = parhde_graph::gaps::fibonacci_edges(max);
+        prop_assert!(*e.last().unwrap() > max);
+        for w in e.windows(3).skip(1) {
+            prop_assert_eq!(w[2], w[1] + w[0]);
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(
+        mut values in proptest::collection::vec(-1e3f64..1e3, 1..80),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = parhde_util::stats::percentile_sorted(&values, lo);
+        let b = parhde_util::stats::percentile_sorted(&values, hi);
+        prop_assert!(a <= b + 1e-12);
+        prop_assert!(a >= values[0] - 1e-12);
+        prop_assert!(b <= values[values.len() - 1] + 1e-12);
+    }
+}

@@ -25,8 +25,8 @@
 use parhde::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
 use parhde::multilevel::{multilevel_hde, MultilevelConfig};
 use parhde::phde::PhdeConfig;
-use parhde::{par_hde, phde, pivot_mds, Layout};
-use parhde_draw::render::{render_graph, RenderOptions};
+use parhde::{try_par_hde, try_phde, try_pivot_mds, HdeError, HdeStats, Layout};
+use parhde_draw::render::{try_render_graph, RenderOptions};
 use parhde_graph::prep::largest_component;
 use parhde_graph::report::GraphReport;
 use parhde_graph::CsrGraph;
@@ -39,7 +39,40 @@ fn fail(msg: &str) -> ! {
     exit(2)
 }
 
+/// Maps a typed pipeline error to a diagnostic plus its distinct exit code
+/// (3 = I/O, 4 = parse, 5 = config, 6 = disconnected, 7 = degenerate
+/// subspace, 8 = non-finite value, 70 = internal bug).
+fn fail_typed(context: &str, e: &HdeError) -> ! {
+    match e.phase() {
+        Some(phase) => eprintln!("parhde-layout: {context} (phase {phase}): {e}"),
+        None => eprintln!("parhde-layout: {context}: {e}"),
+    }
+    exit(e.exit_code())
+}
+
+/// Reports degradations the fail-soft pipeline absorbed.
+fn report_warnings(stats: &HdeStats) {
+    for w in &stats.warnings {
+        eprintln!("parhde-layout: warning: {w}");
+    }
+}
+
 fn main() {
+    // Panic boundary: anything that escapes `run` as a panic is a bug, not
+    // a user error — report it distinctly from the typed failures above.
+    let outcome = std::panic::catch_unwind(run);
+    if let Err(payload) = outcome {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("unknown panic");
+        eprintln!("parhde-layout: internal failure (bug): {msg}");
+        exit(70);
+    }
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: parhde-layout <input.mtx|edges.txt> [options] (see source header)");
@@ -88,14 +121,21 @@ fn main() {
     }
 
     // Load.
-    let text = std::fs::read_to_string(&input)
-        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", input.display())));
+    let text = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        fail_typed(
+            &format!("cannot read {}", input.display()),
+            &HdeError::from(e),
+        )
+    });
     let raw: CsrGraph = if text.trim_start().starts_with("%%MatrixMarket") {
-        parhde_graph::io::parse_matrix_market(&text)
-            .unwrap_or_else(|e| fail(&format!("MatrixMarket parse error: {e}")))
+        parhde_graph::io::parse_matrix_market(&text).unwrap_or_else(|e| {
+            fail_typed("MatrixMarket parse error", &HdeError::from(
+                parhde_graph::io::GraphIoError::from(e),
+            ))
+        })
     } else {
         parhde_graph::io::parse_edge_list(&text, 0)
-            .unwrap_or_else(|e| fail(&format!("edge-list parse error: {e}")))
+            .unwrap_or_else(|e| fail_typed("edge-list parse error", &HdeError::from(e)))
     };
 
     // Preprocess (§4.1).
@@ -124,12 +164,31 @@ fn main() {
         ..ParHdeConfig::default()
     };
 
-    // Lay out.
+    // Lay out (fail-soft: typed errors exit with distinct codes, absorbed
+    // degradations are reported as warnings).
     let t = Timer::start();
     let layout: Layout = match algo.as_str() {
-        "parhde" => par_hde(&g, &cfg).0,
-        "phde" => phde(&g, &PhdeConfig::from(&cfg)).0,
-        "pivotmds" => pivot_mds(&g, &PhdeConfig::from(&cfg)).0,
+        "parhde" => match try_par_hde(&g, &cfg) {
+            Ok((layout, stats)) => {
+                report_warnings(&stats);
+                layout
+            }
+            Err(e) => fail_typed("layout failed", &e),
+        },
+        "phde" => match try_phde(&g, &PhdeConfig::from(&cfg)) {
+            Ok((layout, stats)) => {
+                report_warnings(&stats);
+                layout
+            }
+            Err(e) => fail_typed("layout failed", &e),
+        },
+        "pivotmds" => match try_pivot_mds(&g, &PhdeConfig::from(&cfg)) {
+            Ok((layout, stats)) => {
+                report_warnings(&stats);
+                layout
+            }
+            Err(e) => fail_typed("layout failed", &e),
+        },
         "multilevel" => {
             multilevel_hde(&g, &MultilevelConfig { base: cfg, ..Default::default() }).0
         }
@@ -144,7 +203,8 @@ fn main() {
         vertex_radius,
         ..RenderOptions::default()
     };
-    let canvas = render_graph(g.edges(), &layout.x, &layout.y, &opts);
+    let canvas = try_render_graph(g.edges(), &layout.x, &layout.y, &opts)
+        .unwrap_or_else(|e| fail_typed("render failed", &HdeError::Internal(e.to_string())));
     let out = out.unwrap_or_else(|| input.with_extension("png"));
     canvas
         .save_png(&out)

@@ -75,7 +75,19 @@ fn main() {
         "all".to_string()
     });
 
-    run(&experiment, &opts);
+    // Panic boundary: the experiments drive the strict pipelines on
+    // known-good generated graphs, so any escaping panic is a bug. Exit
+    // with a distinct code (70, EX_SOFTWARE) rather than the default
+    // abort so harnesses can tell bugs from usage errors (2).
+    if let Err(payload) = std::panic::catch_unwind(|| run(&experiment, &opts)) {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("unknown panic");
+        eprintln!("reproduce: internal failure (bug): {msg}");
+        std::process::exit(70);
+    }
 }
 
 fn run(experiment: &str, opts: &Opts) {

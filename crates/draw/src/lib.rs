@@ -26,4 +26,4 @@ pub mod raster;
 pub mod render;
 
 pub use raster::Canvas;
-pub use render::{render_graph, RenderOptions};
+pub use render::{render_graph, try_render_graph, RenderError, RenderOptions};

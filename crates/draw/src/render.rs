@@ -7,6 +7,54 @@
 use crate::color::{partition_color, Rgb};
 use crate::raster::Canvas;
 
+/// A defect in untrusted rendering input, reported by [`try_render_graph`]
+/// instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// `x` and `y` have different lengths.
+    CoordinateMismatch {
+        /// Length of the `x` array.
+        x_len: usize,
+        /// Length of the `y` array.
+        y_len: usize,
+    },
+    /// A coordinate is NaN or ±∞; names the offending vertex and axis.
+    NonFiniteCoordinate {
+        /// Vertex index with the bad coordinate.
+        vertex: usize,
+        /// `'x'` or `'y'`.
+        axis: char,
+    },
+    /// An edge endpoint exceeds the vertex count.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: (u32, u32),
+        /// Number of vertices implied by the coordinate arrays.
+        n: usize,
+    },
+    /// The margin leaves no drawable area for the given canvas size.
+    NoDrawableArea,
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CoordinateMismatch { x_len, y_len } => {
+                write!(f, "coordinate arrays must match: {x_len} x vs {y_len} y")
+            }
+            Self::NonFiniteCoordinate { vertex, axis } => {
+                write!(f, "non-finite {axis} coordinate at vertex {vertex}")
+            }
+            Self::EdgeOutOfRange { edge: (u, v), n } => {
+                write!(f, "edge ({u}, {v}) exceeds vertex count {n}")
+            }
+            Self::NoDrawableArea => write!(f, "margin leaves no drawable area"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
 /// Rendering options.
 #[derive(Clone, Copy, Debug)]
 pub struct RenderOptions {
@@ -85,6 +133,9 @@ pub fn render_graph(
     y: &[f64],
     opt: &RenderOptions,
 ) -> Canvas {
+    // NaN coordinates are tolerated here for backward compatibility (the
+    // scaler collapses a NaN span to the canvas center); use
+    // [`try_render_graph`] to reject them with a diagnostic instead.
     let (sx, sy) = scaled(x, y, opt);
     let mut canvas = Canvas::new(opt.width, opt.height, opt.background);
     for (u, v) in edges {
@@ -101,6 +152,42 @@ pub fn render_graph(
         }
     }
     canvas
+}
+
+/// Guarded [`render_graph`] for untrusted input: validates the coordinate
+/// arrays (matching lengths, all values finite — naming the first bad
+/// vertex), every edge endpoint, and the margin/canvas geometry before
+/// rendering, returning a typed [`RenderError`] instead of panicking or
+/// silently collapsing a NaN layout to a blank image.
+///
+/// # Errors
+/// See [`RenderError`].
+pub fn try_render_graph(
+    edges: impl Iterator<Item = (u32, u32)>,
+    x: &[f64],
+    y: &[f64],
+    opt: &RenderOptions,
+) -> Result<Canvas, RenderError> {
+    if x.len() != y.len() {
+        return Err(RenderError::CoordinateMismatch { x_len: x.len(), y_len: y.len() });
+    }
+    if !(2 * opt.margin < opt.width && 2 * opt.margin < opt.height) {
+        return Err(RenderError::NoDrawableArea);
+    }
+    for (axis, coords) in [('x', x), ('y', y)] {
+        if let Some(vertex) = coords.iter().position(|v| !v.is_finite()) {
+            return Err(RenderError::NonFiniteCoordinate { vertex, axis });
+        }
+    }
+    let n = x.len();
+    let edges: Vec<(u32, u32)> = edges.collect();
+    if let Some(&edge) = edges
+        .iter()
+        .find(|(u, v)| *u as usize >= n || *v as usize >= n)
+    {
+        return Err(RenderError::EdgeOutOfRange { edge, n });
+    }
+    Ok(render_graph(edges.into_iter(), x, y, opt))
 }
 
 /// Renders a partition-colored drawing (§4.5.4): intra-partition edges get
@@ -217,6 +304,41 @@ mod tests {
     fn absurd_margin_rejected() {
         let opt = RenderOptions { margin: 500, width: 100, height: 100, ..Default::default() };
         render_graph(std::iter::empty(), &[0.0], &[0.0], &opt);
+    }
+
+    #[test]
+    fn try_render_rejects_poison_typed() {
+        let opt = RenderOptions::default();
+        assert_eq!(
+            try_render_graph(std::iter::empty(), &[0.0], &[0.0, 1.0], &opt).unwrap_err(),
+            RenderError::CoordinateMismatch { x_len: 1, y_len: 2 }
+        );
+        assert_eq!(
+            try_render_graph(std::iter::empty(), &[0.0, f64::NAN], &[0.0, 1.0], &opt)
+                .unwrap_err(),
+            RenderError::NonFiniteCoordinate { vertex: 1, axis: 'x' }
+        );
+        assert_eq!(
+            try_render_graph([(0u32, 9u32)].into_iter(), &[0.0, 1.0], &[0.0, 1.0], &opt)
+                .unwrap_err(),
+            RenderError::EdgeOutOfRange { edge: (0, 9), n: 2 }
+        );
+        let bad = RenderOptions { margin: 500, width: 100, height: 100, ..Default::default() };
+        assert_eq!(
+            try_render_graph(std::iter::empty(), &[0.0], &[0.0], &bad).unwrap_err(),
+            RenderError::NoDrawableArea
+        );
+    }
+
+    #[test]
+    fn try_render_matches_panicking_render_on_good_input() {
+        let x = [0.0, 1.0, 0.5];
+        let y = [0.0, 0.0, 1.0];
+        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let opt = RenderOptions::default();
+        let a = try_render_graph(edges.iter().copied(), &x, &y, &opt).unwrap();
+        let b = render_graph(edges.iter().copied(), &x, &y, &opt);
+        assert_eq!(a.count_not(Rgb::WHITE), b.count_not(Rgb::WHITE));
     }
 }
 

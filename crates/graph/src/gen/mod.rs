@@ -21,6 +21,7 @@
 mod geometric;
 mod kron;
 mod mesh;
+pub mod poison;
 mod pref_attach;
 mod simple;
 mod urand;

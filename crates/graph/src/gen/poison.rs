@@ -1,0 +1,192 @@
+//! Poison-input builders for the fault-injection harness.
+//!
+//! Each builder produces a pathological input of the kind a layout service
+//! receives from the wild: empty graphs, singletons, forests of components,
+//! duplicate-heavy edge lists, NaN weights, and truncated files. They are
+//! deterministic (seeded where randomized) so fault tests are reproducible,
+//! and they live in the library — not a test module — so every downstream
+//! crate's fault suite can share them.
+
+use crate::builder::build_from_edges;
+use crate::csr::{CsrGraph, WeightedCsr};
+use crate::gen::grid2d;
+
+/// The empty graph: zero vertices, zero edges.
+pub fn empty() -> CsrGraph {
+    CsrGraph::new(vec![0], vec![])
+}
+
+/// A single isolated vertex.
+pub fn singleton() -> CsrGraph {
+    isolated(1)
+}
+
+/// `n` vertices with no edges at all — every vertex its own component.
+pub fn isolated(n: usize) -> CsrGraph {
+    CsrGraph::new(vec![0; n + 1], vec![])
+}
+
+/// Two path components of `a` and `b` vertices (`a + b` total).
+pub fn two_paths(a: usize, b: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for u in 1..a {
+        edges.push(((u - 1) as u32, u as u32));
+    }
+    for u in 1..b {
+        edges.push(((a + u - 1) as u32, (a + u) as u32));
+    }
+    build_from_edges(a + b, edges)
+}
+
+/// A grid of `side × side` plus `stragglers` isolated vertices — the shape
+/// real datasets take after row/column deletions: one big component and
+/// dust. The grid is always the largest component.
+pub fn grid_with_stragglers(side: usize, stragglers: usize) -> CsrGraph {
+    let grid = grid2d(side, side);
+    let n = grid.num_vertices() + stragglers;
+    let edges: Vec<(u32, u32)> = grid.edges().collect();
+    build_from_edges(n, edges)
+}
+
+/// `k` disjoint cycles of `len` vertices each (`k · len` total); with equal
+/// sizes the tie-break for "largest component" is exercised too.
+pub fn many_cycles(k: usize, len: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = (c * len) as u32;
+        for u in 0..len {
+            edges.push((base + u as u32, base + ((u + 1) % len) as u32));
+        }
+    }
+    build_from_edges(k * len, edges)
+}
+
+/// An edge list drowning in duplicates: every edge of a path on `n`
+/// vertices repeated `copies` times in both orientations.
+pub fn duplicate_heavy_edges(n: usize, copies: usize) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for u in 1..n {
+        for _ in 0..copies {
+            edges.push(((u - 1) as u32, u as u32));
+            edges.push((u as u32, (u - 1) as u32));
+        }
+    }
+    edges
+}
+
+/// A weighted graph whose weight array has been corrupted with NaN — built
+/// through [`WeightedCsr::from_parts_unchecked`], exactly how a buggy or
+/// hostile caller would smuggle one past the builder's checks.
+pub fn nan_weighted(n: usize) -> WeightedCsr {
+    let g = build_from_edges(n, (1..n).map(|u| ((u - 1) as u32, u as u32)).collect());
+    let mut weights: Vec<f64> = vec![1.0; g.num_arcs()];
+    if let Some(w) = weights.first_mut() {
+        *w = f64::NAN;
+    }
+    if let Some(w) = weights.last_mut() {
+        *w = f64::NAN;
+    }
+    WeightedCsr::from_parts_unchecked(g, weights)
+}
+
+/// A weighted graph with a zero-weight edge — legal for the builder but
+/// poison for length semantics (1/w → ∞).
+pub fn zero_weighted(n: usize) -> WeightedCsr {
+    let g = build_from_edges(n, (1..n).map(|u| ((u - 1) as u32, u as u32)).collect());
+    let mut weights: Vec<f64> = vec![1.0; g.num_arcs()];
+    if let Some(w) = weights.first_mut() {
+        *w = 0.0;
+    }
+    WeightedCsr::from_parts_unchecked(g, weights)
+}
+
+/// Matrix Market text cut off mid-stream after `keep_lines` lines — models
+/// a download that died partway. `keep_lines = 1` leaves only the header;
+/// `2` cuts inside the size/entry region.
+pub fn truncated_matrix_market(keep_lines: usize) -> String {
+    let full = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                4 4 4\n\
+                2 1\n\
+                3 2\n\
+                4 3\n\
+                4 1\n";
+    full.lines()
+        .take(keep_lines)
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// A Matrix Market file whose size line was chopped mid-token — the input
+/// that crashed the historical `size.unwrap()`.
+pub fn chopped_size_line() -> String {
+    "%%MatrixMarket matrix coordinate pattern symmetric\n4\n".into()
+}
+
+/// A weighted Matrix Market file carrying a NaN value.
+pub fn nan_matrix_market() -> String {
+    "%%MatrixMarket matrix coordinate real general\n\
+     3 3 2\n\
+     1 2 1.0\n\
+     2 3 NaN\n"
+        .into()
+}
+
+/// An edge list whose final line is garbage bytes, as if the file were
+/// corrupted in place.
+pub fn garbage_tail_edge_list(n: usize) -> String {
+    let mut text: String = (1..n)
+        .map(|u| format!("{} {}\n", u - 1, u))
+        .collect();
+    text.push_str("\u{fffd}\u{fffd} \u{fffd}\n");
+    text
+}
+
+/// A binary CSR snapshot truncated `cut` bytes short of its declared size.
+pub fn truncated_snapshot(cut: usize) -> Vec<u8> {
+    let bytes = crate::io::write_csr_binary(&grid2d(4, 4));
+    bytes[..bytes.len().saturating_sub(cut)].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::connected_components;
+
+    #[test]
+    fn shapes_are_as_declared() {
+        assert_eq!(empty().num_vertices(), 0);
+        assert_eq!(singleton().num_vertices(), 1);
+        assert_eq!(singleton().num_edges(), 0);
+        assert_eq!(isolated(7).num_vertices(), 7);
+        let g = two_paths(5, 3);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(connected_components(&g).count(), 2);
+        let g = many_cycles(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(connected_components(&g).count(), 4);
+        let g = grid_with_stragglers(3, 6);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(connected_components(&g).count(), 7);
+    }
+
+    #[test]
+    fn duplicates_collapse_in_builder() {
+        let g = build_from_edges(4, duplicate_heavy_edges(4, 10));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn nan_weighted_really_carries_nan() {
+        let w = nan_weighted(5);
+        assert!(w.weights().iter().any(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn truncated_inputs_fail_to_parse() {
+        assert!(crate::io::parse_matrix_market(&truncated_matrix_market(1)).is_err());
+        assert!(crate::io::parse_matrix_market(&chopped_size_line()).is_err());
+        assert!(crate::io::parse_matrix_market_weighted(&nan_matrix_market()).is_err());
+        assert!(crate::io::parse_edge_list(&garbage_tail_edge_list(4), 0).is_err());
+        assert!(crate::io::read_csr_binary(&truncated_snapshot(3)).is_err());
+    }
+}

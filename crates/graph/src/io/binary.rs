@@ -13,6 +13,9 @@
 //! Generated benchmark graphs are cached in this format so repeated harness
 //! runs skip regeneration. Uses [`bytes`] for cursor-free encoding.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use super::error::GraphIoError;
 use crate::csr::CsrGraph;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -38,22 +41,30 @@ pub fn write_csr_binary(g: &CsrGraph) -> Bytes {
 /// Deserializes a graph from the binary snapshot format.
 ///
 /// # Errors
-/// Returns a message if the magic, sizes, or CSR invariants are violated
-/// (structural invariants are fully re-validated — snapshots may come from
-/// disk).
-pub fn read_csr_binary(mut data: &[u8]) -> Result<CsrGraph, String> {
+/// Returns a [`GraphIoError`] if the magic, sizes, or CSR invariants are
+/// violated (structural invariants are fully re-validated — snapshots may
+/// come from disk).
+pub fn read_csr_binary(mut data: &[u8]) -> Result<CsrGraph, GraphIoError> {
     if data.len() < 24 || &data[..8] != MAGIC {
-        return Err("bad magic: not a ParHDE graph snapshot".into());
+        return Err(GraphIoError::Header(
+            "bad magic: not a ParHDE graph snapshot".into(),
+        ));
     }
     data.advance(8);
     let n = data.get_u64_le() as usize;
     let arcs = data.get_u64_le() as usize;
-    let need = (n + 1) * 8 + arcs * 4;
+    // Declared sizes are untrusted: check them against the real payload
+    // length with overflow-safe arithmetic before allocating anything.
+    let need = n
+        .checked_add(1)
+        .and_then(|o| o.checked_mul(8))
+        .and_then(|o| arcs.checked_mul(4).and_then(|a| o.checked_add(a)))
+        .ok_or(GraphIoError::Truncated { needed: usize::MAX, available: data.remaining() })?;
     if data.remaining() != need {
-        return Err(format!(
-            "truncated snapshot: need {need} payload bytes, have {}",
-            data.remaining()
-        ));
+        return Err(GraphIoError::Truncated {
+            needed: need,
+            available: data.remaining(),
+        });
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
@@ -63,12 +74,12 @@ pub fn read_csr_binary(mut data: &[u8]) -> Result<CsrGraph, String> {
     for _ in 0..arcs {
         adj.push(data.get_u32_le());
     }
-    if *offsets.last().unwrap() != arcs {
-        return Err("corrupt snapshot: offsets[n] != arcs".into());
+    if offsets.last().copied() != Some(arcs) {
+        return Err(GraphIoError::Invalid("offsets[n] != arcs".into()));
     }
     // Full validation on the untrusted path.
     std::panic::catch_unwind(|| CsrGraph::new(offsets, adj))
-        .map_err(|_| "corrupt snapshot: CSR invariants violated".to_string())
+        .map_err(|_| GraphIoError::Invalid("CSR invariants violated".into()))
 }
 
 /// Writes a snapshot to a file.
@@ -90,6 +101,7 @@ pub fn load_csr(path: &std::path::Path) -> std::io::Result<CsrGraph> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::gen::{grid2d, kron};

@@ -4,31 +4,57 @@
 //! optional weight: `u v` or `u v w`. Lines starting with `#` or `%` are
 //! comments. The number of vertices is one more than the largest endpoint
 //! unless `min_vertices` raises it.
+//!
+//! Both readers are panic-free on arbitrary input and report the first
+//! defect as a [`GraphIoError::Parse`] naming the 1-indexed line and
+//! column of the offending token.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use super::error::{tokens_with_columns, GraphIoError};
 use crate::builder::{build_from_edges, build_weighted_from_edges};
 use crate::csr::{CsrGraph, WeightedCsr};
+
+/// Pulls and parses the next token, or reports its line/column.
+fn want<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = (usize, &'a str)>,
+    line_no: usize,
+    line: &str,
+    what: &str,
+) -> Result<(usize, T), GraphIoError> {
+    match it.next() {
+        Some((col, tok)) => match tok.parse() {
+            Ok(v) => Ok((col, v)),
+            Err(_) => Err(GraphIoError::Parse {
+                line: line_no,
+                column: col,
+                message: format!("bad {what}: {tok:?}"),
+            }),
+        },
+        None => Err(GraphIoError::Parse {
+            line: line_no,
+            column: line.len() + 1,
+            message: format!("missing {what}"),
+        }),
+    }
+}
 
 /// Parses an unweighted edge list (extra columns ignored).
 ///
 /// # Errors
-/// Returns a message naming the first malformed line.
-pub fn parse_edge_list(text: &str, min_vertices: usize) -> Result<CsrGraph, String> {
+/// Returns [`GraphIoError::Parse`] naming the line and column of the first
+/// malformed token.
+pub fn parse_edge_list(text: &str, min_vertices: usize) -> Result<CsrGraph, GraphIoError> {
     let mut edges = Vec::new();
     let mut n = min_vertices;
     for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
-        let mut it = line.split_whitespace();
-        let u: u32 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("line {}: bad source in {line:?}", i + 1))?;
-        let v: u32 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("line {}: bad target in {line:?}", i + 1))?;
+        let mut it = tokens_with_columns(line);
+        let (_, u): (_, u32) = want(&mut it, i + 1, line, "source vertex")?;
+        let (_, v): (_, u32) = want(&mut it, i + 1, line, "target vertex")?;
         n = n.max(u as usize + 1).max(v as usize + 1);
         edges.push((u, v));
     }
@@ -38,36 +64,41 @@ pub fn parse_edge_list(text: &str, min_vertices: usize) -> Result<CsrGraph, Stri
 /// Parses a weighted edge list; missing weight columns default to 1.
 ///
 /// # Errors
-/// Returns a message naming the first malformed line.
+/// Returns [`GraphIoError::Parse`] naming the line and column of the first
+/// malformed token; non-finite and negative weights are rejected the same
+/// way (they would poison every downstream distance).
 pub fn parse_weighted_edge_list(
     text: &str,
     min_vertices: usize,
-) -> Result<WeightedCsr, String> {
+) -> Result<WeightedCsr, GraphIoError> {
     let mut edges = Vec::new();
     let mut n = min_vertices;
     for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
-        let mut it = line.split_whitespace();
-        let u: u32 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("line {}: bad source in {line:?}", i + 1))?;
-        let v: u32 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("line {}: bad target in {line:?}", i + 1))?;
+        let mut it = tokens_with_columns(line);
+        let (_, u): (_, u32) = want(&mut it, i + 1, line, "source vertex")?;
+        let (_, v): (_, u32) = want(&mut it, i + 1, line, "target vertex")?;
         let w: f64 = match it.next() {
             None => 1.0,
-            Some(t) => t
-                .parse()
-                .map_err(|_| format!("line {}: bad weight in {line:?}", i + 1))?,
+            Some((col, tok)) => {
+                let w: f64 = tok.parse().map_err(|_| GraphIoError::Parse {
+                    line: i + 1,
+                    column: col,
+                    message: format!("bad weight: {tok:?}"),
+                })?;
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(GraphIoError::Parse {
+                        line: i + 1,
+                        column: col,
+                        message: format!("weight must be finite and ≥ 0, got {tok:?}"),
+                    });
+                }
+                w
+            }
         };
-        if !(w.is_finite() && w >= 0.0) {
-            return Err(format!("line {}: weight must be finite ≥ 0", i + 1));
-        }
         n = n.max(u as usize + 1).max(v as usize + 1);
         edges.push((u, v, w));
     }
@@ -75,6 +106,7 @@ pub fn parse_weighted_edge_list(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -98,6 +130,21 @@ mod tests {
     }
 
     #[test]
+    fn error_names_line_and_column() {
+        let err = parse_edge_list("0 1\n2 zz\n", 0).unwrap_err();
+        assert_eq!(
+            err,
+            GraphIoError::Parse {
+                line: 2,
+                column: 3,
+                message: "bad target vertex: \"zz\"".into()
+            }
+        );
+        let err = parse_edge_list("0\n", 0).unwrap_err();
+        assert_eq!(err.location(), Some((1, 2)));
+    }
+
+    #[test]
     fn weighted_defaults_to_unit() {
         let w = parse_weighted_edge_list("0 1 2.5\n1 2\n", 0).unwrap();
         assert_eq!(w.weight(0, 1), Some(2.5));
@@ -107,5 +154,14 @@ mod tests {
     #[test]
     fn weighted_rejects_negative() {
         assert!(parse_weighted_edge_list("0 1 -3\n", 0).is_err());
+    }
+
+    #[test]
+    fn weighted_rejects_nan_and_inf_with_position() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let err = parse_weighted_edge_list(&format!("0 1 1.0\n1 2 {bad}\n"), 0)
+                .unwrap_err();
+            assert_eq!(err.location(), Some((2, 5)), "{bad}: {err:?}");
+        }
     }
 }

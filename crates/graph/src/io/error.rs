@@ -1,0 +1,134 @@
+//! Unified typed errors for every graph reader.
+//!
+//! All text and binary readers in [`crate::io`] report failures through
+//! [`GraphIoError`] so callers (notably the fail-soft `try_*` pipeline in
+//! the `hde` crate) can map any malformed input to one typed variant with
+//! enough position information — 1-indexed line and column for text
+//! formats, byte counts for binary snapshots — to point a user at the
+//! offending spot in their file instead of aborting the process.
+
+/// A failure while reading a graph from untrusted bytes or text.
+///
+/// No reader in this module panics on malformed input; every defect is
+/// reported through one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphIoError {
+    /// The file's header line (or binary magic) is missing or malformed.
+    Header(String),
+    /// The header parsed but names a format qualifier we do not support.
+    Unsupported(String),
+    /// Malformed text content at a 1-indexed line and column.
+    Parse {
+        /// 1-indexed line number of the offending line.
+        line: usize,
+        /// 1-indexed column of the offending token (byte-based).
+        column: usize,
+        /// What was wrong with the token or line.
+        message: String,
+    },
+    /// A binary payload shorter than its declared sizes.
+    Truncated {
+        /// Bytes the declared sizes require.
+        needed: usize,
+        /// Bytes actually present.
+        available: usize,
+    },
+    /// Structurally invalid data: out-of-range indices, broken CSR
+    /// invariants, or values (NaN/∞) the graph model cannot represent.
+    Invalid(String),
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Header(h) => write!(f, "bad header: {h}"),
+            Self::Unsupported(q) => write!(f, "unsupported format qualifier: {q}"),
+            Self::Parse { line, column, message } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
+            }
+            Self::Truncated { needed, available } => write!(
+                f,
+                "truncated input: need {needed} bytes, have {available}"
+            ),
+            Self::Invalid(m) => write!(f, "invalid graph data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl GraphIoError {
+    /// The (line, column) location for text-format errors, if known.
+    pub fn location(&self) -> Option<(usize, usize)> {
+        match self {
+            Self::Parse { line, column, .. } => Some((*line, *column)),
+            _ => None,
+        }
+    }
+}
+
+impl From<super::matrix_market::MatrixMarketError> for GraphIoError {
+    fn from(e: super::matrix_market::MatrixMarketError) -> Self {
+        use super::matrix_market::MatrixMarketError as M;
+        match e {
+            M::BadHeader(h) => Self::Header(h),
+            M::Unsupported(q) => Self::Unsupported(q),
+            M::BadLine(line, column, content) => Self::Parse {
+                line,
+                column,
+                message: format!("malformed entry: {content:?}"),
+            },
+            M::OutOfRange(line) => Self::Parse {
+                line,
+                column: 1,
+                message: "vertex index out of declared range".into(),
+            },
+        }
+    }
+}
+
+/// Splits a text line into whitespace-separated tokens, each paired with
+/// its 1-indexed byte column — shared by the text readers so parse errors
+/// can name the exact token that failed.
+pub(crate) fn tokens_with_columns(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut rest = line;
+    let mut offset = 0usize;
+    std::iter::from_fn(move || {
+        let skip = rest.len() - rest.trim_start().len();
+        offset += skip;
+        rest = &rest[skip..];
+        if rest.is_empty() {
+            return None;
+        }
+        let end = rest
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(rest.len());
+        let tok = &rest[..end];
+        let col = offset + 1;
+        offset += end;
+        rest = &rest[end..];
+        Some((col, tok))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_reports_columns() {
+        let toks: Vec<_> = tokens_with_columns("  ab 12\tx").collect();
+        assert_eq!(toks, vec![(3, "ab"), (6, "12"), (9, "x")]);
+        assert_eq!(tokens_with_columns("").count(), 0);
+        assert_eq!(tokens_with_columns("   ").count(), 0);
+    }
+
+    #[test]
+    fn display_names_location() {
+        let e = GraphIoError::Parse { line: 7, column: 3, message: "bad weight".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("column 3"));
+        assert_eq!(e.location(), Some((7, 3)));
+    }
+}

@@ -7,7 +7,14 @@
 //! (self-loops) are dropped by the downstream builder, and for weighted
 //! reads the absolute value is used (SuiteSparse matrices can carry signed
 //! values; similarity weights must be non-negative, §2.1).
+//!
+//! The parser is panic-free on arbitrary input: truncated files, missing
+//! size lines, short entry lines, and non-finite values all come back as
+//! [`MatrixMarketError`] with a 1-indexed line and column.
 
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use super::error::tokens_with_columns;
 use crate::builder::{build_from_edges, build_weighted_from_edges};
 use crate::csr::{CsrGraph, WeightedCsr};
 
@@ -18,8 +25,8 @@ pub enum MatrixMarketError {
     BadHeader(String),
     /// An unsupported field or symmetry qualifier.
     Unsupported(String),
-    /// A malformed size or entry line (line number, content).
-    BadLine(usize, String),
+    /// A malformed size or entry line (1-indexed line, column, content).
+    BadLine(usize, usize, String),
     /// Entry indices out of the declared dimensions.
     OutOfRange(usize),
 }
@@ -29,7 +36,9 @@ impl std::fmt::Display for MatrixMarketError {
         match self {
             Self::BadHeader(h) => write!(f, "bad MatrixMarket header: {h}"),
             Self::Unsupported(q) => write!(f, "unsupported MatrixMarket qualifier: {q}"),
-            Self::BadLine(ln, s) => write!(f, "malformed line {ln}: {s}"),
+            Self::BadLine(ln, col, s) => {
+                write!(f, "malformed line {ln}, column {col}: {s}")
+            }
             Self::OutOfRange(ln) => write!(f, "index out of range on line {ln}"),
         }
     }
@@ -40,6 +49,26 @@ impl std::error::Error for MatrixMarketError {}
 struct Parsed {
     n: usize,
     entries: Vec<(u32, u32, f64)>,
+}
+
+/// Pulls the next token off `it`, parsing it as `T`; reports the column of
+/// the bad token, or the end-of-line column when the line is short.
+fn want<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = (usize, &'a str)>,
+    line_no: usize,
+    line: &str,
+    what: &str,
+) -> Result<T, MatrixMarketError> {
+    match it.next() {
+        Some((col, tok)) => tok.parse().map_err(|_| {
+            MatrixMarketError::BadLine(line_no, col, format!("bad {what}: {tok:?}"))
+        }),
+        None => Err(MatrixMarketError::BadLine(
+            line_no,
+            line.len() + 1,
+            format!("missing {what}"),
+        )),
+    }
 }
 
 fn parse(text: &str) -> Result<Parsed, MatrixMarketError> {
@@ -64,55 +93,60 @@ fn parse(text: &str) -> Result<Parsed, MatrixMarketError> {
     }
 
     // Size line: first non-comment line.
-    let mut size: Option<(usize, usize, usize)> = None;
+    let mut size: Option<(usize, usize)> = None;
     let mut entries: Vec<(u32, u32, f64)> = Vec::new();
-    for (i, line) in lines {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('%') {
+    for (i, raw) in lines {
+        let line = raw.trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
-        let mut it = line.split_whitespace();
-        if size.is_none() {
-            let r: usize = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
-            let c: usize = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
-            let nnz: usize = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
-            size = Some((r, c, nnz));
-            entries.reserve(nnz);
+        let ln = i + 1;
+        let mut it = tokens_with_columns(line);
+        let Some((rows, cols)) = size else {
+            let r: usize = want(&mut it, ln, line, "row count")?;
+            let c: usize = want(&mut it, ln, line, "column count")?;
+            let nnz: usize = want(&mut it, ln, line, "entry count")?;
+            size = Some((r, c));
+            // A hostile size line can declare an absurd nnz; cap the
+            // up-front reservation so it cannot OOM before entries exist.
+            entries.reserve(nnz.min(1 << 24));
             continue;
-        }
-        let (rows, cols, _) = size.unwrap();
-        let r: usize = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
-        let c: usize = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?;
+        };
+        let r: usize = want(&mut it, ln, line, "row index")?;
+        let c: usize = want(&mut it, ln, line, "column index")?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(MatrixMarketError::OutOfRange(i + 1));
+            return Err(MatrixMarketError::OutOfRange(ln));
         }
         let w: f64 = if field == "pattern" {
             1.0
         } else {
-            it.next()
-                .and_then(|t| t.parse::<f64>().ok())
-                .ok_or_else(|| MatrixMarketError::BadLine(i + 1, line.into()))?
-                .abs()
+            let (col, tok) = match it.next() {
+                Some(t) => t,
+                None => {
+                    return Err(MatrixMarketError::BadLine(
+                        ln,
+                        line.len() + 1,
+                        "missing value".into(),
+                    ))
+                }
+            };
+            let v: f64 = tok.parse().map_err(|_| {
+                MatrixMarketError::BadLine(ln, col, format!("bad value: {tok:?}"))
+            })?;
+            if !v.is_finite() {
+                return Err(MatrixMarketError::BadLine(
+                    ln,
+                    col,
+                    format!("non-finite value: {tok:?}"),
+                ));
+            }
+            v.abs()
         };
         entries.push(((r - 1) as u32, (c - 1) as u32, w));
     }
-    let (rows, cols, _) = size.ok_or_else(|| {
-        MatrixMarketError::BadLine(0, "missing size line".into())
+    let (rows, cols) = size.ok_or_else(|| {
+        MatrixMarketError::BadLine(0, 1, "missing size line".into())
     })?;
     // Treat the matrix as the adjacency of a graph on max(rows, cols)
     // vertices (square matrices in practice).
@@ -129,7 +163,9 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrGraph, MatrixMarketError> {
 
 /// Parses a Matrix Market text into a weighted undirected graph
 /// (`pattern` files get unit weights; values are taken by absolute value;
-/// when duplicates disagree, the smaller weight wins).
+/// when duplicates disagree, the smaller weight wins). Non-finite values
+/// are rejected with the offending line and column — they would otherwise
+/// poison every downstream distance.
 pub fn parse_matrix_market_weighted(text: &str) -> Result<WeightedCsr, MatrixMarketError> {
     let p = parse(text)?;
     Ok(build_weighted_from_edges(p.n, p.entries))
@@ -154,6 +190,7 @@ pub fn write_matrix_market(g: &CsrGraph) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::gen::grid2d;
@@ -229,6 +266,49 @@ mod tests {
         assert!(matches!(
             parse_matrix_market(text),
             Err(MatrixMarketError::BadLine(..))
+        ));
+    }
+
+    #[test]
+    fn truncated_size_line_names_position() {
+        // Size line cut off after one token — the historical `size.unwrap()`
+        // crash site; must now be a typed error naming line 2.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2\n";
+        assert_eq!(
+            parse_matrix_market(text),
+            Err(MatrixMarketError::BadLine(2, 2, "missing column count".into()))
+        );
+    }
+
+    #[test]
+    fn missing_size_line_is_an_error() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% only comments\n";
+        assert!(matches!(
+            parse_matrix_market(text),
+            Err(MatrixMarketError::BadLine(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_and_inf_values() {
+        for bad in ["NaN", "nan", "inf", "-inf"] {
+            let text = format!(
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {bad}\n"
+            );
+            let err = parse_matrix_market_weighted(&text).unwrap_err();
+            assert!(
+                matches!(err, MatrixMarketError::BadLine(3, 5, _)),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_column_points_at_bad_token() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 x\n";
+        assert!(matches!(
+            parse_matrix_market(text),
+            Err(MatrixMarketError::BadLine(3, 3, _))
         ));
     }
 

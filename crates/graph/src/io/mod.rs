@@ -8,11 +8,20 @@
 //! * [`binary`] — a fast seekless binary CSR snapshot (magic + counts +
 //!   raw arrays, little-endian) so large generated graphs can be cached
 //!   between benchmark runs.
+//!
+//! Every reader is panic-free on untrusted input and reports defects
+//! through the unified [`GraphIoError`] (text formats carry a 1-indexed
+//! line and column). `clippy::unwrap_used` is denied throughout this
+//! module tree.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 pub mod binary;
 pub mod edge_list;
+pub mod error;
 pub mod matrix_market;
 
 pub use binary::{read_csr_binary, write_csr_binary};
 pub use edge_list::{parse_edge_list, parse_weighted_edge_list};
-pub use matrix_market::{parse_matrix_market, write_matrix_market, MatrixMarketError};
+pub use error::GraphIoError;
+pub use matrix_market::{parse_matrix_market, parse_matrix_market_weighted, write_matrix_market, MatrixMarketError};

@@ -409,7 +409,7 @@ mod tests {
     #[test]
     fn parallel_components_match_sequential() {
         use crate::gen::{chain, grid2d, pref_attach};
-        let graphs = vec![
+        let graphs = [
             two_comp(),
             build_from_edges(1, vec![]),
             chain(500),

@@ -1,5 +1,7 @@
 //! Configuration for the ParHDE pipeline and its variants.
 
+use crate::error::HdeError;
+
 /// How pivot (source) vertices are selected for the BFS phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PivotStrategy {
@@ -75,18 +77,37 @@ impl ParHdeConfig {
         Self { subspace: s, ..Self::default() }
     }
 
+    /// A default config pre-clamped for a graph of `n` vertices: the
+    /// subspace dimension is `min(10, n − 1)` (at least 1), so the result
+    /// always passes [`ParHdeConfig::validate`] for any `n ≥ 2`.
+    pub fn for_graph(n: usize) -> Self {
+        let s = Self::default().subspace.min(n.saturating_sub(1)).max(1);
+        Self::with_subspace(s)
+    }
+
     /// Validates parameter sanity against a graph of `n` vertices.
     ///
-    /// # Panics
-    /// Panics if `subspace` is 0 or ≥ `n`, or the tolerance is negative.
-    pub fn validate(&self, n: usize) {
-        assert!(self.subspace > 0, "subspace dimension must be positive");
-        assert!(
-            self.subspace < n,
-            "subspace dimension {} must be below n = {n}",
-            self.subspace
-        );
-        assert!(self.drop_tolerance >= 0.0, "drop tolerance must be ≥ 0");
+    /// # Errors
+    /// [`HdeError::InvalidConfig`] if `subspace` is 0 or ≥ `n`, or the
+    /// drop tolerance is not a non-negative number.
+    pub fn validate(&self, n: usize) -> Result<(), HdeError> {
+        if self.subspace == 0 {
+            return Err(HdeError::InvalidConfig(
+                "subspace dimension must be positive".into(),
+            ));
+        }
+        if self.subspace >= n {
+            return Err(HdeError::InvalidConfig(format!(
+                "subspace dimension {} must be below n = {n}",
+                self.subspace
+            )));
+        }
+        if self.drop_tolerance.is_nan() || self.drop_tolerance < 0.0 {
+            return Err(HdeError::InvalidConfig(
+                "drop tolerance must be ≥ 0".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -111,18 +132,33 @@ mod tests {
 
     #[test]
     fn validate_accepts_sane() {
-        ParHdeConfig::default().validate(100);
+        assert_eq!(ParHdeConfig::default().validate(100), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "must be below")]
     fn validate_rejects_oversized_subspace() {
-        ParHdeConfig::with_subspace(10).validate(10);
+        let err = ParHdeConfig::with_subspace(10).validate(10).unwrap_err();
+        assert!(matches!(err, HdeError::InvalidConfig(m) if m.contains("must be below")));
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
     fn validate_rejects_zero_subspace() {
-        ParHdeConfig::with_subspace(0).validate(10);
+        let err = ParHdeConfig::with_subspace(0).validate(10).unwrap_err();
+        assert!(matches!(err, HdeError::InvalidConfig(m) if m.contains("must be positive")));
+    }
+
+    #[test]
+    fn validate_rejects_nan_tolerance() {
+        let cfg = ParHdeConfig { drop_tolerance: f64::NAN, ..ParHdeConfig::default() };
+        assert!(cfg.validate(100).is_err());
+    }
+
+    #[test]
+    fn for_graph_clamps_subspace() {
+        assert_eq!(ParHdeConfig::for_graph(100).subspace, 10);
+        assert_eq!(ParHdeConfig::for_graph(5).subspace, 4);
+        assert_eq!(ParHdeConfig::for_graph(1).subspace, 1);
+        assert_eq!(ParHdeConfig::for_graph(0).subspace, 1);
+        assert_eq!(ParHdeConfig::for_graph(6).validate(6), Ok(()));
     }
 }

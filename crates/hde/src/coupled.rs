@@ -33,7 +33,9 @@ use parhde_util::{Timer, Xoshiro256StarStar};
 /// pivots, CGS, or raw-basis projection.
 pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let n = g.num_vertices();
-    cfg.validate(n);
+    if let Err(e) = cfg.validate(n) {
+        panic!("{e}");
+    }
     assert_eq!(
         cfg.pivots,
         PivotStrategy::KCenters,

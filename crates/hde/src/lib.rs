@@ -55,6 +55,16 @@
 //! * [`stress`] — sparse stress majorization seeded by ParHDE (§4.5.4);
 //! * [`multilevel`] — multilevel ParHDE (§5 future work).
 //!
+//! # Fail-soft entry points
+//!
+//! Every pipeline has a `try_*` twin ([`try_par_hde`], [`try_phde`],
+//! [`try_pivot_mds`], [`try_par_hde_weighted`]) that never panics on
+//! untrusted input: defects come back as typed [`HdeError`]s, and
+//! recoverable ones (disconnected input, oversized subspace, tiny graphs,
+//! degenerate subspaces) degrade gracefully with a [`Warning`] recorded in
+//! [`HdeStats::warnings`]. See DESIGN.md's "Error handling & degradation
+//! contract" for the full policy.
+//!
 //! # Example
 //!
 //! ```
@@ -75,6 +85,7 @@
 pub(crate) mod bfs_phase;
 pub mod config;
 pub mod coupled;
+pub mod error;
 pub mod layout;
 pub mod multilevel;
 pub mod parhde;
@@ -91,8 +102,13 @@ pub mod weighted;
 pub mod zoom;
 
 pub use config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+pub use error::{HdeError, Warning};
 pub use layout::Layout;
-pub use parhde::{par_hde, par_hde_nd};
-pub use phde::phde;
-pub use pivot_mds::pivot_mds;
+pub use parhde::{par_hde, par_hde_nd, try_par_hde, try_par_hde_nd};
+pub use phde::{phde, try_phde, PhdeConfig};
+pub use pivot_mds::{pivot_mds, try_pivot_mds};
 pub use stats::HdeStats;
+pub use weighted::{
+    par_hde_weighted, par_hde_weighted_with, try_par_hde_weighted,
+    try_par_hde_weighted_with, WeightSemantics,
+};

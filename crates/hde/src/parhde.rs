@@ -1,17 +1,42 @@
-//! The ParHDE pipeline (Algorithm 3).
+//! The ParHDE pipeline (Algorithm 3), in strict and fail-soft flavors.
+//!
+//! [`par_hde`]/[`par_hde_nd`] are the historical strict entry points: any
+//! defect panics with the same messages the seed releases used. The
+//! [`try_par_hde`]/[`try_par_hde_nd`] entry points never panic: defects come
+//! back as typed [`HdeError`]s, and recoverable ones degrade gracefully —
+//! disconnected inputs fall back to the largest component (paper §4.1),
+//! oversized subspaces are clamped, degenerate subspaces re-pivot with a
+//! reseeded RNG — with every degradation recorded as a
+//! [`Warning`](crate::Warning) in the returned stats.
 
 use crate::bfs_phase::run_bfs_phase;
 use crate::config::{OrthoMethod, ParHdeConfig};
+use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::stats::{phase, HdeStats};
+use parhde_graph::prep;
 use parhde_graph::CsrGraph;
 use parhde_linalg::blas1::{dot, dot_weighted};
 use parhde_linalg::dense::ColMajorMatrix;
-use parhde_linalg::eig::jacobi::symmetric_eigen;
+use parhde_linalg::eig::jacobi::try_symmetric_eigen;
+use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
-use parhde_linalg::ortho::{cgs, mgs};
-use parhde_linalg::spmm::laplacian_spmm;
+use parhde_linalg::ortho::{try_cgs, try_mgs};
 use parhde_util::{Timer, Xoshiro256StarStar};
+
+/// How the pipeline responds to defective input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// No degradation: the first defect is returned as an error (and the
+    /// legacy wrappers turn it into a panic). Matches seed behavior.
+    Strict,
+    /// Degrade where a documented fallback exists; error otherwise.
+    FailSoft,
+}
+
+/// Re-pivot attempts made in fail-soft mode when fewer than `p` subspace
+/// directions survive D-orthogonalization.
+const MAX_REPIVOT_RETRIES: usize = 3;
 
 /// Runs ParHDE on a connected unweighted graph, producing a 2-D layout and
 /// per-phase statistics.
@@ -20,7 +45,8 @@ use parhde_util::{Timer, Xoshiro256StarStar};
 /// Panics if the configuration is invalid for the graph, if the graph is
 /// not connected (run [`parhde_graph::prep::largest_component`] first —
 /// the paper's §4.1 preprocessing), or if fewer than two independent
-/// subspace directions survive orthogonalization.
+/// subspace directions survive orthogonalization. Use [`try_par_hde`] for
+/// a non-panicking, gracefully degrading variant.
 pub fn par_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let (coords, stats) = par_hde_nd(g, cfg, 2);
     (
@@ -42,19 +68,157 @@ pub fn par_hde_nd(
     cfg: &ParHdeConfig,
     p: usize,
 ) -> (ColMajorMatrix, HdeStats) {
-    let n = g.num_vertices();
-    cfg.validate(n);
     assert!(p >= 1, "embedding dimension must be at least 1");
+    match run_nd(g, cfg, p, Mode::Strict) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fail-soft ParHDE: like [`par_hde`] but never panics on untrusted input.
+///
+/// Recoverable defects degrade with a recorded [`Warning`](crate::Warning)
+/// instead of failing: disconnected graphs are laid out on their largest
+/// component (remaining vertices at the centroid), `subspace ≥ n` is
+/// clamped to `n − 1`, graphs too small for a spectral layout get a
+/// deterministic line layout, and degenerate subspaces are retried with
+/// reseeded pivots before giving up.
+///
+/// # Errors
+/// [`HdeError::InvalidConfig`] for unusable parameters,
+/// [`HdeError::DegenerateSubspace`] when re-pivot retries are exhausted,
+/// and [`HdeError::NonFiniteValue`] if a numeric phase produces NaN/∞.
+pub fn try_par_hde(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+) -> Result<(Layout, HdeStats), HdeError> {
+    let (coords, stats) = try_par_hde_nd(g, cfg, 2)?;
+    Ok((
+        Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
+        stats,
+    ))
+}
+
+/// Fail-soft [`par_hde_nd`]: `p`-dimensional embedding with graceful
+/// degradation; see [`try_par_hde`] for the degradation contract.
+///
+/// # Errors
+/// As [`try_par_hde`].
+pub fn try_par_hde_nd(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
+    run_nd(g, cfg, p, Mode::FailSoft)
+}
+
+/// Shared driver: handles degradation (fail-soft) and the retry loop, then
+/// delegates each attempt to [`pipeline_once`].
+fn run_nd(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    mode: Mode,
+) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
+    let n = g.num_vertices();
+    if p < 1 {
+        return Err(HdeError::InvalidConfig(
+            "embedding dimension must be at least 1".into(),
+        ));
+    }
+    let mut cfg = cfg.clone();
+    let s_requested = cfg.subspace;
+    let mut warnings = Vec::new();
+
+    if mode == Mode::FailSoft {
+        // A spectral layout needs s ≥ p surviving directions and s ≤ n − 1,
+        // i.e. n ≥ p + 1. Anything smaller gets the trivial line layout.
+        if n <= p {
+            let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+            stats.warnings.push(Warning::TrivialLayout { n });
+            return Ok((trivial_coords(n, p), stats));
+        }
+        // Clamp the subspace dimension into the feasible range [p, n − 1].
+        let feasible = cfg.subspace.clamp(p, n - 1);
+        if feasible != cfg.subspace {
+            warnings.push(Warning::SubspaceClamped {
+                requested: cfg.subspace,
+                clamped: feasible,
+            });
+            cfg.subspace = feasible;
+        }
+        // Disconnected input: lay out the largest component (paper §4.1)
+        // and park the remaining vertices at the layout centroid.
+        if !prep::is_connected(g) {
+            let components = prep::connected_components(g).count();
+            let ext = prep::largest_component(g);
+            let kept = ext.graph.num_vertices();
+            let (sub_coords, mut stats) = run_nd(&ext.graph, &cfg, p, mode)?;
+            let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
+            stats.warnings.splice(
+                0..0,
+                warnings.into_iter().chain(std::iter::once(
+                    Warning::DisconnectedFallback { components, kept, n },
+                )),
+            );
+            return Ok((coords, stats));
+        }
+    }
+    cfg.validate(n)?;
+
+    let max_attempts = match mode {
+        Mode::Strict => 1,
+        Mode::FailSoft => 1 + MAX_REPIVOT_RETRIES,
+    };
+    for attempt in 0..max_attempts {
+        let seed = if attempt == 0 { cfg.seed } else { reseed(cfg.seed, attempt) };
+        let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+        match pipeline_once(g, &cfg, p, seed, &mut stats) {
+            Ok(coords) => {
+                stats.warnings = warnings;
+                return Ok((coords, stats));
+            }
+            Err(HdeError::DegenerateSubspace { kept, needed, subspace, .. }) => {
+                if attempt + 1 < max_attempts {
+                    warnings.push(Warning::RepivotRetry {
+                        attempt: attempt + 1,
+                        kept,
+                        needed,
+                    });
+                } else {
+                    return Err(HdeError::DegenerateSubspace {
+                        kept,
+                        needed,
+                        subspace,
+                        retries: attempt,
+                    });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(HdeError::Internal("re-pivot retry loop fell through".into()))
+}
+
+/// One attempt at the full Algorithm 3 pipeline. All defects surface as
+/// typed errors; degradation policy lives in [`run_nd`].
+fn pipeline_once(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    seed: u64,
+    stats: &mut HdeStats,
+) -> Result<ColMajorMatrix, HdeError> {
+    let n = g.num_vertices();
     let s = cfg.subspace;
-    let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
 
     // ---- Init -----------------------------------------------------------
     let t = Timer::start();
-    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     stats.phases.add(phase::INIT, t.elapsed());
 
     // ---- BFS phase ------------------------------------------------------
-    let b = run_bfs_phase(g, s, cfg.pivots, &mut rng, true, &mut stats);
+    let b = run_bfs_phase(g, s, cfg.pivots, &mut rng, true, stats)?;
 
     // ---- Assemble S = [1/√n | B] ----------------------------------------
     let t = Timer::start();
@@ -71,8 +235,8 @@ pub fn par_hde_nd(
     let t = Timer::start();
     let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
     let outcome = match cfg.ortho {
-        OrthoMethod::Mgs => mgs(&mut smat, weights, cfg.drop_tolerance),
-        OrthoMethod::Cgs => cgs(&mut smat, weights, cfg.drop_tolerance),
+        OrthoMethod::Mgs => try_mgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
+        OrthoMethod::Cgs => try_cgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
     };
     // Drop the 0th (degenerate constant) column — Algorithm 3 line 16. It
     // always survives orthogonalization (it is processed first and has unit
@@ -83,24 +247,27 @@ pub fn par_hde_nd(
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
     stats.phases.add(phase::DORTHO, t.elapsed());
-    assert!(
-        smat.cols() >= p,
-        "only {} independent subspace directions survived for a {p}-D \
-         embedding; increase the subspace dimension (s = {s})",
-        smat.cols()
-    );
+    if smat.cols() < p {
+        return Err(HdeError::DegenerateSubspace {
+            kept: smat.cols(),
+            needed: p,
+            subspace: s,
+            retries: 0,
+        });
+    }
 
     // ---- TripleProd phase -------------------------------------------------
     let t = Timer::start();
-    let prod = laplacian_spmm(g, &degrees, &smat);
+    let prod = parhde_linalg::spmm::try_laplacian_spmm(g, &degrees, &smat)?;
     stats.phases.add(phase::LS, t.elapsed());
     let t = Timer::start();
     let z = at_b(&smat, &prod);
+    check_matrix_finite(&z, "gemm")?;
     stats.phases.add(phase::GEMM, t.elapsed());
 
     // ---- Eigensolve -------------------------------------------------------
     let t = Timer::start();
-    let (y, mus) = subspace_axes_nd(&smat, &z, weights, p);
+    let (y, mus) = try_subspace_axes_nd(&smat, &z, weights, p)?;
     stats.axis_eigenvalues = mus;
     stats.phases.add(phase::EIGEN, t.elapsed());
 
@@ -120,9 +287,10 @@ pub fn par_hde_nd(
     } else {
         a_small(&smat, &y)
     };
+    check_matrix_finite(&coords, "project")?;
     stats.phases.add(phase::PROJECT, t.elapsed());
 
-    (coords, stats)
+    Ok(coords)
 }
 
 /// Solves the subspace layout problem and returns the two axis directions.
@@ -155,8 +323,28 @@ pub(crate) fn subspace_axes_nd(
     weights: Option<&[f64]>,
     p: usize,
 ) -> (ColMajorMatrix, Vec<f64>) {
+    match try_subspace_axes_nd(smat, z, weights, p) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Guarded [`subspace_axes_nd`]: defects come back as typed errors instead
+/// of panics. A non-positive subspace metric (`SᵀDS` diagonal) means the
+/// pipeline assembled a bad basis — reported as [`HdeError::Internal`]
+/// since it cannot arise from a connected graph.
+pub(crate) fn try_subspace_axes_nd(
+    smat: &ColMajorMatrix,
+    z: &ColMajorMatrix,
+    weights: Option<&[f64]>,
+    p: usize,
+) -> Result<(ColMajorMatrix, Vec<f64>), HdeError> {
     let k = smat.cols();
-    assert!(p >= 1 && p <= k, "need 1 ≤ p ≤ {k} axes, got {p}");
+    if p < 1 || p > k {
+        return Err(HdeError::InvalidConfig(format!(
+            "need 1 ≤ p ≤ {k} axes, got {p}"
+        )));
+    }
     // Diagonal of SᵀDS (resp. SᵀS).
     let diag: Vec<f64> = (0..k)
         .map(|i| match weights {
@@ -164,10 +352,11 @@ pub(crate) fn subspace_axes_nd(
             None => dot(smat.col(i), smat.col(i)),
         })
         .collect();
-    assert!(
-        diag.iter().all(|&d| d > 0.0),
-        "degenerate subspace metric; graph may have isolated vertices"
-    );
+    if !diag.iter().all(|&d| d > 0.0) {
+        return Err(HdeError::Internal(
+            "degenerate subspace metric; graph may have isolated vertices".into(),
+        ));
+    }
     let inv_sqrt: Vec<f64> = diag.iter().map(|d| 1.0 / d.sqrt()).collect();
     // T = W^{-1/2} Z W^{-1/2}, symmetrized against round-off.
     let mut tmat = ColMajorMatrix::zeros(k, k);
@@ -177,7 +366,7 @@ pub(crate) fn subspace_axes_nd(
             tmat.set(i, j, v);
         }
     }
-    let eig = symmetric_eigen(&tmat);
+    let eig = try_symmetric_eigen(&tmat)?;
     // The p smallest eigenvalues = the last p in descending order; report
     // them ascending (axis 0 = smoothest direction).
     let mut y = ColMajorMatrix::zeros(k, p);
@@ -190,7 +379,7 @@ pub(crate) fn subspace_axes_nd(
             y.set(r, axis, eig.vectors.get(r, src) * inv_sqrt[r]);
         }
     }
-    (y, mus)
+    Ok((y, mus))
 }
 
 pub(crate) fn accumulate(

@@ -9,12 +9,14 @@
 //! breakdown as BFS / DblCntr / MatMul / Other.
 
 use crate::bfs_phase::run_bfs_phase;
+use crate::error::{scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::phde::PhdeConfig;
 use crate::stats::{phase, HdeStats};
-use parhde_graph::CsrGraph;
+use parhde_graph::{prep, CsrGraph};
 use parhde_linalg::center::{double_center_squared, square_entries};
-use parhde_linalg::eig::jacobi::symmetric_eigen;
+use parhde_linalg::eig::jacobi::try_symmetric_eigen;
+use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
 use parhde_util::{Timer, Xoshiro256StarStar};
 
@@ -22,15 +24,95 @@ use parhde_util::{Timer, Xoshiro256StarStar};
 ///
 /// # Panics
 /// Panics if the graph is disconnected or the configuration is invalid.
+/// Use [`try_pivot_mds`] for a non-panicking, gracefully degrading variant.
 pub fn pivot_mds(g: &CsrGraph, cfg: &PhdeConfig) -> (Layout, HdeStats) {
+    match run_pivot_mds(g, cfg, false) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fail-soft PivotMDS: never panics on untrusted input, with the same
+/// degradation contract as [`crate::try_phde`] (largest-component fallback,
+/// subspace clamping, trivial layout for tiny graphs — all recorded in
+/// [`HdeStats::warnings`](crate::HdeStats::warnings)).
+///
+/// # Errors
+/// [`HdeError::InvalidConfig`] for unusable parameters and
+/// [`HdeError::NonFiniteValue`] if a numeric phase produces NaN/∞.
+pub fn try_pivot_mds(
+    g: &CsrGraph,
+    cfg: &PhdeConfig,
+) -> Result<(Layout, HdeStats), HdeError> {
+    run_pivot_mds(g, cfg, true)
+}
+
+/// Shared PivotMDS driver; `failsoft` selects the degradation policy.
+fn run_pivot_mds(
+    g: &CsrGraph,
+    cfg: &PhdeConfig,
+    failsoft: bool,
+) -> Result<(Layout, HdeStats), HdeError> {
     let n = g.num_vertices();
-    assert!(cfg.subspace >= 2, "PivotMDS needs at least two pivots");
-    assert!(cfg.subspace < n, "subspace must be below n");
-    let mut stats = HdeStats { s_requested: cfg.subspace, ..HdeStats::default() };
+    let mut cfg = cfg.clone();
+    let s_requested = cfg.subspace;
+    let mut warnings = Vec::new();
+    if failsoft {
+        if n < 3 {
+            let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+            stats.warnings.push(Warning::TrivialLayout { n });
+            let coords = trivial_coords(n, 2);
+            return Ok((
+                Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
+                stats,
+            ));
+        }
+        let feasible = cfg.subspace.clamp(2, n - 1);
+        if feasible != cfg.subspace {
+            warnings.push(Warning::SubspaceClamped {
+                requested: cfg.subspace,
+                clamped: feasible,
+            });
+            cfg.subspace = feasible;
+        }
+        if !prep::is_connected(g) {
+            let components = prep::connected_components(g).count();
+            let ext = prep::largest_component(g);
+            let kept = ext.graph.num_vertices();
+            let (sub, mut stats) = run_pivot_mds(&ext.graph, &cfg, failsoft)?;
+            let mut sub_coords =
+                parhde_linalg::dense::ColMajorMatrix::zeros(kept, 2);
+            sub_coords.col_mut(0).copy_from_slice(&sub.x);
+            sub_coords.col_mut(1).copy_from_slice(&sub.y);
+            let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
+            stats.warnings.splice(
+                0..0,
+                warnings.into_iter().chain(std::iter::once(
+                    Warning::DisconnectedFallback { components, kept, n },
+                )),
+            );
+            return Ok((
+                Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
+                stats,
+            ));
+        }
+    }
+    if cfg.subspace < 2 {
+        return Err(HdeError::InvalidConfig(
+            "PivotMDS needs at least two pivots".into(),
+        ));
+    }
+    if cfg.subspace >= n {
+        return Err(HdeError::InvalidConfig(format!(
+            "subspace must be below n (s = {}, n = {n})",
+            cfg.subspace
+        )));
+    }
+    let mut stats = HdeStats { s_requested, ..HdeStats::default() };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // BFS phase (shared).
-    let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats);
+    let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats)?;
 
     // Double centering of squared distances.
     let t = Timer::start();
@@ -45,7 +127,7 @@ pub fn pivot_mds(g: &CsrGraph, cfg: &PhdeConfig) -> (Layout, HdeStats) {
 
     // Eigensolve: top two of CᵀC.
     let t = Timer::start();
-    let eig = symmetric_eigen(&z);
+    let eig = try_symmetric_eigen(&z)?;
     let (vals, y) = eig.top(2);
     stats.axis_eigenvalues = vals;
     stats.s_kept = c.cols();
@@ -54,9 +136,11 @@ pub fn pivot_mds(g: &CsrGraph, cfg: &PhdeConfig) -> (Layout, HdeStats) {
     // Projection.
     let t = Timer::start();
     let coords = a_small(&c, &y);
+    check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
     stats.phases.add(phase::PROJECT, t.elapsed());
-    (layout, stats)
+    stats.warnings = warnings;
+    Ok((layout, stats))
 }
 
 #[cfg(test)]

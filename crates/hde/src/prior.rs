@@ -33,13 +33,18 @@ use parhde_util::{Timer, Xoshiro256StarStar};
 /// Panics under the same conditions as [`crate::par_hde`].
 pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let n = g.num_vertices();
-    cfg.validate(n);
+    if let Err(e) = cfg.validate(n) {
+        panic!("{e}");
+    }
     let s = cfg.subspace;
     let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // Sequential BFS phase (the decisive difference).
-    let b = run_bfs_phase(g, s, cfg.pivots, &mut rng, false, &mut stats);
+    let b = match run_bfs_phase(g, s, cfg.pivots, &mut rng, false, &mut stats) {
+        Ok(b) => b,
+        Err(e) => panic!("{e}"),
+    };
 
     // Assemble S and materialize the Laplacian the way the prior code does.
     let t = Timer::start();

@@ -88,6 +88,9 @@ pub struct HdeStats {
     pub axis_eigenvalues: Vec<f64>,
     /// The pivot vertices used, in selection order.
     pub sources: Vec<u32>,
+    /// Degradations the fail-soft pipeline absorbed (empty on a clean run;
+    /// always empty for the strict/panicking entry points).
+    pub warnings: Vec<crate::Warning>,
 }
 
 impl HdeStats {

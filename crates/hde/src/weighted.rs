@@ -12,18 +12,23 @@
 //! sides unchanged (the literal reading of §3.3).
 
 use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
-use crate::parhde::{assert_connected, subspace_axes};
+use crate::parhde::try_subspace_axes_nd;
 use crate::pivots::{farthest_vertex, fold_min_distance};
 use crate::stats::{phase, HdeStats};
-use parhde_graph::WeightedCsr;
+use parhde_graph::{prep, WeightedCsr};
 use parhde_linalg::dense::ColMajorMatrix;
+use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
-use parhde_linalg::ortho::{cgs, mgs};
+use parhde_linalg::ortho::{try_cgs, try_mgs};
 use parhde_linalg::spmm::laplacian_spmm_weighted;
 use parhde_sssp::delta_stepping::delta_stepping_into_f64;
 use parhde_util::{Timer, Xoshiro256StarStar};
 use rayon::prelude::*;
+
+/// Re-pivot attempts in fail-soft mode (matches the unweighted pipeline).
+const MAX_REPIVOT_RETRIES: usize = 3;
 
 /// How the input edge weights should be interpreted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -72,17 +77,120 @@ pub fn par_hde_weighted_with(
     delta: f64,
     semantics: WeightSemantics,
 ) -> (Layout, HdeStats) {
+    match run_weighted(g, cfg, delta, semantics, false) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fail-soft [`par_hde_weighted`] with default ([`WeightSemantics::Lengths`])
+/// semantics; see [`try_par_hde_weighted_with`].
+///
+/// # Errors
+/// See [`try_par_hde_weighted_with`].
+pub fn try_par_hde_weighted(
+    g: &WeightedCsr,
+    cfg: &ParHdeConfig,
+    delta: f64,
+) -> Result<(Layout, HdeStats), HdeError> {
+    try_par_hde_weighted_with(g, cfg, delta, WeightSemantics::default())
+}
+
+/// Fail-soft weighted ParHDE: never panics on untrusted input. Carries the
+/// same degradation contract as [`crate::try_par_hde`] — largest-component
+/// fallback, subspace clamping, trivial layout for tiny graphs, re-pivot
+/// retries — plus upfront weight validation: non-finite weights are a
+/// typed error (phase `"weights"`, row = arc index), and non-positive
+/// weights are rejected under the reciprocal semantics.
+///
+/// # Errors
+/// [`HdeError::NonFiniteValue`], [`HdeError::InvalidConfig`], or
+/// [`HdeError::DegenerateSubspace`] when retries are exhausted.
+pub fn try_par_hde_weighted_with(
+    g: &WeightedCsr,
+    cfg: &ParHdeConfig,
+    delta: f64,
+    semantics: WeightSemantics,
+) -> Result<(Layout, HdeStats), HdeError> {
+    run_weighted(g, cfg, delta, semantics, true)
+}
+
+/// Shared weighted driver; `failsoft` selects the degradation policy.
+fn run_weighted(
+    g: &WeightedCsr,
+    cfg: &ParHdeConfig,
+    delta: f64,
+    semantics: WeightSemantics,
+    failsoft: bool,
+) -> Result<(Layout, HdeStats), HdeError> {
     let n = g.num_vertices();
-    cfg.validate(n);
-    let s = cfg.subspace;
+    // Upfront weight/parameter validation (both modes — a NaN weight would
+    // otherwise smear through every phase before being noticed).
+    if let Some(idx) = g.weights().iter().position(|w| !w.is_finite()) {
+        return Err(HdeError::NonFiniteValue { phase: "weights", column: 0, row: idx });
+    }
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(HdeError::InvalidConfig(format!(
+            "Δ bucket width must be positive and finite, got {delta}"
+        )));
+    }
+    let mut cfg = cfg.clone();
+    let s_requested = cfg.subspace;
+    let mut warnings = Vec::new();
+
+    if failsoft {
+        if n <= 2 {
+            let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+            stats.warnings.push(Warning::TrivialLayout { n });
+            let coords = trivial_coords(n, 2);
+            return Ok((
+                Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
+                stats,
+            ));
+        }
+        let feasible = cfg.subspace.clamp(2, n - 1);
+        if feasible != cfg.subspace {
+            warnings.push(Warning::SubspaceClamped {
+                requested: cfg.subspace,
+                clamped: feasible,
+            });
+            cfg.subspace = feasible;
+        }
+        if !prep::is_connected(g.graph()) {
+            let components = prep::connected_components(g.graph()).count();
+            let (sub_wg, old_ids) = prep::largest_component_weighted(g);
+            let kept = sub_wg.num_vertices();
+            let (sub, mut stats) = run_weighted(&sub_wg, &cfg, delta, semantics, failsoft)?;
+            let mut sub_coords = ColMajorMatrix::zeros(kept, 2);
+            sub_coords.col_mut(0).copy_from_slice(&sub.x);
+            sub_coords.col_mut(1).copy_from_slice(&sub.y);
+            let coords = scatter_coords(n, &sub_coords, &old_ids);
+            stats.warnings.splice(
+                0..0,
+                warnings.into_iter().chain(std::iter::once(
+                    Warning::DisconnectedFallback { components, kept, n },
+                )),
+            );
+            return Ok((
+                Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
+                stats,
+            ));
+        }
+    }
+    cfg.validate(n)?;
 
     // Derive the length-weighted graph (for SSSP) and the
     // similarity-weighted graph (for D and L) from the declared semantics.
+    let needs_reciprocal = matches!(
+        semantics,
+        WeightSemantics::Lengths | WeightSemantics::Similarities
+    );
+    if needs_reciprocal && !g.weights().iter().all(|&x| x > 0.0) {
+        return Err(HdeError::InvalidConfig(
+            "reciprocal weight semantics require strictly positive weights".into(),
+        ));
+    }
     let reciprocal = |w: &WeightedCsr| -> WeightedCsr {
-        assert!(
-            w.weights().iter().all(|&x| x > 0.0),
-            "reciprocal weight semantics require strictly positive weights"
-        );
         let inv: Vec<f64> = w.weights().iter().map(|x| 1.0 / x).collect();
         WeightedCsr::from_parts_unchecked(w.graph().clone(), inv)
     };
@@ -91,10 +199,51 @@ pub fn par_hde_weighted_with(
         WeightSemantics::Similarities => (reciprocal(g), g.clone()),
         WeightSemantics::Raw => (g.clone(), g.clone()),
     };
-    let g = &lengths;
 
-    let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
-    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+    let max_attempts = if failsoft { 1 + MAX_REPIVOT_RETRIES } else { 1 };
+    for attempt in 0..max_attempts {
+        let seed = if attempt == 0 { cfg.seed } else { reseed(cfg.seed, attempt) };
+        let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+        match weighted_pipeline_once(&lengths, &sims, &cfg, delta, seed, &mut stats) {
+            Ok(layout) => {
+                stats.warnings = warnings;
+                return Ok((layout, stats));
+            }
+            Err(HdeError::DegenerateSubspace { kept, needed, subspace, .. }) => {
+                if attempt + 1 < max_attempts {
+                    warnings.push(Warning::RepivotRetry {
+                        attempt: attempt + 1,
+                        kept,
+                        needed,
+                    });
+                } else {
+                    return Err(HdeError::DegenerateSubspace {
+                        kept,
+                        needed,
+                        subspace,
+                        retries: attempt,
+                    });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(HdeError::Internal("re-pivot retry loop fell through".into()))
+}
+
+/// One attempt at the weighted Algorithm 3 pipeline.
+fn weighted_pipeline_once(
+    lengths: &WeightedCsr,
+    sims: &WeightedCsr,
+    cfg: &ParHdeConfig,
+    delta: f64,
+    seed: u64,
+    stats: &mut HdeStats,
+) -> Result<Layout, HdeError> {
+    let n = lengths.num_vertices();
+    let s = cfg.subspace;
+    let g = lengths;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut b = ColMajorMatrix::zeros(n, s);
 
     // ---- SSSP phase -------------------------------------------------------
@@ -107,7 +256,9 @@ pub fn par_hde_weighted_with(
                 let t = Timer::start();
                 let reached = delta_stepping_into_f64(g, src, delta, b.col_mut(i));
                 stats.phases.add(phase::BFS, t.elapsed());
-                assert_connected(reached, n);
+                if reached != n {
+                    return Err(HdeError::Disconnected { reached, n });
+                }
                 let t = Timer::start();
                 fold_min_distance(&mut min_dist, b.col(i));
                 src = farthest_vertex(&min_dist);
@@ -130,7 +281,9 @@ pub fn par_hde_weighted_with(
                 .map(|(&src, col)| delta_stepping_into_f64(g, src, delta, col))
                 .collect();
             stats.phases.add(phase::BFS, t.elapsed());
-            assert_connected(reached[0], n);
+            if reached[0] != n {
+                return Err(HdeError::Disconnected { reached: reached[0], n });
+            }
         }
     }
 
@@ -148,8 +301,8 @@ pub fn par_hde_weighted_with(
     let t = Timer::start();
     let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
     let outcome = match cfg.ortho {
-        OrthoMethod::Mgs => mgs(&mut smat, weights, cfg.drop_tolerance),
-        OrthoMethod::Cgs => cgs(&mut smat, weights, cfg.drop_tolerance),
+        OrthoMethod::Mgs => try_mgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
+        OrthoMethod::Cgs => try_cgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
     };
     debug_assert_eq!(outcome.kept.first(), Some(&0));
     let survivors: Vec<usize> = (1..smat.cols()).collect();
@@ -157,26 +310,35 @@ pub fn par_hde_weighted_with(
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
     stats.phases.add(phase::DORTHO, t.elapsed());
-    assert!(smat.cols() >= 2, "fewer than two directions survived");
+    if smat.cols() < 2 {
+        return Err(HdeError::DegenerateSubspace {
+            kept: smat.cols(),
+            needed: 2,
+            subspace: s,
+            retries: 0,
+        });
+    }
 
     // ---- TripleProd -----------------------------------------------------------
     let t = Timer::start();
-    let p = laplacian_spmm_weighted(&sims, &degrees, &smat);
+    let p = laplacian_spmm_weighted(sims, &degrees, &smat);
     stats.phases.add(phase::LS, t.elapsed());
     let t = Timer::start();
     let z = at_b(&smat, &p);
+    check_matrix_finite(&z, "gemm")?;
     stats.phases.add(phase::GEMM, t.elapsed());
 
     // ---- Eigensolve + projection -----------------------------------------------
     let t = Timer::start();
-    let (y, mus) = subspace_axes(&smat, &z, weights);
+    let (y, mus) = try_subspace_axes_nd(&smat, &z, weights, 2)?;
     stats.axis_eigenvalues = mus;
     stats.phases.add(phase::EIGEN, t.elapsed());
     let t = Timer::start();
     let coords = a_small(&smat, &y);
+    check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
     stats.phases.add(phase::PROJECT, t.elapsed());
-    (layout, stats)
+    Ok(layout)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! the paper's observation that the eigensolve is lost in the noise.
 
 use crate::dense::ColMajorMatrix;
+use crate::error::LinalgError;
 
 /// An eigendecomposition: `values[k]` with eigenvector `vectors.col(k)`,
 /// sorted by eigenvalue **descending** (HDE wants the *top* eigenvectors of
@@ -47,20 +48,42 @@ const MAX_SWEEPS: usize = 64;
 ///
 /// # Panics
 /// Panics if the matrix is not square or not (numerically) symmetric.
+/// Untrusted callers should use [`try_symmetric_eigen`] instead.
 pub fn symmetric_eigen(m: &ColMajorMatrix) -> Eigen {
+    match try_symmetric_eigen(m) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Guarded eigensolve: rejects non-square, non-finite, and asymmetric
+/// input with a typed error instead of panicking, and names the position
+/// of the first defect.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`], [`LinalgError::NonFinite`] (phase
+/// `"eigen"`), or [`LinalgError::NotSymmetric`].
+pub fn try_symmetric_eigen(m: &ColMajorMatrix) -> Result<Eigen, LinalgError> {
     let n = m.rows();
-    assert_eq!(m.cols(), n, "matrix must be square");
+    if m.cols() != n {
+        return Err(LinalgError::NotSquare { rows: n, cols: m.cols() });
+    }
+    crate::error::check_matrix_finite(m, "eigen")?;
     // Verify symmetry up to a tolerance scaled by magnitude.
     let scale = m.frobenius_norm().max(1.0);
     for i in 0..n {
         for j in 0..i {
-            assert!(
-                (m.get(i, j) - m.get(j, i)).abs() <= 1e-9 * scale,
-                "matrix not symmetric at ({i},{j})"
-            );
+            if (m.get(i, j) - m.get(j, i)).abs() > 1e-9 * scale {
+                return Err(LinalgError::NotSymmetric { row: i, col: j });
+            }
         }
     }
+    Ok(jacobi_core(m))
+}
 
+/// The unchecked cyclic-Jacobi iteration; callers have validated `m`.
+fn jacobi_core(m: &ColMajorMatrix) -> Eigen {
+    let n = m.rows();
     // Work on a copy A; accumulate rotations into V.
     let mut a: Vec<f64> = m.data().to_vec();
     let at = |a: &Vec<f64>, r: usize, c: usize| a[c * n + r];
@@ -126,7 +149,8 @@ pub fn symmetric_eigen(m: &ColMajorMatrix) -> Eigen {
     // Extract and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| at(&a, i, i)).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    // total_cmp: no panic even if a caller bypassed the finite-input guard.
+    order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = ColMajorMatrix::zeros(n, n);
     for (dst, &src) in order.iter().enumerate() {
@@ -251,6 +275,27 @@ mod tests {
     fn asymmetric_rejected() {
         let m = ColMajorMatrix::from_data(2, 2, vec![1., 0., 5., 1.]);
         symmetric_eigen(&m);
+    }
+
+    #[test]
+    fn try_eigen_rejects_poison_typed() {
+        use crate::error::LinalgError;
+        let m = ColMajorMatrix::from_data(2, 2, vec![1., 0., 5., 1.]);
+        assert_eq!(
+            try_symmetric_eigen(&m).unwrap_err(),
+            LinalgError::NotSymmetric { row: 1, col: 0 }
+        );
+        let mut m = ColMajorMatrix::zeros(2, 2);
+        m.set(0, 0, f64::NAN);
+        assert!(matches!(
+            try_symmetric_eigen(&m).unwrap_err(),
+            LinalgError::NonFinite { phase: "eigen", .. }
+        ));
+        let m = ColMajorMatrix::zeros(2, 3);
+        assert_eq!(
+            try_symmetric_eigen(&m).unwrap_err(),
+            LinalgError::NotSquare { rows: 2, cols: 3 }
+        );
     }
 
     #[test]

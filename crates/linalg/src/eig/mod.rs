@@ -13,5 +13,5 @@
 pub mod jacobi;
 pub mod power;
 
-pub use jacobi::{symmetric_eigen, Eigen};
+pub use jacobi::{symmetric_eigen, try_symmetric_eigen, Eigen};
 pub use power::{dominant_walk_eigenvectors, PowerIterationReport};

@@ -1,0 +1,119 @@
+//! Typed errors and non-finite guards for the numeric kernels.
+//!
+//! The panicking kernels stay as-is for trusted internal callers; the
+//! `try_*` wrappers in [`crate::ortho`], [`crate::spmm`], and
+//! [`crate::eig::jacobi`] run the same code behind guards that report
+//! *which phase and column* first went non-finite — so a NaN is caught at
+//! its source instead of surfacing as a blank PNG three phases later.
+
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use crate::dense::ColMajorMatrix;
+
+/// A failure inside a numeric kernel, attributed to a pipeline phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A NaN or ±∞ appeared in `phase` at the given column and row.
+    NonFinite {
+        /// The pipeline phase whose data went bad (e.g. `"dortho"`).
+        phase: &'static str,
+        /// Column index of the first non-finite entry.
+        column: usize,
+        /// Row index of the first non-finite entry.
+        row: usize,
+    },
+    /// A square-matrix kernel was given a non-square input.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// A symmetric kernel was given an asymmetric input.
+    NotSymmetric {
+        /// Row of the first asymmetric pair.
+        row: usize,
+        /// Column of the first asymmetric pair.
+        col: usize,
+    },
+    /// Mismatched dimensions or an invalid scalar argument.
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFinite { phase, column, row } => write!(
+                f,
+                "non-finite value in {phase} at column {column}, row {row}"
+            ),
+            Self::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}×{cols}")
+            }
+            Self::NotSymmetric { row, col } => {
+                write!(f, "matrix not symmetric at ({row},{col})")
+            }
+            Self::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Returns the (column, row) of the first non-finite entry, scanning
+/// column-major — i.e. in the order the BFS/DOrtho phases produced the
+/// data — or `None` if the matrix is entirely finite.
+pub fn first_non_finite(m: &ColMajorMatrix) -> Option<(usize, usize)> {
+    let rows = m.rows();
+    m.data()
+        .iter()
+        .position(|x| !x.is_finite())
+        .map(|idx| (idx / rows.max(1), idx % rows.max(1)))
+}
+
+/// Guards a whole matrix: `Err(NonFinite)` naming `phase` and the first
+/// bad column/row, `Ok(())` otherwise.
+pub fn check_matrix_finite(m: &ColMajorMatrix, phase: &'static str) -> Result<(), LinalgError> {
+    match first_non_finite(m) {
+        None => Ok(()),
+        Some((column, row)) => Err(LinalgError::NonFinite { phase, column, row }),
+    }
+}
+
+/// Guards a vector treated as column `column` of `phase`.
+pub fn check_slice_finite(
+    v: &[f64],
+    phase: &'static str,
+    column: usize,
+) -> Result<(), LinalgError> {
+    match v.iter().position(|x| !x.is_finite()) {
+        None => Ok(()),
+        Some(row) => Err(LinalgError::NonFinite { phase, column, row }),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locates_first_bad_entry_column_major() {
+        let mut m = ColMajorMatrix::zeros(3, 2);
+        m.set(1, 1, f64::NAN);
+        assert_eq!(first_non_finite(&m), Some((1, 1)));
+        m.set(2, 0, f64::INFINITY);
+        assert_eq!(first_non_finite(&m), Some((0, 2)));
+        assert!(check_matrix_finite(&ColMajorMatrix::zeros(2, 2), "x").is_ok());
+    }
+
+    #[test]
+    fn slice_guard_names_phase_and_column() {
+        let err = check_slice_finite(&[0.0, f64::NEG_INFINITY], "project", 1).unwrap_err();
+        assert_eq!(
+            err,
+            LinalgError::NonFinite { phase: "project", column: 1, row: 1 }
+        );
+        assert!(err.to_string().contains("project"));
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`eig`] — a cyclic Jacobi eigensolver for the small `s×s` symmetric
 //!   problem, and deflated power iteration on the normalized adjacency for
 //!   the "exact" drawings (Figure 1 bottom) and §4.5.3.
+//! * [`error`] — typed [`error::LinalgError`]s plus non-finite guards; the
+//!   `try_*` kernel wrappers report which phase and column first went bad
+//!   instead of propagating NaN downstream.
 
 #![warn(missing_docs)]
 
@@ -28,8 +31,10 @@ pub mod blas1;
 pub mod center;
 pub mod dense;
 pub mod eig;
+pub mod error;
 pub mod gemm;
 pub mod ortho;
 pub mod spmm;
 
 pub use dense::ColMajorMatrix;
+pub use error::LinalgError;

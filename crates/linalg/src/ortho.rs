@@ -22,6 +22,7 @@
 
 use crate::blas1::{axpy, dot, dot_weighted, norm2, scale};
 use crate::dense::ColMajorMatrix;
+use crate::error::{check_matrix_finite, LinalgError};
 
 /// The paper's degeneracy threshold: drop `s_i` when `‖s_i‖ ≤ 10⁻³`
 /// (Algorithm 3 line 12).
@@ -217,6 +218,71 @@ pub fn cgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
     OrthoOutcome { kept, dropped }
 }
 
+/// Argument validation shared by the guarded orthogonalization wrappers.
+fn ortho_args_ok(
+    s: &ColMajorMatrix,
+    d: Option<&[f64]>,
+    tol: f64,
+) -> Result<(), LinalgError> {
+    if tol.is_nan() || tol < 0.0 {
+        return Err(LinalgError::InvalidArgument(format!(
+            "tolerance must be non-negative, got {tol}"
+        )));
+    }
+    if let Some(w) = d {
+        if w.len() != s.rows() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "weight vector length {} != row count {}",
+                w.len(),
+                s.rows()
+            )));
+        }
+        if let Some(row) = w.iter().position(|x| !x.is_finite()) {
+            return Err(LinalgError::NonFinite { phase: "dortho weights", column: 0, row });
+        }
+    }
+    Ok(())
+}
+
+/// Guarded [`mgs`]: validates arguments, rejects non-finite input **before**
+/// the pass can smear a NaN across later columns, and checks the output.
+/// The error names the `phase` label the caller is running under and the
+/// first bad column.
+///
+/// # Errors
+/// [`LinalgError::NonFinite`] on bad data, [`LinalgError::InvalidArgument`]
+/// on dimension/tolerance misuse. Never panics.
+pub fn try_mgs(
+    s: &mut ColMajorMatrix,
+    d: Option<&[f64]>,
+    tol: f64,
+    phase: &'static str,
+) -> Result<OrthoOutcome, LinalgError> {
+    ortho_args_ok(s, d, tol)?;
+    check_matrix_finite(s, phase)?;
+    let out = mgs(s, d, tol);
+    check_matrix_finite(s, phase)?;
+    Ok(out)
+}
+
+/// Guarded [`cgs`]; same contract as [`try_mgs`].
+///
+/// # Errors
+/// [`LinalgError::NonFinite`] on bad data, [`LinalgError::InvalidArgument`]
+/// on dimension/tolerance misuse. Never panics.
+pub fn try_cgs(
+    s: &mut ColMajorMatrix,
+    d: Option<&[f64]>,
+    tol: f64,
+    phase: &'static str,
+) -> Result<OrthoOutcome, LinalgError> {
+    ortho_args_ok(s, d, tol)?;
+    check_matrix_finite(s, phase)?;
+    let out = cgs(s, d, tol);
+    check_matrix_finite(s, phase)?;
+    Ok(out)
+}
+
 /// Maximum absolute pairwise (optionally D-weighted) inner product between
 /// distinct columns — the orthogonality residual used by tests and the
 /// quality harness.
@@ -329,6 +395,39 @@ mod tests {
         mgs(&mut m, None, DROP_TOLERANCE);
         assert!((m.get(0, 0) - 0.6).abs() < 1e-12);
         assert!((m.get(1, 0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_variants_reject_nan_with_position() {
+        let mut m = random_matrix(50, 4, 11);
+        m.set(7, 2, f64::NAN);
+        let backup = m.clone();
+        let err = try_mgs(&mut m, None, DROP_TOLERANCE, "dortho").unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::LinalgError::NonFinite { phase: "dortho", column: 2, row: 7 }
+        );
+        let mut m = backup;
+        let err = try_cgs(&mut m, None, DROP_TOLERANCE, "dortho").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::LinalgError::NonFinite { column: 2, row: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn try_variants_reject_bad_arguments_without_panicking() {
+        let mut m = random_matrix(10, 2, 12);
+        assert!(try_mgs(&mut m, None, -1.0, "dortho").is_err());
+        assert!(try_mgs(&mut m, Some(&[1.0; 3]), 0.0, "dortho").is_err());
+        assert!(try_cgs(&mut m, Some(&[f64::NAN; 10]), 0.0, "dortho").is_err());
+        // Well-formed input still goes through and matches the raw kernel.
+        let mut a = random_matrix(40, 3, 13);
+        let mut b = a.clone();
+        let oa = try_mgs(&mut a, None, DROP_TOLERANCE, "dortho").unwrap();
+        let ob = mgs(&mut b, None, DROP_TOLERANCE);
+        assert_eq!(oa, ob);
+        assert_eq!(a.data(), b.data());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! normalized-adjacency product serves the eigensolver (Figure 1 bottom).
 
 use crate::dense::ColMajorMatrix;
+use crate::error::LinalgError;
 use parhde_graph::{CsrGraph, WeightedCsr};
 use rayon::prelude::*;
 
@@ -75,6 +76,39 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
         }
     }
     p
+}
+
+/// Guarded [`laplacian_spmm`]: validates dimensions, checks the degree
+/// vector and input matrix for non-finite values, and scans the product —
+/// an overflow in the accumulation is reported as phase `"spmm"` with the
+/// first bad column instead of flowing into the eigensolve.
+///
+/// # Errors
+/// [`LinalgError::InvalidArgument`] on shape mismatch,
+/// [`LinalgError::NonFinite`] on poison data. Never panics.
+pub fn try_laplacian_spmm(
+    g: &CsrGraph,
+    degrees: &[f64],
+    s: &ColMajorMatrix,
+) -> Result<ColMajorMatrix, LinalgError> {
+    let n = g.num_vertices();
+    if s.rows() != n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "S row count {} != n = {n}",
+            s.rows()
+        )));
+    }
+    if degrees.len() != n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "degree vector length {} != n = {n}",
+            degrees.len()
+        )));
+    }
+    crate::error::check_slice_finite(degrees, "spmm degrees", 0)?;
+    crate::error::check_matrix_finite(s, "spmm input")?;
+    let p = laplacian_spmm(g, degrees, s);
+    crate::error::check_matrix_finite(&p, "spmm")?;
+    Ok(p)
 }
 
 /// Weighted-graph variant: `L = D − A` with `A(u,v) = w(u,v)` and `D` the

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_ortho-8cda37a17b73a70d.d: crates/bench/benches/bench_ortho.rs
+
+/root/repo/target/debug/deps/libbench_ortho-8cda37a17b73a70d.rmeta: crates/bench/benches/bench_ortho.rs
+
+crates/bench/benches/bench_ortho.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degradation-833169d2442d5c82.d: crates/hde/tests/degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegradation-833169d2442d5c82.rmeta: crates/hde/tests/degradation.rs Cargo.toml
+
+crates/hde/tests/degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-db3966d57fb6c24b.d: crates/hde/tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-db3966d57fb6c24b: crates/hde/tests/degradation.rs
+
+crates/hde/tests/degradation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-61491e797a71c68f.d: tests/tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-61491e797a71c68f.rmeta: tests/tests/determinism.rs
+
+tests/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-afd590a8a1fc4249.d: tests/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-afd590a8a1fc4249: tests/tests/determinism.rs
+
+tests/tests/determinism.rs:

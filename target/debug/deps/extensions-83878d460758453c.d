@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-83878d460758453c.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-83878d460758453c.rmeta: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

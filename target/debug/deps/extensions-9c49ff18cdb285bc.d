@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9c49ff18cdb285bc.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-9c49ff18cdb285bc: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-ad93e300816d90af.d: crates/hde/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-ad93e300816d90af: crates/hde/tests/fault_injection.rs
+
+crates/hde/tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-b160c603ea146f47.d: crates/hde/tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-b160c603ea146f47.rmeta: crates/hde/tests/fault_injection.rs Cargo.toml
+
+crates/hde/tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

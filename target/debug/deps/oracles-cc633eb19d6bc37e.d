@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracles-cc633eb19d6bc37e.d: tests/tests/oracles.rs
+
+/root/repo/target/debug/deps/liboracles-cc633eb19d6bc37e.rmeta: tests/tests/oracles.rs
+
+tests/tests/oracles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracles-d4c13ffecb908bf1.d: tests/tests/oracles.rs
+
+/root/repo/target/debug/deps/oracles-d4c13ffecb908bf1: tests/tests/oracles.rs
+
+tests/tests/oracles.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/parhde-28628ef817967b5e.d: crates/hde/src/lib.rs crates/hde/src/bfs_phase.rs crates/hde/src/config.rs crates/hde/src/coupled.rs crates/hde/src/error.rs crates/hde/src/layout.rs crates/hde/src/multilevel.rs crates/hde/src/parhde.rs crates/hde/src/partition.rs crates/hde/src/phde.rs crates/hde/src/pivot_mds.rs crates/hde/src/pivots.rs crates/hde/src/prior.rs crates/hde/src/quality.rs crates/hde/src/refine.rs crates/hde/src/stats.rs crates/hde/src/stress.rs crates/hde/src/weighted.rs crates/hde/src/zoom.rs
+
+/root/repo/target/debug/deps/libparhde-28628ef817967b5e.rmeta: crates/hde/src/lib.rs crates/hde/src/bfs_phase.rs crates/hde/src/config.rs crates/hde/src/coupled.rs crates/hde/src/error.rs crates/hde/src/layout.rs crates/hde/src/multilevel.rs crates/hde/src/parhde.rs crates/hde/src/partition.rs crates/hde/src/phde.rs crates/hde/src/pivot_mds.rs crates/hde/src/pivots.rs crates/hde/src/prior.rs crates/hde/src/quality.rs crates/hde/src/refine.rs crates/hde/src/stats.rs crates/hde/src/stress.rs crates/hde/src/weighted.rs crates/hde/src/zoom.rs
+
+crates/hde/src/lib.rs:
+crates/hde/src/bfs_phase.rs:
+crates/hde/src/config.rs:
+crates/hde/src/coupled.rs:
+crates/hde/src/error.rs:
+crates/hde/src/layout.rs:
+crates/hde/src/multilevel.rs:
+crates/hde/src/parhde.rs:
+crates/hde/src/partition.rs:
+crates/hde/src/phde.rs:
+crates/hde/src/pivot_mds.rs:
+crates/hde/src/pivots.rs:
+crates/hde/src/prior.rs:
+crates/hde/src/quality.rs:
+crates/hde/src/refine.rs:
+crates/hde/src/stats.rs:
+crates/hde/src/stress.rs:
+crates/hde/src/weighted.rs:
+crates/hde/src/zoom.rs:

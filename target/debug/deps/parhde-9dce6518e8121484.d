@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/parhde-9dce6518e8121484.d: crates/hde/src/lib.rs crates/hde/src/bfs_phase.rs crates/hde/src/config.rs crates/hde/src/coupled.rs crates/hde/src/error.rs crates/hde/src/layout.rs crates/hde/src/multilevel.rs crates/hde/src/parhde.rs crates/hde/src/partition.rs crates/hde/src/phde.rs crates/hde/src/pivot_mds.rs crates/hde/src/pivots.rs crates/hde/src/prior.rs crates/hde/src/quality.rs crates/hde/src/refine.rs crates/hde/src/stats.rs crates/hde/src/stress.rs crates/hde/src/weighted.rs crates/hde/src/zoom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde-9dce6518e8121484.rmeta: crates/hde/src/lib.rs crates/hde/src/bfs_phase.rs crates/hde/src/config.rs crates/hde/src/coupled.rs crates/hde/src/error.rs crates/hde/src/layout.rs crates/hde/src/multilevel.rs crates/hde/src/parhde.rs crates/hde/src/partition.rs crates/hde/src/phde.rs crates/hde/src/pivot_mds.rs crates/hde/src/pivots.rs crates/hde/src/prior.rs crates/hde/src/quality.rs crates/hde/src/refine.rs crates/hde/src/stats.rs crates/hde/src/stress.rs crates/hde/src/weighted.rs crates/hde/src/zoom.rs Cargo.toml
+
+crates/hde/src/lib.rs:
+crates/hde/src/bfs_phase.rs:
+crates/hde/src/config.rs:
+crates/hde/src/coupled.rs:
+crates/hde/src/error.rs:
+crates/hde/src/layout.rs:
+crates/hde/src/multilevel.rs:
+crates/hde/src/parhde.rs:
+crates/hde/src/partition.rs:
+crates/hde/src/phde.rs:
+crates/hde/src/pivot_mds.rs:
+crates/hde/src/pivots.rs:
+crates/hde/src/prior.rs:
+crates/hde/src/quality.rs:
+crates/hde/src/refine.rs:
+crates/hde/src/stats.rs:
+crates/hde/src/stress.rs:
+crates/hde/src/weighted.rs:
+crates/hde/src/zoom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

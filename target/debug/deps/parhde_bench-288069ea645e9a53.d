@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parhde_bench-288069ea645e9a53.d: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+/root/repo/target/debug/deps/libparhde_bench-288069ea645e9a53.rlib: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+/root/repo/target/debug/deps/libparhde_bench-288069ea645e9a53.rmeta: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/collection.rs:

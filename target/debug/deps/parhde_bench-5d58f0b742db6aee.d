@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parhde_bench-5d58f0b742db6aee.d: crates/bench/src/lib.rs crates/bench/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_bench-5d58f0b742db6aee.rmeta: crates/bench/src/lib.rs crates/bench/src/collection.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

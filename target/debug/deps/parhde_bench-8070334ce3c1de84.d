@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/parhde_bench-8070334ce3c1de84.d: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+/root/repo/target/debug/deps/parhde_bench-8070334ce3c1de84: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/collection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parhde_bench-d38ba5de40437b74.d: crates/bench/src/lib.rs crates/bench/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_bench-d38ba5de40437b74.rmeta: crates/bench/src/lib.rs crates/bench/src/collection.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

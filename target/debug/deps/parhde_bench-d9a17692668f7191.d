@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/parhde_bench-d9a17692668f7191.d: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+/root/repo/target/debug/deps/libparhde_bench-d9a17692668f7191.rmeta: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/collection.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parhde_bfs-2a0a70fa06ca53be.d: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+/root/repo/target/debug/deps/parhde_bfs-2a0a70fa06ca53be: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+crates/bfs/src/lib.rs:
+crates/bfs/src/bottom_up.rs:
+crates/bfs/src/direction_opt.rs:
+crates/bfs/src/frontier.rs:
+crates/bfs/src/multi.rs:
+crates/bfs/src/parents.rs:
+crates/bfs/src/serial.rs:
+crates/bfs/src/top_down.rs:

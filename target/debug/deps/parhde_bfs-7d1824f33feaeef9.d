@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parhde_bfs-7d1824f33feaeef9.d: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_bfs-7d1824f33feaeef9.rmeta: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs Cargo.toml
+
+crates/bfs/src/lib.rs:
+crates/bfs/src/bottom_up.rs:
+crates/bfs/src/direction_opt.rs:
+crates/bfs/src/frontier.rs:
+crates/bfs/src/multi.rs:
+crates/bfs/src/parents.rs:
+crates/bfs/src/serial.rs:
+crates/bfs/src/top_down.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parhde_bfs-bab83f87b8503397.d: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+/root/repo/target/debug/deps/libparhde_bfs-bab83f87b8503397.rlib: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+/root/repo/target/debug/deps/libparhde_bfs-bab83f87b8503397.rmeta: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+crates/bfs/src/lib.rs:
+crates/bfs/src/bottom_up.rs:
+crates/bfs/src/direction_opt.rs:
+crates/bfs/src/frontier.rs:
+crates/bfs/src/multi.rs:
+crates/bfs/src/parents.rs:
+crates/bfs/src/serial.rs:
+crates/bfs/src/top_down.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parhde_draw-2a9be251e6c188ec.d: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_draw-2a9be251e6c188ec.rmeta: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs Cargo.toml
+
+crates/draw/src/lib.rs:
+crates/draw/src/bits.rs:
+crates/draw/src/checksums.rs:
+crates/draw/src/color.rs:
+crates/draw/src/deflate.rs:
+crates/draw/src/png.rs:
+crates/draw/src/raster.rs:
+crates/draw/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

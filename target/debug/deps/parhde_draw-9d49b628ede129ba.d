@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parhde_draw-9d49b628ede129ba.d: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+/root/repo/target/debug/deps/parhde_draw-9d49b628ede129ba: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+crates/draw/src/lib.rs:
+crates/draw/src/bits.rs:
+crates/draw/src/checksums.rs:
+crates/draw/src/color.rs:
+crates/draw/src/deflate.rs:
+crates/draw/src/png.rs:
+crates/draw/src/raster.rs:
+crates/draw/src/render.rs:

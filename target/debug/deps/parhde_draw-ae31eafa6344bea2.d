@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parhde_draw-ae31eafa6344bea2.d: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+/root/repo/target/debug/deps/libparhde_draw-ae31eafa6344bea2.rmeta: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+crates/draw/src/lib.rs:
+crates/draw/src/bits.rs:
+crates/draw/src/checksums.rs:
+crates/draw/src/color.rs:
+crates/draw/src/deflate.rs:
+crates/draw/src/png.rs:
+crates/draw/src/raster.rs:
+crates/draw/src/render.rs:

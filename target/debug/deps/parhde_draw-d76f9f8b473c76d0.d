@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parhde_draw-d76f9f8b473c76d0.d: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+/root/repo/target/debug/deps/libparhde_draw-d76f9f8b473c76d0.rlib: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+/root/repo/target/debug/deps/libparhde_draw-d76f9f8b473c76d0.rmeta: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+crates/draw/src/lib.rs:
+crates/draw/src/bits.rs:
+crates/draw/src/checksums.rs:
+crates/draw/src/color.rs:
+crates/draw/src/deflate.rs:
+crates/draw/src/png.rs:
+crates/draw/src/raster.rs:
+crates/draw/src/render.rs:

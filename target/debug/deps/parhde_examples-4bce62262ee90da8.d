@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parhde_examples-4bce62262ee90da8.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libparhde_examples-4bce62262ee90da8.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parhde_examples-4cb9815e5867ab19.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libparhde_examples-4cb9815e5867ab19.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libparhde_examples-4cb9815e5867ab19.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parhde_examples-60298d118ef739be.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/parhde_examples-60298d118ef739be: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parhde_examples-d7d80548070313c1.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_examples-d7d80548070313c1.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parhde_examples-dd7c280d883da33f.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_examples-dd7c280d883da33f.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/parhde_graph-83b548cef172ad84.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/coarsen.rs crates/graph/src/csr.rs crates/graph/src/decompose.rs crates/graph/src/gaps.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/kron.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/poison.rs crates/graph/src/gen/pref_attach.rs crates/graph/src/gen/simple.rs crates/graph/src/gen/urand.rs crates/graph/src/gen/web.rs crates/graph/src/io/mod.rs crates/graph/src/io/binary.rs crates/graph/src/io/edge_list.rs crates/graph/src/io/error.rs crates/graph/src/io/matrix_market.rs crates/graph/src/order.rs crates/graph/src/prep.rs crates/graph/src/report.rs
+
+/root/repo/target/debug/deps/parhde_graph-83b548cef172ad84: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/coarsen.rs crates/graph/src/csr.rs crates/graph/src/decompose.rs crates/graph/src/gaps.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/geometric.rs crates/graph/src/gen/kron.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/poison.rs crates/graph/src/gen/pref_attach.rs crates/graph/src/gen/simple.rs crates/graph/src/gen/urand.rs crates/graph/src/gen/web.rs crates/graph/src/io/mod.rs crates/graph/src/io/binary.rs crates/graph/src/io/edge_list.rs crates/graph/src/io/error.rs crates/graph/src/io/matrix_market.rs crates/graph/src/order.rs crates/graph/src/prep.rs crates/graph/src/report.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/coarsen.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/decompose.rs:
+crates/graph/src/gaps.rs:
+crates/graph/src/gen/mod.rs:
+crates/graph/src/gen/geometric.rs:
+crates/graph/src/gen/kron.rs:
+crates/graph/src/gen/mesh.rs:
+crates/graph/src/gen/poison.rs:
+crates/graph/src/gen/pref_attach.rs:
+crates/graph/src/gen/simple.rs:
+crates/graph/src/gen/urand.rs:
+crates/graph/src/gen/web.rs:
+crates/graph/src/io/mod.rs:
+crates/graph/src/io/binary.rs:
+crates/graph/src/io/edge_list.rs:
+crates/graph/src/io/error.rs:
+crates/graph/src/io/matrix_market.rs:
+crates/graph/src/order.rs:
+crates/graph/src/prep.rs:
+crates/graph/src/report.rs:

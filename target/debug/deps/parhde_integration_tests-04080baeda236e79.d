@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parhde_integration_tests-04080baeda236e79.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libparhde_integration_tests-04080baeda236e79.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

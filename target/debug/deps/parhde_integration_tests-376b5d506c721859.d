@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parhde_integration_tests-376b5d506c721859.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libparhde_integration_tests-376b5d506c721859.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libparhde_integration_tests-376b5d506c721859.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

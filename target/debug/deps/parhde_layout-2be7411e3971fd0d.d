@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parhde_layout-2be7411e3971fd0d.d: crates/bench/src/bin/parhde-layout.rs
+
+/root/repo/target/debug/deps/parhde_layout-2be7411e3971fd0d: crates/bench/src/bin/parhde-layout.rs
+
+crates/bench/src/bin/parhde-layout.rs:

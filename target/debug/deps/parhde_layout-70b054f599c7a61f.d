@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parhde_layout-70b054f599c7a61f.d: crates/bench/src/bin/parhde-layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_layout-70b054f599c7a61f.rmeta: crates/bench/src/bin/parhde-layout.rs Cargo.toml
+
+crates/bench/src/bin/parhde-layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parhde_layout-9bbe46d633cbdcf7.d: crates/bench/src/bin/parhde-layout.rs
+
+/root/repo/target/debug/deps/libparhde_layout-9bbe46d633cbdcf7.rmeta: crates/bench/src/bin/parhde-layout.rs
+
+crates/bench/src/bin/parhde-layout.rs:

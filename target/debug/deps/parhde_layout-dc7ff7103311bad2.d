@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parhde_layout-dc7ff7103311bad2.d: crates/bench/src/bin/parhde-layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_layout-dc7ff7103311bad2.rmeta: crates/bench/src/bin/parhde-layout.rs Cargo.toml
+
+crates/bench/src/bin/parhde-layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

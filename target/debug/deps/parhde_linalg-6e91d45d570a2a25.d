@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/parhde_linalg-6e91d45d570a2a25.d: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_linalg-6e91d45d570a2a25.rmeta: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/blas1.rs:
+crates/linalg/src/center.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eig/mod.rs:
+crates/linalg/src/eig/jacobi.rs:
+crates/linalg/src/eig/power.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/gemm.rs:
+crates/linalg/src/ortho.rs:
+crates/linalg/src/spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

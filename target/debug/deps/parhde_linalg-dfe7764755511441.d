@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parhde_linalg-dfe7764755511441.d: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs
+
+/root/repo/target/debug/deps/libparhde_linalg-dfe7764755511441.rmeta: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/blas1.rs:
+crates/linalg/src/center.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eig/mod.rs:
+crates/linalg/src/eig/jacobi.rs:
+crates/linalg/src/eig/power.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/gemm.rs:
+crates/linalg/src/ortho.rs:
+crates/linalg/src/spmm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parhde_sssp-112e7a460416c570.d: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+/root/repo/target/debug/deps/parhde_sssp-112e7a460416c570: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+crates/sssp/src/lib.rs:
+crates/sssp/src/delta_stepping.rs:
+crates/sssp/src/dijkstra.rs:

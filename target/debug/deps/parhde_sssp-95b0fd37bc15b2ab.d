@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parhde_sssp-95b0fd37bc15b2ab.d: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_sssp-95b0fd37bc15b2ab.rmeta: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs Cargo.toml
+
+crates/sssp/src/lib.rs:
+crates/sssp/src/delta_stepping.rs:
+crates/sssp/src/dijkstra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

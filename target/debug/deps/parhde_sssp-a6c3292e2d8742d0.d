@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parhde_sssp-a6c3292e2d8742d0.d: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+/root/repo/target/debug/deps/libparhde_sssp-a6c3292e2d8742d0.rlib: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+/root/repo/target/debug/deps/libparhde_sssp-a6c3292e2d8742d0.rmeta: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+crates/sssp/src/lib.rs:
+crates/sssp/src/delta_stepping.rs:
+crates/sssp/src/dijkstra.rs:

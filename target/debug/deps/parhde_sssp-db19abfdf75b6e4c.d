@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parhde_sssp-db19abfdf75b6e4c.d: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+/root/repo/target/debug/deps/libparhde_sssp-db19abfdf75b6e4c.rmeta: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+crates/sssp/src/lib.rs:
+crates/sssp/src/delta_stepping.rs:
+crates/sssp/src/dijkstra.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parhde_util-39bd584fe7e3dc9c.d: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+/root/repo/target/debug/deps/libparhde_util-39bd584fe7e3dc9c.rlib: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+/root/repo/target/debug/deps/libparhde_util-39bd584fe7e3dc9c.rmeta: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fmt.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/threads.rs:
+crates/util/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parhde_util-714e33aefb74e27d.d: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+/root/repo/target/debug/deps/parhde_util-714e33aefb74e27d: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fmt.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/threads.rs:
+crates/util/src/timing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parhde_util-88d738ec63a4b957.d: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparhde_util-88d738ec63a4b957.rmeta: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/fmt.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/threads.rs:
+crates/util/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parhde_util-bf271caeb5010589.d: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+/root/repo/target/debug/deps/libparhde_util-bf271caeb5010589.rmeta: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fmt.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/threads.rs:
+crates/util/src/timing.rs:

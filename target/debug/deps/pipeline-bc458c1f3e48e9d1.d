@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-bc458c1f3e48e9d1.d: tests/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-bc458c1f3e48e9d1: tests/tests/pipeline.rs
+
+tests/tests/pipeline.rs:

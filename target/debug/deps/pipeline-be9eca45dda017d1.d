@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-be9eca45dda017d1.d: tests/tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-be9eca45dda017d1.rmeta: tests/tests/pipeline.rs
+
+tests/tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-92aaa410cb0a13f6.d: tests/tests/props.rs
+
+/root/repo/target/debug/deps/props-92aaa410cb0a13f6: tests/tests/props.rs
+
+tests/tests/props.rs:

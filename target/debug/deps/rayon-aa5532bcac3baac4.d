@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-aa5532bcac3baac4.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-aa5532bcac3baac4.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-aa5532bcac3baac4.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

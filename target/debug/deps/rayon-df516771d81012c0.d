@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-df516771d81012c0.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-df516771d81012c0.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reproduce-106b72558d0b3bf9.d: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs
+
+/root/repo/target/debug/deps/libreproduce-106b72558d0b3bf9.rmeta: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs
+
+crates/bench/src/bin/reproduce/main.rs:
+crates/bench/src/bin/reproduce/figures.rs:
+crates/bench/src/bin/reproduce/report.rs:
+crates/bench/src/bin/reproduce/tables.rs:

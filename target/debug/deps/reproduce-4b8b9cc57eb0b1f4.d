@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reproduce-4b8b9cc57eb0b1f4.d: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-4b8b9cc57eb0b1f4.rmeta: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs Cargo.toml
+
+crates/bench/src/bin/reproduce/main.rs:
+crates/bench/src/bin/reproduce/figures.rs:
+crates/bench/src/bin/reproduce/report.rs:
+crates/bench/src/bin/reproduce/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

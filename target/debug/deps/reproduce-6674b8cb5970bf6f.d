@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reproduce-6674b8cb5970bf6f.d: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs
+
+/root/repo/target/debug/deps/reproduce-6674b8cb5970bf6f: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs
+
+crates/bench/src/bin/reproduce/main.rs:
+crates/bench/src/bin/reproduce/figures.rs:
+crates/bench/src/bin/reproduce/report.rs:
+crates/bench/src/bin/reproduce/tables.rs:

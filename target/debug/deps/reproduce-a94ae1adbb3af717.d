@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reproduce-a94ae1adbb3af717.d: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-a94ae1adbb3af717.rmeta: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs Cargo.toml
+
+crates/bench/src/bin/reproduce/main.rs:
+crates/bench/src/bin/reproduce/figures.rs:
+crates/bench/src/bin/reproduce/report.rs:
+crates/bench/src/bin/reproduce/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

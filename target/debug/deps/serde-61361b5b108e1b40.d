@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-61361b5b108e1b40.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-61361b5b108e1b40.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-61361b5b108e1b40.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

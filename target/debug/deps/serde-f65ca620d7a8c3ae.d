@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f65ca620d7a8c3ae.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f65ca620d7a8c3ae.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

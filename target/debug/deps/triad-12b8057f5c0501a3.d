@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/triad-12b8057f5c0501a3.d: crates/bench/src/bin/triad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtriad-12b8057f5c0501a3.rmeta: crates/bench/src/bin/triad.rs Cargo.toml
+
+crates/bench/src/bin/triad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

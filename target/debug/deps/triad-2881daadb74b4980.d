@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/triad-2881daadb74b4980.d: crates/bench/src/bin/triad.rs
+
+/root/repo/target/debug/deps/libtriad-2881daadb74b4980.rmeta: crates/bench/src/bin/triad.rs
+
+crates/bench/src/bin/triad.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/triad-63a7c896d9d644a8.d: crates/bench/src/bin/triad.rs
+
+/root/repo/target/debug/deps/triad-63a7c896d9d644a8: crates/bench/src/bin/triad.rs
+
+crates/bench/src/bin/triad.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/triad-7f58a02505e4bb91.d: crates/bench/src/bin/triad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtriad-7f58a02505e4bb91.rmeta: crates/bench/src/bin/triad.rs Cargo.toml
+
+crates/bench/src/bin/triad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eigensolver_precondition-191546953af351a1.d: examples/examples/eigensolver_precondition.rs
+
+/root/repo/target/debug/examples/libeigensolver_precondition-191546953af351a1.rmeta: examples/examples/eigensolver_precondition.rs
+
+examples/examples/eigensolver_precondition.rs:

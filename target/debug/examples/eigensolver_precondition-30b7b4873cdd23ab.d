@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eigensolver_precondition-30b7b4873cdd23ab.d: examples/examples/eigensolver_precondition.rs
+
+/root/repo/target/debug/examples/eigensolver_precondition-30b7b4873cdd23ab: examples/examples/eigensolver_precondition.rs
+
+examples/examples/eigensolver_precondition.rs:

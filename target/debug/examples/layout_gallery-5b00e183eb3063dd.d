@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/layout_gallery-5b00e183eb3063dd.d: examples/examples/layout_gallery.rs
+
+/root/repo/target/debug/examples/liblayout_gallery-5b00e183eb3063dd.rmeta: examples/examples/layout_gallery.rs
+
+examples/examples/layout_gallery.rs:

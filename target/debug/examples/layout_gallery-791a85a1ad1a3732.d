@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/layout_gallery-791a85a1ad1a3732.d: examples/examples/layout_gallery.rs
+
+/root/repo/target/debug/examples/layout_gallery-791a85a1ad1a3732: examples/examples/layout_gallery.rs
+
+examples/examples/layout_gallery.rs:

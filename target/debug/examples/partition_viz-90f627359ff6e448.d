@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_viz-90f627359ff6e448.d: examples/examples/partition_viz.rs
+
+/root/repo/target/debug/examples/libpartition_viz-90f627359ff6e448.rmeta: examples/examples/partition_viz.rs
+
+examples/examples/partition_viz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_viz-fad479ba92273628.d: examples/examples/partition_viz.rs
+
+/root/repo/target/debug/examples/partition_viz-fad479ba92273628: examples/examples/partition_viz.rs
+
+examples/examples/partition_viz.rs:

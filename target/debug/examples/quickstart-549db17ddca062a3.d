@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-549db17ddca062a3.d: examples/examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-549db17ddca062a3: examples/examples/quickstart.rs
+
+examples/examples/quickstart.rs:

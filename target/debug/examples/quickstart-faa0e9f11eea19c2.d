@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-faa0e9f11eea19c2.d: examples/examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-faa0e9f11eea19c2.rmeta: examples/examples/quickstart.rs
+
+examples/examples/quickstart.rs:

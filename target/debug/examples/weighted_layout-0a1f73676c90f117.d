@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_layout-0a1f73676c90f117.d: examples/examples/weighted_layout.rs
+
+/root/repo/target/debug/examples/libweighted_layout-0a1f73676c90f117.rmeta: examples/examples/weighted_layout.rs
+
+examples/examples/weighted_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_layout-e8fc8afed6e8a9f3.d: examples/examples/weighted_layout.rs
+
+/root/repo/target/debug/examples/weighted_layout-e8fc8afed6e8a9f3: examples/examples/weighted_layout.rs
+
+examples/examples/weighted_layout.rs:

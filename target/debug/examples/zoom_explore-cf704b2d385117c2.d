@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zoom_explore-cf704b2d385117c2.d: examples/examples/zoom_explore.rs
+
+/root/repo/target/debug/examples/zoom_explore-cf704b2d385117c2: examples/examples/zoom_explore.rs
+
+examples/examples/zoom_explore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zoom_explore-e0c27e9df98b1f6d.d: examples/examples/zoom_explore.rs
+
+/root/repo/target/debug/examples/libzoom_explore-e0c27e9df98b1f6d.rmeta: examples/examples/zoom_explore.rs
+
+examples/examples/zoom_explore.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-0724838a9044b9d4.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0724838a9044b9d4.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0724838a9044b9d4.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-057c08ccceacab75.d: crates/hde/tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-057c08ccceacab75: crates/hde/tests/fault_injection.rs
+
+crates/hde/tests/fault_injection.rs:

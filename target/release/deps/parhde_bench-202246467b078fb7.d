@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/parhde_bench-202246467b078fb7.d: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+/root/repo/target/release/deps/libparhde_bench-202246467b078fb7.rlib: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+/root/repo/target/release/deps/libparhde_bench-202246467b078fb7.rmeta: crates/bench/src/lib.rs crates/bench/src/collection.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/collection.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parhde_bfs-994a32ccb9900f67.d: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+/root/repo/target/release/deps/libparhde_bfs-994a32ccb9900f67.rlib: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+/root/repo/target/release/deps/libparhde_bfs-994a32ccb9900f67.rmeta: crates/bfs/src/lib.rs crates/bfs/src/bottom_up.rs crates/bfs/src/direction_opt.rs crates/bfs/src/frontier.rs crates/bfs/src/multi.rs crates/bfs/src/parents.rs crates/bfs/src/serial.rs crates/bfs/src/top_down.rs
+
+crates/bfs/src/lib.rs:
+crates/bfs/src/bottom_up.rs:
+crates/bfs/src/direction_opt.rs:
+crates/bfs/src/frontier.rs:
+crates/bfs/src/multi.rs:
+crates/bfs/src/parents.rs:
+crates/bfs/src/serial.rs:
+crates/bfs/src/top_down.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parhde_draw-7c7c35bc900a28d7.d: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+/root/repo/target/release/deps/libparhde_draw-7c7c35bc900a28d7.rlib: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+/root/repo/target/release/deps/libparhde_draw-7c7c35bc900a28d7.rmeta: crates/draw/src/lib.rs crates/draw/src/bits.rs crates/draw/src/checksums.rs crates/draw/src/color.rs crates/draw/src/deflate.rs crates/draw/src/png.rs crates/draw/src/raster.rs crates/draw/src/render.rs
+
+crates/draw/src/lib.rs:
+crates/draw/src/bits.rs:
+crates/draw/src/checksums.rs:
+crates/draw/src/color.rs:
+crates/draw/src/deflate.rs:
+crates/draw/src/png.rs:
+crates/draw/src/raster.rs:
+crates/draw/src/render.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parhde_examples-58482875e8d53b54.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libparhde_examples-58482875e8d53b54.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libparhde_examples-58482875e8d53b54.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

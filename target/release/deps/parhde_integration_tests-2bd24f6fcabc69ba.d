@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parhde_integration_tests-2bd24f6fcabc69ba.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libparhde_integration_tests-2bd24f6fcabc69ba.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libparhde_integration_tests-2bd24f6fcabc69ba.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parhde_layout-ab19a79ab9eb578f.d: crates/bench/src/bin/parhde-layout.rs
+
+/root/repo/target/release/deps/parhde_layout-ab19a79ab9eb578f: crates/bench/src/bin/parhde-layout.rs
+
+crates/bench/src/bin/parhde-layout.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/parhde_linalg-a568f577706d7fd6.d: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs
+
+/root/repo/target/release/deps/libparhde_linalg-a568f577706d7fd6.rlib: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs
+
+/root/repo/target/release/deps/libparhde_linalg-a568f577706d7fd6.rmeta: crates/linalg/src/lib.rs crates/linalg/src/blas1.rs crates/linalg/src/center.rs crates/linalg/src/dense.rs crates/linalg/src/eig/mod.rs crates/linalg/src/eig/jacobi.rs crates/linalg/src/eig/power.rs crates/linalg/src/error.rs crates/linalg/src/gemm.rs crates/linalg/src/ortho.rs crates/linalg/src/spmm.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/blas1.rs:
+crates/linalg/src/center.rs:
+crates/linalg/src/dense.rs:
+crates/linalg/src/eig/mod.rs:
+crates/linalg/src/eig/jacobi.rs:
+crates/linalg/src/eig/power.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/gemm.rs:
+crates/linalg/src/ortho.rs:
+crates/linalg/src/spmm.rs:

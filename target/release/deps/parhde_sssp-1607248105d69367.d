@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parhde_sssp-1607248105d69367.d: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+/root/repo/target/release/deps/libparhde_sssp-1607248105d69367.rlib: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+/root/repo/target/release/deps/libparhde_sssp-1607248105d69367.rmeta: crates/sssp/src/lib.rs crates/sssp/src/delta_stepping.rs crates/sssp/src/dijkstra.rs
+
+crates/sssp/src/lib.rs:
+crates/sssp/src/delta_stepping.rs:
+crates/sssp/src/dijkstra.rs:

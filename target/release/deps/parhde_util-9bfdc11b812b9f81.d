@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parhde_util-9bfdc11b812b9f81.d: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+/root/repo/target/release/deps/libparhde_util-9bfdc11b812b9f81.rlib: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+/root/repo/target/release/deps/libparhde_util-9bfdc11b812b9f81.rmeta: crates/util/src/lib.rs crates/util/src/fmt.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/threads.rs crates/util/src/timing.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fmt.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/threads.rs:
+crates/util/src/timing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-d72e3313ed90a0d3.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d72e3313ed90a0d3.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d72e3313ed90a0d3.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-81b79a8e9a0ad394.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-81b79a8e9a0ad394.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-81b79a8e9a0ad394.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-f71f045026c8c60b.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-f71f045026c8c60b.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-f71f045026c8c60b.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

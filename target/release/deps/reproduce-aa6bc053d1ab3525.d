@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/reproduce-aa6bc053d1ab3525.d: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs
+
+/root/repo/target/release/deps/reproduce-aa6bc053d1ab3525: crates/bench/src/bin/reproduce/main.rs crates/bench/src/bin/reproduce/figures.rs crates/bench/src/bin/reproduce/report.rs crates/bench/src/bin/reproduce/tables.rs
+
+crates/bench/src/bin/reproduce/main.rs:
+crates/bench/src/bin/reproduce/figures.rs:
+crates/bench/src/bin/reproduce/report.rs:
+crates/bench/src/bin/reproduce/tables.rs:

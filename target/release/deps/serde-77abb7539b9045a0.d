@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-77abb7539b9045a0.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-77abb7539b9045a0.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-77abb7539b9045a0.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

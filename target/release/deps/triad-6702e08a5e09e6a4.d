@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/triad-6702e08a5e09e6a4.d: crates/bench/src/bin/triad.rs
+
+/root/repo/target/release/deps/triad-6702e08a5e09e6a4: crates/bench/src/bin/triad.rs
+
+crates/bench/src/bin/triad.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0e270619fe7b44d8.d: examples/examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0e270619fe7b44d8: examples/examples/quickstart.rs
+
+examples/examples/quickstart.rs:

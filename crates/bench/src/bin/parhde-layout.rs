@@ -3,12 +3,17 @@
 //! Reads a graph (Matrix Market or whitespace edge list), preprocesses it
 //! the way the paper does (simple, undirected, largest connected
 //! component), lays it out, and writes a PNG drawing plus an optional
-//! coordinate CSV.
+//! coordinate CSV. With `--trace`/`--trace-ndjson`/`--json-report` the run
+//! also emits machine-readable observability artifacts (see DESIGN.md §9).
 //!
 //! ```text
 //! parhde-layout <input> [options]
 //!
-//!   <input>                .mtx (MatrixMarket) or edge-list text file
+//!   <input>                .mtx (MatrixMarket) or edge-list text file, or a
+//!                          generated pseudo-input:
+//!                            gen:kron:<scale>[:<edgefactor>]   Kronecker
+//!                            gen:grid:<rows>[x<cols>]          2-D grid
+//!                            gen:pref:<n>[:<attach>]           pref. attachment
 //!   --algo parhde|phde|pivotmds|multilevel   (default parhde)
 //!   --subspace <s>         pivot count (default 50)
 //!   --random-pivots        uniform random pivots instead of k-centers
@@ -18,9 +23,20 @@
 //!   --size <px>            image width/height (default 1000)
 //!   --vertices <r>         draw vertex discs of radius r
 //!   --out <file.png>       output image (default <input>.png)
+//!   --no-png               skip the drawing (trace/report-only runs)
 //!   --csv <file.csv>       also write "id,x,y" coordinates
 //!   --report               print the structural graph report first
+//!   --trace <file.json>    write a Chrome trace_event file (chrome://tracing,
+//!                          Perfetto); also honours $PARHDE_TRACE when unset
+//!   --trace-ndjson <file>  write the span/counter stream as NDJSON
+//!   --json-report <file>   write the machine-readable run report (written
+//!                          even when the run degrades or fails)
 //! ```
+//!
+//! When any trace output is requested the per-phase breakdown table (the
+//! paper's Figure-3 split) is printed after the layout completes; the
+//! percentages in the Chrome trace match it because both views are fed by
+//! the same `PhaseSpan` intervals.
 
 use parhde::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
 use parhde::multilevel::{multilevel_hde, MultilevelConfig};
@@ -29,31 +45,172 @@ use parhde::{try_par_hde, try_phde, try_pivot_mds, HdeError, HdeStats, Layout};
 use parhde_draw::render::{try_render_graph, RenderOptions};
 use parhde_graph::prep::largest_component;
 use parhde_graph::report::GraphReport;
-use parhde_graph::CsrGraph;
+use parhde_graph::{gen, CsrGraph};
+use parhde_trace::{RunReport, TraceSession};
 use parhde_util::Timer;
 use std::path::PathBuf;
 use std::process::exit;
 
-fn fail(msg: &str) -> ! {
-    eprintln!("parhde-layout: {msg}");
-    exit(2)
+/// Owns the trace session and every requested output artifact, so that
+/// *any* exit path — success, typed failure, bad usage after the session
+/// started — flushes what was observed. The `--json-report` contract is
+/// that a report lands on disk even for degraded and failed runs.
+struct Emitter {
+    session: Option<TraceSession>,
+    chrome: Option<PathBuf>,
+    ndjson: Option<PathBuf>,
+    report_path: Option<PathBuf>,
+    report: RunReport,
+    started: Timer,
 }
 
-/// Maps a typed pipeline error to a diagnostic plus its distinct exit code
-/// (3 = I/O, 4 = parse, 5 = config, 6 = disconnected, 7 = degenerate
-/// subspace, 8 = non-finite value, 70 = internal bug).
-fn fail_typed(context: &str, e: &HdeError) -> ! {
-    match e.phase() {
-        Some(phase) => eprintln!("parhde-layout: {context} (phase {phase}): {e}"),
-        None => eprintln!("parhde-layout: {context}: {e}"),
+impl Emitter {
+    fn new() -> Self {
+        Self {
+            session: None,
+            chrome: None,
+            ndjson: None,
+            report_path: None,
+            report: RunReport { binary: "parhde-layout".into(), ..RunReport::default() },
+            started: Timer::start(),
+        }
     }
-    exit(e.exit_code())
+
+    /// Whether any observability output was requested.
+    fn active(&self) -> bool {
+        self.chrome.is_some() || self.ndjson.is_some() || self.report_path.is_some()
+    }
+
+    /// Finishes the session and writes every requested artifact. Output
+    /// failures are diagnosed but do not mask the run's own exit code.
+    fn finish(&mut self, exit_code: i32, error: Option<&str>) {
+        let trace = match self.session.take() {
+            Some(s) => s.finish(),
+            None => return,
+        };
+        if let Some(path) = &self.chrome {
+            let out = std::fs::File::create(path)
+                .and_then(|f| parhde_trace::chrome::write_chrome_trace(&trace, f));
+            match out {
+                Ok(()) => eprintln!("trace: wrote {}", path.display()),
+                Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.ndjson {
+            let out = std::fs::File::create(path)
+                .and_then(|f| parhde_trace::ndjson::write_ndjson(&trace, f));
+            match out {
+                Ok(()) => eprintln!("trace: wrote {}", path.display()),
+                Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.report_path {
+            let r = &mut self.report;
+            r.exit_code = exit_code;
+            r.error = error.map(String::from);
+            r.total_seconds = self.started.seconds();
+            r.counters = trace.counter_totals();
+            r.gauges = trace.gauge_finals();
+            if let Some(rss) = parhde_trace::peak_rss_bytes() {
+                r.gauges.push(("process.peak_rss_bytes".into(), rss as f64));
+            }
+            // A failed run may never have produced HdeStats; fall back to
+            // whatever phase spans the trace captured before the error.
+            if r.phases.is_empty() {
+                r.phases = trace.phase_seconds();
+            }
+            if r.warnings.is_empty() {
+                r.warnings =
+                    trace.warnings().iter().map(|w| w.message.clone()).collect();
+            }
+            match std::fs::write(path, self.report.to_json()) {
+                Ok(()) => eprintln!("report: wrote {}", path.display()),
+                Err(e) => eprintln!("report: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// Usage/IO failure: diagnose, flush artifacts, exit.
+    fn fail(&mut self, code: i32, msg: &str) -> ! {
+        eprintln!("parhde-layout: {msg}");
+        self.finish(code, Some(msg));
+        exit(code)
+    }
+
+    /// Typed pipeline failure: diagnose with the phase, flush, exit with
+    /// the error's distinct code (3 = I/O, 4 = parse, 5 = config, 6 =
+    /// disconnected, 7 = degenerate subspace, 8 = non-finite, 70 = bug).
+    fn fail_typed(&mut self, context: &str, e: &HdeError) -> ! {
+        let msg = match e.phase() {
+            Some(phase) => format!("{context} (phase {phase}): {e}"),
+            None => format!("{context}: {e}"),
+        };
+        eprintln!("parhde-layout: {msg}");
+        self.finish(e.exit_code(), Some(&msg));
+        exit(e.exit_code())
+    }
 }
 
-/// Reports degradations the fail-soft pipeline absorbed.
-fn report_warnings(stats: &HdeStats) {
+/// Reports degradations the fail-soft pipeline absorbed and folds the run's
+/// statistics into the pending JSON report.
+fn absorb_stats(em: &mut Emitter, stats: &HdeStats) {
     for w in &stats.warnings {
         eprintln!("parhde-layout: warning: {w}");
+    }
+    em.report.phases = stats
+        .phases
+        .iter()
+        .map(|(name, d)| (name.to_string(), d.as_secs_f64()))
+        .collect();
+    em.report.grouped = stats.grouped().entries();
+    em.report.warnings = stats.warnings.iter().map(|w| w.to_string()).collect();
+}
+
+/// Prints the per-phase wall-time split — the textual Figure 3.
+fn print_breakdown(stats: &HdeStats) {
+    let entries: Vec<(String, f64)> = stats
+        .phases
+        .iter()
+        .map(|(name, d)| (name.to_string(), d.as_secs_f64()))
+        .collect();
+    eprint!("{}", parhde_trace::phases::render_breakdown(&entries));
+}
+
+/// Builds a graph from a `gen:` pseudo-input (`gen:kron:10:16`,
+/// `gen:grid:200x120`, `gen:pref:50000:12`).
+fn generate(spec: &str, seed: u64, em: &mut Emitter) -> CsrGraph {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = |em: &mut Emitter| -> ! {
+        em.fail(2, &format!(
+            "bad generator spec {spec:?} (want gen:kron:<scale>[:<ef>], \
+             gen:grid:<rows>[x<cols>], or gen:pref:<n>[:<attach>])"
+        ))
+    };
+    match parts.as_slice() {
+        ["gen", "kron", rest @ ..] => {
+            let scale: u32 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(10);
+            let ef: usize = rest.get(1).and_then(|v| v.parse().ok()).unwrap_or(16);
+            if scale > 24 {
+                em.fail(2, "gen:kron scale capped at 24");
+            }
+            gen::kron(scale, ef, seed)
+        }
+        ["gen", "grid", dims] => {
+            let (r, c) = match dims.split_once('x') {
+                Some((r, c)) => (r.parse().ok(), c.parse().ok()),
+                None => (dims.parse().ok(), dims.parse().ok()),
+            };
+            match (r, c) {
+                (Some(r), Some(c)) if r * c >= 8 => gen::grid2d(r, c),
+                _ => bad(em),
+            }
+        }
+        ["gen", "pref", rest @ ..] => {
+            let n: usize = rest.first().and_then(|v| v.parse().ok()).unwrap_or(10_000);
+            let attach: usize = rest.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
+            gen::pref_attach(n, attach.max(1), seed)
+        }
+        _ => bad(em),
     }
 }
 
@@ -75,10 +232,11 @@ fn main() {
 fn run() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: parhde-layout <input.mtx|edges.txt> [options] (see source header)");
+        eprintln!("usage: parhde-layout <input.mtx|edges.txt|gen:...> [options] (see source header)");
         exit(if args.is_empty() { 2 } else { 0 });
     }
-    let input = PathBuf::from(&args[0]);
+    let input = args[0].clone();
+    let mut em = Emitter::new();
     let mut algo = "parhde".to_string();
     let mut subspace = 50usize;
     let mut pivots = PivotStrategy::KCenters;
@@ -88,71 +246,125 @@ fn run() {
     let mut size = 1000u32;
     let mut vertex_radius = 0.0f64;
     let mut out: Option<PathBuf> = None;
+    let mut no_png = false;
     let mut csv: Option<PathBuf> = None;
     let mut report = false;
 
     let mut i = 1;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        args.get(*i)
-            .unwrap_or_else(|| fail("missing value for option"))
-            .clone()
-    };
     while i < args.len() {
+        // Inlined rather than a closure so error paths can borrow `em`.
+        macro_rules! value {
+            () => {{
+                i += 1;
+                match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => em.fail(2, &format!("missing value for {}", args[i - 1])),
+                }
+            }};
+        }
+        macro_rules! parsed {
+            ($opt:literal) => {
+                match value!().parse() {
+                    Ok(v) => v,
+                    Err(_) => em.fail(2, concat!("bad ", $opt)),
+                }
+            };
+        }
         match args[i].as_str() {
-            "--algo" => algo = value(&mut i),
-            "--subspace" => {
-                subspace = value(&mut i).parse().unwrap_or_else(|_| fail("bad --subspace"))
-            }
+            "--algo" => algo = value!(),
+            "--subspace" => subspace = parsed!("--subspace"),
             "--random-pivots" => pivots = PivotStrategy::Random,
             "--cgs" => ortho = OrthoMethod::Cgs,
             "--plain-ortho" => d_orthogonalize = false,
-            "--seed" => seed = value(&mut i).parse().unwrap_or_else(|_| fail("bad --seed")),
-            "--size" => size = value(&mut i).parse().unwrap_or_else(|_| fail("bad --size")),
-            "--vertices" => {
-                vertex_radius = value(&mut i).parse().unwrap_or_else(|_| fail("bad --vertices"))
-            }
-            "--out" => out = Some(PathBuf::from(value(&mut i))),
-            "--csv" => csv = Some(PathBuf::from(value(&mut i))),
+            "--seed" => seed = parsed!("--seed"),
+            "--size" => size = parsed!("--size"),
+            "--vertices" => vertex_radius = parsed!("--vertices"),
+            "--out" => out = Some(PathBuf::from(value!())),
+            "--no-png" => no_png = true,
+            "--csv" => csv = Some(PathBuf::from(value!())),
             "--report" => report = true,
-            other => fail(&format!("unknown option {other}")),
+            "--trace" => em.chrome = Some(PathBuf::from(value!())),
+            "--trace-ndjson" => em.ndjson = Some(PathBuf::from(value!())),
+            "--json-report" => em.report_path = Some(PathBuf::from(value!())),
+            other => {
+                let msg = format!("unknown option {other}");
+                em.fail(2, &msg)
+            }
         }
         i += 1;
     }
+    // Environment fallback: PARHDE_TRACE names a Chrome trace destination
+    // when --trace was not given, so wrapper scripts can turn tracing on
+    // without threading a flag through.
+    if em.chrome.is_none() {
+        if let Ok(path) = std::env::var("PARHDE_TRACE") {
+            if !path.is_empty() {
+                em.chrome = Some(PathBuf::from(path));
+            }
+        }
+    }
+    if em.active() {
+        em.session = Some(TraceSession::begin());
+    }
+    em.report.algo = algo.clone();
+    em.report.config = vec![
+        ("input".into(), input.clone()),
+        ("algo".into(), algo.clone()),
+        ("subspace".into(), subspace.to_string()),
+        ("pivots".into(), format!("{pivots:?}")),
+        ("ortho".into(), format!("{ortho:?}")),
+        ("d_orthogonalize".into(), d_orthogonalize.to_string()),
+        ("seed".into(), seed.to_string()),
+    ];
 
-    // Load.
-    let text = std::fs::read_to_string(&input).unwrap_or_else(|e| {
-        fail_typed(
-            &format!("cannot read {}", input.display()),
-            &HdeError::from(e),
-        )
-    });
-    let raw: CsrGraph = if text.trim_start().starts_with("%%MatrixMarket") {
-        parhde_graph::io::parse_matrix_market(&text).unwrap_or_else(|e| {
-            fail_typed("MatrixMarket parse error", &HdeError::from(
-                parhde_graph::io::GraphIoError::from(e),
-            ))
-        })
+    // Load: file input, or a generated pseudo-input.
+    let raw: CsrGraph = if input.starts_with("gen:") {
+        let _s = parhde_trace::span!("load");
+        generate(&input, seed, &mut em)
     } else {
-        parhde_graph::io::parse_edge_list(&text, 0)
-            .unwrap_or_else(|e| fail_typed("edge-list parse error", &HdeError::from(e)))
+        let _s = parhde_trace::span!("load");
+        let path = PathBuf::from(&input);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => em.fail_typed(
+                &format!("cannot read {}", path.display()),
+                &HdeError::from(e),
+            ),
+        };
+        if text.trim_start().starts_with("%%MatrixMarket") {
+            match parhde_graph::io::parse_matrix_market(&text) {
+                Ok(g) => g,
+                Err(e) => em.fail_typed(
+                    "MatrixMarket parse error",
+                    &HdeError::from(parhde_graph::io::GraphIoError::from(e)),
+                ),
+            }
+        } else {
+            match parhde_graph::io::parse_edge_list(&text, 0) {
+                Ok(g) => g,
+                Err(e) => em.fail_typed("edge-list parse error", &HdeError::from(e)),
+            }
+        }
     };
 
     // Preprocess (§4.1).
+    let prep_span = parhde_trace::span!("preprocess");
     let ex = largest_component(&raw);
     let g = ex.graph;
+    drop(prep_span);
     eprintln!(
-        "loaded {}: n = {} m = {} (largest component of {} vertices)",
-        input.display(),
+        "loaded {input}: n = {} m = {} (largest component of {} vertices)",
         g.num_vertices(),
         g.num_edges(),
         raw.num_vertices()
     );
+    em.report.graph_n = g.num_vertices() as u64;
+    em.report.graph_m = g.num_edges() as u64;
     if report {
         eprintln!("report: {}", GraphReport::of(&g).summary());
     }
     if g.num_vertices() < 8 {
-        fail("graph too small to lay out (need ≥ 8 vertices)");
+        em.fail(2, "graph too small to lay out (need ≥ 8 vertices)");
     }
 
     let cfg = ParHdeConfig {
@@ -165,51 +377,79 @@ fn run() {
     };
 
     // Lay out (fail-soft: typed errors exit with distinct codes, absorbed
-    // degradations are reported as warnings).
+    // degradations are reported as warnings and land in the JSON report).
     let t = Timer::start();
     let layout: Layout = match algo.as_str() {
         "parhde" => match try_par_hde(&g, &cfg) {
             Ok((layout, stats)) => {
-                report_warnings(&stats);
+                absorb_stats(&mut em, &stats);
+                if em.active() {
+                    print_breakdown(&stats);
+                }
                 layout
             }
-            Err(e) => fail_typed("layout failed", &e),
+            Err(e) => em.fail_typed("layout failed", &e),
         },
         "phde" => match try_phde(&g, &PhdeConfig::from(&cfg)) {
             Ok((layout, stats)) => {
-                report_warnings(&stats);
+                absorb_stats(&mut em, &stats);
+                if em.active() {
+                    print_breakdown(&stats);
+                }
                 layout
             }
-            Err(e) => fail_typed("layout failed", &e),
+            Err(e) => em.fail_typed("layout failed", &e),
         },
         "pivotmds" => match try_pivot_mds(&g, &PhdeConfig::from(&cfg)) {
             Ok((layout, stats)) => {
-                report_warnings(&stats);
+                absorb_stats(&mut em, &stats);
+                if em.active() {
+                    print_breakdown(&stats);
+                }
                 layout
             }
-            Err(e) => fail_typed("layout failed", &e),
+            Err(e) => em.fail_typed("layout failed", &e),
         },
         "multilevel" => {
+            let _s = parhde_trace::span!("multilevel");
             multilevel_hde(&g, &MultilevelConfig { base: cfg, ..Default::default() }).0
         }
-        other => fail(&format!("unknown algorithm {other}")),
+        other => {
+            let msg = format!("unknown algorithm {other}");
+            em.fail(2, &msg)
+        }
     };
     eprintln!("{algo} layout in {:.1} ms", t.seconds() * 1e3);
 
     // Render.
-    let opts = RenderOptions {
-        width: size,
-        height: size,
-        vertex_radius,
-        ..RenderOptions::default()
-    };
-    let canvas = try_render_graph(g.edges(), &layout.x, &layout.y, &opts)
-        .unwrap_or_else(|e| fail_typed("render failed", &HdeError::Internal(e.to_string())));
-    let out = out.unwrap_or_else(|| input.with_extension("png"));
-    canvas
-        .save_png(&out)
-        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
-    println!("wrote {}", out.display());
+    if !no_png {
+        let render_span = parhde_trace::span!("render");
+        let opts = RenderOptions {
+            width: size,
+            height: size,
+            vertex_radius,
+            ..RenderOptions::default()
+        };
+        let canvas = match try_render_graph(g.edges(), &layout.x, &layout.y, &opts) {
+            Ok(c) => c,
+            Err(e) => {
+                em.fail_typed("render failed", &HdeError::Internal(e.to_string()))
+            }
+        };
+        let out = out.unwrap_or_else(|| {
+            if input.starts_with("gen:") {
+                PathBuf::from(format!("{}.png", input.replace(':', "_")))
+            } else {
+                PathBuf::from(&input).with_extension("png")
+            }
+        });
+        if let Err(e) = canvas.save_png(&out) {
+            let msg = format!("cannot write {}: {e}", out.display());
+            em.fail(2, &msg)
+        }
+        drop(render_span);
+        println!("wrote {}", out.display());
+    }
 
     // Optional CSV (ids are the ORIGINAL input ids via the LCC mapping).
     if let Some(csv_path) = csv {
@@ -220,8 +460,12 @@ fn run() {
                 ex.old_ids[v], layout.x[v], layout.y[v]
             ));
         }
-        std::fs::write(&csv_path, text)
-            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", csv_path.display())));
+        if let Err(e) = std::fs::write(&csv_path, text) {
+            let msg = format!("cannot write {}: {e}", csv_path.display());
+            em.fail(2, &msg)
+        }
         println!("wrote {}", csv_path.display());
     }
+
+    em.finish(0, None);
 }

@@ -45,18 +45,25 @@ pub struct Opts {
     pub out: PathBuf,
     /// Extra scale doublings for the graph collection.
     pub scale: u32,
+    /// Chrome trace_event destination (`--trace` or `$PARHDE_TRACE`).
+    pub trace: Option<PathBuf>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment: Option<String> = None;
-    let mut opts = Opts { out: PathBuf::from("figures"), scale: 0 };
+    let mut opts = Opts { out: PathBuf::from("figures"), scale: 0, trace: None };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
                 opts.out = PathBuf::from(args.get(i).expect("--out needs a value"));
+            }
+            "--trace" => {
+                i += 1;
+                opts.trace =
+                    Some(PathBuf::from(args.get(i).expect("--trace needs a value")));
             }
             "--scale" => {
                 i += 1;
@@ -75,11 +82,32 @@ fn main() {
         "all".to_string()
     });
 
+    if opts.trace.is_none() {
+        if let Ok(path) = std::env::var("PARHDE_TRACE") {
+            if !path.is_empty() {
+                opts.trace = Some(PathBuf::from(path));
+            }
+        }
+    }
+    let session = opts.trace.as_ref().map(|_| parhde_trace::TraceSession::begin());
+
     // Panic boundary: the experiments drive the strict pipelines on
     // known-good generated graphs, so any escaping panic is a bug. Exit
     // with a distinct code (70, EX_SOFTWARE) rather than the default
     // abort so harnesses can tell bugs from usage errors (2).
-    if let Err(payload) = std::panic::catch_unwind(|| run(&experiment, &opts)) {
+    let outcome = std::panic::catch_unwind(|| run(&experiment, &opts));
+    // Flush the trace even when the experiment died: a partial trace of a
+    // crashed run is exactly when observability pays for itself.
+    if let (Some(path), Some(session)) = (&opts.trace, session) {
+        let trace = session.finish();
+        let written = std::fs::File::create(path)
+            .and_then(|f| parhde_trace::chrome::write_chrome_trace(&trace, f));
+        match written {
+            Ok(()) => eprintln!("trace: wrote {}", path.display()),
+            Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Err(payload) = outcome {
         let msg = payload
             .downcast_ref::<String>()
             .map(String::as_str)

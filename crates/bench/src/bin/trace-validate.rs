@@ -1,0 +1,78 @@
+//! `trace-validate` — schema checker for the observability artifacts.
+//!
+//! Validates any mix of the three machine-readable outputs the pipeline
+//! emits and exits non-zero if any file is missing or malformed, so CI can
+//! guard the formats without a JSON toolchain in the image:
+//!
+//! ```text
+//! trace-validate [--chrome <file.json>]... [--ndjson <file.ndjson>]...
+//!                [--report <file.json>]...
+//! ```
+//!
+//! Each `--chrome` file must be a Chrome trace_event object with balanced,
+//! well-formed events; each `--ndjson` file a `parhde-trace-ndjson` v1
+//! stream whose first line is the meta record; each `--report` a
+//! `parhde-run-report` v1 document that round-trips through the parser.
+
+use std::process::exit;
+
+/// One validation job: the flag it came from, the path, and the checker.
+struct Job {
+    kind: &'static str,
+    path: String,
+    check: fn(&str) -> Result<(), String>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!(
+            "usage: trace-validate [--chrome <file>]... [--ndjson <file>]... [--report <file>]..."
+        );
+        exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let (kind, check): (&'static str, fn(&str) -> Result<(), String>) = match flag {
+            "--chrome" => ("chrome", parhde_trace::chrome::validate),
+            "--ndjson" => ("ndjson", parhde_trace::ndjson::validate),
+            "--report" => ("report", parhde_trace::RunReport::validate),
+            other => {
+                eprintln!("trace-validate: unknown option {other}");
+                exit(2);
+            }
+        };
+        i += 1;
+        let Some(path) = args.get(i) else {
+            eprintln!("trace-validate: {flag} needs a file argument");
+            exit(2);
+        };
+        jobs.push(Job { kind, path: path.clone(), check });
+        i += 1;
+    }
+
+    let mut failures = 0usize;
+    for job in &jobs {
+        let text = match std::fs::read_to_string(&job.path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {} {}: cannot read: {e}", job.kind, job.path);
+                failures += 1;
+                continue;
+            }
+        };
+        match (job.check)(&text) {
+            Ok(()) => println!("ok   {} {}", job.kind, job.path),
+            Err(e) => {
+                eprintln!("FAIL {} {}: {e}", job.kind, job.path);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("trace-validate: {failures} of {} file(s) invalid", jobs.len());
+        exit(1);
+    }
+}

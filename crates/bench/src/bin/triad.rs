@@ -9,6 +9,10 @@
 //! ```text
 //! cargo run -p parhde-bench --release --bin triad [-- <MiB per array>]
 //! ```
+//!
+//! Setting `PARHDE_TRACE=<file.json>` additionally records one span per
+//! thread-count measurement (with a `triad.bandwidth_gbs` gauge) and writes
+//! a Chrome trace_event file on exit.
 
 use parhde_util::threads::{run_with_threads, scaling_thread_counts};
 use parhde_util::Timer;
@@ -21,6 +25,8 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let trace_path = std::env::var("PARHDE_TRACE").ok().filter(|p| !p.is_empty());
+    let session = trace_path.as_ref().map(|_| parhde_trace::TraceSession::begin());
     let len = mib * (1 << 20) / 8;
     let b = vec![1.5f64; len];
     let c = vec![2.5f64; len];
@@ -28,6 +34,7 @@ fn main() {
     let alpha = 3.0;
     println!("STREAM Triad: 3 arrays × {mib} MiB, {REPS} reps per thread count");
     for threads in scaling_thread_counts() {
+        let _span = parhde_trace::span!("triad.measure");
         let secs = run_with_threads(threads, || {
             // Warm-up pass.
             triad(&mut a, &b, &c, alpha);
@@ -39,11 +46,21 @@ fn main() {
         });
         // Triad moves 3 arrays per pass (2 reads + 1 write).
         let bytes = REPS * 3 * len * 8;
-        println!(
-            "  {threads:>3} thread(s): {:.1} GB/s",
-            bytes as f64 / secs / 1e9
-        );
+        let gbs = bytes as f64 / secs / 1e9;
+        parhde_trace::gauge!("triad.threads", threads as f64);
+        parhde_trace::gauge!("triad.bandwidth_gbs", gbs);
+        parhde_trace::counter!("triad.bytes_moved", bytes as u64);
+        println!("  {threads:>3} thread(s): {gbs:.1} GB/s");
         assert!(a[0] == 1.5 + alpha * 2.5, "triad result check");
+    }
+    if let (Some(path), Some(session)) = (trace_path, session) {
+        let trace = session.finish();
+        let out = std::fs::File::create(&path)
+            .and_then(|f| parhde_trace::chrome::write_chrome_trace(&trace, f));
+        match out {
+            Ok(()) => eprintln!("trace: wrote {path}"),
+            Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+        }
     }
 }
 

@@ -4,8 +4,10 @@
 //! [`collection`] defines the ten-graph benchmark collection mirroring the
 //! paper's Table 2 at laptop scale; [`collection::GraphSpec::scale_factor`]
 //! lets the same harness regenerate paper-sized instances on bigger
-//! hardware.
+//! hardware. [`reports`] reads back the machine-readable run reports the
+//! binaries emit (`--json-report`) for summaries and cross-run comparison.
 
 #![warn(missing_docs)]
 
 pub mod collection;
+pub mod reports;

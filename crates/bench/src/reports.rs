@@ -1,0 +1,182 @@
+//! Consumers of the machine-readable run report (`parhde-run-report` v1).
+//!
+//! `parhde-layout --json-report` writes one [`RunReport`] per run; this
+//! module reads them back for the bench harness: a human summary for logs
+//! and a phase-by-phase comparison for diffing two runs (e.g. two commits
+//! on the same graph in CI).
+
+use parhde_trace::RunReport;
+use std::path::Path;
+
+/// Loads and schema-validates a run report from disk.
+///
+/// # Errors
+/// A diagnostic string when the file is unreadable or not a valid
+/// `parhde-run-report` document.
+pub fn load(path: &Path) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    RunReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Renders a short human summary of one report: identity line, the
+/// grouped Figure-3 buckets, top counters, and any warnings.
+pub fn summarize(r: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} {} on n = {}, m = {}: {:.3} s (exit {})\n",
+        r.binary, r.algo, r.graph_n, r.graph_m, r.total_seconds, r.exit_code
+    ));
+    if let Some(err) = &r.error {
+        out.push_str(&format!("  error: {err}\n"));
+    }
+    let grouped_total: f64 = r.grouped.iter().map(|(_, s)| s).sum();
+    for (name, secs) in &r.grouped {
+        let pct = if grouped_total > 0.0 { 100.0 * secs / grouped_total } else { 0.0 };
+        out.push_str(&format!("  {name:<10} {secs:>9.4} s  {pct:>5.1}%\n"));
+    }
+    for (name, total) in &r.counters {
+        out.push_str(&format!("  {name:<28} {total}\n"));
+    }
+    for w in &r.warnings {
+        out.push_str(&format!("  warning: {w}\n"));
+    }
+    out
+}
+
+/// One phase's before/after seconds and the resulting ratio.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseDelta {
+    /// Phase name (fine-grained, pipeline order of the `before` report).
+    pub name: String,
+    /// Seconds in the baseline report (0 when the phase is new).
+    pub before: f64,
+    /// Seconds in the candidate report (0 when the phase disappeared).
+    pub after: f64,
+}
+
+impl PhaseDelta {
+    /// `after / before`; `None` when the baseline is zero (new phase).
+    pub fn ratio(&self) -> Option<f64> {
+        (self.before > 0.0).then(|| self.after / self.before)
+    }
+}
+
+/// Pairs up the fine-grained phases of two reports, preserving the
+/// baseline's order and appending phases only the candidate has. Useful
+/// for regression gates: `deltas.iter().all(|d| d.ratio() < threshold)`.
+pub fn compare(before: &RunReport, after: &RunReport) -> Vec<PhaseDelta> {
+    let mut deltas: Vec<PhaseDelta> = before
+        .phases
+        .iter()
+        .map(|(name, secs)| PhaseDelta {
+            name: name.clone(),
+            before: *secs,
+            after: after
+                .phases
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0.0, |(_, s)| *s),
+        })
+        .collect();
+    for (name, secs) in &after.phases {
+        if !before.phases.iter().any(|(n, _)| n == name) {
+            deltas.push(PhaseDelta { name: name.clone(), before: 0.0, after: *secs });
+        }
+    }
+    deltas
+}
+
+/// Renders a `compare` result as an aligned table with a total row.
+pub fn render_comparison(deltas: &[PhaseDelta]) -> String {
+    let mut out = String::from("phase          before s    after s    ratio\n");
+    let (mut tb, mut ta) = (0.0, 0.0);
+    for d in deltas {
+        tb += d.before;
+        ta += d.after;
+        let ratio = d
+            .ratio()
+            .map_or_else(|| "   new".to_string(), |r| format!("{r:>6.2}"));
+        out.push_str(&format!(
+            "{:<12} {:>10.4} {:>10.4}   {ratio}\n",
+            d.name, d.before, d.after
+        ));
+    }
+    let total_ratio =
+        if tb > 0.0 { format!("{:>6.2}", ta / tb) } else { "   new".to_string() };
+    out.push_str(&format!("{:<12} {tb:>10.4} {ta:>10.4}   {total_ratio}\n", "total"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(scale: f64) -> RunReport {
+        RunReport {
+            binary: "parhde-layout".into(),
+            algo: "parhde".into(),
+            graph_n: 1000,
+            graph_m: 4000,
+            phases: vec![
+                ("BFS".into(), 0.10 * scale),
+                ("DOrtho".into(), 0.05 * scale),
+            ],
+            grouped: vec![
+                ("BFS".into(), 0.10 * scale),
+                ("DOrtho".into(), 0.05 * scale),
+            ],
+            counters: vec![("bfs.top_down_edges".into(), 12345)],
+            total_seconds: 0.2 * scale,
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn summarize_mentions_identity_and_buckets() {
+        let s = summarize(&sample(1.0));
+        assert!(s.contains("parhde-layout parhde on n = 1000, m = 4000"));
+        assert!(s.contains("BFS"));
+        assert!(s.contains("66.7%"), "BFS share of the grouped total:\n{s}");
+        assert!(s.contains("bfs.top_down_edges"));
+    }
+
+    #[test]
+    fn compare_pairs_phases_and_flags_new_ones() {
+        let before = sample(1.0);
+        let mut after = sample(2.0);
+        after.phases.push(("Eigen".into(), 0.01));
+        let deltas = compare(&before, &after);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].name, "BFS");
+        assert!((deltas[0].ratio().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(deltas[2].name, "Eigen");
+        assert_eq!(deltas[2].ratio(), None);
+    }
+
+    #[test]
+    fn comparison_table_renders_totals() {
+        let table = render_comparison(&compare(&sample(1.0), &sample(1.0)));
+        assert!(table.contains("total"));
+        assert!(table.contains("1.00"));
+    }
+
+    #[test]
+    fn load_round_trips_through_disk() {
+        let path = std::env::temp_dir().join("parhde-report-roundtrip-test.json");
+        let report = sample(1.0);
+        std::fs::write(&path, report.to_json()).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("parhde-report-garbage-test.json");
+        std::fs::write(&path, "{\"schema\":\"nope\"}").unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("schema"), "{err}");
+    }
+}

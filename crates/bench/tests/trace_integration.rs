@@ -1,0 +1,132 @@
+//! End-to-end observability tests: a [`TraceSession`] wrapped around the
+//! real pipelines must agree with the wall-clock statistics the pipelines
+//! report themselves, and counter totals must be invariant to the thread
+//! count (they measure *work*, not schedule).
+//!
+//! The collector is process-global, so tests serialize on `SESSION_LOCK`.
+
+use parhde::config::ParHdeConfig;
+use parhde::try_par_hde;
+use parhde_graph::gen;
+use parhde_graph::prep::largest_component;
+use parhde_trace::TraceSession;
+use parhde_util::threads::run_with_threads;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cfg() -> ParHdeConfig {
+    ParHdeConfig { subspace: 10, ..ParHdeConfig::default() }
+}
+
+#[test]
+fn trace_phase_seconds_agree_with_stats_breakdown() {
+    let _l = lock();
+    let g = largest_component(&gen::kron(10, 16, 42)).graph;
+    let session = TraceSession::begin();
+    let (_, stats) = try_par_hde(&g, &cfg()).unwrap();
+    let trace = session.finish();
+
+    let traced: HashMap<String, f64> = trace.phase_seconds().into_iter().collect();
+    assert!(stats.phases.len() > 0, "pipeline recorded no phases");
+    for (name, d) in stats.phases.iter() {
+        let wall = d.as_secs_f64();
+        let span = *traced
+            .get(name)
+            .unwrap_or_else(|| panic!("phase {name} missing from trace: {traced:?}"));
+        // Both views time the same PhaseSpan interval; allow scheduler
+        // noise between the two clock reads.
+        let diff = (span - wall).abs();
+        assert!(
+            diff < 0.005 + 0.05 * wall.max(span),
+            "phase {name}: trace says {span} s, stats say {wall} s"
+        );
+    }
+    // The root span covers every phase.
+    let root = traced.get("parhde").copied().unwrap_or(0.0);
+    let phase_sum: f64 =
+        stats.phases.iter().map(|(_, d)| d.as_secs_f64()).sum();
+    assert!(
+        root >= phase_sum * 0.95,
+        "root span ({root} s) shorter than the phases it encloses ({phase_sum} s)"
+    );
+}
+
+#[test]
+fn trace_captures_pipeline_counters_and_root_span() {
+    let _l = lock();
+    let g = gen::grid2d(30, 30);
+    let session = TraceSession::begin();
+    let (_, stats) = try_par_hde(&g, &cfg()).unwrap();
+    let trace = session.finish();
+
+    let totals: HashMap<String, u64> = trace.counter_totals().into_iter().collect();
+    // The BFS phase traversed the graph once per pivot: edge counters must
+    // reflect real work on a connected grid.
+    let edges = totals.get("bfs.top_down_edges").copied().unwrap_or(0)
+        + totals.get("bfs.bottom_up_edges").copied().unwrap_or(0);
+    assert!(edges > 0, "no BFS edge work recorded: {totals:?}");
+    // DOrtho kept the surviving columns the stats report.
+    assert_eq!(
+        totals.get("dortho.kept_columns").copied(),
+        Some(stats.s_kept as u64 + 1),
+        "kept-column counter disagrees with stats (constant column included)"
+    );
+    assert!(totals.contains_key("gemm.flops"), "missing gemm.flops: {totals:?}");
+    assert!(totals.contains_key("spmm.flops"), "missing spmm.flops: {totals:?}");
+}
+
+#[test]
+fn counter_totals_are_thread_count_invariant() {
+    let _l = lock();
+    let g = largest_component(&gen::kron(9, 12, 7)).graph;
+    let mut baseline: Option<Vec<(String, u64)>> = None;
+    for threads in [1usize, 2, 4] {
+        let session = TraceSession::begin();
+        let result = run_with_threads(threads, || try_par_hde(&g, &cfg()));
+        let trace = session.finish();
+        result.unwrap();
+        let mut totals = trace.counter_totals();
+        totals.sort();
+        match &baseline {
+            None => baseline = Some(totals),
+            Some(b) => assert_eq!(
+                &totals, b,
+                "counter totals changed between 1 and {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn session_isolated_runs_do_not_leak_between_sessions() {
+    let _l = lock();
+    let g = gen::grid2d(12, 12);
+    let s1 = TraceSession::begin();
+    try_par_hde(&g, &cfg()).unwrap();
+    let t1 = s1.finish();
+    assert!(t1.num_events() > 0);
+    // A fresh session starts empty even though the same threads recorded
+    // into the previous one.
+    let s2 = TraceSession::begin();
+    let t2 = s2.finish();
+    assert_eq!(t2.num_events(), 0, "events leaked across sessions");
+}
+
+#[test]
+fn untraced_run_produces_identical_layout() {
+    // Tracing must be observationally side-effect free: the layout from a
+    // traced run is bit-identical to an untraced one.
+    let _l = lock();
+    let g = gen::grid2d(20, 20);
+    let (plain, _) = try_par_hde(&g, &cfg()).unwrap();
+    let session = TraceSession::begin();
+    let (traced, _) = try_par_hde(&g, &cfg()).unwrap();
+    session.finish();
+    assert_eq!(plain, traced);
+}

@@ -52,6 +52,7 @@ pub fn bfs_direction_opt_params(
     assert!((source as usize) < n, "source {source} out of range");
     assert!(beta > 0, "beta must be positive");
 
+    let _span = parhde_trace::span!("bfs.traversal");
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     dist[source as usize].store(0, Ordering::Relaxed);
 
@@ -78,6 +79,7 @@ pub fn bfs_direction_opt_params(
             // Convert queue → bitmap and switch down.
             current_bm = Some(AtomicBitmap::from_ids(n, &frontier));
             bottom_up_mode = true;
+            parhde_trace::counter!("bfs.switch_to_bottom_up", 1);
         }
 
         if bottom_up_mode {
@@ -88,6 +90,10 @@ pub fn bfs_direction_opt_params(
             stats.bottom_up_edges += scanned;
             reached += awakened;
             frontier_len = awakened;
+            if parhde_trace::enabled() {
+                parhde_trace::counter!("bfs.bottom_up_edges", scanned as u64);
+                parhde_trace::gauge!("bfs.frontier", frontier_len as f64);
+            }
             if frontier_len == 0 {
                 break;
             }
@@ -98,6 +104,7 @@ pub fn bfs_direction_opt_params(
                 scout_count = frontier.iter().map(|&v| g.degree(v)).sum();
                 edges_to_check = edges_to_check.saturating_sub(scout_count);
                 bottom_up_mode = false;
+                parhde_trace::counter!("bfs.switch_to_top_down", 1);
             } else {
                 current_bm = Some(next);
             }
@@ -107,6 +114,10 @@ pub fn bfs_direction_opt_params(
             stats.top_down_edges += scanned;
             reached += next.len();
             frontier_len = next.len();
+            if parhde_trace::enabled() {
+                parhde_trace::counter!("bfs.top_down_edges", scanned as u64);
+                parhde_trace::gauge!("bfs.frontier", frontier_len as f64);
+            }
             if frontier_len == 0 {
                 break;
             }

@@ -46,12 +46,27 @@ pub fn bfs_multi_source_into_f64(
         "one output column required per source"
     );
     let n = g.num_vertices();
+    let _span = parhde_trace::span!("bfs.multi_source");
     sources
         .par_iter()
         .zip(columns.par_iter_mut())
         .map(|(&s, col)| {
+            let _src = parhde_trace::span!("bfs.source");
             assert_eq!(col.len(), n, "column length mismatch");
             let r = bfs_serial(g, s);
+            if parhde_trace::enabled() {
+                // Undirected CSR: every arc of the reached component is
+                // examined exactly once by a sequential BFS.
+                parhde_trace::counter!("bfs.top_down_edges", {
+                    let mut arcs = 0u64;
+                    for (v, &d) in r.dist.iter().enumerate() {
+                        if d != UNREACHED {
+                            arcs += g.degree(v as u32) as u64;
+                        }
+                    }
+                    arcs
+                });
+            }
             for (o, &d) in col.iter_mut().zip(&r.dist) {
                 *o = if d == UNREACHED { f64::INFINITY } else { d as f64 };
             }

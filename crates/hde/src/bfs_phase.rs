@@ -9,13 +9,13 @@
 use crate::config::PivotStrategy;
 use crate::error::HdeError;
 use crate::pivots::{farthest_vertex, fold_min_distance};
-use crate::stats::{phase, HdeStats};
+use crate::stats::{phase, HdeStats, PhaseSpan};
 use parhde_bfs::direction_opt::bfs_direction_opt_into_f64;
 use parhde_bfs::multi::bfs_multi_source_into_f64;
 use parhde_bfs::serial::bfs_serial_into_f64;
 use parhde_graph::CsrGraph;
 use parhde_linalg::dense::ColMajorMatrix;
-use parhde_util::{Timer, Xoshiro256StarStar};
+use parhde_util::Xoshiro256StarStar;
 
 /// Runs the BFS phase: fills and returns `B` (one distance column per
 /// pivot), recording pivots, phase times, and traversal statistics into
@@ -43,7 +43,7 @@ pub(crate) fn run_bfs_phase(
             let mut src = rng.next_index(n) as u32;
             for i in 0..s {
                 stats.sources.push(src);
-                let t = Timer::start();
+                let ph = PhaseSpan::begin(phase::BFS);
                 let reached = if parallel_bfs {
                     let (reached, trav) =
                         bfs_direction_opt_into_f64(g, src, b.col_mut(i));
@@ -52,29 +52,29 @@ pub(crate) fn run_bfs_phase(
                 } else {
                     bfs_serial_into_f64(g, src, b.col_mut(i))
                 };
-                stats.phases.add(phase::BFS, t.elapsed());
+                ph.end(&mut stats.phases);
                 if reached != n {
                     return Err(HdeError::Disconnected { reached, n });
                 }
-                let t = Timer::start();
+                let ph = PhaseSpan::begin(phase::BFS_OTHER);
                 fold_min_distance(&mut min_dist, b.col(i));
                 src = farthest_vertex(&min_dist);
-                stats.phases.add(phase::BFS_OTHER, t.elapsed());
+                ph.end(&mut stats.phases);
             }
         }
         PivotStrategy::Random => {
-            let t = Timer::start();
+            let ph = PhaseSpan::begin(phase::BFS_OTHER);
             let sources: Vec<u32> = rng
                 .sample_distinct(n, s)
                 .into_iter()
                 .map(|v| v as u32)
                 .collect();
             stats.sources = sources.clone();
-            stats.phases.add(phase::BFS_OTHER, t.elapsed());
-            let t = Timer::start();
+            ph.end(&mut stats.phases);
+            let ph = PhaseSpan::begin(phase::BFS);
             let mut cols = b.columns_mut();
             let reached = bfs_multi_source_into_f64(g, &sources, &mut cols);
-            stats.phases.add(phase::BFS, t.elapsed());
+            ph.end(&mut stats.phases);
             if reached[0] != n {
                 return Err(HdeError::Disconnected { reached: reached[0], n });
             }

@@ -14,14 +14,14 @@ use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
 use crate::layout::Layout;
 use crate::parhde::{accumulate, assert_connected, subspace_axes};
 use crate::pivots::{farthest_vertex, fold_min_distance};
-use crate::stats::{phase, HdeStats};
+use crate::stats::{phase, HdeStats, PhaseSpan};
 use parhde_bfs::direction_opt::bfs_direction_opt_into_f64;
 use parhde_graph::CsrGraph;
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_linalg::gemm::{a_small, at_b};
 use parhde_linalg::ortho::mgs_step;
 use parhde_linalg::spmm::laplacian_spmm;
-use parhde_util::{Timer, Xoshiro256StarStar};
+use parhde_util::Xoshiro256StarStar;
 
 /// Runs ParHDE with the coupled BFS/DOrtho schedule.
 ///
@@ -47,10 +47,11 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
         "coupled mode discards raw distance columns; use the S-basis projection"
     );
     let s = cfg.subspace;
+    let _root = parhde_trace::span!("parhde_coupled");
     let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::INIT);
     let mut smat = ColMajorMatrix::zeros(n, s + 1);
     smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
     let degrees = g.degree_vector();
@@ -66,59 +67,59 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let mut raw = vec![0.0f64; n];
     let mut min_dist = vec![f64::INFINITY; n];
     let mut src = rng.next_index(n) as u32;
-    stats.phases.add(phase::INIT, t.elapsed());
+    ph.end(&mut stats.phases);
 
     for i in 1..=s {
         stats.sources.push(src);
         // BFS straight into a raw buffer (pivot selection needs raw
         // distances; the S column gets the orthogonalized version).
-        let t = Timer::start();
+        let ph = PhaseSpan::begin(phase::BFS);
         let (reached, trav) = bfs_direction_opt_into_f64(g, src, &mut raw);
-        stats.phases.add(phase::BFS, t.elapsed());
+        ph.end(&mut stats.phases);
         accumulate(&mut stats.traversal, trav);
         assert_connected(reached, n);
 
-        let t = Timer::start();
+        let ph = PhaseSpan::begin(phase::BFS_OTHER);
         fold_min_distance(&mut min_dist, &raw);
         src = farthest_vertex(&min_dist);
-        stats.phases.add(phase::BFS_OTHER, t.elapsed());
+        ph.end(&mut stats.phases);
 
         // Coupled DOrtho: orthogonalize this column immediately.
-        let t = Timer::start();
+        let ph = PhaseSpan::begin(phase::DORTHO);
         smat.col_mut(i).copy_from_slice(&raw);
         if mgs_step(&mut smat, &kept, i, weights, cfg.drop_tolerance) {
             kept.push(i);
         } else {
             dropped += 1;
         }
-        stats.phases.add(phase::DORTHO, t.elapsed());
+        ph.end(&mut stats.phases);
     }
 
     // Compact to the kept non-constant columns.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::DORTHO);
     smat.retain_columns(&kept);
     let survivors: Vec<usize> = (1..smat.cols()).collect();
     smat.retain_columns(&survivors);
     stats.dropped_columns = dropped;
     stats.s_kept = smat.cols();
-    stats.phases.add(phase::DORTHO, t.elapsed());
+    ph.end(&mut stats.phases);
     assert!(smat.cols() >= 2, "fewer than two directions survived");
 
     // TripleProd + eigensolve + projection, identical to the decoupled path.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::LS);
     let prod = laplacian_spmm(g, &degrees, &smat);
-    stats.phases.add(phase::LS, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &prod);
-    stats.phases.add(phase::GEMM, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::EIGEN);
     let (y, mus) = subspace_axes(&smat, &z, weights);
     stats.axis_eigenvalues = mus;
-    stats.phases.add(phase::EIGEN, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&smat, &y);
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
-    stats.phases.add(phase::PROJECT, t.elapsed());
+    ph.end(&mut stats.phases);
     (layout, stats)
 }
 

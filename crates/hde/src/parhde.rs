@@ -13,7 +13,7 @@ use crate::bfs_phase::run_bfs_phase;
 use crate::config::{OrthoMethod, ParHdeConfig};
 use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
-use crate::stats::{phase, HdeStats};
+use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
 use parhde_graph::prep;
 use parhde_graph::CsrGraph;
 use parhde_linalg::blas1::{dot, dot_weighted};
@@ -22,7 +22,7 @@ use parhde_linalg::eig::jacobi::try_symmetric_eigen;
 use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
 use parhde_linalg::ortho::{try_cgs, try_mgs};
-use parhde_util::{Timer, Xoshiro256StarStar};
+use parhde_util::Xoshiro256StarStar;
 
 /// How the pipeline responds to defective input.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,6 +120,7 @@ fn run_nd(
     p: usize,
     mode: Mode,
 ) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
+    let _root = parhde_trace::span!("parhde");
     let n = g.num_vertices();
     if p < 1 {
         return Err(HdeError::InvalidConfig(
@@ -135,16 +136,16 @@ fn run_nd(
         // i.e. n ≥ p + 1. Anything smaller gets the trivial line layout.
         if n <= p {
             let mut stats = HdeStats { s_requested, ..HdeStats::default() };
-            stats.warnings.push(Warning::TrivialLayout { n });
+            stats.warn(Warning::TrivialLayout { n });
             return Ok((trivial_coords(n, p), stats));
         }
         // Clamp the subspace dimension into the feasible range [p, n − 1].
         let feasible = cfg.subspace.clamp(p, n - 1);
         if feasible != cfg.subspace {
-            warnings.push(Warning::SubspaceClamped {
+            warnings.push(trace_warning(Warning::SubspaceClamped {
                 requested: cfg.subspace,
                 clamped: feasible,
-            });
+            }));
             cfg.subspace = feasible;
         }
         // Disconnected input: lay out the largest component (paper §4.1)
@@ -153,13 +154,13 @@ fn run_nd(
             let components = prep::connected_components(g).count();
             let ext = prep::largest_component(g);
             let kept = ext.graph.num_vertices();
+            let fallback =
+                trace_warning(Warning::DisconnectedFallback { components, kept, n });
             let (sub_coords, mut stats) = run_nd(&ext.graph, &cfg, p, mode)?;
             let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
             stats.warnings.splice(
                 0..0,
-                warnings.into_iter().chain(std::iter::once(
-                    Warning::DisconnectedFallback { components, kept, n },
-                )),
+                warnings.into_iter().chain(std::iter::once(fallback)),
             );
             return Ok((coords, stats));
         }
@@ -180,11 +181,11 @@ fn run_nd(
             }
             Err(HdeError::DegenerateSubspace { kept, needed, subspace, .. }) => {
                 if attempt + 1 < max_attempts {
-                    warnings.push(Warning::RepivotRetry {
+                    warnings.push(trace_warning(Warning::RepivotRetry {
                         attempt: attempt + 1,
                         kept,
                         needed,
-                    });
+                    }));
                 } else {
                     return Err(HdeError::DegenerateSubspace {
                         kept,
@@ -213,15 +214,15 @@ fn pipeline_once(
     let s = cfg.subspace;
 
     // ---- Init -----------------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::INIT);
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-    stats.phases.add(phase::INIT, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // ---- BFS phase ------------------------------------------------------
     let b = run_bfs_phase(g, s, cfg.pivots, &mut rng, true, stats)?;
 
     // ---- Assemble S = [1/√n | B] ----------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::INIT);
     let mut smat = ColMajorMatrix::zeros(n, s + 1);
     let inv_sqrt_n = 1.0 / (n as f64).sqrt();
     smat.col_mut(0).fill(inv_sqrt_n);
@@ -229,10 +230,10 @@ fn pipeline_once(
         smat.col_mut(i + 1).copy_from_slice(b.col(i));
     }
     let degrees = g.degree_vector();
-    stats.phases.add(phase::INIT, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // ---- DOrtho phase ---------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::DORTHO);
     let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
     let outcome = match cfg.ortho {
         OrthoMethod::Mgs => try_mgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
@@ -246,7 +247,7 @@ fn pipeline_once(
     smat.retain_columns(&survivors);
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
-    stats.phases.add(phase::DORTHO, t.elapsed());
+    ph.end(&mut stats.phases);
     if smat.cols() < p {
         return Err(HdeError::DegenerateSubspace {
             kept: smat.cols(),
@@ -257,22 +258,22 @@ fn pipeline_once(
     }
 
     // ---- TripleProd phase -------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::LS);
     let prod = parhde_linalg::spmm::try_laplacian_spmm(g, &degrees, &smat)?;
-    stats.phases.add(phase::LS, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &prod);
     check_matrix_finite(&z, "gemm")?;
-    stats.phases.add(phase::GEMM, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // ---- Eigensolve -------------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::EIGEN);
     let (y, mus) = try_subspace_axes_nd(&smat, &z, weights, p)?;
     stats.axis_eigenvalues = mus;
-    stats.phases.add(phase::EIGEN, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // ---- Projection -------------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = if cfg.project_from_raw {
         // [x, y] = B·Y (the literal Algorithm 3 line 20): map each kept S
         // column back to the raw distance column it originated from.
@@ -288,7 +289,7 @@ fn pipeline_once(
         a_small(&smat, &y)
     };
     check_matrix_finite(&coords, "project")?;
-    stats.phases.add(phase::PROJECT, t.elapsed());
+    ph.end(&mut stats.phases);
 
     Ok(coords)
 }

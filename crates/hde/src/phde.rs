@@ -13,13 +13,13 @@ use crate::bfs_phase::run_bfs_phase;
 use crate::config::{ParHdeConfig, PivotStrategy};
 use crate::error::{scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
-use crate::stats::{phase, HdeStats};
+use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
 use parhde_graph::{prep, CsrGraph};
 use parhde_linalg::center::column_center;
 use parhde_linalg::eig::jacobi::try_symmetric_eigen;
 use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
-use parhde_util::{Timer, Xoshiro256StarStar};
+use parhde_util::Xoshiro256StarStar;
 
 /// Configuration for PHDE / PivotMDS: the subset of [`ParHdeConfig`]
 /// options these PCA-based pipelines use.
@@ -78,6 +78,7 @@ fn run_phde(
     cfg: &PhdeConfig,
     failsoft: bool,
 ) -> Result<(Layout, HdeStats), HdeError> {
+    let _root = parhde_trace::span!("phde");
     let n = g.num_vertices();
     let mut cfg = cfg.clone();
     let s_requested = cfg.subspace;
@@ -87,7 +88,7 @@ fn run_phde(
         // deterministic line layout.
         if n < 3 {
             let mut stats = HdeStats { s_requested, ..HdeStats::default() };
-            stats.warnings.push(Warning::TrivialLayout { n });
+            stats.warn(Warning::TrivialLayout { n });
             let coords = trivial_coords(n, 2);
             return Ok((
                 Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
@@ -96,10 +97,10 @@ fn run_phde(
         }
         let feasible = cfg.subspace.clamp(2, n - 1);
         if feasible != cfg.subspace {
-            warnings.push(Warning::SubspaceClamped {
+            warnings.push(trace_warning(Warning::SubspaceClamped {
                 requested: cfg.subspace,
                 clamped: feasible,
-            });
+            }));
             cfg.subspace = feasible;
         }
         if !prep::is_connected(g) {
@@ -114,9 +115,9 @@ fn run_phde(
             let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
             stats.warnings.splice(
                 0..0,
-                warnings.into_iter().chain(std::iter::once(
+                warnings.into_iter().chain(std::iter::once(trace_warning(
                     Warning::DisconnectedFallback { components, kept, n },
-                )),
+                ))),
             );
             return Ok((
                 Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
@@ -140,29 +141,29 @@ fn run_phde(
     let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats)?;
 
     // Column centering: make every column zero-mean (two-phase, §3.2).
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::COL_CENTER);
     column_center(&mut c);
-    stats.phases.add(phase::COL_CENTER, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // MatMul: the small covariance CᵀC.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&c, &c);
-    stats.phases.add(phase::GEMM, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // Eigensolve: top two eigenvectors of CᵀC (PCA axes).
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::EIGEN);
     let eig = try_symmetric_eigen(&z)?;
     let (vals, y) = eig.top(2);
     stats.axis_eigenvalues = vals;
     stats.s_kept = c.cols();
-    stats.phases.add(phase::EIGEN, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // Projection [x, y] = C·Y.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&c, &y);
     check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
-    stats.phases.add(phase::PROJECT, t.elapsed());
+    ph.end(&mut stats.phases);
     stats.warnings = warnings;
     Ok((layout, stats))
 }

@@ -19,13 +19,13 @@ use crate::bfs_phase::run_bfs_phase;
 use crate::config::ParHdeConfig;
 use crate::layout::Layout;
 use crate::parhde::subspace_axes;
-use crate::stats::{phase, HdeStats};
+use crate::stats::{phase, HdeStats, PhaseSpan};
 use parhde_graph::CsrGraph;
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_linalg::gemm::{a_small, at_b};
 use parhde_linalg::ortho::mgs;
 use parhde_linalg::spmm::ExplicitLaplacian;
-use parhde_util::{Timer, Xoshiro256StarStar};
+use parhde_util::Xoshiro256StarStar;
 
 /// Runs the prior-work HDE baseline.
 ///
@@ -37,6 +37,7 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
         panic!("{e}");
     }
     let s = cfg.subspace;
+    let _root = parhde_trace::span!("prior_hde");
     let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
@@ -47,7 +48,7 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     };
 
     // Assemble S and materialize the Laplacian the way the prior code does.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::INIT);
     let mut smat = ColMajorMatrix::zeros(n, s + 1);
     smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
     for i in 0..s {
@@ -55,10 +56,10 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     }
     let degrees = g.degree_vector();
     let laplacian = ExplicitLaplacian::build(g);
-    stats.phases.add(phase::INIT, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // D-orthogonalization (MGS, as in the prior code).
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::DORTHO);
     let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
     let outcome = mgs(&mut smat, weights, cfg.drop_tolerance);
     debug_assert_eq!(outcome.kept.first(), Some(&0));
@@ -66,26 +67,26 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     smat.retain_columns(&survivors);
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
-    stats.phases.add(phase::DORTHO, t.elapsed());
+    ph.end(&mut stats.phases);
     assert!(smat.cols() >= 2, "fewer than two directions survived");
 
     // TripleProd through the explicit Laplacian.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::LS);
     let p = laplacian.spmm(&smat);
-    stats.phases.add(phase::LS, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &p);
-    stats.phases.add(phase::GEMM, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // Eigensolve + projection, identical to ParHDE.
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::EIGEN);
     let (y, mus) = subspace_axes(&smat, &z, weights);
     stats.axis_eigenvalues = mus;
-    stats.phases.add(phase::EIGEN, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&smat, &y);
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
-    stats.phases.add(phase::PROJECT, t.elapsed());
+    ph.end(&mut stats.phases);
     (layout, stats)
 }
 

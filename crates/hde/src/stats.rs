@@ -7,7 +7,7 @@
 //! [`HdeStats::grouped`] folds them into the canonical buckets.
 
 use parhde_bfs::TraversalStats;
-use parhde_util::PhaseTimes;
+use parhde_util::{PhaseTimes, Timer};
 
 /// Fine-grained phase names recorded by the pipelines.
 pub mod phase {
@@ -33,6 +33,40 @@ pub mod phase {
     pub const INIT: &str = "init";
 }
 
+/// Mirrors `w` into the active trace session as a structured warning event
+/// (no-op when tracing is disabled), then hands it back for storage.
+pub(crate) fn trace_warning(w: crate::Warning) -> crate::Warning {
+    if parhde_trace::enabled() {
+        parhde_trace::warning(&w.to_string());
+    }
+    w
+}
+
+/// A phase measurement that is simultaneously a wall-clock timer (feeding
+/// [`HdeStats::phases`]) and a hierarchical trace span (feeding an active
+/// `parhde_trace::TraceSession`, if any). The pipelines wrap every stage in
+/// one of these so the printed breakdown and the exported trace are two
+/// views of the *same* intervals and can never disagree.
+#[must_use = "a PhaseSpan measures nothing unless ended"]
+pub struct PhaseSpan {
+    name: &'static str,
+    timer: Timer,
+    guard: parhde_trace::SpanGuard,
+}
+
+impl PhaseSpan {
+    /// Starts timing phase `name` and opens the matching trace span.
+    pub fn begin(name: &'static str) -> Self {
+        Self { name, timer: Timer::start(), guard: parhde_trace::span(name) }
+    }
+
+    /// Closes the span and accumulates the elapsed time under the phase name.
+    pub fn end(self, phases: &mut PhaseTimes) {
+        drop(self.guard);
+        phases.add(self.name, self.timer.elapsed());
+    }
+}
+
 /// The four canonical breakdown buckets of Figures 3/5/6.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GroupedBreakdown {
@@ -51,6 +85,17 @@ impl GroupedBreakdown {
     /// Total seconds across buckets.
     pub fn total(&self) -> f64 {
         self.bfs + self.triple_prod + self.dortho + self.other
+    }
+
+    /// The buckets as named `(label, seconds)` entries in canonical order —
+    /// the rows of the Figure-3 breakdown table and of the run report.
+    pub fn entries(&self) -> Vec<(String, f64)> {
+        vec![
+            ("BFS".to_string(), self.bfs),
+            ("TripleProd".to_string(), self.triple_prod),
+            ("DOrtho".to_string(), self.dortho),
+            ("Other".to_string(), self.other),
+        ]
     }
 
     /// Percentages in bucket order `[bfs, triple_prod, dortho, other]`
@@ -113,6 +158,13 @@ impl HdeStats {
     /// Total wall seconds across all recorded phases.
     pub fn total_seconds(&self) -> f64 {
         self.phases.total().as_secs_f64()
+    }
+
+    /// Records a degradation: the warning lands in [`HdeStats::warnings`]
+    /// *and* — when a trace session is active — in the event stream as a
+    /// structured warning event under the currently open span.
+    pub fn warn(&mut self, w: crate::Warning) {
+        self.warnings.push(trace_warning(w));
     }
 }
 

@@ -16,7 +16,7 @@ use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::parhde::try_subspace_axes_nd;
 use crate::pivots::{farthest_vertex, fold_min_distance};
-use crate::stats::{phase, HdeStats};
+use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
 use parhde_graph::{prep, WeightedCsr};
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_linalg::error::check_matrix_finite;
@@ -24,7 +24,7 @@ use parhde_linalg::gemm::{a_small, at_b};
 use parhde_linalg::ortho::{try_cgs, try_mgs};
 use parhde_linalg::spmm::laplacian_spmm_weighted;
 use parhde_sssp::delta_stepping::delta_stepping_into_f64;
-use parhde_util::{Timer, Xoshiro256StarStar};
+use parhde_util::Xoshiro256StarStar;
 use rayon::prelude::*;
 
 /// Re-pivot attempts in fail-soft mode (matches the unweighted pipeline).
@@ -123,6 +123,7 @@ fn run_weighted(
     semantics: WeightSemantics,
     failsoft: bool,
 ) -> Result<(Layout, HdeStats), HdeError> {
+    let _root = parhde_trace::span!("parhde_weighted");
     let n = g.num_vertices();
     // Upfront weight/parameter validation (both modes — a NaN weight would
     // otherwise smear through every phase before being noticed).
@@ -141,7 +142,7 @@ fn run_weighted(
     if failsoft {
         if n <= 2 {
             let mut stats = HdeStats { s_requested, ..HdeStats::default() };
-            stats.warnings.push(Warning::TrivialLayout { n });
+            stats.warn(Warning::TrivialLayout { n });
             let coords = trivial_coords(n, 2);
             return Ok((
                 Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
@@ -150,10 +151,10 @@ fn run_weighted(
         }
         let feasible = cfg.subspace.clamp(2, n - 1);
         if feasible != cfg.subspace {
-            warnings.push(Warning::SubspaceClamped {
+            warnings.push(trace_warning(Warning::SubspaceClamped {
                 requested: cfg.subspace,
                 clamped: feasible,
-            });
+            }));
             cfg.subspace = feasible;
         }
         if !prep::is_connected(g.graph()) {
@@ -167,9 +168,9 @@ fn run_weighted(
             let coords = scatter_coords(n, &sub_coords, &old_ids);
             stats.warnings.splice(
                 0..0,
-                warnings.into_iter().chain(std::iter::once(
+                warnings.into_iter().chain(std::iter::once(trace_warning(
                     Warning::DisconnectedFallback { components, kept, n },
-                )),
+                ))),
             );
             return Ok((
                 Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
@@ -211,11 +212,11 @@ fn run_weighted(
             }
             Err(HdeError::DegenerateSubspace { kept, needed, subspace, .. }) => {
                 if attempt + 1 < max_attempts {
-                    warnings.push(Warning::RepivotRetry {
+                    warnings.push(trace_warning(Warning::RepivotRetry {
                         attempt: attempt + 1,
                         kept,
                         needed,
-                    });
+                    }));
                 } else {
                     return Err(HdeError::DegenerateSubspace {
                         kept,
@@ -253,34 +254,34 @@ fn weighted_pipeline_once(
             let mut src = rng.next_index(n) as u32;
             for i in 0..s {
                 stats.sources.push(src);
-                let t = Timer::start();
+                let ph = PhaseSpan::begin(phase::BFS);
                 let reached = delta_stepping_into_f64(g, src, delta, b.col_mut(i));
-                stats.phases.add(phase::BFS, t.elapsed());
+                ph.end(&mut stats.phases);
                 if reached != n {
                     return Err(HdeError::Disconnected { reached, n });
                 }
-                let t = Timer::start();
+                let ph = PhaseSpan::begin(phase::BFS_OTHER);
                 fold_min_distance(&mut min_dist, b.col(i));
                 src = farthest_vertex(&min_dist);
-                stats.phases.add(phase::BFS_OTHER, t.elapsed());
+                ph.end(&mut stats.phases);
             }
         }
         PivotStrategy::Random => {
-            let t = Timer::start();
+            let ph = PhaseSpan::begin(phase::BFS_OTHER);
             let sources: Vec<u32> = rng
                 .sample_distinct(n, s)
                 .into_iter()
                 .map(|v| v as u32)
                 .collect();
             stats.sources = sources.clone();
-            stats.phases.add(phase::BFS_OTHER, t.elapsed());
-            let t = Timer::start();
+            ph.end(&mut stats.phases);
+            let ph = PhaseSpan::begin(phase::BFS);
             let reached: Vec<usize> = sources
                 .par_iter()
                 .zip(b.columns_mut())
                 .map(|(&src, col)| delta_stepping_into_f64(g, src, delta, col))
                 .collect();
-            stats.phases.add(phase::BFS, t.elapsed());
+            ph.end(&mut stats.phases);
             if reached[0] != n {
                 return Err(HdeError::Disconnected { reached: reached[0], n });
             }
@@ -288,17 +289,17 @@ fn weighted_pipeline_once(
     }
 
     // ---- S assembly ---------------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::INIT);
     let mut smat = ColMajorMatrix::zeros(n, s + 1);
     smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
     for i in 0..s {
         smat.col_mut(i + 1).copy_from_slice(b.col(i));
     }
     let degrees = sims.weighted_degree_vector();
-    stats.phases.add(phase::INIT, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // ---- DOrtho -------------------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::DORTHO);
     let weights = cfg.d_orthogonalize.then_some(degrees.as_slice());
     let outcome = match cfg.ortho {
         OrthoMethod::Mgs => try_mgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
@@ -309,7 +310,7 @@ fn weighted_pipeline_once(
     smat.retain_columns(&survivors);
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
-    stats.phases.add(phase::DORTHO, t.elapsed());
+    ph.end(&mut stats.phases);
     if smat.cols() < 2 {
         return Err(HdeError::DegenerateSubspace {
             kept: smat.cols(),
@@ -320,24 +321,24 @@ fn weighted_pipeline_once(
     }
 
     // ---- TripleProd -----------------------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::LS);
     let p = laplacian_spmm_weighted(sims, &degrees, &smat);
-    stats.phases.add(phase::LS, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &p);
     check_matrix_finite(&z, "gemm")?;
-    stats.phases.add(phase::GEMM, t.elapsed());
+    ph.end(&mut stats.phases);
 
     // ---- Eigensolve + projection -----------------------------------------------
-    let t = Timer::start();
+    let ph = PhaseSpan::begin(phase::EIGEN);
     let (y, mus) = try_subspace_axes_nd(&smat, &z, weights, 2)?;
     stats.axis_eigenvalues = mus;
-    stats.phases.add(phase::EIGEN, t.elapsed());
-    let t = Timer::start();
+    ph.end(&mut stats.phases);
+    let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&smat, &y);
     check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
-    stats.phases.add(phase::PROJECT, t.elapsed());
+    ph.end(&mut stats.phases);
     Ok(layout)
 }
 

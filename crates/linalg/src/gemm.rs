@@ -26,6 +26,8 @@ pub fn at_b(a: &ColMajorMatrix, b: &ColMajorMatrix) -> ColMajorMatrix {
     let adata = a.data();
     let bdata = b.data();
 
+    let _span = parhde_trace::span!("gemm.at_b");
+    parhde_trace::counter!("gemm.flops", (2 * n * p * q) as u64);
     let partials: Vec<Vec<f64>> = (0..n.max(1))
         .step_by(ROW_CHUNK)
         .collect::<Vec<_>>()
@@ -70,6 +72,8 @@ pub fn a_small(a: &ColMajorMatrix, w: &ColMajorMatrix) -> ColMajorMatrix {
     let q = w.cols();
     let adata = a.data();
 
+    let _span = parhde_trace::span!("gemm.a_small");
+    parhde_trace::counter!("gemm.flops", (2 * n * p * q) as u64);
     let mut out = ColMajorMatrix::zeros(n, q);
     // Column-major output: parallelize per output column, then per row block
     // inside — each output column is contiguous and written by disjoint

@@ -56,6 +56,7 @@ pub fn mgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
     if let Some(w) = d {
         assert_eq!(w.len(), s.rows(), "weight vector length mismatch");
     }
+    let _span = parhde_trace::span!("dortho.mgs");
     let cols = s.cols();
     let mut kept: Vec<usize> = Vec::with_capacity(cols);
     let mut dropped = Vec::new();
@@ -69,6 +70,10 @@ pub fn mgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
         }
     }
     s.retain_columns(&kept);
+    if parhde_trace::enabled() {
+        parhde_trace::counter!("dortho.kept_columns", kept.len() as u64);
+        parhde_trace::counter!("dortho.dropped_columns", dropped.len() as u64);
+    }
     OrthoOutcome { kept, dropped }
 }
 
@@ -95,6 +100,7 @@ pub fn mgs_step(
     if let Some(w) = d {
         assert_eq!(w.len(), s.rows(), "weight vector length mismatch");
     }
+    parhde_trace::counter!("dortho.projections", kept.len() as u64);
     for &j in kept {
         let (cj, ci) = s.col_pair(j, i);
         let (num, den) = match d {
@@ -135,6 +141,7 @@ pub fn cgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
     if let Some(w) = d {
         assert_eq!(w.len(), s.rows(), "weight vector length mismatch");
     }
+    let _span = parhde_trace::span!("dortho.cgs");
     let cols = s.cols();
     let rows = s.rows();
     let mut kept: Vec<usize> = Vec::with_capacity(cols);
@@ -142,6 +149,7 @@ pub fn cgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
     let mut dropped = Vec::new();
     let mut ciw = vec![0.0; rows];
     for i in 0..cols {
+        parhde_trace::counter!("dortho.projections", kept.len() as u64);
         if !kept.is_empty() {
             // D·s_i (or a plain copy), computed before the prefix borrow.
             match d {
@@ -215,6 +223,10 @@ pub fn cgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
         }
     }
     s.retain_columns(&kept);
+    if parhde_trace::enabled() {
+        parhde_trace::counter!("dortho.kept_columns", kept.len() as u64);
+        parhde_trace::counter!("dortho.dropped_columns", dropped.len() as u64);
+    }
     OrthoOutcome { kept, dropped }
 }
 

@@ -34,6 +34,8 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
     assert_eq!(s.rows(), n, "S row count must equal n");
     assert_eq!(degrees.len(), n, "degree vector length must equal n");
     let k = s.cols();
+    let _span = parhde_trace::span!("spmm.laplacian");
+    parhde_trace::counter!("spmm.flops", (2 * (g.num_arcs() + n) * k) as u64);
     let mut p = ColMajorMatrix::zeros(n, k);
     let sdata = s.data();
 
@@ -125,6 +127,8 @@ pub fn laplacian_spmm_weighted(
     assert_eq!(s.rows(), n, "S row count must equal n");
     assert_eq!(degrees.len(), n, "degree vector length must equal n");
     let k = s.cols();
+    let _span = parhde_trace::span!("spmm.laplacian_weighted");
+    parhde_trace::counter!("spmm.flops", (2 * (g.graph().num_arcs() + n) * k) as u64);
     let mut p = ColMajorMatrix::zeros(n, k);
     let sdata = s.data();
     let blocks: Vec<(usize, Vec<f64>)> = (0..n)

@@ -102,6 +102,7 @@ pub fn delta_stepping_with_stats(
         "delta must be positive and finite"
     );
 
+    let _span = parhde_trace::span!("sssp.delta_stepping");
     let dist: Vec<AtomicU64> = (0..n)
         .map(|_| AtomicU64::new(UNREACHABLE.to_bits()))
         .collect();
@@ -205,6 +206,13 @@ pub fn delta_stepping_with_stats(
         .map(|c| f64::from_bits(c.into_inner()))
         .collect();
     let reached = dist.iter().filter(|d| d.is_finite()).count();
+    if parhde_trace::enabled() {
+        parhde_trace::counter!("sssp.buckets_processed", stats.buckets_processed as u64);
+        parhde_trace::counter!("sssp.light_rounds", stats.light_rounds as u64);
+        parhde_trace::counter!("sssp.light_relaxations", stats.light_relaxations as u64);
+        parhde_trace::counter!("sssp.heavy_relaxations", stats.heavy_relaxations as u64);
+        parhde_trace::counter!("sssp.stale_entries", stats.stale_entries as u64);
+    }
     (SsspResult { dist, reached }, stats)
 }
 

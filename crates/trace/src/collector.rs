@@ -1,0 +1,246 @@
+//! The global event collector: thread-local buffers behind one atomic.
+//!
+//! Recording must cost almost nothing when tracing is off (kernels are
+//! instrumented unconditionally) and must not serialize rayon workers when
+//! it is on. The design:
+//!
+//! * a global `ENABLED` flag — the *only* thing the disabled fast path
+//!   touches (one relaxed load);
+//! * per-thread buffers registered lazily with the global session; each
+//!   thread appends to its own buffer under a mutex that is uncontended in
+//!   steady state (only the draining session locks it from outside);
+//! * an epoch counter so buffers from a finished session are never mixed
+//!   into the next one — thread-locals survive in rayon's long-lived
+//!   workers, so staleness is detected by epoch mismatch, not thread death.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A raw event as recorded on the hot path. Span and metric names are
+/// `&'static str` so recording never allocates (warnings, which are rare,
+/// are the exception).
+#[derive(Debug)]
+pub(crate) enum Raw {
+    /// A span opened at `t` nanoseconds after the session anchor.
+    Begin {
+        /// Span name.
+        name: &'static str,
+        /// Open time, ns since session start.
+        t: u64,
+    },
+    /// The innermost open span on this thread closed at `t`.
+    End {
+        /// Close time, ns since session start.
+        t: u64,
+    },
+    /// A counter delta.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+        /// Record time, ns since session start.
+        t: u64,
+    },
+    /// A gauge sample.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+        /// Record time, ns since session start.
+        t: u64,
+    },
+    /// A structured warning message (e.g. a pipeline degradation).
+    Warn {
+        /// Human-readable message.
+        message: String,
+        /// Record time, ns since session start.
+        t: u64,
+    },
+}
+
+/// One thread's event buffer for the current session.
+pub(crate) struct ThreadBuf {
+    /// Session-scoped thread ordinal (0 = first thread to record).
+    pub tid: u64,
+    /// Events in record order. Locked by the owning thread per push and by
+    /// the session once at drain time.
+    pub events: Mutex<Vec<Raw>>,
+}
+
+struct Global {
+    epoch: u64,
+    anchor: Instant,
+    next_tid: u64,
+    buffers: Vec<Arc<ThreadBuf>>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn global() -> &'static Mutex<Global> {
+    static G: OnceLock<Mutex<Global>> = OnceLock::new();
+    G.get_or_init(|| {
+        Mutex::new(Global {
+            epoch: 0,
+            anchor: Instant::now(),
+            next_tid: 0,
+            buffers: Vec::new(),
+        })
+    })
+}
+
+fn lock_global() -> std::sync::MutexGuard<'static, Global> {
+    // A panic while holding the registry lock cannot corrupt it (all
+    // operations are Vec pushes/takes), so poisoning is ignored.
+    global().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct Handle {
+    epoch: u64,
+    anchor: Instant,
+    buf: Option<Arc<ThreadBuf>>,
+}
+
+thread_local! {
+    static HANDLE: RefCell<Handle> = RefCell::new(Handle {
+        epoch: u64::MAX,
+        anchor: Instant::now(),
+        buf: None,
+    });
+}
+
+/// True while a [`TraceSession`](crate::TraceSession) is active. The
+/// disabled fast path of every recording call is exactly this load; callers
+/// may also use it to gate derived-value computation.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one event, lazily (re-)registering this thread's buffer with the
+/// current session. `make` receives the timestamp and is only invoked when
+/// tracing is enabled.
+#[inline]
+fn record(make: impl FnOnce(u64) -> Raw) {
+    if !enabled() {
+        return;
+    }
+    record_slow(make);
+}
+
+fn record_slow(make: impl FnOnce(u64) -> Raw) {
+    HANDLE.with(|h| {
+        let mut h = h.borrow_mut();
+        let cur = EPOCH.load(Ordering::Acquire);
+        if h.epoch != cur || h.buf.is_none() {
+            let mut g = lock_global();
+            h.epoch = g.epoch;
+            h.anchor = g.anchor;
+            let buf = Arc::new(ThreadBuf { tid: g.next_tid, events: Mutex::new(Vec::new()) });
+            g.next_tid += 1;
+            g.buffers.push(Arc::clone(&buf));
+            h.buf = Some(buf);
+        }
+        let t = h.anchor.elapsed().as_nanos() as u64;
+        if let Some(buf) = &h.buf {
+            buf.events
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(make(t));
+        }
+    });
+}
+
+/// RAII guard returned by [`span`]; records the span's end when dropped.
+/// Inert (no end event) when tracing was disabled at open time.
+#[must_use = "a span guard dropped immediately closes the span immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            record(|t| Raw::End { t });
+        }
+    }
+}
+
+/// Opens a span named `name` on the current thread; the returned guard
+/// closes it on drop. Spans nest: a span opened while another is open on
+/// the same thread becomes its child in the merged [`Trace`](crate::Trace).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: false };
+    }
+    record_slow(|t| Raw::Begin { name, t });
+    SpanGuard { armed: true }
+}
+
+/// Adds `delta` to counter `name`, attributed to the innermost open span on
+/// this thread. Counter totals are sums of deltas across all threads.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    record(|t| Raw::Counter { name, delta, t });
+}
+
+/// Records a point sample of gauge `name`.
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    record(|t| Raw::Gauge { name, value, t });
+}
+
+/// Records a structured warning event (pipeline degradations, fallbacks)
+/// under the innermost open span. Allocates only when tracing is enabled.
+#[inline]
+pub fn warning(message: &str) {
+    if !enabled() {
+        return;
+    }
+    let owned = message.to_string();
+    record_slow(move |t| Raw::Warn { message: owned, t });
+}
+
+/// Starts a fresh session: bumps the epoch (invalidating every thread's
+/// cached buffer), resets the clock anchor, and enables recording.
+pub(crate) fn begin_session() {
+    let mut g = lock_global();
+    g.epoch += 1;
+    g.anchor = Instant::now();
+    g.next_tid = 0;
+    g.buffers.clear();
+    EPOCH.store(g.epoch, Ordering::Release);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording and drains every registered buffer. Returns per-thread
+/// `(tid, events)` in registration order. Threads racing a final event may
+/// re-register after the drain; those stragglers are discarded by the next
+/// `begin_session`.
+pub(crate) fn end_session() -> Vec<(u64, Vec<Raw>)> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut g = lock_global();
+    g.epoch += 1;
+    EPOCH.store(g.epoch, Ordering::Release);
+    let buffers = std::mem::take(&mut g.buffers);
+    buffers
+        .into_iter()
+        .map(|b| {
+            let events = std::mem::take(&mut *b.events.lock().unwrap_or_else(|p| p.into_inner()));
+            (b.tid, events)
+        })
+        .collect()
+}
+
+/// Disables recording without draining (used by `TraceSession::drop` when
+/// `finish` was never called, so an abandoned session cannot leak events
+/// into the next one — the epoch bump at the next begin discards them).
+pub(crate) fn abort_session() {
+    ENABLED.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,128 @@
+//! **parhde-trace** — structured observability for the ParHDE workspace.
+//!
+//! The paper's whole evaluation (Figures 3, 5, 6; Tables 3–5) is built on
+//! *per-phase breakdowns*: how much of a run went to BFS, to
+//! D-Orthogonalization, to the TripleProd products, to everything else.
+//! This crate is the measurement substrate behind those numbers and every
+//! future performance PR:
+//!
+//! * **Spans** — hierarchical RAII intervals ([`span!`]) recorded into
+//!   thread-local buffers and merged into a per-run [`Trace`] by a
+//!   [`TraceSession`]. When no session is active, recording is a single
+//!   relaxed atomic load and nothing else — kernels stay instrumented at
+//!   all times with negligible overhead.
+//! * **Counters and gauges** — typed work metrics ([`counter!`],
+//!   [`gauge!`]): edges scanned per BFS direction, Δ-stepping relaxations,
+//!   Gram-Schmidt projection counts, GEMM/SpMM FLOPs, frontier sizes, peak
+//!   RSS. Counters are deltas that sum; gauges are point samples.
+//! * **Sinks** — a human-readable phase-breakdown table reproducing the
+//!   paper's Figure-3 percentage splits ([`phases`]), an NDJSON event
+//!   stream ([`ndjson`]), a Chrome `trace_event` JSON export viewable in
+//!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev) ([`chrome`]),
+//!   and a machine-readable run report ([`report`]) that the bench harness
+//!   and CI diff across commits.
+//!
+//! The crate is dependency-free; `parhde-util`'s `PhaseTimes` is a thin
+//! adapter over [`phases::PhaseAccumulator`], so every pipeline that
+//! accumulates phase times already feeds the same vocabulary.
+//!
+//! # Example
+//!
+//! ```
+//! let session = parhde_trace::TraceSession::begin();
+//! {
+//!     let _outer = parhde_trace::span!("bfs");
+//!     {
+//!         let _inner = parhde_trace::span!("bfs.top_down");
+//!         parhde_trace::counter!("bfs.top_down_edges", 128);
+//!     }
+//! }
+//! let trace = session.finish();
+//! let mut out = Vec::new();
+//! parhde_trace::chrome::write_chrome_trace(&trace, &mut out).unwrap();
+//! assert!(String::from_utf8(out).unwrap().contains("\"bfs.top_down\""));
+//! ```
+
+#![warn(missing_docs)]
+
+mod collector;
+mod session;
+
+pub mod chrome;
+pub mod json;
+pub mod ndjson;
+pub mod phases;
+pub mod report;
+
+pub use collector::{counter, enabled, gauge, span, warning, SpanGuard};
+pub use phases::PhaseAccumulator;
+pub use report::RunReport;
+pub use session::{
+    CounterEvent, GaugeEvent, SpanEvent, ThreadTrace, Trace, TraceEvent, TraceSession,
+    WarningEvent,
+};
+
+/// Opens a hierarchical span named by a `&'static str`; returns an RAII
+/// guard that closes the span when dropped. A no-op (and allocation-free)
+/// when no [`TraceSession`] is active.
+///
+/// ```
+/// let _g = parhde_trace::span!("dortho");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Adds a delta to a named counter, attributed to the innermost open span
+/// on the current thread. No-op when tracing is disabled.
+///
+/// ```
+/// parhde_trace::counter!("gemm.flops", 1024);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        $crate::counter($name, $delta)
+    };
+}
+
+/// Records a point sample of a named gauge (frontier size, bandwidth,
+/// RSS…). No-op when tracing is disabled.
+///
+/// ```
+/// parhde_trace::gauge!("bfs.frontier", 4096.0);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::gauge($name, $value)
+    };
+}
+
+/// Peak resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` off Linux or if the
+/// pseudo-file is unreadable — callers treat the gauge as best-effort.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = super::peak_rss_bytes() {
+            // More than a page, less than a terabyte.
+            assert!(rss > 4096 && rss < (1 << 40), "implausible RSS {rss}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The machine-readable run report — the artifact CI diffs across commits.
+//!
+//! One JSON document per run: what was laid out (graph size), how (config
+//! key–values), where the time went (fine-grained phases and the four
+//! canonical Figure-3 buckets), how much work was done (counter totals,
+//! gauge finals), what degraded (warnings), and how the run ended (exit
+//! code + optional error). Written by `parhde-layout --json-report` even on
+//! degraded or failed runs, and read back by `parhde-bench`'s report tools.
+
+use crate::json::{escape, number, parse, Value};
+
+/// Schema identifier emitted in (and required of) every report.
+pub const SCHEMA: &str = "parhde-run-report";
+/// Current schema version.
+pub const VERSION: u32 = 1;
+
+/// A complete run report. All collections preserve pipeline/display order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Binary or harness that produced the report (e.g. `parhde-layout`).
+    pub binary: String,
+    /// Algorithm that ran (e.g. `parhde`, `phde`, `pivotmds`).
+    pub algo: String,
+    /// Vertices in the (preprocessed) input graph.
+    pub graph_n: u64,
+    /// Edges in the (preprocessed) input graph.
+    pub graph_m: u64,
+    /// Configuration as display key–value pairs.
+    pub config: Vec<(String, String)>,
+    /// Fine-grained phase seconds in pipeline order.
+    pub phases: Vec<(String, f64)>,
+    /// The four canonical buckets (BFS / TripleProd / DOrtho / Other),
+    /// seconds.
+    pub grouped: Vec<(String, f64)>,
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge samples.
+    pub gauges: Vec<(String, f64)>,
+    /// Degradation warnings, in occurrence order.
+    pub warnings: Vec<String>,
+    /// Process exit code the run ended with (0 = success).
+    pub exit_code: i32,
+    /// Error message when `exit_code != 0`.
+    pub error: Option<String>,
+    /// End-to-end wall seconds of the run.
+    pub total_seconds: f64,
+}
+
+fn str_pairs(pairs: &[(String, String)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":\"{}\",\"value\":\"{}\"}}", escape(k), escape(v)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn num_pairs(pairs: &[(String, f64)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":\"{}\",\"value\":{}}}", escape(k), number(*v)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn int_pairs(pairs: &[(String, u64)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":\"{}\",\"value\":{v}}}", escape(k)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+impl RunReport {
+    /// Serializes the report as a pretty-enough single JSON document.
+    pub fn to_json(&self) -> String {
+        let warnings: Vec<String> =
+            self.warnings.iter().map(|w| format!("\"{}\"", escape(w))).collect();
+        let error = match &self.error {
+            Some(e) => format!("\"{}\"", escape(e)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"version\": {VERSION},\n  \
+             \"binary\": \"{}\",\n  \"algo\": \"{}\",\n  \
+             \"graph\": {{\"n\": {}, \"m\": {}}},\n  \
+             \"config\": {},\n  \"phases\": {},\n  \"grouped\": {},\n  \
+             \"counters\": {},\n  \"gauges\": {},\n  \"warnings\": [{}],\n  \
+             \"exit\": {{\"code\": {}, \"error\": {error}}},\n  \
+             \"total_seconds\": {}\n}}\n",
+            escape(&self.binary),
+            escape(&self.algo),
+            self.graph_n,
+            self.graph_m,
+            str_pairs(&self.config),
+            num_pairs(&self.phases),
+            num_pairs(&self.grouped),
+            int_pairs(&self.counters),
+            num_pairs(&self.gauges),
+            warnings.join(","),
+            self.exit_code,
+            number(self.total_seconds),
+        )
+    }
+
+    /// Parses a report previously produced by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    /// A description of the first schema violation.
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let doc = parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("missing schema field")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema {schema:?}"));
+        }
+        let version = doc.get("version").and_then(|v| v.as_f64()).ok_or("missing version")?;
+        if version != f64::from(VERSION) {
+            return Err(format!("unsupported version {version}"));
+        }
+        let graph = doc.get("graph").ok_or("missing graph")?;
+        let exit = doc.get("exit").ok_or("missing exit")?;
+        Ok(RunReport {
+            binary: field_str(&doc, "binary")?,
+            algo: field_str(&doc, "algo")?,
+            graph_n: field_num(graph, "n")? as u64,
+            graph_m: field_num(graph, "m")? as u64,
+            config: read_pairs(&doc, "config", |v| {
+                v.as_str().map(str::to_string).ok_or("non-string config value".to_string())
+            })?,
+            phases: read_pairs(&doc, "phases", read_f64)?,
+            grouped: read_pairs(&doc, "grouped", read_f64)?,
+            counters: read_pairs(&doc, "counters", |v| {
+                v.as_f64().map(|n| n as u64).ok_or("non-numeric counter".to_string())
+            })?,
+            gauges: read_pairs(&doc, "gauges", read_f64)?,
+            warnings: doc
+                .get("warnings")
+                .and_then(|v| v.as_arr())
+                .ok_or("missing warnings array")?
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| "non-string warning".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            exit_code: field_num(exit, "code")? as i32,
+            error: match exit.get("error") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_str().ok_or("non-string error")?.to_string()),
+            },
+            total_seconds: field_num(&doc, "total_seconds").unwrap_or(0.0),
+        })
+    }
+
+    /// Validates `text` as a parseable version-1 run report.
+    ///
+    /// # Errors
+    /// A description of the first schema violation.
+    pub fn validate(text: &str) -> Result<(), String> {
+        Self::from_json(text).map(|_| ())
+    }
+}
+
+fn read_f64(v: &Value) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| "non-numeric value".to_string())
+}
+
+fn field_str(obj: &Value, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn field_num(obj: &Value, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn read_pairs<T>(
+    doc: &Value,
+    key: &str,
+    read: impl Fn(&Value) -> Result<T, String>,
+) -> Result<Vec<(String, T)>, String> {
+    doc.get(key)
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("missing array field {key:?}"))?
+        .iter()
+        .map(|item| {
+            let k = item
+                .get("key")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("{key}: entry missing key"))?;
+            let v = item.get("value").ok_or_else(|| format!("{key}: entry missing value"))?;
+            Ok((k.to_string(), read(v)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            binary: "parhde-layout".into(),
+            algo: "parhde".into(),
+            graph_n: 400,
+            graph_m: 760,
+            config: vec![("subspace".into(), "10".into()), ("ortho".into(), "mgs".into())],
+            phases: vec![("bfs".into(), 0.012), ("dortho".into(), 0.003)],
+            grouped: vec![("BFS".into(), 0.012), ("DOrtho".into(), 0.003)],
+            counters: vec![("bfs.top_down_edges".into(), 1520)],
+            gauges: vec![("process.peak_rss_mb".into(), 24.5)],
+            warnings: vec!["subspace dimension 99 clamped to 9".into()],
+            exit_code: 0,
+            error: None,
+            total_seconds: 0.018,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let report = sample();
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn failed_run_roundtrips_error() {
+        let report = RunReport {
+            exit_code: 6,
+            error: Some("graph not connected".into()),
+            ..sample()
+        };
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.exit_code, 6);
+        assert_eq!(back.error.as_deref(), Some("graph not connected"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        assert!(RunReport::validate("{}").is_err());
+        assert!(RunReport::validate("{\"schema\":\"bogus\",\"version\":1}").is_err());
+        let v2 = sample().to_json().replace("\"version\": 1", "\"version\": 99");
+        assert!(RunReport::validate(&v2).is_err());
+    }
+}

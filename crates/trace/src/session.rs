@@ -1,0 +1,386 @@
+//! Sessions and the merged, resolved [`Trace`].
+//!
+//! A [`TraceSession`] brackets one run: `begin()` arms the collector,
+//! `finish()` drains every thread's buffer and resolves raw begin/end pairs
+//! into completed [`SpanEvent`]s with depth and parentage, attributing
+//! counters, gauges and warnings to the innermost span open on their thread
+//! at record time. The result is a plain data structure the sinks
+//! ([`crate::chrome`], [`crate::ndjson`], [`crate::report`]) serialize
+//! without touching global state — it is also directly constructible, which
+//! is how the golden-file exporter tests build deterministic traces.
+
+use crate::collector::{self, Raw};
+
+/// A completed span: a named interval with its nesting depth (0 = no
+/// enclosing span on that thread).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Open time, nanoseconds since session start.
+    pub begin_ns: u64,
+    /// Close time, nanoseconds since session start. Spans still open when
+    /// the session finished are closed at the latest event time seen.
+    pub end_ns: u64,
+    /// Nesting depth on its thread at open time.
+    pub depth: usize,
+}
+
+/// A counter delta attributed to the innermost open span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterEvent {
+    /// Counter name.
+    pub name: String,
+    /// Amount added.
+    pub delta: u64,
+    /// Record time, nanoseconds since session start.
+    pub t_ns: u64,
+    /// Name of the innermost span open on the recording thread, if any.
+    pub span: Option<String>,
+}
+
+/// A gauge sample attributed to the innermost open span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeEvent {
+    /// Gauge name.
+    pub name: String,
+    /// Sampled value.
+    pub value: f64,
+    /// Record time, nanoseconds since session start.
+    pub t_ns: u64,
+    /// Name of the innermost span open on the recording thread, if any.
+    pub span: Option<String>,
+}
+
+/// A structured warning attributed to the innermost open span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarningEvent {
+    /// Human-readable message.
+    pub message: String,
+    /// Record time, nanoseconds since session start.
+    pub t_ns: u64,
+    /// Name of the innermost span open on the recording thread, if any.
+    pub span: Option<String>,
+}
+
+/// One resolved event of a [`ThreadTrace`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A completed span (listed at its open position, so a thread's events
+    /// read chronologically by start time).
+    Span(SpanEvent),
+    /// A counter delta.
+    Counter(CounterEvent),
+    /// A gauge sample.
+    Gauge(GaugeEvent),
+    /// A warning.
+    Warning(WarningEvent),
+}
+
+/// All events recorded by one thread, in record order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreadTrace {
+    /// Session-scoped thread ordinal (0 = first thread that recorded).
+    pub tid: u64,
+    /// Resolved events in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The merged result of one tracing session.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Per-thread event streams, in thread-registration order.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Trace {
+    /// Total seconds per span name, in first-appearance order (by thread,
+    /// then record order). Only *outermost* occurrences count: a span
+    /// nested under a same-named ancestor contributes nothing, so recursive
+    /// phases are not double-counted. These are the values the breakdown
+    /// sinks turn into Figure-3-style percentage splits.
+    pub fn phase_seconds(&self) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, f64> =
+            std::collections::HashMap::new();
+        for th in &self.threads {
+            // Reconstruct the ancestor stack from depths: a span at depth d
+            // replaces the stack entry at position d.
+            let mut stack: Vec<&str> = Vec::new();
+            for ev in &th.events {
+                if let TraceEvent::Span(s) = ev {
+                    stack.truncate(s.depth);
+                    let shadowed = stack.iter().any(|a| *a == s.name);
+                    stack.push(&s.name);
+                    if shadowed {
+                        continue;
+                    }
+                    let secs = s.end_ns.saturating_sub(s.begin_ns) as f64 / 1e9;
+                    if !totals.contains_key(&s.name) {
+                        order.push(s.name.clone());
+                    }
+                    *totals.entry(s.name.clone()).or_insert(0.0) += secs;
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|n| {
+                let v = totals[&n];
+                (n, v)
+            })
+            .collect()
+    }
+
+    /// Sum of deltas per counter name across all threads, in
+    /// first-appearance order.
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        for th in &self.threads {
+            for ev in &th.events {
+                if let TraceEvent::Counter(c) = ev {
+                    if !totals.contains_key(&c.name) {
+                        order.push(c.name.clone());
+                    }
+                    *totals.entry(c.name.clone()).or_insert(0) += c.delta;
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|n| {
+                let v = totals[&n];
+                (n, v)
+            })
+            .collect()
+    }
+
+    /// The last sample of each gauge, in first-appearance order.
+    pub fn gauge_finals(&self) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut last: std::collections::HashMap<String, f64> =
+            std::collections::HashMap::new();
+        for th in &self.threads {
+            for ev in &th.events {
+                if let TraceEvent::Gauge(g) = ev {
+                    if !last.contains_key(&g.name) {
+                        order.push(g.name.clone());
+                    }
+                    last.insert(g.name.clone(), g.value);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|n| {
+                let v = last[&n];
+                (n, v)
+            })
+            .collect()
+    }
+
+    /// All warnings across threads, in thread then record order.
+    pub fn warnings(&self) -> Vec<&WarningEvent> {
+        self.threads
+            .iter()
+            .flat_map(|t| {
+                t.events.iter().filter_map(|e| match e {
+                    TraceEvent::Warning(w) => Some(w),
+                    _ => None,
+                })
+            })
+            .collect()
+    }
+
+    /// Total number of resolved events.
+    pub fn num_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+/// An active tracing session. Exactly one session can usefully record at a
+/// time (a second `begin` restarts collection); the binaries open one per
+/// run, tests serialize on a lock.
+#[derive(Debug)]
+pub struct TraceSession {
+    finished: bool,
+}
+
+impl TraceSession {
+    /// Arms the collector: resets the clock anchor, invalidates buffers
+    /// from any previous session, and enables recording.
+    pub fn begin() -> Self {
+        collector::begin_session();
+        TraceSession { finished: false }
+    }
+
+    /// Disarms the collector, drains every thread's buffer, and resolves
+    /// the raw events into a [`Trace`].
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        let per_thread = collector::end_session();
+        let threads = per_thread
+            .into_iter()
+            .map(|(tid, raw)| ThreadTrace { tid, events: resolve(raw) })
+            .collect();
+        Trace { threads }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            collector::abort_session();
+        }
+    }
+}
+
+/// Resolves one thread's raw begin/end stream into completed spans (listed
+/// at their open position) with counters/gauges/warnings attributed to the
+/// innermost open span.
+fn resolve(raw: Vec<Raw>) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = Vec::with_capacity(raw.len());
+    // Indices into `out` of the currently-open spans, innermost last.
+    let mut open: Vec<usize> = Vec::new();
+    let mut last_t = 0u64;
+    for ev in raw {
+        match ev {
+            Raw::Begin { name, t } => {
+                last_t = last_t.max(t);
+                let depth = open.len();
+                open.push(out.len());
+                out.push(TraceEvent::Span(SpanEvent {
+                    name: name.to_string(),
+                    begin_ns: t,
+                    end_ns: t, // patched by the matching End
+                    depth,
+                }));
+            }
+            Raw::End { t } => {
+                last_t = last_t.max(t);
+                if let Some(idx) = open.pop() {
+                    if let TraceEvent::Span(s) = &mut out[idx] {
+                        s.end_ns = t;
+                    }
+                }
+                // An unmatched End (guard outliving its session's thread
+                // buffer) is dropped silently.
+            }
+            Raw::Counter { name, delta, t } => {
+                last_t = last_t.max(t);
+                out.push(TraceEvent::Counter(CounterEvent {
+                    name: name.to_string(),
+                    delta,
+                    t_ns: t,
+                    span: innermost(&out, &open),
+                }));
+            }
+            Raw::Gauge { name, value, t } => {
+                last_t = last_t.max(t);
+                out.push(TraceEvent::Gauge(GaugeEvent {
+                    name: name.to_string(),
+                    value,
+                    t_ns: t,
+                    span: innermost(&out, &open),
+                }));
+            }
+            Raw::Warn { message, t } => {
+                last_t = last_t.max(t);
+                out.push(TraceEvent::Warning(WarningEvent {
+                    message,
+                    t_ns: t,
+                    span: innermost(&out, &open),
+                }));
+            }
+        }
+    }
+    // Close spans left open at session end at the latest time seen.
+    for idx in open {
+        if let TraceEvent::Span(s) = &mut out[idx] {
+            s.end_ns = last_t.max(s.begin_ns);
+        }
+    }
+    out
+}
+
+fn innermost(out: &[TraceEvent], open: &[usize]) -> Option<String> {
+    open.last().and_then(|&idx| match &out[idx] {
+        TraceEvent::Span(s) => Some(s.name.clone()),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, begin: u64, end: u64, depth: usize) -> TraceEvent {
+        TraceEvent::Span(SpanEvent {
+            name: name.to_string(),
+            begin_ns: begin,
+            end_ns: end,
+            depth,
+        })
+    }
+
+    #[test]
+    fn phase_seconds_skips_recursive_double_count() {
+        let trace = Trace {
+            threads: vec![ThreadTrace {
+                tid: 0,
+                events: vec![
+                    span("a", 0, 1_000_000_000, 0),
+                    span("a", 100, 200, 1), // recursive: must not add
+                    span("b", 300, 500_000_300, 1),
+                ],
+            }],
+        };
+        let phases = trace.phase_seconds();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "a");
+        assert!((phases[0].1 - 1.0).abs() < 1e-9);
+        assert_eq!(phases[1].0, "b");
+        assert!((phases[1].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_totals_sum_across_threads() {
+        let mk = |tid, delta| ThreadTrace {
+            tid,
+            events: vec![TraceEvent::Counter(CounterEvent {
+                name: "edges".into(),
+                delta,
+                t_ns: 0,
+                span: None,
+            })],
+        };
+        let trace = Trace { threads: vec![mk(0, 10), mk(1, 32)] };
+        assert_eq!(trace.counter_totals(), vec![("edges".to_string(), 42)]);
+    }
+
+    #[test]
+    fn gauge_finals_keep_last_sample() {
+        let trace = Trace {
+            threads: vec![ThreadTrace {
+                tid: 0,
+                events: vec![
+                    TraceEvent::Gauge(GaugeEvent {
+                        name: "frontier".into(),
+                        value: 1.0,
+                        t_ns: 0,
+                        span: None,
+                    }),
+                    TraceEvent::Gauge(GaugeEvent {
+                        name: "frontier".into(),
+                        value: 7.0,
+                        t_ns: 5,
+                        span: None,
+                    }),
+                ],
+            }],
+        };
+        assert_eq!(trace.gauge_finals(), vec![("frontier".to_string(), 7.0)]);
+    }
+}

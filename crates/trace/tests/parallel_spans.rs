@@ -1,0 +1,156 @@
+//! Cross-thread collection tests: spans and counters recorded from worker
+//! threads must all land in the merged [`parhde_trace::Trace`].
+//!
+//! The collector is process-global (one active session at a time), so every
+//! test that begins a session takes `SESSION_LOCK` first; the tests in this
+//! file are otherwise independent.
+
+use parhde_trace::{CounterEvent, SpanEvent, TraceEvent, TraceSession};
+use std::sync::{Mutex, MutexGuard};
+
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    // A panicking test must not wedge the rest of the file.
+    SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn spans(trace: &parhde_trace::Trace) -> Vec<&SpanEvent> {
+    trace
+        .threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+fn counters(trace: &parhde_trace::Trace) -> Vec<&CounterEvent> {
+    trace
+        .threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter_map(|e| match e {
+            TraceEvent::Counter(c) => Some(c),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn worker_thread_spans_all_merge() {
+    let _l = lock();
+    let session = TraceSession::begin();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let _outer = parhde_trace::span!("worker");
+                parhde_trace::counter!("work.items", 10);
+                let _inner = parhde_trace::span!("worker.inner");
+                parhde_trace::counter!("work.items", 1);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let trace = session.finish();
+
+    let all = spans(&trace);
+    assert_eq!(all.iter().filter(|s| s.name == "worker").count(), 4);
+    assert_eq!(all.iter().filter(|s| s.name == "worker.inner").count(), 4);
+    // Each worker ran on its own thread: outer spans sit at depth 0, the
+    // nested span at depth 1, and the interval nests properly.
+    for s in &all {
+        match s.name.as_str() {
+            "worker" => assert_eq!(s.depth, 0),
+            "worker.inner" => assert_eq!(s.depth, 1),
+            other => panic!("unexpected span {other}"),
+        }
+        assert!(s.end_ns >= s.begin_ns);
+    }
+    // 4 × (10 + 1) items, regardless of which thread recorded what.
+    let totals = trace.counter_totals();
+    assert_eq!(totals, vec![("work.items".to_string(), 44)]);
+}
+
+#[test]
+fn counters_attribute_to_the_innermost_open_span() {
+    let _l = lock();
+    let session = TraceSession::begin();
+    {
+        let _a = parhde_trace::span!("outer");
+        parhde_trace::counter!("c.outer", 1);
+        {
+            let _b = parhde_trace::span!("inner");
+            parhde_trace::counter!("c.inner", 2);
+        }
+        parhde_trace::counter!("c.outer_again", 3);
+    }
+    parhde_trace::counter!("c.orphan", 4);
+    let trace = session.finish();
+
+    let by_name: Vec<(&str, Option<&str>)> = counters(&trace)
+        .iter()
+        .map(|c| (c.name.as_str(), c.span.as_deref()))
+        .collect();
+    assert_eq!(
+        by_name,
+        vec![
+            ("c.outer", Some("outer")),
+            ("c.inner", Some("inner")),
+            ("c.outer_again", Some("outer")),
+            ("c.orphan", None),
+        ]
+    );
+}
+
+#[test]
+fn deep_nesting_tracks_depth_per_thread() {
+    let _l = lock();
+    let session = TraceSession::begin();
+    {
+        let _a = parhde_trace::span!("d0");
+        let _b = parhde_trace::span!("d1");
+        let _c = parhde_trace::span!("d2");
+    }
+    let trace = session.finish();
+    let all = spans(&trace);
+    let depth_of = |name: &str| all.iter().find(|s| s.name == name).unwrap().depth;
+    assert_eq!(depth_of("d0"), 0);
+    assert_eq!(depth_of("d1"), 1);
+    assert_eq!(depth_of("d2"), 2);
+}
+
+#[test]
+fn threads_spawned_before_finish_are_not_lost_after_drop() {
+    // A thread that recorded and *exited* before finish() must still have
+    // its buffer in the merge.
+    let _l = lock();
+    let session = TraceSession::begin();
+    std::thread::spawn(|| {
+        let _s = parhde_trace::span!("ephemeral");
+    })
+    .join()
+    .unwrap();
+    let trace = session.finish();
+    assert_eq!(spans(&trace).iter().filter(|s| s.name == "ephemeral").count(), 1);
+}
+
+#[test]
+fn recording_outside_a_session_is_a_no_op() {
+    let _l = lock();
+    assert!(!parhde_trace::enabled());
+    // None of these may allocate a buffer or panic.
+    let _s = parhde_trace::span!("ignored");
+    parhde_trace::counter!("ignored", 1);
+    parhde_trace::gauge!("ignored", 1.0);
+    parhde_trace::warning("ignored");
+    drop(_s);
+    // A session started afterwards must not see the stray events.
+    let session = TraceSession::begin();
+    let trace = session.finish();
+    assert_eq!(trace.num_events(), 0);
+}

@@ -4,8 +4,12 @@
 //! and 6 show the percentage of time spent in the BFS, D-Orthogonalization,
 //! TripleProd (split into `LS` and `Sᵀ(LS)`), and "Other" phases. The
 //! [`PhaseTimes`] registry collects named durations during a run and renders
-//! exactly those percentage splits.
+//! exactly those percentage splits. Storage lives in
+//! [`parhde_trace::PhaseAccumulator`] — an index-mapped registry with O(1)
+//! accumulation — so per-source `add` calls stay constant-time no matter how
+//! many phases a run records; this type remains the workspace-facing API.
 
+use parhde_trace::PhaseAccumulator;
 use std::time::{Duration, Instant};
 
 /// A simple wall-clock stopwatch.
@@ -52,11 +56,12 @@ impl Default for Timer {
 /// Accumulates named phase durations for a single algorithm run.
 ///
 /// Phases may be recorded multiple times (e.g. one `bfs` entry per source
-/// vertex); durations for the same name accumulate. Insertion order of
-/// first occurrence is preserved so breakdowns print in pipeline order.
+/// vertex); durations for the same name accumulate in O(1) per call.
+/// Insertion order of first occurrence is preserved so breakdowns print in
+/// pipeline order.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseTimes {
-    entries: Vec<(String, Duration)>,
+    acc: PhaseAccumulator,
 }
 
 impl PhaseTimes {
@@ -67,11 +72,7 @@ impl PhaseTimes {
 
     /// Adds `d` to the accumulated duration of phase `name`.
     pub fn add(&mut self, name: &str, d: Duration) {
-        if let Some((_, total)) = self.entries.iter_mut().find(|(n, _)| n == name) {
-            *total += d;
-        } else {
-            self.entries.push((name.to_string(), d));
-        }
+        self.acc.add(name, d);
     }
 
     /// Times `f`, accumulating its duration under `name`, and returns its result.
@@ -84,25 +85,22 @@ impl PhaseTimes {
 
     /// Accumulated duration of phase `name`, if recorded.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.acc.get(name)
     }
 
     /// Accumulated seconds of phase `name` (0.0 if not recorded).
     pub fn seconds(&self, name: &str) -> f64 {
-        self.get(name).map(|d| d.as_secs_f64()).unwrap_or(0.0)
+        self.acc.seconds(name)
     }
 
     /// Sum of all recorded phase durations.
     pub fn total(&self) -> Duration {
-        self.entries.iter().map(|(_, d)| *d).sum()
+        self.acc.total()
     }
 
     /// Iterates over `(name, duration)` pairs in first-recorded order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
-        self.entries.iter().map(|(n, d)| (n.as_str(), *d))
+        self.acc.iter()
     }
 
     /// Percentage of the total attributed to each phase, in recorded order.
@@ -110,35 +108,28 @@ impl PhaseTimes {
     /// This is the quantity plotted in the paper's Figures 3, 5 and 6. If
     /// nothing was recorded, returns an empty vector.
     pub fn percentages(&self) -> Vec<(String, f64)> {
-        let total = self.total().as_secs_f64();
-        if total <= 0.0 {
-            return self
-                .entries
-                .iter()
-                .map(|(n, _)| (n.clone(), 0.0))
-                .collect();
-        }
-        self.entries
-            .iter()
-            .map(|(n, d)| (n.clone(), 100.0 * d.as_secs_f64() / total))
-            .collect()
+        self.acc.percentages()
     }
 
     /// Merges another registry into this one (summing same-named phases).
     pub fn merge(&mut self, other: &PhaseTimes) {
-        for (n, d) in other.iter() {
-            self.add(n, d);
-        }
+        self.acc.merge(&other.acc)
     }
 
     /// Number of distinct phases recorded.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.acc.len()
     }
 
     /// True if no phase has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.acc.is_empty()
+    }
+
+    /// The underlying accumulator, for sinks that consume
+    /// [`PhaseAccumulator`] directly.
+    pub fn accumulator(&self) -> &PhaseAccumulator {
+        &self.acc
     }
 }
 

@@ -1,0 +1,63 @@
+//! Multi-source BFS mode shoot-out: the three BFS-phase execution modes the
+//! planner chooses among (DESIGN.md §10), on the three graph families whose
+//! structure drives the decision table — a low-diameter Kronecker graph, a
+//! 2-D grid, and a road-like geometric graph. The acceptance bar for the
+//! batched kernel is the `msbfs/kron_s50` group: `batched` must beat
+//! `per_source` (`bfs_multi_source`) wall-clock at the default thread
+//! count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parhde_bfs::batch::bfs_batched;
+use parhde_bfs::direction_opt::bfs_direction_opt;
+use parhde_bfs::multi::bfs_multi_source;
+use parhde_graph::gen::{geometric, grid2d, kron};
+use parhde_graph::CsrGraph;
+use std::hint::black_box;
+
+/// `s` evenly spread sources over `g`'s vertex range (deterministic, so
+/// every mode traverses the identical workload).
+fn spread_sources(g: &CsrGraph, s: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    (0..s).map(|i| ((i * n) / s) as u32).collect()
+}
+
+fn bench_modes(c: &mut Criterion, label: &str, g: &CsrGraph, s: usize) {
+    let sources = spread_sources(g, s);
+    let mut group = c.benchmark_group(format!("msbfs/{label}"));
+    group.sample_size(10);
+    group.bench_function("per_source", |b| {
+        b.iter(|| black_box(bfs_multi_source(g, &sources)))
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| black_box(bfs_batched(g, &sources)))
+    });
+    group.bench_function("direction_opt_serialized", |b| {
+        b.iter(|| {
+            for &src in &sources {
+                black_box(bfs_direction_opt(g, src));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_msbfs(c: &mut Criterion) {
+    // The Table 6 acceptance configuration: kron graph, s = 50.
+    let kron_g = kron(13, 12, 2);
+    bench_modes(c, "kron_s50", &kron_g, 50);
+
+    // Mid-diameter mesh: batching still amortizes, fewer lanes per level.
+    let grid = grid2d(160, 125);
+    bench_modes(c, "grid_s50", &grid, 50);
+
+    // High-diameter road-like graph: the planner's per-source regime.
+    let road = geometric(20_000, 3.0, 3);
+    bench_modes(c, "road_s50", &road, 50);
+
+    // Lane-word boundary: 64 vs 65 sources doubles the word count.
+    bench_modes(c, "kron_s64", &kron_g, 64);
+    bench_modes(c, "kron_s65", &kron_g, 65);
+}
+
+criterion_group!(benches, bench_msbfs);
+criterion_main!(benches);

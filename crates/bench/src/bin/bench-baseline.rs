@@ -1,0 +1,211 @@
+//! `bench-baseline` — merge per-run reports and a BFS-mode shoot-out into
+//! one perf-baseline JSON artifact (`BENCH_pr3.json`).
+//!
+//! CI runs `parhde-layout --json-report` on the three pseudo-inputs, then
+//! this tool to (a) fold those run reports into a single document via
+//! `parhde_bench::reports` and (b) measure the three BFS-phase execution
+//! modes head-to-head on kron / grid / road generators — the acceptance
+//! check that the batched kernel beats `bfs_multi_source` wall-clock on a
+//! kron graph with `s = 50`. The resulting file is uploaded as a CI
+//! artifact so later PRs can diff against it.
+//!
+//! ```text
+//! bench-baseline --out BENCH_pr3.json [--skip-kernel-bench] [report.json ...]
+//! ```
+
+use parhde_bench::reports;
+use parhde_bfs::batch::bfs_batched;
+use parhde_bfs::direction_opt::bfs_direction_opt;
+use parhde_bfs::multi::bfs_multi_source;
+use parhde_graph::gen::{geometric, grid2d, kron};
+use parhde_graph::CsrGraph;
+use parhde_trace::json::{escape, number};
+use parhde_trace::RunReport;
+use parhde_util::Timer;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// Best-of-`reps` wall seconds for one closure.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Timer::start();
+        f();
+        best = best.min(t.seconds());
+    }
+    best
+}
+
+/// One graph's three-mode measurement.
+struct ModeTiming {
+    label: &'static str,
+    n: usize,
+    m: usize,
+    s: usize,
+    per_source_s: f64,
+    batched_s: f64,
+    direction_opt_s: f64,
+}
+
+impl ModeTiming {
+    fn measure(label: &'static str, g: &CsrGraph, s: usize, reps: usize) -> Self {
+        let n = g.num_vertices();
+        let sources: Vec<u32> = (0..s).map(|i| ((i * n) / s) as u32).collect();
+        let per_source_s = best_of(reps, || {
+            std::hint::black_box(bfs_multi_source(g, &sources));
+        });
+        let batched_s = best_of(reps, || {
+            std::hint::black_box(bfs_batched(g, &sources));
+        });
+        let direction_opt_s = best_of(reps, || {
+            for &src in &sources {
+                std::hint::black_box(bfs_direction_opt(g, src));
+            }
+        });
+        Self {
+            label,
+            n,
+            m: g.num_edges(),
+            s,
+            per_source_s,
+            batched_s,
+            direction_opt_s,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"s\":{},\
+             \"per_source_s\":{},\"batched_s\":{},\"direction_opt_s\":{},\
+             \"batched_speedup_vs_per_source\":{}}}",
+            escape(self.label),
+            self.n,
+            self.m,
+            self.s,
+            number(self.per_source_s),
+            number(self.batched_s),
+            number(self.direction_opt_s),
+            number(self.per_source_s / self.batched_s),
+        )
+    }
+}
+
+/// Renders one embedded run report as a JSON object (reusing the report's
+/// own serialization, which is itself a JSON document).
+fn embedded_report(path: &Path, report: &RunReport) -> String {
+    format!(
+        "{{\"path\":\"{}\",\"summary\":\"{}\",\"report\":{}}}",
+        escape(&path.display().to_string()),
+        escape(reports::summarize(report).trim_end()),
+        report.to_json().trim_end()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut skip_kernel = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench-baseline --out BENCH.json \
+                     [--skip-kernel-bench] [report.json ...]"
+                );
+                exit(0);
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => out = Some(PathBuf::from(v)),
+                    None => {
+                        eprintln!("bench-baseline: missing value for --out");
+                        exit(2);
+                    }
+                }
+            }
+            "--skip-kernel-bench" => skip_kernel = true,
+            other => inputs.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    let Some(out) = out else {
+        eprintln!("bench-baseline: --out is required");
+        exit(2);
+    };
+
+    // Load and validate every run report; a malformed report is a hard
+    // error (the artifact must stay diffable).
+    let mut embedded = Vec::new();
+    for path in &inputs {
+        match reports::load(path) {
+            Ok(r) => {
+                eprintln!("{}", reports::summarize(&r).trim_end());
+                embedded.push(embedded_report(path, &r));
+            }
+            Err(e) => {
+                eprintln!("bench-baseline: {}: {e}", path.display());
+                exit(2);
+            }
+        }
+    }
+
+    // The kernel shoot-out: the three planner modes on the three decision
+    // families. Kept deliberately small so CI pays seconds, not minutes.
+    let mut timings = Vec::new();
+    if !skip_kernel {
+        let reps = 3;
+        let kron_g = kron(13, 12, 2);
+        timings.push(ModeTiming::measure("kron_scale13_ef12", &kron_g, 50, reps));
+        timings.push(ModeTiming::measure(
+            "grid_160x125",
+            &grid2d(160, 125),
+            50,
+            reps,
+        ));
+        timings.push(ModeTiming::measure(
+            "road_geometric_20k",
+            &geometric(20_000, 3.0, 3),
+            50,
+            reps,
+        ));
+        for t in &timings {
+            eprintln!(
+                "{}: per_source {:.1} ms, batched {:.1} ms ({:.2}x), \
+                 direction_opt {:.1} ms",
+                t.label,
+                t.per_source_s * 1e3,
+                t.batched_s * 1e3,
+                t.per_source_s / t.batched_s,
+                t.direction_opt_s * 1e3,
+            );
+        }
+        // The acceptance criterion this artifact exists to witness.
+        let kron_timing = &timings[0];
+        if kron_timing.batched_s >= kron_timing.per_source_s {
+            eprintln!(
+                "bench-baseline: WARNING: batched ({:.1} ms) did not beat \
+                 per-source ({:.1} ms) on {}",
+                kron_timing.batched_s * 1e3,
+                kron_timing.per_source_s * 1e3,
+                kron_timing.label,
+            );
+        }
+    }
+
+    let doc = format!(
+        "{{\n  \"schema\": \"parhde-bench-baseline\",\n  \"version\": 1,\n  \
+         \"threads\": {},\n  \"bfs_mode_timings\": [{}],\n  \
+         \"runs\": [{}]\n}}\n",
+        rayon::current_num_threads(),
+        timings.iter().map(ModeTiming::to_json).collect::<Vec<_>>().join(","),
+        embedded.join(","),
+    );
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("bench-baseline: cannot write {}: {e}", out.display());
+        exit(2);
+    }
+    println!("wrote {}", out.display());
+}

@@ -17,6 +17,9 @@
 //!   --algo parhde|phde|pivotmds|multilevel   (default parhde)
 //!   --subspace <s>         pivot count (default 50)
 //!   --random-pivots        uniform random pivots instead of k-centers
+//!   --bfs-mode <mode>      auto|direction-opt|per-source|batched — BFS-phase
+//!                          execution mode (default auto: the planner picks
+//!                          from n, m, s and the thread count)
 //!   --cgs                  Classical Gram-Schmidt DOrtho
 //!   --plain-ortho          plain orthogonalization (eigen-projection)
 //!   --seed <u64>           PRNG seed (default 0x9a7de)
@@ -38,7 +41,7 @@
 //! percentages in the Chrome trace match it because both views are fed by
 //! the same `PhaseSpan` intervals.
 
-use parhde::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use parhde::config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 use parhde::multilevel::{multilevel_hde, MultilevelConfig};
 use parhde::phde::PhdeConfig;
 use parhde::{try_par_hde, try_phde, try_pivot_mds, HdeError, HdeStats, Layout};
@@ -164,6 +167,9 @@ fn absorb_stats(em: &mut Emitter, stats: &HdeStats) {
         .collect();
     em.report.grouped = stats.grouped().entries();
     em.report.warnings = stats.warnings.iter().map(|w| w.to_string()).collect();
+    if let Some(mode) = stats.bfs_mode {
+        em.report.config.push(("bfs_mode_executed".into(), mode.into()));
+    }
 }
 
 /// Prints the per-phase wall-time split — the textual Figure 3.
@@ -240,6 +246,7 @@ fn run() {
     let mut algo = "parhde".to_string();
     let mut subspace = 50usize;
     let mut pivots = PivotStrategy::KCenters;
+    let mut bfs_mode = BfsMode::Auto;
     let mut ortho = OrthoMethod::Mgs;
     let mut d_orthogonalize = true;
     let mut seed = 0x9a_7deu64;
@@ -274,6 +281,7 @@ fn run() {
             "--algo" => algo = value!(),
             "--subspace" => subspace = parsed!("--subspace"),
             "--random-pivots" => pivots = PivotStrategy::Random,
+            "--bfs-mode" => bfs_mode = parsed!("--bfs-mode"),
             "--cgs" => ortho = OrthoMethod::Cgs,
             "--plain-ortho" => d_orthogonalize = false,
             "--seed" => seed = parsed!("--seed"),
@@ -312,6 +320,7 @@ fn run() {
         ("algo".into(), algo.clone()),
         ("subspace".into(), subspace.to_string()),
         ("pivots".into(), format!("{pivots:?}")),
+        ("bfs_mode".into(), format!("{bfs_mode:?}")),
         ("ortho".into(), format!("{ortho:?}")),
         ("d_orthogonalize".into(), d_orthogonalize.to_string()),
         ("seed".into(), seed.to_string()),
@@ -370,6 +379,7 @@ fn run() {
     let cfg = ParHdeConfig {
         subspace: subspace.min(g.num_vertices() / 2).max(2),
         pivots,
+        bfs_mode,
         ortho,
         d_orthogonalize,
         seed,

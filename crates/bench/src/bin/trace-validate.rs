@@ -16,11 +16,14 @@
 
 use std::process::exit;
 
+/// Schema checker signature shared by all three artifact formats.
+type Checker = fn(&str) -> Result<(), String>;
+
 /// One validation job: the flag it came from, the path, and the checker.
 struct Job {
     kind: &'static str,
     path: String,
-    check: fn(&str) -> Result<(), String>,
+    check: Checker,
 }
 
 fn main() {
@@ -35,7 +38,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
-        let (kind, check): (&'static str, fn(&str) -> Result<(), String>) = match flag {
+        let (kind, check): (&'static str, Checker) = match flag {
             "--chrome" => ("chrome", parhde_trace::chrome::validate),
             "--ndjson" => ("ndjson", parhde_trace::ndjson::validate),
             "--report" => ("report", parhde_trace::RunReport::validate),

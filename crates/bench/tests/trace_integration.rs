@@ -33,7 +33,7 @@ fn trace_phase_seconds_agree_with_stats_breakdown() {
     let trace = session.finish();
 
     let traced: HashMap<String, f64> = trace.phase_seconds().into_iter().collect();
-    assert!(stats.phases.len() > 0, "pipeline recorded no phases");
+    assert!(!stats.phases.is_empty(), "pipeline recorded no phases");
     for (name, d) in stats.phases.iter() {
         let wall = d.as_secs_f64();
         let span = *traced

@@ -8,6 +8,34 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of `u64` lane words needed to hold `lanes` one-bit BFS lanes
+/// (`⌈lanes/64⌉`). The batched multi-source kernel allocates
+/// `n × lane_words(s)` words per bit-vector.
+#[inline]
+pub fn lane_words(lanes: usize) -> usize {
+    lanes.div_ceil(64)
+}
+
+/// Splits a lane index into its `(word, bit mask)` coordinates within a
+/// per-vertex row of lane words.
+#[inline]
+pub fn lane_coords(lane: usize) -> (usize, u64) {
+    (lane / 64, 1u64 << (lane % 64))
+}
+
+/// Calls `f(lane)` for every set bit of `word`, where `word` is the
+/// `word_index`-th lane word of a row (so bit `b` is lane
+/// `word_index * 64 + b`). Iterates set bits only, ascending.
+#[inline]
+pub fn for_each_lane(word: u64, word_index: usize, mut f: impl FnMut(usize)) {
+    let mut bits = word;
+    while bits != 0 {
+        let b = bits.trailing_zeros() as usize;
+        f(word_index * 64 + b);
+        bits &= bits - 1;
+    }
+}
+
 /// A fixed-capacity concurrent bitmap over vertex ids.
 ///
 /// `set` uses a relaxed `fetch_or`; readers use relaxed loads. BFS level
@@ -150,5 +178,34 @@ mod tests {
         let bm = AtomicBitmap::new(0);
         assert!(bm.is_empty());
         assert_eq!(bm.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn lane_words_rounds_up() {
+        assert_eq!(lane_words(0), 0);
+        assert_eq!(lane_words(1), 1);
+        assert_eq!(lane_words(63), 1);
+        assert_eq!(lane_words(64), 1);
+        assert_eq!(lane_words(65), 2);
+        assert_eq!(lane_words(128), 2);
+        assert_eq!(lane_words(129), 3);
+    }
+
+    #[test]
+    fn lane_coords_roundtrip() {
+        for lane in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            let (w, mask) = lane_coords(lane);
+            assert_eq!(w * 64 + mask.trailing_zeros() as usize, lane);
+            assert_eq!(mask.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn for_each_lane_visits_set_bits_ascending() {
+        let word = (1u64 << 3) | (1 << 40) | (1 << 63);
+        let mut seen = Vec::new();
+        for_each_lane(word, 2, |lane| seen.push(lane));
+        assert_eq!(seen, vec![128 + 3, 128 + 40, 128 + 63]);
+        for_each_lane(0, 5, |_| panic!("no bits set"));
     }
 }

@@ -18,9 +18,17 @@
 //!   two, plus traversal statistics (edge-scan counts) that expose the
 //!   work-reduction factor γ of Table 1;
 //! * [`multi`] — concurrently running independent BFSes (one sequential BFS
-//!   per thread), the random-pivot execution mode of Table 6;
+//!   per thread), the original random-pivot execution mode of Table 6;
+//! * [`batch`] — bit-parallel batched multi-source BFS: up to 64 sources
+//!   per `u64` lane word advance through one shared graph sweep (MS-BFS),
+//!   so edge data is streamed once per level instead of once per source;
 //! * [`frontier`] — the shared frontier containers (chunked queue, atomic
-//!   bitmap).
+//!   bitmap, lane-word helpers).
+//!
+//! Callers producing a distance matrix should not pick among [`serial`],
+//! [`multi`] and [`batch`] by hand: the `parhde` crate's BFS-phase planner
+//! (`parhde::bfs_phase::plan_bfs_phase`) selects the mode from `n`, `m`,
+//! `s` and the thread count, and is the advertised entry point.
 //!
 //! Distances are `u32`; unreached vertices get [`UNREACHED`].
 //!
@@ -39,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bottom_up;
 pub mod direction_opt;
 pub mod frontier;

@@ -10,6 +10,19 @@
 //! schedules the sources across threads. It wins for small graphs and when
 //! `s` exceeds the thread count, because it has no per-level synchronization
 //! overhead.
+//!
+//! # When this mode loses
+//!
+//! Parallelism here is *only* across sources, so whenever
+//! `sources.len() < threads` the surplus cores sit idle for the whole
+//! phase — each BFS is sequential and cannot be subdivided. And even at
+//! full occupancy every traversal streams the entire CSR independently, so
+//! the edge array is pulled through the cache hierarchy `s` times where the
+//! batched kernel ([`crate::batch`]) streams it once per level. Callers
+//! should not select this function directly: the `parhde` crate's BFS-phase
+//! planner (`parhde::bfs_phase::plan_bfs_phase`) is the advertised entry
+//! point and picks per-source execution only in the regimes where it
+//! actually wins (tiny graphs; high-diameter graphs with `s ≥ threads`).
 
 use crate::serial::bfs_serial;
 use crate::{BfsResult, UNREACHED};

@@ -1,0 +1,171 @@
+//! Equivalence suite for the batched multi-source BFS kernel: on **every**
+//! generator in `parhde_graph::gen` — connected families and disconnected
+//! poison inputs alike — the distance columns written by
+//! `bfs_batched_into_f64` must be bit-identical to a per-source
+//! `bfs_serial` reference (with `f64::INFINITY` for unreached vertices).
+//!
+//! Distances are small integers, exactly representable in `f64`, so
+//! "bit-identical" is the right bar — any deviation is a traversal bug,
+//! not roundoff. A deterministic randomized sweep drives batch widths 1,
+//! 63, 64 and 65 (the lane-word boundaries) over random source multisets;
+//! the proptest twin over arbitrary messy graphs lives in the workspace
+//! property suite (`tests/tests/props.rs`).
+
+use parhde_bfs::batch::bfs_batched_into_f64;
+use parhde_bfs::serial::bfs_serial;
+use parhde_bfs::UNREACHED;
+use parhde_graph::gen::{
+    barth5_like, binary_tree, chain, complete, cycle, geometric, grid2d, kron,
+    mesh_with_holes, poison, pref_attach, star, urand, web_locality,
+};
+use parhde_graph::CsrGraph;
+use parhde_util::Xoshiro256StarStar;
+
+/// Serial-reference distance column for one source, in the f64-with-∞
+/// convention of the `*_into_f64` kernels.
+fn reference_column(g: &CsrGraph, source: u32) -> Vec<f64> {
+    bfs_serial(g, source)
+        .dist
+        .iter()
+        .map(|&d| if d == UNREACHED { f64::INFINITY } else { d as f64 })
+        .collect()
+}
+
+/// Asserts the batched kernel matches the serial reference bit-for-bit for
+/// the given sources. Columns are primed with a poison pattern so stale
+/// values cannot masquerade as correct output.
+fn assert_batch_matches_serial(g: &CsrGraph, sources: &[u32], label: &str) {
+    let n = g.num_vertices();
+    let mut buf = vec![-7.25f64; n.max(1) * sources.len()];
+    let mut cols: Vec<&mut [f64]> = buf.chunks_mut(n.max(1)).collect();
+    if n == 0 {
+        assert!(sources.is_empty(), "no valid sources exist for an empty graph");
+        return;
+    }
+    let stats = bfs_batched_into_f64(g, sources, &mut cols);
+    assert_eq!(stats.lanes, sources.len(), "{label}: lane count");
+    assert_eq!(stats.words, sources.len().div_ceil(64), "{label}: word count");
+    for (i, &src) in sources.iter().enumerate() {
+        let got = &buf[i * n..i * n + n];
+        let want = reference_column(g, src);
+        // Bitwise comparison: f64::to_bits equality, not approximate.
+        for v in 0..n {
+            assert_eq!(
+                got[v].to_bits(),
+                want[v].to_bits(),
+                "{label}: source {src} (lane {i}), vertex {v}: \
+                 batched {} vs serial {}",
+                got[v],
+                want[v]
+            );
+        }
+        let reached_ref = want.iter().filter(|d| d.is_finite()).count();
+        assert_eq!(stats.reached[i], reached_ref, "{label}: reached count");
+    }
+}
+
+/// A deterministic source multiset of the given width (duplicates allowed —
+/// every lane must still be independent).
+fn random_sources(n: usize, width: usize, rng: &mut Xoshiro256StarStar) -> Vec<u32> {
+    (0..width).map(|_| rng.next_index(n) as u32).collect()
+}
+
+/// Every generator family at small-but-nontrivial sizes, including the
+/// disconnected poison inputs.
+fn generator_zoo() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("chain", chain(257)),
+        ("cycle", cycle(100)),
+        ("star", star(65)),
+        ("complete", complete(40)),
+        ("binary_tree", binary_tree(127)),
+        ("grid2d", grid2d(17, 23)),
+        ("geometric", geometric(400, 6.0, 42)),
+        ("kron", kron(8, 8, 1)),
+        ("mesh_with_holes", mesh_with_holes(20, 20, &[])),
+        ("barth5_like", barth5_like()),
+        ("pref_attach", pref_attach(300, 3, 5)),
+        ("urand", urand(350, 8, 9)),
+        ("web_locality", web_locality(300, 6, 13)),
+        ("poison.singleton", poison::singleton()),
+        ("poison.isolated", poison::isolated(90)),
+        ("poison.two_paths", poison::two_paths(40, 25)),
+        ("poison.grid_with_stragglers", poison::grid_with_stragglers(9, 7)),
+        ("poison.many_cycles", poison::many_cycles(6, 11)),
+    ]
+}
+
+#[test]
+fn batched_matches_serial_on_every_generator() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xba7c4);
+    for (label, g) in generator_zoo() {
+        let n = g.num_vertices();
+        let width = 12.min(n);
+        let sources = random_sources(n, width, &mut rng);
+        assert_batch_matches_serial(&g, &sources, label);
+    }
+}
+
+#[test]
+fn batched_matches_serial_at_word_boundary_widths() {
+    // Widths 1, 63, 64 straddle the single-word fast path; 65 forces the
+    // multi-word path with a nearly empty second word.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5eed);
+    let graphs = [
+        ("kron", kron(8, 10, 3)),
+        ("grid2d", grid2d(16, 16)),
+        ("poison.two_paths", poison::two_paths(70, 70)),
+    ];
+    for (label, g) in &graphs {
+        let n = g.num_vertices();
+        for width in [1usize, 63, 64, 65] {
+            let sources = random_sources(n, width, &mut rng);
+            let label = format!("{label}/width={width}");
+            assert_batch_matches_serial(g, &sources, &label);
+        }
+    }
+}
+
+#[test]
+fn disconnected_lanes_are_infinity_not_garbage() {
+    // Two components: sources in component A must see ∞ for all of B, and
+    // vice versa, in the same batch.
+    let g = poison::two_paths(30, 20);
+    let sources = [0u32, 29, 30, 49];
+    let n = g.num_vertices();
+    let mut buf = vec![0.0f64; n * sources.len()];
+    let mut cols: Vec<&mut [f64]> = buf.chunks_mut(n).collect();
+    let stats = bfs_batched_into_f64(&g, &sources, &mut cols);
+    assert_eq!(stats.reached, vec![30, 30, 20, 20]);
+    for (i, &src) in sources.iter().enumerate() {
+        let col = &buf[i * n..(i + 1) * n];
+        let in_a = (src as usize) < 30;
+        for (v, d) in col.iter().enumerate() {
+            let same_side = (v < 30) == in_a;
+            assert_eq!(d.is_finite(), same_side, "source {src}, vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn isolated_vertices_batch_is_all_infinity_off_diagonal() {
+    let g = poison::isolated(70);
+    let sources: Vec<u32> = (0..65).collect();
+    let n = g.num_vertices();
+    let mut buf = vec![1.5f64; n * sources.len()];
+    let mut cols: Vec<&mut [f64]> = buf.chunks_mut(n).collect();
+    let stats = bfs_batched_into_f64(&g, &sources, &mut cols);
+    assert_eq!(stats.words, 2);
+    assert_eq!(stats.levels, 1);
+    assert_eq!(stats.reached, vec![1usize; 65]);
+    for (i, &src) in sources.iter().enumerate() {
+        let col = &buf[i * n..(i + 1) * n];
+        for (v, &d) in col.iter().enumerate() {
+            if v == src as usize {
+                assert_eq!(d, 0.0);
+            } else {
+                assert!(d.is_infinite() && d > 0.0, "lane {i} vertex {v}: {d}");
+            }
+        }
+    }
+}

@@ -5,25 +5,195 @@
 //! farthest-first k-centers heuristic or uniformly at random. This module
 //! hosts that phase once; the pipelines differ only in what they do with
 //! `B` afterwards.
+//!
+//! # The planner
+//!
+//! Three execution modes can fill the columns, with very different
+//! constants (DESIGN.md §10):
+//!
+//! * **direction-opt** — each traversal is the internally parallel
+//!   direction-optimizing BFS, traversals serialized. Mandatory for
+//!   k-centers pivots (the next pivot depends on the previous distances);
+//!   for random pivots it only wins when `s` is small relative to the
+//!   thread count, since each BFS can use the whole machine.
+//! * **per-source** — one sequential queue BFS per source, sources
+//!   scheduled across threads ([`parhde_bfs::multi`]). No per-level
+//!   synchronization, but the CSR is streamed `s` times and cores idle
+//!   whenever `s` is below the thread count.
+//! * **batched** — the bit-parallel MS-BFS kernel
+//!   ([`parhde_bfs::batch`]): all sources advance through one shared sweep,
+//!   64 lanes per word, so edge data is streamed once per *level* instead
+//!   of once per *source*.
+//!
+//! [`plan_bfs_phase`] picks among them from `n`, `m`, `s` and the rayon
+//! thread count; [`crate::config::BfsMode`] forces a specific mode. This
+//! planner is the advertised entry point for multi-source distance-matrix
+//! construction — pipelines should not call the `parhde_bfs` kernels
+//! directly.
 
-use crate::config::PivotStrategy;
+use crate::config::{BfsMode, PivotStrategy};
 use crate::error::HdeError;
 use crate::pivots::{farthest_vertex, fold_min_distance};
 use crate::stats::{phase, HdeStats, PhaseSpan};
+use parhde_bfs::batch::bfs_batched_into_f64;
 use parhde_bfs::direction_opt::bfs_direction_opt_into_f64;
+use parhde_bfs::frontier::lane_words;
 use parhde_bfs::multi::bfs_multi_source_into_f64;
 use parhde_bfs::serial::bfs_serial_into_f64;
 use parhde_graph::CsrGraph;
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_util::Xoshiro256StarStar;
 
+/// A concrete BFS execution mode chosen by the planner (the resolution of
+/// [`BfsMode`], which may be `Auto`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannedBfsMode {
+    /// Internally parallel direction-optimizing BFS, one source at a time.
+    DirectionOpt,
+    /// Independent sequential BFSes scheduled across threads.
+    PerSource,
+    /// Bit-parallel batched multi-source BFS (shared sweep).
+    Batched,
+}
+
+impl PlannedBfsMode {
+    /// Stable lowercase label used in stats, trace counters and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannedBfsMode::DirectionOpt => "direction_opt",
+            PlannedBfsMode::PerSource => "per_source",
+            PlannedBfsMode::Batched => "batched",
+        }
+    }
+}
+
+/// The planner's decision for one BFS phase: the mode plus the batch
+/// geometry it implies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsPlan {
+    /// Chosen execution mode.
+    pub mode: PlannedBfsMode,
+    /// Bit lanes a batched run would use (= `s`).
+    pub lanes: usize,
+    /// Lane words per vertex row (`⌈s/64⌉`).
+    pub words: usize,
+    /// One-line justification, surfaced through trace warnings/reports.
+    pub reason: &'static str,
+}
+
+/// Graphs at or below this vertex count are traversed per-source: every
+/// working set is cache-resident and the batch bit-plumbing costs more than
+/// it saves.
+const TINY_GRAPH_N: usize = 4096;
+
+/// Average-degree threshold below which a graph is presumed high-diameter
+/// (roads, grids, meshes): a shared sweep then pays ~diameter frontier
+/// rounds, and independent per-source traversals win (paper Table 6).
+const LOW_DEGREE_AVG: f64 = 4.0;
+
+/// Minimum source count for the batched kernel to amortize its shared
+/// sweeps (below this, too few lanes share each word operation).
+const MIN_BATCH_LANES: usize = 8;
+
+/// Picks the BFS execution mode for a random-pivot phase with `s` sources
+/// on a graph of `n` vertices and `m` undirected edges, given `threads`
+/// rayon workers. A non-`Auto` `knob` forces that mode.
+///
+/// Decision table (in order, first match wins — see DESIGN.md §10):
+///
+/// | condition | mode |
+/// |---|---|
+/// | knob forced | that mode |
+/// | `n ≤ 4096` | per-source |
+/// | `2m/n < 4` (high-diameter proxy) | per-source if `s ≥ threads`, else direction-opt |
+/// | `s ≥ 8` | batched |
+/// | `s < threads` | direction-opt |
+/// | otherwise | per-source |
+pub fn plan_bfs_phase(
+    n: usize,
+    m: usize,
+    s: usize,
+    threads: usize,
+    knob: BfsMode,
+) -> BfsPlan {
+    let lanes = s;
+    let words = lane_words(s);
+    let plan = |mode, reason| BfsPlan { mode, lanes, words, reason };
+    match knob {
+        BfsMode::DirectionOpt => {
+            plan(PlannedBfsMode::DirectionOpt, "forced by BfsMode::DirectionOpt")
+        }
+        BfsMode::PerSource => {
+            plan(PlannedBfsMode::PerSource, "forced by BfsMode::PerSource")
+        }
+        BfsMode::Batched => plan(PlannedBfsMode::Batched, "forced by BfsMode::Batched"),
+        BfsMode::Auto => {
+            let avg_deg = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+            if n <= TINY_GRAPH_N {
+                plan(
+                    PlannedBfsMode::PerSource,
+                    "tiny graph: traversals are cache-resident, no sync overhead",
+                )
+            } else if avg_deg < LOW_DEGREE_AVG {
+                if s >= threads {
+                    plan(
+                        PlannedBfsMode::PerSource,
+                        "high-diameter graph with s >= threads: independent BFSes \
+                         saturate the pool without per-level rounds",
+                    )
+                } else {
+                    plan(
+                        PlannedBfsMode::DirectionOpt,
+                        "high-diameter graph with s < threads: only an internally \
+                         parallel BFS keeps all cores busy",
+                    )
+                }
+            } else if s >= MIN_BATCH_LANES {
+                plan(
+                    PlannedBfsMode::Batched,
+                    "low-diameter graph, enough lanes to amortize shared sweeps",
+                )
+            } else if s < threads {
+                plan(
+                    PlannedBfsMode::DirectionOpt,
+                    "few sources: per-source scheduling would idle cores",
+                )
+            } else {
+                plan(
+                    PlannedBfsMode::PerSource,
+                    "few lanes, s >= threads: independent BFSes fill the pool",
+                )
+            }
+        }
+    }
+}
+
+/// Emits the chosen mode and batch geometry as trace counters so run
+/// reports explain the planner's decision.
+fn trace_plan(plan: &BfsPlan) {
+    if !parhde_trace::enabled() {
+        return;
+    }
+    let mode_counter = match plan.mode {
+        PlannedBfsMode::DirectionOpt => "bfs.mode.direction_opt",
+        PlannedBfsMode::PerSource => "bfs.mode.per_source",
+        PlannedBfsMode::Batched => "bfs.mode.batched",
+    };
+    parhde_trace::counter!(mode_counter, 1);
+    if plan.mode == PlannedBfsMode::Batched {
+        parhde_trace::counter!("bfs.plan.lanes", plan.lanes as u64);
+        parhde_trace::counter!("bfs.plan.words", plan.words as u64);
+    }
+}
+
 /// Runs the BFS phase: fills and returns `B` (one distance column per
-/// pivot), recording pivots, phase times, and traversal statistics into
-/// `stats`. `rng` supplies the random start vertex / random pivots.
+/// pivot), recording pivots, the executed BFS mode, phase times, and
+/// traversal statistics into `stats`. `rng` supplies the random start
+/// vertex / random pivots; `mode` is the user-facing planner knob.
 ///
 /// When `parallel_bfs` is false every traversal is the sequential queue
-/// BFS (the prior-work configuration of Table 3); the k-centers strategy is
-/// otherwise identical.
+/// BFS (the prior-work configuration of Table 3) regardless of `mode`; the
+/// k-centers strategy is otherwise identical.
 ///
 /// # Errors
 /// [`HdeError::Disconnected`] if a traversal fails to reach every vertex.
@@ -31,6 +201,7 @@ pub(crate) fn run_bfs_phase(
     g: &CsrGraph,
     s: usize,
     strategy: PivotStrategy,
+    mode: BfsMode,
     rng: &mut Xoshiro256StarStar,
     parallel_bfs: bool,
     stats: &mut HdeStats,
@@ -39,18 +210,33 @@ pub(crate) fn run_bfs_phase(
     let mut b = ColMajorMatrix::zeros(n, s);
     match strategy {
         PivotStrategy::KCenters => {
+            // K-centers pivots are sequentially dependent, so the batched
+            // kernel cannot apply; the per-pivot choice is serial vs
+            // direction-optimizing.
+            if mode == BfsMode::Batched {
+                parhde_trace::warning(
+                    "k-centers pivots are sequentially dependent; batched BFS \
+                     unavailable, using direction-optimizing BFS",
+                );
+            }
+            let serial_each = !parallel_bfs || mode == BfsMode::PerSource;
+            stats.bfs_mode = Some(if serial_each {
+                PlannedBfsMode::PerSource.label()
+            } else {
+                PlannedBfsMode::DirectionOpt.label()
+            });
             let mut min_dist = vec![f64::INFINITY; n];
             let mut src = rng.next_index(n) as u32;
             for i in 0..s {
                 stats.sources.push(src);
                 let ph = PhaseSpan::begin(phase::BFS);
-                let reached = if parallel_bfs {
+                let reached = if serial_each {
+                    bfs_serial_into_f64(g, src, b.col_mut(i))
+                } else {
                     let (reached, trav) =
                         bfs_direction_opt_into_f64(g, src, b.col_mut(i));
                     crate::parhde::accumulate(&mut stats.traversal, trav);
                     reached
-                } else {
-                    bfs_serial_into_f64(g, src, b.col_mut(i))
                 };
                 ph.end(&mut stats.phases);
                 if reached != n {
@@ -70,13 +256,45 @@ pub(crate) fn run_bfs_phase(
                 .map(|v| v as u32)
                 .collect();
             stats.sources = sources.clone();
+            let knob = if parallel_bfs { mode } else { BfsMode::PerSource };
+            let plan = plan_bfs_phase(
+                n,
+                g.num_edges(),
+                s,
+                rayon::current_num_threads(),
+                knob,
+            );
+            stats.bfs_mode = Some(plan.mode.label());
+            trace_plan(&plan);
             ph.end(&mut stats.phases);
             let ph = PhaseSpan::begin(phase::BFS);
-            let mut cols = b.columns_mut();
-            let reached = bfs_multi_source_into_f64(g, &sources, &mut cols);
+            let reached_first = match plan.mode {
+                PlannedBfsMode::PerSource => {
+                    let mut cols = b.columns_mut();
+                    let reached = bfs_multi_source_into_f64(g, &sources, &mut cols);
+                    reached.first().copied().unwrap_or(n)
+                }
+                PlannedBfsMode::Batched => {
+                    let mut cols = b.columns_mut();
+                    let bstats = bfs_batched_into_f64(g, &sources, &mut cols);
+                    bstats.reached.first().copied().unwrap_or(n)
+                }
+                PlannedBfsMode::DirectionOpt => {
+                    let mut first = n;
+                    for (i, &src) in sources.iter().enumerate() {
+                        let (reached, trav) =
+                            bfs_direction_opt_into_f64(g, src, b.col_mut(i));
+                        crate::parhde::accumulate(&mut stats.traversal, trav);
+                        if i == 0 {
+                            first = reached;
+                        }
+                    }
+                    first
+                }
+            };
             ph.end(&mut stats.phases);
-            if reached[0] != n {
-                return Err(HdeError::Disconnected { reached: reached[0], n });
+            if reached_first != n {
+                return Err(HdeError::Disconnected { reached: reached_first, n });
             }
         }
     }
@@ -86,16 +304,26 @@ pub(crate) fn run_bfs_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parhde_graph::gen::grid2d;
+    use parhde_graph::gen::{grid2d, pref_attach};
 
     #[test]
     fn kcenters_phase_fills_all_columns() {
         let g = grid2d(10, 10);
         let mut stats = HdeStats::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let b = run_bfs_phase(&g, 5, PivotStrategy::KCenters, &mut rng, true, &mut stats).unwrap();
+        let b = run_bfs_phase(
+            &g,
+            5,
+            PivotStrategy::KCenters,
+            BfsMode::Auto,
+            &mut rng,
+            true,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(b.cols(), 5);
         assert_eq!(stats.sources.len(), 5);
+        assert_eq!(stats.bfs_mode, Some("direction_opt"));
         // Every column holds finite distances with a zero at its source.
         for (i, &src) in stats.sources.iter().enumerate() {
             assert_eq!(b.get(src as usize, i), 0.0);
@@ -110,8 +338,26 @@ mod tests {
         let mut sb = HdeStats::default();
         let mut ra = Xoshiro256StarStar::seed_from_u64(2);
         let mut rb = Xoshiro256StarStar::seed_from_u64(2);
-        let ba = run_bfs_phase(&g, 4, PivotStrategy::KCenters, &mut ra, true, &mut sa).unwrap();
-        let bb = run_bfs_phase(&g, 4, PivotStrategy::KCenters, &mut rb, false, &mut sb).unwrap();
+        let ba = run_bfs_phase(
+            &g,
+            4,
+            PivotStrategy::KCenters,
+            BfsMode::Auto,
+            &mut ra,
+            true,
+            &mut sa,
+        )
+        .unwrap();
+        let bb = run_bfs_phase(
+            &g,
+            4,
+            PivotStrategy::KCenters,
+            BfsMode::Auto,
+            &mut rb,
+            false,
+            &mut sb,
+        )
+        .unwrap();
         assert_eq!(sa.sources, sb.sources);
         assert_eq!(ba.data(), bb.data());
     }
@@ -121,8 +367,96 @@ mod tests {
         let g = grid2d(8, 8);
         let mut stats = HdeStats::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-        let _ = run_bfs_phase(&g, 6, PivotStrategy::Random, &mut rng, true, &mut stats);
+        let _ = run_bfs_phase(
+            &g,
+            6,
+            PivotStrategy::Random,
+            BfsMode::Auto,
+            &mut rng,
+            true,
+            &mut stats,
+        );
         let set: std::collections::HashSet<_> = stats.sources.iter().collect();
         assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn all_random_modes_produce_identical_matrices() {
+        let g = pref_attach(2000, 3, 7);
+        let mut reference: Option<Vec<f64>> = None;
+        for mode in [BfsMode::PerSource, BfsMode::Batched, BfsMode::DirectionOpt] {
+            let mut stats = HdeStats::default();
+            let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+            let b = run_bfs_phase(
+                &g,
+                12,
+                PivotStrategy::Random,
+                mode,
+                &mut rng,
+                true,
+                &mut stats,
+            )
+            .unwrap();
+            match &reference {
+                None => reference = Some(b.data().to_vec()),
+                Some(r) => assert_eq!(
+                    r.as_slice(),
+                    b.data(),
+                    "mode {:?} disagrees with per-source distances",
+                    mode
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn planner_decision_table() {
+        use PlannedBfsMode::*;
+        // Forced knobs always win.
+        for (knob, want) in [
+            (BfsMode::DirectionOpt, DirectionOpt),
+            (BfsMode::PerSource, PerSource),
+            (BfsMode::Batched, Batched),
+        ] {
+            assert_eq!(plan_bfs_phase(1 << 20, 1 << 23, 50, 8, knob).mode, want);
+        }
+        // Tiny graphs are always per-source.
+        assert_eq!(
+            plan_bfs_phase(1000, 100_000, 50, 64, BfsMode::Auto).mode,
+            PerSource
+        );
+        // High-diameter proxy (avg degree < 4): road-like graphs.
+        assert_eq!(
+            plan_bfs_phase(1 << 20, (1 << 20) * 3 / 2, 50, 8, BfsMode::Auto).mode,
+            PerSource
+        );
+        assert_eq!(
+            plan_bfs_phase(1 << 20, (1 << 20) * 3 / 2, 4, 8, BfsMode::Auto).mode,
+            DirectionOpt
+        );
+        // Low-diameter with mid-size s: batched.
+        let plan = plan_bfs_phase(1 << 20, 1 << 23, 50, 8, BfsMode::Auto);
+        assert_eq!(plan.mode, Batched);
+        assert_eq!(plan.lanes, 50);
+        assert_eq!(plan.words, 1);
+        // Low-diameter, few sources, many threads: direction-opt.
+        assert_eq!(
+            plan_bfs_phase(1 << 20, 1 << 23, 2, 16, BfsMode::Auto).mode,
+            DirectionOpt
+        );
+        // Low-diameter, few sources, few threads: per-source.
+        assert_eq!(
+            plan_bfs_phase(1 << 20, 1 << 23, 4, 2, BfsMode::Auto).mode,
+            PerSource
+        );
+    }
+
+    #[test]
+    fn planner_geometry_covers_word_boundaries() {
+        for (s, words) in [(1, 1), (63, 1), (64, 1), (65, 2), (129, 3)] {
+            let plan = plan_bfs_phase(1 << 20, 1 << 23, s, 8, BfsMode::Batched);
+            assert_eq!(plan.lanes, s);
+            assert_eq!(plan.words, words);
+        }
     }
 }

@@ -16,6 +16,45 @@ pub enum PivotStrategy {
     Random,
 }
 
+/// How the BFS phase executes its traversals (the planner knob).
+///
+/// The default `Auto` lets the BFS-phase planner
+/// ([`crate::bfs_phase::plan_bfs_phase`]) choose from `n`, `m`, `s` and the
+/// rayon thread count; the other variants force one mode. All modes produce
+/// bit-identical distance matrices — only the schedule differs. With
+/// k-centers pivots the batched kernel is infeasible (pivots are
+/// sequentially dependent); forcing `Batched` there falls back to
+/// direction-optimizing BFS with a trace warning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BfsMode {
+    /// Let the planner pick (default).
+    #[default]
+    Auto,
+    /// Direction-optimizing parallel BFS per source, sources serialized.
+    DirectionOpt,
+    /// One sequential queue BFS per source, sources scheduled concurrently.
+    PerSource,
+    /// Bit-parallel batched multi-source BFS (64 sources per lane word).
+    Batched,
+}
+
+impl std::str::FromStr for BfsMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(BfsMode::Auto),
+            "direction-opt" | "diropt" => Ok(BfsMode::DirectionOpt),
+            "per-source" => Ok(BfsMode::PerSource),
+            "batched" => Ok(BfsMode::Batched),
+            other => Err(format!(
+                "unknown BFS mode {other:?} (expected auto, direction-opt, \
+                 per-source or batched)"
+            )),
+        }
+    }
+}
+
 /// Which Gram-Schmidt procedure the DOrtho phase uses (Table 7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OrthoMethod {
@@ -35,6 +74,8 @@ pub struct ParHdeConfig {
     pub subspace: usize,
     /// Pivot selection strategy.
     pub pivots: PivotStrategy,
+    /// BFS execution mode for the BFS phase (default: planner-chosen).
+    pub bfs_mode: BfsMode,
     /// Gram-Schmidt variant for DOrtho.
     pub ortho: OrthoMethod,
     /// `true` (default) for D-orthogonalization — approximating the
@@ -62,6 +103,7 @@ impl Default for ParHdeConfig {
         Self {
             subspace: 10,
             pivots: PivotStrategy::KCenters,
+            bfs_mode: BfsMode::Auto,
             ortho: OrthoMethod::Mgs,
             d_orthogonalize: true,
             seed: 0x9a_7de,
@@ -120,6 +162,7 @@ mod tests {
         let c = ParHdeConfig::default();
         assert_eq!(c.subspace, 10);
         assert_eq!(c.pivots, PivotStrategy::KCenters);
+        assert_eq!(c.bfs_mode, BfsMode::Auto);
         assert_eq!(c.ortho, OrthoMethod::Mgs);
         assert!(c.d_orthogonalize);
         assert_eq!(c.drop_tolerance, 1e-3);
@@ -128,6 +171,16 @@ mod tests {
     #[test]
     fn with_subspace_overrides() {
         assert_eq!(ParHdeConfig::with_subspace(50).subspace, 50);
+    }
+
+    #[test]
+    fn bfs_mode_parses_from_str() {
+        assert_eq!("auto".parse(), Ok(BfsMode::Auto));
+        assert_eq!("direction-opt".parse(), Ok(BfsMode::DirectionOpt));
+        assert_eq!("diropt".parse(), Ok(BfsMode::DirectionOpt));
+        assert_eq!("per-source".parse(), Ok(BfsMode::PerSource));
+        assert_eq!("batched".parse(), Ok(BfsMode::Batched));
+        assert!("bogus".parse::<BfsMode>().is_err());
     }
 
     #[test]

@@ -82,7 +82,7 @@
 
 #![warn(missing_docs)]
 
-pub(crate) mod bfs_phase;
+pub mod bfs_phase;
 pub mod config;
 pub mod coupled;
 pub mod error;
@@ -101,7 +101,8 @@ pub mod stress;
 pub mod weighted;
 pub mod zoom;
 
-pub use config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+pub use bfs_phase::{plan_bfs_phase, BfsPlan, PlannedBfsMode};
+pub use config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 pub use error::{HdeError, Warning};
 pub use layout::Layout;
 pub use parhde::{par_hde, par_hde_nd, try_par_hde, try_par_hde_nd};

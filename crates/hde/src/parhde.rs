@@ -219,7 +219,7 @@ fn pipeline_once(
     ph.end(&mut stats.phases);
 
     // ---- BFS phase ------------------------------------------------------
-    let b = run_bfs_phase(g, s, cfg.pivots, &mut rng, true, stats)?;
+    let b = run_bfs_phase(g, s, cfg.pivots, cfg.bfs_mode, &mut rng, true, stats)?;
 
     // ---- Assemble S = [1/√n | B] ----------------------------------------
     let ph = PhaseSpan::begin(phase::INIT);

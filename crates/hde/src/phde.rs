@@ -10,7 +10,7 @@
 //! Other).
 
 use crate::bfs_phase::run_bfs_phase;
-use crate::config::{ParHdeConfig, PivotStrategy};
+use crate::config::{BfsMode, ParHdeConfig, PivotStrategy};
 use crate::error::{scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
@@ -31,19 +31,31 @@ pub struct PhdeConfig {
     pub subspace: usize,
     /// Pivot selection strategy.
     pub pivots: PivotStrategy,
+    /// BFS execution mode for the BFS phase (default: planner-chosen).
+    pub bfs_mode: BfsMode,
     /// PRNG seed.
     pub seed: u64,
 }
 
 impl Default for PhdeConfig {
     fn default() -> Self {
-        Self { subspace: 10, pivots: PivotStrategy::KCenters, seed: 0x9a_7de }
+        Self {
+            subspace: 10,
+            pivots: PivotStrategy::KCenters,
+            bfs_mode: BfsMode::Auto,
+            seed: 0x9a_7de,
+        }
     }
 }
 
 impl From<&ParHdeConfig> for PhdeConfig {
     fn from(c: &ParHdeConfig) -> Self {
-        Self { subspace: c.subspace, pivots: c.pivots, seed: c.seed }
+        Self {
+            subspace: c.subspace,
+            pivots: c.pivots,
+            bfs_mode: c.bfs_mode,
+            seed: c.seed,
+        }
     }
 }
 
@@ -138,7 +150,15 @@ fn run_phde(
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // BFS phase (shared with ParHDE).
-    let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats)?;
+    let mut c = run_bfs_phase(
+        g,
+        cfg.subspace,
+        cfg.pivots,
+        cfg.bfs_mode,
+        &mut rng,
+        true,
+        &mut stats,
+    )?;
 
     // Column centering: make every column zero-mean (two-phase, §3.2).
     let ph = PhaseSpan::begin(phase::COL_CENTER);

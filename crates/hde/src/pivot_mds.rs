@@ -113,7 +113,15 @@ fn run_pivot_mds(
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // BFS phase (shared).
-    let mut c = run_bfs_phase(g, cfg.subspace, cfg.pivots, &mut rng, true, &mut stats)?;
+    let mut c = run_bfs_phase(
+        g,
+        cfg.subspace,
+        cfg.pivots,
+        cfg.bfs_mode,
+        &mut rng,
+        true,
+        &mut stats,
+    )?;
 
     // Double centering of squared distances.
     let ph = PhaseSpan::begin(phase::DBL_CENTER);

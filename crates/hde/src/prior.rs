@@ -42,7 +42,7 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // Sequential BFS phase (the decisive difference).
-    let b = match run_bfs_phase(g, s, cfg.pivots, &mut rng, false, &mut stats) {
+    let b = match run_bfs_phase(g, s, cfg.pivots, cfg.bfs_mode, &mut rng, false, &mut stats) {
         Ok(b) => b,
         Err(e) => panic!("{e}"),
     };

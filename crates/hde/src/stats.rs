@@ -133,6 +133,9 @@ pub struct HdeStats {
     pub axis_eigenvalues: Vec<f64>,
     /// The pivot vertices used, in selection order.
     pub sources: Vec<u32>,
+    /// The BFS execution mode the planner resolved to (`"direction_opt"`,
+    /// `"per_source"` or `"batched"`); `None` when no BFS phase ran.
+    pub bfs_mode: Option<&'static str>,
     /// Degradations the fail-soft pipeline absorbed (empty on a clean run;
     /// always empty for the strict/panicking entry points).
     pub warnings: Vec<crate::Warning>,

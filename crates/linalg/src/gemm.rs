@@ -4,8 +4,13 @@
 //! an `s×n` and an `n×s` matrix (the paper uses MKL `dgemm` here). With
 //! `s ≤ 50` the result is tiny; the efficient schedule is a parallel
 //! reduction over row blocks, each contributing a local `s×s` partial
-//! product. Partials are combined in block order, so results are
-//! deterministic for a fixed `n`.
+//! product. The reduction is a recursive `rayon::join` over row ranges
+//! whose split points depend only on `n` (always on a `ROW_CHUNK`
+//! boundary), so the floating-point combination tree — and therefore the
+//! result, bit for bit — is independent of thread count and scheduling.
+//! No index vector or per-chunk partial collection is materialized on this
+//! hot path; each leaf owns one `s×s` accumulator and partials are summed
+//! pairwise as the recursion unwinds.
 
 use crate::dense::ColMajorMatrix;
 use rayon::prelude::*;
@@ -28,35 +33,48 @@ pub fn at_b(a: &ColMajorMatrix, b: &ColMajorMatrix) -> ColMajorMatrix {
 
     let _span = parhde_trace::span!("gemm.at_b");
     parhde_trace::counter!("gemm.flops", (2 * n * p * q) as u64);
-    let partials: Vec<Vec<f64>> = (0..n.max(1))
-        .step_by(ROW_CHUNK)
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|lo| {
-            let hi = (lo + ROW_CHUNK).min(n);
-            let mut z = vec![0.0; p * q];
-            for j in 0..q {
-                let bcol = &bdata[j * n..(j + 1) * n];
-                for i in 0..p {
-                    let acol = &adata[i * n..(i + 1) * n];
-                    let mut acc = 0.0;
-                    for r in lo..hi {
-                        acc += acol[r] * bcol[r];
-                    }
-                    z[j * p + i] += acc;
-                }
-            }
-            z
-        })
-        .collect();
-
-    let mut zdata = vec![0.0; p * q];
-    for part in partials {
-        for (zi, pi) in zdata.iter_mut().zip(part) {
-            *zi += pi;
-        }
-    }
+    let zdata = partial_at_b(adata, bdata, n, p, q, 0, n);
     ColMajorMatrix::from_data(p, q, zdata)
+}
+
+/// Computes the `p×q` partial product of rows `lo..hi` by fixed-split
+/// recursion: ranges longer than one chunk split at the `ROW_CHUNK`-aligned
+/// midpoint and combine with `rayon::join`. The tree shape is a function of
+/// `n` alone, so partials are always summed in the same order.
+fn partial_at_b(
+    adata: &[f64],
+    bdata: &[f64],
+    n: usize,
+    p: usize,
+    q: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<f64> {
+    if hi - lo <= ROW_CHUNK {
+        let mut z = vec![0.0; p * q];
+        for j in 0..q {
+            let bcol = &bdata[j * n..(j + 1) * n];
+            for i in 0..p {
+                let acol = &adata[i * n..(i + 1) * n];
+                let mut acc = 0.0;
+                for r in lo..hi {
+                    acc += acol[r] * bcol[r];
+                }
+                z[j * p + i] = acc;
+            }
+        }
+        return z;
+    }
+    let chunks = (hi - lo).div_ceil(ROW_CHUNK);
+    let mid = lo + chunks.div_ceil(2) * ROW_CHUNK;
+    let (mut left, right) = rayon::join(
+        || partial_at_b(adata, bdata, n, p, q, lo, mid),
+        || partial_at_b(adata, bdata, n, p, q, mid, hi),
+    );
+    for (l, r) in left.iter_mut().zip(right) {
+        *l += r;
+    }
+    left
 }
 
 /// Computes the tall product `Y = A·W` for column-major `A (n×p)` and a
@@ -146,6 +164,21 @@ mod tests {
         let slow = naive_at_b(&a, &b);
         for i in 0..fast.data().len() {
             assert!((fast.data()[i] - slow.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn at_b_matches_naive_across_chunk_boundaries() {
+        // Sizes straddling the ROW_CHUNK grain exercise the fixed-split
+        // recursion: exact multiples, one-off tails, and odd chunk counts.
+        for n in [2048, 2049, 4096, 6161] {
+            let a = random_matrix(n, 3, 10);
+            let b = random_matrix(n, 2, 11);
+            let fast = at_b(&a, &b);
+            let slow = naive_at_b(&a, &b);
+            for i in 0..fast.data().len() {
+                assert!((fast.data()[i] - slow.data()[i]).abs() < 1e-9, "n = {n}");
+            }
         }
     }
 

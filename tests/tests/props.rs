@@ -368,6 +368,46 @@ proptest! {
         }
     }
 
+    /// Batched multi-source BFS agrees bit-for-bit with the serial
+    /// reference on arbitrary messy graphs, for any random source multiset
+    /// at the lane-word boundary widths 1, 63, 64 and 65.
+    #[test]
+    fn batched_bfs_matches_serial(
+        g in arb_graph(),
+        width_idx in 0usize..4,
+        source_seed in any::<u64>(),
+    ) {
+        use parhde_bfs::batch::bfs_batched_into_f64;
+        let n = g.num_vertices();
+        prop_assume!(n > 0);
+        let width = [1usize, 63, 64, 65][width_idx];
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(source_seed);
+        let sources: Vec<u32> =
+            (0..width).map(|_| rng.next_index(n) as u32).collect();
+        let mut buf = vec![f64::NAN; n * width];
+        let mut cols: Vec<&mut [f64]> = buf.chunks_mut(n).collect();
+        let stats = bfs_batched_into_f64(&g, &sources, &mut cols);
+        prop_assert_eq!(stats.lanes, width);
+        for (i, &src) in sources.iter().enumerate() {
+            let reference = bfs_serial(&g, src);
+            let col = &buf[i * n..(i + 1) * n];
+            for v in 0..n {
+                let want = if reference.dist[v] == parhde_bfs::UNREACHED {
+                    f64::INFINITY
+                } else {
+                    f64::from(reference.dist[v])
+                };
+                prop_assert_eq!(
+                    col[v].to_bits(),
+                    want.to_bits(),
+                    "source {} lane {} vertex {}: batched {} vs serial {}",
+                    src, i, v, col[v], want
+                );
+            }
+            prop_assert_eq!(stats.reached[i], reference.reached);
+        }
+    }
+
     /// Percentiles are monotone in p and bounded by min/max.
     #[test]
     fn percentiles_are_monotone(

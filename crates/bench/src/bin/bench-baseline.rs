@@ -9,10 +9,19 @@
 //! kron graph with `s = 50`. The resulting file is uploaded as a CI
 //! artifact so later PRs can diff against it.
 //!
+//! `--supervision-overhead` adds a second shoot-out (`BENCH_pr4.json`):
+//! the plain `try_par_hde_nd` pipeline vs the supervised entry point with
+//! no budget set, on the same three families — the acceptance check that
+//! an unbudgeted supervised run pays under 2% for its cooperative checks,
+//! installation, and ladder bookkeeping.
+//!
 //! ```text
-//! bench-baseline --out BENCH_pr3.json [--skip-kernel-bench] [report.json ...]
+//! bench-baseline --out BENCH_pr3.json [--skip-kernel-bench]
+//!                [--supervision-overhead] [report.json ...]
 //! ```
 
+use parhde::config::ParHdeConfig;
+use parhde::{try_par_hde_nd, try_par_hde_nd_supervised, SuperviseOptions};
 use parhde_bench::reports;
 use parhde_bfs::batch::bfs_batched;
 use parhde_bfs::direction_opt::bfs_direction_opt;
@@ -90,6 +99,70 @@ impl ModeTiming {
     }
 }
 
+/// One graph's plain-vs-supervised pipeline measurement.
+struct OverheadTiming {
+    label: &'static str,
+    n: usize,
+    m: usize,
+    s: usize,
+    plain_s: f64,
+    supervised_s: f64,
+}
+
+impl OverheadTiming {
+    /// Relative cost of the unbudgeted supervised entry over the plain
+    /// pipeline, in percent (negative when noise favors the supervised run).
+    fn overhead_percent(&self) -> f64 {
+        (self.supervised_s / self.plain_s - 1.0) * 100.0
+    }
+
+    fn measure(label: &'static str, g: &CsrGraph, s: usize, reps: usize) -> Self {
+        let cfg = ParHdeConfig { subspace: s, ..ParHdeConfig::default() };
+        let opts = SuperviseOptions::default();
+        let run_plain = || {
+            std::hint::black_box(try_par_hde_nd(g, &cfg, 2).unwrap());
+        };
+        let run_supervised = || {
+            std::hint::black_box(try_par_hde_nd_supervised(g, &cfg, 2, &opts).unwrap());
+        };
+        // Warm caches and the allocator once, then interleave the two sides
+        // rep by rep so slow machine drift hits both measurements equally.
+        run_plain();
+        run_supervised();
+        let (mut plain_s, mut supervised_s) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t = Timer::start();
+            run_plain();
+            plain_s = plain_s.min(t.seconds());
+            let t = Timer::start();
+            run_supervised();
+            supervised_s = supervised_s.min(t.seconds());
+        }
+        Self {
+            label,
+            n: g.num_vertices(),
+            m: g.num_edges(),
+            s,
+            plain_s,
+            supervised_s,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"s\":{},\
+             \"plain_s\":{},\"supervised_s\":{},\"overhead_percent\":{}}}",
+            escape(self.label),
+            self.n,
+            self.m,
+            self.s,
+            number(self.plain_s),
+            number(self.supervised_s),
+            number(self.overhead_percent()),
+        )
+    }
+}
+
 /// Renders one embedded run report as a JSON object (reusing the report's
 /// own serialization, which is itself a JSON document).
 fn embedded_report(path: &Path, report: &RunReport) -> String {
@@ -106,6 +179,7 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut skip_kernel = false;
+    let mut supervision_overhead = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -127,6 +201,7 @@ fn main() {
                 }
             }
             "--skip-kernel-bench" => skip_kernel = true,
+            "--supervision-overhead" => supervision_overhead = true,
             other => inputs.push(PathBuf::from(other)),
         }
         i += 1;
@@ -195,12 +270,54 @@ fn main() {
         }
     }
 
+    // The supervision shoot-out: plain pipeline vs the unbudgeted
+    // supervised entry. Best-of-`reps` on both sides so the comparison
+    // measures machinery, not scheduler noise.
+    let mut overheads = Vec::new();
+    if supervision_overhead {
+        let reps = 9;
+        let kron_g = kron(13, 12, 2);
+        overheads.push(OverheadTiming::measure("kron_scale13_ef12", &kron_g, 50, reps));
+        overheads.push(OverheadTiming::measure(
+            "grid_160x125",
+            &grid2d(160, 125),
+            50,
+            reps,
+        ));
+        overheads.push(OverheadTiming::measure(
+            "road_geometric_20k",
+            &geometric(20_000, 3.0, 3),
+            50,
+            reps,
+        ));
+        for t in &overheads {
+            eprintln!(
+                "{}: plain {:.1} ms, supervised {:.1} ms ({:+.2}%)",
+                t.label,
+                t.plain_s * 1e3,
+                t.supervised_s * 1e3,
+                t.overhead_percent(),
+            );
+            // The acceptance criterion this measurement exists to witness.
+            if t.overhead_percent() >= 2.0 {
+                eprintln!(
+                    "bench-baseline: WARNING: supervision overhead {:.2}% \
+                     on {} exceeds the 2% target",
+                    t.overhead_percent(),
+                    t.label,
+                );
+            }
+        }
+    }
+
     let doc = format!(
         "{{\n  \"schema\": \"parhde-bench-baseline\",\n  \"version\": 1,\n  \
          \"threads\": {},\n  \"bfs_mode_timings\": [{}],\n  \
+         \"supervision_overhead\": [{}],\n  \
          \"runs\": [{}]\n}}\n",
         rayon::current_num_threads(),
         timings.iter().map(ModeTiming::to_json).collect::<Vec<_>>().join(","),
+        overheads.iter().map(OverheadTiming::to_json).collect::<Vec<_>>().join(","),
         embedded.join(","),
     );
     if let Err(e) = std::fs::write(&out, doc) {

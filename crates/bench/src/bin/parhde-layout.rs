@@ -34,7 +34,20 @@
 //!   --trace-ndjson <file>  write the span/counter stream as NDJSON
 //!   --json-report <file>   write the machine-readable run report (written
 //!                          even when the run degrades or fails)
+//!   --deadline <dur>       wall-clock budget ("2s", "500ms", "2.5" = seconds);
+//!                          algo=parhde degrades down the supervisor ladder
+//!                          instead of failing (DESIGN.md §11)
+//!   --mem-budget <bytes>   soft memory budget ("512M", "2G", "400000");
+//!                          admission may shrink the subspace up front
+//!   --checkpoint <dir>     write a post-BFS checkpoint into <dir> so an
+//!                          interrupted run can be resumed
+//!   --resume <file>        restart from a checkpoint file; the input graph,
+//!                          seed and settings must match (exit 11 otherwise)
 //! ```
+//!
+//! SIGINT/SIGTERM request cooperative cancellation: the pipeline unwinds at
+//! the next check, artifacts (JSON report, trace) are flushed, and the
+//! process exits 130. A degraded-but-successful supervised run exits 0.
 //!
 //! When any trace output is requested the per-phase breakdown table (the
 //! paper's Figure-3 split) is printed after the layout completes; the
@@ -44,7 +57,12 @@
 use parhde::config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 use parhde::multilevel::{multilevel_hde, MultilevelConfig};
 use parhde::phde::PhdeConfig;
-use parhde::{try_par_hde, try_phde, try_pivot_mds, HdeError, HdeStats, Layout};
+use parhde::{
+    try_par_hde_nd_supervised, try_par_hde_resume, try_phde, try_pivot_mds,
+    Checkpoint, CheckpointSpec, HdeError, HdeStats, Layout, SuperviseOptions,
+};
+use parhde_util::supervisor;
+use std::time::Duration;
 use parhde_draw::render::{try_render_graph, RenderOptions};
 use parhde_graph::prep::largest_component;
 use parhde_graph::report::GraphReport;
@@ -182,6 +200,39 @@ fn print_breakdown(stats: &HdeStats) {
     eprint!("{}", parhde_trace::phases::render_breakdown(&entries));
 }
 
+/// Parses a human-friendly duration: `"2s"`, `"500ms"`, `"90m"`, or a bare
+/// float meaning seconds (`"2.5"`).
+fn parse_duration(text: &str) -> Option<Duration> {
+    let t = text.trim();
+    let (num, scale) = if let Some(v) = t.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = t.strip_suffix('s') {
+        (v, 1.0)
+    } else if let Some(v) = t.strip_suffix('m') {
+        (v, 60.0)
+    } else {
+        (t, 1.0)
+    };
+    let secs: f64 = num.trim().parse().ok()?;
+    if !secs.is_finite() || secs < 0.0 {
+        return None;
+    }
+    Some(Duration::from_secs_f64(secs * scale))
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of 1024):
+/// `"512M"`, `"2G"`, `"400000"`.
+fn parse_bytes(text: &str) -> Option<u64> {
+    let t = text.trim();
+    let (num, scale) = match t.chars().last()? {
+        'k' | 'K' => (&t[..t.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&t[..t.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    num.trim().parse::<u64>().ok()?.checked_mul(scale)
+}
+
 /// Builds a graph from a `gen:` pseudo-input (`gen:kron:10:16`,
 /// `gen:grid:200x120`, `gen:pref:50000:12`).
 fn generate(spec: &str, seed: u64, em: &mut Emitter) -> CsrGraph {
@@ -221,15 +272,38 @@ fn generate(spec: &str, seed: u64, em: &mut Emitter) -> CsrGraph {
 }
 
 fn main() {
+    // SIGINT/SIGTERM set the global cancel flag; budgets built with
+    // `honoring_global_cancel` observe it at the next cooperative check and
+    // the pipeline unwinds as a typed Cancelled error (exit 130) with all
+    // requested artifacts flushed.
+    supervisor::install_signal_handlers();
     // Panic boundary: anything that escapes `run` as a panic is a bug, not
     // a user error — report it distinctly from the typed failures above.
     let outcome = std::panic::catch_unwind(run);
     if let Err(payload) = outcome {
+        if supervisor::global_cancel_requested() {
+            // A strict pipeline (e.g. multilevel) surfaces cancellation as
+            // a panic; honor the interrupt contract rather than calling
+            // the user's ^C a bug.
+            eprintln!("parhde-layout: interrupted");
+            exit(130);
+        }
         let msg = payload
             .downcast_ref::<String>()
             .map(String::as_str)
             .or_else(|| payload.downcast_ref::<&str>().copied())
             .unwrap_or("unknown panic");
+        // Strict pipelines report budget trips by panicking with the typed
+        // error's message; keep their exit codes aligned with the fail-soft
+        // paths (9 = deadline, 10 = memory) instead of claiming a bug.
+        if msg.starts_with("wall-clock deadline exceeded") {
+            eprintln!("parhde-layout: {msg}");
+            exit(9);
+        }
+        if msg.starts_with("memory budget exceeded") {
+            eprintln!("parhde-layout: {msg}");
+            exit(10);
+        }
         eprintln!("parhde-layout: internal failure (bug): {msg}");
         exit(70);
     }
@@ -256,6 +330,10 @@ fn run() {
     let mut no_png = false;
     let mut csv: Option<PathBuf> = None;
     let mut report = false;
+    let mut deadline: Option<Duration> = None;
+    let mut mem_budget: Option<u64> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -294,6 +372,16 @@ fn run() {
             "--trace" => em.chrome = Some(PathBuf::from(value!())),
             "--trace-ndjson" => em.ndjson = Some(PathBuf::from(value!())),
             "--json-report" => em.report_path = Some(PathBuf::from(value!())),
+            "--deadline" => match parse_duration(&value!()) {
+                Some(d) => deadline = Some(d),
+                None => em.fail(2, "bad --deadline (want e.g. 2s, 500ms, 2.5)"),
+            },
+            "--mem-budget" => match parse_bytes(&value!()) {
+                Some(b) => mem_budget = Some(b),
+                None => em.fail(2, "bad --mem-budget (want e.g. 512M, 2G, 400000)"),
+            },
+            "--checkpoint" => checkpoint_dir = Some(PathBuf::from(value!())),
+            "--resume" => resume_path = Some(PathBuf::from(value!())),
             other => {
                 let msg = format!("unknown option {other}");
                 em.fail(2, &msg)
@@ -325,6 +413,12 @@ fn run() {
         ("d_orthogonalize".into(), d_orthogonalize.to_string()),
         ("seed".into(), seed.to_string()),
     ];
+    if let Some(d) = deadline {
+        em.report.config.push(("deadline_seconds".into(), format!("{}", d.as_secs_f64())));
+    }
+    if let Some(b) = mem_budget {
+        em.report.config.push(("mem_budget_bytes".into(), b.to_string()));
+    }
 
     // Load: file input, or a generated pseudo-input.
     let raw: CsrGraph = if input.starts_with("gen:") {
@@ -388,18 +482,82 @@ fn run() {
 
     // Lay out (fail-soft: typed errors exit with distinct codes, absorbed
     // degradations are reported as warnings and land in the JSON report).
+    //
+    // algo=parhde runs through the supervisor (which installs its own
+    // ambient budget and owns the degradation ladder); every other path
+    // gets a manually installed budget so deadlines, memory trips and
+    // SIGINT/SIGTERM still unwind cooperatively.
+    let mut manual = supervisor::RunBudget::unbounded();
+    if let Some(d) = deadline {
+        manual = manual.with_deadline(d);
+    }
+    if let Some(b) = mem_budget {
+        manual = manual.with_mem_budget(b);
+    }
+    let manual = manual.honoring_global_cancel();
+    let _guard = if algo != "parhde" || resume_path.is_some() {
+        Some(supervisor::install(&manual))
+    } else {
+        None
+    };
     let t = Timer::start();
     let layout: Layout = match algo.as_str() {
-        "parhde" => match try_par_hde(&g, &cfg) {
-            Ok((layout, stats)) => {
-                absorb_stats(&mut em, &stats);
-                if em.active() {
-                    print_breakdown(&stats);
+        "parhde" if resume_path.is_some() => {
+            // Resume shares the cooperative checks (via the manual budget
+            // above) but not the ladder: the checkpoint pins the subspace.
+            let ckpt_path = resume_path.as_deref().unwrap();
+            let ckpt = match Checkpoint::read(ckpt_path) {
+                Ok(c) => c,
+                Err(e) => em.fail_typed(
+                    &format!("cannot resume from {}", ckpt_path.display()),
+                    &e,
+                ),
+            };
+            match try_par_hde_resume(&g, &cfg, 2, &ckpt) {
+                Ok((coords, stats)) => {
+                    absorb_stats(&mut em, &stats);
+                    if em.active() {
+                        print_breakdown(&stats);
+                    }
+                    Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec())
                 }
-                layout
+                Err(e) => em.fail_typed("resume failed", &e),
             }
-            Err(e) => em.fail_typed("layout failed", &e),
-        },
+        }
+        "parhde" => {
+            let opts = SuperviseOptions {
+                deadline,
+                mem_budget_bytes: mem_budget,
+                checkpoint: checkpoint_dir.clone().map(CheckpointSpec::in_dir),
+                honor_global_cancel: true,
+            };
+            match try_par_hde_nd_supervised(&g, &cfg, 2, &opts) {
+                Ok(sup) => {
+                    for step in &sup.ladder {
+                        eprintln!(
+                            "parhde-layout: supervisor: rung {:?} abandoned: {}",
+                            step.rung, step.cause
+                        );
+                    }
+                    if sup.rung != "full" {
+                        eprintln!(
+                            "parhde-layout: supervisor: degraded to rung {:?}",
+                            sup.rung
+                        );
+                    }
+                    em.report.config.push(("supervisor_rung".into(), sup.rung.into()));
+                    absorb_stats(&mut em, &sup.stats);
+                    if em.active() {
+                        print_breakdown(&sup.stats);
+                    }
+                    Layout::new(
+                        sup.coords.col(0).to_vec(),
+                        sup.coords.col(1).to_vec(),
+                    )
+                }
+                Err(e) => em.fail_typed("layout failed", &e),
+            }
+        }
         "phde" => match try_phde(&g, &PhdeConfig::from(&cfg)) {
             Ok((layout, stats)) => {
                 absorb_stats(&mut em, &stats);

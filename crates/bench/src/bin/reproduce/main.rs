@@ -91,11 +91,22 @@ fn main() {
     }
     let session = opts.trace.as_ref().map(|_| parhde_trace::TraceSession::begin());
 
+    // SIGINT/SIGTERM request cooperative cancellation: the unbounded budget
+    // below honors the global cancel flag, so the running experiment
+    // unwinds at its next check, the trace is flushed, and we exit 130
+    // instead of dying mid-write. (Installed manually — `reproduce` drives
+    // many pipelines back to back, and the ambient install is exclusive.)
+    parhde_util::supervisor::install_signal_handlers();
+    let budget =
+        parhde_util::supervisor::RunBudget::unbounded().honoring_global_cancel();
+    let guard = parhde_util::supervisor::install(&budget);
+
     // Panic boundary: the experiments drive the strict pipelines on
     // known-good generated graphs, so any escaping panic is a bug. Exit
     // with a distinct code (70, EX_SOFTWARE) rather than the default
     // abort so harnesses can tell bugs from usage errors (2).
     let outcome = std::panic::catch_unwind(|| run(&experiment, &opts));
+    drop(guard);
     // Flush the trace even when the experiment died: a partial trace of a
     // crashed run is exactly when observability pays for itself.
     if let (Some(path), Some(session)) = (&opts.trace, session) {
@@ -108,6 +119,10 @@ fn main() {
         }
     }
     if let Err(payload) = outcome {
+        if parhde_util::supervisor::global_cancel_requested() {
+            eprintln!("reproduce: interrupted");
+            std::process::exit(130);
+        }
         let msg = payload
             .downcast_ref::<String>()
             .map(String::as_str)

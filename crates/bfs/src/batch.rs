@@ -125,6 +125,13 @@ pub fn bfs_batched_into_f64(
     let mut level = 0u32;
 
     while !frontier_verts.is_empty() {
+        // Cooperative cancellation point (once per shared level sweep): a
+        // tripped run budget abandons the batch, leaving unvisited lanes at
+        // INFINITY. Callers consult `supervisor::ambient_trip()` before
+        // interpreting the partial columns.
+        if parhde_util::supervisor::should_stop() {
+            break;
+        }
         level += 1;
         for d in &dirty {
             d.store(false, Ordering::Relaxed);

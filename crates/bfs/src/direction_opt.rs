@@ -70,6 +70,12 @@ pub fn bfs_direction_opt_params(
     let mut frontier_len = 1usize;
 
     while frontier_len > 0 {
+        // Cooperative cancellation point (once per level): a tripped run
+        // budget abandons the traversal with `reached < n`; callers consult
+        // `supervisor::ambient_trip()` before treating that as disconnected.
+        if parhde_util::supervisor::should_stop() {
+            break;
+        }
         level += 1;
         if !bottom_up_mode
             && alpha > 0

@@ -66,6 +66,13 @@ pub fn bfs_multi_source_into_f64(
         .map(|(&s, col)| {
             let _src = parhde_trace::span!("bfs.source");
             assert_eq!(col.len(), n, "column length mismatch");
+            // Cooperative cancellation point (once per source, on top of
+            // the per-level check inside `bfs_serial`): sources not yet
+            // started are skipped wholesale, their columns set INFINITY.
+            if parhde_util::supervisor::should_stop() {
+                col.fill(f64::INFINITY);
+                return 0;
+            }
             let r = bfs_serial(g, s);
             if parhde_trace::enabled() {
                 // Undirected CSR: every arc of the reached component is

@@ -23,6 +23,13 @@ pub fn bfs_serial(g: &CsrGraph, source: u32) -> BfsResult {
     let mut levels = 1usize;
     let mut level = 0u32;
     while !frontier.is_empty() {
+        // Cooperative cancellation point (once per level): many sequential
+        // BFSes run concurrently under the multi-source scheduler, so
+        // per-level polling keeps even single long traversals responsive
+        // to a tripped run budget.
+        if parhde_util::supervisor::should_stop() {
+            break;
+        }
         level += 1;
         for &v in &frontier {
             for &u in g.neighbors(v) {

@@ -32,7 +32,7 @@
 //! directly.
 
 use crate::config::{BfsMode, PivotStrategy};
-use crate::error::HdeError;
+use crate::error::{HdeError, Warning};
 use crate::pivots::{farthest_vertex, fold_min_distance};
 use crate::stats::{phase, HdeStats, PhaseSpan};
 use parhde_bfs::batch::bfs_batched_into_f64;
@@ -227,6 +227,7 @@ pub(crate) fn run_bfs_phase(
             });
             let mut min_dist = vec![f64::INFINITY; n];
             let mut src = rng.next_index(n) as u32;
+            let mut nan_dropped = 0usize;
             for i in 0..s {
                 stats.sources.push(src);
                 let ph = PhaseSpan::begin(phase::BFS);
@@ -239,13 +240,22 @@ pub(crate) fn run_bfs_phase(
                     reached
                 };
                 ph.end(&mut stats.phases);
+                // Budget check BEFORE the connectivity check: an abandoned
+                // traversal reaches fewer than n vertices, and the trip
+                // must win over the spurious "disconnected" that creates.
+                crate::supervise::budget_check(phase::BFS)?;
                 if reached != n {
                     return Err(HdeError::Disconnected { reached, n });
                 }
                 let ph = PhaseSpan::begin(phase::BFS_OTHER);
-                fold_min_distance(&mut min_dist, b.col(i));
+                // BFS levels are finite by construction; the count is a
+                // defensive tripwire for kernel regressions.
+                nan_dropped += fold_min_distance(&mut min_dist, b.col(i));
                 src = farthest_vertex(&min_dist);
                 ph.end(&mut stats.phases);
+            }
+            if nan_dropped > 0 {
+                stats.warn(Warning::NanDistances { count: nan_dropped });
             }
         }
         PivotStrategy::Random => {
@@ -293,6 +303,8 @@ pub(crate) fn run_bfs_phase(
                 }
             };
             ph.end(&mut stats.phases);
+            // As above: the trip outranks the partial-reach it causes.
+            crate::supervise::budget_check(phase::BFS)?;
             if reached_first != n {
                 return Err(HdeError::Disconnected { reached: reached_first, n });
             }

@@ -1,0 +1,529 @@
+//! Versioned binary checkpoints of the post-BFS pipeline state.
+//!
+//! The BFS phase dominates ParHDE's runtime (Table 5); everything after it
+//! — DOrtho, TripleProd, the eigensolve, the projection — is deterministic
+//! given the distance matrix `B`. A checkpoint therefore captures exactly
+//! the pipeline state at the BFS/DOrtho boundary: the `n×s` matrix `B`,
+//! the pivot list, the seed of the attempt that produced them, and enough
+//! fingerprints to refuse resumption against a different graph or
+//! configuration. Resuming from a checkpoint replays the downstream phases
+//! and reproduces the uninterrupted layout **bit-identically**.
+//!
+//! # On-disk format (version 1, all fields little-endian)
+//!
+//! | field | size |
+//! |---|---|
+//! | magic `"PHDECKPT"` | 8 |
+//! | format version (`u32`) | 4 |
+//! | reserved flags (`u32`) | 4 |
+//! | graph digest (`u64`) | 8 |
+//! | pipeline seed (`u64`) | 8 |
+//! | embedding dimension `p` (`u32`) | 4 |
+//! | reserved (`u32`) | 4 |
+//! | config fingerprint (`u64`) | 8 |
+//! | rows `n` (`u64`) | 8 |
+//! | cols `s` (`u64`) | 8 |
+//! | pivot count (`u64`) | 8 |
+//! | pivots (`u32` × count) | 4·count |
+//! | `B` column-major (`f64` × n·s) | 8·n·s |
+//! | FNV-1a checksum of all preceding bytes (`u64`) | 8 |
+//!
+//! Writes are atomic: the file is staged as `<name>.tmp` in the target
+//! directory and renamed into place, so a run killed mid-write leaves
+//! either the previous checkpoint or a `.tmp` file that readers ignore —
+//! never a torn checkpoint under the canonical name.
+
+use crate::config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::error::HdeError;
+use parhde_graph::CsrGraph;
+use parhde_linalg::dense::ColMajorMatrix;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"PHDECKPT";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Canonical file name written inside a `--checkpoint` directory.
+pub const CHECKPOINT_FILE: &str = "parhde-post-bfs.ckpt";
+
+/// Where the pipeline should write its post-BFS checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Directory receiving [`CHECKPOINT_FILE`] (created if absent).
+    pub dir: PathBuf,
+}
+
+impl CheckpointSpec {
+    /// The spec for a checkpoint directory.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// Full path of the checkpoint file this spec writes.
+    pub fn file_path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+}
+
+/// A parsed checkpoint: the post-BFS state of one pipeline attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// [`graph_digest`] of the graph the BFS phase actually traversed
+    /// (after any largest-component extraction).
+    pub graph_digest: u64,
+    /// Seed of the pipeline attempt (differs from `cfg.seed` on re-pivot
+    /// retries).
+    pub seed: u64,
+    /// Embedding dimension `p` the run was started with.
+    pub embed_dim: u32,
+    /// [`config_fingerprint`] of the (post-clamp) configuration.
+    pub config_fingerprint: u64,
+    /// The BFS pivots, in traversal order.
+    pub sources: Vec<u32>,
+    /// The `n×s` distance matrix `B`.
+    pub b: ColMajorMatrix,
+}
+
+/// 64-bit FNV-1a, the workspace's dependency-free stable hash.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of a CSR graph's exact structure: `n`, `m`, the offset array and
+/// the adjacency array. Two graphs collide only if they are structurally
+/// identical (up to hash collision); vertex relabeling changes the digest,
+/// which is intentional — `B`'s rows are indexed by vertex id.
+pub fn graph_digest(g: &CsrGraph) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&(g.num_vertices() as u64).to_le_bytes());
+    h.update(&(g.num_edges() as u64).to_le_bytes());
+    for &o in g.offsets() {
+        h.update(&(o as u64).to_le_bytes());
+    }
+    for &v in g.adjacency() {
+        h.update(&v.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Digest of every configuration field that influences the layout: the
+/// BFS-producing fields pin what `B` means, the downstream fields pin what
+/// resume will do with it. Resuming under a different fingerprint would
+/// silently produce a layout no uninterrupted run could — refused instead.
+pub fn config_fingerprint(cfg: &ParHdeConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&(cfg.subspace as u64).to_le_bytes());
+    h.update(&[match cfg.pivots {
+        PivotStrategy::KCenters => 0u8,
+        PivotStrategy::Random => 1,
+    }]);
+    h.update(&[match cfg.bfs_mode {
+        BfsMode::Auto => 0u8,
+        BfsMode::DirectionOpt => 1,
+        BfsMode::PerSource => 2,
+        BfsMode::Batched => 3,
+    }]);
+    h.update(&[match cfg.ortho {
+        OrthoMethod::Mgs => 0u8,
+        OrthoMethod::Cgs => 1,
+    }]);
+    h.update(&[u8::from(cfg.d_orthogonalize)]);
+    h.update(&cfg.seed.to_le_bytes());
+    h.update(&cfg.drop_tolerance.to_bits().to_le_bytes());
+    h.update(&[u8::from(cfg.project_from_raw)]);
+    h.finish()
+}
+
+/// Serializes a post-BFS checkpoint and writes it atomically into `dir`
+/// (staged `.tmp` + rename). Returns the final path.
+///
+/// # Errors
+/// [`HdeError::Io`] if the directory cannot be created or the file cannot
+/// be written/renamed.
+pub fn write_post_bfs(
+    spec: &CheckpointSpec,
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    seed: u64,
+    sources: &[u32],
+    b: &ColMajorMatrix,
+) -> Result<PathBuf, HdeError> {
+    let bytes = serialize(g, cfg, p, seed, sources, b);
+    std::fs::create_dir_all(&spec.dir).map_err(|e| {
+        HdeError::Io(format!(
+            "creating checkpoint directory {}: {e}",
+            spec.dir.display()
+        ))
+    })?;
+    let final_path = spec.file_path();
+    let tmp_path = spec.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    std::fs::write(&tmp_path, &bytes).map_err(|e| {
+        HdeError::Io(format!("writing checkpoint {}: {e}", tmp_path.display()))
+    })?;
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+        // Leave no stray staging file behind on a failed rename.
+        let _ = std::fs::remove_file(&tmp_path);
+        HdeError::Io(format!(
+            "publishing checkpoint {}: {e}",
+            final_path.display()
+        ))
+    })?;
+    parhde_trace::counter!("supervisor.checkpoint.write", 1);
+    parhde_trace::counter!("supervisor.checkpoint.bytes", bytes.len() as u64);
+    Ok(final_path)
+}
+
+fn serialize(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    seed: u64,
+    sources: &[u32],
+    b: &ColMajorMatrix,
+) -> Vec<u8> {
+    let n = b.rows();
+    let s = b.cols();
+    let mut out = Vec::with_capacity(64 + 4 * sources.len() + 8 * n * s + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved flags
+    out.extend_from_slice(&graph_digest(g).to_le_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&(p as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&config_fingerprint(cfg).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(s as u64).to_le_bytes());
+    out.extend_from_slice(&(sources.len() as u64).to_le_bytes());
+    for &src in sources {
+        out.extend_from_slice(&src.to_le_bytes());
+    }
+    for &x in b.data() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    let mut h = Fnv64::new();
+    h.update(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// A bounds-checked little-endian cursor over the checkpoint bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], HdeError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(HdeError::CheckpointMismatch(
+                "truncated checkpoint file".into(),
+            )),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, HdeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, HdeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+impl Checkpoint {
+    /// Reads and validates a checkpoint file: magic, version, structural
+    /// bounds and the trailing whole-file checksum.
+    ///
+    /// # Errors
+    /// [`HdeError::Io`] if the file cannot be read;
+    /// [`HdeError::CheckpointMismatch`] if it is not a checkpoint, is a
+    /// different format version, is truncated, or fails its checksum.
+    pub fn read(path: &Path) -> Result<Checkpoint, HdeError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            HdeError::Io(format!("reading checkpoint {}: {e}", path.display()))
+        })?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Parses checkpoint bytes; see [`Checkpoint::read`].
+    ///
+    /// # Errors
+    /// [`HdeError::CheckpointMismatch`] as for [`Checkpoint::read`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, HdeError> {
+        if bytes.len() < MAGIC.len() + 8 || bytes[..MAGIC.len()] != MAGIC {
+            return Err(HdeError::CheckpointMismatch(
+                "not a ParHDE checkpoint (bad magic)".into(),
+            ));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let mut h = Fnv64::new();
+        h.update(payload);
+        let stored = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        if h.finish() != stored {
+            return Err(HdeError::CheckpointMismatch(
+                "checksum mismatch (file corrupt or torn)".into(),
+            ));
+        }
+        let mut cur = Cursor { buf: payload, pos: MAGIC.len() };
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(HdeError::CheckpointMismatch(format!(
+                "format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let _flags = cur.u32()?;
+        let graph_digest = cur.u64()?;
+        let seed = cur.u64()?;
+        let embed_dim = cur.u32()?;
+        let _reserved = cur.u32()?;
+        let config_fingerprint = cur.u64()?;
+        let n = usize::try_from(cur.u64()?).map_err(oversized)?;
+        let s = usize::try_from(cur.u64()?).map_err(oversized)?;
+        let n_sources = usize::try_from(cur.u64()?).map_err(oversized)?;
+        // Reject absurd dimensions before allocating.
+        let cells = n
+            .checked_mul(s)
+            .filter(|&c| payload.len() >= cur.pos + 4 * n_sources + 8 * c)
+            .ok_or_else(|| {
+                HdeError::CheckpointMismatch(format!(
+                    "declared {n}×{s} matrix with {n_sources} pivots exceeds \
+                     file size"
+                ))
+            })?;
+        let mut sources = Vec::with_capacity(n_sources);
+        for _ in 0..n_sources {
+            sources.push(cur.u32()?);
+        }
+        let mut data = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            data.push(f64::from_bits(cur.u64()?));
+        }
+        if cur.pos != payload.len() {
+            return Err(HdeError::CheckpointMismatch(format!(
+                "{} trailing bytes after matrix data",
+                payload.len() - cur.pos
+            )));
+        }
+        Ok(Checkpoint {
+            graph_digest,
+            seed,
+            embed_dim,
+            config_fingerprint,
+            sources,
+            b: ColMajorMatrix::from_data(n, s, data),
+        })
+    }
+
+    /// Validates this checkpoint against the graph, configuration and
+    /// embedding dimension of a resume attempt. `g` and `cfg` must be the
+    /// *post-preprocessing* graph and the *post-clamp* configuration — the
+    /// exact inputs the original pipeline attempt saw.
+    ///
+    /// # Errors
+    /// [`HdeError::CheckpointMismatch`] naming the first mismatching field.
+    pub fn validate_for(
+        &self,
+        g: &CsrGraph,
+        cfg: &ParHdeConfig,
+        p: usize,
+    ) -> Result<(), HdeError> {
+        if self.embed_dim as usize != p {
+            return Err(HdeError::CheckpointMismatch(format!(
+                "embedding dimension {} recorded, resume requested {p}",
+                self.embed_dim
+            )));
+        }
+        let digest = graph_digest(g);
+        if self.graph_digest != digest {
+            return Err(HdeError::CheckpointMismatch(format!(
+                "graph digest {digest:#018x} does not match recorded \
+                 {:#018x}; checkpoint belongs to a different graph",
+                self.graph_digest
+            )));
+        }
+        let fp = config_fingerprint(cfg);
+        if self.config_fingerprint != fp {
+            return Err(HdeError::CheckpointMismatch(format!(
+                "config fingerprint {fp:#018x} does not match recorded \
+                 {:#018x}; checkpoint was produced under different settings",
+                self.config_fingerprint
+            )));
+        }
+        if self.b.rows() != g.num_vertices() || self.b.cols() != cfg.subspace {
+            return Err(HdeError::CheckpointMismatch(format!(
+                "matrix is {}×{}, resume expects {}×{}",
+                self.b.rows(),
+                self.b.cols(),
+                g.num_vertices(),
+                cfg.subspace
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn oversized(_: std::num::TryFromIntError) -> HdeError {
+    HdeError::CheckpointMismatch("dimension overflows this platform".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_graph::gen::grid2d;
+
+    fn sample() -> (CsrGraph, ParHdeConfig, Vec<u32>, ColMajorMatrix) {
+        let g = grid2d(4, 4);
+        let cfg = ParHdeConfig::with_subspace(3);
+        let sources = vec![0, 5, 15];
+        let mut b = ColMajorMatrix::zeros(16, 3);
+        for c in 0..3 {
+            for r in 0..16 {
+                b.set(r, c, (r * 3 + c) as f64 * 0.25);
+            }
+        }
+        (g, cfg, sources, b)
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let (g, cfg, sources, b) = sample();
+        let bytes = serialize(&g, &cfg, 2, 42, &sources, &b);
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ck.graph_digest, graph_digest(&g));
+        assert_eq!(ck.seed, 42);
+        assert_eq!(ck.embed_dim, 2);
+        assert_eq!(ck.config_fingerprint, config_fingerprint(&cfg));
+        assert_eq!(ck.sources, sources);
+        assert_eq!(ck.b.data(), b.data());
+        ck.validate_for(&g, &cfg, 2).unwrap();
+    }
+
+    #[test]
+    fn write_is_atomic_and_readable() {
+        let (g, cfg, sources, b) = sample();
+        let dir = std::env::temp_dir().join("parhde-ckpt-test-atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = CheckpointSpec::in_dir(&dir);
+        let path = write_post_bfs(&spec, &g, &cfg, 2, 7, &sources, &b).unwrap();
+        assert_eq!(path, spec.file_path());
+        // No staging file survives a successful write.
+        assert!(!dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists());
+        let ck = Checkpoint::read(&path).unwrap();
+        assert_eq!(ck.b.data(), b.data());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (g, cfg, sources, b) = sample();
+        let mut bytes = serialize(&g, &cfg, 2, 7, &sources, &b);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, HdeError::CheckpointMismatch(m) if m.contains("checksum")));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (g, cfg, sources, b) = sample();
+        let bytes = serialize(&g, &cfg, 2, 7, &sources, &b);
+        for cut in [3, 12, 40, bytes.len() - 9] {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let (g, cfg, sources, b) = sample();
+        let bytes = serialize(&g, &cfg, 2, 7, &sources, &b);
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&wrong).unwrap_err(),
+            HdeError::CheckpointMismatch(m) if m.contains("magic")
+        ));
+        // Bump the version and re-seal the checksum so only the version
+        // check can fire.
+        let mut vers = bytes;
+        vers[8] = 99;
+        let body = vers.len() - 8;
+        let mut h = Fnv64::new();
+        h.update(&vers[..body]);
+        let sum = h.finish().to_le_bytes();
+        vers[body..].copy_from_slice(&sum);
+        assert!(matches!(
+            Checkpoint::from_bytes(&vers).unwrap_err(),
+            HdeError::CheckpointMismatch(m) if m.contains("version 99")
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_other_graph_config_and_dim() {
+        let (g, cfg, sources, b) = sample();
+        let bytes = serialize(&g, &cfg, 2, 7, &sources, &b);
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        let other_g = grid2d(4, 5);
+        assert!(matches!(
+            ck.validate_for(&other_g, &cfg, 2).unwrap_err(),
+            HdeError::CheckpointMismatch(m) if m.contains("different graph")
+        ));
+        let other_cfg = ParHdeConfig { seed: 1, ..cfg.clone() };
+        assert!(matches!(
+            ck.validate_for(&g, &other_cfg, 2).unwrap_err(),
+            HdeError::CheckpointMismatch(m) if m.contains("different settings")
+        ));
+        assert!(matches!(
+            ck.validate_for(&g, &cfg, 3).unwrap_err(),
+            HdeError::CheckpointMismatch(m) if m.contains("dimension")
+        ));
+    }
+
+    #[test]
+    fn digests_are_sensitive_to_structure() {
+        let a = grid2d(6, 6);
+        let b = grid2d(6, 7);
+        assert_ne!(graph_digest(&a), graph_digest(&b));
+        let base = ParHdeConfig::default();
+        let fp = config_fingerprint(&base);
+        for variant in [
+            ParHdeConfig { subspace: 11, ..base.clone() },
+            ParHdeConfig { seed: base.seed + 1, ..base.clone() },
+            ParHdeConfig { project_from_raw: true, ..base.clone() },
+            ParHdeConfig { d_orthogonalize: false, ..base.clone() },
+        ] {
+            assert_ne!(config_fingerprint(&variant), fp);
+        }
+    }
+}

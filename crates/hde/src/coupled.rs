@@ -11,6 +11,7 @@
 //! distances, so the k-centers sequence is unchanged.
 
 use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::error::Warning;
 use crate::layout::Layout;
 use crate::parhde::{accumulate, assert_connected, subspace_axes};
 use crate::pivots::{farthest_vertex, fold_min_distance};
@@ -67,6 +68,7 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let mut raw = vec![0.0f64; n];
     let mut min_dist = vec![f64::INFINITY; n];
     let mut src = rng.next_index(n) as u32;
+    let mut nan_dropped = 0usize;
     ph.end(&mut stats.phases);
 
     for i in 1..=s {
@@ -77,10 +79,16 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
         let (reached, trav) = bfs_direction_opt_into_f64(g, src, &mut raw);
         ph.end(&mut stats.phases);
         accumulate(&mut stats.traversal, trav);
+        // Budget check before the connectivity assert: an abandoned
+        // traversal reaches fewer than n vertices, and the trip must win
+        // over the spurious "disconnected" panic that would cause.
+        crate::supervise::budget_check_strict(phase::BFS);
         assert_connected(reached, n);
 
         let ph = PhaseSpan::begin(phase::BFS_OTHER);
-        fold_min_distance(&mut min_dist, &raw);
+        // BFS levels are finite; a nonzero count means a kernel regression
+        // and is worth a warning even in this strict pipeline.
+        nan_dropped += fold_min_distance(&mut min_dist, &raw);
         src = farthest_vertex(&min_dist);
         ph.end(&mut stats.phases);
 
@@ -102,7 +110,11 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     smat.retain_columns(&survivors);
     stats.dropped_columns = dropped;
     stats.s_kept = smat.cols();
+    if nan_dropped > 0 {
+        stats.warn(Warning::NanDistances { count: nan_dropped });
+    }
     ph.end(&mut stats.phases);
+    crate::supervise::budget_check_strict(phase::DORTHO);
     assert!(smat.cols() >= 2, "fewer than two directions survived");
 
     // TripleProd + eigensolve + projection, identical to the decoupled path.

@@ -59,6 +59,29 @@ pub enum HdeError {
     },
     /// An I/O or non-positional format failure while loading input.
     Io(String),
+    /// The run's wall-clock deadline passed; names the phase that was
+    /// interrupted. Produced by the run supervisor (DESIGN.md §11).
+    DeadlineExceeded {
+        /// Pipeline phase that was executing when the budget tripped.
+        phase: &'static str,
+    },
+    /// The soft memory budget was exceeded — either rejected up front by
+    /// the admission estimator or tripped by a phase-boundary RSS poll.
+    MemoryBudgetExceeded {
+        /// Bytes the run needs (estimate) or currently holds (RSS poll).
+        needed_bytes: u64,
+        /// The configured soft budget in bytes.
+        budget_bytes: u64,
+    },
+    /// The run was cancelled (SIGINT/SIGTERM or a peer thread); names the
+    /// phase that was interrupted.
+    Cancelled {
+        /// Pipeline phase that was executing when cancellation landed.
+        phase: &'static str,
+    },
+    /// A checkpoint file is unusable for this run: wrong magic/version,
+    /// corrupt payload, or written for a different graph/configuration.
+    CheckpointMismatch(String),
     /// An internal invariant failed — a bug, not a user error.
     Internal(String),
 }
@@ -87,6 +110,18 @@ impl std::fmt::Display for HdeError {
                 write!(f, "parse error at line {line}, column {column}: {message}")
             }
             Self::Io(m) => write!(f, "input error: {m}"),
+            Self::DeadlineExceeded { phase } => {
+                write!(f, "wall-clock deadline exceeded during phase {phase}")
+            }
+            Self::MemoryBudgetExceeded { needed_bytes, budget_bytes } => write!(
+                f,
+                "memory budget exceeded: run needs ~{needed_bytes} bytes, \
+                 soft budget is {budget_bytes} bytes"
+            ),
+            Self::Cancelled { phase } => {
+                write!(f, "run cancelled during phase {phase}")
+            }
+            Self::CheckpointMismatch(m) => write!(f, "unusable checkpoint: {m}"),
             Self::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }
@@ -105,7 +140,11 @@ impl HdeError {
             Self::Disconnected { .. } => 6,
             Self::DegenerateSubspace { .. } => 7,
             Self::NonFiniteValue { .. } => 8,
-            Self::Internal(_) => 70, // EX_SOFTWARE
+            Self::DeadlineExceeded { .. } => 9,
+            Self::MemoryBudgetExceeded { .. } => 10,
+            Self::CheckpointMismatch(_) => 11,
+            Self::Cancelled { .. } => 130, // 128 + SIGINT, the shell convention
+            Self::Internal(_) => 70,       // EX_SOFTWARE
         }
     }
 
@@ -115,8 +154,37 @@ impl HdeError {
             Self::NonFiniteValue { phase, .. } => Some(phase),
             Self::Disconnected { .. } => Some("bfs"),
             Self::DegenerateSubspace { .. } => Some("dortho"),
+            Self::DeadlineExceeded { phase } | Self::Cancelled { phase } => Some(phase),
             _ => None,
         }
+    }
+
+    /// Converts a supervisor trip into the matching typed error, tagging it
+    /// with the phase that was interrupted.
+    pub fn from_trip(reason: parhde_util::TripReason, phase: &'static str) -> Self {
+        match reason {
+            parhde_util::TripReason::Deadline => Self::DeadlineExceeded { phase },
+            parhde_util::TripReason::Cancelled => Self::Cancelled { phase },
+            parhde_util::TripReason::Memory => {
+                let needed = parhde_trace::current_rss_bytes().unwrap_or(0);
+                let budget = parhde_util::supervisor::ambient_mem_budget().unwrap_or(0);
+                Self::MemoryBudgetExceeded {
+                    needed_bytes: needed,
+                    budget_bytes: budget,
+                }
+            }
+        }
+    }
+
+    /// Whether this error is a run-supervisor budget trip that the
+    /// degraded-retry ladder may respond to with a cheaper configuration
+    /// (cancellation is deliberately excluded: a cancelled run must stop,
+    /// not retry).
+    pub fn is_budget_trip(&self) -> bool {
+        matches!(
+            self,
+            Self::DeadlineExceeded { .. } | Self::MemoryBudgetExceeded { .. }
+        )
     }
 }
 
@@ -187,6 +255,33 @@ pub enum Warning {
         /// Number of vertices.
         n: usize,
     },
+    /// A supervised rung failed on a budget trip and the run moved to the
+    /// next (cheaper) rung of the degraded-retry ladder (DESIGN.md §11).
+    LadderStep {
+        /// The rung that failed (`"full"`, `"halved_pivots"`, …).
+        rung: &'static str,
+        /// Display text of the budget trip that ended the rung.
+        cause: String,
+    },
+    /// The memory-admission estimator shrank the subspace dimension to fit
+    /// the soft memory budget before the run started.
+    AdmissionDownscaled {
+        /// The subspace dimension the caller asked for.
+        requested: usize,
+        /// The dimension admitted under the budget.
+        admitted: usize,
+        /// Estimated bytes at the admitted dimension.
+        estimated_bytes: u64,
+        /// The soft memory budget in bytes.
+        budget_bytes: u64,
+    },
+    /// NaN entries appeared in a pivot-selection distance array (poisoned
+    /// weighted input); they were excluded from the farthest-vertex argmax
+    /// under a documented total order instead of panicking.
+    NanDistances {
+        /// NaN entries observed.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for Warning {
@@ -210,6 +305,26 @@ impl std::fmt::Display for Warning {
                 f,
                 "graph with {n} vertices is below the spectral minimum; \
                  produced a trivial line layout"
+            ),
+            Self::LadderStep { rung, cause } => write!(
+                f,
+                "supervisor ladder step: rung {rung} gave up ({cause}); \
+                 retrying with a cheaper configuration"
+            ),
+            Self::AdmissionDownscaled {
+                requested,
+                admitted,
+                estimated_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory admission downscaled subspace {requested} -> {admitted} \
+                 (~{estimated_bytes} bytes estimated, {budget_bytes} byte budget)"
+            ),
+            Self::NanDistances { count } => write!(
+                f,
+                "{count} NaN entries in pivot distances were excluded from \
+                 farthest-vertex selection (poisoned weighted input?)"
             ),
         }
     }
@@ -276,12 +391,33 @@ mod tests {
             HdeError::Disconnected { reached: 1, n: 2 },
             HdeError::DegenerateSubspace { kept: 1, needed: 2, subspace: 3, retries: 0 },
             HdeError::NonFiniteValue { phase: "spmm", column: 0, row: 0 },
+            HdeError::DeadlineExceeded { phase: "bfs" },
+            HdeError::MemoryBudgetExceeded { needed_bytes: 2, budget_bytes: 1 },
+            HdeError::CheckpointMismatch("x".into()),
+            HdeError::Cancelled { phase: "gemm" },
             HdeError::Internal("x".into()),
         ];
         let codes: std::collections::HashSet<i32> =
             errs.iter().map(|e| e.exit_code()).collect();
         assert_eq!(codes.len(), errs.len());
         assert!(!codes.contains(&0) && !codes.contains(&1) && !codes.contains(&2));
+    }
+
+    #[test]
+    fn trips_convert_to_typed_errors() {
+        use parhde_util::TripReason;
+        let e = HdeError::from_trip(TripReason::Deadline, "bfs");
+        assert_eq!(e, HdeError::DeadlineExceeded { phase: "bfs" });
+        assert_eq!(e.exit_code(), 9);
+        assert_eq!(e.phase(), Some("bfs"));
+        assert!(e.is_budget_trip());
+        let e = HdeError::from_trip(TripReason::Cancelled, "dortho");
+        assert_eq!(e, HdeError::Cancelled { phase: "dortho" });
+        assert_eq!(e.exit_code(), 130);
+        assert!(!e.is_budget_trip(), "cancellation must not walk the ladder");
+        let e = HdeError::from_trip(TripReason::Memory, "ls");
+        assert!(e.is_budget_trip());
+        assert_eq!(e.exit_code(), 10);
     }
 
     #[test]

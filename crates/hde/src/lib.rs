@@ -65,6 +65,18 @@
 //! [`HdeStats::warnings`]. See DESIGN.md's "Error handling & degradation
 //! contract" for the full policy.
 //!
+//! # Supervised runs
+//!
+//! [`try_par_hde_nd_supervised`] runs the pipeline under a
+//! [`parhde_util::RunBudget`] — a wall-clock deadline, a soft memory
+//! budget with pre-run admission, and cooperative cancellation — and
+//! degrades through a retry ladder (fewer pivots → batched BFS → PHDE →
+//! trivial layout) instead of failing when a budget trips.
+//! [`try_par_hde_nd_checkpointed`] / [`try_par_hde_resume`] persist the
+//! post-BFS state so an interrupted run restarts bit-identically without
+//! repeating the dominant BFS phase. See DESIGN.md §11 ("Supervision
+//! contract").
+//!
 //! # Example
 //!
 //! ```
@@ -83,6 +95,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs_phase;
+pub mod checkpoint;
 pub mod config;
 pub mod coupled;
 pub mod error;
@@ -98,17 +111,25 @@ pub mod quality;
 pub mod refine;
 pub mod stats;
 pub mod stress;
+pub mod supervise;
 pub mod weighted;
 pub mod zoom;
 
 pub use bfs_phase::{plan_bfs_phase, BfsPlan, PlannedBfsMode};
+pub use checkpoint::{Checkpoint, CheckpointSpec};
 pub use config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 pub use error::{HdeError, Warning};
 pub use layout::Layout;
-pub use parhde::{par_hde, par_hde_nd, try_par_hde, try_par_hde_nd};
+pub use parhde::{
+    par_hde, par_hde_nd, try_par_hde, try_par_hde_nd,
+    try_par_hde_nd_checkpointed, try_par_hde_resume,
+};
 pub use phde::{phde, try_phde, PhdeConfig};
 pub use pivot_mds::{pivot_mds, try_pivot_mds};
 pub use stats::HdeStats;
+pub use supervise::{
+    try_par_hde_nd_supervised, Supervised, SuperviseOptions,
+};
 pub use weighted::{
     par_hde_weighted, par_hde_weighted_with, try_par_hde_weighted,
     try_par_hde_weighted_with, WeightSemantics,

@@ -10,10 +10,12 @@
 //! [`Warning`](crate::Warning) in the returned stats.
 
 use crate::bfs_phase::run_bfs_phase;
+use crate::checkpoint::{self, Checkpoint, CheckpointSpec};
 use crate::config::{OrthoMethod, ParHdeConfig};
 use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
+use crate::supervise::budget_check;
 use parhde_graph::prep;
 use parhde_graph::CsrGraph;
 use parhde_linalg::blas1::{dot, dot_weighted};
@@ -69,7 +71,7 @@ pub fn par_hde_nd(
     p: usize,
 ) -> (ColMajorMatrix, HdeStats) {
     assert!(p >= 1, "embedding dimension must be at least 1");
-    match run_nd(g, cfg, p, Mode::Strict) {
+    match run_nd(g, cfg, p, Mode::Strict, None) {
         Ok(r) => r,
         Err(e) => panic!("{e}"),
     }
@@ -109,7 +111,113 @@ pub fn try_par_hde_nd(
     cfg: &ParHdeConfig,
     p: usize,
 ) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
-    run_nd(g, cfg, p, Mode::FailSoft)
+    run_nd(g, cfg, p, Mode::FailSoft, None)
+}
+
+/// [`try_par_hde_nd`] that additionally writes a post-BFS checkpoint of
+/// every pipeline attempt into `spec`'s directory (atomically — a killed
+/// run never leaves a torn checkpoint under the canonical name). Resume
+/// with [`try_par_hde_resume`] to reproduce the uninterrupted result
+/// bit-identically without re-running the BFS phase.
+///
+/// # Errors
+/// As [`try_par_hde_nd`], plus [`HdeError::Io`] if the checkpoint cannot
+/// be written.
+pub fn try_par_hde_nd_checkpointed(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    spec: &CheckpointSpec,
+) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
+    run_nd(g, cfg, p, Mode::FailSoft, Some(spec))
+}
+
+/// Crate-internal fail-soft entry used by the supervised ladder
+/// ([`crate::supervise`]): identical to [`try_par_hde_nd_checkpointed`]
+/// with an optional checkpoint.
+pub(crate) fn run_failsoft_nd(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
+    run_nd(g, cfg, p, Mode::FailSoft, ckpt)
+}
+
+/// Resumes a run from a post-BFS [`Checkpoint`]: replays the deterministic
+/// downstream phases (DOrtho → TripleProd → eigensolve → projection) on
+/// the stored distance matrix, reproducing the layout the uninterrupted
+/// run would have produced **bit-identically**.
+///
+/// `g`, `cfg` and `p` must match the original invocation; the checkpoint's
+/// graph digest and configuration fingerprint are verified after the same
+/// fail-soft preprocessing (subspace clamping, largest-component
+/// extraction) the original run applied, so passing the original
+/// disconnected input resumes correctly.
+///
+/// # Errors
+/// [`HdeError::CheckpointMismatch`] if the checkpoint does not belong to
+/// this (graph, configuration, dimension) triple; otherwise as
+/// [`try_par_hde_nd`], except that a degenerate subspace is not retried —
+/// re-pivoting would need a fresh BFS phase, which is exactly what a
+/// resume avoids.
+pub fn try_par_hde_resume(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    ckpt: &Checkpoint,
+) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
+    let _root = parhde_trace::span!("parhde");
+    let n = g.num_vertices();
+    if p < 1 {
+        return Err(HdeError::InvalidConfig(
+            "embedding dimension must be at least 1".into(),
+        ));
+    }
+    let mut cfg = cfg.clone();
+    let s_requested = cfg.subspace;
+    let mut warnings = Vec::new();
+    // Mirror run_nd's fail-soft preamble so the resumed pipeline sees the
+    // same clamped configuration and extracted component as the original.
+    if n <= p {
+        let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+        stats.warn(Warning::TrivialLayout { n });
+        return Ok((trivial_coords(n, p), stats));
+    }
+    let feasible = cfg.subspace.clamp(p, n - 1);
+    if feasible != cfg.subspace {
+        warnings.push(trace_warning(Warning::SubspaceClamped {
+            requested: cfg.subspace,
+            clamped: feasible,
+        }));
+        cfg.subspace = feasible;
+    }
+    if !prep::is_connected(g) {
+        let components = prep::connected_components(g).count();
+        let ext = prep::largest_component(g);
+        let kept = ext.graph.num_vertices();
+        let fallback =
+            trace_warning(Warning::DisconnectedFallback { components, kept, n });
+        let (sub_coords, mut stats) = try_par_hde_resume(&ext.graph, &cfg, p, ckpt)?;
+        let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
+        stats.warnings.splice(
+            0..0,
+            warnings.into_iter().chain(std::iter::once(fallback)),
+        );
+        return Ok((coords, stats));
+    }
+    cfg.validate(n)?;
+    ckpt.validate_for(g, &cfg, p)?;
+    parhde_trace::counter!("supervisor.checkpoint.resume", 1);
+    let mut stats = HdeStats {
+        s_requested,
+        sources: ckpt.sources.clone(),
+        bfs_mode: Some("resumed"),
+        ..HdeStats::default()
+    };
+    let coords = pipeline_from_b(g, &cfg, p, &ckpt.b, &mut stats)?;
+    stats.warnings = warnings;
+    Ok((coords, stats))
 }
 
 /// Shared driver: handles degradation (fail-soft) and the retry loop, then
@@ -119,6 +227,7 @@ fn run_nd(
     cfg: &ParHdeConfig,
     p: usize,
     mode: Mode,
+    ckpt: Option<&CheckpointSpec>,
 ) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
     let _root = parhde_trace::span!("parhde");
     let n = g.num_vertices();
@@ -156,7 +265,7 @@ fn run_nd(
             let kept = ext.graph.num_vertices();
             let fallback =
                 trace_warning(Warning::DisconnectedFallback { components, kept, n });
-            let (sub_coords, mut stats) = run_nd(&ext.graph, &cfg, p, mode)?;
+            let (sub_coords, mut stats) = run_nd(&ext.graph, &cfg, p, mode, ckpt)?;
             let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
             stats.warnings.splice(
                 0..0,
@@ -174,7 +283,7 @@ fn run_nd(
     for attempt in 0..max_attempts {
         let seed = if attempt == 0 { cfg.seed } else { reseed(cfg.seed, attempt) };
         let mut stats = HdeStats { s_requested, ..HdeStats::default() };
-        match pipeline_once(g, &cfg, p, seed, &mut stats) {
+        match pipeline_once(g, &cfg, p, seed, ckpt, &mut stats) {
             Ok(coords) => {
                 stats.warnings = warnings;
                 return Ok((coords, stats));
@@ -208,18 +317,44 @@ fn pipeline_once(
     cfg: &ParHdeConfig,
     p: usize,
     seed: u64,
+    ckpt: Option<&CheckpointSpec>,
     stats: &mut HdeStats,
 ) -> Result<ColMajorMatrix, HdeError> {
-    let n = g.num_vertices();
     let s = cfg.subspace;
 
     // ---- Init -----------------------------------------------------------
+    budget_check(phase::INIT)?;
     let ph = PhaseSpan::begin(phase::INIT);
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     ph.end(&mut stats.phases);
 
     // ---- BFS phase ------------------------------------------------------
     let b = run_bfs_phase(g, s, cfg.pivots, cfg.bfs_mode, &mut rng, true, stats)?;
+
+    // ---- Checkpoint (post-BFS: everything after is deterministic in B) --
+    if let Some(spec) = ckpt {
+        let ph = PhaseSpan::begin(phase::CHECKPOINT);
+        checkpoint::write_post_bfs(spec, g, cfg, p, seed, &stats.sources, &b)?;
+        ph.end(&mut stats.phases);
+    }
+
+    pipeline_from_b(g, cfg, p, &b, stats)
+}
+
+/// The deterministic post-BFS tail of the pipeline: DOrtho → TripleProd →
+/// eigensolve → projection, given the distance matrix `B`. Shared between
+/// a live run ([`pipeline_once`]) and checkpoint resumption
+/// ([`try_par_hde_resume`]) — both paths execute the same floating-point
+/// operations in the same order, which is what makes resume bit-identical.
+fn pipeline_from_b(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    b: &ColMajorMatrix,
+    stats: &mut HdeStats,
+) -> Result<ColMajorMatrix, HdeError> {
+    let n = g.num_vertices();
+    let s = cfg.subspace;
 
     // ---- Assemble S = [1/√n | B] ----------------------------------------
     let ph = PhaseSpan::begin(phase::INIT);
@@ -248,6 +383,10 @@ fn pipeline_once(
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
     ph.end(&mut stats.phases);
+    // Budget check BEFORE the degenerate-subspace check: a tripped ortho
+    // kernel abandons its remaining columns, and the trip must win over the
+    // spurious degeneracy that abandonment creates.
+    budget_check(phase::DORTHO)?;
     if smat.cols() < p {
         return Err(HdeError::DegenerateSubspace {
             kept: smat.cols(),
@@ -261,8 +400,12 @@ fn pipeline_once(
     let ph = PhaseSpan::begin(phase::LS);
     let prod = parhde_linalg::spmm::try_laplacian_spmm(g, &degrees, &smat)?;
     ph.end(&mut stats.phases);
+    budget_check(phase::LS)?;
     let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &prod);
+    // Budget check before the finiteness check: a tripped gemm returns
+    // zeroed blocks, which are finite but meaningless.
+    budget_check(phase::GEMM)?;
     check_matrix_finite(&z, "gemm")?;
     ph.end(&mut stats.phases);
 
@@ -271,6 +414,7 @@ fn pipeline_once(
     let (y, mus) = try_subspace_axes_nd(&smat, &z, weights, p)?;
     stats.axis_eigenvalues = mus;
     ph.end(&mut stats.phases);
+    budget_check(phase::EIGEN)?;
 
     // ---- Projection -------------------------------------------------------
     let ph = PhaseSpan::begin(phase::PROJECT);
@@ -288,6 +432,7 @@ fn pipeline_once(
     } else {
         a_small(&smat, &y)
     };
+    budget_check(phase::PROJECT)?;
     check_matrix_finite(&coords, "project")?;
     ph.end(&mut stats.phases);
 

@@ -164,11 +164,14 @@ fn run_phde(
     let ph = PhaseSpan::begin(phase::COL_CENTER);
     column_center(&mut c);
     ph.end(&mut stats.phases);
+    crate::supervise::budget_check(phase::COL_CENTER)?;
 
     // MatMul: the small covariance CᵀC.
     let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&c, &c);
     ph.end(&mut stats.phases);
+    // A tripped gemm returns zeroed (finite but meaningless) blocks.
+    crate::supervise::budget_check(phase::GEMM)?;
 
     // Eigensolve: top two eigenvectors of CᵀC (PCA axes).
     let ph = PhaseSpan::begin(phase::EIGEN);
@@ -178,9 +181,12 @@ fn run_phde(
     stats.s_kept = c.cols();
     ph.end(&mut stats.phases);
 
+    crate::supervise::budget_check(phase::EIGEN)?;
+
     // Projection [x, y] = C·Y.
     let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&c, &y);
+    crate::supervise::budget_check(phase::PROJECT)?;
     check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
     ph.end(&mut stats.phases);

@@ -128,11 +128,14 @@ fn run_pivot_mds(
     square_entries(&mut c);
     double_center_squared(&mut c);
     ph.end(&mut stats.phases);
+    crate::supervise::budget_check(phase::DBL_CENTER)?;
 
     // MatMul.
     let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&c, &c);
     ph.end(&mut stats.phases);
+    // A tripped gemm returns zeroed (finite but meaningless) blocks.
+    crate::supervise::budget_check(phase::GEMM)?;
 
     // Eigensolve: top two of CᵀC.
     let ph = PhaseSpan::begin(phase::EIGEN);
@@ -142,9 +145,12 @@ fn run_pivot_mds(
     stats.s_kept = c.cols();
     ph.end(&mut stats.phases);
 
+    crate::supervise::budget_check(phase::EIGEN)?;
+
     // Projection.
     let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&c, &y);
+    crate::supervise::budget_check(phase::PROJECT)?;
     check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
     ph.end(&mut stats.phases);

@@ -7,6 +7,18 @@
 //! (ties broken deterministically towards the lowest id). These two
 //! reductions are the "BFS: Other" row of Table 1 — `O(sn)` work with a
 //! `log n` reduction depth per source.
+//!
+//! # NaN policy
+//!
+//! BFS levels are always finite, but the weighted (Δ-stepping) pipeline can
+//! be fed poisoned inputs whose distances come out NaN. Both reductions use
+//! total-order semantics: a NaN never becomes the running minimum and never
+//! wins the farthest-vertex argmax (an all-NaN array deterministically
+//! yields vertex 0). Each reduction *counts* the NaNs it excluded so
+//! callers can surface the exclusion as a
+//! [`Warning::NanDistances`](crate::Warning::NanDistances) instead of
+//! silently selecting pivots from corrupted geometry — or, in an earlier
+//! life, panicking in a `partial_cmp(..).unwrap()`.
 
 use rayon::prelude::*;
 
@@ -14,61 +26,82 @@ use rayon::prelude::*;
 const CHUNK: usize = 1 << 13;
 
 /// Folds a freshly computed distance column into the running minimum
-/// (`d[j] ← min(d[j], column[j])`), in parallel.
+/// (`d[j] ← min(d[j], column[j])`), in parallel. NaN entries in `column`
+/// are excluded (the running minimum keeps its previous value) and their
+/// count is returned.
 ///
 /// # Panics
 /// Panics if lengths differ.
-pub fn fold_min_distance(min_dist: &mut [f64], column: &[f64]) {
+pub fn fold_min_distance(min_dist: &mut [f64], column: &[f64]) -> usize {
     assert_eq!(min_dist.len(), column.len(), "length mismatch");
-    if min_dist.len() < CHUNK {
-        for (m, &c) in min_dist.iter_mut().zip(column) {
-            if c < *m {
+    fn fold_chunk(ms: &mut [f64], cs: &[f64]) -> usize {
+        let mut nans = 0usize;
+        for (m, &c) in ms.iter_mut().zip(cs) {
+            if c.is_nan() {
+                nans += 1;
+            } else if c < *m {
                 *m = c;
             }
         }
-        return;
+        nans
+    }
+    if min_dist.len() < CHUNK {
+        return fold_chunk(min_dist, column);
     }
     min_dist
         .par_chunks_mut(CHUNK)
         .zip(column.par_chunks(CHUNK))
-        .for_each(|(ms, cs)| {
-            for (m, &c) in ms.iter_mut().zip(cs) {
-                if c < *m {
-                    *m = c;
-                }
-            }
-        });
+        .map(|(ms, cs)| fold_chunk(ms, cs))
+        .sum()
 }
 
 /// Returns the vertex maximizing the minimum distance to all previous
-/// sources — the next k-centers pivot. Ties break to the lowest id so the
+/// sources — the next k-centers pivot — plus the number of NaN entries
+/// that were excluded from the argmax. Ties break to the lowest id so the
 /// pipeline is deterministic. Infinite entries (unreached vertices) win
-/// immediately, which steers pivots into unexplored regions.
+/// immediately, which steers pivots into unexplored regions; an all-NaN
+/// array yields vertex 0.
 ///
 /// # Panics
 /// Panics if `min_dist` is empty.
-pub fn farthest_vertex(min_dist: &[f64]) -> u32 {
+pub fn farthest_vertex_counting(min_dist: &[f64]) -> (u32, usize) {
     assert!(!min_dist.is_empty(), "empty distance array");
-    let per_chunk: Vec<(usize, f64)> = min_dist
+    let per_chunk: Vec<(usize, f64, usize)> = min_dist
         .par_chunks(CHUNK)
         .enumerate()
         .map(|(ci, chunk)| {
             let mut best = (0usize, f64::NEG_INFINITY);
+            let mut nans = 0usize;
             for (i, &d) in chunk.iter().enumerate() {
-                if d > best.1 {
+                if d.is_nan() {
+                    nans += 1;
+                } else if d > best.1 {
                     best = (ci * CHUNK + i, d);
                 }
             }
-            best
+            (best.0, best.1, nans)
         })
         .collect();
     let mut best = (0usize, f64::NEG_INFINITY);
-    for (i, d) in per_chunk {
+    let mut nans = 0usize;
+    for (i, d, chunk_nans) in per_chunk {
+        nans += chunk_nans;
         if d > best.1 {
             best = (i, d);
         }
     }
-    best.0 as u32
+    // All-NaN chunks report index ci·CHUNK with a NEG_INFINITY key that
+    // never wins; an entirely NaN input falls through to (0, NEG_INFINITY).
+    (best.0 as u32, nans)
+}
+
+/// [`farthest_vertex_counting`] without the NaN count, for callers that
+/// have already validated their distances (BFS levels are always finite).
+///
+/// # Panics
+/// Panics if `min_dist` is empty.
+pub fn farthest_vertex(min_dist: &[f64]) -> u32 {
+    farthest_vertex_counting(min_dist).0
 }
 
 #[cfg(test)]
@@ -78,8 +111,29 @@ mod tests {
     #[test]
     fn fold_takes_elementwise_min() {
         let mut m = vec![3.0, 1.0, f64::INFINITY];
-        fold_min_distance(&mut m, &[2.0, 5.0, 7.0]);
+        assert_eq!(fold_min_distance(&mut m, &[2.0, 5.0, 7.0]), 0);
         assert_eq!(m, vec![2.0, 1.0, 7.0]);
+    }
+
+    #[test]
+    fn fold_skips_and_counts_nan() {
+        let mut m = vec![3.0, 1.0, f64::INFINITY, 4.0];
+        let nans = fold_min_distance(&mut m, &[f64::NAN, 0.5, f64::NAN, 9.0]);
+        assert_eq!(nans, 2);
+        // NaN entries leave the running minimum untouched; no NaN leaks in.
+        assert_eq!(m, vec![3.0, 0.5, f64::INFINITY, 4.0]);
+    }
+
+    #[test]
+    fn fold_large_counts_nan_in_parallel_path() {
+        let n = CHUNK * 2 + 11;
+        let mut m = vec![f64::INFINITY; n];
+        let col: Vec<f64> = (0..n)
+            .map(|i| if i % 97 == 0 { f64::NAN } else { i as f64 })
+            .collect();
+        let expect_nans = col.iter().filter(|d| d.is_nan()).count();
+        assert_eq!(fold_min_distance(&mut m, &col), expect_nans);
+        assert!(m.iter().all(|d| !d.is_nan()));
     }
 
     #[test]
@@ -114,13 +168,54 @@ mod tests {
     fn farthest_large_matches_scalar() {
         let n = CHUNK * 3 + 7;
         let v: Vec<f64> = (0..n).map(|i| ((i * 7919) % 10007) as f64).collect();
+        // total_cmp, not partial_cmp().unwrap(): the reference reduction
+        // must not be the one thing in the pipeline that panics on NaN.
         let expect = v
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .unwrap()
             .0;
         assert_eq!(farthest_vertex(&v) as usize, expect);
+    }
+
+    #[test]
+    fn farthest_never_selects_nan() {
+        let (v, nans) =
+            farthest_vertex_counting(&[f64::NAN, 2.0, f64::NAN, 7.0, 3.0]);
+        assert_eq!(v, 3);
+        assert_eq!(nans, 2);
+    }
+
+    #[test]
+    fn farthest_all_nan_is_deterministic() {
+        let (v, nans) = farthest_vertex_counting(&[f64::NAN; 5]);
+        assert_eq!(v, 0);
+        assert_eq!(nans, 5);
+    }
+
+    #[test]
+    fn farthest_large_with_nans_matches_scalar() {
+        let n = CHUNK * 2 + 3;
+        let v: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 31 == 0 {
+                    f64::NAN
+                } else {
+                    ((i * 7919) % 10007) as f64
+                }
+            })
+            .collect();
+        let expect = v
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_nan())
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .unwrap()
+            .0;
+        let (got, nans) = farthest_vertex_counting(&v);
+        assert_eq!(got as usize, expect);
+        assert_eq!(nans, v.iter().filter(|d| d.is_nan()).count());
     }
 
     #[test]

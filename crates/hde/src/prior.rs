@@ -41,7 +41,8 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
-    // Sequential BFS phase (the decisive difference).
+    // Sequential BFS phase (the decisive difference). Budget trips inside
+    // the phase surface as the panic below, like every other strict defect.
     let b = match run_bfs_phase(g, s, cfg.pivots, cfg.bfs_mode, &mut rng, false, &mut stats) {
         Ok(b) => b,
         Err(e) => panic!("{e}"),
@@ -68,15 +69,19 @@ pub fn prior_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
     ph.end(&mut stats.phases);
+    // Trip wins over the spurious degeneracy an abandoned ortho creates.
+    crate::supervise::budget_check_strict(phase::DORTHO);
     assert!(smat.cols() >= 2, "fewer than two directions survived");
 
     // TripleProd through the explicit Laplacian.
     let ph = PhaseSpan::begin(phase::LS);
     let p = laplacian.spmm(&smat);
     ph.end(&mut stats.phases);
+    crate::supervise::budget_check_strict(phase::LS);
     let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &p);
     ph.end(&mut stats.phases);
+    crate::supervise::budget_check_strict(phase::GEMM);
 
     // Eigensolve + projection, identical to ParHDE.
     let ph = PhaseSpan::begin(phase::EIGEN);

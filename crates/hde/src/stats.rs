@@ -31,6 +31,8 @@ pub mod phase {
     pub const PROJECT: &str = "project";
     /// Initialization (allocation, seeding).
     pub const INIT: &str = "init";
+    /// Post-BFS checkpoint serialization.
+    pub const CHECKPOINT: &str = "checkpoint";
 }
 
 /// Mirrors `w` into the active trace session as a structured warning event

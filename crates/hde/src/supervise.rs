@@ -1,0 +1,453 @@
+//! Run supervision: cooperative budget checks, memory admission, and the
+//! degraded-retry ladder (DESIGN.md §11).
+//!
+//! The [`parhde_util::supervisor`] layer owns the ambient [`RunBudget`];
+//! this module is the pipeline side of the contract:
+//!
+//! * [`budget_check`] converts an ambient budget trip into a typed
+//!   [`HdeError`] at a phase boundary, and polls resident-set size against
+//!   the soft memory budget (kernels never poll memory — an RSS read is a
+//!   `/proc` file read, far too slow for a hot loop);
+//! * [`estimate_run_bytes`]/[`admit`] implement pre-run memory admission:
+//!   the run is rejected or its subspace dimension shrunk *before* the big
+//!   allocations happen, so the soft budget is respected by construction
+//!   rather than by after-the-fact unwinding;
+//! * [`try_par_hde_nd_supervised`] walks the degraded-retry ladder: when a
+//!   rung trips its slice of the deadline (or the memory budget), the next
+//!   rung retries with a cheaper configuration, ending at a trivial layout
+//!   that always succeeds. Cancellation is sticky and never retried.
+//!
+//! # Deadline slicing
+//!
+//! A single wall-clock deadline `D` covers the *whole* supervised run, not
+//! each rung. The ladder arms per-rung deadlines at fixed fractions of `D`
+//! measured from the supervised start — 0.55·D for the full run, 0.75·D
+//! after one halving, 0.9·D for the batched-BFS rung, 0.97·D for the PHDE
+//! fallback — so even a run that exhausts every rung produces its trivial
+//! layout and returns within a small overshoot of `D` (the distance the
+//! active kernel travels between two cooperative checks).
+
+use crate::checkpoint::CheckpointSpec;
+use crate::config::{BfsMode, ParHdeConfig, PivotStrategy};
+use crate::error::{trivial_coords, HdeError, Warning};
+use crate::phde::PhdeConfig;
+use crate::stats::{trace_warning, HdeStats};
+use parhde_graph::CsrGraph;
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_util::supervisor;
+use parhde_util::RunBudget;
+use std::time::{Duration, Instant};
+
+/// Converts an ambient budget trip into a typed error at a phase boundary,
+/// after polling resident-set size against the soft memory budget.
+///
+/// Fail-soft pipelines call this between phases; the cooperative kernels
+/// only *abandon* work (cheap partial results), and this is where the
+/// abandonment becomes a typed [`HdeError`] instead of garbage flowing
+/// downstream.
+///
+/// # Errors
+/// [`HdeError::DeadlineExceeded`], [`HdeError::MemoryBudgetExceeded`] or
+/// [`HdeError::Cancelled`], tagged with `phase`.
+pub(crate) fn budget_check(phase: &'static str) -> Result<(), HdeError> {
+    poll_memory();
+    supervisor::should_stop();
+    match supervisor::ambient_trip() {
+        Some(reason) => Err(HdeError::from_trip(reason, phase)),
+        None => Ok(()),
+    }
+}
+
+/// [`budget_check`] for the strict (panicking) pipelines: trips surface as
+/// a panic carrying the typed error's message, mirroring how strict entry
+/// points report every other defect.
+pub(crate) fn budget_check_strict(phase: &'static str) {
+    poll_memory();
+    supervisor::should_stop();
+    if let Some(reason) = supervisor::ambient_trip() {
+        let e = HdeError::from_trip(reason, phase);
+        panic!("{e}");
+    }
+}
+
+/// One RSS-vs-budget poll. `VmRSS` (not the `VmHWM` high-water mark) so a
+/// rung retried after freeing the tripped allocation is not condemned by
+/// history it no longer occupies.
+fn poll_memory() {
+    if let Some(budget) = supervisor::ambient_mem_budget() {
+        if let Some(rss) = parhde_trace::current_rss_bytes() {
+            if rss > budget {
+                supervisor::ambient_trip_memory();
+            }
+        }
+    }
+}
+
+/// Estimated peak working set, in bytes, of a ParHDE run on a graph with
+/// `n` vertices and `m` undirected edges using `s` pivots and a
+/// `p`-dimensional embedding — the input to memory admission.
+///
+/// Counts the CSR graph itself (offsets + adjacency), the `n×s` distance
+/// matrix `B`, the `n×(s+1)` basis `S`, the same-shaped `L·S` product, the
+/// degree vector, per-mode BFS scratch (bit-lane rows for
+/// [`BfsMode::Batched`], a distance buffer otherwise), the small `s×s`
+/// matrices, and the output coordinates. Deliberately a slight
+/// *over*-estimate: admission should err toward downscaling, since the
+/// runtime RSS trip that backstops it is much more disruptive.
+pub fn estimate_run_bytes(n: usize, m: usize, s: usize, p: usize, mode: BfsMode) -> u64 {
+    const F: u64 = 8; // bytes per f64 / usize / lane word
+    let n = n as u64;
+    let m = m as u64;
+    let s = s as u64;
+    let p = p as u64;
+    let graph = (n + 1) * F + 2 * m * 4; // offsets + symmetric u32 adjacency
+    let b = n * s * F;
+    let smat = n * (s + 1) * F;
+    let prod = n * (s + 1) * F; // laplacian_spmm output matches S's shape
+    let degrees = n * F;
+    let bfs_scratch = match mode {
+        // seen/frontier/next lane-row triple of ⌈s/64⌉ words per vertex.
+        BfsMode::Batched => 3 * n * s.div_ceil(64) * F,
+        // Distance/frontier buffers for the traversal kernels.
+        _ => 2 * n * F,
+    };
+    let small = 3 * (s + 1) * (s + 1) * F; // Z, T and the eigenvector matrix
+    let coords = n * p * F;
+    graph + b + smat + prod + degrees + bfs_scratch + small + coords
+}
+
+/// Memory admission's verdict for one run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// The admitted subspace dimension (≤ the requested one).
+    pub subspace: usize,
+    /// Estimated bytes at the admitted dimension.
+    pub estimated_bytes: u64,
+    /// Whether the requested dimension had to shrink to fit.
+    pub downscaled: bool,
+}
+
+/// Decides whether a run fits `budget_bytes`, halving the subspace
+/// dimension (never below `max(p, 2)`) until the estimate fits. Returns
+/// `None` when even the smallest usable subspace does not fit — the caller
+/// degrades straight to a trivial layout.
+pub fn admit(
+    n: usize,
+    m: usize,
+    s: usize,
+    p: usize,
+    mode: BfsMode,
+    budget_bytes: u64,
+) -> Option<Admission> {
+    let floor = p.max(2);
+    let mut cur = s.max(floor);
+    loop {
+        let estimated = estimate_run_bytes(n, m, cur, p, mode);
+        if estimated <= budget_bytes {
+            return Some(Admission {
+                subspace: cur,
+                estimated_bytes: estimated,
+                downscaled: cur != s,
+            });
+        }
+        if cur == floor {
+            return None;
+        }
+        cur = (cur / 2).max(floor);
+    }
+}
+
+/// Knobs of a supervised run.
+#[derive(Clone, Debug, Default)]
+pub struct SuperviseOptions {
+    /// Wall-clock deadline for the whole run (all ladder rungs included).
+    pub deadline: Option<Duration>,
+    /// Soft memory budget in bytes: gates admission up front and arms the
+    /// runtime RSS backstop.
+    pub mem_budget_bytes: Option<u64>,
+    /// Directory receiving the post-BFS checkpoint of every attempted rung.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Trip the budget when [`parhde_util::supervisor::request_global_cancel`]
+    /// fires (set by the CLI signal handlers).
+    pub honor_global_cancel: bool,
+}
+
+/// One abandoned rung of the degraded-retry ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LadderStep {
+    /// The rung that was abandoned.
+    pub rung: &'static str,
+    /// Display text of the budget trip that ended it.
+    pub cause: String,
+}
+
+/// The result of a supervised run: the coordinates, the stats of the rung
+/// that produced them, and the trail of rungs abandoned on the way there.
+#[derive(Clone, Debug)]
+pub struct Supervised {
+    /// The `n×p` layout coordinates.
+    pub coords: ColMajorMatrix,
+    /// Statistics from the successful rung (ladder and admission events are
+    /// also recorded in its `warnings`).
+    pub stats: HdeStats,
+    /// Rungs abandoned before `rung` succeeded; empty on an undegraded run.
+    pub ladder: Vec<LadderStep>,
+    /// Label of the rung that produced `coords`: `"full"`,
+    /// `"halved_pivots"`, `"batched_bfs"`, `"phde"` or `"trivial"`.
+    pub rung: &'static str,
+}
+
+/// Fractions of the total deadline at which each rung must be done.
+const SLICE_FULL: f64 = 0.55;
+const SLICE_HALVED: f64 = 0.75;
+const SLICE_BATCHED: f64 = 0.90;
+const SLICE_PHDE: f64 = 0.97;
+
+/// Supervised fail-soft ParHDE: runs [`crate::try_par_hde_nd`] under a
+/// [`RunBudget`] and degrades through the retry ladder instead of failing
+/// when the deadline or memory budget trips.
+///
+/// The ladder, cheapest-last: the full configuration → half the pivots →
+/// batched-BFS with random pivots → the PHDE pipeline (2-D runs only) → a
+/// trivial line layout. Only *budget* trips (deadline, memory) descend the
+/// ladder; cancellation and every ordinary pipeline error return
+/// immediately. Every attempted rung writes `opts.checkpoint` after its
+/// BFS phase, so even an interrupted degraded run leaves a resumable
+/// checkpoint behind.
+///
+/// Installs the ambient budget for its whole duration — callers must not
+/// hold their own [`supervisor::install`] guard around this call (ambient
+/// installation is exclusive; the inner install would block).
+///
+/// # Errors
+/// [`HdeError::Cancelled`] if the run is cancelled; otherwise any
+/// non-budget error of [`crate::try_par_hde_nd`]. Budget trips themselves
+/// never surface: the trivial rung always succeeds.
+pub fn try_par_hde_nd_supervised(
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    opts: &SuperviseOptions,
+) -> Result<Supervised, HdeError> {
+    let _root = parhde_trace::span!("parhde_supervised");
+    let start = Instant::now();
+    let n = g.num_vertices();
+
+    let mut budget = RunBudget::unbounded();
+    if let Some(bytes) = opts.mem_budget_bytes {
+        budget = budget.with_mem_budget(bytes);
+    }
+    if opts.honor_global_cancel {
+        budget = budget.honoring_global_cancel();
+    }
+    let installed = supervisor::install(&budget);
+
+    // ---- Memory admission (before any large allocation) -----------------
+    let mut cfg = cfg.clone();
+    let mut pre_warnings: Vec<Warning> = Vec::new();
+    if let Some(bytes) = opts.mem_budget_bytes {
+        match admit(n, g.num_edges(), cfg.subspace, p, cfg.bfs_mode, bytes) {
+            Some(a) if a.downscaled => {
+                parhde_trace::counter!("supervisor.admission.downscaled", 1);
+                pre_warnings.push(trace_warning(Warning::AdmissionDownscaled {
+                    requested: cfg.subspace,
+                    admitted: a.subspace,
+                    estimated_bytes: a.estimated_bytes,
+                    budget_bytes: bytes,
+                }));
+                cfg.subspace = a.subspace;
+            }
+            Some(_) => {
+                parhde_trace::counter!("supervisor.admission.admitted", 1);
+            }
+            None => {
+                parhde_trace::counter!("supervisor.admission.rejected", 1);
+                let mut stats = HdeStats {
+                    s_requested: cfg.subspace,
+                    ..HdeStats::default()
+                };
+                stats.warnings = pre_warnings;
+                stats.warn(Warning::TrivialLayout { n });
+                emit_final_counters(&budget);
+                drop(installed);
+                return Ok(Supervised {
+                    coords: trivial_coords(n, p),
+                    stats,
+                    ladder: Vec::new(),
+                    rung: "trivial",
+                });
+            }
+        }
+    }
+
+    // ---- The ladder ------------------------------------------------------
+    let mut ladder: Vec<LadderStep> = Vec::new();
+    let mut ladder_warnings: Vec<Warning> = Vec::new();
+    let rungs: [(&'static str, f64); 4] = [
+        ("full", SLICE_FULL),
+        ("halved_pivots", SLICE_HALVED),
+        ("batched_bfs", SLICE_BATCHED),
+        ("phde", SLICE_PHDE),
+    ];
+    let mut rung_cfg = cfg.clone();
+    for (rung, slice) in rungs {
+        // Specialize the configuration for this rung; a rung that cannot
+        // change anything (or does not apply) is skipped silently.
+        match rung {
+            "full" => {}
+            "halved_pivots" => {
+                let floor = p.max(2).min(rung_cfg.subspace);
+                let halved = (rung_cfg.subspace / 2).max(floor);
+                if halved == rung_cfg.subspace {
+                    continue;
+                }
+                rung_cfg.subspace = halved;
+            }
+            "batched_bfs" => {
+                if rung_cfg.pivots == PivotStrategy::Random
+                    && rung_cfg.bfs_mode == BfsMode::Batched
+                {
+                    continue;
+                }
+                // K-centers pivots serialize the traversals; the batched
+                // kernel needs independent (random) pivots.
+                rung_cfg.pivots = PivotStrategy::Random;
+                rung_cfg.bfs_mode = BfsMode::Batched;
+            }
+            "phde" => {
+                if p != 2 || n < 3 {
+                    continue;
+                }
+            }
+            _ => unreachable!("unknown rung"),
+        }
+        if let Some(d) = opts.deadline {
+            budget.arm_deadline_at(start + d.mul_f64(slice));
+        }
+        let attempt = if rung == "phde" {
+            let phde_cfg = PhdeConfig::from(&rung_cfg);
+            crate::phde::try_phde(g, &phde_cfg).map(|(layout, stats)| {
+                let mut coords = ColMajorMatrix::zeros(layout.len(), 2);
+                coords.col_mut(0).copy_from_slice(&layout.x);
+                coords.col_mut(1).copy_from_slice(&layout.y);
+                (coords, stats)
+            })
+        } else {
+            crate::parhde::run_failsoft_nd(g, &rung_cfg, p, opts.checkpoint.as_ref())
+        };
+        match attempt {
+            Ok((coords, mut stats)) => {
+                stats.warnings.splice(
+                    0..0,
+                    std::mem::take(&mut pre_warnings)
+                        .into_iter()
+                        .chain(std::mem::take(&mut ladder_warnings)),
+                );
+                emit_final_counters(&budget);
+                drop(installed);
+                return Ok(Supervised { coords, stats, ladder, rung });
+            }
+            Err(e) if e.is_budget_trip() => {
+                parhde_trace::counter!("supervisor.ladder.step", 1);
+                match &e {
+                    HdeError::DeadlineExceeded { .. } => {
+                        parhde_trace::counter!("supervisor.trip.deadline", 1);
+                    }
+                    HdeError::MemoryBudgetExceeded { .. } => {
+                        parhde_trace::counter!("supervisor.trip.memory", 1);
+                    }
+                    _ => {}
+                }
+                let cause = e.to_string();
+                ladder_warnings.push(trace_warning(Warning::LadderStep {
+                    rung,
+                    cause: cause.clone(),
+                }));
+                ladder.push(LadderStep { rung, cause });
+            }
+            Err(e) => {
+                if matches!(e, HdeError::Cancelled { .. }) {
+                    parhde_trace::counter!("supervisor.trip.cancelled", 1);
+                }
+                emit_final_counters(&budget);
+                drop(installed);
+                return Err(e);
+            }
+        }
+    }
+
+    // ---- Trivial rung (always succeeds, no budget needed) ----------------
+    budget.disarm_deadline();
+    let mut stats = HdeStats { s_requested: cfg.subspace, ..HdeStats::default() };
+    stats.warnings = pre_warnings;
+    stats.warnings.extend(ladder_warnings);
+    stats.warn(Warning::TrivialLayout { n });
+    emit_final_counters(&budget);
+    drop(installed);
+    Ok(Supervised {
+        coords: trivial_coords(n, p),
+        stats,
+        ladder,
+        rung: "trivial",
+    })
+}
+
+/// Emits the end-of-run supervisor counters.
+fn emit_final_counters(budget: &RunBudget) {
+    parhde_trace::counter!("supervisor.checks", budget.checks());
+}
+
+#[cfg(test)]
+mod tests {
+    // NOTE: tests that install an ambient budget live in the dedicated
+    // integration-test binary `crates/hde/tests/supervise.rs` — an ambient
+    // install here would leak into unrelated pipeline unit tests running
+    // concurrently in this process. Only pure functions are tested here.
+    use super::*;
+
+    #[test]
+    fn estimate_grows_with_every_dimension() {
+        let base = estimate_run_bytes(10_000, 40_000, 10, 2, BfsMode::Auto);
+        assert!(estimate_run_bytes(20_000, 40_000, 10, 2, BfsMode::Auto) > base);
+        assert!(estimate_run_bytes(10_000, 80_000, 10, 2, BfsMode::Auto) > base);
+        assert!(estimate_run_bytes(10_000, 40_000, 20, 2, BfsMode::Auto) > base);
+        assert!(estimate_run_bytes(10_000, 40_000, 10, 3, BfsMode::Auto) > base);
+    }
+
+    #[test]
+    fn estimate_is_plausible_for_a_known_shape() {
+        // 100k vertices, 10 pivots: B alone is 100_000 × 10 × 8 = 8 MB; the
+        // total should be the same order of magnitude, not wildly off.
+        let est = estimate_run_bytes(100_000, 400_000, 10, 2, BfsMode::Auto);
+        assert!(est > 8_000_000, "below the B matrix alone: {est}");
+        assert!(est < 80_000_000, "order of magnitude too high: {est}");
+    }
+
+    #[test]
+    fn admission_accepts_when_budget_is_ample() {
+        let a = admit(10_000, 40_000, 10, 2, BfsMode::Auto, u64::MAX).unwrap();
+        assert_eq!(a.subspace, 10);
+        assert!(!a.downscaled);
+    }
+
+    #[test]
+    fn admission_downscales_by_halving() {
+        let full = estimate_run_bytes(100_000, 400_000, 48, 2, BfsMode::Auto);
+        let a = admit(100_000, 400_000, 48, 2, BfsMode::Auto, full - 1).unwrap();
+        assert!(a.downscaled);
+        assert!(a.subspace < 48 && a.subspace >= 2);
+        assert!(a.estimated_bytes < full);
+    }
+
+    #[test]
+    fn admission_rejects_impossible_budgets() {
+        assert_eq!(admit(100_000, 400_000, 10, 2, BfsMode::Auto, 1024), None);
+    }
+
+    #[test]
+    fn admission_floor_is_embedding_dimension() {
+        let floor = estimate_run_bytes(50_000, 200_000, 3, 3, BfsMode::Auto);
+        let a = admit(50_000, 200_000, 40, 3, BfsMode::Auto, floor).unwrap();
+        assert!(a.subspace >= 3);
+    }
+}

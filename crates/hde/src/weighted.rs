@@ -252,18 +252,29 @@ fn weighted_pipeline_once(
         PivotStrategy::KCenters => {
             let mut min_dist = vec![f64::INFINITY; n];
             let mut src = rng.next_index(n) as u32;
+            let mut nan_dropped = 0usize;
             for i in 0..s {
                 stats.sources.push(src);
                 let ph = PhaseSpan::begin(phase::BFS);
                 let reached = delta_stepping_into_f64(g, src, delta, b.col_mut(i));
                 ph.end(&mut stats.phases);
+                // Budget check before the connectivity check: an abandoned
+                // traversal settles fewer than n vertices, and the trip
+                // must win over the spurious "disconnected" that creates.
+                crate::supervise::budget_check(phase::BFS)?;
                 if reached != n {
                     return Err(HdeError::Disconnected { reached, n });
                 }
                 let ph = PhaseSpan::begin(phase::BFS_OTHER);
-                fold_min_distance(&mut min_dist, b.col(i));
+                // Δ-stepping on poisoned weights can emit NaN distances;
+                // both reductions exclude (and count) them rather than let
+                // a NaN pivot corrupt the whole k-centers sequence.
+                nan_dropped += fold_min_distance(&mut min_dist, b.col(i));
                 src = farthest_vertex(&min_dist);
                 ph.end(&mut stats.phases);
+            }
+            if nan_dropped > 0 {
+                stats.warn(Warning::NanDistances { count: nan_dropped });
             }
         }
         PivotStrategy::Random => {
@@ -282,6 +293,8 @@ fn weighted_pipeline_once(
                 .map(|(&src, col)| delta_stepping_into_f64(g, src, delta, col))
                 .collect();
             ph.end(&mut stats.phases);
+            // As above: the trip outranks the partial reach it causes.
+            crate::supervise::budget_check(phase::BFS)?;
             if reached[0] != n {
                 return Err(HdeError::Disconnected { reached: reached[0], n });
             }
@@ -311,6 +324,8 @@ fn weighted_pipeline_once(
     stats.dropped_columns = outcome.dropped.len();
     stats.s_kept = smat.cols();
     ph.end(&mut stats.phases);
+    // Trip wins over the spurious degeneracy an abandoned ortho creates.
+    crate::supervise::budget_check(phase::DORTHO)?;
     if smat.cols() < 2 {
         return Err(HdeError::DegenerateSubspace {
             kept: smat.cols(),
@@ -324,8 +339,11 @@ fn weighted_pipeline_once(
     let ph = PhaseSpan::begin(phase::LS);
     let p = laplacian_spmm_weighted(sims, &degrees, &smat);
     ph.end(&mut stats.phases);
+    crate::supervise::budget_check(phase::LS)?;
     let ph = PhaseSpan::begin(phase::GEMM);
     let z = at_b(&smat, &p);
+    // A tripped gemm returns zeroed (finite but meaningless) blocks.
+    crate::supervise::budget_check(phase::GEMM)?;
     check_matrix_finite(&z, "gemm")?;
     ph.end(&mut stats.phases);
 
@@ -336,6 +354,7 @@ fn weighted_pipeline_once(
     ph.end(&mut stats.phases);
     let ph = PhaseSpan::begin(phase::PROJECT);
     let coords = a_small(&smat, &y);
+    crate::supervise::budget_check(phase::PROJECT)?;
     check_matrix_finite(&coords, "project")?;
     let layout = Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec());
     ph.end(&mut stats.phases);

@@ -1,0 +1,282 @@
+//! Integration tests for the run supervisor (DESIGN.md §11): deadline
+//! degradation down the retry ladder, memory admission, cooperative
+//! cancellation, and checkpoint/resume.
+//!
+//! Every test here installs an ambient budget (directly or through the
+//! supervised entry point), and ambient installation is process-exclusive,
+//! so the tests serialize on a local mutex instead of deadlocking on the
+//! supervisor's own slot lock in surprising orders.
+
+use parhde::config::ParHdeConfig;
+use parhde::supervise::estimate_run_bytes;
+use parhde::{
+    try_par_hde_nd, try_par_hde_nd_checkpointed, try_par_hde_nd_supervised,
+    try_par_hde_resume, Checkpoint, CheckpointSpec, HdeError, SuperviseOptions,
+    Warning,
+};
+use parhde_graph::gen;
+use parhde_util::supervisor;
+use parhde_util::RunBudget;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the tests and clears global state a previous (possibly
+/// panicked) test may have left behind.
+fn serialize() -> MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    supervisor::reset_global_cancel();
+    guard
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("parhde-supervise-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Leftover `*.tmp` files in `dir` (atomic-write violations).
+fn tmp_files(dir: &PathBuf) -> Vec<PathBuf> {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[test]
+fn unbudgeted_supervised_run_matches_plain_pipeline() {
+    let _guard = serialize();
+    let g = gen::grid2d(30, 30);
+    let cfg = ParHdeConfig::default();
+    let (plain, _) = try_par_hde_nd(&g, &cfg, 2).unwrap();
+    let sup = try_par_hde_nd_supervised(&g, &cfg, 2, &SuperviseOptions::default())
+        .unwrap();
+    assert_eq!(sup.rung, "full");
+    assert!(sup.ladder.is_empty(), "no budget, no degradation");
+    assert_eq!(sup.coords, plain, "supervision must not perturb the result");
+}
+
+#[test]
+fn zero_deadline_walks_the_ladder_to_trivial() {
+    let _guard = serialize();
+    let g = gen::grid2d(40, 40);
+    let cfg = ParHdeConfig::default();
+    let opts = SuperviseOptions {
+        deadline: Some(Duration::ZERO),
+        ..SuperviseOptions::default()
+    };
+    let sup = try_par_hde_nd_supervised(&g, &cfg, 2, &opts).unwrap();
+    assert_eq!(sup.rung, "trivial");
+    assert_eq!(
+        sup.ladder.iter().map(|s| s.rung).collect::<Vec<_>>(),
+        vec!["full", "halved_pivots", "batched_bfs", "phde"],
+        "every rung must be attempted and abandoned"
+    );
+    // The layout is still usable: right shape, finite entries.
+    assert_eq!(sup.coords.rows(), g.num_vertices());
+    assert_eq!(sup.coords.cols(), 2);
+    assert!(sup.coords.col(0).iter().all(|v| v.is_finite()));
+    // Each abandoned rung is also recorded as a warning for reports.
+    let ladder_warnings = sup
+        .stats
+        .warnings
+        .iter()
+        .filter(|w| matches!(w, Warning::LadderStep { .. }))
+        .count();
+    assert_eq!(ladder_warnings, 4);
+}
+
+#[test]
+fn short_deadline_still_returns_promptly() {
+    let _guard = serialize();
+    let g = gen::kron(12, 8, 7);
+    let cfg = ParHdeConfig::default();
+    let opts = SuperviseOptions {
+        deadline: Some(Duration::from_millis(40)),
+        ..SuperviseOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let sup = try_par_hde_nd_supervised(&g, &cfg, 2, &opts).unwrap();
+    // Generous bound: the contract is a *small* overshoot (the distance a
+    // kernel travels between two cooperative checks), not a hard realtime
+    // guarantee, and CI machines are slow.
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "supervised run did not come back promptly"
+    );
+    assert_eq!(sup.coords.rows(), g.num_vertices());
+}
+
+#[test]
+fn cancellation_is_sticky_and_never_walks_the_ladder() {
+    let _guard = serialize();
+    let g = gen::grid2d(30, 30);
+    let cfg = ParHdeConfig::default();
+    supervisor::request_global_cancel();
+    let opts = SuperviseOptions {
+        honor_global_cancel: true,
+        ..SuperviseOptions::default()
+    };
+    let err = try_par_hde_nd_supervised(&g, &cfg, 2, &opts).unwrap_err();
+    supervisor::reset_global_cancel();
+    assert!(
+        matches!(err, HdeError::Cancelled { .. }),
+        "cancellation must surface as Cancelled, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 130);
+}
+
+#[test]
+fn memory_admission_downscales_and_warns() {
+    let _guard = serialize();
+    let g = gen::grid2d(250, 250);
+    let cfg = ParHdeConfig::default();
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let est_full = estimate_run_bytes(n, m, cfg.subspace, 2, cfg.bfs_mode);
+    let est_half = estimate_run_bytes(n, m, cfg.subspace / 2, 2, cfg.bfs_mode);
+    assert!(est_half < est_full);
+    // A budget between the halved and the full estimate forces exactly one
+    // admission halving up front. (Runtime RSS polls may still trip on a
+    // loaded machine — the assertion below is about the admission record,
+    // which survives whatever rung ends up succeeding.)
+    let opts = SuperviseOptions {
+        mem_budget_bytes: Some((est_full + est_half) / 2),
+        ..SuperviseOptions::default()
+    };
+    let sup = try_par_hde_nd_supervised(&g, &cfg, 2, &opts).unwrap();
+    let downscaled = sup.stats.warnings.iter().find_map(|w| match w {
+        Warning::AdmissionDownscaled { requested, admitted, .. } => {
+            Some((*requested, *admitted))
+        }
+        _ => None,
+    });
+    let (requested, admitted) =
+        downscaled.expect("admission must record the downscale");
+    assert_eq!(requested, cfg.subspace);
+    assert!(admitted < requested, "subspace must shrink ({admitted})");
+}
+
+#[test]
+fn memory_rejection_degrades_to_trivial_layout() {
+    let _guard = serialize();
+    let g = gen::grid2d(40, 40);
+    let cfg = ParHdeConfig::default();
+    // One byte fits nothing: admission rejects the run outright.
+    let opts = SuperviseOptions {
+        mem_budget_bytes: Some(1),
+        ..SuperviseOptions::default()
+    };
+    let sup = try_par_hde_nd_supervised(&g, &cfg, 2, &opts).unwrap();
+    assert_eq!(sup.rung, "trivial");
+    assert!(sup
+        .stats
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::TrivialLayout { .. })));
+}
+
+#[test]
+fn checkpoint_roundtrip_and_resume_are_bit_identical() {
+    let _guard = serialize();
+    let dir = scratch("roundtrip");
+    let g = gen::grid2d(25, 25);
+    let cfg = ParHdeConfig::default();
+    let spec = CheckpointSpec::in_dir(dir.clone());
+
+    let (direct, _) = try_par_hde_nd(&g, &cfg, 2).unwrap();
+    let (checkpointed, _) = try_par_hde_nd_checkpointed(&g, &cfg, 2, &spec).unwrap();
+    assert_eq!(checkpointed, direct, "checkpoint write must not perturb");
+    assert!(tmp_files(&dir).is_empty(), "atomic write left a .tmp file");
+
+    let ckpt = Checkpoint::read(&spec.file_path()).unwrap();
+    let (resumed, stats) = try_par_hde_resume(&g, &cfg, 2, &ckpt).unwrap();
+    assert_eq!(resumed, direct, "resume must be bit-identical");
+    assert_eq!(stats.bfs_mode, Some("resumed"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_rejects_a_different_graph_and_config() {
+    let _guard = serialize();
+    let dir = scratch("mismatch");
+    let g = gen::grid2d(25, 25);
+    let cfg = ParHdeConfig::default();
+    let spec = CheckpointSpec::in_dir(dir.clone());
+    try_par_hde_nd_checkpointed(&g, &cfg, 2, &spec).unwrap();
+    let ckpt = Checkpoint::read(&spec.file_path()).unwrap();
+
+    let other = gen::grid2d(26, 25);
+    let err = try_par_hde_resume(&other, &cfg, 2, &ckpt).unwrap_err();
+    assert!(matches!(err, HdeError::CheckpointMismatch(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 11);
+
+    let reseeded = ParHdeConfig { seed: cfg.seed + 1, ..cfg.clone() };
+    let err = try_par_hde_resume(&g, &reseeded, 2, &ckpt).unwrap_err();
+    assert!(matches!(err, HdeError::CheckpointMismatch(_)), "{err:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_mid_run_leaves_no_partial_checkpoint_files() {
+    let _guard = serialize();
+    let g = gen::grid2d(40, 40);
+    let cfg = ParHdeConfig::default();
+    // Cancel at several points across the run; whatever the timing, the
+    // checkpoint directory must contain either nothing or a complete,
+    // readable checkpoint — never a stray temporary.
+    for trip_at in [1u64, 3, 10, 100, 1000] {
+        let dir = scratch(&format!("cancel-{trip_at}"));
+        let spec = CheckpointSpec::in_dir(dir.clone());
+        let budget = RunBudget::unbounded();
+        budget.cancel_after_checks(trip_at);
+        let installed = supervisor::install(&budget);
+        let outcome = try_par_hde_nd_checkpointed(&g, &cfg, 2, &spec);
+        drop(installed);
+        assert!(
+            tmp_files(&dir).is_empty(),
+            "trip_at {trip_at}: partial .tmp file left behind"
+        );
+        if spec.file_path().exists() {
+            let ckpt = Checkpoint::read(&spec.file_path())
+                .expect("existing checkpoint must be complete and readable");
+            // And it must actually be usable for a resume.
+            let (resumed, _) = try_par_hde_resume(&g, &cfg, 2, &ckpt).unwrap();
+            assert_eq!(resumed.rows(), g.num_vertices());
+        }
+        if let Err(e) = outcome {
+            assert!(
+                matches!(e, HdeError::Cancelled { .. }),
+                "trip_at {trip_at}: unexpected error {e:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn deadline_error_carries_the_tripped_phase() {
+    let _guard = serialize();
+    let g = gen::grid2d(40, 40);
+    let cfg = ParHdeConfig::default();
+    let budget = RunBudget::unbounded().with_deadline(Duration::ZERO);
+    let installed = supervisor::install(&budget);
+    let err = try_par_hde_nd(&g, &cfg, 2).unwrap_err();
+    drop(installed);
+    match err {
+        HdeError::DeadlineExceeded { phase } => {
+            assert!(!phase.is_empty());
+            assert_eq!(err.exit_code(), 9);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}

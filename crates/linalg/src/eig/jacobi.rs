@@ -109,6 +109,12 @@ fn jacobi_core(m: &ColMajorMatrix) -> Eigen {
         if off_norm(&a) <= TOL * total {
             break;
         }
+        // Cooperative cancellation point (once per sweep): a tripped run
+        // budget returns the current (unconverged) approximation, which
+        // the caller discards at its next phase boundary.
+        if parhde_util::supervisor::should_stop() {
+            break;
+        }
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = at(&a, p, q);

@@ -94,6 +94,10 @@ pub fn dominant_walk_eigenvectors(
         let mut lambda = 0.0;
         let mut ok = false;
         for _ in 0..max_iters {
+            // Cooperative cancellation point (once per power iteration).
+            if parhde_util::supervisor::should_stop() {
+                break;
+            }
             // Iterate the shifted operator (N + I)/2, whose spectrum is
             // (λ+1)/2 ∈ [0, 1]: monotone in λ, so the dominant direction is
             // the largest *algebraic* eigenvalue. Plain N would converge to

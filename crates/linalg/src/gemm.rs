@@ -51,6 +51,12 @@ fn partial_at_b(
     hi: usize,
 ) -> Vec<f64> {
     if hi - lo <= ROW_CHUNK {
+        // Cooperative cancellation point (once per row block): a tripped
+        // run budget zeroes the remaining partials — the caller discards
+        // the poisoned product at its next phase boundary.
+        if parhde_util::supervisor::should_stop() {
+            return vec![0.0; p * q];
+        }
         let mut z = vec![0.0; p * q];
         for j in 0..q {
             let bcol = &bdata[j * n..(j + 1) * n];
@@ -100,6 +106,10 @@ pub fn a_small(a: &ColMajorMatrix, w: &ColMajorMatrix) -> ColMajorMatrix {
         .into_par_iter()
         .map(|j| {
             let mut col = vec![0.0; n];
+            // Cooperative cancellation point (once per output column).
+            if parhde_util::supervisor::should_stop() {
+                return col;
+            }
             for i in 0..p {
                 let coeff = w.get(i, j);
                 if coeff == 0.0 {

@@ -63,6 +63,14 @@ pub fn mgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
     // Kept columns stay at their original physical index during the pass;
     // the matrix is compacted once at the end via retain_columns.
     for i in 0..cols {
+        // Cooperative cancellation point (once per column): a tripped run
+        // budget leaves the remaining columns unorthogonalized and reports
+        // them dropped; the caller discards the outcome at its next phase
+        // boundary.
+        if parhde_util::supervisor::should_stop() {
+            dropped.extend(i..cols);
+            break;
+        }
         if mgs_step(s, &kept, i, d, tol) {
             kept.push(i);
         } else {
@@ -149,6 +157,11 @@ pub fn cgs(s: &mut ColMajorMatrix, d: Option<&[f64]>, tol: f64) -> OrthoOutcome 
     let mut dropped = Vec::new();
     let mut ciw = vec![0.0; rows];
     for i in 0..cols {
+        // Cooperative cancellation point (once per column), as in `mgs`.
+        if parhde_util::supervisor::should_stop() {
+            dropped.extend(i..cols);
+            break;
+        }
         parhde_trace::counter!("dortho.projections", kept.len() as u64);
         if !kept.is_empty() {
             // D·s_i (or a plain copy), computed before the prefix borrow.

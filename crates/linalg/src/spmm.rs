@@ -49,6 +49,12 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
         .map(|lo| {
             let hi = (lo + ROW_CHUNK).min(n);
             let mut block = vec![0.0; (hi - lo) * k];
+            // Cooperative cancellation point (once per row block): remaining
+            // blocks stay zero; the caller discards the poisoned product at
+            // its next phase boundary.
+            if parhde_util::supervisor::should_stop() {
+                return (lo, block);
+            }
             let mut acc = vec![0.0; k];
             for v in lo..hi {
                 let dv = degrees[v];
@@ -138,6 +144,10 @@ pub fn laplacian_spmm_weighted(
         .map(|lo| {
             let hi = (lo + ROW_CHUNK).min(n);
             let mut block = vec![0.0; (hi - lo) * k];
+            // Cooperative cancellation point, as in `laplacian_spmm`.
+            if parhde_util::supervisor::should_stop() {
+                return (lo, block);
+            }
             let mut acc = vec![0.0; k];
             for v in lo..hi {
                 let dv = degrees[v];

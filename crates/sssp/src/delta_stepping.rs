@@ -115,6 +115,13 @@ pub fn delta_stepping_with_stats(
 
     let mut i = 0usize;
     while i < buckets.len() {
+        // Cooperative cancellation point (once per bucket): a tripped run
+        // budget abandons the traversal, leaving unsettled vertices at
+        // UNREACHABLE. Callers consult `supervisor::ambient_trip()` before
+        // treating the partial tentative distances as final.
+        if parhde_util::supervisor::should_stop() {
+            break;
+        }
         // Vertices removed from bucket i in this round (for heavy phase).
         let mut deleted: Vec<u32> = Vec::new();
         let mut bucket_was_active = false;

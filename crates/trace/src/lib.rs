@@ -106,9 +106,23 @@ macro_rules! gauge {
 /// `/proc/self/status` (`VmHWM`). Returns `None` off Linux or if the
 /// pseudo-file is unreadable — callers treat the gauge as best-effort.
 pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmRSS`). Unlike [`peak_rss_bytes`] this can go
+/// *down* when large allocations are returned to the OS, which is what the
+/// run supervisor's phase-boundary memory polls need: after a
+/// budget-tripped attempt frees its matrices, a cheaper retry must not be
+/// condemned by the old attempt's high-water mark.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+fn proc_status_bytes(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
+        if let Some(rest) = line.strip_prefix(field) {
             let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
             return Some(kb * 1024);
         }
@@ -123,6 +137,16 @@ mod tests {
         if let Some(rss) = super::peak_rss_bytes() {
             // More than a page, less than a terabyte.
             assert!(rss > 4096 && rss < (1 << 40), "implausible RSS {rss}");
+        }
+    }
+
+    #[test]
+    fn current_rss_is_at_most_peak() {
+        if let (Some(cur), Some(peak)) =
+            (super::current_rss_bytes(), super::peak_rss_bytes())
+        {
+            assert!(cur > 4096 && cur < (1 << 40), "implausible RSS {cur}");
+            assert!(cur <= peak, "current {cur} above high-water mark {peak}");
         }
     }
 }

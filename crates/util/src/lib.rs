@@ -15,14 +15,19 @@
 //!   table-reproduction harness.
 //! * [`threads`] — helpers to run closures inside rayon pools of an exact
 //!   size, which the scaling experiments (Table 4, Figure 4) sweep.
+//! * [`supervisor`] — run budgets (wall-clock deadlines, soft memory
+//!   budgets, cancellation tokens) polled cooperatively by the kernel hot
+//!   loops, plus the ambient installation machinery and signal handlers.
 
 #![warn(missing_docs)]
 
 pub mod fmt;
 pub mod rng;
 pub mod stats;
+pub mod supervisor;
 pub mod threads;
 pub mod timing;
 
 pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use supervisor::{RunBudget, TripReason};
 pub use timing::{PhaseTimes, Timer};

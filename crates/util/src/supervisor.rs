@@ -1,0 +1,617 @@
+//! Run supervision: wall-clock deadlines, soft memory budgets, and
+//! cooperative cancellation for long layout runs.
+//!
+//! A [`RunBudget`] bundles the three bounds a production layout service
+//! needs on every run: a **deadline** (wall-clock instant after which the
+//! run must unwind), a **soft memory budget** (bytes; enforced by the
+//! caller's admission estimator and by RSS polls at phase boundaries) and a
+//! **cancellation token** (tripped by signal handlers or by a peer thread).
+//!
+//! # Ambient installation
+//!
+//! The hot loops that must honor a budget — BFS level sweeps, Δ-stepping
+//! buckets, GEMM row-block recursion, Gram-Schmidt columns, eigensolver
+//! sweeps — run deep inside `rayon` worker closures whose signatures cannot
+//! thread a context through (and whose callers are shared with unbudgeted
+//! paths). The budget is therefore installed *ambiently*, exactly like the
+//! trace collector: [`install`] publishes the budget process-wide and
+//! returns a guard; kernels poll [`should_stop`], which is a single relaxed
+//! atomic load when no budget is installed. Installation is exclusive — a
+//! second `install` while a guard is alive blocks until the first guard
+//! drops, so concurrent runs never observe each other's budgets.
+//!
+//! # Cooperative contract
+//!
+//! Kernels never unwind themselves. A kernel that observes
+//! `should_stop() == true` abandons its remaining work *cheaply* (breaking
+//! out of its loop, leaving its output partial or zeroed) and returns
+//! normally; the owning pipeline phase then calls [`trip`] at its next
+//! phase boundary and converts the recorded [`TripReason`] into its own
+//! typed error. This keeps the unwinding path on code that already returns
+//! `Result` and keeps the kernels panic-free.
+//!
+//! # Determinism
+//!
+//! An *untripped* budget never changes results: checks read time and flags
+//! but never data. The [`RunBudget::cancel_after_checks`] hook trips the
+//! cancellation token after exactly N cooperative checks, giving tests a
+//! deterministic way to cut a run at any internal boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Why a budget tripped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TripReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancellation token was tripped (signal handler, peer thread, or
+    /// the deterministic `cancel_after_checks` test hook).
+    Cancelled,
+    /// The soft memory budget was exceeded (recorded by the owning
+    /// pipeline's phase-boundary RSS poll via [`RunBudget::trip_memory`]).
+    Memory,
+}
+
+impl TripReason {
+    /// Stable lowercase label used in trace counters and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TripReason::Deadline => "deadline",
+            TripReason::Cancelled => "cancelled",
+            TripReason::Memory => "memory",
+        }
+    }
+}
+
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_CANCELLED: u8 = 2;
+const TRIP_MEMORY: u8 = 3;
+
+fn decode_trip(v: u8) -> Option<TripReason> {
+    match v {
+        TRIP_DEADLINE => Some(TripReason::Deadline),
+        TRIP_CANCELLED => Some(TripReason::Cancelled),
+        TRIP_MEMORY => Some(TripReason::Memory),
+        _ => None,
+    }
+}
+
+/// Deadlines are stored as nanoseconds after a per-budget anchor instant so
+/// they fit an atomic (re-armable per ladder rung). `u64::MAX` means "no
+/// deadline".
+const NO_DEADLINE: u64 = u64::MAX;
+
+/// `cancel_after_checks` sentinel for "hook disabled".
+const NO_TRIP_AFTER: u64 = u64::MAX;
+
+struct BudgetCore {
+    /// Fixed at construction; deadlines are offsets from here.
+    anchor: Instant,
+    /// Nanoseconds after `anchor`, or [`NO_DEADLINE`].
+    deadline_nanos: AtomicU64,
+    /// Soft memory budget in bytes (`u64::MAX` = none). Enforced by the
+    /// caller (admission estimate + RSS polls), not by `should_stop`.
+    mem_budget_bytes: u64,
+    /// Cancellation token.
+    cancelled: AtomicBool,
+    /// Whether process-wide cancellation (signal handlers) trips this budget.
+    honor_global_cancel: bool,
+    /// Cooperative checks performed so far.
+    checks: AtomicU64,
+    /// Test hook: trip cancellation once `checks` reaches this value.
+    trip_after: AtomicU64,
+    /// First recorded trip ([`TRIP_NONE`] until one happens).
+    tripped: AtomicU8,
+}
+
+impl BudgetCore {
+    /// Records `reason` if no trip is recorded yet; returns the reason that
+    /// ends up recorded.
+    fn record_trip(&self, reason: u8) -> u8 {
+        match self.tripped.compare_exchange(
+            TRIP_NONE,
+            reason,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => reason,
+            Err(prev) => prev,
+        }
+    }
+
+    /// One cooperative check; returns true when the run should unwind.
+    fn check(&self) -> bool {
+        let k = self.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        if k >= self.trip_after.load(Ordering::Relaxed) {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+        if self.cancelled.load(Ordering::Relaxed)
+            || (self.honor_global_cancel && global_cancel_requested())
+        {
+            self.record_trip(TRIP_CANCELLED);
+            return true;
+        }
+        if self.tripped.load(Ordering::Relaxed) != TRIP_NONE {
+            return true;
+        }
+        let dl = self.deadline_nanos.load(Ordering::Relaxed);
+        if dl != NO_DEADLINE {
+            let now = self.anchor.elapsed().as_nanos() as u64;
+            if now >= dl {
+                self.record_trip(TRIP_DEADLINE);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A run budget: deadline + soft memory budget + cancellation token.
+///
+/// Cloning is cheap and shares state — a clone held by a watcher thread
+/// sees (and can trigger) the same trips as the installed original.
+#[derive(Clone)]
+pub struct RunBudget {
+    core: Arc<BudgetCore>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl std::fmt::Debug for RunBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunBudget")
+            .field("deadline", &self.remaining())
+            .field("mem_budget_bytes", &self.mem_budget_bytes())
+            .field("cancelled", &self.is_cancelled())
+            .field("tripped", &self.trip())
+            .finish()
+    }
+}
+
+impl RunBudget {
+    /// A budget with no bounds at all (checks always pass). Useful as a
+    /// carrier for the cancellation token alone.
+    pub fn unbounded() -> Self {
+        Self {
+            core: Arc::new(BudgetCore {
+                anchor: Instant::now(),
+                deadline_nanos: AtomicU64::new(NO_DEADLINE),
+                mem_budget_bytes: u64::MAX,
+                cancelled: AtomicBool::new(false),
+                honor_global_cancel: false,
+                checks: AtomicU64::new(0),
+                trip_after: AtomicU64::new(NO_TRIP_AFTER),
+                tripped: AtomicU8::new(TRIP_NONE),
+            }),
+        }
+    }
+
+    /// Returns a copy of this budget with a deadline `d` from now.
+    #[must_use]
+    pub fn with_deadline(self, d: Duration) -> Self {
+        self.arm_deadline_at(Instant::now() + d);
+        self
+    }
+
+    /// Returns a copy of this budget with a soft memory budget in bytes.
+    #[must_use]
+    pub fn with_mem_budget(self, bytes: u64) -> Self {
+        // mem_budget_bytes is plain (immutable post-construction), so this
+        // rebuilds the core while preserving shared-token semantics only if
+        // nothing else holds a clone yet. Budgets are configured before
+        // being shared, so a fresh core is fine here.
+        let core = BudgetCore {
+            anchor: self.core.anchor,
+            deadline_nanos: AtomicU64::new(
+                self.core.deadline_nanos.load(Ordering::Relaxed),
+            ),
+            mem_budget_bytes: bytes,
+            cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
+            honor_global_cancel: self.core.honor_global_cancel,
+            checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
+            trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
+            tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
+        };
+        Self { core: Arc::new(core) }
+    }
+
+    /// Returns a copy of this budget that also trips on process-wide
+    /// cancellation requests ([`request_global_cancel`], signal handlers).
+    #[must_use]
+    pub fn honoring_global_cancel(self) -> Self {
+        let core = BudgetCore {
+            anchor: self.core.anchor,
+            deadline_nanos: AtomicU64::new(
+                self.core.deadline_nanos.load(Ordering::Relaxed),
+            ),
+            mem_budget_bytes: self.core.mem_budget_bytes,
+            cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
+            honor_global_cancel: true,
+            checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
+            trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
+            tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
+        };
+        Self { core: Arc::new(core) }
+    }
+
+    /// (Re-)arms the deadline to the absolute instant `at`. Used by the
+    /// degraded-retry ladder to give each rung its own slice of the overall
+    /// deadline; also clears a previously recorded *deadline* trip so the
+    /// next rung starts clean (cancellation stays sticky).
+    pub fn arm_deadline_at(&self, at: Instant) {
+        let nanos = at
+            .checked_duration_since(self.core.anchor)
+            .map_or(0, |d| d.as_nanos() as u64);
+        self.core.deadline_nanos.store(nanos, Ordering::Relaxed);
+        let _ = self.core.tripped.compare_exchange(
+            TRIP_DEADLINE,
+            TRIP_NONE,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        let _ = self.core.tripped.compare_exchange(
+            TRIP_MEMORY,
+            TRIP_NONE,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Removes the deadline (the cancellation token keeps working).
+    pub fn disarm_deadline(&self) {
+        self.core.deadline_nanos.store(NO_DEADLINE, Ordering::Relaxed);
+    }
+
+    /// Trips the cancellation token. Safe from any thread.
+    pub fn cancel(&self) {
+        self.core.cancelled.store(true, Ordering::Relaxed);
+        self.core.record_trip(TRIP_CANCELLED);
+    }
+
+    /// Whether the cancellation token is tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.core.cancelled.load(Ordering::Relaxed)
+            || (self.core.honor_global_cancel && global_cancel_requested())
+    }
+
+    /// Records a memory-budget trip (called by the owning pipeline when an
+    /// RSS poll exceeds the soft budget).
+    pub fn trip_memory(&self) {
+        self.core.record_trip(TRIP_MEMORY);
+    }
+
+    /// The soft memory budget in bytes, if one is set.
+    pub fn mem_budget_bytes(&self) -> Option<u64> {
+        (self.core.mem_budget_bytes != u64::MAX).then_some(self.core.mem_budget_bytes)
+    }
+
+    /// Time left before the deadline (None when no deadline is armed;
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        let dl = self.core.deadline_nanos.load(Ordering::Relaxed);
+        if dl == NO_DEADLINE {
+            return None;
+        }
+        let now = self.core.anchor.elapsed().as_nanos() as u64;
+        Some(Duration::from_nanos(dl.saturating_sub(now)))
+    }
+
+    /// The first recorded trip, if any.
+    pub fn trip(&self) -> Option<TripReason> {
+        decode_trip(self.core.tripped.load(Ordering::Relaxed))
+    }
+
+    /// One cooperative check against *this* budget (kernels normally use
+    /// the ambient [`should_stop`] instead). Returns true when tripped.
+    pub fn check(&self) -> bool {
+        self.core.check()
+    }
+
+    /// Cooperative checks performed so far (across all threads).
+    pub fn checks(&self) -> u64 {
+        self.core.checks.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic fault-injection hook: trip the cancellation token at
+    /// the `n`-th cooperative check (1-indexed). `u64::MAX` disables.
+    pub fn cancel_after_checks(&self, n: u64) {
+        self.core.trip_after.store(n, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient installation
+// ---------------------------------------------------------------------------
+
+/// Fast-path flag: true while a budget is installed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// The installed budget. The outer mutex serializes installations: the
+/// guard returned by [`install`] holds it for its whole lifetime, so at
+/// most one budget is ever ambient and concurrent `install` calls queue.
+static SLOT: OnceLock<Mutex<Option<Arc<BudgetCore>>>> = OnceLock::new();
+
+/// A second handle to the installed core for readers ([`should_stop`]),
+/// who cannot take `SLOT` (it is held by the install guard).
+static READ_SLOT: OnceLock<Mutex<Option<Arc<BudgetCore>>>> = OnceLock::new();
+
+fn slot() -> &'static Mutex<Option<Arc<BudgetCore>>> {
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn read_slot() -> &'static Mutex<Option<Arc<BudgetCore>>> {
+    READ_SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Keeps the ambient budget installed; uninstalls on drop.
+pub struct Installed {
+    _exclusive: MutexGuard<'static, Option<Arc<BudgetCore>>>,
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::SeqCst);
+        if let Ok(mut r) = read_slot().lock() {
+            *r = None;
+        }
+    }
+}
+
+/// Installs `budget` as the process-wide ambient budget polled by
+/// [`should_stop`]. Blocks while another budget is installed (exclusive);
+/// the returned guard uninstalls on drop.
+pub fn install(budget: &RunBudget) -> Installed {
+    let mut exclusive = match slot().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *exclusive = Some(Arc::clone(&budget.core));
+    if let Ok(mut r) = read_slot().lock() {
+        *r = Some(Arc::clone(&budget.core));
+    }
+    ACTIVE.store(true, Ordering::SeqCst);
+    Installed { _exclusive: exclusive }
+}
+
+/// Cooperative cancellation point for kernels: true when an installed
+/// budget has tripped (deadline passed, cancellation requested, or memory
+/// trip recorded). A single relaxed atomic load when no budget is
+/// installed, so unbudgeted runs pay essentially nothing.
+#[inline]
+pub fn should_stop() -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    should_stop_slow()
+}
+
+#[cold]
+fn should_stop_slow() -> bool {
+    let core = match read_slot().lock() {
+        Ok(g) => g.clone(),
+        Err(_) => None,
+    };
+    match core {
+        Some(c) => c.check(),
+        None => false,
+    }
+}
+
+/// The ambient budget's recorded trip, if a budget is installed and has
+/// tripped. Pipelines call this at phase boundaries to convert a kernel's
+/// early exit into their own typed error.
+pub fn ambient_trip() -> Option<TripReason> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let core = read_slot().lock().ok()?.clone()?;
+    decode_trip(core.tripped.load(Ordering::Relaxed))
+}
+
+/// The ambient budget's soft memory budget, if any. Used by pipelines for
+/// phase-boundary RSS polls.
+pub fn ambient_mem_budget() -> Option<u64> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let core = read_slot().lock().ok()?.clone()?;
+    (core.mem_budget_bytes != u64::MAX).then_some(core.mem_budget_bytes)
+}
+
+/// Records a memory trip on the ambient budget (no-op when none installed).
+pub fn ambient_trip_memory() {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(core) = read_slot().lock().ok().and_then(|g| g.clone()) {
+        core.record_trip(TRIP_MEMORY);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide cancellation (signal handlers)
+// ---------------------------------------------------------------------------
+
+/// Set by [`request_global_cancel`]; consulted by budgets built with
+/// [`RunBudget::honoring_global_cancel`].
+static GLOBAL_CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// Requests process-wide cancellation. Async-signal-safe (a single atomic
+/// store), so signal handlers may call it directly.
+pub fn request_global_cancel() {
+    GLOBAL_CANCEL.store(true, Ordering::SeqCst);
+}
+
+/// Whether process-wide cancellation has been requested.
+pub fn global_cancel_requested() -> bool {
+    GLOBAL_CANCEL.load(Ordering::Relaxed)
+}
+
+/// Clears the process-wide cancellation flag (tests only).
+#[doc(hidden)]
+pub fn reset_global_cancel() {
+    GLOBAL_CANCEL.store(false, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that request process-wide cancellation
+/// ([`request_global_cancel`]) on the first signal and restore the default
+/// disposition, so a second signal terminates the process immediately.
+/// Budgets built with [`RunBudget::honoring_global_cancel`] then trip at
+/// their next cooperative check and the run unwinds cleanly — flushing run
+/// reports and checkpoints — instead of dying mid-write.
+///
+/// No-op on non-Unix platforms.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        const SIG_DFL: usize = 0;
+
+        unsafe extern "C" {
+            // libc `signal(2)`; linked from the C runtime every Rust binary
+            // already carries, so no new dependency is involved.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        extern "C" fn on_signal(signum: i32) {
+            // Only async-signal-safe operations here: one atomic store plus
+            // re-arming the default disposition so a second signal kills.
+            request_global_cancel();
+            unsafe {
+                signal(signum, SIG_DFL);
+            }
+        }
+
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// `install` is process-global; serialize the tests that use it.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_never_trips() {
+        let b = RunBudget::unbounded();
+        for _ in 0..1000 {
+            assert!(!b.check());
+        }
+        assert_eq!(b.trip(), None);
+        assert_eq!(b.checks(), 1000);
+    }
+
+    #[test]
+    fn deadline_trips_and_rearms() {
+        let b = RunBudget::unbounded().with_deadline(Duration::from_millis(0));
+        assert!(b.check());
+        assert_eq!(b.trip(), Some(TripReason::Deadline));
+        // Re-arming for a later slice clears the deadline trip.
+        b.arm_deadline_at(Instant::now() + Duration::from_secs(3600));
+        assert!(!b.check());
+        assert_eq!(b.trip(), None);
+    }
+
+    #[test]
+    fn cancellation_is_sticky_across_rearm() {
+        let b = RunBudget::unbounded();
+        b.cancel();
+        assert!(b.check());
+        b.arm_deadline_at(Instant::now() + Duration::from_secs(3600));
+        assert!(b.check(), "cancellation must survive deadline re-arming");
+        assert_eq!(b.trip(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_after_checks_is_deterministic() {
+        let b = RunBudget::unbounded();
+        b.cancel_after_checks(5);
+        for _ in 0..4 {
+            assert!(!b.check());
+        }
+        assert!(b.check());
+        assert_eq!(b.trip(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn memory_trip_records_reason() {
+        let b = RunBudget::unbounded().with_mem_budget(1 << 20);
+        assert_eq!(b.mem_budget_bytes(), Some(1 << 20));
+        b.trip_memory();
+        assert!(b.check());
+        assert_eq!(b.trip(), Some(TripReason::Memory));
+    }
+
+    #[test]
+    fn ambient_install_round_trip() {
+        let _l = lock();
+        assert!(!should_stop(), "no budget installed");
+        let b = RunBudget::unbounded().with_deadline(Duration::from_millis(0));
+        {
+            let _g = install(&b);
+            assert!(should_stop());
+            assert_eq!(ambient_trip(), Some(TripReason::Deadline));
+        }
+        assert!(!should_stop(), "uninstalled on drop");
+        assert_eq!(ambient_trip(), None);
+    }
+
+    #[test]
+    fn ambient_mem_budget_visible() {
+        let _l = lock();
+        let b = RunBudget::unbounded().with_mem_budget(123);
+        let _g = install(&b);
+        assert_eq!(ambient_mem_budget(), Some(123));
+        ambient_trip_memory();
+        assert_eq!(ambient_trip(), Some(TripReason::Memory));
+    }
+
+    #[test]
+    fn global_cancel_flag_only_affects_opted_in_budgets() {
+        let _l = lock();
+        reset_global_cancel();
+        let plain = RunBudget::unbounded();
+        let opted = RunBudget::unbounded().honoring_global_cancel();
+        request_global_cancel();
+        assert!(!plain.check());
+        assert!(opted.check());
+        assert_eq!(opted.trip(), Some(TripReason::Cancelled));
+        reset_global_cancel();
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let b = RunBudget::unbounded().with_deadline(Duration::from_secs(3600));
+        let r = b.remaining().unwrap();
+        assert!(r <= Duration::from_secs(3600) && r > Duration::from_secs(3500));
+        assert_eq!(RunBudget::unbounded().remaining(), None);
+    }
+
+    #[test]
+    fn trip_reason_labels_are_stable() {
+        assert_eq!(TripReason::Deadline.label(), "deadline");
+        assert_eq!(TripReason::Cancelled.label(), "cancelled");
+        assert_eq!(TripReason::Memory.label(), "memory");
+    }
+}

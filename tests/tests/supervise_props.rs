@@ -1,0 +1,149 @@
+//! Property tests for the run supervisor's cancellation and checkpoint
+//! contracts (DESIGN.md §11): cancelling a checkpointed run at an
+//! *arbitrary* cooperative check must never leave a partial or corrupt
+//! file behind, and any checkpoint that does land must resume to a layout
+//! bit-identical to the uninterrupted run.
+//!
+//! The sweep is driven by the workspace's own deterministic PRNG rather
+//! than the proptest macros: the cancellation point is the random input,
+//! a failing case is reproduced exactly by its printed (family, trip_at)
+//! pair, and the file compiles in the offline build where the proptest
+//! stub has no macro support (`props.rs` is CI-only for that reason).
+
+use parhde::config::ParHdeConfig;
+use parhde::{
+    try_par_hde_nd, try_par_hde_nd_checkpointed, try_par_hde_resume, Checkpoint,
+    CheckpointSpec, HdeError,
+};
+use parhde_graph::gen;
+use parhde_graph::prep::largest_component;
+use parhde_graph::CsrGraph;
+use parhde_util::supervisor;
+use parhde_util::{RunBudget, Xoshiro256StarStar};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Ambient budget installation is process-exclusive; serialize everything
+/// that installs one.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// One representative connected graph per generator family, small enough
+/// for many sweep cases. The k-centers pipeline visits each through the
+/// same phase sequence, so the random cancellation points cover the same
+/// code paths large runs take.
+fn families() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("grid", gen::grid2d(18, 18)),
+        ("kron", largest_component(&gen::kron(8, 6, 3)).graph),
+        ("pref", gen::pref_attach(400, 3, 4)),
+        ("road", gen::geometric(400, 3.0, 5)),
+        ("web", largest_component(&gen::web_locality(400, 6, 6)).graph),
+    ]
+}
+
+/// Leftover `*.tmp` files in `dir` (atomic-write violations).
+fn tmp_files(dir: &Path) -> Vec<PathBuf> {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Runs one case: cancel the checkpointed pipeline at cooperative check
+/// number `trip_at`, then verify the three contract clauses.
+fn check_cancellation_case(
+    name: &str,
+    g: &CsrGraph,
+    reference: &parhde_linalg::dense::ColMajorMatrix,
+    trip_at: u64,
+    dir: &Path,
+) {
+    let cfg = ParHdeConfig { subspace: 12, ..ParHdeConfig::default() };
+    let _ = std::fs::remove_dir_all(dir);
+    let spec = CheckpointSpec::in_dir(dir.to_path_buf());
+
+    let budget = RunBudget::unbounded();
+    budget.cancel_after_checks(trip_at);
+    let installed = supervisor::install(&budget);
+    let outcome = try_par_hde_nd_checkpointed(g, &cfg, 2, &spec);
+    drop(installed);
+
+    // 1. No partial/temporary files, wherever the cancel landed.
+    assert!(
+        tmp_files(dir).is_empty(),
+        "{name}: .tmp file left at trip_at {trip_at}"
+    );
+
+    // 2. The outcome is either success (bit-identical to the reference) or
+    //    the typed cancellation — nothing else, and never a panic.
+    match outcome {
+        Ok((coords, _)) => assert_eq!(
+            &coords, reference,
+            "{name}: interrupted-but-completed run diverged (trip_at {trip_at})"
+        ),
+        Err(HdeError::Cancelled { .. }) => {}
+        Err(other) => {
+            panic!("{name}: unexpected error {other:?} at trip_at {trip_at}")
+        }
+    }
+
+    // 3. A checkpoint on disk is complete, valid, and resumes to a layout
+    //    bit-identical to the uninterrupted run.
+    if spec.file_path().exists() {
+        let ckpt = Checkpoint::read(&spec.file_path())
+            .unwrap_or_else(|e| panic!("{name}: corrupt checkpoint: {e}"));
+        let (resumed, _) = try_par_hde_resume(g, &cfg, 2, &ckpt)
+            .unwrap_or_else(|e| panic!("{name}: resume failed: {e}"));
+        assert_eq!(
+            &resumed, reference,
+            "{name}: resume diverged at trip_at {trip_at}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cancelled_runs_leave_no_partial_state() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    supervisor::reset_global_cancel();
+    let cfg = ParHdeConfig { subspace: 12, ..ParHdeConfig::default() };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5eed_9a7de);
+    for (name, g) in families() {
+        // Reference: the uninterrupted run (no budget installed).
+        let (reference, _) = try_par_hde_nd(&g, &cfg, 2).unwrap();
+        // Early checks are where every phase boundary lives; also probe a
+        // few uniformly drawn later points per family.
+        let mut points: Vec<u64> = vec![1, 2, 3, 5, 8];
+        for _ in 0..7 {
+            points.push(1 + rng.next_index(600) as u64);
+        }
+        for (case, trip_at) in points.into_iter().enumerate() {
+            let dir = std::env::temp_dir().join(format!(
+                "parhde-props-{}-{name}-{case}",
+                std::process::id()
+            ));
+            check_cancellation_case(name, &g, &reference, trip_at, &dir);
+        }
+    }
+}
+
+#[test]
+fn uncancelled_budget_never_perturbs_any_family() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    supervisor::reset_global_cancel();
+    let cfg = ParHdeConfig { subspace: 12, ..ParHdeConfig::default() };
+    for (name, g) in families() {
+        let (reference, _) = try_par_hde_nd(&g, &cfg, 2).unwrap();
+        // An installed-but-untripped budget must be invisible to results.
+        let budget = RunBudget::unbounded();
+        let installed = supervisor::install(&budget);
+        let (supervised, _) = try_par_hde_nd(&g, &cfg, 2).unwrap();
+        drop(installed);
+        assert!(budget.checks() > 0, "{name}: kernels never polled the budget");
+        assert_eq!(supervised, reference, "{name}: budget polling perturbed");
+    }
+}

@@ -15,9 +15,20 @@
 //! an unbudgeted supervised run pays under 2% for its cooperative checks,
 //! installation, and ladder bookkeeping.
 //!
+//! `--linalg-shootout` adds the PR-5 kernel comparison (`BENCH_pr5.json`):
+//! the fused one-pass `Sᵀ·L·S` vs the staged `laplacian_spmm` + `at_b`
+//! pair (bit-identical outputs, verified here per graph), and the three
+//! DOrtho variants (MGS / CGS / BCGS2), all at `s = 50` on the same trio.
+//!
+//! `--gate BASELINE.json` turns the tool into a regression gate: the
+//! grouped TripleProd and DOrtho buckets of the current run reports are
+//! compared against the baseline's embedded runs (paired by position);
+//! any >25% slowdown in either bucket fails the invocation with exit 3.
+//!
 //! ```text
 //! bench-baseline --out BENCH_pr3.json [--skip-kernel-bench]
-//!                [--supervision-overhead] [report.json ...]
+//!                [--supervision-overhead] [--linalg-shootout]
+//!                [--gate BASELINE.json] [report.json ...]
 //! ```
 
 use parhde::config::ParHdeConfig;
@@ -26,7 +37,7 @@ use parhde_bench::reports;
 use parhde_bfs::batch::bfs_batched;
 use parhde_bfs::direction_opt::bfs_direction_opt;
 use parhde_bfs::multi::bfs_multi_source;
-use parhde_graph::gen::{geometric, grid2d, kron};
+use parhde_graph::gen::{geometric, grid2d, kron, pref_attach};
 use parhde_graph::CsrGraph;
 use parhde_trace::json::{escape, number};
 use parhde_trace::RunReport;
@@ -163,6 +174,190 @@ impl OverheadTiming {
     }
 }
 
+/// One graph's fused-vs-staged TripleProd and DOrtho-variant measurement.
+struct LinalgTiming {
+    label: &'static str,
+    n: usize,
+    m: usize,
+    s: usize,
+    fused_s: f64,
+    staged_s: f64,
+    mgs_s: f64,
+    cgs_s: f64,
+    bcgs2_s: f64,
+}
+
+impl LinalgTiming {
+    fn measure(label: &'static str, g: &CsrGraph, s: usize, reps: usize) -> Self {
+        use parhde_linalg::{fused, gemm, ortho, spmm, ColMajorMatrix};
+        let n = g.num_vertices();
+        let degrees = g.degree_vector();
+        // A deterministic dense S of the pipeline's exact shape (n × (s+1),
+        // constant column + pseudo-distance columns). Kernel cost depends
+        // only on the shape and the graph, not on orthonormality.
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(0x9a7de);
+        let mut smat = ColMajorMatrix::zeros(n, s + 1);
+        smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
+        for c in 1..=s {
+            for v in smat.col_mut(c) {
+                *v = (rng.next_f64() * 64.0).floor();
+            }
+        }
+        let fused_s = best_of(reps, || {
+            std::hint::black_box(fused::triple_product(g, &degrees, &smat));
+        });
+        let staged_s = best_of(reps, || {
+            let p = spmm::laplacian_spmm(g, &degrees, &smat);
+            std::hint::black_box(gemm::at_b(&smat, &p));
+        });
+        // The fused path must be a pure reschedule: identical bits.
+        let zf = fused::triple_product(g, &degrees, &smat);
+        let zs = gemm::at_b(&smat, &spmm::laplacian_spmm(g, &degrees, &smat));
+        assert_eq!(
+            zf.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            zs.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "fused and staged TripleProd disagree on {label}"
+        );
+        // DOrtho variants mutate S, so each rep runs on a fresh clone; the
+        // clone cost is identical across variants and cancels in ratios.
+        let mgs_s = best_of(reps, || {
+            let mut c = smat.clone();
+            std::hint::black_box(ortho::mgs(&mut c, Some(&degrees), 1e-3));
+        });
+        let cgs_s = best_of(reps, || {
+            let mut c = smat.clone();
+            std::hint::black_box(ortho::cgs(&mut c, Some(&degrees), 1e-3));
+        });
+        let bcgs2_s = best_of(reps, || {
+            let mut c = smat.clone();
+            std::hint::black_box(ortho::bcgs2(&mut c, Some(&degrees), 1e-3));
+        });
+        Self {
+            label,
+            n,
+            m: g.num_edges(),
+            s,
+            fused_s,
+            staged_s,
+            mgs_s,
+            cgs_s,
+            bcgs2_s,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"s\":{},\
+             \"fused_s\":{},\"staged_s\":{},\"fused_speedup_vs_staged\":{},\
+             \"mgs_s\":{},\"cgs_s\":{},\"bcgs2_s\":{},\
+             \"bcgs2_speedup_vs_mgs\":{}}}",
+            escape(self.label),
+            self.n,
+            self.m,
+            self.s,
+            number(self.fused_s),
+            number(self.staged_s),
+            number(self.staged_s / self.fused_s),
+            number(self.mgs_s),
+            number(self.cgs_s),
+            number(self.bcgs2_s),
+            number(self.mgs_s / self.bcgs2_s),
+        )
+    }
+}
+
+/// One run's `(input_label, grouped_buckets)` as stored in a baseline doc.
+type BaselineRun = (String, Vec<(String, f64)>);
+
+/// Extracts `(input_label, grouped_buckets)` for every run embedded in a
+/// bench-baseline document — the baseline side of `--gate`.
+fn baseline_grouped(text: &str) -> Result<Vec<BaselineRun>, String> {
+    let doc = parhde_trace::json::parse(text)?;
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_arr())
+        .ok_or("baseline has no runs array")?;
+    let mut out = Vec::new();
+    for run in runs {
+        let report = run.get("report").ok_or("baseline run missing report")?;
+        let input = report
+            .get("config")
+            .and_then(|v| v.as_arr())
+            .and_then(|pairs| {
+                pairs.iter().find(|p| {
+                    p.get("key").and_then(|k| k.as_str()) == Some("input")
+                })
+            })
+            .and_then(|p| p.get("value").and_then(|v| v.as_str()))
+            .unwrap_or("?")
+            .to_string();
+        let grouped = report
+            .get("grouped")
+            .and_then(|v| v.as_arr())
+            .ok_or("baseline report missing grouped buckets")?
+            .iter()
+            .map(|p| {
+                let k = p.get("key").and_then(|v| v.as_str()).ok_or("bad bucket key")?;
+                let v = p.get("value").and_then(parhde_trace::json::Value::as_f64)
+                    .ok_or("bad bucket value")?;
+                Ok((k.to_string(), v))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        out.push((input, grouped));
+    }
+    Ok(out)
+}
+
+/// The `--gate` mode: compares the grouped TripleProd and DOrtho buckets of
+/// the freshly loaded `current` reports against the committed baseline,
+/// paired by position. Returns the number of >`threshold`× regressions.
+fn gate_against_baseline(
+    baseline_path: &Path,
+    current: &[RunReport],
+    threshold: f64,
+) -> Result<usize, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let baseline = baseline_grouped(&text)?;
+    if baseline.len() != current.len() {
+        return Err(format!(
+            "baseline embeds {} runs but {} reports were supplied",
+            baseline.len(),
+            current.len()
+        ));
+    }
+    let mut regressions = 0;
+    for ((input, base_grouped), cur) in baseline.iter().zip(current) {
+        // Borrow RunReport/compare for the bucket pairing and the table:
+        // grouped buckets stand in for the fine-grained phases.
+        let before = RunReport { phases: base_grouped.clone(), ..RunReport::default() };
+        let after = RunReport { phases: cur.grouped.clone(), ..RunReport::default() };
+        let deltas = reports::compare(&before, &after);
+        eprintln!("gate {input}:");
+        eprint!("{}", reports::render_comparison(&deltas));
+        for d in &deltas {
+            if !matches!(d.name.as_str(), "TripleProd" | "DOrtho") {
+                continue;
+            }
+            // Sub-millisecond buckets are all scheduler noise at CI scale.
+            if d.before < 1e-3 {
+                continue;
+            }
+            if let Some(r) = d.ratio() {
+                if r > threshold {
+                    regressions += 1;
+                    eprintln!(
+                        "bench-baseline: REGRESSION: {input} {} {:.4} s -> \
+                         {:.4} s ({r:.2}x > {threshold:.2}x)",
+                        d.name, d.before, d.after
+                    );
+                }
+            }
+        }
+    }
+    Ok(regressions)
+}
+
 /// Renders one embedded run report as a JSON object (reusing the report's
 /// own serialization, which is itself a JSON document).
 fn embedded_report(path: &Path, report: &RunReport) -> String {
@@ -180,13 +375,17 @@ fn main() {
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut skip_kernel = false;
     let mut supervision_overhead = false;
+    let mut linalg_shootout = false;
+    let mut gate: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench-baseline --out BENCH.json \
-                     [--skip-kernel-bench] [report.json ...]"
+                     [--skip-kernel-bench] [--supervision-overhead] \
+                     [--linalg-shootout] [--gate BASELINE.json] \
+                     [report.json ...]"
                 );
                 exit(0);
             }
@@ -200,8 +399,19 @@ fn main() {
                     }
                 }
             }
+            "--gate" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => gate = Some(PathBuf::from(v)),
+                    None => {
+                        eprintln!("bench-baseline: missing value for --gate");
+                        exit(2);
+                    }
+                }
+            }
             "--skip-kernel-bench" => skip_kernel = true,
             "--supervision-overhead" => supervision_overhead = true,
+            "--linalg-shootout" => linalg_shootout = true,
             other => inputs.push(PathBuf::from(other)),
         }
         i += 1;
@@ -214,14 +424,38 @@ fn main() {
     // Load and validate every run report; a malformed report is a hard
     // error (the artifact must stay diffable).
     let mut embedded = Vec::new();
+    let mut loaded = Vec::new();
     for path in &inputs {
         match reports::load(path) {
             Ok(r) => {
                 eprintln!("{}", reports::summarize(&r).trim_end());
                 embedded.push(embedded_report(path, &r));
+                loaded.push(r);
             }
             Err(e) => {
                 eprintln!("bench-baseline: {}: {e}", path.display());
+                exit(2);
+            }
+        }
+    }
+
+    // Regression-gate mode: compare the fresh reports against a committed
+    // baseline before anything else, so CI fails fast and loudly.
+    if let Some(baseline_path) = &gate {
+        match gate_against_baseline(baseline_path, &loaded, 1.25) {
+            Ok(0) => eprintln!(
+                "gate: no TripleProd/DOrtho regression vs {}",
+                baseline_path.display()
+            ),
+            Ok(k) => {
+                eprintln!(
+                    "bench-baseline: {k} grouped-bucket regression(s) vs {}",
+                    baseline_path.display()
+                );
+                exit(3);
+            }
+            Err(e) => {
+                eprintln!("bench-baseline: gate: {e}");
                 exit(2);
             }
         }
@@ -310,14 +544,70 @@ fn main() {
         }
     }
 
+    // The linalg shoot-out: fused vs staged TripleProd and the three
+    // DOrtho variants, on the same trio at the paper's layout-scale s.
+    let mut linalgs = Vec::new();
+    if linalg_shootout {
+        let reps = 5;
+        let kron_g = kron(13, 12, 2);
+        linalgs.push(LinalgTiming::measure("kron_scale13_ef12", &kron_g, 50, reps));
+        linalgs.push(LinalgTiming::measure(
+            "grid_160x125",
+            &grid2d(160, 125),
+            50,
+            reps,
+        ));
+        linalgs.push(LinalgTiming::measure(
+            "pref_20000_a8",
+            &pref_attach(20_000, 8, 0x9a7de),
+            50,
+            reps,
+        ));
+        for t in &linalgs {
+            eprintln!(
+                "{}: fused {:.1} ms, staged {:.1} ms ({:.2}x); dortho mgs \
+                 {:.1} ms, cgs {:.1} ms, bcgs2 {:.1} ms ({:.2}x vs mgs)",
+                t.label,
+                t.fused_s * 1e3,
+                t.staged_s * 1e3,
+                t.staged_s / t.fused_s,
+                t.mgs_s * 1e3,
+                t.cgs_s * 1e3,
+                t.bcgs2_s * 1e3,
+                t.mgs_s / t.bcgs2_s,
+            );
+            // The acceptance criteria this artifact exists to witness.
+            if t.fused_s >= t.staged_s {
+                eprintln!(
+                    "bench-baseline: WARNING: fused ({:.1} ms) did not beat \
+                     staged ({:.1} ms) on {}",
+                    t.fused_s * 1e3,
+                    t.staged_s * 1e3,
+                    t.label,
+                );
+            }
+            if t.bcgs2_s >= t.mgs_s {
+                eprintln!(
+                    "bench-baseline: WARNING: bcgs2 ({:.1} ms) did not beat \
+                     mgs ({:.1} ms) on {}",
+                    t.bcgs2_s * 1e3,
+                    t.mgs_s * 1e3,
+                    t.label,
+                );
+            }
+        }
+    }
+
     let doc = format!(
         "{{\n  \"schema\": \"parhde-bench-baseline\",\n  \"version\": 1,\n  \
          \"threads\": {},\n  \"bfs_mode_timings\": [{}],\n  \
          \"supervision_overhead\": [{}],\n  \
+         \"linalg_timings\": [{}],\n  \
          \"runs\": [{}]\n}}\n",
         rayon::current_num_threads(),
         timings.iter().map(ModeTiming::to_json).collect::<Vec<_>>().join(","),
         overheads.iter().map(OverheadTiming::to_json).collect::<Vec<_>>().join(","),
+        linalgs.iter().map(LinalgTiming::to_json).collect::<Vec<_>>().join(","),
         embedded.join(","),
     );
     if let Err(e) = std::fs::write(&out, doc) {

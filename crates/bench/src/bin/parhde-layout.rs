@@ -20,7 +20,11 @@
 //!   --bfs-mode <mode>      auto|direction-opt|per-source|batched — BFS-phase
 //!                          execution mode (default auto: the planner picks
 //!                          from n, m, s and the thread count)
-//!   --cgs                  Classical Gram-Schmidt DOrtho
+//!   --ortho <mgs|cgs|bcgs2> Gram-Schmidt variant for DOrtho (default mgs)
+//!   --cgs                  shorthand for --ortho cgs
+//!   --linalg-mode <mode>   fused|staged — TripleProd execution (default
+//!                          fused: one-pass Sᵀ·L·S; staged: SpMM then GEMM;
+//!                          bit-identical layouts either way)
 //!   --plain-ortho          plain orthogonalization (eigen-projection)
 //!   --seed <u64>           PRNG seed (default 0x9a7de)
 //!   --size <px>            image width/height (default 1000)
@@ -54,7 +58,7 @@
 //! percentages in the Chrome trace match it because both views are fed by
 //! the same `PhaseSpan` intervals.
 
-use parhde::config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
+use parhde::config::{BfsMode, LinalgMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 use parhde::multilevel::{multilevel_hde, MultilevelConfig};
 use parhde::phde::PhdeConfig;
 use parhde::{
@@ -187,6 +191,9 @@ fn absorb_stats(em: &mut Emitter, stats: &HdeStats) {
     em.report.warnings = stats.warnings.iter().map(|w| w.to_string()).collect();
     if let Some(mode) = stats.bfs_mode {
         em.report.config.push(("bfs_mode_executed".into(), mode.into()));
+    }
+    if let Some(mode) = stats.linalg_mode {
+        em.report.config.push(("linalg_mode_executed".into(), mode.into()));
     }
 }
 
@@ -322,6 +329,7 @@ fn run() {
     let mut pivots = PivotStrategy::KCenters;
     let mut bfs_mode = BfsMode::Auto;
     let mut ortho = OrthoMethod::Mgs;
+    let mut linalg_mode = LinalgMode::Fused;
     let mut d_orthogonalize = true;
     let mut seed = 0x9a_7deu64;
     let mut size = 1000u32;
@@ -360,7 +368,9 @@ fn run() {
             "--subspace" => subspace = parsed!("--subspace"),
             "--random-pivots" => pivots = PivotStrategy::Random,
             "--bfs-mode" => bfs_mode = parsed!("--bfs-mode"),
+            "--ortho" => ortho = parsed!("--ortho"),
             "--cgs" => ortho = OrthoMethod::Cgs,
+            "--linalg-mode" => linalg_mode = parsed!("--linalg-mode"),
             "--plain-ortho" => d_orthogonalize = false,
             "--seed" => seed = parsed!("--seed"),
             "--size" => size = parsed!("--size"),
@@ -410,6 +420,7 @@ fn run() {
         ("pivots".into(), format!("{pivots:?}")),
         ("bfs_mode".into(), format!("{bfs_mode:?}")),
         ("ortho".into(), format!("{ortho:?}")),
+        ("linalg_mode".into(), linalg_mode.label().into()),
         ("d_orthogonalize".into(), d_orthogonalize.to_string()),
         ("seed".into(), seed.to_string()),
     ];
@@ -475,6 +486,7 @@ fn run() {
         pivots,
         bfs_mode,
         ortho,
+        linalg_mode,
         d_orthogonalize,
         seed,
         ..ParHdeConfig::default()

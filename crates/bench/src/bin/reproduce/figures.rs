@@ -2,7 +2,7 @@
 
 use crate::report::{banner, breakdown_row, row};
 use crate::Opts;
-use parhde::config::{ParHdeConfig, PivotStrategy};
+use parhde::config::{LinalgMode, ParHdeConfig, PivotStrategy};
 use parhde::layout::Layout;
 use parhde::phde::PhdeConfig;
 use parhde::prior::prior_hde;
@@ -160,7 +160,9 @@ pub fn fig5(opts: &Opts) {
         "Figure 5: DOrtho grows at s = 50; traversal dominates BFS; \
          LS dominates except sk-2005/road_usa",
     );
-    let cfg = ParHdeConfig::with_subspace(50);
+    // The paper's right panel splits TripleProd into LS vs GEMM — a staged
+    // notion, so pin the staged path for this figure.
+    let cfg = ParHdeConfig { linalg_mode: LinalgMode::Staged, ..ParHdeConfig::with_subspace(50) };
     row(
         &["Graph", "BFS%", "TriPr%", "DOrth%", "Other%", "trav/ovh", "LS/gemm"],
         &[12, 10, 10, 10, 10, 12, 12],

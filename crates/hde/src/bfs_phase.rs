@@ -89,7 +89,14 @@ const TINY_GRAPH_N: usize = 4096;
 /// Average-degree threshold below which a graph is presumed high-diameter
 /// (roads, grids, meshes): a shared sweep then pays ~diameter frontier
 /// rounds, and independent per-source traversals win (paper Table 6).
-const LOW_DEGREE_AVG: f64 = 4.0;
+///
+/// 6.5 rather than 4.0: BENCH_pr3 measured the batched kernel 8.8× slower
+/// than per-source on grid_160x125 (avg degree 3.97) and 3.8× slower on
+/// road_geometric_20k — both mesh-like graphs sitting at or just below the
+/// old cutoff. Triangulated meshes (avg degree ≈ 6) share the same
+/// high-diameter geometry, so the margin covers them too; genuinely
+/// low-diameter graphs (kron at avg 19, pref-attach at 16) stay far above.
+const LOW_DEGREE_AVG: f64 = 6.5;
 
 /// Minimum source count for the batched kernel to amortize its shared
 /// sweeps (below this, too few lanes share each word operation).
@@ -105,7 +112,7 @@ const MIN_BATCH_LANES: usize = 8;
 /// |---|---|
 /// | knob forced | that mode |
 /// | `n ≤ 4096` | per-source |
-/// | `2m/n < 4` (high-diameter proxy) | per-source if `s ≥ threads`, else direction-opt |
+/// | `2m/n < 6.5` (high-diameter proxy) | per-source if `s ≥ threads`, else direction-opt |
 /// | `s ≥ 8` | batched |
 /// | `s < threads` | direction-opt |
 /// | otherwise | per-source |
@@ -459,6 +466,40 @@ mod tests {
         // Low-diameter, few sources, few threads: per-source.
         assert_eq!(
             plan_bfs_phase(1 << 20, 1 << 23, 4, 2, BfsMode::Auto).mode,
+            PerSource
+        );
+    }
+
+    #[test]
+    fn planner_avoids_batched_on_mesh_like_graphs() {
+        use PlannedBfsMode::*;
+        // Regression for the BENCH_pr3 mispick risk: the bench trio's two
+        // mesh-like graphs, at their exact (n, m), where batched measured
+        // 8.8× (grid) and 3.8× (road) slower than per-source. Generated
+        // graphs pin the shapes so a generator change re-checks the plan.
+        let grid = grid2d(160, 125);
+        assert_eq!(grid.num_vertices(), 20_000);
+        let plan = plan_bfs_phase(
+            grid.num_vertices(),
+            grid.num_edges(),
+            50,
+            8,
+            BfsMode::Auto,
+        );
+        assert_eq!(plan.mode, PerSource, "gen:grid:160x125 must not batch");
+        let road = parhde_graph::gen::geometric(20_000, 3.0, 3);
+        let plan = plan_bfs_phase(
+            road.num_vertices(),
+            road.num_edges(),
+            50,
+            8,
+            BfsMode::Auto,
+        );
+        assert_eq!(plan.mode, PerSource, "gen:road (geometric) must not batch");
+        // A triangulated-mesh proxy (avg degree ≈ 6) now also lands on the
+        // high-diameter side of the 6.5 cutoff.
+        assert_eq!(
+            plan_bfs_phase(1 << 20, 3 << 20, 50, 8, BfsMode::Auto).mode,
             PerSource
         );
     }

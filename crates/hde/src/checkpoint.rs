@@ -141,7 +141,12 @@ pub fn config_fingerprint(cfg: &ParHdeConfig) -> u64 {
     h.update(&[match cfg.ortho {
         OrthoMethod::Mgs => 0u8,
         OrthoMethod::Cgs => 1,
+        OrthoMethod::Bcgs2 => 2,
     }]);
+    // `cfg.linalg_mode` is deliberately NOT hashed: fused and staged
+    // TripleProd are bit-identical (tested), so resuming a staged
+    // checkpoint under the fused kernels (or vice versa) yields exactly
+    // the layout an uninterrupted run would.
     h.update(&[u8::from(cfg.d_orthogonalize)]);
     h.update(&cfg.seed.to_le_bytes());
     h.update(&cfg.drop_tolerance.to_bits().to_le_bytes());

@@ -63,6 +63,71 @@ pub enum OrthoMethod {
     /// Classical Gram-Schmidt, BLAS-2 — consistently ~2–3× faster, but
     /// requires all distance vectors precomputed.
     Cgs,
+    /// Block Classical Gram-Schmidt with one reorthogonalization pass,
+    /// BLAS-3: panels of columns projected against the kept prefix with
+    /// two GEMM-shaped passes. The fastest variant on wide subspaces;
+    /// like CGS it needs all distance vectors precomputed.
+    Bcgs2,
+}
+
+impl std::str::FromStr for OrthoMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mgs" => Ok(OrthoMethod::Mgs),
+            "cgs" => Ok(OrthoMethod::Cgs),
+            "bcgs2" => Ok(OrthoMethod::Bcgs2),
+            other => Err(format!(
+                "unknown ortho method {other:?} (expected mgs, cgs or bcgs2)"
+            )),
+        }
+    }
+}
+
+/// How the TripleProd linear algebra executes (`Z = Sᵀ·L·S` and the
+/// symmetric covariance products).
+///
+/// Both modes produce **bit-identical** results at any thread count — the
+/// fused kernels replay the staged kernels' exact floating-point operation
+/// order (see `crates/linalg/src/fused.rs`) — so this is purely a
+/// performance/memory knob, and it is deliberately excluded from the
+/// checkpoint config fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LinalgMode {
+    /// One-pass fused TripleProd + SYRK self-products (default): `L·S`
+    /// streams through cache-resident row panels instead of being
+    /// materialized at `n×s`.
+    #[default]
+    Fused,
+    /// The staged PR≤4 schedule: `laplacian_spmm` materializes `P = L·S`,
+    /// then `at_b` reduces it. Kept as the ablation baseline and for
+    /// memory-traffic comparisons.
+    Staged,
+}
+
+impl LinalgMode {
+    /// Stable lowercase label for reports and trace counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinalgMode::Fused => "fused",
+            LinalgMode::Staged => "staged",
+        }
+    }
+}
+
+impl std::str::FromStr for LinalgMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fused" => Ok(LinalgMode::Fused),
+            "staged" => Ok(LinalgMode::Staged),
+            other => Err(format!(
+                "unknown linalg mode {other:?} (expected fused or staged)"
+            )),
+        }
+    }
 }
 
 /// Configuration of a ParHDE run.
@@ -78,6 +143,9 @@ pub struct ParHdeConfig {
     pub bfs_mode: BfsMode,
     /// Gram-Schmidt variant for DOrtho.
     pub ortho: OrthoMethod,
+    /// TripleProd execution mode (fused one-pass vs staged SpMM + GEMM);
+    /// bit-identical results either way.
+    pub linalg_mode: LinalgMode,
     /// `true` (default) for D-orthogonalization — approximating the
     /// generalized eigenproblem `Lx = μDx` (degree-normalized vectors).
     /// `false` for plain orthogonalization — approximating the Laplacian
@@ -105,6 +173,7 @@ impl Default for ParHdeConfig {
             pivots: PivotStrategy::KCenters,
             bfs_mode: BfsMode::Auto,
             ortho: OrthoMethod::Mgs,
+            linalg_mode: LinalgMode::Fused,
             d_orthogonalize: true,
             seed: 0x9a_7de,
             drop_tolerance: 1e-3,
@@ -164,6 +233,7 @@ mod tests {
         assert_eq!(c.pivots, PivotStrategy::KCenters);
         assert_eq!(c.bfs_mode, BfsMode::Auto);
         assert_eq!(c.ortho, OrthoMethod::Mgs);
+        assert_eq!(c.linalg_mode, LinalgMode::Fused);
         assert!(c.d_orthogonalize);
         assert_eq!(c.drop_tolerance, 1e-3);
     }
@@ -181,6 +251,24 @@ mod tests {
         assert_eq!("per-source".parse(), Ok(BfsMode::PerSource));
         assert_eq!("batched".parse(), Ok(BfsMode::Batched));
         assert!("bogus".parse::<BfsMode>().is_err());
+    }
+
+    #[test]
+    fn ortho_method_parses_from_str() {
+        assert_eq!("mgs".parse(), Ok(OrthoMethod::Mgs));
+        assert_eq!("cgs".parse(), Ok(OrthoMethod::Cgs));
+        assert_eq!("bcgs2".parse(), Ok(OrthoMethod::Bcgs2));
+        assert!("gram".parse::<OrthoMethod>().is_err());
+    }
+
+    #[test]
+    fn linalg_mode_parses_from_str() {
+        assert_eq!("fused".parse(), Ok(LinalgMode::Fused));
+        assert_eq!("staged".parse(), Ok(LinalgMode::Staged));
+        assert_eq!(LinalgMode::default(), LinalgMode::Fused);
+        assert_eq!(LinalgMode::Fused.label(), "fused");
+        assert_eq!(LinalgMode::Staged.label(), "staged");
+        assert!("blocked".parse::<LinalgMode>().is_err());
     }
 
     #[test]

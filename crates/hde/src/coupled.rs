@@ -10,7 +10,7 @@
 //! operations in the same order). Pivot selection still folds the *raw*
 //! distances, so the k-centers sequence is unchanged.
 
-use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::config::{LinalgMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 use crate::error::Warning;
 use crate::layout::Layout;
 use crate::parhde::{accumulate, assert_connected, subspace_axes};
@@ -118,12 +118,25 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     assert!(smat.cols() >= 2, "fewer than two directions survived");
 
     // TripleProd + eigensolve + projection, identical to the decoupled path.
-    let ph = PhaseSpan::begin(phase::LS);
-    let prod = laplacian_spmm(g, &degrees, &smat);
-    ph.end(&mut stats.phases);
-    let ph = PhaseSpan::begin(phase::GEMM);
-    let z = at_b(&smat, &prod);
-    ph.end(&mut stats.phases);
+    stats.linalg_mode = Some(cfg.linalg_mode.label());
+    let z = match cfg.linalg_mode {
+        LinalgMode::Fused => {
+            let ph = PhaseSpan::begin(phase::FUSED);
+            let z = parhde_linalg::fused::triple_product(g, &degrees, &smat);
+            crate::supervise::budget_check_strict(phase::FUSED);
+            ph.end(&mut stats.phases);
+            z
+        }
+        LinalgMode::Staged => {
+            let ph = PhaseSpan::begin(phase::LS);
+            let prod = laplacian_spmm(g, &degrees, &smat);
+            ph.end(&mut stats.phases);
+            let ph = PhaseSpan::begin(phase::GEMM);
+            let z = at_b(&smat, &prod);
+            ph.end(&mut stats.phases);
+            z
+        }
+    };
     let ph = PhaseSpan::begin(phase::EIGEN);
     let (y, mus) = subspace_axes(&smat, &z, weights);
     stats.axis_eigenvalues = mus;

@@ -11,7 +11,7 @@
 
 use crate::bfs_phase::run_bfs_phase;
 use crate::checkpoint::{self, Checkpoint, CheckpointSpec};
-use crate::config::{OrthoMethod, ParHdeConfig};
+use crate::config::{LinalgMode, OrthoMethod, ParHdeConfig};
 use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
@@ -23,7 +23,7 @@ use parhde_linalg::dense::ColMajorMatrix;
 use parhde_linalg::eig::jacobi::try_symmetric_eigen;
 use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
-use parhde_linalg::ortho::{try_cgs, try_mgs};
+use parhde_linalg::ortho::{try_bcgs2, try_cgs, try_mgs};
 use parhde_util::Xoshiro256StarStar;
 
 /// How the pipeline responds to defective input.
@@ -373,6 +373,7 @@ fn pipeline_from_b(
     let outcome = match cfg.ortho {
         OrthoMethod::Mgs => try_mgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
         OrthoMethod::Cgs => try_cgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
+        OrthoMethod::Bcgs2 => try_bcgs2(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
     };
     // Drop the 0th (degenerate constant) column — Algorithm 3 line 16. It
     // always survives orthogonalization (it is processed first and has unit
@@ -397,17 +398,34 @@ fn pipeline_from_b(
     }
 
     // ---- TripleProd phase -------------------------------------------------
-    let ph = PhaseSpan::begin(phase::LS);
-    let prod = parhde_linalg::spmm::try_laplacian_spmm(g, &degrees, &smat)?;
-    ph.end(&mut stats.phases);
-    budget_check(phase::LS)?;
-    let ph = PhaseSpan::begin(phase::GEMM);
-    let z = at_b(&smat, &prod);
-    // Budget check before the finiteness check: a tripped gemm returns
-    // zeroed blocks, which are finite but meaningless.
-    budget_check(phase::GEMM)?;
-    check_matrix_finite(&z, "gemm")?;
-    ph.end(&mut stats.phases);
+    // Fused and staged produce bit-identical Z (the fused kernel replays
+    // the staged operation order); only schedule and memory traffic differ.
+    stats.linalg_mode = Some(cfg.linalg_mode.label());
+    let z = match cfg.linalg_mode {
+        LinalgMode::Fused => {
+            let ph = PhaseSpan::begin(phase::FUSED);
+            let z = parhde_linalg::fused::try_triple_product(g, &degrees, &smat)?;
+            // Budget check before use: a tripped fused kernel returns
+            // zeroed partials, which are finite but meaningless.
+            budget_check(phase::FUSED)?;
+            ph.end(&mut stats.phases);
+            z
+        }
+        LinalgMode::Staged => {
+            let ph = PhaseSpan::begin(phase::LS);
+            let prod = parhde_linalg::spmm::try_laplacian_spmm(g, &degrees, &smat)?;
+            ph.end(&mut stats.phases);
+            budget_check(phase::LS)?;
+            let ph = PhaseSpan::begin(phase::GEMM);
+            let z = at_b(&smat, &prod);
+            // Budget check before the finiteness check: a tripped gemm
+            // returns zeroed blocks, which are finite but meaningless.
+            budget_check(phase::GEMM)?;
+            check_matrix_finite(&z, "gemm")?;
+            ph.end(&mut stats.phases);
+            z
+        }
+    };
 
     // ---- Eigensolve -------------------------------------------------------
     let ph = PhaseSpan::begin(phase::EIGEN);

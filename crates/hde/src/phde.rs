@@ -10,7 +10,7 @@
 //! Other).
 
 use crate::bfs_phase::run_bfs_phase;
-use crate::config::{BfsMode, ParHdeConfig, PivotStrategy};
+use crate::config::{BfsMode, LinalgMode, ParHdeConfig, PivotStrategy};
 use crate::error::{scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
@@ -33,6 +33,9 @@ pub struct PhdeConfig {
     pub pivots: PivotStrategy,
     /// BFS execution mode for the BFS phase (default: planner-chosen).
     pub bfs_mode: BfsMode,
+    /// MatMul execution mode: SYRK self-product vs staged `at_b(c, c)`
+    /// (bit-identical results either way).
+    pub linalg_mode: LinalgMode,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -43,6 +46,7 @@ impl Default for PhdeConfig {
             subspace: 10,
             pivots: PivotStrategy::KCenters,
             bfs_mode: BfsMode::Auto,
+            linalg_mode: LinalgMode::Fused,
             seed: 0x9a_7de,
         }
     }
@@ -54,6 +58,7 @@ impl From<&ParHdeConfig> for PhdeConfig {
             subspace: c.subspace,
             pivots: c.pivots,
             bfs_mode: c.bfs_mode,
+            linalg_mode: c.linalg_mode,
             seed: c.seed,
         }
     }
@@ -166,9 +171,14 @@ fn run_phde(
     ph.end(&mut stats.phases);
     crate::supervise::budget_check(phase::COL_CENTER)?;
 
-    // MatMul: the small covariance CᵀC.
+    // MatMul: the small covariance CᵀC — SYRK computes only the lower
+    // triangle and mirrors it, bitwise identical to `at_b(c, c)`.
+    stats.linalg_mode = Some(cfg.linalg_mode.label());
     let ph = PhaseSpan::begin(phase::GEMM);
-    let z = at_b(&c, &c);
+    let z = match cfg.linalg_mode {
+        LinalgMode::Fused => parhde_linalg::syrk::at_a(&c),
+        LinalgMode::Staged => at_b(&c, &c),
+    };
     ph.end(&mut stats.phases);
     // A tripped gemm returns zeroed (finite but meaningless) blocks.
     crate::supervise::budget_check(phase::GEMM)?;

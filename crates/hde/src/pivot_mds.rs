@@ -9,6 +9,7 @@
 //! breakdown as BFS / DblCntr / MatMul / Other.
 
 use crate::bfs_phase::run_bfs_phase;
+use crate::config::LinalgMode;
 use crate::error::{scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::phde::PhdeConfig;
@@ -130,9 +131,13 @@ fn run_pivot_mds(
     ph.end(&mut stats.phases);
     crate::supervise::budget_check(phase::DBL_CENTER)?;
 
-    // MatMul.
+    // MatMul: SYRK self-product, bitwise identical to `at_b(c, c)`.
+    stats.linalg_mode = Some(cfg.linalg_mode.label());
     let ph = PhaseSpan::begin(phase::GEMM);
-    let z = at_b(&c, &c);
+    let z = match cfg.linalg_mode {
+        LinalgMode::Fused => parhde_linalg::syrk::at_a(&c),
+        LinalgMode::Staged => at_b(&c, &c),
+    };
     ph.end(&mut stats.phases);
     // A tripped gemm returns zeroed (finite but meaningless) blocks.
     crate::supervise::budget_check(phase::GEMM)?;

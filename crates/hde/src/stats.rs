@@ -21,6 +21,9 @@ pub mod phase {
     pub const LS: &str = "ls";
     /// The `Z = Sᵀ·P` dense product ("dgemm" in the paper).
     pub const GEMM: &str = "gemm";
+    /// The fused one-pass TripleProd `Z = Sᵀ·L·S` (replaces `ls` + `gemm`
+    /// under `--linalg-mode fused`).
+    pub const FUSED: &str = "fused_triple";
     /// Column centering (PHDE).
     pub const COL_CENTER: &str = "col_center";
     /// Double centering (PivotMDS).
@@ -54,18 +57,55 @@ pub struct PhaseSpan {
     name: &'static str,
     timer: Timer,
     guard: parhde_trace::SpanGuard,
+    /// Peak RSS (VmHWM) at phase entry; `None` when tracing is off or the
+    /// proc pseudo-file is unavailable.
+    rss_begin: Option<u64>,
 }
 
 impl PhaseSpan {
-    /// Starts timing phase `name` and opens the matching trace span.
+    /// Starts timing phase `name` and opens the matching trace span. When a
+    /// trace session is active, also samples the process's peak RSS so the
+    /// phase's high-water-mark growth can be reported.
     pub fn begin(name: &'static str) -> Self {
-        Self { name, timer: Timer::start(), guard: parhde_trace::span(name) }
+        let rss_begin = if parhde_trace::enabled() {
+            parhde_trace::peak_rss_bytes()
+        } else {
+            None
+        };
+        Self { name, timer: Timer::start(), guard: parhde_trace::span(name), rss_begin }
     }
 
-    /// Closes the span and accumulates the elapsed time under the phase name.
+    /// Closes the span and accumulates the elapsed time under the phase
+    /// name. With tracing active, emits the phase's peak-RSS growth as the
+    /// counter `process.peak_rss_delta.<phase>` (0 for phases that ran
+    /// inside already-reserved memory) — the per-phase view of the fused
+    /// path's memory win.
     pub fn end(self, phases: &mut PhaseTimes) {
+        if let (Some(b), Some(e)) = (self.rss_begin, parhde_trace::peak_rss_bytes()) {
+            parhde_trace::counter!(rss_counter(self.name), e.saturating_sub(b));
+        }
         drop(self.guard);
         phases.add(self.name, self.timer.elapsed());
+    }
+}
+
+/// Maps a phase name to its `process.peak_rss_delta.*` counter (counter
+/// names must be `&'static str`, hence the static table).
+fn rss_counter(name: &str) -> &'static str {
+    match name {
+        "bfs" => "process.peak_rss_delta.bfs",
+        "bfs_other" => "process.peak_rss_delta.bfs_other",
+        "dortho" => "process.peak_rss_delta.dortho",
+        "ls" => "process.peak_rss_delta.ls",
+        "gemm" => "process.peak_rss_delta.gemm",
+        "fused_triple" => "process.peak_rss_delta.fused_triple",
+        "col_center" => "process.peak_rss_delta.col_center",
+        "dbl_center" => "process.peak_rss_delta.dbl_center",
+        "eigensolve" => "process.peak_rss_delta.eigensolve",
+        "project" => "process.peak_rss_delta.project",
+        "init" => "process.peak_rss_delta.init",
+        "checkpoint" => "process.peak_rss_delta.checkpoint",
+        _ => "process.peak_rss_delta.other",
     }
 }
 
@@ -138,6 +178,9 @@ pub struct HdeStats {
     /// The BFS execution mode the planner resolved to (`"direction_opt"`,
     /// `"per_source"` or `"batched"`); `None` when no BFS phase ran.
     pub bfs_mode: Option<&'static str>,
+    /// The TripleProd execution mode (`"fused"` or `"staged"`); `None`
+    /// when the pipeline has no TripleProd-shaped phase.
+    pub linalg_mode: Option<&'static str>,
     /// Degradations the fail-soft pipeline absorbed (empty on a clean run;
     /// always empty for the strict/panicking entry points).
     pub warnings: Vec<crate::Warning>,
@@ -151,6 +194,7 @@ impl HdeStats {
             bfs: p.seconds(phase::BFS) + p.seconds(phase::BFS_OTHER),
             triple_prod: p.seconds(phase::LS)
                 + p.seconds(phase::GEMM)
+                + p.seconds(phase::FUSED)
                 + p.seconds(phase::COL_CENTER)
                 + p.seconds(phase::DBL_CENTER),
             dortho: p.seconds(phase::DORTHO),
@@ -195,6 +239,14 @@ mod tests {
         assert!((g.total() - 0.18).abs() < 1e-9);
         let pct = g.percentages();
         assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_phase_folds_into_triple_prod() {
+        let mut s = HdeStats::default();
+        s.phases.add(phase::FUSED, Duration::from_millis(50));
+        let g = s.grouped();
+        assert!((g.triple_prod - 0.05).abs() < 1e-9);
     }
 
     #[test]

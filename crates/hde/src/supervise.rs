@@ -28,7 +28,7 @@
 //! active kernel travels between two cooperative checks).
 
 use crate::checkpoint::CheckpointSpec;
-use crate::config::{BfsMode, ParHdeConfig, PivotStrategy};
+use crate::config::{BfsMode, LinalgMode, ParHdeConfig, PivotStrategy};
 use crate::error::{trivial_coords, HdeError, Warning};
 use crate::phde::PhdeConfig;
 use crate::stats::{trace_warning, HdeStats};
@@ -88,13 +88,23 @@ fn poll_memory() {
 /// `p`-dimensional embedding — the input to memory admission.
 ///
 /// Counts the CSR graph itself (offsets + adjacency), the `n×s` distance
-/// matrix `B`, the `n×(s+1)` basis `S`, the same-shaped `L·S` product, the
+/// matrix `B`, the `n×(s+1)` basis `S`, the TripleProd working set (under
+/// [`LinalgMode::Staged`] the materialized `L·S` product plus the SpMM's
+/// collected row-block partials — peak 2×`n×(s+1)`; under
+/// [`LinalgMode::Fused`] just the packed row-major copy of `S`), the
 /// degree vector, per-mode BFS scratch (bit-lane rows for
 /// [`BfsMode::Batched`], a distance buffer otherwise), the small `s×s`
 /// matrices, and the output coordinates. Deliberately a slight
 /// *over*-estimate: admission should err toward downscaling, since the
 /// runtime RSS trip that backstops it is much more disruptive.
-pub fn estimate_run_bytes(n: usize, m: usize, s: usize, p: usize, mode: BfsMode) -> u64 {
+pub fn estimate_run_bytes(
+    n: usize,
+    m: usize,
+    s: usize,
+    p: usize,
+    mode: BfsMode,
+    linalg: LinalgMode,
+) -> u64 {
     const F: u64 = 8; // bytes per f64 / usize / lane word
     let n = n as u64;
     let m = m as u64;
@@ -103,7 +113,14 @@ pub fn estimate_run_bytes(n: usize, m: usize, s: usize, p: usize, mode: BfsMode)
     let graph = (n + 1) * F + 2 * m * 4; // offsets + symmetric u32 adjacency
     let b = n * s * F;
     let smat = n * (s + 1) * F;
-    let prod = n * (s + 1) * F; // laplacian_spmm output matches S's shape
+    let prod = match linalg {
+        // laplacian_spmm collects per-block partials and then assembles
+        // the output, so two `S`-shaped buffers coexist at peak.
+        LinalgMode::Staged => 2 * n * (s + 1) * F,
+        // The fused kernel never materializes `L·S`; its only n-sized
+        // allocation is the packed row-major copy of `S`.
+        LinalgMode::Fused => n * (s + 1) * F,
+    };
     let degrees = n * F;
     let bfs_scratch = match mode {
         // seen/frontier/next lane-row triple of ⌈s/64⌉ words per vertex.
@@ -137,12 +154,13 @@ pub fn admit(
     s: usize,
     p: usize,
     mode: BfsMode,
+    linalg: LinalgMode,
     budget_bytes: u64,
 ) -> Option<Admission> {
     let floor = p.max(2);
     let mut cur = s.max(floor);
     loop {
-        let estimated = estimate_run_bytes(n, m, cur, p, mode);
+        let estimated = estimate_run_bytes(n, m, cur, p, mode, linalg);
         if estimated <= budget_bytes {
             return Some(Admission {
                 subspace: cur,
@@ -246,7 +264,7 @@ pub fn try_par_hde_nd_supervised(
     let mut cfg = cfg.clone();
     let mut pre_warnings: Vec<Warning> = Vec::new();
     if let Some(bytes) = opts.mem_budget_bytes {
-        match admit(n, g.num_edges(), cfg.subspace, p, cfg.bfs_mode, bytes) {
+        match admit(n, g.num_edges(), cfg.subspace, p, cfg.bfs_mode, cfg.linalg_mode, bytes) {
             Some(a) if a.downscaled => {
                 parhde_trace::counter!("supervisor.admission.downscaled", 1);
                 pre_warnings.push(trace_warning(Warning::AdmissionDownscaled {
@@ -407,33 +425,45 @@ mod tests {
 
     #[test]
     fn estimate_grows_with_every_dimension() {
-        let base = estimate_run_bytes(10_000, 40_000, 10, 2, BfsMode::Auto);
-        assert!(estimate_run_bytes(20_000, 40_000, 10, 2, BfsMode::Auto) > base);
-        assert!(estimate_run_bytes(10_000, 80_000, 10, 2, BfsMode::Auto) > base);
-        assert!(estimate_run_bytes(10_000, 40_000, 20, 2, BfsMode::Auto) > base);
-        assert!(estimate_run_bytes(10_000, 40_000, 10, 3, BfsMode::Auto) > base);
+        let base = estimate_run_bytes(10_000, 40_000, 10, 2, BfsMode::Auto, LinalgMode::Fused);
+        assert!(estimate_run_bytes(20_000, 40_000, 10, 2, BfsMode::Auto, LinalgMode::Fused) > base);
+        assert!(estimate_run_bytes(10_000, 80_000, 10, 2, BfsMode::Auto, LinalgMode::Fused) > base);
+        assert!(estimate_run_bytes(10_000, 40_000, 20, 2, BfsMode::Auto, LinalgMode::Fused) > base);
+        assert!(estimate_run_bytes(10_000, 40_000, 10, 3, BfsMode::Auto, LinalgMode::Fused) > base);
+    }
+
+    #[test]
+    fn fused_estimate_is_below_staged() {
+        // The fused TripleProd skips the materialized L·S product; the
+        // estimate must reflect that so admission admits larger subspaces.
+        let fused =
+            estimate_run_bytes(100_000, 400_000, 50, 2, BfsMode::Auto, LinalgMode::Fused);
+        let staged =
+            estimate_run_bytes(100_000, 400_000, 50, 2, BfsMode::Auto, LinalgMode::Staged);
+        // Exactly one S-shaped buffer of difference.
+        assert_eq!(staged - fused, 100_000 * 51 * 8);
     }
 
     #[test]
     fn estimate_is_plausible_for_a_known_shape() {
         // 100k vertices, 10 pivots: B alone is 100_000 × 10 × 8 = 8 MB; the
         // total should be the same order of magnitude, not wildly off.
-        let est = estimate_run_bytes(100_000, 400_000, 10, 2, BfsMode::Auto);
+        let est = estimate_run_bytes(100_000, 400_000, 10, 2, BfsMode::Auto, LinalgMode::Fused);
         assert!(est > 8_000_000, "below the B matrix alone: {est}");
         assert!(est < 80_000_000, "order of magnitude too high: {est}");
     }
 
     #[test]
     fn admission_accepts_when_budget_is_ample() {
-        let a = admit(10_000, 40_000, 10, 2, BfsMode::Auto, u64::MAX).unwrap();
+        let a = admit(10_000, 40_000, 10, 2, BfsMode::Auto, LinalgMode::Fused, u64::MAX).unwrap();
         assert_eq!(a.subspace, 10);
         assert!(!a.downscaled);
     }
 
     #[test]
     fn admission_downscales_by_halving() {
-        let full = estimate_run_bytes(100_000, 400_000, 48, 2, BfsMode::Auto);
-        let a = admit(100_000, 400_000, 48, 2, BfsMode::Auto, full - 1).unwrap();
+        let full = estimate_run_bytes(100_000, 400_000, 48, 2, BfsMode::Auto, LinalgMode::Fused);
+        let a = admit(100_000, 400_000, 48, 2, BfsMode::Auto, LinalgMode::Fused, full - 1).unwrap();
         assert!(a.downscaled);
         assert!(a.subspace < 48 && a.subspace >= 2);
         assert!(a.estimated_bytes < full);
@@ -441,13 +471,13 @@ mod tests {
 
     #[test]
     fn admission_rejects_impossible_budgets() {
-        assert_eq!(admit(100_000, 400_000, 10, 2, BfsMode::Auto, 1024), None);
+        assert_eq!(admit(100_000, 400_000, 10, 2, BfsMode::Auto, LinalgMode::Fused, 1024), None);
     }
 
     #[test]
     fn admission_floor_is_embedding_dimension() {
-        let floor = estimate_run_bytes(50_000, 200_000, 3, 3, BfsMode::Auto);
-        let a = admit(50_000, 200_000, 40, 3, BfsMode::Auto, floor).unwrap();
+        let floor = estimate_run_bytes(50_000, 200_000, 3, 3, BfsMode::Auto, LinalgMode::Fused);
+        let a = admit(50_000, 200_000, 40, 3, BfsMode::Auto, LinalgMode::Fused, floor).unwrap();
         assert!(a.subspace >= 3);
     }
 }

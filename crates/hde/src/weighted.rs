@@ -11,7 +11,7 @@
 //! [`WeightSemantics::Raw`] escape hatch that feeds the numbers to both
 //! sides unchanged (the literal reading of §3.3).
 
-use crate::config::{OrthoMethod, ParHdeConfig, PivotStrategy};
+use crate::config::{LinalgMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 use crate::error::{reseed, scatter_coords, trivial_coords, HdeError, Warning};
 use crate::layout::Layout;
 use crate::parhde::try_subspace_axes_nd;
@@ -21,7 +21,7 @@ use parhde_graph::{prep, WeightedCsr};
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_linalg::error::check_matrix_finite;
 use parhde_linalg::gemm::{a_small, at_b};
-use parhde_linalg::ortho::{try_cgs, try_mgs};
+use parhde_linalg::ortho::{try_bcgs2, try_cgs, try_mgs};
 use parhde_linalg::spmm::laplacian_spmm_weighted;
 use parhde_sssp::delta_stepping::delta_stepping_into_f64;
 use parhde_util::Xoshiro256StarStar;
@@ -317,6 +317,7 @@ fn weighted_pipeline_once(
     let outcome = match cfg.ortho {
         OrthoMethod::Mgs => try_mgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
         OrthoMethod::Cgs => try_cgs(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
+        OrthoMethod::Bcgs2 => try_bcgs2(&mut smat, weights, cfg.drop_tolerance, "dortho")?,
     };
     debug_assert_eq!(outcome.kept.first(), Some(&0));
     let survivors: Vec<usize> = (1..smat.cols()).collect();
@@ -336,16 +337,31 @@ fn weighted_pipeline_once(
     }
 
     // ---- TripleProd -----------------------------------------------------------
-    let ph = PhaseSpan::begin(phase::LS);
-    let p = laplacian_spmm_weighted(sims, &degrees, &smat);
-    ph.end(&mut stats.phases);
-    crate::supervise::budget_check(phase::LS)?;
-    let ph = PhaseSpan::begin(phase::GEMM);
-    let z = at_b(&smat, &p);
-    // A tripped gemm returns zeroed (finite but meaningless) blocks.
-    crate::supervise::budget_check(phase::GEMM)?;
-    check_matrix_finite(&z, "gemm")?;
-    ph.end(&mut stats.phases);
+    stats.linalg_mode = Some(cfg.linalg_mode.label());
+    let z = match cfg.linalg_mode {
+        LinalgMode::Fused => {
+            let ph = PhaseSpan::begin(phase::FUSED);
+            let z = parhde_linalg::fused::try_triple_product_weighted(sims, &degrees, &smat)?;
+            // A tripped fused kernel returns zeroed (finite but meaningless)
+            // leaf blocks.
+            crate::supervise::budget_check(phase::FUSED)?;
+            ph.end(&mut stats.phases);
+            z
+        }
+        LinalgMode::Staged => {
+            let ph = PhaseSpan::begin(phase::LS);
+            let p = laplacian_spmm_weighted(sims, &degrees, &smat);
+            ph.end(&mut stats.phases);
+            crate::supervise::budget_check(phase::LS)?;
+            let ph = PhaseSpan::begin(phase::GEMM);
+            let z = at_b(&smat, &p);
+            // A tripped gemm returns zeroed (finite but meaningless) blocks.
+            crate::supervise::budget_check(phase::GEMM)?;
+            check_matrix_finite(&z, "gemm")?;
+            ph.end(&mut stats.phases);
+            z
+        }
+    };
 
     // ---- Eigensolve + projection -----------------------------------------------
     let ph = PhaseSpan::begin(phase::EIGEN);

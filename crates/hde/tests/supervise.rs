@@ -140,8 +140,8 @@ fn memory_admission_downscales_and_warns() {
     let g = gen::grid2d(250, 250);
     let cfg = ParHdeConfig::default();
     let (n, m) = (g.num_vertices(), g.num_edges());
-    let est_full = estimate_run_bytes(n, m, cfg.subspace, 2, cfg.bfs_mode);
-    let est_half = estimate_run_bytes(n, m, cfg.subspace / 2, 2, cfg.bfs_mode);
+    let est_full = estimate_run_bytes(n, m, cfg.subspace, 2, cfg.bfs_mode, cfg.linalg_mode);
+    let est_half = estimate_run_bytes(n, m, cfg.subspace / 2, 2, cfg.bfs_mode, cfg.linalg_mode);
     assert!(est_half < est_full);
     // A budget between the halved and the full estimate forces exactly one
     // admission halving up front. (Runtime RSS polls may still trip on a

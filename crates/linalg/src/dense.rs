@@ -106,6 +106,19 @@ impl ColMajorMatrix {
         (&head[..], &mut tail[..self.rows])
     }
 
+    /// All columns strictly before `i0` as one contiguous column-major
+    /// slice, plus the mutable column panel `i0..i1` — the block
+    /// Gram-Schmidt access pattern (project a whole panel against the kept
+    /// prefix at once).
+    ///
+    /// # Panics
+    /// Panics unless `i0 ≤ i1 ≤ cols`.
+    pub fn prefix_and_panel_mut(&mut self, i0: usize, i1: usize) -> (&[f64], &mut [f64]) {
+        assert!(i0 <= i1 && i1 <= self.cols, "need i0 ≤ i1 ≤ cols");
+        let (head, tail) = self.data.split_at_mut(i0 * self.rows);
+        (&head[..], &mut tail[..(i1 - i0) * self.rows])
+    }
+
     /// The full backing buffer (column-major).
     #[inline]
     pub fn data(&self) -> &[f64] {

@@ -1,0 +1,321 @@
+//! Fused one-pass TripleProd: `Z = Sᵀ·(L·S)` without the `n×s`
+//! intermediate.
+//!
+//! The staged schedule ([`crate::spmm::laplacian_spmm`] then
+//! [`crate::gemm::at_b`]) materializes `P = L·S` (two `n×s` buffers at its
+//! peak: the row-block partials plus the assembled product), writes it to
+//! memory, and immediately streams it back in — plus a third full pass
+//! re-reading `S`. The fused kernel instead walks the `at_b` fixed-split
+//! row tree and, inside each leaf, produces `L·S` in small row panels that
+//! stay cache-resident: each panel is consumed by the register-tile
+//! microkernel the moment it is written, so the intermediate never exists
+//! at `n×s` scale and the dominant memory traffic of the phase is roughly
+//! halved.
+//!
+//! One `n×s` allocation remains: a packed *row-major* copy of `S`. The
+//! SpMM half of the kernel reads `S[u,·]` for every neighbor `u`; in the
+//! column-major original that row is `s` cache lines apart, while in the
+//! packed copy it is `s` contiguous doubles — the access pattern that
+//! dominates the phase on graphs larger than cache. Packing changes
+//! neither values nor operation order, only addresses.
+//!
+//! Bit-reproducibility contract (PR 3): the reduction tree is the same
+//! `ROW_CHUNK`-aligned fixed-split `rayon::join` tree as `at_b`; each
+//! `L·S` row is accumulated in exactly `laplacian_spmm`'s operation order
+//! (diagonal term, then neighbors in CSR order, column-ascending inner
+//! loop); and the microkernel extends each output entry's summation chain
+//! in ascending-row order across panels. The fused product is therefore
+//! *bitwise identical* to `at_b(s, laplacian_spmm(g, degrees, s))` at any
+//! thread count — asserted by the property tests — which is what lets
+//! `--linalg-mode fused|staged` be a pure performance knob.
+
+use crate::dense::ColMajorMatrix;
+use crate::error::LinalgError;
+use crate::gemm::{accumulate_block, ROW_CHUNK};
+use parhde_graph::{CsrGraph, WeightedCsr};
+use rayon::prelude::*;
+
+/// Rows per cache-resident `L·S` panel inside one leaf: at `s = 51` a
+/// panel is ~100 KiB — comfortably L2 — while the microkernel re-reads it
+/// once per 4-column tile of the output.
+const PANEL_ROWS: usize = 256;
+
+/// Row grain for the parallel row-major packing sweep (a pure copy, so
+/// its blocking is free to differ from the reduction tree's).
+const PACK_CHUNK: usize = 4096;
+
+/// Computes `Z = Sᵀ·L·S` in one pass; bitwise identical to
+/// `at_b(s, laplacian_spmm(g, degrees, s))` at any thread count.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn triple_product(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColMajorMatrix {
+    let n = g.num_vertices();
+    assert_eq!(s.rows(), n, "S row count must equal n");
+    assert_eq!(degrees.len(), n, "degree vector length must equal n");
+    let k = s.cols();
+    let _span = parhde_trace::span!("fused.triple_product");
+    parhde_trace::counter!(
+        "linalg.fused.flops",
+        (2 * (g.num_arcs() + n) * k + 2 * n * k * k) as u64
+    );
+    let pack = pack_row_major(s);
+    let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row| {
+        for (c, a) in row.iter_mut().enumerate() {
+            *a = degrees[v] * pack[v * k + c];
+        }
+        for &u in g.neighbors(v as u32) {
+            let urow = &pack[u as usize * k..(u as usize + 1) * k];
+            for (c, a) in row.iter_mut().enumerate() {
+                *a -= urow[c];
+            }
+        }
+    });
+    ColMajorMatrix::from_data(k, k, zdata)
+}
+
+/// Weighted-graph variant of [`triple_product`] (`L = D − A` with
+/// `A(u,v) = w(u,v)`); bitwise identical to
+/// `at_b(s, laplacian_spmm_weighted(g, degrees, s))`.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn triple_product_weighted(
+    g: &WeightedCsr,
+    degrees: &[f64],
+    s: &ColMajorMatrix,
+) -> ColMajorMatrix {
+    let n = g.num_vertices();
+    assert_eq!(s.rows(), n, "S row count must equal n");
+    assert_eq!(degrees.len(), n, "degree vector length must equal n");
+    let k = s.cols();
+    let _span = parhde_trace::span!("fused.triple_product_weighted");
+    parhde_trace::counter!(
+        "linalg.fused.flops",
+        (2 * (g.graph().num_arcs() + n) * k + 2 * n * k * k) as u64
+    );
+    let pack = pack_row_major(s);
+    let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row| {
+        for (c, a) in row.iter_mut().enumerate() {
+            *a = degrees[v] * pack[v * k + c];
+        }
+        for (u, w) in g.neighbors(v as u32) {
+            let urow = &pack[u as usize * k..(u as usize + 1) * k];
+            for (c, a) in row.iter_mut().enumerate() {
+                *a -= w * urow[c];
+            }
+        }
+    });
+    ColMajorMatrix::from_data(k, k, zdata)
+}
+
+/// Guarded [`triple_product`]: same validation ladder as the staged
+/// `try_laplacian_spmm` + `at_b` pair, reported as phase `"fused"`.
+///
+/// # Errors
+/// [`LinalgError::InvalidArgument`] on shape mismatch,
+/// [`LinalgError::NonFinite`] on poison data. Never panics.
+pub fn try_triple_product(
+    g: &CsrGraph,
+    degrees: &[f64],
+    s: &ColMajorMatrix,
+) -> Result<ColMajorMatrix, LinalgError> {
+    check_args(g.num_vertices(), degrees, s)?;
+    let z = triple_product(g, degrees, s);
+    crate::error::check_matrix_finite(&z, "fused")?;
+    Ok(z)
+}
+
+/// Guarded [`triple_product_weighted`]; see [`try_triple_product`].
+///
+/// # Errors
+/// [`LinalgError::InvalidArgument`] on shape mismatch,
+/// [`LinalgError::NonFinite`] on poison data. Never panics.
+pub fn try_triple_product_weighted(
+    g: &WeightedCsr,
+    degrees: &[f64],
+    s: &ColMajorMatrix,
+) -> Result<ColMajorMatrix, LinalgError> {
+    check_args(g.num_vertices(), degrees, s)?;
+    let z = triple_product_weighted(g, degrees, s);
+    crate::error::check_matrix_finite(&z, "fused")?;
+    Ok(z)
+}
+
+fn check_args(n: usize, degrees: &[f64], s: &ColMajorMatrix) -> Result<(), LinalgError> {
+    if s.rows() != n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "S row count {} != n = {n}",
+            s.rows()
+        )));
+    }
+    if degrees.len() != n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "degree vector length {} != n = {n}",
+            degrees.len()
+        )));
+    }
+    crate::error::check_slice_finite(degrees, "fused degrees", 0)?;
+    crate::error::check_matrix_finite(s, "fused input")?;
+    Ok(())
+}
+
+/// Packed row-major copy of `S`: `pack[v·k + c] = S(v, c)`. A value-exact
+/// relayout, parallel over row blocks.
+fn pack_row_major(s: &ColMajorMatrix) -> Vec<f64> {
+    let n = s.rows();
+    let k = s.cols();
+    let sdata = s.data();
+    parhde_trace::counter!("linalg.fused.pack_bytes", (n * k * 8) as u64);
+    let mut pack = vec![0.0; n * k];
+    if pack.is_empty() {
+        return pack;
+    }
+    pack.par_chunks_mut(PACK_CHUNK * k).enumerate().for_each(|(blk, chunk)| {
+        let base = blk * PACK_CHUNK;
+        for (local, row) in chunk.chunks_mut(k).enumerate() {
+            let v = base + local;
+            for (c, x) in row.iter_mut().enumerate() {
+                *x = sdata[c * n + v];
+            }
+        }
+    });
+    pack
+}
+
+/// The `k×k` partial product of rows `lo..hi`: the same fixed-split
+/// recursion as `gemm::partial_at_b`, with each leaf streaming `L·S` row
+/// panels through the microkernel. `fill_row(v, row)` writes row `v` of
+/// `L·S` into `row` in `laplacian_spmm`'s operation order.
+fn partial_triple(
+    sdata: &[f64],
+    n: usize,
+    k: usize,
+    lo: usize,
+    hi: usize,
+    fill_row: &(dyn Fn(usize, &mut [f64]) + Sync),
+) -> Vec<f64> {
+    if hi - lo <= ROW_CHUNK {
+        let mut z = vec![0.0; k * k];
+        let mut panel = vec![0.0; PANEL_ROWS * k];
+        let mut plo = lo;
+        while plo < hi {
+            // Cooperative cancellation point (once per panel): remaining
+            // panels are skipped and the caller discards the poisoned
+            // product at its next phase boundary.
+            if parhde_util::supervisor::should_stop() {
+                return z;
+            }
+            let phi = (plo + PANEL_ROWS).min(hi);
+            for v in plo..phi {
+                fill_row(v, &mut panel[(v - plo) * k..(v - plo + 1) * k]);
+            }
+            // Row-major panel: element (r, c) at (r − plo)·k + c.
+            accumulate_block(
+                &mut z,
+                sdata,
+                n,
+                k,
+                k,
+                &panel[..(phi - plo) * k],
+                0,
+                k,
+                1,
+                plo,
+                phi,
+                false,
+            );
+            plo = phi;
+        }
+        return z;
+    }
+    let chunks = (hi - lo).div_ceil(ROW_CHUNK);
+    let mid = lo + chunks.div_ceil(2) * ROW_CHUNK;
+    let (mut left, right) = rayon::join(
+        || partial_triple(sdata, n, k, lo, mid, fill_row),
+        || partial_triple(sdata, n, k, mid, hi, fill_row),
+    );
+    for (l, r) in left.iter_mut().zip(right) {
+        *l += r;
+    }
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::at_b;
+    use crate::spmm::{laplacian_spmm, laplacian_spmm_weighted};
+    use parhde_graph::builder::build_weighted_from_edges;
+    use parhde_graph::gen::{chain, grid2d, kron};
+    use parhde_util::Xoshiro256StarStar;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> ColMajorMatrix {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        ColMajorMatrix::from_data(rows, cols, data)
+    }
+
+    #[test]
+    fn fused_bitwise_matches_staged() {
+        // Column counts around the tile edge; kron(12,·) has n = 4096 =
+        // 2·ROW_CHUNK so the fixed-split recursion actually splits.
+        for g in [chain(37), grid2d(50, 41), kron(12, 8, 2)] {
+            let n = g.num_vertices();
+            let deg = g.degree_vector();
+            for &cols in &[1usize, 5, 8, 13] {
+                let s = random_matrix(n, cols, (n + cols) as u64);
+                let fused = triple_product(&g, &deg, &s);
+                let staged = at_b(&s, &laplacian_spmm(&g, &deg, &s));
+                for (x, y) in fused.data().iter().zip(staged.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n = {n}, cols = {cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_weighted_bitwise_matches_staged() {
+        let base = grid2d(40, 33);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let edges: Vec<(u32, u32, f64)> = base
+            .edges()
+            .map(|(u, v)| (u, v, rng.next_f64() + 0.5))
+            .collect();
+        let wg = build_weighted_from_edges(base.num_vertices(), edges);
+        let deg = wg.weighted_degree_vector();
+        let s = random_matrix(base.num_vertices(), 7, 11);
+        let fused = triple_product_weighted(&wg, &deg, &s);
+        let staged = at_b(&s, &laplacian_spmm_weighted(&wg, &deg, &s));
+        for (x, y) in fused.data().iter().zip(staged.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_annihilates_constant_vector() {
+        // Z = Sᵀ L S with S = 1 ⇒ 1ᵀ·(L·1) = 0.
+        let g = grid2d(9, 9);
+        let n = g.num_vertices();
+        let ones = ColMajorMatrix::from_data(n, 1, vec![1.0; n]);
+        let z = triple_product(&g, &g.degree_vector(), &ones);
+        assert!(z.get(0, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_fused_rejects_shape_mismatch() {
+        let g = chain(5);
+        let s = ColMajorMatrix::zeros(4, 2);
+        let err = try_triple_product(&g, &g.degree_vector(), &s).unwrap_err();
+        assert!(format!("{err}").contains("row count"), "{err}");
+    }
+
+    #[test]
+    fn try_fused_rejects_poison_degrees() {
+        let g = chain(5);
+        let s = ColMajorMatrix::zeros(5, 2);
+        let mut deg = g.degree_vector();
+        deg[3] = f64::NAN;
+        assert!(try_triple_product(&g, &deg, &s).is_err());
+    }
+}

@@ -15,8 +15,110 @@
 use crate::dense::ColMajorMatrix;
 use rayon::prelude::*;
 
-/// Row-block grain for the reduction.
-const ROW_CHUNK: usize = 2048;
+/// Row-block grain for the reduction. Shared with the SYRK and fused
+/// TripleProd kernels so all three walk the identical fixed-split tree.
+pub(crate) const ROW_CHUNK: usize = 2048;
+
+/// Register-tile edge of the shared microkernel: 4×4 output entries per
+/// inner-loop iteration, i.e. 16 independent accumulator chains.
+pub(crate) const TILE: usize = 4;
+
+/// The shared cache-blocked microkernel: accumulates
+/// `Z[j·p + i] += Σ_{r ∈ lo..hi} A[i·n + r] · B(r, j)` where element
+/// `(r, j)` of the right operand lives at `b_base + (r − lo)·b_rs + j·b_cs`.
+/// Two stride settings cover every caller:
+///
+/// * column-major `B (n×q)` restricted to rows `lo..hi`:
+///   `b_base = lo, b_rs = 1, b_cs = n` (plain `at_b`, SYRK);
+/// * a packed row-major panel holding rows `lo..hi` contiguously:
+///   `b_base = 0, b_rs = q, b_cs = 1` (the fused TripleProd).
+///
+/// Bit-reproducibility contract: each output entry is loaded into a
+/// register, extended by this block's products in ascending-`r` order, and
+/// stored back — so repeated calls over consecutive row blocks build the
+/// exact left-to-right summation chain a single scalar pass over the union
+/// of the blocks would build. The 4×4 register tile holds 16 such
+/// *independent* chains (no cross-entry reassociation), which is what lets
+/// the unrolled kernel stay bit-identical to the naive triple loop while
+/// feeding the out-of-order core 16 parallel dependency chains instead
+/// of 1. Edge tiles fall back to the scalar loop with the same chain order.
+///
+/// With `lower_only`, register tiles that lie strictly above the diagonal
+/// (`i < j` everywhere) are skipped — the SYRK savings; diagonal-crossing
+/// tiles are computed in full and the caller mirrors the lower triangle.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn accumulate_block(
+    z: &mut [f64],
+    adata: &[f64],
+    n: usize,
+    p: usize,
+    q: usize,
+    b: &[f64],
+    b_base: usize,
+    b_rs: usize,
+    b_cs: usize,
+    lo: usize,
+    hi: usize,
+    lower_only: bool,
+) {
+    let len = hi - lo;
+    let mut jt = 0;
+    while jt < q {
+        let jb = (q - jt).min(TILE);
+        let mut it = 0;
+        while it < p {
+            let ib = (p - it).min(TILE);
+            if lower_only && it + ib <= jt {
+                // Entire tile strictly above the diagonal: mirrored later.
+                it += ib;
+                continue;
+            }
+            if ib == TILE && jb == TILE {
+                let a0 = &adata[it * n + lo..it * n + hi];
+                let a1 = &adata[(it + 1) * n + lo..(it + 1) * n + hi];
+                let a2 = &adata[(it + 2) * n + lo..(it + 2) * n + hi];
+                let a3 = &adata[(it + 3) * n + lo..(it + 3) * n + hi];
+                let mut acc = [0.0f64; TILE * TILE];
+                for jj in 0..TILE {
+                    for ii in 0..TILE {
+                        acc[jj * TILE + ii] = z[(jt + jj) * p + it + ii];
+                    }
+                }
+                for rr in 0..len {
+                    let av = [a0[rr], a1[rr], a2[rr], a3[rr]];
+                    let bi = b_base + rr * b_rs + jt * b_cs;
+                    let bv = [b[bi], b[bi + b_cs], b[bi + 2 * b_cs], b[bi + 3 * b_cs]];
+                    for jj in 0..TILE {
+                        for ii in 0..TILE {
+                            acc[jj * TILE + ii] += av[ii] * bv[jj];
+                        }
+                    }
+                }
+                for jj in 0..TILE {
+                    for ii in 0..TILE {
+                        z[(jt + jj) * p + it + ii] = acc[jj * TILE + ii];
+                    }
+                }
+            } else {
+                for jj in 0..jb {
+                    let j = jt + jj;
+                    for ii in 0..ib {
+                        let i = it + ii;
+                        let acol = &adata[i * n + lo..i * n + hi];
+                        let mut acc = z[j * p + i];
+                        for (rr, &av) in acol.iter().enumerate() {
+                            acc += av * b[b_base + rr * b_rs + j * b_cs];
+                        }
+                        z[j * p + i] = acc;
+                    }
+                }
+            }
+            it += ib;
+        }
+        jt += jb;
+    }
+}
 
 /// Computes `Z = Aᵀ·B` for column-major `A (n×p)` and `B (n×q)`;
 /// `Z` is `p×q` column-major.
@@ -58,17 +160,8 @@ fn partial_at_b(
             return vec![0.0; p * q];
         }
         let mut z = vec![0.0; p * q];
-        for j in 0..q {
-            let bcol = &bdata[j * n..(j + 1) * n];
-            for i in 0..p {
-                let acol = &adata[i * n..(i + 1) * n];
-                let mut acc = 0.0;
-                for r in lo..hi {
-                    acc += acol[r] * bcol[r];
-                }
-                z[j * p + i] = acc;
-            }
-        }
+        // Column-major B: element (r, j) at j·n + r = lo + (r − lo)·1 + j·n.
+        accumulate_block(&mut z, adata, n, p, q, bdata, lo, 1, n, lo, hi, false);
         return z;
     }
     let chunks = (hi - lo).div_ceil(ROW_CHUNK);
@@ -99,33 +192,26 @@ pub fn a_small(a: &ColMajorMatrix, w: &ColMajorMatrix) -> ColMajorMatrix {
     let _span = parhde_trace::span!("gemm.a_small");
     parhde_trace::counter!("gemm.flops", (2 * n * p * q) as u64);
     let mut out = ColMajorMatrix::zeros(n, q);
-    // Column-major output: parallelize per output column, then per row block
-    // inside — each output column is contiguous and written by disjoint
-    // tasks.
-    let cols: Vec<Vec<f64>> = (0..q)
-        .into_par_iter()
-        .map(|j| {
-            let mut col = vec![0.0; n];
-            // Cooperative cancellation point (once per output column).
-            if parhde_util::supervisor::should_stop() {
-                return col;
+    // Column-major output: each output column is one contiguous `n`-sized
+    // chunk of the backing slice, so `par_chunks_mut` hands every rayon
+    // task a disjoint column to fill in place — no per-column allocation
+    // and no second copy pass.
+    out.data_mut().par_chunks_mut(n).enumerate().for_each(|(j, col)| {
+        // Cooperative cancellation point (once per output column).
+        if parhde_util::supervisor::should_stop() {
+            return;
+        }
+        for i in 0..p {
+            let coeff = w.get(i, j);
+            if coeff == 0.0 {
+                continue;
             }
-            for i in 0..p {
-                let coeff = w.get(i, j);
-                if coeff == 0.0 {
-                    continue;
-                }
-                let acol = &adata[i * n..(i + 1) * n];
-                for (c, &av) in col.iter_mut().zip(acol) {
-                    *c += coeff * av;
-                }
+            let acol = &adata[i * n..(i + 1) * n];
+            for (c, &av) in col.iter_mut().zip(acol) {
+                *c += coeff * av;
             }
-            col
-        })
-        .collect();
-    for (j, col) in cols.into_iter().enumerate() {
-        out.col_mut(j).copy_from_slice(&col);
-    }
+        }
+    });
     out
 }
 

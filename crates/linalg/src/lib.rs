@@ -14,7 +14,13 @@
 //!   a dense degree array, never materializing the Laplacian (§3.1); plus
 //!   an explicit-Laplacian ablation and the normalized-adjacency product
 //!   used by the Figure 1 baseline.
-//! * [`gemm`] — the small dense product `Z = Sᵀ·P` (the "dgemm" step).
+//! * [`gemm`] — the small dense product `Z = Sᵀ·P` (the "dgemm" step),
+//!   built on a shared 4×4 register-tile microkernel.
+//! * [`syrk`] — the symmetric self-product `Z = Aᵀ·A` computing only the
+//!   lower triangle (+mirror); bitwise identical to `at_b(a, a)`.
+//! * [`fused`] — the one-pass TripleProd `Z = Sᵀ·L·S` that streams `L·S`
+//!   through cache-resident row panels instead of materializing it;
+//!   bitwise identical to the staged `spmm` + `gemm` pair.
 //! * [`center`] — column centering (PHDE) and double centering (PivotMDS).
 //! * [`ortho`] — Modified and Classical Gram-Schmidt, plain and D-weighted,
 //!   with the paper's degenerate-vector drop rule (Table 7 compares them).
@@ -32,9 +38,11 @@ pub mod center;
 pub mod dense;
 pub mod eig;
 pub mod error;
+pub mod fused;
 pub mod gemm;
 pub mod ortho;
 pub mod spmm;
+pub mod syrk;
 
 pub use dense::ColMajorMatrix;
 pub use error::LinalgError;

@@ -1,0 +1,117 @@
+//! SYRK-style symmetric rank-k reduction `Z = Aᵀ·A`.
+//!
+//! The pivot-MDS and eigen-projection pipelines both reduce a tall-skinny
+//! centered matrix against *itself* (`at_b(c, c)`), where the result is
+//! symmetric: entry `(i, j)` and entry `(j, i)` multiply the same scalar
+//! pairs in the same ascending-row order, so by commutativity of each
+//! product the two summation chains are *bitwise* identical. The SYRK
+//! schedule therefore computes only the register tiles that touch the
+//! lower triangle (~2× fewer FLOPs) and mirrors — producing output
+//! bit-identical to [`crate::gemm::at_b`]`(a, a)`, which keeps the
+//! `--linalg-mode fused|staged` bit-reproducibility contract intact.
+//!
+//! The reduction walks the same `ROW_CHUNK`-aligned fixed-split
+//! `rayon::join` tree as `at_b`, so the combination order is independent
+//! of thread count and scheduling.
+
+use crate::dense::ColMajorMatrix;
+use crate::gemm::{accumulate_block, ROW_CHUNK};
+
+/// Computes `Z = Aᵀ·A` for column-major `A (n×p)` by lower-triangle
+/// accumulation plus mirroring; bitwise identical to
+/// [`crate::gemm::at_b`]`(a, a)` at any thread count.
+pub fn at_a(a: &ColMajorMatrix) -> ColMajorMatrix {
+    let n = a.rows();
+    let p = a.cols();
+    let adata = a.data();
+
+    let _span = parhde_trace::span!("syrk.at_a");
+    // Only the lower triangle is accumulated: p(p+1)/2 length-n dots.
+    parhde_trace::counter!("syrk.flops", (n * p * (p + 1)) as u64);
+    let mut zdata = partial_at_a(adata, n, p, 0, n);
+    // Mirror the lower triangle into the strict upper. Diagonal-crossing
+    // register tiles computed a few strict-upper entries already; the
+    // mirror overwrites them with the (bitwise equal) lower value, so the
+    // result is uniform regardless of tile geometry.
+    for j in 1..p {
+        for i in 0..j {
+            zdata[j * p + i] = zdata[i * p + j];
+        }
+    }
+    ColMajorMatrix::from_data(p, p, zdata)
+}
+
+/// Lower-triangle partial product of rows `lo..hi`, on the same fixed-split
+/// tree as `gemm::partial_at_b` (see there for the reproducibility
+/// argument).
+fn partial_at_a(adata: &[f64], n: usize, p: usize, lo: usize, hi: usize) -> Vec<f64> {
+    if hi - lo <= ROW_CHUNK {
+        // Cooperative cancellation point (once per row block), as in
+        // `at_b`: a tripped budget zeroes the remaining partials.
+        if parhde_util::supervisor::should_stop() {
+            return vec![0.0; p * p];
+        }
+        let mut z = vec![0.0; p * p];
+        accumulate_block(&mut z, adata, n, p, p, adata, lo, 1, n, lo, hi, true);
+        return z;
+    }
+    let chunks = (hi - lo).div_ceil(ROW_CHUNK);
+    let mid = lo + chunks.div_ceil(2) * ROW_CHUNK;
+    let (mut left, right) = rayon::join(
+        || partial_at_a(adata, n, p, lo, mid),
+        || partial_at_a(adata, n, p, mid, hi),
+    );
+    for (l, r) in left.iter_mut().zip(right) {
+        *l += r;
+    }
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::at_b;
+    use parhde_util::Xoshiro256StarStar;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> ColMajorMatrix {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        ColMajorMatrix::from_data(rows, cols, data)
+    }
+
+    #[test]
+    fn at_a_is_exactly_symmetric() {
+        let a = random_matrix(777, 9, 21);
+        let z = at_a(&a);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(z.get(i, j).to_bits(), z.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn at_a_bitwise_matches_at_b_self_product() {
+        // Column counts around the 4×4 tile edge and row counts straddling
+        // the ROW_CHUNK grain (exact multiple, one-off tail, odd chunks).
+        for &cols in &[1usize, 3, 4, 5, 8, 11] {
+            for &n in &[300usize, 2048, 2049, 6161] {
+                let a = random_matrix(n, cols, (n + cols) as u64);
+                let fast = at_a(&a);
+                let full = at_b(&a, &a);
+                for (x, y) in fast.data().iter().zip(full.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n = {n}, cols = {cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_a_empty_rows_edgecase() {
+        let a = ColMajorMatrix::zeros(0, 4);
+        let z = at_a(&a);
+        assert_eq!(z.rows(), 4);
+        assert_eq!(z.cols(), 4);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+    }
+}

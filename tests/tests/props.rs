@@ -179,6 +179,76 @@ proptest! {
         prop_assert_eq!(all, (0..cols).collect::<Vec<_>>());
     }
 
+    /// The fused one-pass TripleProd is a pure reschedule of the staged
+    /// SpMM + GEMM pair: bit-for-bit identical output on arbitrary graphs.
+    #[test]
+    fn fused_triple_product_matches_staged_bitwise(
+        g in arb_graph(),
+        cols in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        use parhde_linalg::{fused, gemm, spmm};
+        let n = g.num_vertices();
+        let degrees = g.degree_vector();
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * cols).map(|_| rng.next_f64() - 0.5).collect();
+        let s = ColMajorMatrix::from_data(n, cols, data);
+        let zf = fused::triple_product(&g, &degrees, &s);
+        let zs = gemm::at_b(&s, &spmm::laplacian_spmm(&g, &degrees, &s));
+        prop_assert_eq!(zf.rows(), cols);
+        for (a, b) in zf.data().iter().zip(zs.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// SYRK self-products are exactly symmetric and bitwise equal to the
+    /// general `at_b(a, a)` they replace.
+    #[test]
+    fn syrk_is_symmetric_and_matches_at_b(
+        rows in 1usize..80,
+        cols in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        use parhde_linalg::{gemm, syrk};
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        let a = ColMajorMatrix::from_data(rows, cols, data);
+        let z = syrk::at_a(&a);
+        let z2 = gemm::at_b(&a, &a);
+        for i in 0..cols {
+            for j in 0..cols {
+                prop_assert_eq!(z.get(i, j).to_bits(), z.get(j, i).to_bits());
+                prop_assert_eq!(z.get(i, j).to_bits(), z2.get(i, j).to_bits());
+            }
+        }
+    }
+
+    /// BCGS2 keeps/drops the same columns as MGS on well-conditioned input
+    /// and produces an orthonormal basis.
+    #[test]
+    fn bcgs2_outcome_matches_mgs_when_well_conditioned(
+        rows in 20usize..60,
+        cols in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use parhde_linalg::ortho::bcgs2;
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        let m0 = ColMajorMatrix::from_data(rows, cols, data);
+        let mut a = m0.clone();
+        let mut b = m0;
+        let oa = mgs(&mut a, None, DROP_TOLERANCE);
+        let ob = bcgs2(&mut b, None, DROP_TOLERANCE);
+        // Random square-ish matrices are well-conditioned with overwhelming
+        // probability, so the two procedures agree on the survivor set.
+        prop_assert_eq!(&oa.kept, &ob.kept);
+        prop_assert_eq!(&oa.dropped, &ob.dropped);
+        prop_assert!(max_cross_product(&b, None) < 1e-6);
+        for c in 0..b.cols() {
+            prop_assert!((norm2(b.col(c)) - 1.0).abs() < 1e-9);
+        }
+    }
+
     /// dot is symmetric and Cauchy-Schwarz holds for the parallel kernels.
     #[test]
     fn blas1_properties(

@@ -542,6 +542,7 @@ fn run() {
                 mem_budget_bytes: mem_budget,
                 checkpoint: checkpoint_dir.clone().map(CheckpointSpec::in_dir),
                 honor_global_cancel: true,
+                cancel_flag: None,
             };
             match try_par_hde_nd_supervised(&g, &cfg, 2, &opts) {
                 Ok(sup) => {

@@ -84,22 +84,33 @@ pub struct Checkpoint {
     pub b: ColMajorMatrix,
 }
 
-/// 64-bit FNV-1a, the workspace's dependency-free stable hash.
-struct Fnv64(u64);
+/// 64-bit FNV-1a, the workspace's dependency-free stable hash. Public so
+/// the serve layer can key its result cache on the same digests this
+/// module uses for checkpoint validation.
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Fnv64 {
-    fn new() -> Self {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
         Fnv64(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -314,10 +325,20 @@ impl Checkpoint {
         let n = usize::try_from(cur.u64()?).map_err(oversized)?;
         let s = usize::try_from(cur.u64()?).map_err(oversized)?;
         let n_sources = usize::try_from(cur.u64()?).map_err(oversized)?;
-        // Reject absurd dimensions before allocating.
+        // Reject absurd dimensions before allocating. Every product and sum
+        // here is checked: the three u64 length fields are hostile input,
+        // and a wrapped bounds test would let `with_capacity` over-allocate
+        // (or the read loops walk past the payload) on a 50-byte file
+        // declaring u64::MAX-sized sections.
         let cells = n
             .checked_mul(s)
-            .filter(|&c| payload.len() >= cur.pos + 4 * n_sources + 8 * c)
+            .and_then(|c| {
+                let need = cur
+                    .pos
+                    .checked_add(n_sources.checked_mul(4)?)?
+                    .checked_add(c.checked_mul(8)?)?;
+                (payload.len() >= need).then_some(c)
+            })
             .ok_or_else(|| {
                 HdeError::CheckpointMismatch(format!(
                     "declared {n}×{s} matrix with {n_sources} pivots exceeds \

@@ -188,6 +188,10 @@ pub struct SuperviseOptions {
     /// Trip the budget when [`parhde_util::supervisor::request_global_cancel`]
     /// fires (set by the CLI signal handlers).
     pub honor_global_cancel: bool,
+    /// External cancellation flag linked into the run's budget: the serve
+    /// layer sets it from a connection watchdog when the requesting client
+    /// disconnects mid-run.
+    pub cancel_flag: Option<parhde_util::CancelFlag>,
 }
 
 /// One abandoned rung of the degraded-retry ladder.
@@ -257,6 +261,9 @@ pub fn try_par_hde_nd_supervised(
     }
     if opts.honor_global_cancel {
         budget = budget.honoring_global_cancel();
+    }
+    if let Some(flag) = &opts.cancel_flag {
+        budget = budget.with_external_cancel(std::sync::Arc::clone(flag));
     }
     let installed = supervisor::install(&budget);
 

@@ -1,0 +1,149 @@
+//! Concurrent supervised runs (ISSUE 6 satellite): the ambient budget
+//! install slot is process-exclusive, so two supervised runs launched
+//! simultaneously must serialize on it and *both* complete — the daemon's
+//! worker pool leans on exactly this. Lives in its own test binary: every
+//! test here installs ambient budgets, and the file-level `LOCK` keeps the
+//! in-binary tests from racing each other.
+
+use parhde::config::ParHdeConfig;
+use parhde::supervise::estimate_run_bytes;
+use parhde::{try_par_hde_nd_supervised, SuperviseOptions, Warning};
+use parhde_graph::gen::grid2d;
+use parhde_util::supervisor;
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize_tests() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    supervisor::reset_global_cancel();
+    guard
+}
+
+#[test]
+fn two_contending_supervised_runs_both_complete() {
+    let _guard = serialize_tests();
+    let barrier = Barrier::new(2);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let g = grid2d(12 + i, 12);
+                    let cfg = ParHdeConfig::with_subspace(8);
+                    let opts = SuperviseOptions {
+                        deadline: Some(Duration::from_secs(60)),
+                        ..SuperviseOptions::default()
+                    };
+                    // Release both threads into the exclusive install slot
+                    // at once; one of them must block, then proceed.
+                    barrier.wait();
+                    try_par_hde_nd_supervised(&g, &cfg, 2, &opts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, r) in results.into_iter().enumerate() {
+        let sup = r.unwrap_or_else(|e| panic!("run {i} failed: {e}"));
+        let n = (12 + i) * 12;
+        assert_eq!(sup.coords.rows(), n, "run {i}: wrong row count");
+        assert_eq!(sup.coords.cols(), 2);
+        assert!(
+            sup.coords.data().iter().all(|x| x.is_finite()),
+            "run {i}: non-finite coordinates"
+        );
+    }
+}
+
+#[test]
+fn contending_runs_under_one_shared_memory_budget_degrade_not_die() {
+    let _guard = serialize_tests();
+    // A budget that admits the run only after halving the subspace at
+    // least once: both concurrent requests should finish, at least via
+    // the admission-downscale warning, never by killing the process.
+    let g = grid2d(40, 40);
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let cfg = ParHdeConfig::with_subspace(32);
+    let full = estimate_run_bytes(
+        n,
+        m,
+        32,
+        2,
+        cfg.bfs_mode,
+        cfg.linalg_mode,
+    );
+    let halved = estimate_run_bytes(n, m, 16, 2, cfg.bfs_mode, cfg.linalg_mode);
+    assert!(halved < full);
+    let budget_bytes = (full + halved) / 2; // fits 16 pivots, not 32
+
+    let barrier = Barrier::new(2);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (g, cfg, barrier) = (&g, &cfg, &barrier);
+                scope.spawn(move || {
+                    let opts = SuperviseOptions {
+                        deadline: Some(Duration::from_secs(60)),
+                        mem_budget_bytes: Some(budget_bytes),
+                        ..SuperviseOptions::default()
+                    };
+                    barrier.wait();
+                    try_par_hde_nd_supervised(g, cfg, 2, &opts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, r) in results.into_iter().enumerate() {
+        let sup = r.unwrap_or_else(|e| panic!("run {i} failed: {e}"));
+        assert_eq!(sup.coords.rows(), n);
+        let downscaled = sup.stats.warnings.iter().any(|w| {
+            matches!(w, Warning::AdmissionDownscaled { admitted, .. } if *admitted < 32)
+        });
+        assert!(
+            downscaled || sup.rung != "full" || sup.stats.s_requested <= 16,
+            "run {i}: admitted the full subspace under an undersized budget \
+             (rung {}, warnings {:?})",
+            sup.rung,
+            sup.stats.warnings
+        );
+    }
+}
+
+#[test]
+fn budget_check_counters_are_thread_count_invariant() {
+    let _guard = serialize_tests();
+    // The *result* of a supervised run must not depend on how many other
+    // threads were contending: rerun the same request serially and
+    // concurrently and compare coordinates bit-for-bit.
+    let g = grid2d(15, 15);
+    let cfg = ParHdeConfig::with_subspace(8);
+    let opts = SuperviseOptions::default();
+    let reference = try_par_hde_nd_supervised(&g, &cfg, 2, &opts).unwrap();
+
+    let barrier = Barrier::new(3);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (g, cfg, barrier) = (&g, &cfg, &barrier);
+                scope.spawn(move || {
+                    let opts = SuperviseOptions::default();
+                    barrier.wait();
+                    try_par_hde_nd_supervised(g, cfg, 2, &opts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, r) in results.into_iter().enumerate() {
+        let sup = r.unwrap_or_else(|e| panic!("run {i} failed: {e}"));
+        assert_eq!(
+            sup.coords, reference.coords,
+            "run {i}: contention perturbed the layout"
+        );
+        assert_eq!(sup.rung, reference.rung);
+    }
+}

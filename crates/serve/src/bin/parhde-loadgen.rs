@@ -1,0 +1,369 @@
+//! Load generator + chaos driver for `parhde-serve` (DESIGN.md §13.6).
+//!
+//! ```text
+//! parhde-loadgen --addr HOST:PORT [--requests N] [--concurrency C]
+//!                [--graph SPEC]... [--distinct K] [--deadline-ms MS]
+//!                [--dim P] [--timeout-ms MS]
+//!                [--chaos-disconnect PCT] [--chaos-poison PCT]
+//!                [--out FILE]
+//! ```
+//!
+//! Fires `N` layout requests at the daemon from `C` client threads and
+//! reports p50/p90/p99 latency (overall and split by cache disposition),
+//! throughput, and a status-code histogram as JSON. Chaos knobs replace a
+//! deterministic percentage of requests with hostile behavior:
+//!
+//! * `--chaos-disconnect PCT` — send the request, then close the socket
+//!   without reading the response (exercises the disconnect watchdog);
+//! * `--chaos-poison PCT` — send malformed graph bodies from
+//!   `parhde_graph::gen::poison` (truncated Matrix Market files, NaN
+//!   weights, garbage tails) that must all come back as typed 400s.
+//!
+//! Exit 0 when every non-chaos request got *some* well-formed response
+//! (shedding 429/503 counts as well-formed — that is the daemon working);
+//! exit 1 on transport errors or unparseable responses.
+
+use parhde_graph::gen::poison;
+use parhde_serve::client::Client;
+use parhde_serve::proto::{Op, Request};
+use std::process::exit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    graphs: Vec<String>,
+    distinct: usize,
+    deadline_ms: Option<u64>,
+    dim: u64,
+    timeout_ms: u64,
+    chaos_disconnect_pct: u64,
+    chaos_poison_pct: u64,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: parhde-loadgen --addr HOST:PORT [--requests N] [--concurrency C]\n\
+         \x20                     [--graph SPEC]... [--distinct K] [--deadline-ms MS]\n\
+         \x20                     [--dim P] [--timeout-ms MS]\n\
+         \x20                     [--chaos-disconnect PCT] [--chaos-poison PCT]\n\
+         \x20                     [--out FILE]"
+    );
+    exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: String::new(),
+        requests: 50,
+        concurrency: 4,
+        graphs: Vec::new(),
+        distinct: 0,
+        deadline_ms: None,
+        dim: 2,
+        timeout_ms: 30_000,
+        chaos_disconnect_pct: 0,
+        chaos_poison_pct: 0,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            () => {{
+                i += 1;
+                match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => {
+                        eprintln!("parhde-loadgen: missing value for {}", args[i - 1]);
+                        exit(2);
+                    }
+                }
+            }};
+        }
+        macro_rules! parsed {
+            () => {
+                match value!().parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("parhde-loadgen: bad value for {}", args[i - 1]);
+                        exit(2);
+                    }
+                }
+            };
+        }
+        match args[i].as_str() {
+            "--addr" => opts.addr = value!(),
+            "--requests" => opts.requests = parsed!(),
+            "--concurrency" => opts.concurrency = parsed!(),
+            "--graph" => opts.graphs.push(value!()),
+            "--distinct" => opts.distinct = parsed!(),
+            "--deadline-ms" => opts.deadline_ms = Some(parsed!()),
+            "--dim" => opts.dim = parsed!(),
+            "--timeout-ms" => opts.timeout_ms = parsed!(),
+            "--chaos-disconnect" => opts.chaos_disconnect_pct = parsed!(),
+            "--chaos-poison" => opts.chaos_poison_pct = parsed!(),
+            "--out" => opts.out = Some(value!()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("parhde-loadgen: unknown option {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if opts.addr.is_empty() {
+        eprintln!("parhde-loadgen: --addr is required");
+        usage();
+    }
+    if opts.graphs.is_empty() {
+        // Distinct grid sizes so the first pass is cold and later passes
+        // hit the cache — the hit-vs-cold split needs both populations.
+        let k = opts.distinct.clamp(1, 64);
+        for j in 0..k {
+            let side = 24 + 2 * j;
+            opts.graphs.push(format!("gen:grid:{side}:{side}"));
+        }
+    }
+    if opts.chaos_disconnect_pct + opts.chaos_poison_pct > 100 {
+        eprintln!("parhde-loadgen: chaos percentages exceed 100");
+        exit(2);
+    }
+    opts
+}
+
+#[derive(Clone)]
+enum Outcome {
+    /// code, cache disposition header, latency.
+    Answered { code: u16, cache: String, ms: f64 },
+    /// Deliberate mid-request disconnect (no response expected).
+    Disconnected,
+    /// Transport failure or unparseable response.
+    Broken(String),
+}
+
+/// What request index `i` should do, decided deterministically so runs
+/// are reproducible: chaos slots are spread evenly across the run.
+fn plan(i: usize, opts: &Opts) -> Plan {
+    let slot = (i * 97 + 13) % 100; // decorrelate from the graph cycle
+    let d = opts.chaos_disconnect_pct as usize;
+    let p = opts.chaos_poison_pct as usize;
+    if slot < d {
+        Plan::Disconnect
+    } else if slot < d + p {
+        Plan::Poison(i % 4)
+    } else {
+        Plan::Normal
+    }
+}
+
+enum Plan {
+    Normal,
+    Disconnect,
+    Poison(usize),
+}
+
+fn build_request(i: usize, opts: &Opts) -> (Request, bool) {
+    match plan(i, opts) {
+        Plan::Normal | Plan::Disconnect => {
+            let spec = &opts.graphs[i % opts.graphs.len()];
+            let mut req = Request::new(Op::Layout)
+                .with("graph", spec)
+                .with("dim", opts.dim);
+            if let Some(ms) = opts.deadline_ms {
+                req = req.with("deadline-ms", ms);
+            }
+            (req, matches!(plan(i, opts), Plan::Disconnect))
+        }
+        Plan::Poison(kind) => {
+            let mut req = Request::new(Op::Layout).with("graph", "inline");
+            req.body = match kind {
+                0 => poison::truncated_matrix_market(3),
+                1 => poison::chopped_size_line(),
+                2 => poison::nan_matrix_market(),
+                _ => poison::garbage_tail_edge_list(16),
+            };
+            (req, false)
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn latency_block(mut ms: Vec<f64>) -> String {
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    format!(
+        "{{\"count\": {}, \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+        ms.len(),
+        percentile(&ms, 0.50),
+        percentile(&ms, 0.90),
+        percentile(&ms, 0.99),
+        ms.last().copied().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let opts = Arc::new(parse_opts());
+    let next = Arc::new(AtomicUsize::new(0));
+    let outcomes: Arc<Mutex<Vec<Outcome>>> =
+        Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
+    let retried_429 = Arc::new(AtomicU64::new(0));
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..opts.concurrency.max(1) {
+        let opts = Arc::clone(&opts);
+        let next = Arc::clone(&next);
+        let outcomes = Arc::clone(&outcomes);
+        let retried = Arc::clone(&retried_429);
+        handles.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= opts.requests {
+                break;
+            }
+            let (req, disconnect) = build_request(i, &opts);
+            let outcome = run_one(&opts, &req, disconnect, &retried);
+            outcomes.lock().unwrap().push(outcome);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let outcomes = outcomes.lock().unwrap();
+    let mut codes: Vec<(u16, u64)> = Vec::new();
+    let mut all_ms = Vec::new();
+    let (mut hit_ms, mut warm_ms, mut cold_ms) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut disconnects, mut broken) = (0u64, 0u64);
+    for o in outcomes.iter() {
+        match o {
+            Outcome::Answered { code, cache, ms } => {
+                match codes.iter_mut().find(|(c, _)| c == code) {
+                    Some((_, n)) => *n += 1,
+                    None => codes.push((*code, 1)),
+                }
+                if *code == 200 {
+                    all_ms.push(*ms);
+                    match cache.as_str() {
+                        "hit" => hit_ms.push(*ms),
+                        "warm" => warm_ms.push(*ms),
+                        _ => cold_ms.push(*ms),
+                    }
+                }
+            }
+            Outcome::Disconnected => disconnects += 1,
+            Outcome::Broken(msg) => {
+                broken += 1;
+                eprintln!("parhde-loadgen: broken exchange: {msg}");
+            }
+        }
+    }
+    codes.sort_by_key(|(c, _)| *c);
+    let completed = all_ms.len() as f64;
+
+    let codes_json = codes
+        .iter()
+        .map(|(c, n)| format!("\"{c}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"schema\": \"parhde-loadgen\",\n  \"version\": 1,\n  \
+         \"requests\": {},\n  \"concurrency\": {},\n  \
+         \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.3},\n  \
+         \"codes\": {{{}}},\n  \"latency\": {},\n  \
+         \"cold\": {},\n  \"warm\": {},\n  \"hit\": {},\n  \
+         \"chaos\": {{\"disconnects\": {}, \"poison_pct\": {}, \"broken\": {}}}\n}}\n",
+        opts.requests,
+        opts.concurrency,
+        wall,
+        completed / wall.max(1e-9),
+        codes_json,
+        latency_block(all_ms),
+        latency_block(cold_ms),
+        latency_block(warm_ms),
+        latency_block(hit_ms),
+        disconnects,
+        opts.chaos_poison_pct,
+        broken,
+    );
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("parhde-loadgen: cannot write {path}: {e}");
+                exit(1);
+            }
+            println!("wrote {path}");
+            print!("{json}");
+        }
+        None => print!("{json}"),
+    }
+    if broken > 0 {
+        exit(1);
+    }
+}
+
+fn run_one(
+    opts: &Opts,
+    req: &Request,
+    disconnect: bool,
+    retried_429: &AtomicU64,
+) -> Outcome {
+    let t0 = Instant::now();
+    let client = match Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => return Outcome::Broken(format!("connect: {e}")),
+    };
+    if disconnect {
+        return match client.fire_and_disconnect(req) {
+            Ok(()) => Outcome::Disconnected,
+            Err(e) => Outcome::Broken(format!("fire: {e}")),
+        };
+    }
+    let mut client = client;
+    if client.set_timeout(Duration::from_millis(opts.timeout_ms)).is_err() {
+        return Outcome::Broken("set_timeout".into());
+    }
+    match client.call(req) {
+        Ok(resp) => {
+            // One polite retry on 429, honoring the server's hint: the
+            // throughput number should reflect shedding + backoff, not
+            // count a shed as a hard failure.
+            if resp.code == 429 {
+                let hint: u64 = resp
+                    .header("retry-after-ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(100);
+                retried_429.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(hint.min(2_000)));
+                if let Ok(mut again) = Client::connect(&opts.addr) {
+                    if again.set_timeout(Duration::from_millis(opts.timeout_ms)).is_ok() {
+                        if let Ok(r2) = again.call(req) {
+                            return Outcome::Answered {
+                                code: r2.code,
+                                cache: r2.header("cache").unwrap_or("").to_string(),
+                                ms: t0.elapsed().as_secs_f64() * 1e3,
+                            };
+                        }
+                    }
+                }
+            }
+            Outcome::Answered {
+                code: resp.code,
+                cache: resp.header("cache").unwrap_or("").to_string(),
+                ms: t0.elapsed().as_secs_f64() * 1e3,
+            }
+        }
+        Err(e) => Outcome::Broken(format!("call: {e}")),
+    }
+}

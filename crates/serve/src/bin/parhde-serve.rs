@@ -1,0 +1,98 @@
+//! The layout daemon (DESIGN.md §13).
+//!
+//! ```text
+//! parhde-serve [--listen ADDR] [--workers N] [--queue N]
+//!              [--mem-budget-mb MB] [--cache-dir DIR] [--report-dir DIR]
+//!              [--default-deadline-ms MS] [--max-deadline-ms MS]
+//!              [--drain-grace-ms MS]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (tests and
+//! supervisors wait for that line). First SIGINT/SIGTERM drains: stop
+//! accepting, finish in-flight work within the grace period, exit 0.
+//! A second signal force-exits 130 immediately.
+
+use parhde_serve::server::{serve, ServerConfig};
+use parhde_util::supervisor;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: parhde-serve [--listen ADDR] [--workers N] [--queue N]\n\
+         \x20                   [--mem-budget-mb MB] [--cache-dir DIR]\n\
+         \x20                   [--report-dir DIR] [--default-deadline-ms MS]\n\
+         \x20                   [--max-deadline-ms MS] [--drain-grace-ms MS]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7170".into(), ..Default::default() };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        macro_rules! value {
+            () => {{
+                i += 1;
+                match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => {
+                        eprintln!("parhde-serve: missing value for {}", args[i - 1]);
+                        exit(2);
+                    }
+                }
+            }};
+        }
+        macro_rules! parsed {
+            () => {
+                match value!().parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("parhde-serve: bad value for {}", args[i - 1]);
+                        exit(2);
+                    }
+                }
+            };
+        }
+        match args[i].as_str() {
+            "--listen" => cfg.addr = value!(),
+            "--workers" => cfg.workers = parsed!(),
+            "--queue" => cfg.queue_capacity = parsed!(),
+            "--mem-budget-mb" => {
+                let mb: u64 = parsed!();
+                cfg.mem_budget_bytes = mb.saturating_mul(1 << 20);
+            }
+            "--cache-dir" => cfg.cache_dir = Some(value!().into()),
+            "--report-dir" => cfg.report_dir = Some(value!().into()),
+            "--default-deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(parsed!());
+            }
+            "--max-deadline-ms" => cfg.max_deadline = Duration::from_millis(parsed!()),
+            "--drain-grace-ms" => cfg.drain_grace = Duration::from_millis(parsed!()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("parhde-serve: unknown option {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    supervisor::install_two_stage_handlers();
+    let server = match serve(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parhde-serve: failed to start: {e}");
+            exit(3);
+        }
+    };
+    println!("listening on {}", server.addr());
+
+    while !supervisor::drain_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("parhde-serve: draining (second signal force-exits)");
+    server.drain();
+    eprintln!("parhde-serve: drained, bye");
+}

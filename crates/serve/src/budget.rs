@@ -1,0 +1,260 @@
+//! The shared soft memory budget (DESIGN.md §13.3).
+//!
+//! PR 4's per-run memory admission ([`parhde::supervise::admit`]) assumed
+//! one run per process; a daemon runs many at once, so admission must be
+//! *across* concurrent requests: each reserves its estimated working set
+//! from one shared pool before running and releases it when done (RAII, so
+//! a panicking worker still releases). Two distinct rejections fall out:
+//!
+//! * **never fits** — even the smallest usable subspace exceeds the whole
+//!   configured budget → 413, retrying is pointless;
+//! * **does not fit now** — it would fit an idle server, but concurrent
+//!   reservations hold too much → 429 with a retry-after hint derived
+//!   from an EWMA of recent service times.
+
+use parhde::config::ParHdeConfig;
+use parhde::supervise::estimate_run_bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Why admission refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The request exceeds the total budget even at the minimum subspace.
+    NeverFits {
+        /// Estimated bytes at the smallest usable subspace.
+        min_bytes: u64,
+        /// The total configured budget.
+        total: u64,
+    },
+    /// The request fits the total budget but not what is free right now.
+    Busy {
+        /// Estimated bytes at the smallest usable subspace.
+        min_bytes: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+}
+
+/// A successful admission: the subspace that fits and the bytes reserved
+/// for it. Dropping the reservation releases the bytes.
+pub struct Reservation {
+    budget: Arc<SharedSoftBudget>,
+    /// Reserved bytes.
+    pub bytes: u64,
+    /// The admitted subspace dimension (≤ requested).
+    pub subspace: usize,
+    /// Whether the requested subspace had to shrink to fit.
+    pub downscaled: bool,
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+/// The process-wide soft budget concurrent requests draw from.
+pub struct SharedSoftBudget {
+    total: u64,
+    reserved: AtomicU64,
+}
+
+impl SharedSoftBudget {
+    /// A budget of `total` bytes.
+    pub fn new(total: u64) -> Arc<Self> {
+        Arc::new(SharedSoftBudget { total, reserved: AtomicU64::new(0) })
+    }
+
+    /// The configured total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently reserved by in-flight requests.
+    pub fn reserved(&self) -> u64 {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.total.saturating_sub(self.reserved())
+    }
+
+    /// Tries to reserve exactly `bytes` (CAS loop, no lock).
+    fn try_reserve(&self, bytes: u64) -> bool {
+        let mut cur = self.reserved.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = cur.checked_add(bytes) else { return false };
+            if next > self.total {
+                return false;
+            }
+            match self.reserved.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        self.reserved.fetch_sub(bytes, Ordering::AcqRel);
+    }
+
+    /// Admits one layout request against the budget: walks the subspace
+    /// down by halving (never below `max(p, 2)`) until the estimated
+    /// working set fits the currently free bytes, and reserves it.
+    ///
+    /// # Errors
+    /// [`AdmitError::NeverFits`] when the minimum subspace exceeds the
+    /// *total* budget; [`AdmitError::Busy`] when it exceeds only what is
+    /// free right now.
+    pub fn admit(
+        self: &Arc<Self>,
+        n: usize,
+        m: usize,
+        cfg: &ParHdeConfig,
+        p: usize,
+    ) -> Result<Reservation, AdmitError> {
+        let floor = p.max(2);
+        let requested = cfg.subspace.max(floor);
+        let min_bytes =
+            estimate_run_bytes(n, m, floor, p, cfg.bfs_mode, cfg.linalg_mode);
+        if min_bytes > self.total {
+            return Err(AdmitError::NeverFits { min_bytes, total: self.total });
+        }
+        let mut s = requested;
+        loop {
+            let bytes = estimate_run_bytes(n, m, s, p, cfg.bfs_mode, cfg.linalg_mode);
+            if bytes <= self.total && self.try_reserve(bytes) {
+                return Ok(Reservation {
+                    budget: Arc::clone(self),
+                    bytes,
+                    subspace: s,
+                    downscaled: s != requested,
+                });
+            }
+            if s == floor {
+                // Fits the total (checked above) but not what is free now.
+                return Err(AdmitError::Busy { min_bytes, free: self.free() });
+            }
+            s = (s / 2).max(floor);
+        }
+    }
+}
+
+/// EWMA of recent request service times, feeding the 429 retry-after hint:
+/// a shed client should come back after roughly the time it takes the
+/// requests ahead of it to finish.
+pub struct ServiceClock {
+    ewma_ms: Mutex<f64>,
+}
+
+/// Floor of the retry-after hint (ms): even an idle-looking server wants
+/// clients to jitter, not hammer.
+pub const RETRY_AFTER_MIN_MS: u64 = 50;
+/// Ceiling of the retry-after hint (ms).
+pub const RETRY_AFTER_MAX_MS: u64 = 30_000;
+
+impl Default for ServiceClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceClock {
+    /// A clock with no history (hints start at the floor).
+    pub fn new() -> Self {
+        ServiceClock { ewma_ms: Mutex::new(0.0) }
+    }
+
+    /// Records one completed request's service time.
+    pub fn record_ms(&self, ms: f64) {
+        let mut ewma = self.ewma_ms.lock().unwrap_or_else(|e| e.into_inner());
+        *ewma = if *ewma == 0.0 { ms } else { 0.8 * *ewma + 0.2 * ms };
+    }
+
+    /// The retry-after hint for a shed request, given how much work is
+    /// ahead of it (queued + in-flight requests).
+    pub fn retry_after_ms(&self, ahead: usize) -> u64 {
+        let ewma = *self.ewma_ms.lock().unwrap_or_else(|e| e.into_inner());
+        let hint = ewma * (ahead as f64 + 1.0);
+        (hint as u64).clamp(RETRY_AFTER_MIN_MS, RETRY_AFTER_MAX_MS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(s: usize) -> ParHdeConfig {
+        ParHdeConfig::with_subspace(s)
+    }
+
+    #[test]
+    fn reservations_release_on_drop() {
+        let b = SharedSoftBudget::new(1 << 30);
+        let r = b.admit(10_000, 40_000, &cfg(16), 2).unwrap();
+        assert!(b.reserved() == r.bytes && r.bytes > 0);
+        assert!(!r.downscaled);
+        drop(r);
+        assert_eq!(b.reserved(), 0);
+    }
+
+    #[test]
+    fn impossible_requests_are_never_fits() {
+        let b = SharedSoftBudget::new(1024);
+        match b.admit(1_000_000, 4_000_000, &cfg(16), 2) {
+            Err(AdmitError::NeverFits { min_bytes, total }) => {
+                assert!(min_bytes > total);
+            }
+            Ok(r) => panic!("expected NeverFits, admitted subspace {}", r.subspace),
+            Err(e) => panic!("expected NeverFits, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn contention_downscales_then_sheds_busy() {
+        let one_full = estimate_run_bytes(
+            50_000,
+            200_000,
+            32,
+            2,
+            cfg(32).bfs_mode,
+            cfg(32).linalg_mode,
+        );
+        // Room for one full run and change, but not two.
+        let b = SharedSoftBudget::new(one_full + one_full / 4);
+        let first = b.admit(50_000, 200_000, &cfg(32), 2).unwrap();
+        assert!(!first.downscaled);
+        // The second fits only by shrinking.
+        let second = b.admit(50_000, 200_000, &cfg(32), 2);
+        match &second {
+            Ok(r) => assert!(r.downscaled && r.subspace < 32),
+            Err(AdmitError::Busy { .. }) => {}
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+        drop(second);
+        drop(first);
+        assert_eq!(b.reserved(), 0);
+        // With the pool free again, the same request is admitted in full.
+        assert!(!b.admit(50_000, 200_000, &cfg(32), 2).unwrap().downscaled);
+    }
+
+    #[test]
+    fn retry_hints_track_service_time_and_clamp() {
+        let clock = ServiceClock::new();
+        assert_eq!(clock.retry_after_ms(0), RETRY_AFTER_MIN_MS);
+        clock.record_ms(200.0);
+        let one = clock.retry_after_ms(0);
+        let five = clock.retry_after_ms(4);
+        assert!((150..=250).contains(&one), "one={one}");
+        assert!(five > one);
+        clock.record_ms(1e9);
+        assert_eq!(clock.retry_after_ms(100), RETRY_AFTER_MAX_MS);
+    }
+}

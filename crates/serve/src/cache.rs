@@ -1,0 +1,317 @@
+//! The crash-safe, digest-keyed layout cache (DESIGN.md §13.4).
+//!
+//! Results are keyed by the FNV-1a digests the checkpoint layer already
+//! computes — [`parhde::checkpoint::graph_digest`] of the preprocessed
+//! graph combined with [`parhde::checkpoint::config_fingerprint`] and the
+//! embedding dimension — so a cache hit is *definitionally* the layout an
+//! uninterrupted run of that request would produce (the pipeline is
+//! deterministic given graph + config + seed).
+//!
+//! Crash safety is the whole point of the design:
+//!
+//! * writes stage to a uniquely named `.tmp` in the cache directory and
+//!   `rename(2)` into place — a crash mid-write leaves a `.tmp` readers
+//!   ignore, never a torn entry under the canonical name;
+//! * every entry carries a whole-file FNV-1a checksum; a corrupt or
+//!   truncated entry (power loss after rename, disk rot, stray writes) is
+//!   detected on load, **deleted**, and treated as a miss — the daemon
+//!   recomputes rather than serving poison;
+//! * alongside each entry key the cache owns a checkpoint subdirectory:
+//!   a request that was cancelled or degraded after its BFS phase leaves a
+//!   post-BFS checkpoint there, and the next identical request resumes
+//!   from it (warm start) instead of repaying the BFS.
+
+use parhde::checkpoint::{config_fingerprint, graph_digest, Fnv64};
+use parhde::config::ParHdeConfig;
+use parhde::CheckpointSpec;
+use parhde_graph::CsrGraph;
+use parhde_linalg::dense::ColMajorMatrix;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes opening every cache entry.
+pub const MAGIC: [u8; 8] = *b"PHDELAYT";
+/// Current entry format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Staging-file uniquifier, so concurrent writers never collide.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A cached layout: the coordinates plus the ladder rung that produced
+/// them (reported to clients as provenance).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedLayout {
+    /// The `n×p` coordinates.
+    pub coords: ColMajorMatrix,
+    /// Rung label recorded at store time (`"full"`, `"phde"`, …).
+    pub rung: String,
+}
+
+/// A directory of layout entries and per-key checkpoint subdirectories.
+pub struct LayoutCache {
+    dir: PathBuf,
+}
+
+/// The cache key of one (graph, config, dimension) request.
+pub fn cache_key(g: &CsrGraph, cfg: &ParHdeConfig, p: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&graph_digest(g).to_le_bytes());
+    h.update(&config_fingerprint(cfg).to_le_bytes());
+    h.update(&(p as u64).to_le_bytes());
+    h.finish()
+}
+
+impl LayoutCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<LayoutCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(LayoutCache { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical entry path for `key`.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("layout-{key:016x}.bin"))
+    }
+
+    /// The checkpoint spec identical requests share: a cold run writes its
+    /// post-BFS checkpoint here, and later identical requests warm-start
+    /// from it.
+    pub fn checkpoint_spec(&self, key: u64) -> CheckpointSpec {
+        CheckpointSpec::in_dir(self.dir.join(format!("ckpt-{key:016x}")))
+    }
+
+    /// Loads the entry for `key`. A missing entry is a miss; a corrupt or
+    /// torn entry is deleted and reported as a miss (with a counter), so
+    /// one bad file can never wedge the key.
+    pub fn load(&self, key: u64) -> Option<CachedLayout> {
+        let path = self.entry_path(key);
+        let bytes = std::fs::read(&path).ok()?;
+        match decode(&bytes, key) {
+            Some(hit) => Some(hit),
+            None => {
+                parhde_trace::counter!("serve.cache.corrupt_evicted", 1);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores an entry atomically (unique `.tmp` + rename).
+    ///
+    /// # Errors
+    /// [`std::io::Error`] from the write or rename; the staging file is
+    /// removed on a failed rename.
+    pub fn store(&self, key: u64, coords: &ColMajorMatrix, rung: &str) -> std::io::Result<()> {
+        let bytes = encode(key, coords, rung);
+        let final_path = self.entry_path(key);
+        let tmp_path = self.dir.join(format!(
+            "layout-{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp_path, &bytes)?;
+        std::fs::rename(&tmp_path, &final_path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp_path);
+        })?;
+        parhde_trace::counter!("serve.cache.store", 1);
+        Ok(())
+    }
+
+    /// Leftover `.tmp` staging files under the cache root (recursive) —
+    /// the chaos harness's atomic-write probe. A clean daemon lifecycle
+    /// leaves none.
+    pub fn stray_tmp_files(&self) -> Vec<PathBuf> {
+        fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+            let Ok(entries) = std::fs::read_dir(dir) else { return };
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, out);
+                } else if p.extension().is_some_and(|x| x == "tmp") {
+                    out.push(p);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.dir, &mut out);
+        out
+    }
+}
+
+fn encode(key: u64, coords: &ColMajorMatrix, rung: &str) -> Vec<u8> {
+    let n = coords.rows();
+    let p = coords.cols();
+    let mut out = Vec::with_capacity(64 + rung.len() + 8 * n * p);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(rung.len() as u32).to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(p as u64).to_le_bytes());
+    out.extend_from_slice(rung.as_bytes());
+    for &x in coords.data() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    let mut h = Fnv64::new();
+    h.update(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Decodes and fully validates an entry; `None` on any violation. The
+/// checksum runs first, so the structural fields below it are trusted-ish;
+/// the arithmetic is still checked — a colliding corruption must fail
+/// closed, not wrap a bounds test.
+fn decode(bytes: &[u8], want_key: u64) -> Option<CachedLayout> {
+    if bytes.len() < MAGIC.len() + 8 || bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let mut h = Fnv64::new();
+    h.update(payload);
+    if h.finish() != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let fixed = MAGIC.len() + 4 + 4 + 8 + 8 + 8;
+    if payload.len() < fixed {
+        return None;
+    }
+    let field_u32 = |at: usize| -> u32 {
+        u32::from_le_bytes(payload[at..at + 4].try_into().unwrap_or_default())
+    };
+    let field_u64 = |at: usize| -> u64 {
+        u64::from_le_bytes(payload[at..at + 8].try_into().unwrap_or_default())
+    };
+    if field_u32(8) != FORMAT_VERSION {
+        return None;
+    }
+    let rung_len = field_u32(12) as usize;
+    if field_u64(16) != want_key {
+        return None;
+    }
+    let n = usize::try_from(field_u64(24)).ok()?;
+    let p = usize::try_from(field_u64(32)).ok()?;
+    let cells = n.checked_mul(p)?;
+    let need = fixed
+        .checked_add(rung_len)?
+        .checked_add(cells.checked_mul(8)?)?;
+    if payload.len() != need {
+        return None;
+    }
+    let rung = std::str::from_utf8(&payload[fixed..fixed + rung_len]).ok()?.to_string();
+    let mut data = Vec::with_capacity(cells);
+    let mut at = fixed + rung_len;
+    for _ in 0..cells {
+        data.push(f64::from_bits(field_u64(at)));
+        at += 8;
+    }
+    Some(CachedLayout { coords: ColMajorMatrix::from_data(n, p, data), rung })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parhde_graph::gen::grid2d;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("parhde-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_coords() -> ColMajorMatrix {
+        let mut m = ColMajorMatrix::zeros(6, 2);
+        for c in 0..2 {
+            for r in 0..6 {
+                m.set(r, c, (r * 2 + c) as f64 * 0.5 - 1.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn store_load_roundtrip_bit_identical() {
+        let dir = scratch("roundtrip");
+        let cache = LayoutCache::open(&dir).unwrap();
+        let g = grid2d(2, 3);
+        let key = cache_key(&g, &ParHdeConfig::default(), 2);
+        assert!(cache.load(key).is_none());
+        let coords = sample_coords();
+        cache.store(key, &coords, "full").unwrap();
+        let hit = cache.load(key).unwrap();
+        assert_eq!(hit.coords.data(), coords.data());
+        assert_eq!(hit.rung, "full");
+        assert!(cache.stray_tmp_files().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_not_served() {
+        let dir = scratch("corrupt");
+        let cache = LayoutCache::open(&dir).unwrap();
+        let key = 0xdead_beef;
+        cache.store(key, &sample_coords(), "full").unwrap();
+        let path = cache.entry_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut evil = bytes.clone();
+            evil[pos] ^= 0x10;
+            std::fs::write(&path, &evil).unwrap();
+            assert!(cache.load(key).is_none(), "corruption at {pos} served");
+            // The poisoned entry was evicted.
+            assert!(!path.exists(), "corruption at {pos} not evicted");
+            cache.store(key, &sample_coords(), "full").unwrap();
+            bytes = std::fs::read(&path).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entries_are_misses() {
+        let dir = scratch("trunc");
+        let cache = LayoutCache::open(&dir).unwrap();
+        let key = 7;
+        cache.store(key, &sample_coords(), "trivial").unwrap();
+        let path = cache.entry_path(key);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [0, 5, 17, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(cache.load(key).is_none(), "cut at {cut} served");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_under_right_name_is_a_miss() {
+        // An entry renamed (or hash-collided) onto the wrong path must not
+        // be served: the embedded key is validated against the request's.
+        let dir = scratch("wrongkey");
+        let cache = LayoutCache::open(&dir).unwrap();
+        cache.store(1, &sample_coords(), "full").unwrap();
+        std::fs::rename(cache.entry_path(1), cache.entry_path(2)).unwrap();
+        assert!(cache.load(2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_graph_config_and_dimension() {
+        let g1 = grid2d(3, 3);
+        let g2 = grid2d(3, 4);
+        let cfg = ParHdeConfig::default();
+        let other_cfg = ParHdeConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        let base = cache_key(&g1, &cfg, 2);
+        assert_ne!(base, cache_key(&g2, &cfg, 2));
+        assert_ne!(base, cache_key(&g1, &other_cfg, 2));
+        assert_ne!(base, cache_key(&g1, &cfg, 3));
+    }
+}

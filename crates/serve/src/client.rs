@@ -1,0 +1,68 @@
+//! A minimal blocking client for the daemon, used by `parhde-loadgen`,
+//! the chaos harness, and tests. One request per connection.
+
+use crate::proto::{self, Request, Response};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to the daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7170`).
+    ///
+    /// # Errors
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Caps how long [`Client::call`] waits for the response. Layout
+    /// requests should set this comfortably above their `deadline-ms`.
+    ///
+    /// # Errors
+    /// Propagates socket option errors.
+    pub fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    /// Propagates frame I/O errors; `InvalidData` on an unparseable
+    /// response.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        proto::write_frame(&mut self.stream, &req.encode())?;
+        let payload = proto::read_frame(&mut self.stream)?;
+        Response::parse(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one request and then drops the connection without reading
+    /// the response — the chaos harness's "client vanished mid-run".
+    ///
+    /// # Errors
+    /// Propagates frame write errors.
+    pub fn fire_and_disconnect(mut self, req: &Request) -> std::io::Result<()> {
+        proto::write_frame(&mut self.stream, &req.encode())
+    }
+}
+
+/// Convenience: one connect → call → disconnect round trip.
+///
+/// # Errors
+/// Propagates [`Client::connect`] and [`Client::call`] errors.
+pub fn call_once(
+    addr: &str,
+    req: &Request,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut client = Client::connect(addr)?;
+    client.set_timeout(timeout)?;
+    client.call(req)
+}

@@ -1,0 +1,44 @@
+//! Layout-as-a-service: a length-prefixed TCP daemon around the supervised
+//! ParHDE pipeline (DESIGN.md §13).
+//!
+//! The ROADMAP's north star is serving layouts to many tenants from one
+//! machine. The pieces built by earlier PRs — fail-soft typed errors, the
+//! [`parhde_util::supervisor`] run budgets, the degraded-retry ladder, and
+//! post-BFS checkpoints — were all designed for that regime; this crate is
+//! the service shell that exercises them under *concurrent* requests:
+//!
+//! * [`proto`] — the `u32`-length-prefixed framed wire protocol: a text
+//!   request (op line, headers, optional inline graph body) and a text
+//!   response (status line, headers, coordinate CSV body).
+//! * [`budget`] — the shared soft memory budget: concurrent requests
+//!   reserve their estimated working set before running; admission halves
+//!   a request's subspace until it fits what is *currently* free, sheds
+//!   with a typed 429 + retry-after hint when nothing fits now, and with
+//!   413 when the request could never fit the configured budget.
+//! * [`cache`] — the crash-safe digest-keyed result cache: layouts are
+//!   keyed by the FNV-1a graph digest + config fingerprint the checkpoint
+//!   layer already computes, written atomically (`.tmp` + rename), and
+//!   self-verifying (whole-file checksum) so a torn or corrupted entry is
+//!   deleted and treated as a miss, never served.
+//! * [`server`] — the daemon: a bounded accept queue feeding a worker
+//!   pool; every request runs under its own [`parhde_util::RunBudget`]
+//!   (deadline slice armed from the moment of acceptance, cancel flag set
+//!   by a client-disconnect watchdog) and degrades through the retry
+//!   ladder instead of failing; first SIGINT/SIGTERM drains, the second
+//!   force-exits 130.
+//! * [`client`] — a minimal blocking client used by `parhde-loadgen`, the
+//!   chaos harness, and tests.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use budget::SharedSoftBudget;
+pub use cache::LayoutCache;
+pub use client::Client;
+pub use proto::{Request, Response};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,318 @@
+//! The framed wire protocol (DESIGN.md §13.1).
+//!
+//! Every message — request or response — is one frame: a little-endian
+//! `u32` payload length followed by that many bytes of UTF-8 text. The
+//! text payload is HTTP-shaped but deliberately not HTTP:
+//!
+//! ```text
+//! PARHDE/1 LAYOUT          PARHDE/1 200 ok
+//! graph: gen:grid:30:30    n: 900
+//! deadline-ms: 2000        rung: full
+//!                          cache: cold
+//! <optional body>          <coordinate CSV body>
+//! ```
+//!
+//! A `u32` length prefix capped at [`MAX_FRAME`] keeps a hostile or
+//! corrupted peer from inducing an unbounded allocation, and framing
+//! (rather than delimiter scanning) means a slow or truncated write is
+//! detected as a short read, never misparsed as a smaller message.
+
+use std::io::{Read, Write};
+
+/// Hard cap on one frame's payload: large enough for a multi-million-edge
+/// inline edge list or coordinate set, small enough that a hostile length
+/// prefix cannot exhaust memory.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Protocol identifier opening every message.
+pub const PROTO: &str = "PARHDE/1";
+
+/// Success.
+pub const OK: u16 = 200;
+/// Malformed request, unparseable graph, or a graph the pipeline rejects.
+pub const BAD_REQUEST: u16 = 400;
+/// The request's deadline elapsed before a worker could start it.
+pub const TIMEOUT: u16 = 408;
+/// The request can never fit the server's total memory budget.
+pub const TOO_LARGE: u16 = 413;
+/// Overloaded: the queue or the shared memory budget is full *right now*;
+/// retry after the hinted backoff.
+pub const OVERLOADED: u16 = 429;
+/// The client disconnected while its request was in flight.
+pub const CANCELLED: u16 = 499;
+/// An internal error the typed error layer classifies as a bug.
+pub const INTERNAL: u16 = 500;
+/// The daemon is draining and accepts no new work.
+pub const DRAINING: u16 = 503;
+
+/// Writes one frame.
+///
+/// # Errors
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME`] *before* allocating.
+///
+/// # Errors
+/// Propagates I/O errors (including `UnexpectedEof` on truncation) and
+/// rejects oversized length prefixes as `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Operations a client can request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Lay out a graph.
+    Layout,
+    /// Health/stats probe; never queued, never sheds.
+    Ping,
+}
+
+/// A parsed request frame.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The requested operation.
+    pub op: Op,
+    /// Header key–value pairs, keys lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Everything after the blank line (inline graph text for `LAYOUT`).
+    pub body: String,
+}
+
+impl Request {
+    /// A bare request with no headers or body.
+    pub fn new(op: Op) -> Self {
+        Request { op, headers: Vec::new(), body: String::new() }
+    }
+
+    /// Appends a header.
+    pub fn with(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.headers.push((key.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First value of `key`, if present.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let op = match self.op {
+            Op::Layout => "LAYOUT",
+            Op::Ping => "PING",
+        };
+        let mut out = format!("{PROTO} {op}\n");
+        for (k, v) in &self.headers {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out.push('\n');
+        out.push_str(&self.body);
+        out.into_bytes()
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    /// A description of the first structural violation.
+    pub fn parse(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
+        let (head, body) = split_head(text);
+        let mut lines = head.lines();
+        let first = lines.next().ok_or("empty request")?;
+        let mut words = first.split_whitespace();
+        if words.next() != Some(PROTO) {
+            return Err(format!("unknown protocol in {first:?}"));
+        }
+        let op = match words.next() {
+            Some("LAYOUT") => Op::Layout,
+            Some("PING") => Op::Ping,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        let headers = parse_headers(lines)?;
+        Ok(Request { op, headers, body: body.to_string() })
+    }
+}
+
+/// A parsed response frame.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code (HTTP-flavored, see this module's constants).
+    pub code: u16,
+    /// Short human-readable reason.
+    pub reason: String,
+    /// Header key–value pairs, keys lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body (coordinate CSV on success, empty otherwise).
+    pub body: String,
+}
+
+impl Response {
+    /// A response with the given status and reason.
+    pub fn new(code: u16, reason: &str) -> Self {
+        Response {
+            code,
+            reason: reason.to_string(),
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Appends a header.
+    pub fn with(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.headers.push((key.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First value of `key`, if present.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the status code is 200.
+    pub fn is_ok(&self) -> bool {
+        self.code == OK
+    }
+
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("{PROTO} {} {}\n", self.code, self.reason);
+        for (k, v) in &self.headers {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out.push('\n');
+        out.push_str(&self.body);
+        out.into_bytes()
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    /// A description of the first structural violation.
+    pub fn parse(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
+        let (head, body) = split_head(text);
+        let mut lines = head.lines();
+        let first = lines.next().ok_or("empty response")?;
+        let mut words = first.split_whitespace();
+        if words.next() != Some(PROTO) {
+            return Err(format!("unknown protocol in {first:?}"));
+        }
+        let code: u16 = words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| format!("bad status line {first:?}"))?;
+        let reason = words.collect::<Vec<_>>().join(" ");
+        let headers = parse_headers(lines)?;
+        Ok(Response { code, reason, headers, body: body.to_string() })
+    }
+}
+
+/// Splits a text payload at the first blank line into (head, body).
+fn split_head(text: &str) -> (&str, &str) {
+    match text.find("\n\n") {
+        Some(i) => (&text[..i], &text[i + 2..]),
+        None => (text, ""),
+    }
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, String> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line.split_once(':').ok_or_else(|| format!("bad header {line:?}"))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Op::Layout)
+            .with("graph", "gen:grid:4:5")
+            .with("Deadline-Ms", 250)
+            .with("subspace", 8);
+        let parsed = Request::parse(&req.encode()).unwrap();
+        assert_eq!(parsed.op, Op::Layout);
+        assert_eq!(parsed.header("graph"), Some("gen:grid:4:5"));
+        assert_eq!(parsed.header("deadline-ms"), Some("250"));
+        assert_eq!(parsed.body, "");
+    }
+
+    #[test]
+    fn request_with_body_roundtrip() {
+        let mut req = Request::new(Op::Layout).with("graph", "inline");
+        req.body = "0 1\n1 2\n2 0\n".into();
+        let parsed = Request::parse(&req.encode()).unwrap();
+        assert_eq!(parsed.body, "0 1\n1 2\n2 0\n");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut resp = Response::new(OK, "ok").with("n", 9).with("rung", "full");
+        resp.body = "0,1\n2,3\n".into();
+        let parsed = Response::parse(&resp.encode()).unwrap();
+        assert!(parsed.is_ok());
+        assert_eq!(parsed.header("n"), Some("9"));
+        assert_eq!(parsed.body, "0,1\n2,3\n");
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), b"hello");
+
+        // A hostile length prefix is rejected before allocation.
+        let evil = (MAX_FRAME + 1).to_le_bytes();
+        let err = read_frame(&mut evil.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_are_short_reads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncate me").unwrap();
+        let cut = &buf[..buf.len() - 3];
+        let err = read_frame(&mut &cut[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn garbage_parses_to_typed_errors() {
+        assert!(Request::parse(b"HTTP/1.1 GET /").is_err());
+        assert!(Request::parse(b"PARHDE/1 FROBNICATE\n\n").is_err());
+        assert!(Response::parse(b"PARHDE/1 notanumber ok\n\n").is_err());
+        assert!(Request::parse(&[0xff, 0xfe, 0x00]).is_err());
+    }
+}

@@ -1,0 +1,953 @@
+//! The daemon: bounded accept queue, worker pool, per-request supervision,
+//! disconnect watchdog, and graceful drain (DESIGN.md §13.2, §13.5).
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! accept ── queue full? ──► 429 + retry-after          (shed, never queued)
+//!    │
+//!    ▼ queued (deadline clock already running)
+//! worker: parse ─► 400 | resolve graph ─► 400 | deadline gone ─► 408
+//!    │
+//!    ▼ cache lookup ──► 200 cache:hit                  (no budget needed)
+//!    │
+//!    ▼ shared-budget admission ──► 413 never-fits | 429 busy + retry-after
+//!    │
+//!    ▼ run (own RunBudget: deadline slice, disconnect cancel flag)
+//!    │     warm checkpoint? resume ─► 200 cache:warm
+//!    │     else supervised ladder  ─► 200 cache:cold (rung: full…trivial)
+//!    │     client vanished         ─► 499 (work checkpointed for resume)
+//!    ▼
+//! respond, release reservation, record service time, write run report
+//! ```
+//!
+//! Draining: the first SIGINT/SIGTERM (or [`Server::request_drain`]) stops
+//! the accept loop; queued-but-unstarted requests are answered `503`;
+//! in-flight runs get [`ServerConfig::drain_grace`] to finish, then their
+//! cancel flags fire — the post-BFS checkpoint already on disk makes the
+//! interrupted work resumable by the next daemon. A second signal
+//! force-exits 130 (see [`parhde_util::supervisor::install_two_stage_handlers`]).
+
+use crate::budget::{AdmitError, ServiceClock, SharedSoftBudget};
+use crate::cache::{cache_key, LayoutCache};
+use crate::proto::{self, Op, Request, Response};
+use parhde::config::ParHdeConfig;
+use parhde::{
+    try_par_hde_nd_supervised, Checkpoint, HdeError, HdeStats, SuperviseOptions,
+};
+use parhde_graph::gen;
+use parhde_graph::io::{parse_edge_list, parse_matrix_market};
+use parhde_graph::prep::largest_component;
+use parhde_graph::CsrGraph;
+use parhde_linalg::dense::ColMajorMatrix;
+use parhde_trace::{RunReport, TraceSession};
+use parhde_util::supervisor::{self, cancel_flag, CancelFlag};
+use parhde_util::RunBudget;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs of one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Layout worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; a connection arriving past it is shed with
+    /// an immediate 429 — the queue never grows without bound.
+    pub queue_capacity: usize,
+    /// Total shared soft memory budget across concurrent requests.
+    pub mem_budget_bytes: u64,
+    /// Result-cache directory; `None` disables caching and warm resume.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-request run-report directory (`req-<id>.json`); `None` disables.
+    pub report_dir: Option<PathBuf>,
+    /// Deadline applied when the client does not send `deadline-ms`.
+    pub default_deadline: Duration,
+    /// Upper clamp for client-requested deadlines.
+    pub max_deadline: Duration,
+    /// How long in-flight runs may keep working after drain starts before
+    /// their cancel flags fire.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 8,
+            mem_budget_bytes: 2 << 30,
+            cache_dir: None,
+            report_dir: None,
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(60),
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Monotonically increasing request counters (all relaxed; observability
+/// only).
+#[derive(Default)]
+struct Stats {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_busy: AtomicU64,
+    rejected: AtomicU64,
+    cache_hit: AtomicU64,
+    cache_warm: AtomicU64,
+    cache_cold: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A connection accepted but not yet picked up by a worker. The deadline
+/// clock starts at `accepted`: queue wait burns the request's own time.
+struct Pending {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// One in-flight request's entry in the disconnect watchdog's registry.
+struct WatchEntry {
+    id: u64,
+    stream: TcpStream,
+    flag: CancelFlag,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    budget: Arc<SharedSoftBudget>,
+    cache: Option<LayoutCache>,
+    clock: ServiceClock,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    drain: AtomicBool,
+    stop_watchdog: AtomicBool,
+    stats: Stats,
+    /// Serializes trace sessions and ambient budget installs — both are
+    /// process-exclusive, so layout execution is one-at-a-time per process
+    /// (cache hits and all shedding paths bypass this).
+    layout_lock: Mutex<()>,
+    watch: Mutex<Vec<WatchEntry>>,
+    req_seq: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl Shared {
+    /// Drain is the union of the in-process flag and the process-global
+    /// signal-driven one.
+    fn draining(&self) -> bool {
+        self.drain.load(Ordering::Relaxed) || supervisor::drain_requested()
+    }
+
+    fn work_ahead(&self) -> usize {
+        let queued = self.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        queued + self.inflight.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// A running daemon. Dropping it without calling [`Server::drain`] detaches
+/// the threads (they exit with the process); tests should drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    watchdog_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Starts a daemon from `cfg`.
+///
+/// # Errors
+/// [`std::io::Error`] if the listener cannot bind or the cache directory
+/// cannot be created.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let cache = match &cfg.cache_dir {
+        Some(dir) => Some(LayoutCache::open(dir)?),
+        None => None,
+    };
+    if let Some(dir) = &cfg.report_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let workers = cfg.workers.max(1);
+    let budget = SharedSoftBudget::new(cfg.mem_budget_bytes);
+    let shared = Arc::new(Shared {
+        cfg,
+        budget,
+        cache,
+        clock: ServiceClock::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        drain: AtomicBool::new(false),
+        stop_watchdog: AtomicBool::new(false),
+        stats: Stats::default(),
+        layout_lock: Mutex::new(()),
+        watch: Mutex::new(Vec::new()),
+        req_seq: AtomicU64::new(0),
+        inflight: AtomicU64::new(0),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_handle = std::thread::Builder::new()
+        .name("parhde-accept".into())
+        .spawn(move || accept_loop(listener, &accept_shared))?;
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let worker_shared = Arc::clone(&shared);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("parhde-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))?,
+        );
+    }
+
+    let watchdog_shared = Arc::clone(&shared);
+    let watchdog_handle = std::thread::Builder::new()
+        .name("parhde-watchdog".into())
+        .spawn(move || watchdog_loop(&watchdog_shared))?;
+
+    Ok(Server {
+        addr,
+        shared,
+        accept_handle: Some(accept_handle),
+        worker_handles,
+        watchdog_handle: Some(watchdog_handle),
+    })
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts draining without blocking: stop accepting, let workers wind
+    /// down. Equivalent to the first SIGTERM.
+    pub fn request_drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether the daemon is draining.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Leftover `.tmp` files under the cache directory (chaos probe).
+    pub fn stray_tmp_files(&self) -> Vec<PathBuf> {
+        self.shared.cache.as_ref().map(|c| c.stray_tmp_files()).unwrap_or_default()
+    }
+
+    /// Drains and joins: stops accepting, answers queued requests with
+    /// 503, gives in-flight runs [`ServerConfig::drain_grace`] to finish,
+    /// then fires their cancel flags (checkpoints make the interrupted
+    /// work resumable) and joins every thread.
+    pub fn drain(mut self) {
+        self.request_drain();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Grace period for in-flight work.
+        let deadline = Instant::now() + self.shared.cfg.drain_grace;
+        while Instant::now() < deadline && self.shared.work_ahead() > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Past grace: cancel whatever is still running.
+        for entry in self.shared.watch.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            entry.flag.store(true, Ordering::SeqCst);
+        }
+        self.shared.queue_cv.notify_all();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stop_watchdog.store(true, Ordering::SeqCst);
+        if let Some(h) = self.watchdog_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if queue.len() >= shared.cfg.queue_capacity {
+                    drop(queue);
+                    shed_overloaded(shared, stream);
+                } else {
+                    queue.push_back(Pending { stream, accepted: Instant::now() });
+                    drop(queue);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Sheds one connection with 429 + retry-after, without reading a byte of
+/// its request — overload handling must not depend on the client's input.
+fn shed_overloaded(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.stats.shed_queue.fetch_add(1, Ordering::Relaxed);
+    parhde_trace::counter!("serve.shed.queue_full", 1);
+    let hint = shared.clock.retry_after_ms(shared.work_ahead());
+    let resp = Response::new(proto::OVERLOADED, "queue full")
+        .with("retry-after-ms", hint);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = proto::write_frame(&mut stream, &resp.encode());
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let pending = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    break Some(p);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+            }
+        };
+        let Some(pending) = pending else { break };
+        handle_connection(shared, pending);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
+    let Pending { mut stream, accepted } = pending;
+    // A worker must not hang on a half-sent request (slowloris).
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let payload = match proto::read_frame(&mut stream) {
+        Ok(p) => p,
+        Err(_) => return, // nothing parseable arrived; no reply possible
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // Panic boundary: a panic anywhere in request handling must cost the
+    // *request* (typed 500), never the worker thread — a daemon that
+    // silently loses workers to hostile inputs eventually serves nobody.
+    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match Request::parse(&payload) {
+            Err(msg) => {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Response::new(proto::BAD_REQUEST, "bad request").with("error", msg)
+            }
+            Ok(req) => match req.op {
+                Op::Ping => ping_response(shared),
+                Op::Layout => handle_layout(shared, &req, &stream, accepted),
+            },
+        }
+    }))
+    .unwrap_or_else(|payload| {
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        parhde_trace::counter!("serve.panic.request", 1);
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("unknown panic");
+        Response::new(proto::INTERNAL, "internal error (bug)").with("error", msg)
+    });
+    let _ = proto::write_frame(&mut stream, &response.encode());
+}
+
+fn ping_response(shared: &Arc<Shared>) -> Response {
+    let s = &shared.stats;
+    Response::new(proto::OK, "pong")
+        .with("draining", u8::from(shared.draining()))
+        .with("queued", shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len())
+        .with("inflight", shared.inflight.load(Ordering::Relaxed))
+        .with("budget-total", shared.budget.total())
+        .with("budget-reserved", shared.budget.reserved())
+        .with("accepted", s.accepted.load(Ordering::Relaxed))
+        .with("completed", s.completed.load(Ordering::Relaxed))
+        .with("shed-queue", s.shed_queue.load(Ordering::Relaxed))
+        .with("shed-busy", s.shed_busy.load(Ordering::Relaxed))
+        .with("rejected", s.rejected.load(Ordering::Relaxed))
+        .with("cache-hit", s.cache_hit.load(Ordering::Relaxed))
+        .with("cache-warm", s.cache_warm.load(Ordering::Relaxed))
+        .with("cache-cold", s.cache_cold.load(Ordering::Relaxed))
+        .with("cancelled", s.cancelled.load(Ordering::Relaxed))
+        .with("failed", s.failed.load(Ordering::Relaxed))
+}
+
+/// Cap on the `hold-ms` chaos knob, so it cannot park a worker forever.
+const MAX_HOLD_MS: u64 = 10_000;
+
+/// Sleeps in short slices so the disconnect watchdog and the deadline
+/// still interrupt a held request exactly like a running one.
+fn cooperative_hold(
+    ms: u64,
+    flag: &CancelFlag,
+    hard_deadline: Instant,
+) -> Result<(), HdeError> {
+    let until = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < until {
+        if flag.load(Ordering::Relaxed) {
+            return Err(HdeError::Cancelled { phase: "hold" });
+        }
+        if Instant::now() >= hard_deadline {
+            return Err(HdeError::DeadlineExceeded { phase: "hold" });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Ok(())
+}
+
+/// Caps on `gen:` pseudo-inputs, so a hostile request cannot ask the
+/// server to generate an astronomically large graph.
+const MAX_GEN_KRON_SCALE: u32 = 20;
+const MAX_GEN_GRID_SIDE: usize = 4096;
+const MAX_GEN_PREF_N: usize = 2_000_000;
+
+/// Resolves the request's graph: `gen:` specs or the inline body.
+fn resolve_graph(req: &Request) -> Result<CsrGraph, String> {
+    let spec = req.header("graph").unwrap_or("inline");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let parsed = match parts.as_slice() {
+        ["inline"] => {
+            if req.body.trim_start().starts_with("%%MatrixMarket") {
+                parse_matrix_market(&req.body).map_err(|e| e.to_string())?
+            } else {
+                parse_edge_list(&req.body, 0).map_err(|e| e.to_string())?
+            }
+        }
+        ["gen", "grid", r, c] => {
+            let (r, c) = (dim(r)?, dim(c)?);
+            if r == 0 || c == 0 || r > MAX_GEN_GRID_SIDE || c > MAX_GEN_GRID_SIDE {
+                return Err(format!("grid {r}x{c} out of range"));
+            }
+            gen::grid2d(r, c)
+        }
+        ["gen", "kron", scale, ef, seed] => {
+            let scale: u32 = scale.parse().map_err(|_| "bad kron scale")?;
+            if scale > MAX_GEN_KRON_SCALE {
+                return Err(format!("kron scale {scale} over cap {MAX_GEN_KRON_SCALE}"));
+            }
+            gen::kron(scale, dim(ef)?, seed.parse().map_err(|_| "bad seed")?)
+        }
+        ["gen", "pref", n, k, seed] => {
+            let n = dim(n)?;
+            if !(2..=MAX_GEN_PREF_N).contains(&n) {
+                return Err(format!("pref n {n} out of range"));
+            }
+            gen::pref_attach(n, dim(k)?, seed.parse().map_err(|_| "bad seed")?)
+        }
+        _ => return Err(format!("unknown graph spec {spec:?}")),
+    };
+    Ok(parsed)
+}
+
+fn dim(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad dimension {s:?}"))
+}
+
+fn parse_u64(req: &Request, key: &str) -> Result<Option<u64>, String> {
+    match req.header(key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| format!("bad {key} {v:?}")),
+    }
+}
+
+fn handle_layout(
+    shared: &Arc<Shared>,
+    req: &Request,
+    stream: &TcpStream,
+    accepted: Instant,
+) -> Response {
+    if shared.draining() {
+        return Response::new(proto::DRAINING, "draining");
+    }
+    let id = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+
+    // ---- Parse knobs -----------------------------------------------------
+    let parsed = (|| -> Result<_, String> {
+        let p = parse_u64(req, "dim")?.unwrap_or(2) as usize;
+        if !(1..=16).contains(&p) {
+            return Err(format!("dim {p} out of range 1..=16"));
+        }
+        let deadline_ms = parse_u64(req, "deadline-ms")?;
+        let subspace = parse_u64(req, "subspace")?.map(|s| s as usize);
+        let seed = parse_u64(req, "seed")?;
+        let no_cache = req.header("no-cache") == Some("1");
+        // Chaos/testing knob: hold the worker (cooperatively — cancel and
+        // deadline still fire) before running, to make races reproducible.
+        let hold_ms = parse_u64(req, "hold-ms")?.unwrap_or(0).min(MAX_HOLD_MS);
+        Ok((p, deadline_ms, subspace, seed, no_cache, hold_ms))
+    })();
+    let (p, deadline_ms, subspace, seed, no_cache, hold_ms) = match parsed {
+        Ok(v) => v,
+        Err(msg) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::new(proto::BAD_REQUEST, "bad request").with("error", msg);
+        }
+    };
+    let deadline = deadline_ms
+        .map(|ms| Duration::from_millis(ms).min(shared.cfg.max_deadline))
+        .unwrap_or(shared.cfg.default_deadline);
+
+    // ---- Resolve the graph ----------------------------------------------
+    let g = match resolve_graph(req) {
+        Ok(g) => g,
+        Err(msg) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::new(proto::BAD_REQUEST, "bad graph").with("error", msg);
+        }
+    };
+    // Same preprocessing as the CLI: lay out the largest component. An
+    // empty parse (e.g. an empty body) must reject here —
+    // `largest_component` requires at least one vertex.
+    if g.num_vertices() == 0 {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::new(proto::BAD_REQUEST, "bad graph")
+            .with("error", "graph has no vertices");
+    }
+    let g = largest_component(&g).graph;
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n < 2 {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::new(proto::BAD_REQUEST, "bad graph")
+            .with("error", format!("largest component has {n} vertices; need >= 2"));
+    }
+
+    // Post-clamp config, exactly as an uninterrupted CLI run would see it.
+    let mut cfg = ParHdeConfig::for_graph(n);
+    if let Some(s) = subspace {
+        cfg.subspace = s.clamp(1, n.saturating_sub(1)).max(p.min(n - 1));
+    }
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+
+    // ---- Deadline already burned in the queue? ---------------------------
+    let hard_deadline = accepted + deadline;
+    if Instant::now() >= hard_deadline {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        parhde_trace::counter!("serve.timeout.queued", 1);
+        return Response::new(proto::TIMEOUT, "deadline exhausted in queue")
+            .with("deadline-ms", deadline.as_millis());
+    }
+
+    // ---- Cache lookup ----------------------------------------------------
+    let key = cache_key(&g, &cfg, p);
+    if !no_cache {
+        if let Some(hit) = shared.cache.as_ref().and_then(|c| c.load(key)) {
+            shared.stats.cache_hit.fetch_add(1, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            parhde_trace::counter!("serve.cache.hit", 1);
+            let elapsed = accepted.elapsed();
+            shared.clock.record_ms(elapsed.as_secs_f64() * 1e3);
+            return ok_response(&hit.coords, n, m, &hit.rung, "hit", elapsed, &[]);
+        }
+    }
+
+    // ---- Shared-budget admission ----------------------------------------
+    let reservation = match shared.budget.admit(n, m, &cfg, p) {
+        Ok(r) => r,
+        Err(AdmitError::NeverFits { min_bytes, total }) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            parhde_trace::counter!("serve.reject.too_large", 1);
+            return Response::new(proto::TOO_LARGE, "exceeds memory budget")
+                .with("estimated-bytes", min_bytes)
+                .with("budget-bytes", total);
+        }
+        Err(AdmitError::Busy { min_bytes, free }) => {
+            shared.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+            parhde_trace::counter!("serve.shed.budget_busy", 1);
+            let hint = shared.clock.retry_after_ms(shared.work_ahead());
+            return Response::new(proto::OVERLOADED, "memory budget busy")
+                .with("estimated-bytes", min_bytes)
+                .with("free-bytes", free)
+                .with("retry-after-ms", hint);
+        }
+    };
+    let mut admission_note: Vec<String> = Vec::new();
+    if reservation.downscaled {
+        admission_note.push(format!(
+            "admission downscaled subspace {} -> {} (shared budget)",
+            cfg.subspace, reservation.subspace
+        ));
+        cfg.subspace = reservation.subspace;
+    }
+
+    // ---- Run -------------------------------------------------------------
+    let flag = cancel_flag();
+    // RAII: even a panicking run (caught at the connection boundary) must
+    // unregister its watchdog entry and decrement the in-flight count.
+    let _inflight = InflightGuard::enter(shared, id, stream, &flag);
+    let result =
+        run_layout(shared, id, &g, &cfg, p, hard_deadline, &flag, key, no_cache, hold_ms);
+    drop(_inflight);
+    drop(reservation);
+
+    let elapsed = accepted.elapsed();
+    shared.clock.record_ms(elapsed.as_secs_f64() * 1e3);
+    match result {
+        Ok(done) => {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            match done.cache_tag {
+                "warm" => shared.stats.cache_warm.fetch_add(1, Ordering::Relaxed),
+                _ => shared.stats.cache_cold.fetch_add(1, Ordering::Relaxed),
+            };
+            let mut notes = admission_note;
+            notes.extend(done.warnings);
+            ok_response(&done.coords, n, m, done.rung, done.cache_tag, elapsed, &notes)
+        }
+        Err(e) => {
+            let (code, reason) = classify_error(&e);
+            if code == proto::CANCELLED {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::new(code, reason)
+                .with("error", e.to_string())
+                .with("hde-exit-code", e.exit_code())
+        }
+    }
+}
+
+/// Maps a typed pipeline error to a wire status.
+fn classify_error(e: &HdeError) -> (u16, &'static str) {
+    match e {
+        HdeError::Cancelled { .. } => (proto::CANCELLED, "cancelled"),
+        HdeError::DeadlineExceeded { .. } => (proto::TIMEOUT, "deadline exceeded"),
+        HdeError::MemoryBudgetExceeded { .. } => (proto::TOO_LARGE, "memory budget"),
+        HdeError::Internal(_) => (proto::INTERNAL, "internal error"),
+        // Parse/config/degenerate/non-finite: the *request* was bad.
+        _ => (proto::BAD_REQUEST, "layout failed"),
+    }
+}
+
+struct Done {
+    coords: ColMajorMatrix,
+    rung: &'static str,
+    cache_tag: &'static str,
+    warnings: Vec<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_layout(
+    shared: &Arc<Shared>,
+    id: u64,
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    hard_deadline: Instant,
+    flag: &CancelFlag,
+    key: u64,
+    no_cache: bool,
+    hold_ms: u64,
+) -> Result<Done, HdeError> {
+    // Trace sessions and ambient budget installs are process-exclusive:
+    // one layout at a time, everything else queues here. The wait burns
+    // the request's own deadline.
+    let _exclusive = shared.layout_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let remaining = hard_deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(HdeError::DeadlineExceeded { phase: "queued" });
+    }
+    if flag.load(Ordering::Relaxed) {
+        return Err(HdeError::Cancelled { phase: "queued" });
+    }
+    cooperative_hold(hold_ms, flag, hard_deadline)?;
+
+    let session = shared.cfg.report_dir.is_some().then(TraceSession::begin);
+    let started = Instant::now();
+    let outcome = run_layout_inner(shared, g, cfg, p, hard_deadline, flag, key, no_cache);
+    if let Some(session) = session {
+        let trace = session.finish();
+        write_report(shared, id, g, cfg, p, &trace, started.elapsed(), &outcome);
+    }
+    outcome
+}
+
+/// The actual layout: warm-resume from a cached checkpoint when possible,
+/// else the full supervised ladder.
+#[allow(clippy::too_many_arguments)]
+fn run_layout_inner(
+    shared: &Arc<Shared>,
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    hard_deadline: Instant,
+    flag: &CancelFlag,
+    key: u64,
+    no_cache: bool,
+) -> Result<Done, HdeError> {
+    let ckpt_spec = shared.cache.as_ref().map(|c| c.checkpoint_spec(key));
+
+    // ---- Warm start: resume a post-BFS checkpoint an earlier identical
+    // request left behind (cancelled, degraded, or drained mid-run).
+    if !no_cache {
+        if let Some(spec) = &ckpt_spec {
+            let path = spec.file_path();
+            if path.exists() {
+                if let Ok(ckpt) = Checkpoint::read(&path) {
+                    let budget = RunBudget::unbounded()
+                        .with_external_cancel(Arc::clone(flag));
+                    budget.arm_deadline_at(hard_deadline);
+                    let installed = supervisor::install(&budget);
+                    let resumed = parhde::try_par_hde_resume(g, cfg, p, &ckpt);
+                    drop(installed);
+                    match resumed {
+                        Ok((coords, stats)) => {
+                            parhde_trace::counter!("serve.cache.warm_resume", 1);
+                            store_result(shared, key, &coords, "full", no_cache);
+                            return Ok(Done {
+                                coords,
+                                rung: "full",
+                                cache_tag: "warm",
+                                warnings: warning_strings(&stats),
+                            });
+                        }
+                        // Cancellation aborts the request; anything else
+                        // (mismatch, corrupt, deadline) falls back to cold.
+                        Err(e @ HdeError::Cancelled { .. }) => return Err(e),
+                        Err(_) => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                } else {
+                    // Unreadable/corrupt checkpoint: evict, run cold.
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+    }
+
+    // ---- Cold: the full supervised ladder under this request's budget.
+    let remaining = hard_deadline.saturating_duration_since(Instant::now());
+    let opts = SuperviseOptions {
+        deadline: Some(remaining.max(Duration::from_millis(1))),
+        mem_budget_bytes: None, // admission already happened, shared
+        checkpoint: ckpt_spec,
+        honor_global_cancel: false, // drain handles signals; see DESIGN §13.5
+        cancel_flag: Some(Arc::clone(flag)),
+    };
+    let sup = try_par_hde_nd_supervised(g, cfg, p, &opts)?;
+    // Only full-quality layouts are cached: a degraded rung's output is an
+    // artifact of *this* request's budget, not of the (graph, config) key.
+    if sup.rung == "full" {
+        store_result(shared, key, &sup.coords, sup.rung, no_cache);
+    }
+    let mut warnings = warning_strings(&sup.stats);
+    warnings.extend(
+        sup.ladder.iter().map(|s| format!("rung {} abandoned: {}", s.rung, s.cause)),
+    );
+    Ok(Done { coords: sup.coords, rung: sup.rung, cache_tag: "cold", warnings })
+}
+
+fn store_result(
+    shared: &Arc<Shared>,
+    key: u64,
+    coords: &ColMajorMatrix,
+    rung: &str,
+    no_cache: bool,
+) {
+    if no_cache {
+        return;
+    }
+    if let Some(cache) = &shared.cache {
+        if let Err(e) = cache.store(key, coords, rung) {
+            // Cache failures degrade to "no cache", never to request failure.
+            eprintln!("parhde-serve: cache store failed: {e}");
+        }
+    }
+}
+
+fn warning_strings(stats: &HdeStats) -> Vec<String> {
+    stats.warnings.iter().map(|w| w.to_string()).collect()
+}
+
+fn ok_response(
+    coords: &ColMajorMatrix,
+    n: usize,
+    m: usize,
+    rung: &str,
+    cache_tag: &str,
+    elapsed: Duration,
+    notes: &[String],
+) -> Response {
+    let mut resp = Response::new(proto::OK, "ok")
+        .with("n", n)
+        .with("m", m)
+        .with("dim", coords.cols())
+        .with("rung", rung)
+        .with("cache", cache_tag)
+        .with("elapsed-ms", elapsed.as_millis());
+    if !notes.is_empty() {
+        resp = resp.with("warnings", notes.len());
+        for note in notes {
+            resp = resp.with("warning", note);
+        }
+    }
+    resp.body = coords_csv(coords);
+    resp
+}
+
+/// The coordinate CSV body: one row per vertex, shortest-roundtrip float
+/// formatting — bit-identical coordinates produce byte-identical bodies,
+/// which the cache-consistency tests rely on.
+fn coords_csv(coords: &ColMajorMatrix) -> String {
+    let (n, p) = (coords.rows(), coords.cols());
+    let mut out = String::with_capacity(n * p * 20);
+    for r in 0..n {
+        for c in 0..p {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}", coords.col(c)[r]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Scopes one request's in-flight accounting and watchdog registration;
+/// the drop path runs even when the request panics.
+struct InflightGuard<'a> {
+    shared: &'a Arc<Shared>,
+    id: u64,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(
+        shared: &'a Arc<Shared>,
+        id: u64,
+        stream: &TcpStream,
+        flag: &CancelFlag,
+    ) -> Self {
+        register_watch(shared, id, stream, flag);
+        shared.inflight.fetch_add(1, Ordering::Relaxed);
+        InflightGuard { shared, id }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        unregister_watch(self.shared, self.id);
+    }
+}
+
+fn register_watch(shared: &Arc<Shared>, id: u64, stream: &TcpStream, flag: &CancelFlag) {
+    let Ok(clone) = stream.try_clone() else { return };
+    // Short peek timeout: the watchdog must never stall on one socket.
+    let _ = clone.set_read_timeout(Some(Duration::from_millis(1)));
+    shared.watch.lock().unwrap_or_else(|e| e.into_inner()).push(WatchEntry {
+        id,
+        stream: clone,
+        flag: Arc::clone(flag),
+    });
+}
+
+fn unregister_watch(shared: &Arc<Shared>, id: u64) {
+    shared
+        .watch
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|e| e.id != id);
+}
+
+/// Polls every in-flight request's socket; a clean EOF or a hard error
+/// means the client is gone → fire that request's cancel flag. `peek`
+/// never consumes bytes, so a (protocol-violating) pipelined byte stays
+/// readable. Runs until the server fully drains.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let mut buf = [0u8; 1];
+    while !shared.stop_watchdog.load(Ordering::Relaxed) {
+        {
+            let watch = shared.watch.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in watch.iter() {
+                match entry.stream.peek(&mut buf) {
+                    Ok(0) => {
+                        if !entry.flag.swap(true, Ordering::SeqCst) {
+                            parhde_trace::counter!("serve.cancel.disconnect", 1);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        if !entry.flag.swap(true, Ordering::SeqCst) {
+                            parhde_trace::counter!("serve.cancel.disconnect", 1);
+                        }
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    shared: &Arc<Shared>,
+    id: u64,
+    g: &CsrGraph,
+    cfg: &ParHdeConfig,
+    p: usize,
+    trace: &parhde_trace::Trace,
+    total: Duration,
+    outcome: &Result<Done, HdeError>,
+) {
+    let Some(dir) = &shared.cfg.report_dir else { return };
+    let (exit_code, error, rung, cache_tag, warnings) = match outcome {
+        Ok(done) => (0, None, done.rung, done.cache_tag, done.warnings.clone()),
+        Err(e) => (e.exit_code(), Some(e.to_string()), "none", "cold", Vec::new()),
+    };
+    let mut report = RunReport {
+        binary: "parhde-serve".into(),
+        algo: "parhde".into(),
+        graph_n: g.num_vertices() as u64,
+        graph_m: g.num_edges() as u64,
+        config: vec![
+            ("request_id".into(), id.to_string()),
+            ("subspace".into(), cfg.subspace.to_string()),
+            ("dim".into(), p.to_string()),
+            ("seed".into(), cfg.seed.to_string()),
+            ("rung".into(), rung.into()),
+            ("cache".into(), cache_tag.into()),
+        ],
+        phases: trace.phase_seconds(),
+        warnings,
+        exit_code,
+        error,
+        total_seconds: total.as_secs_f64(),
+        ..RunReport::default()
+    };
+    report.counters = trace.counter_totals();
+    report.gauges = trace.gauge_finals();
+    let path = dir.join(format!("req-{id}.json"));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("parhde-serve: report write failed for {}: {e}", path.display());
+    }
+}

@@ -1,0 +1,445 @@
+//! Chaos harness: an in-process daemon under hostile clients (DESIGN.md
+//! §13.6). Every scenario asserts two things — the specific typed outcome,
+//! and that the daemon keeps serving afterwards.
+//!
+//! The ambient run budget and the trace collector are process-exclusive,
+//! so these tests serialize on one mutex (they still exercise *server*
+//! concurrency: each spins up its own worker pool and client threads).
+
+use parhde_serve::cache::{cache_key, LayoutCache};
+use parhde_serve::client::{call_once, Client};
+use parhde_serve::proto::{self, Op, Request, Response};
+use parhde_serve::server::{serve, Server, ServerConfig};
+use parhde_graph::gen::{self, poison};
+use parhde_graph::prep::largest_component;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A unique scratch dir per test, recreated empty.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("parhde-serve-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = serve(cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn layout_req(spec: &str) -> Request {
+    Request::new(Op::Layout).with("graph", spec).with("deadline-ms", 30_000)
+}
+
+fn call(addr: &str, req: &Request) -> Response {
+    call_once(addr, req, Duration::from_secs(60)).expect("well-formed exchange")
+}
+
+fn ping_stat(addr: &str, key: &str) -> u64 {
+    let resp = call(addr, &Request::new(Op::Ping));
+    assert!(resp.is_ok(), "ping failed: {}", resp.reason);
+    resp.header(key).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+#[test]
+fn round_trip_then_cache_hit_is_byte_identical() {
+    let _guard = serialize();
+    let dir = scratch("roundtrip");
+    let (server, addr) = start(ServerConfig {
+        cache_dir: Some(dir.join("cache")),
+        report_dir: Some(dir.join("reports")),
+        ..Default::default()
+    });
+
+    let cold = call(&addr, &layout_req("gen:grid:12:12"));
+    assert!(cold.is_ok(), "cold: {} {}", cold.code, cold.reason);
+    assert_eq!(cold.header("cache"), Some("cold"));
+    assert_eq!(cold.header("n"), Some("144"));
+    assert_eq!(cold.header("rung"), Some("full"));
+    assert_eq!(cold.body.lines().count(), 144);
+    for line in cold.body.lines() {
+        for field in line.split(',') {
+            let v: f64 = field.parse().expect("CSV field parses as f64");
+            assert!(v.is_finite());
+        }
+    }
+
+    let hit = call(&addr, &layout_req("gen:grid:12:12"));
+    assert!(hit.is_ok());
+    assert_eq!(hit.header("cache"), Some("hit"));
+    // The cache must return exactly what the cold run computed.
+    assert_eq!(hit.body, cold.body);
+
+    // The per-request run reports validate against the trace schema.
+    let reports: Vec<_> = std::fs::read_dir(dir.join("reports"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(!reports.is_empty(), "no run reports written");
+    for path in &reports {
+        let text = std::fs::read_to_string(path).unwrap();
+        parhde_trace::RunReport::validate(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+
+    assert!(server.stray_tmp_files().is_empty());
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_resume_completes_from_a_planted_checkpoint() {
+    let _guard = serialize();
+    let dir = scratch("warm");
+    // Build the graph exactly as the server will: gen → largest component.
+    let g = largest_component(&gen::grid2d(20, 20)).graph;
+    let cfg = parhde::config::ParHdeConfig::for_graph(g.num_vertices());
+    let key = cache_key(&g, &cfg, 2);
+    // Plant a post-BFS checkpoint where the server's cache will look,
+    // simulating an identical earlier request that died mid-run.
+    let cache = LayoutCache::open(dir.join("cache")).unwrap();
+    let spec = cache.checkpoint_spec(key);
+    parhde::try_par_hde_nd_checkpointed(&g, &cfg, 2, &spec).unwrap();
+    assert!(spec.file_path().exists(), "planted checkpoint missing");
+
+    let (server, addr) = start(ServerConfig {
+        cache_dir: Some(dir.join("cache")),
+        ..Default::default()
+    });
+    let resp = call(&addr, &layout_req("gen:grid:20:20"));
+    assert!(resp.is_ok(), "{} {}", resp.code, resp.reason);
+    assert_eq!(resp.header("cache"), Some("warm"), "expected warm resume");
+    assert_eq!(resp.header("rung"), Some("full"));
+
+    // The warm result was stored, so the next identical request is a hit.
+    let hit = call(&addr, &layout_req("gen:grid:20:20"));
+    assert_eq!(hit.header("cache"), Some("hit"));
+    assert_eq!(hit.body, resp.body);
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_sheds_429_with_retry_after_and_recovers() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..Default::default()
+    });
+
+    // Saturate: one held request occupies the worker, one fills the
+    // queue, the rest must be shed with a typed 429 before being read.
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let req = layout_req("gen:grid:12:12")
+                .with("no-cache", 1)
+                .with("hold-ms", 1_500);
+            call_once(&addr, &req, Duration::from_secs(120))
+        }));
+    }
+    let responses: Vec<Response> =
+        handles.into_iter().map(|h| h.join().unwrap().expect("exchange")).collect();
+
+    let ok = responses.iter().filter(|r| r.is_ok()).count();
+    let shed: Vec<&Response> =
+        responses.iter().filter(|r| r.code == proto::OVERLOADED).collect();
+    assert!(ok >= 1, "at least the in-flight request completes");
+    assert!(!shed.is_empty(), "expected shedding with workers=1 queue=1");
+    for r in &shed {
+        let hint: u64 = r
+            .header("retry-after-ms")
+            .expect("429 carries retry-after-ms")
+            .parse()
+            .expect("retry-after-ms is numeric");
+        assert!((50..=30_000).contains(&hint), "hint {hint} out of clamp");
+    }
+
+    // The daemon recovers once load passes.
+    let after = call(&addr, &layout_req("gen:grid:8:8"));
+    assert!(after.is_ok(), "post-overload request failed: {}", after.reason);
+    server.drain();
+}
+
+#[test]
+fn poison_graphs_get_typed_400s_and_the_daemon_survives() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig::default());
+
+    // These must come back as typed 400s: unparseable or degenerate.
+    let must_reject = [
+        poison::truncated_matrix_market(2), // size line, zero entries
+        poison::chopped_size_line(),        // the historical unwrap() crasher
+        poison::garbage_tail_edge_list(16),
+        String::new(),                     // empty body
+        "0 0\n0 0\n".to_string(),          // self-loops only → degenerate
+        "not a graph at all\n".to_string() // garbage
+    ];
+    for (i, body) in must_reject.iter().enumerate() {
+        let mut req = Request::new(Op::Layout).with("graph", "inline");
+        req.body = body.clone();
+        let resp = call(&addr, &req);
+        assert_eq!(
+            resp.code,
+            proto::BAD_REQUEST,
+            "poison #{i} got {} {} (want 400)",
+            resp.code,
+            resp.reason
+        );
+        assert!(resp.header("error").is_some(), "poison #{i}: no error header");
+    }
+    // These are *partially* parseable by design (a truncated download can
+    // still contain a valid prefix): the contract is a typed 200 or 400,
+    // never a 5xx and never a dead daemon.
+    let lenient = [poison::truncated_matrix_market(3), poison::nan_matrix_market()];
+    for (i, body) in lenient.iter().enumerate() {
+        let mut req = Request::new(Op::Layout).with("graph", "inline");
+        req.body = body.clone();
+        let resp = call(&addr, &req);
+        assert!(
+            resp.is_ok() || resp.code == proto::BAD_REQUEST,
+            "lenient poison #{i} got {} {}",
+            resp.code,
+            resp.reason
+        );
+    }
+
+    // Hostile knobs are 400s too, not panics.
+    for bad in [
+        layout_req("gen:grid:999999:999999"),
+        layout_req("gen:kron:63:16:1"),
+        layout_req("gen:pref:999999999:2:1"),
+        layout_req("unknown:spec"),
+        layout_req("gen:grid:10:10").with("dim", 99),
+        Request::new(Op::Layout).with("graph", "gen:grid:10:10").with("deadline-ms", "soon"),
+        Request::new(Op::Layout).with("graph", "gen:grid:10:10").with("hold-ms", "-5"),
+    ] {
+        let resp = call(&addr, &bad);
+        assert_eq!(
+            resp.code,
+            proto::BAD_REQUEST,
+            "request {:?} → {} {:?}",
+            bad.headers,
+            resp.code,
+            resp.reason
+        );
+    }
+
+    // A raw non-protocol frame gets a 400 as well.
+    let resp = call(&addr, &{
+        // Request::parse would reject this; build the frame by hand.
+        let mut fake = Request::new(Op::Ping);
+        fake.headers.push(("x".into(), "y".into()));
+        fake
+    });
+    assert!(resp.is_ok());
+
+    let good = call(&addr, &layout_req("gen:grid:9:9"));
+    assert!(good.is_ok(), "daemon did not survive the poison sweep");
+    assert_eq!(ping_stat(&addr, "failed"), 0, "poison must reject, not fail");
+    server.drain();
+}
+
+#[test]
+fn client_disconnect_cancels_the_inflight_run() {
+    let _guard = serialize();
+    let dir = scratch("disconnect");
+    let (server, addr) = start(ServerConfig {
+        cache_dir: Some(dir.join("cache")),
+        ..Default::default()
+    });
+
+    // Hold the run long enough that the watchdog (25 ms poll) sees the
+    // disconnect long before completion.
+    let req = layout_req("gen:grid:40:40").with("no-cache", 1).with("hold-ms", 5_000);
+    Client::connect(&addr).unwrap().fire_and_disconnect(&req).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if ping_stat(&addr, "cancelled") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect was never observed as a cancellation"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The daemon is fully live afterwards.
+    let after = call(&addr, &layout_req("gen:grid:10:10"));
+    assert!(after.is_ok());
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn draining_answers_queued_work_with_503_and_leaves_no_tmp() {
+    let _guard = serialize();
+    let dir = scratch("drain");
+    let (server, addr) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_dir: Some(dir.join("cache")),
+        drain_grace: Duration::from_secs(120),
+        ..Default::default()
+    });
+
+    // Occupy the single worker with a held request, queue another behind
+    // it, then drain: the queued one must be answered 503, not dropped.
+    let slow_addr = addr.clone();
+    let slow = std::thread::spawn(move || {
+        let req = layout_req("gen:grid:12:12").with("no-cache", 1).with("hold-ms", 2_000);
+        call_once(&slow_addr, &req, Duration::from_secs(120))
+    });
+    std::thread::sleep(Duration::from_millis(300)); // let it start holding
+    let queued_addr = addr.clone();
+    let queued = std::thread::spawn(move || {
+        call_once(&queued_addr, &layout_req("gen:grid:30:30"), Duration::from_secs(120))
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let it enqueue
+
+    server.request_drain();
+    let slow_resp = slow.join().unwrap().expect("slow exchange");
+    let queued_resp = queued.join().unwrap().expect("queued exchange");
+    // The in-flight request finishes normally (grace is generous here);
+    // the queued one is refused with the draining status.
+    assert!(slow_resp.is_ok(), "{} {}", slow_resp.code, slow_resp.reason);
+    assert_eq!(queued_resp.code, proto::DRAINING);
+
+    assert!(server.stray_tmp_files().is_empty(), "torn cache writes left behind");
+    server.drain();
+
+    // Post-drain: no partial files anywhere under the cache dir.
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).into_iter().flatten().flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                assert_ne!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("tmp"),
+                    "stray tmp file {}",
+                    p.display()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_requests_share_the_memory_budget_and_release_it() {
+    let _guard = serialize();
+    // A budget sized so concurrent biggish requests contend: some must be
+    // downscaled or shed busy, and afterwards the pool must drain to zero.
+    let one = parhde::supervise::estimate_run_bytes(
+        90_000,
+        360_000,
+        10,
+        2,
+        parhde::config::BfsMode::Auto,
+        parhde::config::LinalgMode::Fused,
+    );
+    let (server, addr) = start(ServerConfig {
+        workers: 4,
+        queue_capacity: 8,
+        mem_budget_bytes: one + one / 2,
+        ..Default::default()
+    });
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let req = layout_req("gen:grid:300:300")
+                .with("no-cache", 1)
+                .with("subspace", 10)
+                .with("hold-ms", 500); // keep the reservations overlapping
+            call_once(&addr, &req, Duration::from_secs(120)).expect("exchange")
+        }));
+    }
+    let responses: Vec<Response> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &responses {
+        assert!(
+            r.is_ok() || r.code == proto::OVERLOADED || r.code == proto::TOO_LARGE,
+            "unexpected {} {}",
+            r.code,
+            r.reason
+        );
+    }
+    assert!(responses.iter().any(|r| r.is_ok()), "nothing completed");
+
+    // Every reservation was released (RAII) once the dust settled.
+    assert_eq!(ping_stat(&addr, "budget-reserved"), 0);
+    server.drain();
+}
+
+#[test]
+fn undersized_budget_rejects_413_before_any_work() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig {
+        mem_budget_bytes: 64 * 1024, // nothing real fits
+        ..Default::default()
+    });
+    let resp = call(&addr, &layout_req("gen:grid:200:200"));
+    assert_eq!(resp.code, proto::TOO_LARGE);
+    let est: u64 = resp.header("estimated-bytes").unwrap().parse().unwrap();
+    let budget: u64 = resp.header("budget-bytes").unwrap().parse().unwrap();
+    assert!(est > budget);
+    server.drain();
+}
+
+#[test]
+fn corrupt_cache_entries_are_evicted_not_served() {
+    let _guard = serialize();
+    let dir = scratch("corrupt");
+    let (server, addr) = start(ServerConfig {
+        cache_dir: Some(dir.join("cache")),
+        ..Default::default()
+    });
+    let first = call(&addr, &layout_req("gen:grid:11:11"));
+    assert!(first.is_ok());
+    assert_eq!(first.header("cache"), Some("cold"));
+
+    // Flip one byte in every cache entry on disk.
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(dir.join("cache")).unwrap().flatten() {
+        let p = entry.path();
+        if p.is_file() {
+            let mut bytes = std::fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&p, bytes).unwrap();
+            flipped += 1;
+        }
+    }
+    assert!(flipped >= 1, "no cache entries written");
+
+    // The corrupted entry must be detected, evicted, and recomputed
+    // (cold, or warm from the run's leftover checkpoint) — byte-identical
+    // to the original run, never served corrupt.
+    let again = call(&addr, &layout_req("gen:grid:11:11"));
+    assert!(again.is_ok());
+    assert_ne!(again.header("cache"), Some("hit"), "corrupt entry was served");
+    assert_eq!(again.body, first.body);
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,107 @@
+//! Signal-driven lifecycle of the real `parhde-serve` binary: first
+//! SIGTERM drains to exit 0, a second force-exits 130 (DESIGN.md §13.5).
+//! Uses `/bin/kill` so the test needs no signal crate.
+
+#![cfg(unix)]
+
+use parhde_serve::client::call_once;
+use parhde_serve::proto::{Op, Request};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn spawn_daemon(extra: &[&str]) -> (Child, String) {
+    let bin = env!("CARGO_BIN_EXE_parhde-serve");
+    let mut child = Command::new(bin)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    // The daemon prints `listening on <addr>` once bound.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn signal(pid: u32, sig: &str) {
+    let status = Command::new("/bin/kill")
+        .arg(format!("-{sig}"))
+        .arg(pid.to_string())
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -{sig} {pid} failed");
+}
+
+fn wait_with_deadline(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + limit;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon did not exit within {limit:?}");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let (mut child, addr) = spawn_daemon(&[]);
+
+    // It serves before the signal…
+    let resp = call_once(
+        &addr,
+        &Request::new(Op::Layout).with("graph", "gen:grid:10:10"),
+        Duration::from_secs(60),
+    )
+    .expect("layout round trip");
+    assert!(resp.is_ok(), "{} {}", resp.code, resp.reason);
+
+    // …and one SIGTERM drains it to a clean exit.
+    signal(child.id(), "TERM");
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "drain should exit 0, got {status:?}");
+}
+
+#[test]
+fn second_signal_force_exits_130() {
+    // A long drain grace so the first signal alone would keep the process
+    // alive well past the point where we send the second.
+    let (mut child, addr) = spawn_daemon(&["--drain-grace-ms", "60000", "--workers", "1"]);
+
+    // Park a long-running layout on the single worker so draining has
+    // in-flight work to wait for.
+    let slow_addr = addr.clone();
+    let slow = std::thread::spawn(move || {
+        let req = Request::new(Op::Layout)
+            .with("graph", "gen:grid:12:12")
+            .with("deadline-ms", 120_000)
+            .with("no-cache", 1)
+            .with("hold-ms", 10_000);
+        // Outcome irrelevant: the daemon may die mid-exchange.
+        let _ = call_once(&slow_addr, &req, Duration::from_secs(120));
+    });
+    std::thread::sleep(Duration::from_millis(300)); // let the run start
+
+    signal(child.id(), "TERM");
+    std::thread::sleep(Duration::from_millis(300));
+    // Still draining (grace is 60 s), so it must still be alive…
+    assert!(child.try_wait().expect("try_wait").is_none(), "died on first signal");
+    // …until the second signal force-exits 130.
+    signal(child.id(), "TERM");
+    let status = wait_with_deadline(&mut child, Duration::from_secs(10));
+    assert_eq!(status.code(), Some(130), "second signal should exit 130");
+    let _ = slow.join();
+}

@@ -29,5 +29,5 @@ pub mod threads;
 pub mod timing;
 
 pub use rng::{SplitMix64, Xoshiro256StarStar};
-pub use supervisor::{RunBudget, TripReason};
+pub use supervisor::{cancel_flag, CancelFlag, RunBudget, TripReason};
 pub use timing::{PhaseTimes, Timer};

@@ -41,6 +41,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
+/// A shareable cancellation flag a [`RunBudget`] can be linked to with
+/// [`RunBudget::with_external_cancel`]. A connection watchdog (or any other
+/// observer that outlives no budget in particular) sets it with a single
+/// atomic store and every linked budget trips at its next cooperative
+/// check.
+pub type CancelFlag = Arc<AtomicBool>;
+
+/// A fresh, untripped [`CancelFlag`].
+pub fn cancel_flag() -> CancelFlag {
+    Arc::new(AtomicBool::new(false))
+}
+
 /// Why a budget tripped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TripReason {
@@ -97,6 +109,9 @@ struct BudgetCore {
     mem_budget_bytes: u64,
     /// Cancellation token.
     cancelled: AtomicBool,
+    /// An external cancellation flag this budget also observes (a service
+    /// daemon's per-request disconnect watchdog), if linked.
+    external_cancel: Option<CancelFlag>,
     /// Whether process-wide cancellation (signal handlers) trips this budget.
     honor_global_cancel: bool,
     /// Cooperative checks performed so far.
@@ -130,6 +145,10 @@ impl BudgetCore {
         }
         if self.cancelled.load(Ordering::Relaxed)
             || (self.honor_global_cancel && global_cancel_requested())
+            || self
+                .external_cancel
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
         {
             self.record_trip(TRIP_CANCELLED);
             return true;
@@ -185,6 +204,7 @@ impl RunBudget {
                 deadline_nanos: AtomicU64::new(NO_DEADLINE),
                 mem_budget_bytes: u64::MAX,
                 cancelled: AtomicBool::new(false),
+                external_cancel: None,
                 honor_global_cancel: false,
                 checks: AtomicU64::new(0),
                 trip_after: AtomicU64::new(NO_TRIP_AFTER),
@@ -214,6 +234,7 @@ impl RunBudget {
             ),
             mem_budget_bytes: bytes,
             cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
+            external_cancel: self.core.external_cancel.clone(),
             honor_global_cancel: self.core.honor_global_cancel,
             checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
             trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
@@ -233,7 +254,30 @@ impl RunBudget {
             ),
             mem_budget_bytes: self.core.mem_budget_bytes,
             cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
+            external_cancel: self.core.external_cancel.clone(),
             honor_global_cancel: true,
+            checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
+            trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
+            tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
+        };
+        Self { core: Arc::new(core) }
+    }
+
+    /// Returns a copy of this budget that also trips when `flag` is set.
+    /// The flag is shared, not consumed: a connection watchdog keeps its
+    /// own handle and cancels the run with a single atomic store, without
+    /// needing a clone of the budget itself.
+    #[must_use]
+    pub fn with_external_cancel(self, flag: CancelFlag) -> Self {
+        let core = BudgetCore {
+            anchor: self.core.anchor,
+            deadline_nanos: AtomicU64::new(
+                self.core.deadline_nanos.load(Ordering::Relaxed),
+            ),
+            mem_budget_bytes: self.core.mem_budget_bytes,
+            cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
+            external_cancel: Some(flag),
+            honor_global_cancel: self.core.honor_global_cancel,
             checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
             trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
             tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
@@ -279,6 +323,11 @@ impl RunBudget {
     pub fn is_cancelled(&self) -> bool {
         self.core.cancelled.load(Ordering::Relaxed)
             || (self.core.honor_global_cancel && global_cancel_requested())
+            || self
+                .core
+                .external_cancel
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Records a memory-budget trip (called by the owning pipeline when an
@@ -497,6 +546,75 @@ pub fn install_signal_handlers() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Two-stage drain (long-running daemons)
+// ---------------------------------------------------------------------------
+
+/// Set by the first signal under [`install_two_stage_handlers`].
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a drain has been requested (first SIGINT/SIGTERM under the
+/// two-stage handlers, or [`request_drain`]).
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Relaxed)
+}
+
+/// Requests a drain programmatically — the same observable effect as the
+/// first signal under the two-stage handlers. Async-signal-safe.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the drain flag (tests only).
+#[doc(hidden)]
+pub fn reset_drain() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+/// Installs the *two-stage* SIGINT/SIGTERM handlers a long-running daemon
+/// needs, where the single-shot [`install_signal_handlers`] contract
+/// ("request cancel, re-arm `SIG_DFL`") cannot distinguish **drain** from
+/// **die**:
+///
+/// * the **first** signal sets the drain flag ([`drain_requested`]) and
+///   returns — in-flight work keeps running, the accept loop stops taking
+///   new work and the process exits 0 once drained;
+/// * the **second** signal force-exits the process with status **130**
+///   immediately (`_exit`, async-signal-safe — no destructors, no flush),
+///   for operators who need the process gone *now*.
+///
+/// Unlike the single-shot handlers this does **not** request global
+/// cancellation: budgets keep running until the daemon's own drain logic
+/// decides to checkpoint or cancel them. No-op on non-Unix platforms.
+pub fn install_two_stage_handlers() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+
+        unsafe extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+            // libc `_exit(2)`: terminates without running atexit handlers
+            // or unwinding — the only safe way out of a signal handler.
+            fn _exit(status: i32) -> !;
+        }
+
+        extern "C" fn on_signal(_signum: i32) {
+            // Async-signal-safe: one atomic swap, and on the second signal
+            // an immediate `_exit`. The handler stays armed between the
+            // two stages (no SIG_DFL re-arm — stage two is ours).
+            if DRAIN.swap(true, Ordering::SeqCst) {
+                unsafe { _exit(130) }
+            }
+        }
+
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +716,42 @@ mod tests {
         assert!(opted.check());
         assert_eq!(opted.trip(), Some(TripReason::Cancelled));
         reset_global_cancel();
+    }
+
+    #[test]
+    fn external_cancel_flag_trips_linked_budgets() {
+        let flag = cancel_flag();
+        let plain = RunBudget::unbounded();
+        let linked = RunBudget::unbounded().with_external_cancel(Arc::clone(&flag));
+        assert!(!linked.check() && !linked.is_cancelled());
+        flag.store(true, Ordering::SeqCst);
+        assert!(!plain.check(), "unlinked budgets must not observe the flag");
+        assert!(linked.is_cancelled());
+        assert!(linked.check());
+        assert_eq!(linked.trip(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn external_cancel_survives_budget_reshaping() {
+        let flag = cancel_flag();
+        let b = RunBudget::unbounded()
+            .with_external_cancel(Arc::clone(&flag))
+            .with_mem_budget(1 << 20)
+            .honoring_global_cancel();
+        flag.store(true, Ordering::SeqCst);
+        assert!(b.check());
+        assert_eq!(b.trip(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn drain_flag_round_trip() {
+        let _l = lock();
+        reset_drain();
+        assert!(!drain_requested());
+        request_drain();
+        assert!(drain_requested());
+        reset_drain();
+        assert!(!drain_requested());
     }
 
     #[test]

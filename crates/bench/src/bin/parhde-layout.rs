@@ -543,6 +543,7 @@ fn run() {
                 checkpoint: checkpoint_dir.clone().map(CheckpointSpec::in_dir),
                 honor_global_cancel: true,
                 cancel_flag: None,
+                trace_id: None,
             };
             match try_par_hde_nd_supervised(&g, &cfg, 2, &opts) {
                 Ok(sup) => {

@@ -6,15 +6,25 @@
 //!
 //! ```text
 //! trace-validate [--chrome <file.json>]... [--ndjson <file.ndjson>]...
-//!                [--report <file.json>]...
+//!                [--report <file.json>]... [--prometheus <file.prom>]...
+//!                [--metrics-ndjson <file.ndjson>]...
 //! ```
 //!
 //! Each `--chrome` file must be a Chrome trace_event object with balanced,
 //! well-formed events; each `--ndjson` file a `parhde-trace-ndjson` v1
 //! stream whose first line is the meta record; each `--report` a
-//! `parhde-run-report` v1 document that round-trips through the parser.
+//! `parhde-run-report` v1 document that round-trips through the parser;
+//! each `--prometheus` file a well-formed Prometheus text exposition (as
+//! served by the daemon's `STATS` verb); each `--metrics-ndjson` file a
+//! `parhde-metrics-ndjson` v1 registry snapshot.
 
 use std::process::exit;
+
+/// Adapter: the metrics-snapshot parser returns the snapshot; validation
+/// only needs the verdict.
+fn check_metrics_ndjson(text: &str) -> Result<(), String> {
+    parhde_trace::registry::Snapshot::from_ndjson(text).map(|_| ())
+}
 
 /// Schema checker signature shared by all three artifact formats.
 type Checker = fn(&str) -> Result<(), String>;
@@ -30,7 +40,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: trace-validate [--chrome <file>]... [--ndjson <file>]... [--report <file>]..."
+            "usage: trace-validate [--chrome <file>]... [--ndjson <file>]... \
+             [--report <file>]... [--prometheus <file>]... [--metrics-ndjson <file>]..."
         );
         exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -42,6 +53,10 @@ fn main() {
             "--chrome" => ("chrome", parhde_trace::chrome::validate),
             "--ndjson" => ("ndjson", parhde_trace::ndjson::validate),
             "--report" => ("report", parhde_trace::RunReport::validate),
+            "--prometheus" => {
+                ("prometheus", parhde_trace::registry::validate_prometheus)
+            }
+            "--metrics-ndjson" => ("metrics-ndjson", check_metrics_ndjson),
             other => {
                 eprintln!("trace-validate: unknown option {other}");
                 exit(2);

@@ -192,6 +192,10 @@ pub struct SuperviseOptions {
     /// layer sets it from a connection watchdog when the requesting client
     /// disconnects mid-run.
     pub cancel_flag: Option<parhde_util::CancelFlag>,
+    /// Request trace ID carried by the run's budget
+    /// ([`parhde_util::supervisor::ambient_trace_id`]), joining run
+    /// artifacts to the service request that caused them.
+    pub trace_id: Option<String>,
 }
 
 /// One abandoned rung of the degraded-retry ladder.
@@ -264,6 +268,9 @@ pub fn try_par_hde_nd_supervised(
     }
     if let Some(flag) = &opts.cancel_flag {
         budget = budget.with_external_cancel(std::sync::Arc::clone(flag));
+    }
+    if let Some(id) = &opts.trace_id {
+        budget = budget.with_trace_id(id);
     }
     let installed = supervisor::install(&budget);
 

@@ -5,7 +5,7 @@
 //!                [--graph SPEC]... [--distinct K] [--deadline-ms MS]
 //!                [--dim P] [--timeout-ms MS]
 //!                [--chaos-disconnect PCT] [--chaos-poison PCT]
-//!                [--out FILE]
+//!                [--out FILE] [--scrape] [--scrape-out FILE]
 //! ```
 //!
 //! Fires `N` layout requests at the daemon from `C` client threads and
@@ -19,15 +19,26 @@
 //!   `parhde_graph::gen::poison` (truncated Matrix Market files, NaN
 //!   weights, garbage tails) that must all come back as typed 400s.
 //!
+//! `--scrape` turns the load run into a telemetry cross-check: a
+//! background thread polls the daemon's `STATS` verb throughout the run
+//! (every scrape must parse and validate), and after the run the final
+//! snapshot must satisfy the lifecycle-counter invariant
+//! (`requests_started == Σ terminal counters`) and report server-side
+//! p50/p99 latencies consistent — within histogram-bucket tolerance —
+//! with what the clients measured. `--scrape-out` writes the final
+//! Prometheus exposition for downstream validation.
+//!
 //! Exit 0 when every non-chaos request got *some* well-formed response
 //! (shedding 429/503 counts as well-formed — that is the daemon working);
-//! exit 1 on transport errors or unparseable responses.
+//! exit 1 on transport errors, unparseable responses, or any `--scrape`
+//! consistency violation.
 
 use parhde_graph::gen::poison;
 use parhde_serve::client::Client;
 use parhde_serve::proto::{Op, Request};
+use parhde_trace::registry::Snapshot;
 use std::process::exit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -43,6 +54,8 @@ struct Opts {
     chaos_disconnect_pct: u64,
     chaos_poison_pct: u64,
     out: Option<String>,
+    scrape: bool,
+    scrape_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -51,7 +64,7 @@ fn usage() -> ! {
          \x20                     [--graph SPEC]... [--distinct K] [--deadline-ms MS]\n\
          \x20                     [--dim P] [--timeout-ms MS]\n\
          \x20                     [--chaos-disconnect PCT] [--chaos-poison PCT]\n\
-         \x20                     [--out FILE]"
+         \x20                     [--out FILE] [--scrape] [--scrape-out FILE]"
     );
     exit(2);
 }
@@ -69,6 +82,8 @@ fn parse_opts() -> Opts {
         chaos_disconnect_pct: 0,
         chaos_poison_pct: 0,
         out: None,
+        scrape: false,
+        scrape_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +123,11 @@ fn parse_opts() -> Opts {
             "--chaos-disconnect" => opts.chaos_disconnect_pct = parsed!(),
             "--chaos-poison" => opts.chaos_poison_pct = parsed!(),
             "--out" => opts.out = Some(value!()),
+            "--scrape" => opts.scrape = true,
+            "--scrape-out" => {
+                opts.scrape = true;
+                opts.scrape_out = Some(value!());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("parhde-loadgen: unknown option {other}");
@@ -138,8 +158,10 @@ fn parse_opts() -> Opts {
 
 #[derive(Clone)]
 enum Outcome {
-    /// code, cache disposition header, latency.
-    Answered { code: u16, cache: String, ms: f64 },
+    /// code, cache disposition header, latency, and whether this latency
+    /// includes a 429-retry backoff sleep (excluded from the server-side
+    /// latency cross-check — the server never saw the sleep).
+    Answered { code: u16, cache: String, ms: f64, retried: bool },
     /// Deliberate mid-request disconnect (no response expected).
     Disconnected,
     /// Transport failure or unparseable response.
@@ -212,12 +234,126 @@ fn latency_block(mut ms: Vec<f64>) -> String {
     )
 }
 
+/// One `STATS` scrape: fetch, parse, validate. NDJSON is the machine
+/// format; any response that isn't a parseable snapshot is an error. A
+/// 429/503 (the scrape itself was shed) is reported as `Ok(None)`.
+fn scrape_once(addr: &str) -> Result<Option<Snapshot>, String> {
+    let req = Request::new(Op::Stats).with("format", "ndjson");
+    let resp = parhde_serve::client::call_once(addr, &req, Duration::from_secs(10))
+        .map_err(|e| format!("stats exchange: {e}"))?;
+    if resp.code == 429 || resp.code == 503 {
+        return Ok(None);
+    }
+    if !resp.is_ok() {
+        return Err(format!("stats got {} {}", resp.code, resp.reason));
+    }
+    Snapshot::from_ndjson(&resp.body).map(Some)
+}
+
+/// The scrape worker: polls `STATS` until told to stop, validating every
+/// snapshot it gets. Returns (scrapes that parsed, first error if any).
+fn scrape_loop(addr: &str, stop: &AtomicBool) -> (u64, Option<String>) {
+    let mut ok = 0u64;
+    let mut first_err = None;
+    while !stop.load(Ordering::Relaxed) {
+        match scrape_once(addr) {
+            Ok(Some(_)) => ok += 1,
+            Ok(None) => {} // shed under load: the daemon protecting itself
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    (ok, first_err)
+}
+
+/// The layout lifecycle terminal counters; their sum must equal
+/// `parhde_requests_started_total` once traffic quiesces.
+const TERMINALS: [&str; 8] = [
+    "parhde_layout_completed_total",
+    "parhde_layout_rejected_total",
+    "parhde_layout_timeout_total",
+    "parhde_layout_too_large_total",
+    "parhde_layout_busy_total",
+    "parhde_layout_cancelled_total",
+    "parhde_layout_failed_total",
+    "parhde_layout_drained_total",
+];
+
+/// Post-run consistency checks against the final snapshot. Returns the
+/// `"scrape"` JSON block and a list of violations (empty = pass).
+fn check_final_snapshot(
+    snap: &Snapshot,
+    client_ms: &[f64], // successful, non-retried latencies, sorted
+    mid_load_scrapes: u64,
+) -> (String, Vec<String>) {
+    let mut violations = Vec::new();
+
+    let started = snap.counter("parhde_requests_started_total").unwrap_or(0);
+    let terminal_sum: u64 =
+        TERMINALS.iter().map(|n| snap.counter(n).unwrap_or(0)).sum();
+    if started != terminal_sum {
+        violations.push(format!(
+            "lifecycle invariant violated: started {started} != terminals {terminal_sum}"
+        ));
+    }
+
+    // Server-observed latency must agree with client-observed latency to
+    // within histogram-bucket resolution: the client quantile may sit one
+    // bucket to either side of the server's (boundary effects, connect
+    // overhead), so accept [lo/2, hi*2].
+    let mut quantiles = String::new();
+    match snap.histogram("parhde_request_duration_ms") {
+        Some(h) if h.count > 0 && !client_ms.is_empty() => {
+            for q in [0.5, 0.99] {
+                let client = percentile(client_ms, q);
+                let Some((lo, hi)) = h.quantile_bounds(q) else { continue };
+                if !(client >= lo / 2.0 && client <= hi * 2.0) {
+                    violations.push(format!(
+                        "p{:02.0} mismatch: client {client:.3}ms outside server \
+                         bucket ({lo:.3}, {hi:.3}]ms widened by one bucket",
+                        q * 100.0
+                    ));
+                }
+                quantiles.push_str(&format!(
+                    ", \"server_p{0:02.0}_lo_ms\": {lo:.4}, \"server_p{0:02.0}_hi_ms\": \
+                     {hi:.4}, \"client_p{0:02.0}_ms\": {client:.4}",
+                    q * 100.0
+                ));
+            }
+        }
+        _ => {
+            if !client_ms.is_empty() {
+                violations
+                    .push("no parhde_request_duration_ms samples on the server".into());
+            }
+        }
+    }
+
+    let block = format!(
+        "{{\"mid_load_scrapes\": {mid_load_scrapes}, \"requests_started\": {started}, \
+         \"terminal_sum\": {terminal_sum}, \"invariant_ok\": {}{quantiles}}}",
+        started == terminal_sum,
+    );
+    (block, violations)
+}
+
 fn main() {
     let opts = Arc::new(parse_opts());
     let next = Arc::new(AtomicUsize::new(0));
     let outcomes: Arc<Mutex<Vec<Outcome>>> =
         Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
     let retried_429 = Arc::new(AtomicU64::new(0));
+
+    let stop_scrape = Arc::new(AtomicBool::new(false));
+    let scraper = opts.scrape.then(|| {
+        let addr = opts.addr.clone();
+        let stop = Arc::clone(&stop_scrape);
+        std::thread::spawn(move || scrape_loop(&addr, &stop))
+    });
 
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -244,17 +380,21 @@ fn main() {
     let outcomes = outcomes.lock().unwrap();
     let mut codes: Vec<(u16, u64)> = Vec::new();
     let mut all_ms = Vec::new();
+    let mut unretried_ms = Vec::new();
     let (mut hit_ms, mut warm_ms, mut cold_ms) = (Vec::new(), Vec::new(), Vec::new());
     let (mut disconnects, mut broken) = (0u64, 0u64);
     for o in outcomes.iter() {
         match o {
-            Outcome::Answered { code, cache, ms } => {
+            Outcome::Answered { code, cache, ms, retried } => {
                 match codes.iter_mut().find(|(c, _)| c == code) {
                     Some((_, n)) => *n += 1,
                     None => codes.push((*code, 1)),
                 }
                 if *code == 200 {
                     all_ms.push(*ms);
+                    if !retried {
+                        unretried_ms.push(*ms);
+                    }
                     match cache.as_str() {
                         "hit" => hit_ms.push(*ms),
                         "warm" => warm_ms.push(*ms),
@@ -272,18 +412,65 @@ fn main() {
     codes.sort_by_key(|(c, _)| *c);
     let completed = all_ms.len() as f64;
 
+    // ---- Telemetry cross-check (--scrape) ---------------------------------
+    let mut scrape_block = String::new();
+    let mut scrape_violations: Vec<String> = Vec::new();
+    if let Some(scraper) = scraper {
+        stop_scrape.store(true, Ordering::Relaxed);
+        let (mid_load_scrapes, scrape_err) = scraper.join().unwrap_or((0, None));
+        if let Some(e) = scrape_err {
+            scrape_violations.push(format!("mid-load scrape failed: {e}"));
+        }
+        match scrape_once(&opts.addr) {
+            Ok(Some(snap)) => {
+                unretried_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let (block, violations) =
+                    check_final_snapshot(&snap, &unretried_ms, mid_load_scrapes);
+                scrape_block = block;
+                scrape_violations.extend(violations);
+            }
+            Ok(None) => scrape_violations.push("final scrape was shed".into()),
+            Err(e) => scrape_violations.push(format!("final scrape failed: {e}")),
+        }
+        if let Some(path) = &opts.scrape_out {
+            // The human/CI-facing exposition: scraped in the default
+            // Prometheus format, validated downstream by trace-validate.
+            let req = Request::new(Op::Stats);
+            match parhde_serve::client::call_once(&opts.addr, &req, Duration::from_secs(10))
+            {
+                Ok(resp) if resp.is_ok() => {
+                    if let Err(e) = std::fs::write(path, &resp.body) {
+                        eprintln!("parhde-loadgen: cannot write {path}: {e}");
+                        scrape_violations.push(format!("scrape-out write: {e}"));
+                    }
+                }
+                Ok(resp) => scrape_violations
+                    .push(format!("scrape-out fetch got {} {}", resp.code, resp.reason)),
+                Err(e) => scrape_violations.push(format!("scrape-out fetch: {e}")),
+            }
+        }
+        for v in &scrape_violations {
+            eprintln!("parhde-loadgen: telemetry violation: {v}");
+        }
+    }
+
     let codes_json = codes
         .iter()
         .map(|(c, n)| format!("\"{c}\": {n}"))
         .collect::<Vec<_>>()
         .join(", ");
+    let scrape_json = if scrape_block.is_empty() {
+        String::new()
+    } else {
+        format!(",\n  \"scrape\": {scrape_block}")
+    };
     let json = format!(
         "{{\n  \"schema\": \"parhde-loadgen\",\n  \"version\": 1,\n  \
          \"requests\": {},\n  \"concurrency\": {},\n  \
          \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.3},\n  \
          \"codes\": {{{}}},\n  \"latency\": {},\n  \
          \"cold\": {},\n  \"warm\": {},\n  \"hit\": {},\n  \
-         \"chaos\": {{\"disconnects\": {}, \"poison_pct\": {}, \"broken\": {}}}\n}}\n",
+         \"chaos\": {{\"disconnects\": {}, \"poison_pct\": {}, \"broken\": {}}}{}\n}}\n",
         opts.requests,
         opts.concurrency,
         wall,
@@ -296,6 +483,7 @@ fn main() {
         disconnects,
         opts.chaos_poison_pct,
         broken,
+        scrape_json,
     );
     match &opts.out {
         Some(path) => {
@@ -308,7 +496,7 @@ fn main() {
         }
         None => print!("{json}"),
     }
-    if broken > 0 {
+    if broken > 0 || !scrape_violations.is_empty() {
         exit(1);
     }
 }
@@ -353,6 +541,7 @@ fn run_one(
                                 code: r2.code,
                                 cache: r2.header("cache").unwrap_or("").to_string(),
                                 ms: t0.elapsed().as_secs_f64() * 1e3,
+                                retried: true,
                             };
                         }
                     }
@@ -362,6 +551,7 @@ fn run_one(
                 code: resp.code,
                 cache: resp.header("cache").unwrap_or("").to_string(),
                 ms: t0.elapsed().as_secs_f64() * 1e3,
+                retried: false,
             }
         }
         Err(e) => Outcome::Broken(format!("call: {e}")),

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! parhde-serve [--listen ADDR] [--workers N] [--queue N]
-//!              [--mem-budget-mb MB] [--cache-dir DIR] [--report-dir DIR]
-//!              [--default-deadline-ms MS] [--max-deadline-ms MS]
-//!              [--drain-grace-ms MS]
+//!              [--mem-budget-mb MB] [--cache-dir DIR] [--cache-max-mb MB]
+//!              [--report-dir DIR] [--default-deadline-ms MS]
+//!              [--max-deadline-ms MS] [--drain-grace-ms MS]
+//!              [--no-request-log] [--no-telemetry]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (tests and
-//! supervisors wait for that line). First SIGINT/SIGTERM drains: stop
+//! supervisors wait for that line). Emits one NDJSON event per answered
+//! request on stderr (suppress with `--no-request-log`); `STATS` scrapes
+//! the live metrics registry; `--no-telemetry` freezes metric recording
+//! (the overhead-measurement baseline). First SIGINT/SIGTERM drains: stop
 //! accepting, finish in-flight work within the grace period, exit 0.
 //! A second signal force-exits 130 immediately.
 
@@ -21,14 +25,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: parhde-serve [--listen ADDR] [--workers N] [--queue N]\n\
          \x20                   [--mem-budget-mb MB] [--cache-dir DIR]\n\
-         \x20                   [--report-dir DIR] [--default-deadline-ms MS]\n\
-         \x20                   [--max-deadline-ms MS] [--drain-grace-ms MS]"
+         \x20                   [--cache-max-mb MB] [--report-dir DIR]\n\
+         \x20                   [--default-deadline-ms MS]\n\
+         \x20                   [--max-deadline-ms MS] [--drain-grace-ms MS]\n\
+         \x20                   [--no-request-log] [--no-telemetry]"
     );
     exit(2);
 }
 
 fn main() {
-    let mut cfg = ServerConfig { addr: "127.0.0.1:7170".into(), ..Default::default() };
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7170".into(),
+        log_requests: true,
+        ..Default::default()
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -64,7 +74,13 @@ fn main() {
                 cfg.mem_budget_bytes = mb.saturating_mul(1 << 20);
             }
             "--cache-dir" => cfg.cache_dir = Some(value!().into()),
+            "--cache-max-mb" => {
+                let mb: u64 = parsed!();
+                cfg.cache_max_bytes = Some(mb.saturating_mul(1 << 20));
+            }
             "--report-dir" => cfg.report_dir = Some(value!().into()),
+            "--no-request-log" => cfg.log_requests = false,
+            "--no-telemetry" => parhde_trace::registry::set_enabled(false),
             "--default-deadline-ms" => {
                 cfg.default_deadline = Duration::from_millis(parsed!());
             }

@@ -19,7 +19,11 @@
 //! * alongside each entry key the cache owns a checkpoint subdirectory:
 //!   a request that was cancelled or degraded after its BFS phase leaves a
 //!   post-BFS checkpoint there, and the next identical request resumes
-//!   from it (warm start) instead of repaying the BFS.
+//!   from it (warm start) instead of repaying the BFS;
+//! * the cache is optionally *bounded*: with a byte budget set, `store`
+//!   evicts the oldest entries (and their checkpoint directories) until
+//!   the total fits — the daemon's disk footprint stays observable and
+//!   capped instead of growing with every distinct request ever served.
 
 use parhde::checkpoint::{config_fingerprint, graph_digest, Fnv64};
 use parhde::config::ParHdeConfig;
@@ -28,6 +32,7 @@ use parhde_graph::CsrGraph;
 use parhde_linalg::dense::ColMajorMatrix;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Magic bytes opening every cache entry.
 pub const MAGIC: [u8; 8] = *b"PHDELAYT";
@@ -50,6 +55,32 @@ pub struct CachedLayout {
 /// A directory of layout entries and per-key checkpoint subdirectories.
 pub struct LayoutCache {
     dir: PathBuf,
+    /// Byte budget for entry files; `None` means unbounded (the seed
+    /// behavior). Checkpoint directories don't count against the budget —
+    /// they are bounded by it indirectly, since eviction removes them
+    /// alongside their entry.
+    max_bytes: Option<u64>,
+    /// Entry index in eviction order (oldest first), rebuilt from the
+    /// directory at open so a restarted daemon keeps honoring the bound.
+    index: Mutex<Vec<IndexEntry>>,
+    evictions: AtomicU64,
+}
+
+/// One indexed entry: its key and its on-disk entry-file size.
+struct IndexEntry {
+    key: u64,
+    bytes: u64,
+}
+
+/// A point-in-time view of the cache's footprint, for gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheUsage {
+    /// Number of live entry files.
+    pub entries: u64,
+    /// Total bytes across live entry files.
+    pub bytes: u64,
+    /// Entries evicted to honor the byte bound since open (monotonic).
+    pub evictions: u64,
 }
 
 /// The cache key of one (graph, config, dimension) request.
@@ -62,14 +93,53 @@ pub fn cache_key(g: &CsrGraph, cfg: &ParHdeConfig, p: usize) -> u64 {
 }
 
 impl LayoutCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) an unbounded cache rooted at `dir`.
     ///
     /// # Errors
     /// [`std::io::Error`] if the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<LayoutCache> {
+        Self::open_bounded(dir, None)
+    }
+
+    /// Opens a cache with an optional byte budget over its entry files.
+    /// Existing entries are indexed oldest-first by modification time, so
+    /// the bound survives a daemon restart.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] if the directory cannot be created or scanned.
+    pub fn open_bounded(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<LayoutCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(LayoutCache { dir })
+        let mut found: Vec<(std::time::SystemTime, IndexEntry)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)?.flatten() {
+            let path = entry.path();
+            let Some(key) = entry_key_from_path(&path) else { continue };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            found.push((mtime, IndexEntry { key, bytes: meta.len() }));
+        }
+        found.sort_by_key(|(mtime, _)| *mtime);
+        let cache = LayoutCache {
+            dir,
+            max_bytes,
+            index: Mutex::new(found.into_iter().map(|(_, e)| e).collect()),
+            evictions: AtomicU64::new(0),
+        };
+        cache.evict_over_budget();
+        Ok(cache)
+    }
+
+    /// The cache's current footprint and eviction total.
+    pub fn usage(&self) -> CacheUsage {
+        let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        CacheUsage {
+            entries: index.len() as u64,
+            bytes: index.iter().map(|e| e.bytes).sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// The cache's root directory.
@@ -100,17 +170,28 @@ impl LayoutCache {
             None => {
                 parhde_trace::counter!("serve.cache.corrupt_evicted", 1);
                 let _ = std::fs::remove_file(&path);
+                self.index
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .retain(|e| e.key != key);
                 None
             }
         }
     }
 
-    /// Stores an entry atomically (unique `.tmp` + rename).
+    /// Stores an entry atomically (unique `.tmp` + rename), then evicts
+    /// the oldest entries as needed to honor the byte budget. Returns how
+    /// many entries were evicted.
     ///
     /// # Errors
     /// [`std::io::Error`] from the write or rename; the staging file is
     /// removed on a failed rename.
-    pub fn store(&self, key: u64, coords: &ColMajorMatrix, rung: &str) -> std::io::Result<()> {
+    pub fn store(
+        &self,
+        key: u64,
+        coords: &ColMajorMatrix,
+        rung: &str,
+    ) -> std::io::Result<u64> {
         let bytes = encode(key, coords, rung);
         let final_path = self.entry_path(key);
         let tmp_path = self.dir.join(format!(
@@ -123,7 +204,39 @@ impl LayoutCache {
             let _ = std::fs::remove_file(&tmp_path);
         })?;
         parhde_trace::counter!("serve.cache.store", 1);
-        Ok(())
+        {
+            let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            index.retain(|e| e.key != key); // overwrite: re-age the entry
+            index.push(IndexEntry { key, bytes: bytes.len() as u64 });
+        }
+        Ok(self.evict_over_budget())
+    }
+
+    /// Evicts oldest-first until the entry files fit the budget, always
+    /// keeping the newest entry (so a fresh store is never self-defeating).
+    /// Each eviction removes the entry file *and* the key's checkpoint
+    /// directory — a warm start from an evicted key would resurrect the
+    /// very footprint the bound just reclaimed.
+    fn evict_over_budget(&self) -> u64 {
+        let Some(max) = self.max_bytes else { return 0 };
+        let mut victims = Vec::new();
+        {
+            let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            let mut total: u64 = index.iter().map(|e| e.bytes).sum();
+            while total > max && index.len() > 1 {
+                let oldest = index.remove(0);
+                total -= oldest.bytes;
+                victims.push(oldest.key);
+            }
+        }
+        for &key in &victims {
+            let _ = std::fs::remove_file(self.entry_path(key));
+            let _ = std::fs::remove_dir_all(self.dir.join(format!("ckpt-{key:016x}")));
+            parhde_trace::counter!("serve.cache.evicted", 1);
+        }
+        let n = victims.len() as u64;
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+        n
     }
 
     /// Leftover `.tmp` staging files under the cache root (recursive) —
@@ -145,6 +258,17 @@ impl LayoutCache {
         walk(&self.dir, &mut out);
         out
     }
+}
+
+/// Parses `layout-<16 hex>.bin` back to its key; `None` for anything else
+/// (checkpoint dirs, staging files, strangers).
+fn entry_key_from_path(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_prefix("layout-")?.strip_suffix(".bin")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
 }
 
 fn encode(key: u64, coords: &ColMajorMatrix, rung: &str) -> Vec<u8> {
@@ -300,6 +424,66 @@ mod tests {
         cache.store(1, &sample_coords(), "full").unwrap();
         std::fs::rename(cache.entry_path(1), cache.entry_path(2)).unwrap();
         assert!(cache.load(2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_bound_evicts_oldest_first_with_checkpoints() {
+        let dir = scratch("bounded");
+        let one_entry = encode(0, &sample_coords(), "full").len() as u64;
+        // Room for two entries, not three.
+        let cache =
+            LayoutCache::open_bounded(&dir, Some(2 * one_entry + one_entry / 2)).unwrap();
+        for key in [1u64, 2, 3] {
+            // Plant a checkpoint dir alongside each entry; eviction must
+            // reclaim it too.
+            std::fs::create_dir_all(dir.join(format!("ckpt-{key:016x}"))).unwrap();
+            cache.store(key, &sample_coords(), "full").unwrap();
+        }
+        let usage = cache.usage();
+        assert_eq!(usage.entries, 2);
+        assert_eq!(usage.evictions, 1);
+        assert!(usage.bytes <= 2 * one_entry + one_entry / 2);
+        // Oldest went, with its checkpoint dir; newest two survive.
+        assert!(cache.load(1).is_none());
+        assert!(!dir.join(format!("ckpt-{:016x}", 1u64)).exists());
+        assert!(cache.load(2).is_some());
+        assert!(cache.load(3).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_bound_always_keeps_the_newest_entry() {
+        let dir = scratch("keep-newest");
+        // A budget smaller than a single entry: store still caches the
+        // latest result rather than deleting what it just wrote.
+        let cache = LayoutCache::open_bounded(&dir, Some(16)).unwrap();
+        cache.store(9, &sample_coords(), "full").unwrap();
+        assert!(cache.load(9).is_some());
+        assert_eq!(cache.usage().entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_rebuilds_the_index_and_enforces_the_bound() {
+        let dir = scratch("reopen");
+        let one_entry = encode(0, &sample_coords(), "full").len() as u64;
+        {
+            let unbounded = LayoutCache::open(&dir).unwrap();
+            for key in 1..=4u64 {
+                unbounded.store(key, &sample_coords(), "full").unwrap();
+                // Distinct mtimes so eviction order is deterministic.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            assert_eq!(unbounded.usage().entries, 4);
+        }
+        let bounded =
+            LayoutCache::open_bounded(&dir, Some(2 * one_entry + one_entry / 2)).unwrap();
+        let usage = bounded.usage();
+        assert_eq!(usage.entries, 2, "reopen must trim to the bound");
+        assert!(bounded.load(3).is_some());
+        assert!(bounded.load(4).is_some());
+        assert!(bounded.load(1).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

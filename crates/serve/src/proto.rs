@@ -86,8 +86,11 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
 pub enum Op {
     /// Lay out a graph.
     Layout,
-    /// Health/stats probe; never queued, never sheds.
+    /// Health probe; never queued, never sheds.
     Ping,
+    /// Telemetry scrape: a metrics-registry snapshot (Prometheus text by
+    /// default, NDJSON with `format: ndjson`). Never takes the layout lock.
+    Stats,
 }
 
 /// A parsed request frame.
@@ -123,6 +126,7 @@ impl Request {
         let op = match self.op {
             Op::Layout => "LAYOUT",
             Op::Ping => "PING",
+            Op::Stats => "STATS",
         };
         let mut out = format!("{PROTO} {op}\n");
         for (k, v) in &self.headers {
@@ -149,6 +153,7 @@ impl Request {
         let op = match words.next() {
             Some("LAYOUT") => Op::Layout,
             Some("PING") => Op::Ping,
+            Some("STATS") => Op::Stats,
             other => return Err(format!("unknown op {other:?}")),
         };
         let headers = parse_headers(lines)?;
@@ -275,6 +280,14 @@ mod tests {
         req.body = "0 1\n1 2\n2 0\n".into();
         let parsed = Request::parse(&req.encode()).unwrap();
         assert_eq!(parsed.body, "0 1\n1 2\n2 0\n");
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let req = Request::new(Op::Stats).with("format", "ndjson");
+        let parsed = Request::parse(&req.encode()).unwrap();
+        assert_eq!(parsed.op, Op::Stats);
+        assert_eq!(parsed.header("format"), Some("ndjson"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ use parhde_graph::io::{parse_edge_list, parse_matrix_market};
 use parhde_graph::prep::largest_component;
 use parhde_graph::CsrGraph;
 use parhde_linalg::dense::ColMajorMatrix;
+use parhde_trace::registry::{self, Counter, Gauge, Histogram, Registry};
 use parhde_trace::{RunReport, TraceSession};
 use parhde_util::supervisor::{self, cancel_flag, CancelFlag};
 use parhde_util::RunBudget;
@@ -64,7 +65,12 @@ pub struct ServerConfig {
     pub mem_budget_bytes: u64,
     /// Result-cache directory; `None` disables caching and warm resume.
     pub cache_dir: Option<PathBuf>,
-    /// Per-request run-report directory (`req-<id>.json`); `None` disables.
+    /// Byte budget over the result cache's entry files; oldest entries
+    /// (and their warm-start checkpoints) are evicted past it. `None`
+    /// leaves the cache unbounded.
+    pub cache_max_bytes: Option<u64>,
+    /// Per-request run-report directory (`req-<trace-id>.json`); `None`
+    /// disables.
     pub report_dir: Option<PathBuf>,
     /// Deadline applied when the client does not send `deadline-ms`.
     pub default_deadline: Duration,
@@ -73,6 +79,10 @@ pub struct ServerConfig {
     /// How long in-flight runs may keep working after drain starts before
     /// their cancel flags fire.
     pub drain_grace: Duration,
+    /// Emit one NDJSON event line per answered request on stderr (trace
+    /// ID, op, status, duration). Off by default so in-process test
+    /// servers stay quiet; the binary turns it on.
+    pub log_requests: bool,
 }
 
 impl Default for ServerConfig {
@@ -83,28 +93,111 @@ impl Default for ServerConfig {
             queue_capacity: 8,
             mem_budget_bytes: 2 << 30,
             cache_dir: None,
+            cache_max_bytes: None,
             report_dir: None,
             default_deadline: Duration::from_secs(10),
             max_deadline: Duration::from_secs(60),
             drain_grace: Duration::from_secs(2),
+            log_requests: false,
         }
     }
 }
 
-/// Monotonically increasing request counters (all relaxed; observability
-/// only).
-#[derive(Default)]
-struct Stats {
-    accepted: AtomicU64,
-    completed: AtomicU64,
-    shed_queue: AtomicU64,
-    shed_busy: AtomicU64,
-    rejected: AtomicU64,
-    cache_hit: AtomicU64,
-    cache_warm: AtomicU64,
-    cache_cold: AtomicU64,
-    cancelled: AtomicU64,
-    failed: AtomicU64,
+/// Per-server handles into this daemon's metrics [`Registry`]. Counters
+/// and histograms are maintained inline on the request path (lock-free
+/// relaxed atomics); point-in-time gauges are sampled at scrape.
+///
+/// The layout lifecycle invariant every scrape must satisfy once traffic
+/// quiesces: `requests_started_total` equals the sum of the eight
+/// `layout_*_total` terminal counters — every layout request that enters
+/// the pipeline leaves through exactly one exit.
+struct Metrics {
+    /// This server's own registry (NOT the process-global one: tests run
+    /// several servers per process and each scrape must count only its
+    /// own traffic; the global registry is merged in at scrape time).
+    registry: Registry,
+    // Connection-level events (before a request is even parsed).
+    connections_accepted: Arc<Counter>,
+    connections_shed_queue: Arc<Counter>,
+    connections_unreadable: Arc<Counter>,
+    requests_unparseable: Arc<Counter>,
+    panics: Arc<Counter>,
+    // Layout lifecycle: one start, exactly one terminal.
+    layout_started: Arc<Counter>,
+    layout_completed: Arc<Counter>,
+    layout_rejected: Arc<Counter>,
+    layout_timeout: Arc<Counter>,
+    layout_too_large: Arc<Counter>,
+    layout_busy: Arc<Counter>,
+    layout_cancelled: Arc<Counter>,
+    layout_failed: Arc<Counter>,
+    layout_drained: Arc<Counter>,
+    // Result-cache traffic and bounding.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_warm: Arc<Counter>,
+    cache_cold: Arc<Counter>,
+    // Sampled at scrape time.
+    queue_depth: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    budget_reserved_bytes: Arc<Gauge>,
+    budget_total_bytes: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+    cache_bytes: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+    // Latency distributions (log₂ buckets, lossless cross-thread merge).
+    queue_wait_ms: Arc<Histogram>,
+    request_duration_ms: Arc<Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = Registry::new();
+        let c = |n: &str| registry.counter(n);
+        let g = |n: &str| registry.gauge(n);
+        Metrics {
+            connections_accepted: c("parhde_connections_accepted_total"),
+            connections_shed_queue: c("parhde_connections_shed_queue_total"),
+            connections_unreadable: c("parhde_connections_unreadable_total"),
+            requests_unparseable: c("parhde_requests_unparseable_total"),
+            panics: c("parhde_panics_total"),
+            layout_started: c("parhde_requests_started_total"),
+            layout_completed: c("parhde_layout_completed_total"),
+            layout_rejected: c("parhde_layout_rejected_total"),
+            layout_timeout: c("parhde_layout_timeout_total"),
+            layout_too_large: c("parhde_layout_too_large_total"),
+            layout_busy: c("parhde_layout_busy_total"),
+            layout_cancelled: c("parhde_layout_cancelled_total"),
+            layout_failed: c("parhde_layout_failed_total"),
+            layout_drained: c("parhde_layout_drained_total"),
+            cache_hits: c("parhde_cache_hits_total"),
+            cache_misses: c("parhde_cache_misses_total"),
+            cache_evictions: c("parhde_cache_evictions_total"),
+            cache_warm: c("parhde_cache_warm_total"),
+            cache_cold: c("parhde_cache_cold_total"),
+            queue_depth: g("parhde_queue_depth"),
+            inflight: g("parhde_inflight"),
+            budget_reserved_bytes: g("parhde_budget_reserved_bytes"),
+            budget_total_bytes: g("parhde_budget_total_bytes"),
+            cache_entries: g("parhde_cache_entries"),
+            cache_bytes: g("parhde_cache_bytes"),
+            uptime_seconds: g("parhde_uptime_seconds"),
+            queue_wait_ms: registry.histogram("parhde_queue_wait_ms"),
+            request_duration_ms: registry.histogram("parhde_request_duration_ms"),
+            registry,
+        }
+    }
+
+    /// The terminal counter a failed run maps to, keyed by wire status.
+    fn terminal_for_error(&self, code: u16) -> &Arc<Counter> {
+        match code {
+            proto::CANCELLED => &self.layout_cancelled,
+            proto::TIMEOUT => &self.layout_timeout,
+            proto::TOO_LARGE => &self.layout_too_large,
+            _ => &self.layout_failed,
+        }
+    }
 }
 
 /// A connection accepted but not yet picked up by a worker. The deadline
@@ -130,14 +223,21 @@ struct Shared {
     queue_cv: Condvar,
     drain: AtomicBool,
     stop_watchdog: AtomicBool,
-    stats: Stats,
+    metrics: Metrics,
     /// Serializes trace sessions and ambient budget installs — both are
     /// process-exclusive, so layout execution is one-at-a-time per process
     /// (cache hits and all shedding paths bypass this).
     layout_lock: Mutex<()>,
     watch: Mutex<Vec<WatchEntry>>,
     req_seq: AtomicU64,
+    watch_seq: AtomicU64,
     inflight: AtomicU64,
+    /// When this daemon started (uptime gauge, PING header).
+    started: Instant,
+    /// Boot-unique half of every trace ID, derived from wall clock and
+    /// PID at startup so IDs from different daemon incarnations don't
+    /// collide in shared log streams.
+    boot: u32,
 }
 
 impl Shared {
@@ -150,6 +250,14 @@ impl Shared {
     fn work_ahead(&self) -> usize {
         let queued = self.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
         queued + self.inflight.load(Ordering::Relaxed) as usize
+    }
+
+    /// Issues the next request trace ID: `<boot>-<seq>`, both fixed-width
+    /// hex. The boot half joins log lines to a daemon incarnation; the
+    /// sequence half is unique within it.
+    fn next_trace_id(&self) -> String {
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed) as u32;
+        format!("{:08x}-{seq:08x}", self.boot)
     }
 }
 
@@ -173,7 +281,7 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<Server> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let cache = match &cfg.cache_dir {
-        Some(dir) => Some(LayoutCache::open(dir)?),
+        Some(dir) => Some(LayoutCache::open_bounded(dir, cfg.cache_max_bytes)?),
         None => None,
     };
     if let Some(dir) = &cfg.report_dir {
@@ -181,6 +289,18 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<Server> {
     }
     let workers = cfg.workers.max(1);
     let budget = SharedSoftBudget::new(cfg.mem_budget_bytes);
+    let metrics = Metrics::new();
+    if let Some(cache) = &cache {
+        // Entries trimmed while re-indexing a pre-existing directory.
+        metrics.cache_evictions.add(cache.usage().evictions);
+    }
+    let boot = {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        (secs as u32).wrapping_mul(0x9e37_79b9) ^ std::process::id()
+    };
     let shared = Arc::new(Shared {
         cfg,
         budget,
@@ -190,11 +310,14 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<Server> {
         queue_cv: Condvar::new(),
         drain: AtomicBool::new(false),
         stop_watchdog: AtomicBool::new(false),
-        stats: Stats::default(),
+        metrics,
         layout_lock: Mutex::new(()),
         watch: Mutex::new(Vec::new()),
         req_seq: AtomicU64::new(0),
+        watch_seq: AtomicU64::new(0),
         inflight: AtomicU64::new(0),
+        started: Instant::now(),
+        boot,
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -285,7 +408,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_accepted.inc();
                 let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                 if queue.len() >= shared.cfg.queue_capacity {
                     drop(queue);
@@ -307,13 +430,18 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 /// Sheds one connection with 429 + retry-after, without reading a byte of
 /// its request — overload handling must not depend on the client's input.
 fn shed_overloaded(shared: &Arc<Shared>, mut stream: TcpStream) {
-    shared.stats.shed_queue.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.connections_shed_queue.inc();
     parhde_trace::counter!("serve.shed.queue_full", 1);
+    let trace_id = shared.next_trace_id();
     let hint = shared.clock.retry_after_ms(shared.work_ahead());
     let resp = Response::new(proto::OVERLOADED, "queue full")
-        .with("retry-after-ms", hint);
+        .with("retry-after-ms", hint)
+        .with("trace-id", &trace_id);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = proto::write_frame(&mut stream, &resp.encode());
+    if shared.cfg.log_requests {
+        log_request_event(&trace_id, "SHED", proto::OVERLOADED, "queue full", 0.0);
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -341,59 +469,154 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
     let Pending { mut stream, accepted } = pending;
+    shared
+        .metrics
+        .queue_wait_ms
+        .record(accepted.elapsed().as_secs_f64() * 1e3);
     // A worker must not hang on a half-sent request (slowloris).
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let payload = match proto::read_frame(&mut stream) {
         Ok(p) => p,
-        Err(_) => return, // nothing parseable arrived; no reply possible
+        Err(_) => {
+            // Nothing parseable arrived; no reply possible.
+            shared.metrics.connections_unreadable.inc();
+            return;
+        }
     };
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let trace_id = shared.next_trace_id();
+    let mut op_name = "INVALID";
     // Panic boundary: a panic anywhere in request handling must cost the
     // *request* (typed 500), never the worker thread — a daemon that
     // silently loses workers to hostile inputs eventually serves nobody.
+    // (Layout requests carry their own inner boundary so panics still
+    // land in a lifecycle terminal counter; this one covers the rest.)
     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         match Request::parse(&payload) {
             Err(msg) => {
-                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.requests_unparseable.inc();
                 Response::new(proto::BAD_REQUEST, "bad request").with("error", msg)
             }
-            Ok(req) => match req.op {
-                Op::Ping => ping_response(shared),
-                Op::Layout => handle_layout(shared, &req, &stream, accepted),
-            },
+            Ok(req) => {
+                op_name = match req.op {
+                    Op::Ping => "PING",
+                    Op::Stats => "STATS",
+                    Op::Layout => "LAYOUT",
+                };
+                match req.op {
+                    Op::Ping => ping_response(shared),
+                    Op::Stats => stats_response(shared, &req),
+                    Op::Layout => handle_layout(shared, &req, &stream, accepted, &trace_id),
+                }
+            }
         }
     }))
-    .unwrap_or_else(|payload| {
-        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+    .unwrap_or_else(|panic| {
+        shared.metrics.panics.inc();
         parhde_trace::counter!("serve.panic.request", 1);
-        let msg = payload
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| payload.downcast_ref::<&str>().copied())
-            .unwrap_or("unknown panic");
-        Response::new(proto::INTERNAL, "internal error (bug)").with("error", msg)
+        Response::new(proto::INTERNAL, "internal error (bug)")
+            .with("error", panic_message(&panic))
     });
+    let response = response.with("trace-id", &trace_id);
     let _ = proto::write_frame(&mut stream, &response.encode());
+    let elapsed_ms = accepted.elapsed().as_secs_f64() * 1e3;
+    if op_name == "LAYOUT" && response.code == proto::OK {
+        // Full server-side latency of a successful layout: queue wait
+        // through response write — the population `parhde-loadgen
+        // --scrape` cross-checks against client-observed latencies.
+        shared.metrics.request_duration_ms.record(elapsed_ms);
+    }
+    if shared.cfg.log_requests {
+        log_request_event(&trace_id, op_name, response.code, &response.reason, elapsed_ms);
+    }
+}
+
+/// Best-effort human text out of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("unknown panic")
+}
+
+/// One NDJSON event line on stderr: the daemon's request log. One line
+/// per answered request, machine-splittable, replacing free-form prints.
+fn log_request_event(trace_id: &str, op: &str, code: u16, reason: &str, ms: f64) {
+    eprintln!(
+        "{{\"event\":\"request\",\"trace_id\":\"{}\",\"op\":\"{}\",\"code\":{},\
+         \"reason\":\"{}\",\"ms\":{}}}",
+        parhde_trace::json::escape(trace_id),
+        parhde_trace::json::escape(op),
+        code,
+        parhde_trace::json::escape(reason),
+        parhde_trace::json::number(ms),
+    );
+}
+
+/// A warning event in the same NDJSON stream (always emitted — these
+/// replace the daemon's former ad-hoc `eprintln!` diagnostics).
+fn log_warn_event(what: &str, trace_id: &str, detail: &str) {
+    eprintln!(
+        "{{\"event\":\"warn\",\"what\":\"{}\",\"trace_id\":\"{}\",\"detail\":\"{}\"}}",
+        parhde_trace::json::escape(what),
+        parhde_trace::json::escape(trace_id),
+        parhde_trace::json::escape(detail),
+    );
 }
 
 fn ping_response(shared: &Arc<Shared>) -> Response {
-    let s = &shared.stats;
+    let m = &shared.metrics;
     Response::new(proto::OK, "pong")
+        .with("version", env!("CARGO_PKG_VERSION"))
+        .with("uptime-s", shared.started.elapsed().as_secs())
         .with("draining", u8::from(shared.draining()))
         .with("queued", shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len())
         .with("inflight", shared.inflight.load(Ordering::Relaxed))
         .with("budget-total", shared.budget.total())
         .with("budget-reserved", shared.budget.reserved())
-        .with("accepted", s.accepted.load(Ordering::Relaxed))
-        .with("completed", s.completed.load(Ordering::Relaxed))
-        .with("shed-queue", s.shed_queue.load(Ordering::Relaxed))
-        .with("shed-busy", s.shed_busy.load(Ordering::Relaxed))
-        .with("rejected", s.rejected.load(Ordering::Relaxed))
-        .with("cache-hit", s.cache_hit.load(Ordering::Relaxed))
-        .with("cache-warm", s.cache_warm.load(Ordering::Relaxed))
-        .with("cache-cold", s.cache_cold.load(Ordering::Relaxed))
-        .with("cancelled", s.cancelled.load(Ordering::Relaxed))
-        .with("failed", s.failed.load(Ordering::Relaxed))
+        .with("accepted", m.connections_accepted.get())
+        .with("completed", m.layout_completed.get())
+        .with("shed-queue", m.connections_shed_queue.get())
+        .with("shed-busy", m.layout_busy.get())
+        .with("rejected", m.layout_rejected.get())
+        .with("cache-hit", m.cache_hits.get())
+        .with("cache-warm", m.cache_warm.get())
+        .with("cache-cold", m.cache_cold.get())
+        .with("cancelled", m.layout_cancelled.get())
+        .with("failed", m.layout_failed.get())
+}
+
+/// Answers a `STATS` scrape: refresh the point-in-time gauges, snapshot
+/// this server's registry, fold in the process-global registry (ambient
+/// supervisor counters), and encode. Never touches the layout lock, so a
+/// scrape costs microseconds even while a layout is running.
+fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
+    let m = &shared.metrics;
+    m.queue_depth
+        .set(shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as f64);
+    m.inflight.set(shared.inflight.load(Ordering::Relaxed) as f64);
+    m.budget_reserved_bytes.set(shared.budget.reserved() as f64);
+    m.budget_total_bytes.set(shared.budget.total() as f64);
+    m.uptime_seconds.set(shared.started.elapsed().as_secs_f64());
+    if let Some(cache) = &shared.cache {
+        let usage = cache.usage();
+        m.cache_entries.set(usage.entries as f64);
+        m.cache_bytes.set(usage.bytes as f64);
+    }
+    let mut snap = m.registry.snapshot();
+    snap.merge_from(&registry::global().snapshot());
+    let (format, body) = match req.header("format") {
+        None | Some("prometheus") => ("prometheus", snap.to_prometheus()),
+        Some("ndjson") => ("ndjson", snap.to_ndjson()),
+        Some(other) => {
+            return Response::new(proto::BAD_REQUEST, "bad request")
+                .with("error", format!("unknown stats format {other:?}"));
+        }
+    };
+    let mut resp = Response::new(proto::OK, "stats").with("format", format);
+    resp.body = body;
+    resp
 }
 
 /// Cap on the `hold-ms` chaos knob, so it cannot park a worker forever.
@@ -474,16 +697,42 @@ fn parse_u64(req: &Request, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// The layout entry point: counts the start, then guarantees exactly one
+/// lifecycle terminal counter fires no matter how the request leaves —
+/// including by panicking. Without the inner panic boundary a panic would
+/// unwind past every terminal and break the scrape invariant
+/// `requests_started == Σ layout_*_total`.
 fn handle_layout(
     shared: &Arc<Shared>,
     req: &Request,
     stream: &TcpStream,
     accepted: Instant,
+    trace_id: &str,
+) -> Response {
+    shared.metrics.layout_started.inc();
+    let inner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_layout_inner(shared, req, stream, accepted, trace_id)
+    }));
+    inner.unwrap_or_else(|panic| {
+        shared.metrics.layout_failed.inc();
+        shared.metrics.panics.inc();
+        parhde_trace::counter!("serve.panic.request", 1);
+        Response::new(proto::INTERNAL, "internal error (bug)")
+            .with("error", panic_message(&panic))
+    })
+}
+
+fn handle_layout_inner(
+    shared: &Arc<Shared>,
+    req: &Request,
+    stream: &TcpStream,
+    accepted: Instant,
+    trace_id: &str,
 ) -> Response {
     if shared.draining() {
+        shared.metrics.layout_drained.inc();
         return Response::new(proto::DRAINING, "draining");
     }
-    let id = shared.req_seq.fetch_add(1, Ordering::Relaxed);
 
     // ---- Parse knobs -----------------------------------------------------
     let parsed = (|| -> Result<_, String> {
@@ -503,7 +752,7 @@ fn handle_layout(
     let (p, deadline_ms, subspace, seed, no_cache, hold_ms) = match parsed {
         Ok(v) => v,
         Err(msg) => {
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.layout_rejected.inc();
             return Response::new(proto::BAD_REQUEST, "bad request").with("error", msg);
         }
     };
@@ -515,7 +764,7 @@ fn handle_layout(
     let g = match resolve_graph(req) {
         Ok(g) => g,
         Err(msg) => {
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.layout_rejected.inc();
             return Response::new(proto::BAD_REQUEST, "bad graph").with("error", msg);
         }
     };
@@ -523,7 +772,7 @@ fn handle_layout(
     // empty parse (e.g. an empty body) must reject here —
     // `largest_component` requires at least one vertex.
     if g.num_vertices() == 0 {
-        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.layout_rejected.inc();
         return Response::new(proto::BAD_REQUEST, "bad graph")
             .with("error", "graph has no vertices");
     }
@@ -531,7 +780,7 @@ fn handle_layout(
     let n = g.num_vertices();
     let m = g.num_edges();
     if n < 2 {
-        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.layout_rejected.inc();
         return Response::new(proto::BAD_REQUEST, "bad graph")
             .with("error", format!("largest component has {n} vertices; need >= 2"));
     }
@@ -548,7 +797,7 @@ fn handle_layout(
     // ---- Deadline already burned in the queue? ---------------------------
     let hard_deadline = accepted + deadline;
     if Instant::now() >= hard_deadline {
-        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.layout_timeout.inc();
         parhde_trace::counter!("serve.timeout.queued", 1);
         return Response::new(proto::TIMEOUT, "deadline exhausted in queue")
             .with("deadline-ms", deadline.as_millis());
@@ -556,29 +805,30 @@ fn handle_layout(
 
     // ---- Cache lookup ----------------------------------------------------
     let key = cache_key(&g, &cfg, p);
-    if !no_cache {
+    if !no_cache && shared.cache.is_some() {
         if let Some(hit) = shared.cache.as_ref().and_then(|c| c.load(key)) {
-            shared.stats.cache_hit.fetch_add(1, Ordering::Relaxed);
-            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.cache_hits.inc();
+            shared.metrics.layout_completed.inc();
             parhde_trace::counter!("serve.cache.hit", 1);
             let elapsed = accepted.elapsed();
             shared.clock.record_ms(elapsed.as_secs_f64() * 1e3);
             return ok_response(&hit.coords, n, m, &hit.rung, "hit", elapsed, &[]);
         }
+        shared.metrics.cache_misses.inc();
     }
 
     // ---- Shared-budget admission ----------------------------------------
     let reservation = match shared.budget.admit(n, m, &cfg, p) {
         Ok(r) => r,
         Err(AdmitError::NeverFits { min_bytes, total }) => {
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.layout_too_large.inc();
             parhde_trace::counter!("serve.reject.too_large", 1);
             return Response::new(proto::TOO_LARGE, "exceeds memory budget")
                 .with("estimated-bytes", min_bytes)
                 .with("budget-bytes", total);
         }
         Err(AdmitError::Busy { min_bytes, free }) => {
-            shared.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.layout_busy.inc();
             parhde_trace::counter!("serve.shed.budget_busy", 1);
             let hint = shared.clock.retry_after_ms(shared.work_ahead());
             return Response::new(proto::OVERLOADED, "memory budget busy")
@@ -598,11 +848,13 @@ fn handle_layout(
 
     // ---- Run -------------------------------------------------------------
     let flag = cancel_flag();
-    // RAII: even a panicking run (caught at the connection boundary) must
+    // RAII: even a panicking run (caught at the layout boundary) must
     // unregister its watchdog entry and decrement the in-flight count.
-    let _inflight = InflightGuard::enter(shared, id, stream, &flag);
-    let result =
-        run_layout(shared, id, &g, &cfg, p, hard_deadline, &flag, key, no_cache, hold_ms);
+    let watch_id = shared.watch_seq.fetch_add(1, Ordering::Relaxed);
+    let _inflight = InflightGuard::enter(shared, watch_id, stream, &flag);
+    let result = run_layout(
+        shared, trace_id, &g, &cfg, p, hard_deadline, &flag, key, no_cache, hold_ms,
+    );
     drop(_inflight);
     drop(reservation);
 
@@ -610,10 +862,10 @@ fn handle_layout(
     shared.clock.record_ms(elapsed.as_secs_f64() * 1e3);
     match result {
         Ok(done) => {
-            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.layout_completed.inc();
             match done.cache_tag {
-                "warm" => shared.stats.cache_warm.fetch_add(1, Ordering::Relaxed),
-                _ => shared.stats.cache_cold.fetch_add(1, Ordering::Relaxed),
+                "warm" => shared.metrics.cache_warm.inc(),
+                _ => shared.metrics.cache_cold.inc(),
             };
             let mut notes = admission_note;
             notes.extend(done.warnings);
@@ -621,11 +873,7 @@ fn handle_layout(
         }
         Err(e) => {
             let (code, reason) = classify_error(&e);
-            if code == proto::CANCELLED {
-                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-            } else {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-            }
+            shared.metrics.terminal_for_error(code).inc();
             Response::new(code, reason)
                 .with("error", e.to_string())
                 .with("hde-exit-code", e.exit_code())
@@ -655,7 +903,7 @@ struct Done {
 #[allow(clippy::too_many_arguments)]
 fn run_layout(
     shared: &Arc<Shared>,
-    id: u64,
+    trace_id: &str,
     g: &CsrGraph,
     cfg: &ParHdeConfig,
     p: usize,
@@ -680,10 +928,11 @@ fn run_layout(
 
     let session = shared.cfg.report_dir.is_some().then(TraceSession::begin);
     let started = Instant::now();
-    let outcome = run_layout_inner(shared, g, cfg, p, hard_deadline, flag, key, no_cache);
+    let outcome =
+        run_layout_inner(shared, trace_id, g, cfg, p, hard_deadline, flag, key, no_cache);
     if let Some(session) = session {
         let trace = session.finish();
-        write_report(shared, id, g, cfg, p, &trace, started.elapsed(), &outcome);
+        write_report(shared, trace_id, g, cfg, p, &trace, started.elapsed(), &outcome);
     }
     outcome
 }
@@ -693,6 +942,7 @@ fn run_layout(
 #[allow(clippy::too_many_arguments)]
 fn run_layout_inner(
     shared: &Arc<Shared>,
+    trace_id: &str,
     g: &CsrGraph,
     cfg: &ParHdeConfig,
     p: usize,
@@ -711,7 +961,8 @@ fn run_layout_inner(
             if path.exists() {
                 if let Ok(ckpt) = Checkpoint::read(&path) {
                     let budget = RunBudget::unbounded()
-                        .with_external_cancel(Arc::clone(flag));
+                        .with_external_cancel(Arc::clone(flag))
+                        .with_trace_id(trace_id);
                     budget.arm_deadline_at(hard_deadline);
                     let installed = supervisor::install(&budget);
                     let resumed = parhde::try_par_hde_resume(g, cfg, p, &ckpt);
@@ -719,7 +970,8 @@ fn run_layout_inner(
                     match resumed {
                         Ok((coords, stats)) => {
                             parhde_trace::counter!("serve.cache.warm_resume", 1);
-                            store_result(shared, key, &coords, "full", no_cache);
+                            record_phase_histograms(&shared.metrics, &stats);
+                            store_result(shared, trace_id, key, &coords, "full", no_cache);
                             return Ok(Done {
                                 coords,
                                 rung: "full",
@@ -750,12 +1002,14 @@ fn run_layout_inner(
         checkpoint: ckpt_spec,
         honor_global_cancel: false, // drain handles signals; see DESIGN §13.5
         cancel_flag: Some(Arc::clone(flag)),
+        trace_id: Some(trace_id.to_string()),
     };
     let sup = try_par_hde_nd_supervised(g, cfg, p, &opts)?;
+    record_phase_histograms(&shared.metrics, &sup.stats);
     // Only full-quality layouts are cached: a degraded rung's output is an
     // artifact of *this* request's budget, not of the (graph, config) key.
     if sup.rung == "full" {
-        store_result(shared, key, &sup.coords, sup.rung, no_cache);
+        store_result(shared, trace_id, key, &sup.coords, sup.rung, no_cache);
     }
     let mut warnings = warning_strings(&sup.stats);
     warnings.extend(
@@ -764,8 +1018,20 @@ fn run_layout_inner(
     Ok(Done { coords: sup.coords, rung: sup.rung, cache_tag: "cold", warnings })
 }
 
+/// Folds one run's fine-grained phase times into per-phase latency
+/// histograms (`parhde_phase_<name>_seconds`), so a scrape shows where
+/// served requests actually spend their time across the whole daemon
+/// lifetime, not just in the last run report.
+fn record_phase_histograms(metrics: &Metrics, stats: &HdeStats) {
+    for (name, dur) in stats.phases.iter() {
+        let hist = format!("parhde_phase_{}_seconds", registry::sanitize_name(name));
+        metrics.registry.histogram(&hist).record(dur.as_secs_f64());
+    }
+}
+
 fn store_result(
     shared: &Arc<Shared>,
+    trace_id: &str,
     key: u64,
     coords: &ColMajorMatrix,
     rung: &str,
@@ -775,9 +1041,12 @@ fn store_result(
         return;
     }
     if let Some(cache) = &shared.cache {
-        if let Err(e) = cache.store(key, coords, rung) {
+        match cache.store(key, coords, rung) {
+            Ok(evicted) => shared.metrics.cache_evictions.add(evicted),
             // Cache failures degrade to "no cache", never to request failure.
-            eprintln!("parhde-serve: cache store failed: {e}");
+            Err(e) => {
+                log_warn_event("cache-store-failed", trace_id, &e.to_string());
+            }
         }
     }
 }
@@ -911,7 +1180,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 #[allow(clippy::too_many_arguments)]
 fn write_report(
     shared: &Arc<Shared>,
-    id: u64,
+    trace_id: &str,
     g: &CsrGraph,
     cfg: &ParHdeConfig,
     p: usize,
@@ -930,7 +1199,8 @@ fn write_report(
         graph_n: g.num_vertices() as u64,
         graph_m: g.num_edges() as u64,
         config: vec![
-            ("request_id".into(), id.to_string()),
+            ("request_id".into(), trace_id.to_string()),
+            ("trace_id".into(), trace_id.to_string()),
             ("subspace".into(), cfg.subspace.to_string()),
             ("dim".into(), p.to_string()),
             ("seed".into(), cfg.seed.to_string()),
@@ -946,8 +1216,10 @@ fn write_report(
     };
     report.counters = trace.counter_totals();
     report.gauges = trace.gauge_finals();
-    let path = dir.join(format!("req-{id}.json"));
+    // The trace ID in the filename joins the on-disk artifact to the
+    // response header and the NDJSON request log.
+    let path = dir.join(format!("req-{trace_id}.json"));
     if let Err(e) = std::fs::write(&path, report.to_json()) {
-        eprintln!("parhde-serve: report write failed for {}: {e}", path.display());
+        log_warn_event("report-write-failed", trace_id, &e.to_string());
     }
 }

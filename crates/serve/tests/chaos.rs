@@ -12,8 +12,10 @@ use parhde_serve::proto::{self, Op, Request, Response};
 use parhde_serve::server::{serve, Server, ServerConfig};
 use parhde_graph::gen::{self, poison};
 use parhde_graph::prep::largest_component;
+use parhde_trace::registry::{self, Snapshot};
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -49,6 +51,31 @@ fn ping_stat(addr: &str, key: &str) -> u64 {
     let resp = call(addr, &Request::new(Op::Ping));
     assert!(resp.is_ok(), "ping failed: {}", resp.reason);
     resp.header(key).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Scrape the daemon's NDJSON metrics snapshot (must succeed — only for
+/// use when the queue cannot be full).
+fn stats_snapshot(addr: &str) -> Snapshot {
+    let resp = call(addr, &Request::new(Op::Stats).with("format", "ndjson"));
+    assert!(resp.is_ok(), "stats failed: {} {}", resp.code, resp.reason);
+    Snapshot::from_ndjson(&resp.body).expect("valid metrics ndjson")
+}
+
+/// The eight terminal layout counters; every started request must end in
+/// exactly one of them.
+const TERMINALS: [&str; 8] = [
+    "parhde_layout_completed_total",
+    "parhde_layout_rejected_total",
+    "parhde_layout_timeout_total",
+    "parhde_layout_too_large_total",
+    "parhde_layout_busy_total",
+    "parhde_layout_cancelled_total",
+    "parhde_layout_failed_total",
+    "parhde_layout_drained_total",
+];
+
+fn terminal_sum(snap: &Snapshot) -> u64 {
+    TERMINALS.iter().map(|n| snap.counter(n).unwrap_or(0)).sum()
 }
 
 #[test]
@@ -439,6 +466,148 @@ fn corrupt_cache_entries_are_evicted_not_served() {
     assert!(again.is_ok());
     assert_ne!(again.header("cache"), Some("hit"), "corrupt entry was served");
     assert_eq!(again.body, first.body);
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_scrape_is_consistent_under_load() {
+    let _guard = serialize();
+    let dir = scratch("stats");
+    let (server, addr) = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_dir: Some(dir.join("cache")),
+        ..Default::default()
+    });
+
+    // Three clients fire layouts (repeats → cache hits) while the main
+    // thread scrapes STATS in both formats. STATS must stay answerable
+    // and well-formed mid-load, and counters must never show a request
+    // that finished without starting.
+    let remaining = Arc::new(AtomicUsize::new(3));
+    let mut handles = Vec::new();
+    for t in 0..3 {
+        let addr = addr.clone();
+        let remaining = Arc::clone(&remaining);
+        handles.push(std::thread::spawn(move || {
+            let specs = ["gen:grid:10:10", "gen:grid:11:11", "gen:grid:12:12"];
+            let mut ok = 0u64;
+            for i in 0..4 {
+                let resp = call_once(
+                    &addr,
+                    &layout_req(specs[(t + i) % specs.len()]),
+                    Duration::from_secs(60),
+                )
+                .expect("exchange");
+                assert!(
+                    resp.header("trace-id").is_some(),
+                    "response missing trace-id: {} {}",
+                    resp.code,
+                    resp.reason
+                );
+                if resp.is_ok() {
+                    ok += 1;
+                }
+            }
+            remaining.fetch_sub(1, Ordering::SeqCst);
+            ok
+        }));
+    }
+
+    // Mid-load scrapes: a full queue may shed the scrape connection with
+    // a 429 — that is allowed; a malformed body or a 5xx is not.
+    let mut scrapes = 0u32;
+    while remaining.load(Ordering::SeqCst) > 0 {
+        let prom = call(&addr, &Request::new(Op::Stats));
+        if prom.is_ok() {
+            assert_eq!(prom.header("format"), Some("prometheus"));
+            registry::validate_prometheus(&prom.body)
+                .unwrap_or_else(|e| panic!("mid-load prometheus invalid: {e}"));
+        } else {
+            assert_eq!(prom.code, proto::OVERLOADED, "{} {}", prom.code, prom.reason);
+        }
+        let nd = call(&addr, &Request::new(Op::Stats).with("format", "ndjson"));
+        if nd.is_ok() {
+            let snap = Snapshot::from_ndjson(&nd.body)
+                .unwrap_or_else(|e| panic!("mid-load ndjson invalid: {e}"));
+            let started =
+                snap.counter("parhde_requests_started_total").unwrap_or(0);
+            assert!(
+                started >= terminal_sum(&snap),
+                "more terminal outcomes than started requests"
+            );
+            scrapes += 1;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let ok_total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(ok_total >= 1, "no layout succeeded under load");
+    assert!(scrapes >= 1, "never managed a mid-load scrape");
+
+    // Quiesced: every started request reached exactly one terminal, and
+    // the completions match what the clients saw.
+    let snap = stats_snapshot(&addr);
+    let started = snap.counter("parhde_requests_started_total").unwrap_or(0);
+    assert_eq!(
+        started,
+        terminal_sum(&snap),
+        "lifecycle invariant broken: started != sum of terminals"
+    );
+    assert_eq!(snap.counter("parhde_layout_completed_total"), Some(ok_total));
+    assert_eq!(snap.gauge("parhde_inflight"), Some(0.0));
+    assert!(snap.histogram("parhde_request_duration_ms").is_some());
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_is_bounded_and_evicts_oldest() {
+    let _guard = serialize();
+    let dir = scratch("bounded");
+    // One 144-vertex 2-D entry is 64 + 144·2·8 = 2368 bytes on disk, so a
+    // 5000-byte bound holds exactly two entries.
+    let bound = 5_000u64;
+    let (server, addr) = start(ServerConfig {
+        cache_dir: Some(dir.join("cache")),
+        cache_max_bytes: Some(bound),
+        ..Default::default()
+    });
+
+    // Three distinct 144-vertex graphs, stored oldest → newest.
+    let specs = ["gen:grid:12:12", "gen:grid:9:16", "gen:grid:8:18"];
+    for spec in specs {
+        let resp = call(&addr, &layout_req(spec));
+        assert!(resp.is_ok(), "{spec}: {} {}", resp.code, resp.reason);
+        assert_eq!(resp.header("cache"), Some("cold"));
+    }
+
+    // The third store pushed the oldest entry out; the newest two remain.
+    let snap = stats_snapshot(&addr);
+    assert!(
+        snap.counter("parhde_cache_evictions_total").unwrap_or(0) >= 1,
+        "no eviction recorded"
+    );
+    assert_eq!(snap.gauge("parhde_cache_entries"), Some(2.0));
+    assert!(snap.gauge("parhde_cache_bytes").unwrap_or(f64::MAX) <= bound as f64);
+
+    // Newest entry still serves from cache; the evicted oldest does not.
+    let newest = call(&addr, &layout_req(specs[2]));
+    assert_eq!(newest.header("cache"), Some("hit"));
+    let oldest = call(&addr, &layout_req(specs[0]));
+    assert!(oldest.is_ok());
+    assert_ne!(oldest.header("cache"), Some("hit"), "evicted entry was served");
+
+    // The bound holds on disk too, not just in the counters.
+    let on_disk: u64 = std::fs::read_dir(dir.join("cache"))
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().is_file())
+        .map(|e| e.metadata().unwrap().len())
+        .sum();
+    assert!(on_disk <= bound, "cache dir holds {on_disk} bytes > bound {bound}");
 
     server.drain();
     let _ = std::fs::remove_dir_all(&dir);

@@ -52,6 +52,7 @@ pub mod chrome;
 pub mod json;
 pub mod ndjson;
 pub mod phases;
+pub mod registry;
 pub mod report;
 
 pub use collector::{counter, enabled, gauge, span, warning, SpanGuard};

@@ -1,0 +1,1082 @@
+//! Live metrics registry (DESIGN.md §14).
+//!
+//! The run reports of [`crate::report`] are *post-mortem*: one JSON file
+//! per finished run. A long-running daemon needs the complementary view —
+//! monotonically growing counters, point-in-time gauges, and latency
+//! histograms that can be scraped *while* requests are in flight. This
+//! module is that layer, with the same constraints as the rest of the
+//! crate: dependency-free, lock-free on the record path, and cheap enough
+//! to leave enabled in production.
+//!
+//! * [`Counter`] — a relaxed `AtomicU64`; increments from any thread.
+//! * [`Gauge`] — an `f64` stored as bits in an `AtomicU64`; last write
+//!   wins, which is the right semantics for queue depth / bytes reserved.
+//! * [`Histogram`] — fixed log₂-bucketed latencies. Buckets are atomic,
+//!   so concurrent recordings from worker threads merge *losslessly*:
+//!   the total count is exactly the number of `record` calls regardless
+//!   of interleaving, and per-bucket counts are exact. Only the bucket
+//!   *resolution* is lossy (a value is known to within one power of two).
+//! * [`Registry`] — named get-or-create access in registration order,
+//!   snapshotted into an immutable [`Snapshot`] for encoding.
+//!
+//! Two wire encodings, each with a validator so CI can assert scrapes are
+//! well-formed without external tooling:
+//!
+//! * Prometheus text exposition ([`Snapshot::to_prometheus`],
+//!   [`validate_prometheus`]) — for humans, `curl`, and real scrapers;
+//! * NDJSON ([`Snapshot::to_ndjson`], [`Snapshot::from_ndjson`]) — for
+//!   programs (the load generator's `--scrape` cross-check parses this).
+//!
+//! Recording can be globally disabled ([`set_enabled`]) to measure the
+//! telemetry overhead itself; snapshots still work (they just stop
+//! moving).
+
+use crate::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: [`HIST_FINITE_BUCKETS`] finite power-of-two
+/// upper bounds plus one overflow (+Inf) bucket.
+pub const HIST_BUCKETS: usize = HIST_FINITE_BUCKETS + 1;
+/// Finite buckets span 2⁻¹⁰ ≈ 0.001 to 2¹⁶ = 65536 in the recorded unit
+/// (the daemon records milliseconds: ~1 µs to ~65 s).
+pub const HIST_FINITE_BUCKETS: usize = 27;
+
+/// Upper bound of finite bucket `i` (`i < HIST_FINITE_BUCKETS`): `2^(i-10)`.
+pub fn bucket_bound(i: usize) -> f64 {
+    debug_assert!(i < HIST_FINITE_BUCKETS);
+    f64::powi(2.0, i as i32 - 10)
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || v.is_nan() {
+        return 0; // zero, negative, NaN all land in the smallest bucket
+    }
+    for i in 0..HIST_FINITE_BUCKETS {
+        if v <= bucket_bound(i) {
+            return i;
+        }
+    }
+    HIST_FINITE_BUCKETS
+}
+
+// ---------------------------------------------------------------------------
+// Global enable switch
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns metric *recording* on or off process-wide (snapshots and encoders
+/// keep working either way). Used to measure telemetry overhead.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether metric recording is currently enabled.
+pub fn recording_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Metric instruments
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        if recording_enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (queue depth, bytes reserved, uptime). Stored as
+/// `f64` bits in an atomic; last writer wins.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if recording_enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log₂-bucketed histogram with atomic buckets.
+///
+/// `record` touches three relaxed atomics and never locks, so worker
+/// threads record concurrently and the result is identical to any serial
+/// interleaving: counts are exact, the sum is accumulated in integer
+/// micro-units, and only intra-bucket position is unknown.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_micro: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micro: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation (clamped to ≥ 0; NaN counts as 0).
+    pub fn record(&self, v: f64) {
+        if !recording_enabled() {
+            return;
+        }
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micro.fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], mergeable and queryable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts; index `HIST_FINITE_BUCKETS` is
+    /// the overflow bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (micro-unit resolution).
+    pub sum: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HIST_BUCKETS], count: 0, sum: 0.0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Adds `other` into `self`. Because buckets are aligned by
+    /// construction, merging across threads or scrapes is lossless.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The bucket `(lower, upper)` bounds containing quantile `q` of the
+    /// recorded distribution (upper may be `+∞`); `None` when empty. The
+    /// true quantile lies within the returned bounds — that is the
+    /// histogram's full resolution.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                let lo = if i == 0 { 0.0 } else { bucket_bound(i - 1) };
+                let hi = if i < HIST_FINITE_BUCKETS {
+                    bucket_bound(i)
+                } else {
+                    f64::INFINITY
+                };
+                return Some((lo, hi));
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics in registration order.
+///
+/// Registration takes a mutex; recording does not (callers hold the `Arc`
+/// returned at registration). Metric names must match the Prometheus
+/// grammar `[a-zA-Z_:][a-zA-Z0-9_:]*` — use [`sanitize_name`] for
+/// dynamically derived names (e.g. pipeline phase labels).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+/// True when `name` is a valid Prometheus metric name.
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Maps an arbitrary label to a valid metric name: invalid characters
+/// become `_`, a leading digit gets a `_` prefix, empty becomes `_`.
+pub fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 1);
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is invalid or already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_create(name, |m| match m {
+            Metric::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        }, || Metric::Counter(Arc::new(Counter::default())))
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is invalid or already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_create(name, |m| match m {
+            Metric::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        }, || Metric::Gauge(Arc::new(Gauge::default())))
+    }
+
+    /// Gets or creates the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is invalid or already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_create(name, |m| match m {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        }, || Metric::Histogram(Arc::new(Histogram::default())))
+    }
+
+    fn get_or_create<T>(
+        &self,
+        name: &str,
+        downcast: impl Fn(&Metric) -> Option<T>,
+        create: impl FnOnce() -> Metric,
+    ) -> T {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            return downcast(m).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered as a different kind")
+            });
+        }
+        let metric = create();
+        let out = downcast(&metric).expect("freshly created metric has the right kind");
+        metrics.push((name.to_string(), metric));
+        out
+    }
+
+    /// An immutable snapshot of every registered metric, in registration
+    /// order.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        Snapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry. Library layers with no handle to a
+/// service-owned registry (the run supervisor in `parhde-util`) record
+/// here; a daemon folds this into its own scrape with
+/// [`Snapshot::merge_from`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// One metric's value inside a [`Snapshot`].
+///
+/// A histogram's 28 buckets dwarf the scalar variants, but snapshots are
+/// built once per scrape, not per record — boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's last-set value.
+    Gauge(f64),
+    /// A histogram's full state.
+    Histogram(HistogramSnapshot),
+}
+
+/// An immutable point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in registration order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    fn find(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The counter `name`, if present as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name`, if present as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.find(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if present as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.find(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms merge bucket-wise; names unknown to `self` are
+    /// appended in `other`'s order.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        for (name, value) in &other.metrics {
+            match self.metrics.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => match (mine, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    // Kind clash across registries: keep ours — the scrape
+                    // encoders must stay total.
+                    (_mine, _theirs) => debug_assert!(false, "metric {name:?} kind clash"),
+                },
+                None => self.metrics.push((name.clone(), value.clone())),
+            }
+        }
+    }
+
+    /// Encodes the snapshot in the Prometheus text exposition format
+    /// (`# TYPE` line per metric, cumulative `_bucket{le=...}` samples,
+    /// `_sum`/`_count` for histograms).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ =
+                        writeln!(out, "# TYPE {name} gauge\n{name} {}", json::number(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets[..HIST_FINITE_BUCKETS].iter().enumerate() {
+                        cum += c;
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cum}",
+                            json::number(bucket_bound(i))
+                        );
+                    }
+                    cum += h.buckets[HIST_FINITE_BUCKETS];
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    let _ = writeln!(out, "{name}_sum {}", json::number(h.sum));
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes the snapshot as NDJSON: a `meta` line followed by one line
+    /// per metric. Histogram buckets are sparse `[index, count]` pairs
+    /// (non-cumulative), which round-trips exactly through
+    /// [`Snapshot::from_ndjson`].
+    pub fn to_ndjson(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"meta\",\"schema\":\"{NDJSON_SCHEMA}\",\"version\":{NDJSON_VERSION},\
+             \"metrics\":{},\"hist_buckets\":{HIST_BUCKETS}}}",
+            self.metrics.len()
+        );
+        for (name, value) in &self.metrics {
+            let name = json::escape(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{{\"ev\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"ev\":\"gauge\",\"name\":\"{name}\",\"value\":{}}}",
+                        json::number(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(i, c)| format!("[{i},{c}]"))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{{\"ev\":\"histogram\",\"name\":\"{name}\",\"count\":{},\
+                         \"sum\":{},\"buckets\":[{}]}}",
+                        h.count,
+                        json::number(h.sum),
+                        buckets.join(",")
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses and validates a [`Snapshot::to_ndjson`] document.
+    ///
+    /// # Errors
+    /// A description of the first malformed line: bad JSON, wrong schema
+    /// or version, missing/duplicated names, bucket indices out of range,
+    /// or a metric count disagreeing with the meta line.
+    pub fn from_ndjson(text: &str) -> Result<Snapshot, String> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, meta_line) = lines.next().ok_or("empty document")?;
+        let meta = json::parse(meta_line).map_err(|e| format!("meta line: {e}"))?;
+        if meta.get("ev").and_then(|v| v.as_str()) != Some("meta") {
+            return Err("first line is not a meta event".to_string());
+        }
+        if meta.get("schema").and_then(|v| v.as_str()) != Some(NDJSON_SCHEMA) {
+            return Err(format!("schema is not {NDJSON_SCHEMA:?}"));
+        }
+        if meta.get("version").and_then(|v| v.as_f64()) != Some(NDJSON_VERSION as f64) {
+            return Err(format!("unsupported version (want {NDJSON_VERSION})"));
+        }
+        if meta.get("hist_buckets").and_then(|v| v.as_f64()) != Some(HIST_BUCKETS as f64) {
+            return Err(format!("incompatible bucket layout (want {HIST_BUCKETS})"));
+        }
+        let declared = meta
+            .get("metrics")
+            .and_then(|v| v.as_f64())
+            .ok_or("meta line missing metrics count")? as usize;
+
+        let mut snap = Snapshot::default();
+        for (lineno, line) in lines {
+            let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+            let v = json::parse(line).map_err(err)?;
+            let name = v
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or_else(|| err("missing name".to_string()))?
+                .to_string();
+            if !valid_name(&name) {
+                return Err(err(format!("invalid metric name {name:?}")));
+            }
+            if snap.find(&name).is_some() {
+                return Err(err(format!("duplicate metric {name:?}")));
+            }
+            let value = match v.get("ev").and_then(|e| e.as_str()) {
+                Some("counter") => {
+                    let val = v
+                        .get("value")
+                        .and_then(|x| x.as_f64())
+                        .ok_or_else(|| err("counter missing value".to_string()))?;
+                    if val < 0.0 || val.fract() != 0.0 {
+                        return Err(err(format!("counter value {val} not a non-negative integer")));
+                    }
+                    MetricValue::Counter(val as u64)
+                }
+                Some("gauge") => {
+                    let val = v
+                        .get("value")
+                        .and_then(|x| x.as_f64())
+                        .ok_or_else(|| err("gauge missing value".to_string()))?;
+                    MetricValue::Gauge(val)
+                }
+                Some("histogram") => {
+                    let count = v
+                        .get("count")
+                        .and_then(|x| x.as_f64())
+                        .ok_or_else(|| err("histogram missing count".to_string()))?
+                        as u64;
+                    let sum = v
+                        .get("sum")
+                        .and_then(|x| x.as_f64())
+                        .unwrap_or(0.0);
+                    let mut h = HistogramSnapshot { count, sum, ..Default::default() };
+                    let buckets = v
+                        .get("buckets")
+                        .and_then(|x| x.as_arr())
+                        .ok_or_else(|| err("histogram missing buckets".to_string()))?;
+                    let mut total = 0u64;
+                    for pair in buckets {
+                        let pair = pair
+                            .as_arr()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| err("bucket is not an [index, count] pair".to_string()))?;
+                        let (Some(i), Some(c)) = (pair[0].as_f64(), pair[1].as_f64()) else {
+                            return Err(err("non-numeric bucket pair".to_string()));
+                        };
+                        let i = i as usize;
+                        if i >= HIST_BUCKETS {
+                            return Err(err(format!("bucket index {i} out of range")));
+                        }
+                        h.buckets[i] += c as u64;
+                        total += c as u64;
+                    }
+                    if total != count {
+                        return Err(err(format!(
+                            "bucket counts sum to {total}, count says {count}"
+                        )));
+                    }
+                    MetricValue::Histogram(h)
+                }
+                other => return Err(err(format!("unknown event kind {other:?}"))),
+            };
+            snap.metrics.push((name, value));
+        }
+        if snap.metrics.len() != declared {
+            return Err(format!(
+                "meta declared {declared} metrics, document has {}",
+                snap.metrics.len()
+            ));
+        }
+        Ok(snap)
+    }
+}
+
+/// Schema tag of the NDJSON snapshot encoding.
+pub const NDJSON_SCHEMA: &str = "parhde-metrics-ndjson";
+/// Version of the NDJSON snapshot encoding.
+pub const NDJSON_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition validator
+// ---------------------------------------------------------------------------
+
+/// Validates a Prometheus text exposition document against the subset this
+/// module emits: every sample is preceded by a `# TYPE` for its family,
+/// names are well-formed, histogram buckets are cumulative and end with a
+/// `+Inf` bucket equal to `_count`, counters are non-negative integers,
+/// and no family is declared twice or left sample-less.
+///
+/// # Errors
+/// A description of the first violation, prefixed with its line number.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    #[derive(PartialEq)]
+    enum Kind {
+        Counter,
+        Gauge,
+        Histogram,
+    }
+    struct Family {
+        kind: Kind,
+        samples: usize,
+        // Histogram bookkeeping.
+        last_le: f64,
+        last_cum: u64,
+        inf_cum: Option<u64>,
+        count: Option<u64>,
+        has_sum: bool,
+    }
+    let mut families: Vec<(String, Family)> = Vec::new();
+    let find = |fams: &mut Vec<(String, Family)>, name: &str| {
+        fams.iter_mut().position(|(n, _)| n == name)
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if rest.starts_with("HELP ") {
+                continue;
+            }
+            let Some(decl) = rest.strip_prefix("TYPE ") else {
+                return Err(err(format!("unknown comment form {line:?}")));
+            };
+            let mut parts = decl.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(err("malformed TYPE line".to_string()));
+            };
+            if !valid_name(name) {
+                return Err(err(format!("invalid metric name {name:?}")));
+            }
+            if find(&mut families, name).is_some() {
+                return Err(err(format!("duplicate TYPE for {name:?}")));
+            }
+            let kind = match kind {
+                "counter" => Kind::Counter,
+                "gauge" => Kind::Gauge,
+                "histogram" => Kind::Histogram,
+                other => return Err(err(format!("unsupported type {other:?}"))),
+            };
+            families.push((
+                name.to_string(),
+                Family {
+                    kind,
+                    samples: 0,
+                    last_le: f64::NEG_INFINITY,
+                    last_cum: 0,
+                    inf_cum: None,
+                    count: None,
+                    has_sum: false,
+                },
+            ));
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| err("sample has no value".to_string()))?;
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return Err(err(format!("invalid sample name {name:?}")));
+        }
+        let rest = &line[name_end..];
+        let (labels, value_text) = if let Some(body) = rest.strip_prefix('{') {
+            let close = body
+                .find('}')
+                .ok_or_else(|| err("unterminated label block".to_string()))?;
+            (Some(&body[..close]), body[close + 1..].trim())
+        } else {
+            (None, rest.trim())
+        };
+        let value: f64 = if value_text == "+Inf" {
+            f64::INFINITY
+        } else {
+            value_text
+                .parse()
+                .map_err(|_| err(format!("unparseable value {value_text:?}")))?
+        };
+
+        // Resolve the family: exact name first, then histogram suffixes.
+        let (base, suffix) = match find(&mut families, name) {
+            Some(idx) => (idx, ""),
+            None => {
+                let mut found = None;
+                for suffix in ["_bucket", "_sum", "_count"] {
+                    if let Some(stripped) = name.strip_suffix(suffix) {
+                        if let Some(idx) = find(&mut families, stripped) {
+                            found = Some((idx, suffix));
+                            break;
+                        }
+                    }
+                }
+                found.ok_or_else(|| err(format!("sample {name:?} has no preceding TYPE")))?
+            }
+        };
+        let family = &mut families[base].1;
+        family.samples += 1;
+
+        match (&family.kind, suffix) {
+            (Kind::Counter, "") => {
+                if family.samples > 1 {
+                    return Err(err(format!("duplicate sample for counter {name:?}")));
+                }
+                if labels.is_some() {
+                    return Err(err(format!("unexpected labels on counter {name:?}")));
+                }
+                if !(value.is_finite() && value >= 0.0 && value.fract() == 0.0) {
+                    return Err(err(format!("counter value {value_text:?} invalid")));
+                }
+            }
+            (Kind::Gauge, "") => {
+                if family.samples > 1 {
+                    return Err(err(format!("duplicate sample for gauge {name:?}")));
+                }
+                if labels.is_some() {
+                    return Err(err(format!("unexpected labels on gauge {name:?}")));
+                }
+                if !value.is_finite() {
+                    return Err(err(format!("gauge value {value_text:?} not finite")));
+                }
+            }
+            (Kind::Histogram, "_bucket") => {
+                let labels =
+                    labels.ok_or_else(|| err("bucket sample without le label".to_string()))?;
+                let le_text = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| err(format!("bucket labels {labels:?} are not le=\"…\"")))?;
+                let le = if le_text == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le_text
+                        .parse()
+                        .map_err(|_| err(format!("unparseable le bound {le_text:?}")))?
+                };
+                if le <= family.last_le {
+                    return Err(err(format!("bucket bounds not increasing at le={le_text}")));
+                }
+                let cum = value as u64;
+                if !(value.is_finite() && value >= 0.0 && value.fract() == 0.0) {
+                    return Err(err(format!("bucket count {value_text:?} invalid")));
+                }
+                if cum < family.last_cum {
+                    return Err(err(format!(
+                        "bucket counts not cumulative at le={le_text} ({cum} < {})",
+                        family.last_cum
+                    )));
+                }
+                family.last_le = le;
+                family.last_cum = cum;
+                if le == f64::INFINITY {
+                    family.inf_cum = Some(cum);
+                }
+            }
+            (Kind::Histogram, "_sum") => {
+                if family.has_sum {
+                    return Err(err(format!("duplicate _sum for {name:?}")));
+                }
+                if !value.is_finite() {
+                    return Err(err(format!("histogram sum {value_text:?} not finite")));
+                }
+                family.has_sum = true;
+            }
+            (Kind::Histogram, "_count") => {
+                if family.count.is_some() {
+                    return Err(err(format!("duplicate _count for {name:?}")));
+                }
+                if !(value.is_finite() && value >= 0.0 && value.fract() == 0.0) {
+                    return Err(err(format!("histogram count {value_text:?} invalid")));
+                }
+                family.count = Some(value as u64);
+            }
+            (Kind::Histogram, "") => {
+                return Err(err(format!(
+                    "bare sample {name:?} for a histogram family"
+                )));
+            }
+            (_, suffix) => {
+                return Err(err(format!(
+                    "suffix {suffix:?} not valid for the declared type of {name:?}"
+                )));
+            }
+        }
+    }
+
+    for (name, family) in &families {
+        if family.samples == 0 {
+            return Err(format!("family {name:?} declared but has no samples"));
+        }
+        if family.kind == Kind::Histogram {
+            let inf = family
+                .inf_cum
+                .ok_or_else(|| format!("histogram {name:?} has no +Inf bucket"))?;
+            let count = family
+                .count
+                .ok_or_else(|| format!("histogram {name:?} has no _count"))?;
+            if inf != count {
+                return Err(format!(
+                    "histogram {name:?}: +Inf bucket {inf} != _count {count}"
+                ));
+            }
+            if !family.has_sum {
+                return Err(format!("histogram {name:?} has no _sum"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that record metrics serialize against the one test that flips
+    /// the process-global [`set_enabled`] switch.
+    fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_latency_range() {
+        assert!(bucket_bound(0) < 0.001);
+        assert!(bucket_bound(HIST_FINITE_BUCKETS - 1) >= 65_000.0);
+        for i in 1..HIST_FINITE_BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e12), HIST_FINITE_BUCKETS);
+        // Each value lands in the first bucket whose bound covers it.
+        for i in 0..HIST_FINITE_BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_record() {
+        let _g = recording_lock();
+        let reg = Registry::new();
+        let c = reg.counter("test_total");
+        let g = reg.gauge("test_depth");
+        let h = reg.histogram("test_ms");
+        c.inc();
+        c.add(4);
+        g.set(2.5);
+        h.record(3.0);
+        h.record(900.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test_total"), Some(5));
+        assert_eq!(snap.gauge("test_depth"), Some(2.5));
+        let hs = snap.histogram("test_ms").unwrap();
+        assert_eq!(hs.count, 2);
+        assert!((hs.sum - 903.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let _g = recording_lock();
+        let reg = Registry::new();
+        let a = reg.counter("same");
+        let b = reg.counter("same");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("same"), Some(2));
+        assert_eq!(reg.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("clash");
+        let _ = reg.gauge("clash");
+    }
+
+    #[test]
+    fn sanitize_maps_arbitrary_labels_to_valid_names() {
+        assert_eq!(sanitize_name("bfs.top-down"), "bfs_top_down");
+        assert_eq!(sanitize_name("1phase"), "_1phase");
+        assert_eq!(sanitize_name(""), "_");
+        for raw in ["a b", "x/y", "ünïcode", "9"] {
+            assert!(valid_name(&sanitize_name(raw)), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile() {
+        let _g = recording_lock();
+        let h = Histogram::default();
+        for v in [0.5, 1.0, 2.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert!(lo < 2.0 && 2.0 <= hi, "p50 bucket ({lo}, {hi}]");
+        let (lo, hi) = s.quantile_bounds(0.99).unwrap();
+        assert!(lo < 100.0 && 100.0 <= hi, "p99 bucket ({lo}, {hi}]");
+        assert!(HistogramSnapshot::default().quantile_bounds(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let _g = recording_lock();
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let whole = Histogram::default();
+        for i in 0..100 {
+            let v = (i as f64) * 0.37 + 0.01;
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            whole.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn prometheus_output_passes_its_own_validator() {
+        let _g = recording_lock();
+        let reg = Registry::new();
+        reg.counter("parhde_requests_total").add(7);
+        reg.gauge("parhde_queue_depth").set(3.0);
+        let h = reg.histogram("parhde_request_duration_ms");
+        for v in [0.4, 12.0, 250.0, 9_000.0] {
+            h.record(v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE parhde_requests_total counter"));
+        assert!(text.contains("parhde_request_duration_ms_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_documents() {
+        // Sample without a TYPE.
+        assert!(validate_prometheus("lonely 3\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate_prometheus(bad).unwrap_err().contains("cumulative"));
+        // +Inf disagreeing with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n";
+        assert!(validate_prometheus(bad).unwrap_err().contains("_count"));
+        // Negative counter.
+        assert!(validate_prometheus("# TYPE c counter\nc -1\n").is_err());
+        // Duplicate TYPE.
+        assert!(validate_prometheus("# TYPE c counter\n# TYPE c counter\nc 1\n").is_err());
+        // Declared but empty family.
+        assert!(validate_prometheus("# TYPE c counter\n").is_err());
+    }
+
+    #[test]
+    fn ndjson_roundtrips_exactly() {
+        let _g = recording_lock();
+        let reg = Registry::new();
+        reg.counter("c_total").add(3);
+        reg.gauge("g").set(-1.25);
+        let h = reg.histogram("h_ms");
+        for v in [0.001, 7.3, 44_000.0, 1e9] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let parsed = Snapshot::from_ndjson(&snap.to_ndjson()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn ndjson_validator_rejects_malformed_documents() {
+        let _g = recording_lock();
+        assert!(Snapshot::from_ndjson("").is_err());
+        assert!(Snapshot::from_ndjson("{\"ev\":\"counter\"}\n").is_err());
+        let good = {
+            let reg = Registry::new();
+            reg.counter("ok").inc();
+            reg.snapshot().to_ndjson()
+        };
+        // Declared count mismatch.
+        let extra = format!("{good}{{\"ev\":\"counter\",\"name\":\"dup\",\"value\":1}}\n");
+        assert!(Snapshot::from_ndjson(&extra).unwrap_err().contains("declared"));
+        // Duplicate name.
+        let dup = good.replace(
+            "{\"ev\":\"counter\",\"name\":\"ok\",\"value\":1}",
+            "{\"ev\":\"counter\",\"name\":\"ok\",\"value\":1}\n{\"ev\":\"counter\",\"name\":\"ok\",\"value\":1}",
+        );
+        assert!(Snapshot::from_ndjson(&dup).is_err());
+    }
+
+    #[test]
+    fn merge_from_folds_two_registries() {
+        let _g = recording_lock();
+        let a = Registry::new();
+        a.counter("shared_total").add(2);
+        a.gauge("depth").set(1.0);
+        let b = Registry::new();
+        b.counter("shared_total").add(3);
+        b.counter("only_b_total").add(7);
+        b.gauge("depth").set(9.0);
+        let mut snap = a.snapshot();
+        snap.merge_from(&b.snapshot());
+        assert_eq!(snap.counter("shared_total"), Some(5));
+        assert_eq!(snap.counter("only_b_total"), Some(7));
+        assert_eq!(snap.gauge("depth"), Some(9.0));
+    }
+
+    #[test]
+    fn disabled_recording_freezes_metrics() {
+        let _g = recording_lock();
+        let reg = Registry::new();
+        let c = reg.counter("frozen_total");
+        c.inc();
+        set_enabled(false);
+        c.inc();
+        reg.histogram("frozen_ms").record(5.0);
+        set_enabled(true);
+        c.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("frozen_total"), Some(2));
+        assert_eq!(snap.histogram("frozen_ms").unwrap().count, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Concurrent recording into the metrics registry: totals must be exact
+//! (thread-invariant), per-bucket counts must match a serial reference
+//! recording of the same multiset, and quantile estimates from the merged
+//! histogram must bracket the true quantiles (bucket tolerance).
+
+use parhde_trace::registry::{Histogram, HistogramSnapshot, Registry};
+use std::sync::Arc;
+
+/// A deterministic value stream: spread across several decades so many
+/// buckets are exercised (xorshift, no external RNG).
+fn values(n: usize) -> Vec<f64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Uniform-ish in [0.01, ~10486): log-spread over 20 bits.
+            let mantissa = (state >> 44) as f64 / (1 << 20) as f64;
+            0.01 * f64::powf(2.0, mantissa * 20.0)
+        })
+        .collect()
+}
+
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn concurrent_recording_is_thread_invariant() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+    let vals = values(THREADS * PER_THREAD);
+
+    // Serial reference: the same multiset recorded by one thread.
+    let reference = Histogram::default();
+    for &v in &vals {
+        reference.record(v);
+    }
+
+    // Concurrent: THREADS threads record disjoint slices of the multiset.
+    let shared = Arc::new(Histogram::default());
+    std::thread::scope(|scope| {
+        for chunk in vals.chunks(PER_THREAD) {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                for &v in chunk {
+                    shared.record(v);
+                }
+            });
+        }
+    });
+
+    let serial = reference.snapshot();
+    let concurrent = shared.snapshot();
+    assert_eq!(concurrent.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(
+        concurrent, serial,
+        "concurrent recording must equal a serial recording of the same values"
+    );
+}
+
+#[test]
+fn merged_per_thread_histograms_equal_one_shared_histogram() {
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 3_000;
+    let vals = values(THREADS * PER_THREAD);
+
+    let shared = Histogram::default();
+    for &v in &vals {
+        shared.record(v);
+    }
+
+    // One private histogram per thread, merged after the fact — the
+    // pattern worker pools use to avoid even atomic contention.
+    let per_thread: Vec<HistogramSnapshot> = std::thread::scope(|scope| {
+        vals.chunks(PER_THREAD)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let h = Histogram::default();
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                    h.snapshot()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+    let mut merged = HistogramSnapshot::default();
+    for s in &per_thread {
+        merged.merge(s);
+    }
+    assert_eq!(merged, shared.snapshot(), "merge must be lossless");
+}
+
+#[test]
+fn merged_quantiles_bracket_the_true_quantiles() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 10_000;
+    let vals = values(THREADS * PER_THREAD);
+
+    let h = Arc::new(Histogram::default());
+    std::thread::scope(|scope| {
+        for chunk in vals.chunks(PER_THREAD) {
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                for &v in chunk {
+                    h.record(v);
+                }
+            });
+        }
+    });
+
+    let mut sorted = vals.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let snap = h.snapshot();
+    for q in [0.5, 0.9, 0.99] {
+        let truth = exact_quantile(&sorted, q);
+        let (lo, hi) = snap.quantile_bounds(q).unwrap();
+        assert!(
+            lo < truth && truth <= hi,
+            "q={q}: true quantile {truth} outside reported bucket ({lo}, {hi}]"
+        );
+    }
+    // The sum is accumulated at micro-unit resolution.
+    let true_sum: f64 = vals.iter().sum();
+    assert!(
+        (snap.sum - true_sum).abs() < 1e-6 * vals.len() as f64,
+        "sum {} vs {}",
+        snap.sum,
+        true_sum
+    );
+}
+
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    let reg = Registry::new();
+    let c = reg.counter("races_total");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            scope.spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(reg.snapshot().counter("races_total"), Some(80_000));
+}

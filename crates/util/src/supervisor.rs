@@ -114,6 +114,12 @@ struct BudgetCore {
     external_cancel: Option<CancelFlag>,
     /// Whether process-wide cancellation (signal handlers) trips this budget.
     honor_global_cancel: bool,
+    /// The request trace ID this run belongs to, if it runs on behalf of a
+    /// service request. Carried here so everything downstream of the
+    /// ambient install — run reports, warnings, error paths — can join a
+    /// server-side artifact to the client-visible response without any
+    /// extra plumbing.
+    trace_id: Option<Arc<str>>,
     /// Cooperative checks performed so far.
     checks: AtomicU64,
     /// Test hook: trip cancellation once `checks` reaches this value.
@@ -122,9 +128,25 @@ struct BudgetCore {
     tripped: AtomicU8,
 }
 
+/// First-trip outcome counters in the global metrics registry, resolved
+/// once: `record_trip` sits on the cooperative-check path, so it must not
+/// take the registry's registration lock per call.
+fn trip_counters() -> &'static [Arc<parhde_trace::registry::Counter>; 3] {
+    static COUNTERS: OnceLock<[Arc<parhde_trace::registry::Counter>; 3]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = parhde_trace::registry::global();
+        [
+            reg.counter("parhde_supervisor_trips_deadline_total"),
+            reg.counter("parhde_supervisor_trips_cancelled_total"),
+            reg.counter("parhde_supervisor_trips_memory_total"),
+        ]
+    })
+}
+
 impl BudgetCore {
     /// Records `reason` if no trip is recorded yet; returns the reason that
-    /// ends up recorded.
+    /// ends up recorded. The *first* trip of each budget is counted in the
+    /// global metrics registry under its reason.
     fn record_trip(&self, reason: u8) -> u8 {
         match self.tripped.compare_exchange(
             TRIP_NONE,
@@ -132,8 +154,29 @@ impl BudgetCore {
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {
-            Ok(_) => reason,
+            Ok(_) => {
+                trip_counters()[(reason - 1) as usize].inc();
+                reason
+            }
             Err(prev) => prev,
+        }
+    }
+
+    /// A fresh core with the same configuration and state (the builder
+    /// methods rebuild the core because its plain fields are immutable
+    /// post-construction; budgets are configured before being shared).
+    fn reconfigured(&self) -> BudgetCore {
+        BudgetCore {
+            anchor: self.anchor,
+            deadline_nanos: AtomicU64::new(self.deadline_nanos.load(Ordering::Relaxed)),
+            mem_budget_bytes: self.mem_budget_bytes,
+            cancelled: AtomicBool::new(self.cancelled.load(Ordering::Relaxed)),
+            external_cancel: self.external_cancel.clone(),
+            honor_global_cancel: self.honor_global_cancel,
+            trace_id: self.trace_id.clone(),
+            checks: AtomicU64::new(self.checks.load(Ordering::Relaxed)),
+            trip_after: AtomicU64::new(self.trip_after.load(Ordering::Relaxed)),
+            tripped: AtomicU8::new(self.tripped.load(Ordering::Relaxed)),
         }
     }
 
@@ -206,6 +249,7 @@ impl RunBudget {
                 cancelled: AtomicBool::new(false),
                 external_cancel: None,
                 honor_global_cancel: false,
+                trace_id: None,
                 checks: AtomicU64::new(0),
                 trip_after: AtomicU64::new(NO_TRIP_AFTER),
                 tripped: AtomicU8::new(TRIP_NONE),
@@ -223,23 +267,8 @@ impl RunBudget {
     /// Returns a copy of this budget with a soft memory budget in bytes.
     #[must_use]
     pub fn with_mem_budget(self, bytes: u64) -> Self {
-        // mem_budget_bytes is plain (immutable post-construction), so this
-        // rebuilds the core while preserving shared-token semantics only if
-        // nothing else holds a clone yet. Budgets are configured before
-        // being shared, so a fresh core is fine here.
-        let core = BudgetCore {
-            anchor: self.core.anchor,
-            deadline_nanos: AtomicU64::new(
-                self.core.deadline_nanos.load(Ordering::Relaxed),
-            ),
-            mem_budget_bytes: bytes,
-            cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
-            external_cancel: self.core.external_cancel.clone(),
-            honor_global_cancel: self.core.honor_global_cancel,
-            checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
-            trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
-            tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
-        };
+        let mut core = self.core.reconfigured();
+        core.mem_budget_bytes = bytes;
         Self { core: Arc::new(core) }
     }
 
@@ -247,19 +276,8 @@ impl RunBudget {
     /// cancellation requests ([`request_global_cancel`], signal handlers).
     #[must_use]
     pub fn honoring_global_cancel(self) -> Self {
-        let core = BudgetCore {
-            anchor: self.core.anchor,
-            deadline_nanos: AtomicU64::new(
-                self.core.deadline_nanos.load(Ordering::Relaxed),
-            ),
-            mem_budget_bytes: self.core.mem_budget_bytes,
-            cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
-            external_cancel: self.core.external_cancel.clone(),
-            honor_global_cancel: true,
-            checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
-            trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
-            tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
-        };
+        let mut core = self.core.reconfigured();
+        core.honor_global_cancel = true;
         Self { core: Arc::new(core) }
     }
 
@@ -269,20 +287,25 @@ impl RunBudget {
     /// needing a clone of the budget itself.
     #[must_use]
     pub fn with_external_cancel(self, flag: CancelFlag) -> Self {
-        let core = BudgetCore {
-            anchor: self.core.anchor,
-            deadline_nanos: AtomicU64::new(
-                self.core.deadline_nanos.load(Ordering::Relaxed),
-            ),
-            mem_budget_bytes: self.core.mem_budget_bytes,
-            cancelled: AtomicBool::new(self.core.cancelled.load(Ordering::Relaxed)),
-            external_cancel: Some(flag),
-            honor_global_cancel: self.core.honor_global_cancel,
-            checks: AtomicU64::new(self.core.checks.load(Ordering::Relaxed)),
-            trip_after: AtomicU64::new(self.core.trip_after.load(Ordering::Relaxed)),
-            tripped: AtomicU8::new(self.core.tripped.load(Ordering::Relaxed)),
-        };
+        let mut core = self.core.reconfigured();
+        core.external_cancel = Some(flag);
         Self { core: Arc::new(core) }
+    }
+
+    /// Returns a copy of this budget tagged with a request trace ID. The
+    /// ID rides the ambient install ([`ambient_trace_id`]) so run reports
+    /// and diagnostics produced deep inside a run can be joined to the
+    /// service request that caused them.
+    #[must_use]
+    pub fn with_trace_id(self, id: &str) -> Self {
+        let mut core = self.core.reconfigured();
+        core.trace_id = Some(Arc::from(id));
+        Self { core: Arc::new(core) }
+    }
+
+    /// The request trace ID this budget carries, if any.
+    pub fn trace_id(&self) -> Option<Arc<str>> {
+        self.core.trace_id.clone()
     }
 
     /// (Re-)arms the deadline to the absolute instant `at`. Used by the
@@ -426,6 +449,9 @@ pub fn install(budget: &RunBudget) -> Installed {
         *r = Some(Arc::clone(&budget.core));
     }
     ACTIVE.store(true, Ordering::SeqCst);
+    parhde_trace::registry::global()
+        .counter("parhde_supervisor_installs_total")
+        .inc();
     Installed { _exclusive: exclusive }
 }
 
@@ -462,6 +488,17 @@ pub fn ambient_trip() -> Option<TripReason> {
     }
     let core = read_slot().lock().ok()?.clone()?;
     decode_trip(core.tripped.load(Ordering::Relaxed))
+}
+
+/// The ambient budget's request trace ID, if a budget is installed and
+/// carries one. Lets code deep inside a run tag its artifacts with the
+/// service request they belong to.
+pub fn ambient_trace_id() -> Option<Arc<str>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let core = read_slot().lock().ok()?.clone()?;
+    core.trace_id.clone()
 }
 
 /// The ambient budget's soft memory budget, if any. Used by pipelines for
@@ -760,6 +797,49 @@ mod tests {
         let r = b.remaining().unwrap();
         assert!(r <= Duration::from_secs(3600) && r > Duration::from_secs(3500));
         assert_eq!(RunBudget::unbounded().remaining(), None);
+    }
+
+    #[test]
+    fn trace_id_survives_reshaping_and_rides_the_ambient_install() {
+        let _l = lock();
+        let b = RunBudget::unbounded()
+            .with_trace_id("abc123-00000001")
+            .with_mem_budget(1 << 20)
+            .honoring_global_cancel()
+            .with_external_cancel(cancel_flag());
+        assert_eq!(b.trace_id().as_deref(), Some("abc123-00000001"));
+        assert_eq!(ambient_trace_id(), None, "no budget installed yet");
+        {
+            let _g = install(&b);
+            assert_eq!(ambient_trace_id().as_deref(), Some("abc123-00000001"));
+        }
+        assert_eq!(ambient_trace_id(), None, "uninstalled on drop");
+        assert_eq!(RunBudget::unbounded().trace_id(), None);
+    }
+
+    #[test]
+    fn first_trips_are_counted_in_the_global_registry() {
+        let counted = |name: &str| {
+            parhde_trace::registry::global()
+                .snapshot()
+                .counter(name)
+                .unwrap_or(0)
+        };
+        let before = counted("parhde_supervisor_trips_deadline_total");
+        let b = RunBudget::unbounded().with_deadline(Duration::from_millis(0));
+        assert!(b.check());
+        assert!(b.check(), "still tripped");
+        let after = counted("parhde_supervisor_trips_deadline_total");
+        // Exactly one increment for this budget, however many checks ran
+        // (other tests may trip their own budgets concurrently, so compare
+        // against a per-test baseline with ≥).
+        assert!(after > before, "{after} vs {before}");
+
+        let before = counted("parhde_supervisor_trips_memory_total");
+        let m = RunBudget::unbounded();
+        m.trip_memory();
+        m.trip_memory();
+        assert!(counted("parhde_supervisor_trips_memory_total") > before);
     }
 
     #[test]

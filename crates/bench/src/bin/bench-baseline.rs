@@ -20,15 +20,25 @@
 //! pair (bit-identical outputs, verified here per graph), and the three
 //! DOrtho variants (MGS / CGS / BCGS2), all at `s = 50` on the same trio.
 //!
+//! `--backend-shootout` adds the PR-8 comparison (`BENCH_pr8.json`): the
+//! scalar reference kernels vs the explicit-SIMD (AVX2+FMA) backend, per
+//! kernel — fused TripleProd, SYRK, staged SpMM, BCGS2, dot, axpy — on the
+//! same kron / grid / pref trio. Exact-class kernels are asserted bitwise
+//! identical across backends while timing. On a CPU without the SIMD
+//! backend only the scalar column is measured.
+//!
 //! `--gate BASELINE.json` turns the tool into a regression gate: the
 //! grouped TripleProd and DOrtho buckets of the current run reports are
 //! compared against the baseline's embedded runs (paired by position);
 //! any >25% slowdown in either bucket fails the invocation with exit 3.
+//! With `--backend-shootout` the gate also fails (exit 3) if SIMD loses
+//! to scalar on fused TripleProd or BCGS2 on any measured graph.
 //!
 //! ```text
 //! bench-baseline --out BENCH_pr3.json [--skip-kernel-bench]
 //!                [--supervision-overhead] [--linalg-shootout]
-//!                [--gate BASELINE.json] [report.json ...]
+//!                [--backend-shootout] [--gate BASELINE.json]
+//!                [report.json ...]
 //! ```
 
 use parhde::config::ParHdeConfig;
@@ -266,6 +276,180 @@ impl LinalgTiming {
     }
 }
 
+/// Per-kernel best-of wall seconds under one backend.
+struct KernelSet {
+    fused_s: f64,
+    syrk_s: f64,
+    spmm_s: f64,
+    bcgs2_s: f64,
+    dot_s: f64,
+    axpy_s: f64,
+}
+
+impl KernelSet {
+    fn to_json(&self, prefix: &str) -> String {
+        format!(
+            "\"{prefix}_fused_s\":{},\"{prefix}_syrk_s\":{},\
+             \"{prefix}_spmm_s\":{},\"{prefix}_bcgs2_s\":{},\
+             \"{prefix}_dot_s\":{},\"{prefix}_axpy_s\":{}",
+            number(self.fused_s),
+            number(self.syrk_s),
+            number(self.spmm_s),
+            number(self.bcgs2_s),
+            number(self.dot_s),
+            number(self.axpy_s),
+        )
+    }
+}
+
+/// One graph's scalar-vs-SIMD backend measurement. The SIMD column is
+/// absent on CPUs without AVX2+FMA.
+struct BackendTiming {
+    label: &'static str,
+    n: usize,
+    m: usize,
+    s: usize,
+    scalar: KernelSet,
+    simd: Option<KernelSet>,
+}
+
+impl BackendTiming {
+    /// Measures every kernel under `choice` (installed process-wide for
+    /// the duration; the caller restores the backend afterwards).
+    fn measure_set(
+        g: &CsrGraph,
+        smat: &parhde_linalg::ColMajorMatrix,
+        degrees: &[f64],
+        choice: parhde_linalg::backend::Choice,
+        reps: usize,
+    ) -> KernelSet {
+        use parhde_linalg::{blas1, fused, ortho, spmm, syrk};
+        parhde_linalg::backend::install(choice).expect("backend install");
+        let fused_s = best_of(reps, || {
+            std::hint::black_box(fused::triple_product(g, degrees, smat));
+        });
+        let syrk_s = best_of(reps, || {
+            std::hint::black_box(syrk::at_a(smat));
+        });
+        let spmm_s = best_of(reps, || {
+            std::hint::black_box(spmm::laplacian_spmm(g, degrees, smat));
+        });
+        let bcgs2_s = best_of(reps, || {
+            let mut c = smat.clone();
+            std::hint::black_box(ortho::bcgs2(&mut c, Some(degrees), 1e-3));
+        });
+        // BLAS-1 on the whole n×(s+1) buffer, repeated so the measurement
+        // is not all clone/allocation cost.
+        let x = smat.data().to_vec();
+        let dot_s = best_of(reps, || {
+            for _ in 0..8 {
+                std::hint::black_box(blas1::dot(&x, smat.data()));
+            }
+        });
+        let mut y = smat.data().to_vec();
+        let axpy_s = best_of(reps, || {
+            for _ in 0..8 {
+                blas1::axpy(1.0e-9, &x, &mut y);
+            }
+            std::hint::black_box(&y);
+        });
+        KernelSet { fused_s, syrk_s, spmm_s, bcgs2_s, dot_s, axpy_s }
+    }
+
+    fn measure(label: &'static str, g: &CsrGraph, s: usize, reps: usize) -> Self {
+        use parhde_linalg::backend::Choice;
+        use parhde_linalg::{fused, ortho, syrk};
+        let n = g.num_vertices();
+        let degrees = g.degree_vector();
+        let mut rng = parhde_util::Xoshiro256StarStar::seed_from_u64(0x9a7de);
+        let mut smat = parhde_linalg::ColMajorMatrix::zeros(n, s + 1);
+        smat.col_mut(0).fill(1.0 / (n as f64).sqrt());
+        for c in 1..=s {
+            for v in smat.col_mut(c) {
+                *v = (rng.next_f64() * 64.0).floor();
+            }
+        }
+        let scalar = Self::measure_set(g, &smat, &degrees, Choice::Scalar, reps);
+        let simd = parhde_linalg::backend::simd_supported().then(|| {
+            Self::measure_set(g, &smat, &degrees, Choice::Simd, reps)
+        });
+        if simd.is_some() {
+            // Exact-class kernels must be a pure reschedule across
+            // backends: identical bits; BCGS2's kept/dropped decisions
+            // must agree even where dots are tolerance-class.
+            let bits = |m: &parhde_linalg::ColMajorMatrix| {
+                m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            };
+            parhde_linalg::backend::install(Choice::Scalar).unwrap();
+            let fused_ref = fused::triple_product(g, &degrees, &smat);
+            let syrk_ref = syrk::at_a(&smat);
+            let mut c = smat.clone();
+            let ortho_ref = ortho::bcgs2(&mut c, Some(&degrees), 1e-3);
+            parhde_linalg::backend::install(Choice::Simd).unwrap();
+            assert_eq!(
+                bits(&fused::triple_product(g, &degrees, &smat)),
+                bits(&fused_ref),
+                "fused TripleProd differs across backends on {label}"
+            );
+            assert_eq!(
+                bits(&syrk::at_a(&smat)),
+                bits(&syrk_ref),
+                "SYRK differs across backends on {label}"
+            );
+            let mut c = smat.clone();
+            assert_eq!(
+                ortho::bcgs2(&mut c, Some(&degrees), 1e-3).kept,
+                ortho_ref.kept,
+                "BCGS2 kept-column decisions differ across backends on {label}"
+            );
+        }
+        // Leave the process on auto for whatever runs next.
+        parhde_linalg::backend::install(Choice::Auto).unwrap();
+        Self { label, n, m: g.num_edges(), s, scalar, simd }
+    }
+
+    /// SIMD speedup on one kernel (scalar / simd), when SIMD was measured.
+    fn speedup(&self, pick: impl Fn(&KernelSet) -> f64) -> Option<f64> {
+        self.simd.as_ref().map(|s| pick(&self.scalar) / pick(s))
+    }
+
+    fn to_json(&self) -> String {
+        let mut body = format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"s\":{},\
+             \"simd_supported\":{},{}",
+            escape(self.label),
+            self.n,
+            self.m,
+            self.s,
+            self.simd.is_some(),
+            self.scalar.to_json("scalar"),
+        );
+        if let Some(simd) = &self.simd {
+            body.push(',');
+            body.push_str(&simd.to_json("simd"));
+            for (name, pick) in [
+                ("fused", (|k: &KernelSet| k.fused_s) as fn(&KernelSet) -> f64),
+                ("syrk", |k| k.syrk_s),
+                ("spmm", |k| k.spmm_s),
+                ("bcgs2", |k| k.bcgs2_s),
+                ("dot", |k| k.dot_s),
+                ("axpy", |k| k.axpy_s),
+            ] {
+                body.push_str(&format!(
+                    ",\"simd_speedup_{name}\":{}",
+                    number(self.scalar_over(simd, pick))
+                ));
+            }
+        }
+        body.push('}');
+        body
+    }
+
+    fn scalar_over(&self, simd: &KernelSet, pick: fn(&KernelSet) -> f64) -> f64 {
+        pick(&self.scalar) / pick(simd)
+    }
+}
+
 /// One run's `(input_label, grouped_buckets)` as stored in a baseline doc.
 type BaselineRun = (String, Vec<(String, f64)>);
 
@@ -376,6 +560,7 @@ fn main() {
     let mut skip_kernel = false;
     let mut supervision_overhead = false;
     let mut linalg_shootout = false;
+    let mut backend_shootout = false;
     let mut gate: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -384,8 +569,8 @@ fn main() {
                 eprintln!(
                     "usage: bench-baseline --out BENCH.json \
                      [--skip-kernel-bench] [--supervision-overhead] \
-                     [--linalg-shootout] [--gate BASELINE.json] \
-                     [report.json ...]"
+                     [--linalg-shootout] [--backend-shootout] \
+                     [--gate BASELINE.json] [report.json ...]"
                 );
                 exit(0);
             }
@@ -412,6 +597,7 @@ fn main() {
             "--skip-kernel-bench" => skip_kernel = true,
             "--supervision-overhead" => supervision_overhead = true,
             "--linalg-shootout" => linalg_shootout = true,
+            "--backend-shootout" => backend_shootout = true,
             other => inputs.push(PathBuf::from(other)),
         }
         i += 1;
@@ -598,16 +784,91 @@ fn main() {
         }
     }
 
+    // The backend shoot-out: the scalar reference kernels vs the SIMD
+    // backend, per kernel, on the same trio. With `--gate`, SIMD losing
+    // to scalar on fused TripleProd or BCGS2 fails the invocation.
+    let mut backends = Vec::new();
+    if backend_shootout {
+        let reps = 5;
+        let kron_g = kron(13, 12, 2);
+        backends.push(BackendTiming::measure("kron_scale13_ef12", &kron_g, 50, reps));
+        backends.push(BackendTiming::measure(
+            "grid_160x125",
+            &grid2d(160, 125),
+            50,
+            reps,
+        ));
+        backends.push(BackendTiming::measure(
+            "pref_20000_a8",
+            &pref_attach(20_000, 8, 0x9a7de),
+            50,
+            reps,
+        ));
+        let mut losses = 0usize;
+        for t in &backends {
+            let Some(simd) = &t.simd else {
+                eprintln!(
+                    "{}: scalar only (cpu: {})",
+                    t.label,
+                    parhde_linalg::backend::cpu_features()
+                );
+                continue;
+            };
+            eprintln!(
+                "{}: fused {:.1} -> {:.1} ms ({:.2}x), syrk {:.2}x, \
+                 spmm {:.2}x, bcgs2 {:.1} -> {:.1} ms ({:.2}x), \
+                 dot {:.2}x, axpy {:.2}x",
+                t.label,
+                t.scalar.fused_s * 1e3,
+                simd.fused_s * 1e3,
+                t.speedup(|k| k.fused_s).unwrap(),
+                t.speedup(|k| k.syrk_s).unwrap(),
+                t.speedup(|k| k.spmm_s).unwrap(),
+                t.scalar.bcgs2_s * 1e3,
+                simd.bcgs2_s * 1e3,
+                t.speedup(|k| k.bcgs2_s).unwrap(),
+                t.speedup(|k| k.dot_s).unwrap(),
+                t.speedup(|k| k.axpy_s).unwrap(),
+            );
+            // The acceptance criteria this artifact exists to witness:
+            // SIMD must not lose to scalar on the two headline kernels.
+            for (name, speedup) in [
+                ("fused TripleProd", t.speedup(|k| k.fused_s).unwrap()),
+                ("bcgs2", t.speedup(|k| k.bcgs2_s).unwrap()),
+            ] {
+                if speedup < 1.0 {
+                    losses += 1;
+                    eprintln!(
+                        "bench-baseline: WARNING: simd {name} lost to \
+                         scalar on {} ({speedup:.2}x)",
+                        t.label,
+                    );
+                }
+            }
+        }
+        if losses > 0 && gate.is_some() {
+            eprintln!(
+                "bench-baseline: {losses} backend shoot-out loss(es); \
+                 the SIMD backend must not lose to scalar"
+            );
+            exit(3);
+        }
+    }
+
     let doc = format!(
         "{{\n  \"schema\": \"parhde-bench-baseline\",\n  \"version\": 1,\n  \
-         \"threads\": {},\n  \"bfs_mode_timings\": [{}],\n  \
+         \"threads\": {},\n  \"cpu\": \"{}\",\n  \
+         \"bfs_mode_timings\": [{}],\n  \
          \"supervision_overhead\": [{}],\n  \
          \"linalg_timings\": [{}],\n  \
+         \"backend_timings\": [{}],\n  \
          \"runs\": [{}]\n}}\n",
         rayon::current_num_threads(),
+        escape(parhde_linalg::backend::cpu_features()),
         timings.iter().map(ModeTiming::to_json).collect::<Vec<_>>().join(","),
         overheads.iter().map(OverheadTiming::to_json).collect::<Vec<_>>().join(","),
         linalgs.iter().map(LinalgTiming::to_json).collect::<Vec<_>>().join(","),
+        backends.iter().map(BackendTiming::to_json).collect::<Vec<_>>().join(","),
         embedded.join(","),
     );
     if let Err(e) = std::fs::write(&out, doc) {

@@ -25,6 +25,11 @@
 //!   --linalg-mode <mode>   fused|staged — TripleProd execution (default
 //!                          fused: one-pass Sᵀ·L·S; staged: SpMM then GEMM;
 //!                          bit-identical layouts either way)
+//!   --backend <be>         auto|scalar|simd — compute backend for the dense
+//!                          kernels (default auto: SIMD when the CPU supports
+//!                          AVX2+FMA, scalar otherwise; simd on an unsupported
+//!                          CPU is a typed error, exit 12). $PARHDE_BACKEND
+//!                          supplies the value when the flag is absent.
 //!   --plain-ortho          plain orthogonalization (eigen-projection)
 //!   --seed <u64>           PRNG seed (default 0x9a7de)
 //!   --size <px>            image width/height (default 1000)
@@ -58,7 +63,9 @@
 //! percentages in the Chrome trace match it because both views are fed by
 //! the same `PhaseSpan` intervals.
 
-use parhde::config::{BfsMode, LinalgMode, OrthoMethod, ParHdeConfig, PivotStrategy};
+use parhde::config::{
+    BfsMode, LinalgBackend, LinalgMode, OrthoMethod, ParHdeConfig, PivotStrategy,
+};
 use parhde::multilevel::{multilevel_hde, MultilevelConfig};
 use parhde::phde::PhdeConfig;
 use parhde::{
@@ -164,7 +171,8 @@ impl Emitter {
 
     /// Typed pipeline failure: diagnose with the phase, flush, exit with
     /// the error's distinct code (3 = I/O, 4 = parse, 5 = config, 6 =
-    /// disconnected, 7 = degenerate subspace, 8 = non-finite, 70 = bug).
+    /// disconnected, 7 = degenerate subspace, 8 = non-finite, 12 = backend
+    /// unavailable, 70 = bug).
     fn fail_typed(&mut self, context: &str, e: &HdeError) -> ! {
         let msg = match e.phase() {
             Some(phase) => format!("{context} (phase {phase}): {e}"),
@@ -194,6 +202,9 @@ fn absorb_stats(em: &mut Emitter, stats: &HdeStats) {
     }
     if let Some(mode) = stats.linalg_mode {
         em.report.config.push(("linalg_mode_executed".into(), mode.into()));
+    }
+    if let Some(be) = stats.backend_executed {
+        em.report.config.push(("backend_executed".into(), be.into()));
     }
 }
 
@@ -330,6 +341,7 @@ fn run() {
     let mut bfs_mode = BfsMode::Auto;
     let mut ortho = OrthoMethod::Mgs;
     let mut linalg_mode = LinalgMode::Fused;
+    let mut backend: Option<LinalgBackend> = None;
     let mut d_orthogonalize = true;
     let mut seed = 0x9a_7deu64;
     let mut size = 1000u32;
@@ -371,6 +383,7 @@ fn run() {
             "--ortho" => ortho = parsed!("--ortho"),
             "--cgs" => ortho = OrthoMethod::Cgs,
             "--linalg-mode" => linalg_mode = parsed!("--linalg-mode"),
+            "--backend" => backend = Some(parsed!("--backend")),
             "--plain-ortho" => d_orthogonalize = false,
             "--seed" => seed = parsed!("--seed"),
             "--size" => size = parsed!("--size"),
@@ -409,6 +422,19 @@ fn run() {
             }
         }
     }
+    // Environment fallback: PARHDE_BACKEND selects the compute backend when
+    // --backend was not given (the flag wins). A bad value is a usage error
+    // here, not a silent auto-fallback.
+    let backend = match backend {
+        Some(b) => b,
+        None => match std::env::var("PARHDE_BACKEND") {
+            Ok(v) if !v.trim().is_empty() => match v.trim().parse() {
+                Ok(b) => b,
+                Err(e) => em.fail(2, &format!("bad PARHDE_BACKEND: {e}")),
+            },
+            _ => LinalgBackend::Auto,
+        },
+    };
     if em.active() {
         em.session = Some(TraceSession::begin());
     }
@@ -421,6 +447,7 @@ fn run() {
         ("bfs_mode".into(), format!("{bfs_mode:?}")),
         ("ortho".into(), format!("{ortho:?}")),
         ("linalg_mode".into(), linalg_mode.label().into()),
+        ("backend".into(), backend.label().into()),
         ("d_orthogonalize".into(), d_orthogonalize.to_string()),
         ("seed".into(), seed.to_string()),
     ];
@@ -487,10 +514,23 @@ fn run() {
         bfs_mode,
         ortho,
         linalg_mode,
+        backend,
         d_orthogonalize,
         seed,
         ..ParHdeConfig::default()
     };
+
+    // Install the backend eagerly so a forced-but-unsupported `simd` fails
+    // with its typed error (exit 12) on every algo path, including the
+    // panicking multilevel pipeline.
+    match parhde_linalg::backend::install(backend) {
+        Ok(executed) => {
+            if backend != LinalgBackend::Auto || executed != "scalar" {
+                eprintln!("backend: {executed} (requested {})", backend.label());
+            }
+        }
+        Err(e) => em.fail_typed("backend selection failed", &HdeError::from(e)),
+    }
 
     // Lay out (fail-soft: typed errors exit with distinct codes, absorbed
     // degradations are reported as warnings and land in the JSON report).

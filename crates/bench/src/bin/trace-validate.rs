@@ -17,8 +17,59 @@
 //! each `--prometheus` file a well-formed Prometheus text exposition (as
 //! served by the daemon's `STATS` verb); each `--metrics-ndjson` file a
 //! `parhde-metrics-ndjson` v1 registry snapshot.
+//!
+//! `--report` additionally cross-checks the compute backend: when the
+//! report carries a `backend_executed` config pair and any
+//! `linalg.backend.*` element counters, every counted element must be
+//! attributed to the executed backend — a silent scalar fallback inside
+//! an `auto` run (or any disagreement between what the run claims and
+//! what the kernels actually dispatched) fails validation.
 
 use std::process::exit;
+
+/// `--report` checker: schema validation plus the backend cross-check
+/// described in the module docs.
+fn check_report(text: &str) -> Result<(), String> {
+    parhde_trace::RunReport::validate(text)?;
+    let report = parhde_trace::RunReport::from_json(text)?;
+    let Some((_, executed)) =
+        report.config.iter().find(|(k, _)| k == "backend_executed")
+    else {
+        return Ok(());
+    };
+    let total = |be: &str| -> u64 {
+        let prefix = format!("linalg.backend.{be}.");
+        report
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let (scalar, simd) = (total("scalar"), total("simd"));
+    if scalar + simd == 0 {
+        // No kernel work traced: a degraded/trivial run, or counters off.
+        return Ok(());
+    }
+    let (executed_total, other_name, other_total) = match executed.as_str() {
+        "simd" => (simd, "scalar", scalar),
+        _ => (scalar, "simd", simd),
+    };
+    if other_total != 0 {
+        return Err(format!(
+            "backend mismatch: backend_executed = {executed:?} but \
+             {other_total} element(s) were counted under \
+             linalg.backend.{other_name}.*"
+        ));
+    }
+    if executed_total == 0 {
+        return Err(format!(
+            "backend mismatch: backend_executed = {executed:?} but no \
+             linalg.backend.{executed}.* counters were recorded"
+        ));
+    }
+    Ok(())
+}
 
 /// Adapter: the metrics-snapshot parser returns the snapshot; validation
 /// only needs the verdict.
@@ -52,7 +103,7 @@ fn main() {
         let (kind, check): (&'static str, Checker) = match flag {
             "--chrome" => ("chrome", parhde_trace::chrome::validate),
             "--ndjson" => ("ndjson", parhde_trace::ndjson::validate),
-            "--report" => ("report", parhde_trace::RunReport::validate),
+            "--report" => ("report", check_report),
             "--prometheus" => {
                 ("prometheus", parhde_trace::registry::validate_prometheus)
             }

@@ -158,6 +158,11 @@ pub fn config_fingerprint(cfg: &ParHdeConfig) -> u64 {
     // TripleProd are bit-identical (tested), so resuming a staged
     // checkpoint under the fused kernels (or vice versa) yields exactly
     // the layout an uninterrupted run would.
+    // `cfg.backend` is likewise NOT hashed: the scalar and SIMD kernels
+    // are bit-identical where the accumulation order permits, and the
+    // dot-family tolerance never changes a kept/dropped decision — a
+    // checkpoint written under one backend resumes byte-identically under
+    // the other (tested in tests/tests/backend_equiv.rs).
     h.update(&[u8::from(cfg.d_orthogonalize)]);
     h.update(&cfg.seed.to_le_bytes());
     h.update(&cfg.drop_tolerance.to_bits().to_le_bytes());

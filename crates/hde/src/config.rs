@@ -130,6 +130,28 @@ impl std::str::FromStr for LinalgMode {
     }
 }
 
+/// Which compute backend serves the linalg hot kernels (`auto` resolves by
+/// CPU-feature detection at install time). Re-exported from
+/// [`parhde_linalg::backend`]: the knob is process-wide — the pipelines
+/// install it once per run, before the first kernel call. Like
+/// [`LinalgMode`] it is a performance knob excluded from the checkpoint
+/// config fingerprint: the exact-class kernels are bit-identical across
+/// backends and the dot-family tolerance (≤1e-13·‖x‖‖y‖) never changes a
+/// kept/dropped/reorth decision (tested), so resuming a checkpoint under a
+/// different backend is legitimate.
+pub use parhde_linalg::backend::Choice as LinalgBackend;
+
+/// Installs the configured compute backend process-wide (every pipeline
+/// entry point calls this before its first kernel call) and returns the
+/// *executed* backend's label for [`crate::HdeStats::backend_executed`].
+///
+/// # Errors
+/// [`HdeError::BackendUnavailable`] when `simd` is forced on a CPU without
+/// the required features — a typed error, never a panic.
+pub(crate) fn install_backend(choice: LinalgBackend) -> Result<&'static str, HdeError> {
+    parhde_linalg::backend::install(choice).map_err(HdeError::from)
+}
+
 /// Configuration of a ParHDE run.
 #[derive(Clone, Debug)]
 pub struct ParHdeConfig {
@@ -146,6 +168,10 @@ pub struct ParHdeConfig {
     /// TripleProd execution mode (fused one-pass vs staged SpMM + GEMM);
     /// bit-identical results either way.
     pub linalg_mode: LinalgMode,
+    /// Compute backend for the linalg hot kernels (scalar reference vs
+    /// explicit SIMD; `auto` picks by CPU detection). Forcing `simd` on a
+    /// CPU without AVX2+FMA is rejected with a typed error at validation.
+    pub backend: LinalgBackend,
     /// `true` (default) for D-orthogonalization — approximating the
     /// generalized eigenproblem `Lx = μDx` (degree-normalized vectors).
     /// `false` for plain orthogonalization — approximating the Laplacian
@@ -174,6 +200,7 @@ impl Default for ParHdeConfig {
             bfs_mode: BfsMode::Auto,
             ortho: OrthoMethod::Mgs,
             linalg_mode: LinalgMode::Fused,
+            backend: LinalgBackend::Auto,
             d_orthogonalize: true,
             seed: 0x9a_7de,
             drop_tolerance: 1e-3,
@@ -269,6 +296,16 @@ mod tests {
         assert_eq!(LinalgMode::Fused.label(), "fused");
         assert_eq!(LinalgMode::Staged.label(), "staged");
         assert!("blocked".parse::<LinalgMode>().is_err());
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!("auto".parse(), Ok(LinalgBackend::Auto));
+        assert_eq!("scalar".parse(), Ok(LinalgBackend::Scalar));
+        assert_eq!("simd".parse(), Ok(LinalgBackend::Simd));
+        assert_eq!(LinalgBackend::default(), LinalgBackend::Auto);
+        assert_eq!(ParHdeConfig::default().backend, LinalgBackend::Auto);
+        assert!("gpu".parse::<LinalgBackend>().is_err());
     }
 
     #[test]

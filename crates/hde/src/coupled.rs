@@ -49,7 +49,16 @@ pub fn par_hde_coupled(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     );
     let s = cfg.subspace;
     let _root = parhde_trace::span!("parhde_coupled");
-    let mut stats = HdeStats { s_requested: s, ..HdeStats::default() };
+    let backend_executed = match crate::config::install_backend(cfg.backend) {
+        Ok(label) => label,
+        Err(e) => panic!("{e}"),
+    };
+    let mut stats = HdeStats {
+        s_requested: s,
+        backend: Some(cfg.backend.label()),
+        backend_executed: Some(backend_executed),
+        ..HdeStats::default()
+    };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     let ph = PhaseSpan::begin(phase::INIT);

@@ -82,6 +82,13 @@ pub enum HdeError {
     /// A checkpoint file is unusable for this run: wrong magic/version,
     /// corrupt payload, or written for a different graph/configuration.
     CheckpointMismatch(String),
+    /// A forced compute backend (`--backend simd`) cannot run on this CPU.
+    BackendUnavailable {
+        /// The backend the caller demanded (e.g. `"simd"`).
+        requested: &'static str,
+        /// Why it cannot be selected here.
+        reason: String,
+    },
     /// An internal invariant failed — a bug, not a user error.
     Internal(String),
 }
@@ -122,6 +129,9 @@ impl std::fmt::Display for HdeError {
                 write!(f, "run cancelled during phase {phase}")
             }
             Self::CheckpointMismatch(m) => write!(f, "unusable checkpoint: {m}"),
+            Self::BackendUnavailable { requested, reason } => {
+                write!(f, "compute backend {requested:?} unavailable: {reason}")
+            }
             Self::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }
@@ -143,6 +153,7 @@ impl HdeError {
             Self::DeadlineExceeded { .. } => 9,
             Self::MemoryBudgetExceeded { .. } => 10,
             Self::CheckpointMismatch(_) => 11,
+            Self::BackendUnavailable { .. } => 12,
             Self::Cancelled { .. } => 130, // 128 + SIGINT, the shell convention
             Self::Internal(_) => 70,       // EX_SOFTWARE
         }
@@ -193,6 +204,9 @@ impl From<LinalgError> for HdeError {
         match e {
             LinalgError::NonFinite { phase, column, row } => {
                 Self::NonFiniteValue { phase, column, row }
+            }
+            LinalgError::BackendUnavailable { requested, reason } => {
+                Self::BackendUnavailable { requested, reason }
             }
             // Shape/symmetry violations inside the pipeline mean we built a
             // bad matrix ourselves — surface as a bug, not a user error.
@@ -394,6 +408,7 @@ mod tests {
             HdeError::DeadlineExceeded { phase: "bfs" },
             HdeError::MemoryBudgetExceeded { needed_bytes: 2, budget_bytes: 1 },
             HdeError::CheckpointMismatch("x".into()),
+            HdeError::BackendUnavailable { requested: "simd", reason: "x".into() },
             HdeError::Cancelled { phase: "gemm" },
             HdeError::Internal("x".into()),
         ];

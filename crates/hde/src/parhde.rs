@@ -208,11 +208,14 @@ pub fn try_par_hde_resume(
     }
     cfg.validate(n)?;
     ckpt.validate_for(g, &cfg, p)?;
+    let backend_executed = crate::config::install_backend(cfg.backend)?;
     parhde_trace::counter!("supervisor.checkpoint.resume", 1);
     let mut stats = HdeStats {
         s_requested,
         sources: ckpt.sources.clone(),
         bfs_mode: Some("resumed"),
+        backend: Some(cfg.backend.label()),
+        backend_executed: Some(backend_executed),
         ..HdeStats::default()
     };
     let coords = pipeline_from_b(g, &cfg, p, &ckpt.b, &mut stats)?;
@@ -275,6 +278,7 @@ fn run_nd(
         }
     }
     cfg.validate(n)?;
+    let backend_executed = crate::config::install_backend(cfg.backend)?;
 
     let max_attempts = match mode {
         Mode::Strict => 1,
@@ -282,7 +286,12 @@ fn run_nd(
     };
     for attempt in 0..max_attempts {
         let seed = if attempt == 0 { cfg.seed } else { reseed(cfg.seed, attempt) };
-        let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+        let mut stats = HdeStats {
+            s_requested,
+            backend: Some(cfg.backend.label()),
+            backend_executed: Some(backend_executed),
+            ..HdeStats::default()
+        };
         match pipeline_once(g, &cfg, p, seed, ckpt, &mut stats) {
             Ok(coords) => {
                 stats.warnings = warnings;

@@ -36,6 +36,9 @@ pub struct PhdeConfig {
     /// MatMul execution mode: SYRK self-product vs staged `at_b(c, c)`
     /// (bit-identical results either way).
     pub linalg_mode: LinalgMode,
+    /// Compute backend for the linalg hot kernels (see
+    /// [`crate::config::LinalgBackend`]).
+    pub backend: crate::config::LinalgBackend,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -47,6 +50,7 @@ impl Default for PhdeConfig {
             pivots: PivotStrategy::KCenters,
             bfs_mode: BfsMode::Auto,
             linalg_mode: LinalgMode::Fused,
+            backend: crate::config::LinalgBackend::Auto,
             seed: 0x9a_7de,
         }
     }
@@ -59,6 +63,7 @@ impl From<&ParHdeConfig> for PhdeConfig {
             pivots: c.pivots,
             bfs_mode: c.bfs_mode,
             linalg_mode: c.linalg_mode,
+            backend: c.backend,
             seed: c.seed,
         }
     }
@@ -151,7 +156,13 @@ fn run_phde(
             cfg.subspace
         )));
     }
-    let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+    let backend_executed = crate::config::install_backend(cfg.backend)?;
+    let mut stats = HdeStats {
+        s_requested,
+        backend: Some(cfg.backend.label()),
+        backend_executed: Some(backend_executed),
+        ..HdeStats::default()
+    };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // BFS phase (shared with ParHDE).

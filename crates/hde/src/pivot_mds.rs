@@ -110,7 +110,13 @@ fn run_pivot_mds(
             cfg.subspace
         )));
     }
-    let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+    let backend_executed = crate::config::install_backend(cfg.backend)?;
+    let mut stats = HdeStats {
+        s_requested,
+        backend: Some(cfg.backend.label()),
+        backend_executed: Some(backend_executed),
+        ..HdeStats::default()
+    };
     let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
 
     // BFS phase (shared).

@@ -181,6 +181,13 @@ pub struct HdeStats {
     /// The TripleProd execution mode (`"fused"` or `"staged"`); `None`
     /// when the pipeline has no TripleProd-shaped phase.
     pub linalg_mode: Option<&'static str>,
+    /// The compute-backend knob the run was configured with (`"auto"`,
+    /// `"scalar"` or `"simd"`); `None` when the pipeline never installed
+    /// one.
+    pub backend: Option<&'static str>,
+    /// The backend that actually served the kernels after `auto`
+    /// resolution (`"scalar"` or `"simd"`); `None` when none was installed.
+    pub backend_executed: Option<&'static str>,
     /// Degradations the fail-soft pipeline absorbed (empty on a clean run;
     /// always empty for the strict/panicking entry points).
     pub warnings: Vec<crate::Warning>,

@@ -90,8 +90,8 @@ fn poll_memory() {
 /// Counts the CSR graph itself (offsets + adjacency), the `n×s` distance
 /// matrix `B`, the `n×(s+1)` basis `S`, the TripleProd working set (under
 /// [`LinalgMode::Staged`] the materialized `L·S` product plus the SpMM's
-/// collected row-block partials — peak 2×`n×(s+1)`; under
-/// [`LinalgMode::Fused`] just the packed row-major copy of `S`), the
+/// collected row-block partials plus the packed row-major copy of `S` —
+/// peak 3×`n×(s+1)`; under [`LinalgMode::Fused`] just the pack), the
 /// degree vector, per-mode BFS scratch (bit-lane rows for
 /// [`BfsMode::Batched`], a distance buffer otherwise), the small `s×s`
 /// matrices, and the output coordinates. Deliberately a slight
@@ -115,8 +115,9 @@ pub fn estimate_run_bytes(
     let smat = n * (s + 1) * F;
     let prod = match linalg {
         // laplacian_spmm collects per-block partials and then assembles
-        // the output, so two `S`-shaped buffers coexist at peak.
-        LinalgMode::Staged => 2 * n * (s + 1) * F,
+        // the output, and reads `S` through a packed row-major copy, so
+        // three `S`-shaped buffers coexist at peak.
+        LinalgMode::Staged => 3 * n * (s + 1) * F,
         // The fused kernel never materializes `L·S`; its only n-sized
         // allocation is the packed row-major copy of `S`.
         LinalgMode::Fused => n * (s + 1) * F,
@@ -454,8 +455,10 @@ mod tests {
             estimate_run_bytes(100_000, 400_000, 50, 2, BfsMode::Auto, LinalgMode::Fused);
         let staged =
             estimate_run_bytes(100_000, 400_000, 50, 2, BfsMode::Auto, LinalgMode::Staged);
-        // Exactly one S-shaped buffer of difference.
-        assert_eq!(staged - fused, 100_000 * 51 * 8);
+        // Two S-shaped buffers of difference: the materialized product's
+        // partials and its assembled output (both paths share the packed
+        // row-major copy of `S`).
+        assert_eq!(staged - fused, 2 * 100_000 * 51 * 8);
     }
 
     #[test]

@@ -201,10 +201,16 @@ fn run_weighted(
         WeightSemantics::Raw => (g.clone(), g.clone()),
     };
 
+    let backend_executed = crate::config::install_backend(cfg.backend)?;
     let max_attempts = if failsoft { 1 + MAX_REPIVOT_RETRIES } else { 1 };
     for attempt in 0..max_attempts {
         let seed = if attempt == 0 { cfg.seed } else { reseed(cfg.seed, attempt) };
-        let mut stats = HdeStats { s_requested, ..HdeStats::default() };
+        let mut stats = HdeStats {
+            s_requested,
+            backend: Some(cfg.backend.label()),
+            backend_executed: Some(backend_executed),
+            ..HdeStats::default()
+        };
         match weighted_pipeline_once(&lengths, &sims, &cfg, delta, seed, &mut stats) {
             Ok(layout) => {
                 stats.warnings = warnings;

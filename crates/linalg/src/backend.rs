@@ -1,0 +1,1285 @@
+//! Pluggable compute backends for the hot kernels.
+//!
+//! Every floating-point inner loop the profiler ever ranked — the shared
+//! 4×4 register-tile microkernel ([`crate::gemm`], [`crate::syrk`],
+//! [`crate::fused`]), the SpMM/fused row accumulations, the BCGS2 block
+//! projections ([`crate::ortho`]), and the BLAS-1 primitives
+//! ([`crate::blas1`]) — runs behind the [`Kernels`] trait. Two
+//! implementations exist:
+//!
+//! * [`ScalarKernels`] — the pre-backend scalar loops, moved here verbatim.
+//!   This is the *reference implementation*: every exactness claim below is
+//!   stated against it.
+//! * [`SimdKernels`] — explicit f64×4 vectors via `std::arch` AVX2/FMA
+//!   intrinsics, compiled only on `x86_64` and selected at runtime by CPU
+//!   feature detection (`avx2` **and** `fma`). On other architectures the
+//!   type still exists (so the knob surface is portable) but
+//!   [`install`]ing it reports [`LinalgError::BackendUnavailable`].
+//!
+//! ## Exactness contract
+//!
+//! The SIMD kernels are **bit-identical** to scalar wherever the scalar
+//! accumulation order maps onto vector lanes without reassociation:
+//!
+//! | kernel                         | SIMD vs scalar                        |
+//! |--------------------------------|---------------------------------------|
+//! | `tile_4x4` (GEMM/SYRK/fused)   | bit-exact: lanes = the 16 chains      |
+//! | `row_scale`/`row_sub`/`row_sub_scaled` (SpMM rows) | bit-exact: elementwise |
+//! | `axpy_chunk`, `scale_chunk`    | bit-exact: elementwise mul+add        |
+//! | `dot_chunk`, `dot_weighted_chunk`, `sum_chunk` | ≤1e-13·‖x‖‖y‖ (lane reassociation + FMA) |
+//! | `ortho_dot` (BCGS2 pass 1)     | ≤1e-13·‖x‖‖y‖ (FMA contraction)       |
+//!
+//! Bit-exact kernels deliberately use separate multiply and add
+//! instructions — an FMA single-rounds `a·b + c` and would change the low
+//! bits of every chain. The dot-product family cannot be vectorized
+//! without widening the scalar summation chain into independent lanes, so
+//! it carries a documented tolerance instead; the decisions derived from
+//! those dots (BCGS2's energy criterion, the kept/dropped column verdicts)
+//! are required by the equivalence suite to be identical across backends.
+//!
+//! ## Dispatch
+//!
+//! The active backend is a process-wide knob: [`install`] pins it
+//! (`auto` resolves by feature detection), and before the first `install`
+//! the `PARHDE_BACKEND` environment variable is consulted once, falling
+//! back to `auto`. Dispatch happens at kernel-call granularity (one
+//! virtual call per row block / panel / vector chunk), so its cost is
+//! noise against the loops it guards.
+//!
+//! Each public kernel reports the elements it processed to a per-backend
+//! trace counter (`linalg.backend.<backend>.<family>`), which is what lets
+//! `trace-validate` prove which backend actually served a run — a silent
+//! scalar fallback inside an `auto` run shows up as scalar counters in a
+//! report whose config claims `simd`.
+
+use crate::error::LinalgError;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which backend the caller asks for; `Auto` resolves by CPU detection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Choice {
+    /// Pick SIMD when the CPU supports it, scalar otherwise (default).
+    #[default]
+    Auto,
+    /// Force the scalar reference kernels.
+    Scalar,
+    /// Force the explicit-SIMD kernels; [`install`] fails with a typed
+    /// error when the CPU lacks AVX2+FMA.
+    Simd,
+}
+
+impl Choice {
+    /// Stable lowercase label for reports and error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            Choice::Auto => "auto",
+            Choice::Scalar => "scalar",
+            Choice::Simd => "simd",
+        }
+    }
+}
+
+impl std::str::FromStr for Choice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Choice::Auto),
+            "scalar" => Ok(Choice::Scalar),
+            "simd" => Ok(Choice::Simd),
+            other => Err(format!(
+                "unknown backend {other:?} (expected auto, scalar or simd)"
+            )),
+        }
+    }
+}
+
+/// The hot-kernel surface a backend must provide. Methods operate on the
+/// *chunk* level — callers own parallel decomposition, chain boundaries and
+/// edge-tile handling, so every backend sees identical work shapes.
+pub trait Kernels: Sync + Send {
+    /// Stable lowercase backend name (`"scalar"` / `"simd"`).
+    fn name(&self) -> &'static str;
+
+    /// The full-tile microkernel: extends the 16 accumulator chains
+    /// `acc[jj·4 + ii] += Σ_{r<len} a[ii][r] · b[bi + r·b_rs + jj·b_cs]`
+    /// in ascending-`r` order. Each `acc` entry is one *independent*
+    /// summation chain (the bit-reproducibility contract of
+    /// `gemm::accumulate_block`); implementations must extend each chain
+    /// with one rounding per multiply and one per add — no FMA, no
+    /// cross-chain reassociation — so the result is bit-identical across
+    /// backends.
+    #[allow(clippy::too_many_arguments)] // mirrors the microkernel ABI
+    fn tile_4x4(
+        &self,
+        acc: &mut [f64; 16],
+        a: [&[f64]; 4],
+        b: &[f64],
+        bi: usize,
+        b_rs: usize,
+        b_cs: usize,
+        len: usize,
+    );
+
+    /// Dot product of one chunk, `Σ x_i·y_i`. Tolerance-class: the scalar
+    /// reference is a single left-to-right chain, SIMD uses independent
+    /// lanes + FMA.
+    fn dot_chunk(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// Weighted dot of one chunk, `Σ x_i·d_i·y_i`. Tolerance-class.
+    fn dot_weighted_chunk(&self, x: &[f64], d: &[f64], y: &[f64]) -> f64;
+
+    /// Sum of one chunk. Tolerance-class.
+    fn sum_chunk(&self, x: &[f64]) -> f64;
+
+    /// `y ← y + α·x` over one chunk. Bit-exact (elementwise mul then add).
+    fn axpy_chunk(&self, alpha: f64, x: &[f64], y: &mut [f64]);
+
+    /// `x ← α·x` over one chunk. Bit-exact.
+    fn scale_chunk(&self, alpha: f64, x: &mut [f64]);
+
+    /// SpMM/fused row op: `out[c] = α·src[c]` (the `deg(v)·S[v,·]` diagonal
+    /// term). Bit-exact.
+    fn row_scale(&self, out: &mut [f64], alpha: f64, src: &[f64]);
+
+    /// SpMM/fused row op: `out[c] -= src[c]` (one unweighted neighbor row).
+    /// Bit-exact.
+    fn row_sub(&self, out: &mut [f64], src: &[f64]);
+
+    /// SpMM/fused/BCGS2 op: `out[c] -= α·src[c]` (weighted neighbor row;
+    /// BCGS2 pass-2 rank-update column). Bit-exact (mul then sub).
+    fn row_sub_scaled(&self, out: &mut [f64], alpha: f64, src: &[f64]);
+
+    /// Fused/SpMM whole-row assembly: `out[c] = α·src[c] − Σ_u pack[u·k+c]`
+    /// with `k = out.len()` and the neighbor sum folded in slice order.
+    /// Per element this is exactly [`Kernels::row_scale`] followed by one
+    /// [`Kernels::row_sub`] per neighbor — the default body — so it is
+    /// bit-exact across backends; SIMD implementations may keep `out`
+    /// register-resident across neighbors (each element's operation chain
+    /// is unchanged: scale, then neighbors in order).
+    fn laplacian_row(
+        &self,
+        out: &mut [f64],
+        alpha: f64,
+        src: &[f64],
+        pack: &[f64],
+        neighbors: &[u32],
+    ) {
+        let k = out.len();
+        self.row_scale(out, alpha, src);
+        for &u in neighbors {
+            self.row_sub(out, &pack[u as usize * k..(u as usize + 1) * k]);
+        }
+    }
+
+    /// BCGS2 pass-2 whole-row rank update:
+    /// `out[c] -= Σ_i coeffs[i] · pack[bases[i] + c]`, pairs folded in
+    /// slice order. Per element this is exactly one
+    /// [`Kernels::row_sub_scaled`] per `(coeff, base)` pair — the default
+    /// body — so it is bit-exact across backends; SIMD implementations may
+    /// keep `out` register-resident across the kept prefix (each element's
+    /// mul-then-sub chain is unchanged: pairs in order, two roundings per
+    /// pair). Callers decide any zero-coefficient skipping *before* the
+    /// call so both backends see the same pair list.
+    fn rank_update_row(
+        &self,
+        out: &mut [f64],
+        coeffs: &[f64],
+        pack: &[f64],
+        bases: &[usize],
+    ) {
+        let k = out.len();
+        for (&c, &b) in coeffs.iter().zip(bases) {
+            self.row_sub_scaled(out, c, &pack[b..b + k]);
+        }
+    }
+
+    /// BCGS2 pass-1 projection dot over one chunk. The scalar reference is
+    /// the historical 4-lane accumulator loop of `ortho::block_project`;
+    /// SIMD widens the lanes and uses FMA — tolerance-class, with the
+    /// requirement that the energy-criterion and kept/dropped decisions
+    /// derived from it stay identical (asserted by the equivalence suite).
+    fn ortho_dot(&self, x: &[f64], y: &[f64]) -> f64;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend
+// ---------------------------------------------------------------------------
+
+/// The pre-backend scalar loops, verbatim — the reference every SIMD
+/// exactness/tolerance claim is tested against.
+pub struct ScalarKernels;
+
+impl Kernels for ScalarKernels {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn tile_4x4(
+        &self,
+        acc: &mut [f64; 16],
+        a: [&[f64]; 4],
+        b: &[f64],
+        bi: usize,
+        b_rs: usize,
+        b_cs: usize,
+        len: usize,
+    ) {
+        #[allow(clippy::needless_range_loop)] // rr indexes four rows + strided b
+        for rr in 0..len {
+            let av = [a[0][rr], a[1][rr], a[2][rr], a[3][rr]];
+            let base = bi + rr * b_rs;
+            let bv = [b[base], b[base + b_cs], b[base + 2 * b_cs], b[base + 3 * b_cs]];
+            for (jj, &bvj) in bv.iter().enumerate() {
+                for (ii, &avi) in av.iter().enumerate() {
+                    acc[jj * 4 + ii] += avi * bvj;
+                }
+            }
+        }
+    }
+
+    fn dot_chunk(&self, x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    fn dot_weighted_chunk(&self, x: &[f64], d: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(d).zip(y).map(|((a, w), b)| a * w * b).sum()
+    }
+
+    fn sum_chunk(&self, x: &[f64]) -> f64 {
+        x.iter().sum()
+    }
+
+    fn axpy_chunk(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    fn scale_chunk(&self, alpha: f64, x: &mut [f64]) {
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    }
+
+    fn row_scale(&self, out: &mut [f64], alpha: f64, src: &[f64]) {
+        for (o, &s) in out.iter_mut().zip(src) {
+            *o = alpha * s;
+        }
+    }
+
+    fn row_sub(&self, out: &mut [f64], src: &[f64]) {
+        for (o, &s) in out.iter_mut().zip(src) {
+            *o -= s;
+        }
+    }
+
+    fn row_sub_scaled(&self, out: &mut [f64], alpha: f64, src: &[f64]) {
+        for (o, &s) in out.iter_mut().zip(src) {
+            *o -= alpha * s;
+        }
+    }
+
+    fn ortho_dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        // Four independent accumulator lanes break the serial add
+        // dependency (fixed lane assignment ⇒ the summation order is
+        // still schedule-independent) — the historical `block_project`
+        // pass-1 loop.
+        let mut acc = [0.0f64; 4];
+        for (ca, pa) in x.chunks_exact(4).zip(y.chunks_exact(4)) {
+            acc[0] += ca[0] * pa[0];
+            acc[1] += ca[1] * pa[1];
+            acc[2] += ca[2] * pa[2];
+            acc[3] += ca[3] * pa[3];
+        }
+        let mut tail = 0.0;
+        for (&a, &b) in x
+            .chunks_exact(4)
+            .remainder()
+            .iter()
+            .zip(y.chunks_exact(4).remainder())
+        {
+            tail += a * b;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-SIMD backend (x86_64 AVX2 + FMA)
+// ---------------------------------------------------------------------------
+
+/// Explicit f64×4 kernels. Installable only when the running CPU reports
+/// `avx2` and `fma`; the safe wrappers assert slice bounds before entering
+/// the `target_feature` functions.
+pub struct SimdKernels;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The `unsafe` intrinsic bodies. Every function is only reachable
+    //! through [`super::SimdKernels`], which is only installable after
+    //! `is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")`
+    //! — the safety requirement of `#[target_feature]`. Callers assert all
+    //! slice-length preconditions before the call; the bodies use raw
+    //! pointers so the hot loops carry no bounds checks.
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum in the fixed order `(l0+l1) + (l2+l3)` — the same
+    /// combination the scalar 4-lane reference uses.
+    #[inline]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let mut l = [0.0f64; 4];
+        _mm256_storeu_pd(l.as_mut_ptr(), v);
+        (l[0] + l[1]) + (l[2] + l[3])
+    }
+
+    /// FMA multi-lane dot product (tolerance-class).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut v0 = _mm256_setzero_pd();
+        let mut v1 = _mm256_setzero_pd();
+        let mut v2 = _mm256_setzero_pd();
+        let mut v3 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            v0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), v0);
+            v1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + 4)),
+                _mm256_loadu_pd(yp.add(i + 4)),
+                v1,
+            );
+            v2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + 8)),
+                _mm256_loadu_pd(yp.add(i + 8)),
+                v2,
+            );
+            v3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + 12)),
+                _mm256_loadu_pd(yp.add(i + 12)),
+                v3,
+            );
+            i += 16;
+        }
+        while i + 4 <= n {
+            v0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), v0);
+            i += 4;
+        }
+        let mut acc = hsum(_mm256_add_pd(_mm256_add_pd(v0, v1), _mm256_add_pd(v2, v3)));
+        while i < n {
+            acc += *xp.add(i) * *yp.add(i);
+            i += 1;
+        }
+        acc
+    }
+
+    /// FMA multi-lane weighted dot `Σ x·d·y` (tolerance-class).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA and equal slice lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_weighted(x: &[f64], d: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let (xp, dp, yp) = (x.as_ptr(), d.as_ptr(), y.as_ptr());
+        let mut v0 = _mm256_setzero_pd();
+        let mut v1 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let xw0 = _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(dp.add(i)));
+            v0 = _mm256_fmadd_pd(xw0, _mm256_loadu_pd(yp.add(i)), v0);
+            let xw1 = _mm256_mul_pd(
+                _mm256_loadu_pd(xp.add(i + 4)),
+                _mm256_loadu_pd(dp.add(i + 4)),
+            );
+            v1 = _mm256_fmadd_pd(xw1, _mm256_loadu_pd(yp.add(i + 4)), v1);
+            i += 8;
+        }
+        while i + 4 <= n {
+            let xw = _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(dp.add(i)));
+            v0 = _mm256_fmadd_pd(xw, _mm256_loadu_pd(yp.add(i)), v0);
+            i += 4;
+        }
+        let mut acc = hsum(_mm256_add_pd(v0, v1));
+        while i < n {
+            acc += *xp.add(i) * *dp.add(i) * *yp.add(i);
+            i += 1;
+        }
+        acc
+    }
+
+    /// Multi-lane sum (tolerance-class).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sum(x: &[f64]) -> f64 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut v0 = _mm256_setzero_pd();
+        let mut v1 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            v0 = _mm256_add_pd(v0, _mm256_loadu_pd(xp.add(i)));
+            v1 = _mm256_add_pd(v1, _mm256_loadu_pd(xp.add(i + 4)));
+            i += 8;
+        }
+        while i + 4 <= n {
+            v0 = _mm256_add_pd(v0, _mm256_loadu_pd(xp.add(i)));
+            i += 4;
+        }
+        let mut acc = hsum(_mm256_add_pd(v0, v1));
+        while i < n {
+            acc += *xp.add(i);
+            i += 1;
+        }
+        acc
+    }
+
+    /// Bit-exact vectorized `y += α·x`: each lane performs exactly the
+    /// scalar multiply-then-add, so no FMA.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+        let va = _mm256_set1_pd(alpha);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let prod = _mm256_mul_pd(va, _mm256_loadu_pd(xp.add(i)));
+            _mm256_storeu_pd(yp.add(i), _mm256_add_pd(_mm256_loadu_pd(yp.add(i)), prod));
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Bit-exact vectorized `x ← α·x`.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale(alpha: f64, x: &mut [f64]) {
+        let n = x.len();
+        let xp = x.as_mut_ptr();
+        let va = _mm256_set1_pd(alpha);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            _mm256_storeu_pd(xp.add(i), _mm256_mul_pd(va, _mm256_loadu_pd(xp.add(i))));
+            i += 4;
+        }
+        while i < n {
+            *xp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    /// Bit-exact vectorized `out = α·src`.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA and `out.len() == src.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_scale(out: &mut [f64], alpha: f64, src: &[f64]) {
+        let n = out.len();
+        let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
+        let va = _mm256_set1_pd(alpha);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            _mm256_storeu_pd(op.add(i), _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(i))));
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) = alpha * *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Bit-exact vectorized `out -= src`.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA and `out.len() == src.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_sub(out: &mut [f64], src: &[f64]) {
+        let n = out.len();
+        let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_pd(
+                op.add(i),
+                _mm256_sub_pd(_mm256_loadu_pd(op.add(i)), _mm256_loadu_pd(sp.add(i))),
+            );
+            _mm256_storeu_pd(
+                op.add(i + 4),
+                _mm256_sub_pd(
+                    _mm256_loadu_pd(op.add(i + 4)),
+                    _mm256_loadu_pd(sp.add(i + 4)),
+                ),
+            );
+            i += 8;
+        }
+        while i + 4 <= n {
+            _mm256_storeu_pd(
+                op.add(i),
+                _mm256_sub_pd(_mm256_loadu_pd(op.add(i)), _mm256_loadu_pd(sp.add(i))),
+            );
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) -= *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Bit-exact vectorized `out -= α·src` (multiply then subtract — an
+    /// FNMADD would single-round and break bit-identity).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA and `out.len() == src.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn row_sub_scaled(out: &mut [f64], alpha: f64, src: &[f64]) {
+        let n = out.len();
+        let (op, sp) = (out.as_mut_ptr(), src.as_ptr());
+        let va = _mm256_set1_pd(alpha);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let p0 = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(i)));
+            let p1 = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(i + 4)));
+            _mm256_storeu_pd(op.add(i), _mm256_sub_pd(_mm256_loadu_pd(op.add(i)), p0));
+            _mm256_storeu_pd(
+                op.add(i + 4),
+                _mm256_sub_pd(_mm256_loadu_pd(op.add(i + 4)), p1),
+            );
+            i += 8;
+        }
+        while i + 4 <= n {
+            let prod = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(i)));
+            _mm256_storeu_pd(op.add(i), _mm256_sub_pd(_mm256_loadu_pd(op.add(i)), prod));
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) -= alpha * *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Bit-exact whole-row Laplacian assembly:
+    /// `out[j] = α·src[j] − Σ_u pack[u·k + j]`, neighbors in slice order.
+    /// The output row stays register-resident across the neighbor sweep
+    /// (one store per 16-element chunk instead of one load+store per
+    /// neighbor); each element's operation chain is the scalar one.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `out.len() == src.len() == k`; every neighbor
+    /// row `pack[u·k .. (u+1)·k]` in bounds.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn laplacian_row(
+        out: &mut [f64],
+        alpha: f64,
+        src: &[f64],
+        pack: &[f64],
+        neighbors: &[u32],
+    ) {
+        let k = out.len();
+        let (op, sp, pp) = (out.as_mut_ptr(), src.as_ptr(), pack.as_ptr());
+        let va = _mm256_set1_pd(alpha);
+        let mut j = 0usize;
+        while j + 16 <= k {
+            let mut r0 = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(j)));
+            let mut r1 = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(j + 4)));
+            let mut r2 = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(j + 8)));
+            let mut r3 = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(j + 12)));
+            for &u in neighbors {
+                let np = pp.add(u as usize * k + j);
+                r0 = _mm256_sub_pd(r0, _mm256_loadu_pd(np));
+                r1 = _mm256_sub_pd(r1, _mm256_loadu_pd(np.add(4)));
+                r2 = _mm256_sub_pd(r2, _mm256_loadu_pd(np.add(8)));
+                r3 = _mm256_sub_pd(r3, _mm256_loadu_pd(np.add(12)));
+            }
+            _mm256_storeu_pd(op.add(j), r0);
+            _mm256_storeu_pd(op.add(j + 4), r1);
+            _mm256_storeu_pd(op.add(j + 8), r2);
+            _mm256_storeu_pd(op.add(j + 12), r3);
+            j += 16;
+        }
+        while j + 4 <= k {
+            let mut r = _mm256_mul_pd(va, _mm256_loadu_pd(sp.add(j)));
+            for &u in neighbors {
+                r = _mm256_sub_pd(r, _mm256_loadu_pd(pp.add(u as usize * k + j)));
+            }
+            _mm256_storeu_pd(op.add(j), r);
+            j += 4;
+        }
+        while j < k {
+            let mut acc = alpha * *sp.add(j);
+            for &u in neighbors {
+                acc -= *pp.add(u as usize * k + j);
+            }
+            *op.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// Bit-exact whole-row rank update:
+    /// `out[j] -= Σ_i coeffs[i] · pack[bases[i] + j]`, pairs in slice
+    /// order. The output row stays register-resident across the kept
+    /// prefix (one load + one store per 16-element chunk instead of one
+    /// load+store per coefficient); each element's chain is the scalar
+    /// one — separate multiply and subtract per pair, no FNMADD.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `coeffs.len() == bases.len()`; every row
+    /// `pack[b .. b + out.len()]` in bounds.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn rank_update_row(
+        out: &mut [f64],
+        coeffs: &[f64],
+        pack: &[f64],
+        bases: &[usize],
+    ) {
+        let k = out.len();
+        let (op, pp) = (out.as_mut_ptr(), pack.as_ptr());
+        let mut j = 0usize;
+        while j + 16 <= k {
+            let mut r0 = _mm256_loadu_pd(op.add(j));
+            let mut r1 = _mm256_loadu_pd(op.add(j + 4));
+            let mut r2 = _mm256_loadu_pd(op.add(j + 8));
+            let mut r3 = _mm256_loadu_pd(op.add(j + 12));
+            for (&c, &b) in coeffs.iter().zip(bases) {
+                let vc = _mm256_set1_pd(c);
+                let sp = pp.add(b + j);
+                r0 = _mm256_sub_pd(r0, _mm256_mul_pd(vc, _mm256_loadu_pd(sp)));
+                r1 = _mm256_sub_pd(r1, _mm256_mul_pd(vc, _mm256_loadu_pd(sp.add(4))));
+                r2 = _mm256_sub_pd(r2, _mm256_mul_pd(vc, _mm256_loadu_pd(sp.add(8))));
+                r3 = _mm256_sub_pd(r3, _mm256_mul_pd(vc, _mm256_loadu_pd(sp.add(12))));
+            }
+            _mm256_storeu_pd(op.add(j), r0);
+            _mm256_storeu_pd(op.add(j + 4), r1);
+            _mm256_storeu_pd(op.add(j + 8), r2);
+            _mm256_storeu_pd(op.add(j + 12), r3);
+            j += 16;
+        }
+        while j + 4 <= k {
+            let mut r = _mm256_loadu_pd(op.add(j));
+            for (&c, &b) in coeffs.iter().zip(bases) {
+                let prod =
+                    _mm256_mul_pd(_mm256_set1_pd(c), _mm256_loadu_pd(pp.add(b + j)));
+                r = _mm256_sub_pd(r, prod);
+            }
+            _mm256_storeu_pd(op.add(j), r);
+            j += 4;
+        }
+        while j < k {
+            let mut acc = *op.add(j);
+            for (&c, &b) in coeffs.iter().zip(bases) {
+                acc -= c * *pp.add(b + j);
+            }
+            *op.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// Bit-exact full-tile microkernel: four `__m256d` accumulators, one
+    /// per output column `jj`, each lane one of the four `ii` chains.
+    /// Separate multiply and add per step reproduce the scalar chains
+    /// exactly; lanes never reassociate.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; each `a[i].len() >= len`; for `len > 0`,
+    /// `bi + (len-1)·b_rs + 3·b_cs < b.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tile_4x4(
+        acc: &mut [f64; 16],
+        a: [&[f64]; 4],
+        b: &[f64],
+        bi: usize,
+        b_rs: usize,
+        b_cs: usize,
+        len: usize,
+    ) {
+        let ap = acc.as_mut_ptr();
+        let mut c0 = _mm256_loadu_pd(ap);
+        let mut c1 = _mm256_loadu_pd(ap.add(4));
+        let mut c2 = _mm256_loadu_pd(ap.add(8));
+        let mut c3 = _mm256_loadu_pd(ap.add(12));
+        let (a0, a1, a2, a3) = (a[0].as_ptr(), a[1].as_ptr(), a[2].as_ptr(), a[3].as_ptr());
+        let bp = b.as_ptr();
+        for r in 0..len {
+            let av = _mm256_set_pd(*a3.add(r), *a2.add(r), *a1.add(r), *a0.add(r));
+            let base = bi + r * b_rs;
+            c0 = _mm256_add_pd(c0, _mm256_mul_pd(av, _mm256_set1_pd(*bp.add(base))));
+            c1 = _mm256_add_pd(c1, _mm256_mul_pd(av, _mm256_set1_pd(*bp.add(base + b_cs))));
+            c2 = _mm256_add_pd(c2, _mm256_mul_pd(av, _mm256_set1_pd(*bp.add(base + 2 * b_cs))));
+            c3 = _mm256_add_pd(c3, _mm256_mul_pd(av, _mm256_set1_pd(*bp.add(base + 3 * b_cs))));
+        }
+        _mm256_storeu_pd(ap, c0);
+        _mm256_storeu_pd(ap.add(4), c1);
+        _mm256_storeu_pd(ap.add(8), c2);
+        _mm256_storeu_pd(ap.add(12), c3);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Kernels for SimdKernels {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn tile_4x4(
+        &self,
+        acc: &mut [f64; 16],
+        a: [&[f64]; 4],
+        b: &[f64],
+        bi: usize,
+        b_rs: usize,
+        b_cs: usize,
+        len: usize,
+    ) {
+        assert!(a.iter().all(|c| c.len() >= len), "tile operand too short");
+        if len > 0 {
+            assert!(
+                bi + (len - 1) * b_rs + 3 * b_cs < b.len(),
+                "tile right operand out of bounds"
+            );
+        }
+        // SAFETY: bounds asserted above; AVX2+FMA verified at install time.
+        unsafe { avx2::tile_4x4(acc, a, b, bi, b_rs, b_cs, len) }
+    }
+
+    fn dot_chunk(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::dot(x, y) }
+    }
+
+    fn dot_weighted_chunk(&self, x: &[f64], d: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot_weighted length mismatch");
+        assert_eq!(x.len(), d.len(), "weight vector length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::dot_weighted(x, d, y) }
+    }
+
+    fn sum_chunk(&self, x: &[f64]) -> f64 {
+        // SAFETY: AVX2+FMA verified at install time.
+        unsafe { avx2::sum(x) }
+    }
+
+    fn axpy_chunk(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::axpy(alpha, x, y) }
+    }
+
+    fn scale_chunk(&self, alpha: f64, x: &mut [f64]) {
+        // SAFETY: AVX2+FMA verified at install time.
+        unsafe { avx2::scale(alpha, x) }
+    }
+
+    fn row_scale(&self, out: &mut [f64], alpha: f64, src: &[f64]) {
+        assert_eq!(out.len(), src.len(), "row length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::row_scale(out, alpha, src) }
+    }
+
+    fn row_sub(&self, out: &mut [f64], src: &[f64]) {
+        assert_eq!(out.len(), src.len(), "row length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::row_sub(out, src) }
+    }
+
+    fn row_sub_scaled(&self, out: &mut [f64], alpha: f64, src: &[f64]) {
+        assert_eq!(out.len(), src.len(), "row length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::row_sub_scaled(out, alpha, src) }
+    }
+
+    fn laplacian_row(
+        &self,
+        out: &mut [f64],
+        alpha: f64,
+        src: &[f64],
+        pack: &[f64],
+        neighbors: &[u32],
+    ) {
+        let k = out.len();
+        assert_eq!(src.len(), k, "row length mismatch");
+        if let Some(&mx) = neighbors.iter().max() {
+            assert!(
+                (mx as usize + 1) * k <= pack.len(),
+                "neighbor row out of bounds"
+            );
+        }
+        // SAFETY: bounds asserted above; AVX2+FMA verified at install time.
+        unsafe { avx2::laplacian_row(out, alpha, src, pack, neighbors) }
+    }
+
+    fn rank_update_row(
+        &self,
+        out: &mut [f64],
+        coeffs: &[f64],
+        pack: &[f64],
+        bases: &[usize],
+    ) {
+        let k = out.len();
+        assert_eq!(coeffs.len(), bases.len(), "coeff/base length mismatch");
+        for &b in bases {
+            assert!(b + k <= pack.len(), "rank-update row out of bounds");
+        }
+        // SAFETY: bounds asserted above; AVX2+FMA verified at install time.
+        unsafe { avx2::rank_update_row(out, coeffs, pack, bases) }
+    }
+
+    fn ortho_dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "ortho_dot length mismatch");
+        // SAFETY: lengths asserted; AVX2+FMA verified at install time.
+        unsafe { avx2::dot(x, y) }
+    }
+}
+
+/// Off x86_64 the SIMD backend is never installable, so these bodies are
+/// unreachable; they delegate to scalar to keep the type well-formed.
+#[cfg(not(target_arch = "x86_64"))]
+impl Kernels for SimdKernels {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+    fn tile_4x4(
+        &self,
+        acc: &mut [f64; 16],
+        a: [&[f64]; 4],
+        b: &[f64],
+        bi: usize,
+        b_rs: usize,
+        b_cs: usize,
+        len: usize,
+    ) {
+        ScalarKernels.tile_4x4(acc, a, b, bi, b_rs, b_cs, len);
+    }
+    fn dot_chunk(&self, x: &[f64], y: &[f64]) -> f64 {
+        ScalarKernels.dot_chunk(x, y)
+    }
+    fn dot_weighted_chunk(&self, x: &[f64], d: &[f64], y: &[f64]) -> f64 {
+        ScalarKernels.dot_weighted_chunk(x, d, y)
+    }
+    fn sum_chunk(&self, x: &[f64]) -> f64 {
+        ScalarKernels.sum_chunk(x)
+    }
+    fn axpy_chunk(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        ScalarKernels.axpy_chunk(alpha, x, y);
+    }
+    fn scale_chunk(&self, alpha: f64, x: &mut [f64]) {
+        ScalarKernels.scale_chunk(alpha, x);
+    }
+    fn row_scale(&self, out: &mut [f64], alpha: f64, src: &[f64]) {
+        ScalarKernels.row_scale(out, alpha, src);
+    }
+    fn row_sub(&self, out: &mut [f64], src: &[f64]) {
+        ScalarKernels.row_sub(out, src);
+    }
+    fn row_sub_scaled(&self, out: &mut [f64], alpha: f64, src: &[f64]) {
+        ScalarKernels.row_sub_scaled(out, alpha, src);
+    }
+    fn ortho_dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        ScalarKernels.ortho_dot(x, y)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch
+// ---------------------------------------------------------------------------
+
+static SCALAR: ScalarKernels = ScalarKernels;
+static SIMD: SimdKernels = SimdKernels;
+
+const ID_SCALAR: u8 = 0;
+const ID_SIMD: u8 = 1;
+const ID_UNSET: u8 = u8::MAX;
+
+/// The process-wide active backend; `ID_UNSET` until the first kernel call
+/// or [`install`] resolves it.
+static ACTIVE: AtomicU8 = AtomicU8::new(ID_UNSET);
+
+/// `true` when the running CPU can execute the explicit-SIMD kernels.
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Detected CPU features relevant to backend selection, as a stable label
+/// for reports/gauges: `"avx2+fma"`, `"baseline"` (x86 without the
+/// required extensions), or `"non-x86"`.
+pub fn cpu_features() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_supported() {
+            "avx2+fma"
+        } else {
+            "baseline"
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "non-x86"
+    }
+}
+
+/// First-touch resolution: honor a well-formed `PARHDE_BACKEND` (an
+/// unsupported forced `simd` quietly degrades to scalar here — the typed
+/// rejection belongs to [`install`], which the CLI/daemon/pipelines call),
+/// otherwise auto-detect.
+fn resolve_default() -> u8 {
+    if let Ok(v) = std::env::var("PARHDE_BACKEND") {
+        match v.as_str() {
+            "scalar" => return ID_SCALAR,
+            "simd" if simd_supported() => return ID_SIMD,
+            _ => {}
+        }
+    }
+    if simd_supported() {
+        ID_SIMD
+    } else {
+        ID_SCALAR
+    }
+}
+
+fn active_id() -> u8 {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v != ID_UNSET {
+        return v;
+    }
+    let resolved = resolve_default();
+    // Racing first-touches resolve to the same value, so last-store-wins
+    // is benign.
+    ACTIVE.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Pins the process-wide backend. Returns the *executed* backend's label
+/// (`auto` resolves to what detection picked).
+///
+/// # Errors
+/// [`LinalgError::BackendUnavailable`] when `simd` is forced on a CPU
+/// without AVX2+FMA (or off x86_64) — a typed error, never a panic.
+pub fn install(choice: Choice) -> Result<&'static str, LinalgError> {
+    let id = match choice {
+        Choice::Scalar => ID_SCALAR,
+        Choice::Simd => {
+            if !simd_supported() {
+                return Err(LinalgError::BackendUnavailable {
+                    requested: "simd",
+                    reason: format!(
+                        "CPU lacks the required features (detected: {})",
+                        cpu_features()
+                    ),
+                });
+            }
+            ID_SIMD
+        }
+        Choice::Auto => {
+            if simd_supported() {
+                ID_SIMD
+            } else {
+                ID_SCALAR
+            }
+        }
+    };
+    ACTIVE.store(id, Ordering::Relaxed);
+    Ok(if id == ID_SIMD { "simd" } else { "scalar" })
+}
+
+/// The active backend's kernel table.
+pub fn active() -> &'static dyn Kernels {
+    if active_id() == ID_SIMD {
+        &SIMD
+    } else {
+        &SCALAR
+    }
+}
+
+/// The active backend's label (`"scalar"` / `"simd"`).
+pub fn active_name() -> &'static str {
+    active().name()
+}
+
+/// The scalar reference backend, for direct A/B use by tests and benches
+/// (no global state touched).
+pub fn scalar() -> &'static dyn Kernels {
+    &SCALAR
+}
+
+/// The SIMD backend when this CPU can run it, for direct A/B use by tests
+/// and benches (no global state touched).
+pub fn simd() -> Option<&'static dyn Kernels> {
+    if simd_supported() {
+        Some(&SIMD)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-backend trace counters
+// ---------------------------------------------------------------------------
+
+/// Kernel families for the `linalg.backend.*` element counters.
+#[derive(Clone, Copy, Debug)]
+pub enum Family {
+    /// The register-tile microkernel (GEMM, SYRK, fused TripleProd).
+    Gemm,
+    /// SpMM/fused Laplacian row accumulations.
+    Spmm,
+    /// BLAS-1 vector primitives.
+    Blas1,
+    /// BCGS2 block projections.
+    Ortho,
+}
+
+/// Records `elems` elements processed by `family` under the active
+/// backend, as counter `linalg.backend.<backend>.<family>`. The static
+/// name table keeps the hot path allocation-free; a no-op when tracing is
+/// disabled.
+pub fn count(family: Family, elems: u64) {
+    if !parhde_trace::enabled() {
+        return;
+    }
+    let name = match (active_id(), family) {
+        (ID_SIMD, Family::Gemm) => "linalg.backend.simd.gemm",
+        (ID_SIMD, Family::Spmm) => "linalg.backend.simd.spmm",
+        (ID_SIMD, Family::Blas1) => "linalg.backend.simd.blas1",
+        (ID_SIMD, Family::Ortho) => "linalg.backend.simd.ortho",
+        (_, Family::Gemm) => "linalg.backend.scalar.gemm",
+        (_, Family::Spmm) => "linalg.backend.scalar.spmm",
+        (_, Family::Blas1) => "linalg.backend.scalar.blas1",
+        (_, Family::Ortho) => "linalg.backend.scalar.ortho",
+    };
+    parhde_trace::counter!(name, elems);
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use parhde_util::Xoshiro256StarStar;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+    }
+
+    /// The backend pairs to compare: scalar vs SIMD when the CPU has it,
+    /// scalar vs scalar otherwise (so the suite is meaningful everywhere).
+    fn pair() -> (&'static dyn Kernels, &'static dyn Kernels) {
+        (scalar(), simd().unwrap_or_else(scalar))
+    }
+
+    #[test]
+    fn choice_parses_and_labels() {
+        assert_eq!("auto".parse(), Ok(Choice::Auto));
+        assert_eq!("scalar".parse(), Ok(Choice::Scalar));
+        assert_eq!("simd".parse(), Ok(Choice::Simd));
+        assert!("avx512".parse::<Choice>().is_err());
+        assert_eq!(Choice::default(), Choice::Auto);
+        assert_eq!(Choice::Auto.label(), "auto");
+        assert_eq!(Choice::Simd.label(), "simd");
+    }
+
+    #[test]
+    fn forced_simd_is_a_typed_error_when_unsupported() {
+        if simd_supported() {
+            // Covered on feature-poor CI runners; here just check the
+            // supported path reports the right label.
+            return;
+        }
+        let err = install(Choice::Simd).unwrap_err();
+        assert!(matches!(err, LinalgError::BackendUnavailable { requested: "simd", .. }));
+        assert!(err.to_string().contains("simd"));
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bit_exact() {
+        let (s, v) = pair();
+        for n in [0usize, 1, 3, 4, 5, 63, 64, 65, 1000] {
+            let x = random_vec(n, n as u64 + 1);
+            let mut ys = random_vec(n, n as u64 + 2);
+            let mut yv = ys.clone();
+            s.axpy_chunk(-0.37, &x, &mut ys);
+            v.axpy_chunk(-0.37, &x, &mut yv);
+            assert_eq!(ys, yv, "axpy n={n}");
+
+            let mut xs = x.clone();
+            let mut xv = x.clone();
+            s.scale_chunk(1.0 / 3.0, &mut xs);
+            v.scale_chunk(1.0 / 3.0, &mut xv);
+            assert_eq!(xs, xv, "scale n={n}");
+
+            let src = random_vec(n, n as u64 + 3);
+            let mut os = vec![0.0; n];
+            let mut ov = vec![0.0; n];
+            s.row_scale(&mut os, 2.5, &src);
+            v.row_scale(&mut ov, 2.5, &src);
+            assert_eq!(os, ov, "row_scale n={n}");
+            s.row_sub(&mut os, &x);
+            v.row_sub(&mut ov, &x);
+            assert_eq!(os, ov, "row_sub n={n}");
+            s.row_sub_scaled(&mut os, 0.77, &src);
+            v.row_sub_scaled(&mut ov, 0.77, &src);
+            assert_eq!(os, ov, "row_sub_scaled n={n}");
+        }
+    }
+
+    #[test]
+    fn tile_kernel_is_bit_exact_for_both_stride_settings() {
+        let (s, v) = pair();
+        for len in [0usize, 1, 3, 4, 7, 64, 65, 300] {
+            let a: Vec<Vec<f64>> = (0..4).map(|i| random_vec(len, 40 + i)).collect();
+            let arefs = [&a[0][..], &a[1][..], &a[2][..], &a[3][..]];
+            // Column-major setting (b_rs = 1, b_cs = n) and packed
+            // row-major panel setting (b_rs = q, b_cs = 1).
+            for &(b_rs, b_cs, blen) in
+                &[(1usize, len.max(1), 4 * len.max(1)), (4usize, 1, 4 * len.max(1))]
+            {
+                let b = random_vec(blen, (len + b_rs) as u64);
+                let mut accs = [0.1f64; 16];
+                let mut accv = [0.1f64; 16];
+                s.tile_4x4(&mut accs, arefs, &b, 0, b_rs, b_cs, len);
+                v.tile_4x4(&mut accv, arefs, &b, 0, b_rs, b_cs, len);
+                for (x, y) in accs.iter().zip(&accv) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "len={len} b_rs={b_rs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_row_is_bit_exact_and_matches_its_default_body() {
+        let (s, v) = pair();
+        // Row widths across the 16-wide, 4-wide and scalar-tail regimes;
+        // neighbor counts including none.
+        for k in [0usize, 1, 3, 4, 5, 15, 16, 17, 51, 64, 65] {
+            for deg in [0usize, 1, 2, 7] {
+                let rows = deg + 1;
+                let pack = random_vec(rows * k, (k * 31 + deg) as u64);
+                let neighbors: Vec<u32> = (1..=deg as u32).collect();
+                let src = &pack[..k];
+                let mut outs = vec![0.5; k];
+                let mut outv = vec![0.5; k];
+                s.laplacian_row(&mut outs, 2.5, src, &pack, &neighbors);
+                v.laplacian_row(&mut outv, 2.5, src, &pack, &neighbors);
+                // Reference: the default body's composition of row ops.
+                let mut outr = vec![0.5; k];
+                s.row_scale(&mut outr, 2.5, src);
+                for &u in &neighbors {
+                    s.row_sub(&mut outr, &pack[u as usize * k..(u as usize + 1) * k]);
+                }
+                for ((a, b), r) in outs.iter().zip(&outv).zip(&outr) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "k={k} deg={deg}");
+                    assert_eq!(a.to_bits(), r.to_bits(), "k={k} deg={deg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_update_row_is_bit_exact_and_matches_its_default_body() {
+        let (s, v) = pair();
+        for k in [0usize, 1, 3, 4, 5, 15, 16, 17, 51, 64, 65] {
+            for nc in [0usize, 1, 2, 7, 23] {
+                let pack = random_vec(nc * k + k.max(1), (k * 37 + nc) as u64);
+                let coeffs = random_vec(nc, (k + nc * 13) as u64);
+                let bases: Vec<usize> = (0..nc).map(|i| i * k).collect();
+                let mut outs = vec![0.5; k];
+                let mut outv = vec![0.5; k];
+                s.rank_update_row(&mut outs, &coeffs, &pack, &bases);
+                v.rank_update_row(&mut outv, &coeffs, &pack, &bases);
+                // Reference: the default body's composition of row ops.
+                let mut outr = vec![0.5; k];
+                for (&c, &b) in coeffs.iter().zip(&bases) {
+                    s.row_sub_scaled(&mut outr, c, &pack[b..b + k]);
+                }
+                for ((a, b), r) in outs.iter().zip(&outv).zip(&outr) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "k={k} nc={nc}");
+                    assert_eq!(a.to_bits(), r.to_bits(), "k={k} nc={nc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_family_stays_within_documented_tolerance() {
+        let (s, v) = pair();
+        for n in [0usize, 1, 3, 5, 63, 64, 65, 1 << 14] {
+            let x = random_vec(n, 90 + n as u64);
+            let y = random_vec(n, 91 + n as u64);
+            let d: Vec<f64> = random_vec(n, 92 + n as u64)
+                .into_iter()
+                .map(|w| w.abs() + 0.5)
+                .collect();
+            let bound = |a: &[f64], b: &[f64]| {
+                let na = a.iter().map(|t| t * t).sum::<f64>().sqrt();
+                let nb = b.iter().map(|t| t * t).sum::<f64>().sqrt();
+                1e-13 * na * nb + f64::MIN_POSITIVE
+            };
+            assert!((s.dot_chunk(&x, &y) - v.dot_chunk(&x, &y)).abs() <= bound(&x, &y));
+            assert!((s.ortho_dot(&x, &y) - v.ortho_dot(&x, &y)).abs() <= bound(&x, &y));
+            let dw = (s.dot_weighted_chunk(&x, &d, &y) - v.dot_weighted_chunk(&x, &d, &y)).abs();
+            assert!(dw <= 8.0 * bound(&x, &y), "n={n}");
+            let su = (s.sum_chunk(&x) - v.sum_chunk(&x)).abs();
+            assert!(su <= 1e-13 * x.iter().map(|t| t.abs()).sum::<f64>() + f64::MIN_POSITIVE);
+        }
+    }
+
+    #[test]
+    fn poison_values_propagate_identically() {
+        let (s, v) = pair();
+        let mut x = random_vec(64, 7);
+        x[3] = f64::NAN;
+        x[17] = f64::INFINITY;
+        x[40] = -0.0;
+        x[41] = f64::MIN_POSITIVE / 2.0; // denormal
+        let y = random_vec(64, 8);
+        // NaN/Inf poison must surface under both backends.
+        assert!(s.dot_chunk(&x, &y).is_nan());
+        assert!(v.dot_chunk(&x, &y).is_nan());
+        let mut ys = y.clone();
+        let mut yv = y.clone();
+        s.axpy_chunk(1.0, &x, &mut ys);
+        v.axpy_chunk(1.0, &x, &mut yv);
+        for (a, b) in ys.iter().zip(&yv) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // ±0 and denormals: elementwise ops stay bit-exact.
+        let mut os = vec![0.0; 64];
+        let mut ov = vec![0.0; 64];
+        s.row_scale(&mut os, -0.0, &x);
+        v.row_scale(&mut ov, -0.0, &x);
+        for (a, b) in os.iter().zip(&ov) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn cpu_feature_label_is_consistent_with_detection() {
+        if simd_supported() {
+            assert_eq!(cpu_features(), "avx2+fma");
+            assert!(simd().is_some());
+        } else {
+            assert!(simd().is_none());
+            assert_ne!(cpu_features(), "avx2+fma");
+        }
+        assert_eq!(scalar().name(), "scalar");
+    }
+}

@@ -6,10 +6,19 @@
 //! dot-product sum).
 //!
 //! Reductions are **deterministic**: vectors are cut into fixed-size chunks,
-//! each chunk is summed sequentially, and the per-chunk partials are summed
-//! in chunk order. Determinism costs nothing here and makes every layout in
-//! the test suite reproducible bit-for-bit across thread counts.
+//! each chunk is summed in a schedule-independent order, and the per-chunk
+//! partials are summed in chunk order. Determinism costs nothing here and
+//! makes every layout in the test suite reproducible bit-for-bit across
+//! thread counts.
+//!
+//! Chunk bodies dispatch through [`crate::backend`]: `axpy`/`scale` are
+//! bit-exact across backends (elementwise mul+add); the dot/sum family
+//! carries the documented ≤1e-13·‖x‖‖y‖ backend tolerance (SIMD widens the
+//! summation chain into lanes and contracts with FMA). Whatever the
+//! backend, results stay bitwise thread-count-independent — the chunk
+//! decomposition is fixed and each chunk is summed by one backend call.
 
+use crate::backend::{self, Family};
 use rayon::prelude::*;
 
 /// Chunk length for parallel reductions; below this, kernels run scalar
@@ -22,13 +31,15 @@ pub const PAR_CHUNK: usize = 1 << 14;
 /// Panics if lengths differ.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let be = backend::active();
+    backend::count(Family::Blas1, x.len() as u64);
     if x.len() < PAR_CHUNK {
-        return x.iter().zip(y).map(|(a, b)| a * b).sum();
+        return be.dot_chunk(x, y);
     }
     let partials: Vec<f64> = x
         .par_chunks(PAR_CHUNK)
         .zip(y.par_chunks(PAR_CHUNK))
-        .map(|(cx, cy)| cx.iter().zip(cy).map(|(a, b)| a * b).sum())
+        .map(|(cx, cy)| be.dot_chunk(cx, cy))
         .collect();
     partials.iter().sum()
 }
@@ -41,25 +52,16 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 pub fn dot_weighted(x: &[f64], d: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot_weighted length mismatch");
     assert_eq!(x.len(), d.len(), "weight vector length mismatch");
+    let be = backend::active();
+    backend::count(Family::Blas1, x.len() as u64);
     if x.len() < PAR_CHUNK {
-        return x
-            .iter()
-            .zip(d)
-            .zip(y)
-            .map(|((a, w), b)| a * w * b)
-            .sum();
+        return be.dot_weighted_chunk(x, d, y);
     }
     let partials: Vec<f64> = x
         .par_chunks(PAR_CHUNK)
         .zip(d.par_chunks(PAR_CHUNK))
         .zip(y.par_chunks(PAR_CHUNK))
-        .map(|((cx, cd), cy)| {
-            cx.iter()
-                .zip(cd)
-                .zip(cy)
-                .map(|((a, w), b)| a * w * b)
-                .sum()
-        })
+        .map(|((cx, cd), cy)| be.dot_weighted_chunk(cx, cd, cy))
         .collect();
     partials.iter().sum()
 }
@@ -70,34 +72,26 @@ pub fn dot_weighted(x: &[f64], d: &[f64], y: &[f64]) -> f64 {
 /// Panics if lengths differ.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    let be = backend::active();
+    backend::count(Family::Blas1, x.len() as u64);
     if x.len() < PAR_CHUNK {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi += alpha * xi;
-        }
+        be.axpy_chunk(alpha, x, y);
         return;
     }
     y.par_chunks_mut(PAR_CHUNK)
         .zip(x.par_chunks(PAR_CHUNK))
-        .for_each(|(cy, cx)| {
-            for (yi, xi) in cy.iter_mut().zip(cx) {
-                *yi += alpha * xi;
-            }
-        });
+        .for_each(|(cy, cx)| be.axpy_chunk(alpha, cx, cy));
 }
 
 /// `x ← α·x`.
 pub fn scale(alpha: f64, x: &mut [f64]) {
+    let be = backend::active();
+    backend::count(Family::Blas1, x.len() as u64);
     if x.len() < PAR_CHUNK {
-        for xi in x.iter_mut() {
-            *xi *= alpha;
-        }
+        be.scale_chunk(alpha, x);
         return;
     }
-    x.par_chunks_mut(PAR_CHUNK).for_each(|c| {
-        for xi in c {
-            *xi *= alpha;
-        }
-    });
+    x.par_chunks_mut(PAR_CHUNK).for_each(|c| be.scale_chunk(alpha, c));
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -124,12 +118,14 @@ pub fn fill(x: &mut [f64], v: f64) {
 
 /// Sum of all entries.
 pub fn sum(x: &[f64]) -> f64 {
+    let be = backend::active();
+    backend::count(Family::Blas1, x.len() as u64);
     if x.len() < PAR_CHUNK {
-        return x.iter().sum();
+        return be.sum_chunk(x);
     }
     let partials: Vec<f64> = x
         .par_chunks(PAR_CHUNK)
-        .map(|c| c.iter().sum())
+        .map(|c| be.sum_chunk(c))
         .collect();
     partials.iter().sum()
 }

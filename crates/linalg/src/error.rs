@@ -38,6 +38,13 @@ pub enum LinalgError {
     },
     /// Mismatched dimensions or an invalid scalar argument.
     InvalidArgument(String),
+    /// A forced compute backend cannot run on this CPU.
+    BackendUnavailable {
+        /// The backend the caller demanded (e.g. `"simd"`).
+        requested: &'static str,
+        /// Why it cannot be selected here.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -54,6 +61,9 @@ impl std::fmt::Display for LinalgError {
                 write!(f, "matrix not symmetric at ({row},{col})")
             }
             Self::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Self::BackendUnavailable { requested, reason } => {
+                write!(f, "backend {requested:?} unavailable: {reason}")
+            }
         }
     }
 }

@@ -27,7 +27,10 @@
 //! in ascending-row order across panels. The fused product is therefore
 //! *bitwise identical* to `at_b(s, laplacian_spmm(g, degrees, s))` at any
 //! thread count — asserted by the property tests — which is what lets
-//! `--linalg-mode fused|staged` be a pure performance knob.
+//! `--linalg-mode fused|staged` be a pure performance knob. The row fill
+//! and the microkernel both dispatch through [`crate::backend`]; the row
+//! ops and the tile kernel are bit-exact across backends, so the contract
+//! also holds at any backend setting.
 
 use crate::dense::ColMajorMatrix;
 use crate::error::LinalgError;
@@ -59,17 +62,20 @@ pub fn triple_product(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
         "linalg.fused.flops",
         (2 * (g.num_arcs() + n) * k + 2 * n * k * k) as u64
     );
+    crate::backend::count(
+        crate::backend::Family::Spmm,
+        ((g.num_arcs() + n) * k) as u64,
+    );
     let pack = pack_row_major(s);
+    let be = crate::backend::active();
     let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row| {
-        for (c, a) in row.iter_mut().enumerate() {
-            *a = degrees[v] * pack[v * k + c];
-        }
-        for &u in g.neighbors(v as u32) {
-            let urow = &pack[u as usize * k..(u as usize + 1) * k];
-            for (c, a) in row.iter_mut().enumerate() {
-                *a -= urow[c];
-            }
-        }
+        be.laplacian_row(
+            row,
+            degrees[v],
+            &pack[v * k..(v + 1) * k],
+            &pack,
+            g.neighbors(v as u32),
+        );
     });
     ColMajorMatrix::from_data(k, k, zdata)
 }
@@ -94,16 +100,16 @@ pub fn triple_product_weighted(
         "linalg.fused.flops",
         (2 * (g.graph().num_arcs() + n) * k + 2 * n * k * k) as u64
     );
+    crate::backend::count(
+        crate::backend::Family::Spmm,
+        ((g.graph().num_arcs() + n) * k) as u64,
+    );
     let pack = pack_row_major(s);
+    let be = crate::backend::active();
     let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row| {
-        for (c, a) in row.iter_mut().enumerate() {
-            *a = degrees[v] * pack[v * k + c];
-        }
+        be.row_scale(row, degrees[v], &pack[v * k..(v + 1) * k]);
         for (u, w) in g.neighbors(v as u32) {
-            let urow = &pack[u as usize * k..(u as usize + 1) * k];
-            for (c, a) in row.iter_mut().enumerate() {
-                *a -= w * urow[c];
-            }
+            be.row_sub_scaled(row, w, &pack[u as usize * k..(u as usize + 1) * k]);
         }
     });
     ColMajorMatrix::from_data(k, k, zdata)
@@ -161,8 +167,10 @@ fn check_args(n: usize, degrees: &[f64], s: &ColMajorMatrix) -> Result<(), Linal
 }
 
 /// Packed row-major copy of `S`: `pack[v·k + c] = S(v, c)`. A value-exact
-/// relayout, parallel over row blocks.
-fn pack_row_major(s: &ColMajorMatrix) -> Vec<f64> {
+/// relayout, parallel over row blocks. Shared with the staged
+/// [`crate::spmm`] kernels, which adopt the same contiguous-row access
+/// pattern for the same reason.
+pub(crate) fn pack_row_major(s: &ColMajorMatrix) -> Vec<f64> {
     let n = s.rows();
     let k = s.cols();
     let sdata = s.data();

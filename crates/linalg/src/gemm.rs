@@ -42,6 +42,9 @@ pub(crate) const TILE: usize = 4;
 /// the unrolled kernel stay bit-identical to the naive triple loop while
 /// feeding the out-of-order core 16 parallel dependency chains instead
 /// of 1. Edge tiles fall back to the scalar loop with the same chain order.
+/// The full-tile inner loop dispatches through [`crate::backend`]; both
+/// backends extend the 16 chains identically (mul then add, never FMA), so
+/// the contract holds bit-for-bit regardless of the active backend.
 ///
 /// With `lower_only`, register tiles that lie strictly above the diagonal
 /// (`i < j` everywhere) are skipped — the SYRK savings; diagonal-crossing
@@ -63,6 +66,8 @@ pub(crate) fn accumulate_block(
     lower_only: bool,
 ) {
     let len = hi - lo;
+    let be = crate::backend::active();
+    crate::backend::count(crate::backend::Family::Gemm, (len * p * q) as u64);
     let mut jt = 0;
     while jt < q {
         let jb = (q - jt).min(TILE);
@@ -85,16 +90,7 @@ pub(crate) fn accumulate_block(
                         acc[jj * TILE + ii] = z[(jt + jj) * p + it + ii];
                     }
                 }
-                for rr in 0..len {
-                    let av = [a0[rr], a1[rr], a2[rr], a3[rr]];
-                    let bi = b_base + rr * b_rs + jt * b_cs;
-                    let bv = [b[bi], b[bi + b_cs], b[bi + 2 * b_cs], b[bi + 3 * b_cs]];
-                    for jj in 0..TILE {
-                        for ii in 0..TILE {
-                            acc[jj * TILE + ii] += av[ii] * bv[jj];
-                        }
-                    }
-                }
+                be.tile_4x4(&mut acc, [a0, a1, a2, a3], b, b_base + jt * b_cs, b_rs, b_cs, len);
                 for jj in 0..TILE {
                     for ii in 0..TILE {
                         z[(jt + jj) * p + it + ii] = acc[jj * TILE + ii];

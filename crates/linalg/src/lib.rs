@@ -30,9 +30,14 @@
 //! * [`error`] — typed [`error::LinalgError`]s plus non-finite guards; the
 //!   `try_*` kernel wrappers report which phase and column first went bad
 //!   instead of propagating NaN downstream.
+//! * [`backend`] — pluggable compute backends for the hot inner loops: the
+//!   scalar reference kernels and an explicit-SIMD (AVX2/FMA f64×4)
+//!   implementation selected at runtime by CPU-feature detection, with
+//!   per-backend trace counters proving which one served a run.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod blas1;
 pub mod center;
 pub mod dense;

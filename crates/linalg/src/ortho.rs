@@ -369,6 +369,8 @@ fn block_project(
     let w = p1 - p0;
     let k = kept.len();
     parhde_trace::counter!("dortho.projections", (k * w) as u64);
+    crate::backend::count(crate::backend::Family::Ortho, (k * w * rows) as u64);
+    let be = crate::backend::active();
     let (prefix, panel) = s.prefix_and_panel_mut(p0, p1);
     // D·panel (or a plain copy) for the weighted inner products.
     let mut piw = vec![0.0; rows * w];
@@ -399,26 +401,10 @@ fn block_project(
                 let cj = &prefix[j * rows + lo..j * rows + hi];
                 for t in 0..w {
                     let pt = &piw[t * rows + lo..t * rows + hi];
-                    // Four independent accumulator lanes break the serial
-                    // add dependency (fixed lane assignment ⇒ the summation
-                    // order is still schedule-independent).
-                    let mut acc = [0.0f64; 4];
-                    for (ca, pa) in cj.chunks_exact(4).zip(pt.chunks_exact(4)) {
-                        acc[0] += ca[0] * pa[0];
-                        acc[1] += ca[1] * pa[1];
-                        acc[2] += ca[2] * pa[2];
-                        acc[3] += ca[3] * pa[3];
-                    }
-                    let mut tail = 0.0;
-                    for (&a, &b) in cj
-                        .chunks_exact(4)
-                        .remainder()
-                        .iter()
-                        .zip(pt.chunks_exact(4).remainder())
-                    {
-                        tail += a * b;
-                    }
-                    local[t * k + jj] = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+                    // Multi-lane backend dot (the scalar reference is the
+                    // historical 4-accumulator loop; fixed chunks summed in
+                    // order keep it schedule-independent either way).
+                    local[t * k + jj] = be.ortho_dot(cj, pt);
                 }
             }
             local
@@ -438,24 +424,29 @@ fn block_project(
     }
 
     // Pass 2: rank-k update, one disjoint output column per task. The row
-    // blocking keeps each output slice in L1 across the whole kept prefix
+    // blocking keeps each output slice hot across the whole kept prefix
     // (per element: load once, fold k multiply-subtracts in ascending jj
-    // order, store once — deterministic for any chunk size).
+    // order, store once — deterministic for any chunk size). Zero
+    // coefficients are filtered here, not in the kernel, so both backends
+    // fold the identical pair list.
     panel.par_chunks_mut(rows).enumerate().for_each(|(t, pcol)| {
+        let (cs, starts): (Vec<f64>, Vec<usize>) = kept
+            .iter()
+            .enumerate()
+            .filter(|&(jj, _)| coeffs[t * k + jj] != 0.0)
+            .map(|(jj, &j)| (coeffs[t * k + jj], j * rows))
+            .unzip();
+        if cs.is_empty() {
+            return;
+        }
+        let mut bases = vec![0usize; starts.len()];
         let mut lo = 0;
         while lo < rows {
             let hi = (lo + CHUNK).min(rows);
-            let pslice = &mut pcol[lo..hi];
-            for (jj, &j) in kept.iter().enumerate() {
-                let c = coeffs[t * k + jj];
-                if c == 0.0 {
-                    continue;
-                }
-                let cj = &prefix[j * rows + lo..j * rows + hi];
-                for (x, &v) in pslice.iter_mut().zip(cj) {
-                    *x -= c * v;
-                }
+            for (b, &start) in bases.iter_mut().zip(&starts) {
+                *b = start + lo;
             }
+            be.rank_update_row(&mut pcol[lo..hi], &cs, prefix, &bases);
             lo = hi;
         }
     });

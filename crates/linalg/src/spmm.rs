@@ -8,6 +8,13 @@
 //! by using a dense degrees array to calculate the diagonal entry"). An
 //! explicit-Laplacian variant is provided as the ablation baseline, and the
 //! normalized-adjacency product serves the eigensolver (Figure 1 bottom).
+//!
+//! The staged kernels read `S` through the same packed row-major copy the
+//! fused TripleProd uses (`fused::pack_row_major` — a value-exact relayout),
+//! so every neighbor row is `s` contiguous doubles and the inner loops
+//! dispatch through [`crate::backend`]'s bit-exact row ops. The ablation
+//! variants keep their original column-major loops: they exist to measure
+//! schedules, not to be fast.
 
 use crate::dense::ColMajorMatrix;
 use crate::error::LinalgError;
@@ -36,8 +43,10 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
     let k = s.cols();
     let _span = parhde_trace::span!("spmm.laplacian");
     parhde_trace::counter!("spmm.flops", (2 * (g.num_arcs() + n) * k) as u64);
+    crate::backend::count(crate::backend::Family::Spmm, ((g.num_arcs() + n) * k) as u64);
     let mut p = ColMajorMatrix::zeros(n, k);
-    let sdata = s.data();
+    let pack = crate::fused::pack_row_major(s);
+    let be = crate::backend::active();
 
     // SAFETY-free parallel writes: split the output into row blocks by
     // temporarily viewing P as per-column chunks is awkward column-major;
@@ -57,16 +66,13 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
             }
             let mut acc = vec![0.0; k];
             for v in lo..hi {
-                let dv = degrees[v];
-                for (c, a) in acc.iter_mut().enumerate() {
-                    *a = dv * sdata[c * n + v];
-                }
-                for &u in g.neighbors(v as u32) {
-                    let ui = u as usize;
-                    for (c, a) in acc.iter_mut().enumerate() {
-                        *a -= sdata[c * n + ui];
-                    }
-                }
+                be.laplacian_row(
+                    &mut acc,
+                    degrees[v],
+                    &pack[v * k..(v + 1) * k],
+                    &pack,
+                    g.neighbors(v as u32),
+                );
                 for c in 0..k {
                     block[c * (hi - lo) + (v - lo)] = acc[c];
                 }
@@ -135,8 +141,13 @@ pub fn laplacian_spmm_weighted(
     let k = s.cols();
     let _span = parhde_trace::span!("spmm.laplacian_weighted");
     parhde_trace::counter!("spmm.flops", (2 * (g.graph().num_arcs() + n) * k) as u64);
+    crate::backend::count(
+        crate::backend::Family::Spmm,
+        ((g.graph().num_arcs() + n) * k) as u64,
+    );
     let mut p = ColMajorMatrix::zeros(n, k);
-    let sdata = s.data();
+    let pack = crate::fused::pack_row_major(s);
+    let be = crate::backend::active();
     let blocks: Vec<(usize, Vec<f64>)> = (0..n)
         .step_by(ROW_CHUNK)
         .collect::<Vec<_>>()
@@ -150,15 +161,10 @@ pub fn laplacian_spmm_weighted(
             }
             let mut acc = vec![0.0; k];
             for v in lo..hi {
-                let dv = degrees[v];
-                for (c, a) in acc.iter_mut().enumerate() {
-                    *a = dv * sdata[c * n + v];
-                }
+                be.row_scale(&mut acc, degrees[v], &pack[v * k..(v + 1) * k]);
                 for (u, w) in g.neighbors(v as u32) {
                     let ui = u as usize;
-                    for (c, a) in acc.iter_mut().enumerate() {
-                        *a -= w * sdata[c * n + ui];
-                    }
+                    be.row_sub_scaled(&mut acc, w, &pack[ui * k..(ui + 1) * k]);
                 }
                 for c in 0..k {
                     block[c * (hi - lo) + (v - lo)] = acc[c];

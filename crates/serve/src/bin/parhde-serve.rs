@@ -95,6 +95,30 @@ fn main() {
         i += 1;
     }
 
+    // Pin the compute backend for the daemon's lifetime. $PARHDE_BACKEND
+    // picks it (scalar|simd|auto); a forced simd on an unsupported CPU is
+    // a startup error (exit 12), never a silent fallback mid-request.
+    let backend = match std::env::var("PARHDE_BACKEND") {
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("parhde-serve: bad PARHDE_BACKEND: {e}");
+                exit(2);
+            }
+        },
+        _ => parhde_linalg::backend::Choice::Auto,
+    };
+    match parhde_linalg::backend::install(backend) {
+        Ok(executed) => eprintln!(
+            "parhde-serve: backend {executed} (cpu: {})",
+            parhde_linalg::backend::cpu_features()
+        ),
+        Err(e) => {
+            eprintln!("parhde-serve: {e}");
+            exit(12);
+        }
+    }
+
     supervisor::install_two_stage_handlers();
     let server = match serve(cfg) {
         Ok(s) => s,

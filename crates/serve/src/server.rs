@@ -146,6 +146,12 @@ struct Metrics {
     cache_entries: Arc<Gauge>,
     cache_bytes: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
+    /// 1 when the active linalg backend is the SIMD one, 0 for scalar.
+    backend_simd_active: Arc<Gauge>,
+    /// 1 when the CPU supports the SIMD backend (AVX2+FMA), regardless of
+    /// which backend is active — together the pair makes a silent scalar
+    /// fallback (supported=1, active=0 under auto) visible in a scrape.
+    cpu_simd_supported: Arc<Gauge>,
     // Latency distributions (log₂ buckets, lossless cross-thread merge).
     queue_wait_ms: Arc<Histogram>,
     request_duration_ms: Arc<Histogram>,
@@ -183,6 +189,8 @@ impl Metrics {
             cache_entries: g("parhde_cache_entries"),
             cache_bytes: g("parhde_cache_bytes"),
             uptime_seconds: g("parhde_uptime_seconds"),
+            backend_simd_active: g("parhde_backend_simd_active"),
+            cpu_simd_supported: g("parhde_cpu_simd_supported"),
             queue_wait_ms: registry.histogram("parhde_queue_wait_ms"),
             request_duration_ms: registry.histogram("parhde_request_duration_ms"),
             registry,
@@ -599,6 +607,11 @@ fn stats_response(shared: &Arc<Shared>, req: &Request) -> Response {
     m.budget_reserved_bytes.set(shared.budget.reserved() as f64);
     m.budget_total_bytes.set(shared.budget.total() as f64);
     m.uptime_seconds.set(shared.started.elapsed().as_secs_f64());
+    m.backend_simd_active.set(f64::from(
+        parhde_linalg::backend::active_name() == "simd",
+    ));
+    m.cpu_simd_supported
+        .set(f64::from(parhde_linalg::backend::simd_supported()));
     if let Some(cache) = &shared.cache {
         let usage = cache.usage();
         m.cache_entries.set(usage.entries as f64);
@@ -787,6 +800,14 @@ fn handle_layout_inner(
 
     // Post-clamp config, exactly as an uninterrupted CLI run would see it.
     let mut cfg = ParHdeConfig::for_graph(n);
+    // The daemon pins the process-wide compute backend at startup (from
+    // $PARHDE_BACKEND, or auto-detection on first touch); a request must
+    // not flip it, so mirror the pin into the request config — the
+    // pipeline's own install() then re-asserts the same backend.
+    cfg.backend = match parhde_linalg::backend::active_name() {
+        "simd" => parhde::config::LinalgBackend::Simd,
+        _ => parhde::config::LinalgBackend::Scalar,
+    };
     if let Some(s) = subspace {
         cfg.subspace = s.clamp(1, n.saturating_sub(1)).max(p.min(n - 1));
     }
@@ -1206,6 +1227,11 @@ fn write_report(
             ("seed".into(), cfg.seed.to_string()),
             ("rung".into(), rung.into()),
             ("cache".into(), cache_tag.into()),
+            ("backend".into(), cfg.backend.label().into()),
+            (
+                "backend_executed".into(),
+                parhde_linalg::backend::active_name().into(),
+            ),
         ],
         phases: trace.phase_seconds(),
         warnings,

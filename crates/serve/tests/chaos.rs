@@ -559,6 +559,13 @@ fn stats_scrape_is_consistent_under_load() {
     assert_eq!(snap.gauge("parhde_inflight"), Some(0.0));
     assert!(snap.histogram("parhde_request_duration_ms").is_some());
 
+    // Backend visibility: both gauges are present, and the active backend
+    // is the one the CPU supports (this suite runs with the auto default,
+    // so supported ⇔ active — a silent scalar fallback would show here).
+    let supported = snap.gauge("parhde_cpu_simd_supported");
+    assert!(supported == Some(0.0) || supported == Some(1.0), "{supported:?}");
+    assert_eq!(snap.gauge("parhde_backend_simd_active"), supported);
+
     server.drain();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -170,12 +170,19 @@ pub fn config_fingerprint(cfg: &ParHdeConfig) -> u64 {
     h.finish()
 }
 
-/// Serializes a post-BFS checkpoint and writes it atomically into `dir`
-/// (staged `.tmp` + rename). Returns the final path.
+/// Serializes a post-BFS checkpoint and writes it durably into `dir`:
+/// staged `.tmp`, `fsync` of the staging file, `rename`, then `fsync` of
+/// the directory — the same ladder as the serve cache (DESIGN.md §16.4),
+/// so a power cut can neither tear the file nor un-publish the rename.
+/// Returns the final path.
+///
+/// Failpoint sites `checkpoint.write` and `checkpoint.fsync` let the
+/// chaos suite fail the stages; every failure path removes the staging
+/// file.
 ///
 /// # Errors
-/// [`HdeError::Io`] if the directory cannot be created or the file cannot
-/// be written/renamed.
+/// [`HdeError::Io`] if the directory cannot be created or any write
+/// stage fails.
 pub fn write_post_bfs(
     spec: &CheckpointSpec,
     g: &CsrGraph,
@@ -185,6 +192,7 @@ pub fn write_post_bfs(
     sources: &[u32],
     b: &ColMajorMatrix,
 ) -> Result<PathBuf, HdeError> {
+    use parhde_util::failpoint;
     let bytes = serialize(g, cfg, p, seed, sources, b);
     std::fs::create_dir_all(&spec.dir).map_err(|e| {
         HdeError::Io(format!(
@@ -194,20 +202,51 @@ pub fn write_post_bfs(
     })?;
     let final_path = spec.file_path();
     let tmp_path = spec.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
-    std::fs::write(&tmp_path, &bytes).map_err(|e| {
+    let staged = (|| -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp_path)?;
+        match failpoint::check("checkpoint.write") {
+            Some(failpoint::Fired::Err) => {
+                return Err(failpoint::injected_io_error("checkpoint.write"))
+            }
+            Some(failpoint::Fired::Partial) => {
+                f.write_all(&bytes[..bytes.len() / 2])?;
+                return Err(failpoint::injected_io_error("checkpoint.write"));
+            }
+            _ => {}
+        }
+        f.write_all(&bytes)?;
+        failpoint::io_inject("checkpoint.fsync")?;
+        f.sync_all()
+    })();
+    staged.map_err(|e| {
+        let _ = std::fs::remove_file(&tmp_path);
         HdeError::Io(format!("writing checkpoint {}: {e}", tmp_path.display()))
     })?;
-    std::fs::rename(&tmp_path, &final_path).map_err(|e| {
-        // Leave no stray staging file behind on a failed rename.
-        let _ = std::fs::remove_file(&tmp_path);
-        HdeError::Io(format!(
-            "publishing checkpoint {}: {e}",
-            final_path.display()
-        ))
-    })?;
+    std::fs::rename(&tmp_path, &final_path)
+        .and_then(|()| fsync_dir(&spec.dir))
+        .map_err(|e| {
+            // Leave no stray staging file behind on a failed rename.
+            let _ = std::fs::remove_file(&tmp_path);
+            HdeError::Io(format!(
+                "publishing checkpoint {}: {e}",
+                final_path.display()
+            ))
+        })?;
     parhde_trace::counter!("supervisor.checkpoint.write", 1);
     parhde_trace::counter!("supervisor.checkpoint.bytes", bytes.len() as u64);
     Ok(final_path)
+}
+
+/// Fsyncs a directory so a completed `rename(2)` within it survives a
+/// power cut. No-op on platforms where directory handles cannot be
+/// fsynced (the rename is still atomic, just not power-cut durable).
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 fn serialize(

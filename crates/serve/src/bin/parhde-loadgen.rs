@@ -4,6 +4,7 @@
 //! parhde-loadgen --addr HOST:PORT [--requests N] [--concurrency C]
 //!                [--graph SPEC]... [--distinct K] [--deadline-ms MS]
 //!                [--dim P] [--timeout-ms MS]
+//!                [--retries N] [--retry-seed S] [--keep-alive]
 //!                [--chaos-disconnect PCT] [--chaos-poison PCT]
 //!                [--out FILE] [--scrape] [--scrape-out FILE]
 //! ```
@@ -28,13 +29,24 @@
 //! with what the clients measured. `--scrape-out` writes the final
 //! Prometheus exposition for downstream validation.
 //!
+//! Every request runs through the bounded-retry contract of
+//! [`parhde_serve::client::RetryingClient`] (DESIGN.md §16.3):
+//! `--retries` attempts beyond the first on transport errors and 429/503,
+//! exponential backoff with decorrelated jitter seeded by `--retry-seed`,
+//! floored at the server's `retry-after-ms` hint. `--keep-alive` gives
+//! each worker thread one pooled connection reused across requests
+//! (reconnecting when the server closes it) instead of a fresh connection
+//! per request — the A/B for BENCH_pr9's keep-alive throughput number.
+//!
 //! Exit 0 when every non-chaos request got *some* well-formed response
-//! (shedding 429/503 counts as well-formed — that is the daemon working);
-//! exit 1 on transport errors, unparseable responses, or any `--scrape`
-//! consistency violation.
+//! after retries (shedding 429/503 counts as well-formed — that is the
+//! daemon working); exit 1 on transport errors that survive retries,
+//! unparseable responses, or any `--scrape` consistency violation. Under
+//! a failpoint-armed daemon this is the "zero lost acknowledged
+//! requests" gate: every injected fault must be absorbed by a retry.
 
 use parhde_graph::gen::poison;
-use parhde_serve::client::Client;
+use parhde_serve::client::{Client, RetryPolicy, RetryingClient};
 use parhde_serve::proto::{Op, Request};
 use parhde_trace::registry::Snapshot;
 use std::process::exit;
@@ -53,6 +65,9 @@ struct Opts {
     timeout_ms: u64,
     chaos_disconnect_pct: u64,
     chaos_poison_pct: u64,
+    retries: u32,
+    retry_seed: u64,
+    keep_alive: bool,
     out: Option<String>,
     scrape: bool,
     scrape_out: Option<String>,
@@ -63,6 +78,7 @@ fn usage() -> ! {
         "usage: parhde-loadgen --addr HOST:PORT [--requests N] [--concurrency C]\n\
          \x20                     [--graph SPEC]... [--distinct K] [--deadline-ms MS]\n\
          \x20                     [--dim P] [--timeout-ms MS]\n\
+         \x20                     [--retries N] [--retry-seed S] [--keep-alive]\n\
          \x20                     [--chaos-disconnect PCT] [--chaos-poison PCT]\n\
          \x20                     [--out FILE] [--scrape] [--scrape-out FILE]"
     );
@@ -81,6 +97,9 @@ fn parse_opts() -> Opts {
         timeout_ms: 30_000,
         chaos_disconnect_pct: 0,
         chaos_poison_pct: 0,
+        retries: 2,
+        retry_seed: 42,
+        keep_alive: false,
         out: None,
         scrape: false,
         scrape_out: None,
@@ -122,6 +141,9 @@ fn parse_opts() -> Opts {
             "--timeout-ms" => opts.timeout_ms = parsed!(),
             "--chaos-disconnect" => opts.chaos_disconnect_pct = parsed!(),
             "--chaos-poison" => opts.chaos_poison_pct = parsed!(),
+            "--retries" => opts.retries = parsed!(),
+            "--retry-seed" => opts.retry_seed = parsed!(),
+            "--keep-alive" => opts.keep_alive = true,
             "--out" => opts.out = Some(value!()),
             "--scrape" => opts.scrape = true,
             "--scrape-out" => {
@@ -234,13 +256,29 @@ fn latency_block(mut ms: Vec<f64>) -> String {
     )
 }
 
+/// A dedicated retrying client for `STATS` traffic: under a
+/// failpoint-armed daemon a scrape connection eats injected faults like
+/// any other, so a one-shot exchange would report chaos as a telemetry
+/// violation. Retries make a scrape failure mean what it should: the
+/// STATS path itself is broken.
+fn scrape_client(addr: &str) -> RetryingClient {
+    let policy = RetryPolicy {
+        max_retries: 4,
+        base: Duration::from_millis(25),
+        cap: Duration::from_secs(1),
+        seed: 0xa11ce,
+    };
+    RetryingClient::new(addr, Duration::from_secs(10), policy)
+}
+
 /// One `STATS` scrape: fetch, parse, validate. NDJSON is the machine
 /// format; any response that isn't a parseable snapshot is an error. A
-/// 429/503 (the scrape itself was shed) is reported as `Ok(None)`.
-fn scrape_once(addr: &str) -> Result<Option<Snapshot>, String> {
+/// 429/503 that survives the retry budget (the daemon consistently
+/// shedding the scrape) is reported as `Ok(None)`.
+fn scrape_once(client: &mut RetryingClient) -> Result<Option<Snapshot>, String> {
     let req = Request::new(Op::Stats).with("format", "ndjson");
-    let resp = parhde_serve::client::call_once(addr, &req, Duration::from_secs(10))
-        .map_err(|e| format!("stats exchange: {e}"))?;
+    let out = client.call(&req).map_err(|e| format!("stats exchange: {e}"))?;
+    let resp = out.response;
     if resp.code == 429 || resp.code == 503 {
         return Ok(None);
     }
@@ -253,10 +291,11 @@ fn scrape_once(addr: &str) -> Result<Option<Snapshot>, String> {
 /// The scrape worker: polls `STATS` until told to stop, validating every
 /// snapshot it gets. Returns (scrapes that parsed, first error if any).
 fn scrape_loop(addr: &str, stop: &AtomicBool) -> (u64, Option<String>) {
+    let mut client = scrape_client(addr);
     let mut ok = 0u64;
     let mut first_err = None;
     while !stop.load(Ordering::Relaxed) {
-        match scrape_once(addr) {
+        match scrape_once(&mut client) {
             Ok(Some(_)) => ok += 1,
             Ok(None) => {} // shed under load: the daemon protecting itself
             Err(e) => {
@@ -346,7 +385,7 @@ fn main() {
     let next = Arc::new(AtomicUsize::new(0));
     let outcomes: Arc<Mutex<Vec<Outcome>>> =
         Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
-    let retried_429 = Arc::new(AtomicU64::new(0));
+    let total_retries = Arc::new(AtomicU64::new(0));
 
     let stop_scrape = Arc::new(AtomicBool::new(false));
     let scraper = opts.scrape.then(|| {
@@ -357,19 +396,32 @@ fn main() {
 
     let started = Instant::now();
     let mut handles = Vec::new();
-    for _ in 0..opts.concurrency.max(1) {
+    for t in 0..opts.concurrency.max(1) {
         let opts = Arc::clone(&opts);
         let next = Arc::clone(&next);
         let outcomes = Arc::clone(&outcomes);
-        let retried = Arc::clone(&retried_429);
-        handles.push(std::thread::spawn(move || loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= opts.requests {
-                break;
+        let retries = Arc::clone(&total_retries);
+        handles.push(std::thread::spawn(move || {
+            // With --keep-alive each worker owns one pooled connection for
+            // the whole run; the per-thread seed keeps jitter streams
+            // deterministic yet decorrelated across workers.
+            let mut pooled = opts.keep_alive.then(|| {
+                RetryingClient::new(
+                    &opts.addr,
+                    Duration::from_millis(opts.timeout_ms),
+                    policy(&opts, opts.retry_seed ^ t as u64),
+                )
+            });
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= opts.requests {
+                    break;
+                }
+                let (req, disconnect) = build_request(i, &opts);
+                let outcome =
+                    run_one(&opts, i, &req, disconnect, &retries, pooled.as_mut());
+                outcomes.lock().unwrap().push(outcome);
             }
-            let (req, disconnect) = build_request(i, &opts);
-            let outcome = run_one(&opts, &req, disconnect, &retried);
-            outcomes.lock().unwrap().push(outcome);
         }));
     }
     for h in handles {
@@ -421,7 +473,8 @@ fn main() {
         if let Some(e) = scrape_err {
             scrape_violations.push(format!("mid-load scrape failed: {e}"));
         }
-        match scrape_once(&opts.addr) {
+        let mut finisher = scrape_client(&opts.addr);
+        match scrape_once(&mut finisher) {
             Ok(Some(snap)) => {
                 unretried_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let (block, violations) =
@@ -435,17 +488,17 @@ fn main() {
         if let Some(path) = &opts.scrape_out {
             // The human/CI-facing exposition: scraped in the default
             // Prometheus format, validated downstream by trace-validate.
-            let req = Request::new(Op::Stats);
-            match parhde_serve::client::call_once(&opts.addr, &req, Duration::from_secs(10))
-            {
-                Ok(resp) if resp.is_ok() => {
-                    if let Err(e) = std::fs::write(path, &resp.body) {
+            match finisher.call(&Request::new(Op::Stats)) {
+                Ok(out) if out.response.is_ok() => {
+                    if let Err(e) = std::fs::write(path, &out.response.body) {
                         eprintln!("parhde-loadgen: cannot write {path}: {e}");
                         scrape_violations.push(format!("scrape-out write: {e}"));
                     }
                 }
-                Ok(resp) => scrape_violations
-                    .push(format!("scrape-out fetch got {} {}", resp.code, resp.reason)),
+                Ok(out) => scrape_violations.push(format!(
+                    "scrape-out fetch got {} {}",
+                    out.response.code, out.response.reason
+                )),
                 Err(e) => scrape_violations.push(format!("scrape-out fetch: {e}")),
             }
         }
@@ -470,7 +523,9 @@ fn main() {
          \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.3},\n  \
          \"codes\": {{{}}},\n  \"latency\": {},\n  \
          \"cold\": {},\n  \"warm\": {},\n  \"hit\": {},\n  \
-         \"chaos\": {{\"disconnects\": {}, \"poison_pct\": {}, \"broken\": {}}}{}\n}}\n",
+         \"keep_alive\": {},\n  \
+         \"chaos\": {{\"disconnects\": {}, \"poison_pct\": {}, \"retries\": {}, \
+         \"broken\": {}}}{}\n}}\n",
         opts.requests,
         opts.concurrency,
         wall,
@@ -480,8 +535,10 @@ fn main() {
         latency_block(cold_ms),
         latency_block(warm_ms),
         latency_block(hit_ms),
+        opts.keep_alive,
         disconnects,
         opts.chaos_poison_pct,
+        total_retries.load(Ordering::Relaxed),
         broken,
         scrape_json,
     );
@@ -501,59 +558,65 @@ fn main() {
     }
 }
 
+/// The retry policy every request runs under, built from the CLI knobs.
+fn policy(opts: &Opts, seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: opts.retries,
+        base: Duration::from_millis(25),
+        cap: Duration::from_secs(5),
+        seed,
+    }
+}
+
 fn run_one(
     opts: &Opts,
+    i: usize,
     req: &Request,
     disconnect: bool,
-    retried_429: &AtomicU64,
+    total_retries: &AtomicU64,
+    pooled: Option<&mut RetryingClient>,
 ) -> Outcome {
     let t0 = Instant::now();
-    let client = match Client::connect(&opts.addr) {
-        Ok(c) => c,
-        Err(e) => return Outcome::Broken(format!("connect: {e}")),
-    };
     if disconnect {
+        // Chaos disconnects stay on the raw client: the whole point is to
+        // vanish without the courtesy of reading (or retrying) anything.
+        let client = match Client::connect(&opts.addr) {
+            Ok(c) => c,
+            Err(e) => return Outcome::Broken(format!("connect: {e}")),
+        };
         return match client.fire_and_disconnect(req) {
             Ok(()) => Outcome::Disconnected,
             Err(e) => Outcome::Broken(format!("fire: {e}")),
         };
     }
-    let mut client = client;
-    if client.set_timeout(Duration::from_millis(opts.timeout_ms)).is_err() {
-        return Outcome::Broken("set_timeout".into());
-    }
+    // --keep-alive reuses the worker thread's pooled connection; otherwise
+    // each request gets a fresh single-use client with its own
+    // deterministic jitter stream (spread by a SplitMix64-style multiply
+    // so neighboring requests don't back off in lockstep).
+    let mut fresh;
+    let client = match pooled {
+        Some(c) => c,
+        None => {
+            let seed =
+                opts.retry_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            fresh = RetryingClient::new(
+                &opts.addr,
+                Duration::from_millis(opts.timeout_ms),
+                policy(opts, seed),
+            );
+            &mut fresh
+        }
+    };
     match client.call(req) {
-        Ok(resp) => {
-            // One polite retry on 429, honoring the server's hint: the
-            // throughput number should reflect shedding + backoff, not
-            // count a shed as a hard failure.
-            if resp.code == 429 {
-                let hint: u64 = resp
-                    .header("retry-after-ms")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(100);
-                retried_429.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(Duration::from_millis(hint.min(2_000)));
-                if let Ok(mut again) = Client::connect(&opts.addr) {
-                    if again.set_timeout(Duration::from_millis(opts.timeout_ms)).is_ok() {
-                        if let Ok(r2) = again.call(req) {
-                            return Outcome::Answered {
-                                code: r2.code,
-                                cache: r2.header("cache").unwrap_or("").to_string(),
-                                ms: t0.elapsed().as_secs_f64() * 1e3,
-                                retried: true,
-                            };
-                        }
-                    }
-                }
-            }
+        Ok(outcome) => {
+            total_retries.fetch_add(u64::from(outcome.retries), Ordering::Relaxed);
             Outcome::Answered {
-                code: resp.code,
-                cache: resp.header("cache").unwrap_or("").to_string(),
+                code: outcome.response.code,
+                cache: outcome.response.header("cache").unwrap_or("").to_string(),
                 ms: t0.elapsed().as_secs_f64() * 1e3,
-                retried: false,
+                retried: outcome.retries > 0,
             }
         }
-        Err(e) => Outcome::Broken(format!("call: {e}")),
+        Err(e) => Outcome::Broken(format!("call after retries: {e}")),
     }
 }

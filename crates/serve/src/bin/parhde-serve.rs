@@ -5,7 +5,8 @@
 //!              [--mem-budget-mb MB] [--cache-dir DIR] [--cache-max-mb MB]
 //!              [--report-dir DIR] [--default-deadline-ms MS]
 //!              [--max-deadline-ms MS] [--drain-grace-ms MS]
-//!              [--no-request-log] [--no-telemetry]
+//!              [--keepalive-idle-ms MS] [--max-requests-per-conn N]
+//!              [--failpoints SPEC] [--no-request-log] [--no-telemetry]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (tests and
@@ -15,6 +16,18 @@
 //! (the overhead-measurement baseline). First SIGINT/SIGTERM drains: stop
 //! accepting, finish in-flight work within the grace period, exit 0.
 //! A second signal force-exits 130 immediately.
+//!
+//! Fault injection (DESIGN.md §16.1): `--failpoints SPEC` — or the
+//! `PARHDE_FAILPOINTS` environment variable — arms the deterministic
+//! failpoint layer with a seeded schedule, e.g.
+//! `seed=42,serve.*=err:0.05,cache.rename=delay:200ms`. The flag wins
+//! over the environment when both are set. Per-site evaluation/fire
+//! counters are exported through `STATS` as `parhde_failpoint_*`, so two
+//! runs with the same seed and traffic can be diffed for reproducibility.
+//! Keep-alive knobs: `--keepalive-idle-ms` bounds how long an idle
+//! connection may sit between requests; `--max-requests-per-conn` caps
+//! how many requests one connection may pipeline before the server closes
+//! it (fairness under connection churn).
 
 use parhde_serve::server::{serve, ServerConfig};
 use parhde_util::supervisor;
@@ -28,7 +41,8 @@ fn usage() -> ! {
          \x20                   [--cache-max-mb MB] [--report-dir DIR]\n\
          \x20                   [--default-deadline-ms MS]\n\
          \x20                   [--max-deadline-ms MS] [--drain-grace-ms MS]\n\
-         \x20                   [--no-request-log] [--no-telemetry]"
+         \x20                   [--keepalive-idle-ms MS] [--max-requests-per-conn N]\n\
+         \x20                   [--failpoints SPEC] [--no-request-log] [--no-telemetry]"
     );
     exit(2);
 }
@@ -39,6 +53,7 @@ fn main() {
         log_requests: true,
         ..Default::default()
     };
+    let mut failpoint_spec: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -86,6 +101,11 @@ fn main() {
             }
             "--max-deadline-ms" => cfg.max_deadline = Duration::from_millis(parsed!()),
             "--drain-grace-ms" => cfg.drain_grace = Duration::from_millis(parsed!()),
+            "--keepalive-idle-ms" => {
+                cfg.keepalive_idle = Duration::from_millis(parsed!());
+            }
+            "--max-requests-per-conn" => cfg.max_requests_per_conn = parsed!(),
+            "--failpoints" => failpoint_spec = Some(value!()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("parhde-serve: unknown option {other}");
@@ -93,6 +113,25 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    // Arm failpoints before binding the socket so the very first accepted
+    // connection already sees the schedule. The --failpoints flag wins
+    // over $PARHDE_FAILPOINTS; a malformed spec is a startup error (exit
+    // 2), never a silently-disarmed chaos run.
+    let armed = match failpoint_spec {
+        Some(spec) => {
+            parhde_util::failpoint::arm(&spec).map(|()| true)
+        }
+        None => parhde_util::failpoint::arm_from_env(),
+    };
+    match armed {
+        Ok(true) => eprintln!("parhde-serve: failpoints armed"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("parhde-serve: bad failpoint spec: {e}");
+            exit(2);
+        }
     }
 
     // Pin the compute backend for the daemon's lifetime. $PARHDE_BACKEND

@@ -127,6 +127,13 @@ impl SharedSoftBudget {
         if min_bytes > self.total {
             return Err(AdmitError::NeverFits { min_bytes, total: self.total });
         }
+        // Failpoint: a chaos schedule can make an otherwise-admissible
+        // request shed as Busy — the retryable rejection — to exercise
+        // the client backoff path. Placed after the NeverFits check so
+        // the *permanent* rejection stays deterministic under chaos.
+        if parhde_util::failpoint::check("budget.reserve").is_some() {
+            return Err(AdmitError::Busy { min_bytes, free: self.free() });
+        }
         let mut s = requested;
         loop {
             let bytes = estimate_run_bytes(n, m, s, p, cfg.bfs_mode, cfg.linalg_mode);
@@ -150,8 +157,15 @@ impl SharedSoftBudget {
 /// EWMA of recent request service times, feeding the 429 retry-after hint:
 /// a shed client should come back after roughly the time it takes the
 /// requests ahead of it to finish.
+///
+/// The sample count is tracked explicitly: before the first completed
+/// request there is *no* estimate, and the hint is the documented
+/// [`RETRY_AFTER_MIN_MS`] floor deterministically — the old
+/// `ewma == 0.0` sentinel conflated "no history" with a genuine
+/// sub-millisecond sample, and multiplied the uninitialized estimate by
+/// the queue depth before clamping.
 pub struct ServiceClock {
-    ewma_ms: Mutex<f64>,
+    ewma_ms: Mutex<(f64, u64)>,
 }
 
 /// Floor of the retry-after hint (ms): even an idle-looking server wants
@@ -169,19 +183,35 @@ impl Default for ServiceClock {
 impl ServiceClock {
     /// A clock with no history (hints start at the floor).
     pub fn new() -> Self {
-        ServiceClock { ewma_ms: Mutex::new(0.0) }
+        ServiceClock { ewma_ms: Mutex::new((0.0, 0)) }
     }
 
-    /// Records one completed request's service time.
+    /// Records one completed request's service time. Non-finite or
+    /// negative samples (a clock went backwards, an overflowed
+    /// conversion) are dropped rather than poisoning the estimate; a
+    /// genuine 0.0 ms sample *does* count as history.
     pub fn record_ms(&self, ms: f64) {
-        let mut ewma = self.ewma_ms.lock().unwrap_or_else(|e| e.into_inner());
-        *ewma = if *ewma == 0.0 { ms } else { 0.8 * *ewma + 0.2 * ms };
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        let mut state = self.ewma_ms.lock().unwrap_or_else(|e| e.into_inner());
+        let (ewma, samples) = *state;
+        *state = if samples == 0 {
+            (ms, 1)
+        } else {
+            (0.8 * ewma + 0.2 * ms, samples.saturating_add(1))
+        };
     }
 
     /// The retry-after hint for a shed request, given how much work is
-    /// ahead of it (queued + in-flight requests).
+    /// ahead of it (queued + in-flight requests). With no completed
+    /// request yet this is exactly [`RETRY_AFTER_MIN_MS`], independent of
+    /// `ahead`.
     pub fn retry_after_ms(&self, ahead: usize) -> u64 {
-        let ewma = *self.ewma_ms.lock().unwrap_or_else(|e| e.into_inner());
+        let (ewma, samples) = *self.ewma_ms.lock().unwrap_or_else(|e| e.into_inner());
+        if samples == 0 {
+            return RETRY_AFTER_MIN_MS;
+        }
         let hint = ewma * (ahead as f64 + 1.0);
         (hint as u64).clamp(RETRY_AFTER_MIN_MS, RETRY_AFTER_MAX_MS)
     }
@@ -243,6 +273,37 @@ mod tests {
         assert_eq!(b.reserved(), 0);
         // With the pool free again, the same request is admitted in full.
         assert!(!b.admit(50_000, 200_000, &cfg(32), 2).unwrap().downscaled);
+    }
+
+    #[test]
+    fn cold_start_hint_is_the_floor_regardless_of_queue_depth() {
+        // Before the first completed request there is no estimate: the
+        // hint must be the documented floor deterministically, not the
+        // uninitialized EWMA scaled by whatever is ahead.
+        let clock = ServiceClock::new();
+        for ahead in [0, 1, 7, 1000] {
+            assert_eq!(clock.retry_after_ms(ahead), RETRY_AFTER_MIN_MS);
+        }
+        // A genuine 0.0 ms sample counts as history (and still clamps to
+        // the floor), rather than being mistaken for "no samples".
+        clock.record_ms(0.0);
+        assert_eq!(clock.retry_after_ms(0), RETRY_AFTER_MIN_MS);
+        // A later real sample blends with the zero instead of replacing it.
+        clock.record_ms(1000.0);
+        let hint = clock.retry_after_ms(0);
+        assert!((150..=250).contains(&hint), "0.8*0 + 0.2*1000 = 200, got {hint}");
+    }
+
+    #[test]
+    fn hostile_samples_never_poison_the_estimate() {
+        let clock = ServiceClock::new();
+        clock.record_ms(f64::NAN);
+        clock.record_ms(f64::INFINITY);
+        clock.record_ms(-5.0);
+        assert_eq!(clock.retry_after_ms(3), RETRY_AFTER_MIN_MS, "still cold");
+        clock.record_ms(100.0);
+        clock.record_ms(f64::NAN);
+        assert!(clock.retry_after_ms(0) >= 80, "NaN after history is dropped");
     }
 
     #[test]

@@ -161,8 +161,18 @@ impl LayoutCache {
 
     /// Loads the entry for `key`. A missing entry is a miss; a corrupt or
     /// torn entry is deleted and reported as a miss (with a counter), so
-    /// one bad file can never wedge the key.
+    /// one bad file can never wedge the key. An injected read fault
+    /// (failpoint `cache.read_entry`) is a plain miss — the entry itself
+    /// is healthy, so it is *not* evicted.
     pub fn load(&self, key: u64) -> Option<CachedLayout> {
+        use parhde_util::failpoint;
+        if matches!(
+            failpoint::check("cache.read_entry"),
+            Some(failpoint::Fired::Err | failpoint::Fired::Partial)
+        ) {
+            parhde_trace::counter!("serve.cache.read_injected_miss", 1);
+            return None;
+        }
         let path = self.entry_path(key);
         let bytes = std::fs::read(&path).ok()?;
         match decode(&bytes, key) {
@@ -179,13 +189,13 @@ impl LayoutCache {
         }
     }
 
-    /// Stores an entry atomically (unique `.tmp` + rename), then evicts
-    /// the oldest entries as needed to honor the byte budget. Returns how
-    /// many entries were evicted.
+    /// Stores an entry durably (unique `.tmp` + fsync + rename + parent
+    /// fsync, DESIGN.md §16.4), then evicts the oldest entries as needed
+    /// to honor the byte budget. Returns how many entries were evicted.
     ///
     /// # Errors
-    /// [`std::io::Error`] from the write or rename; the staging file is
-    /// removed on a failed rename.
+    /// [`std::io::Error`] from any stage; the staging file is removed on
+    /// every failure path, so a failed store never leaves a stray `.tmp`.
     pub fn store(
         &self,
         key: u64,
@@ -199,10 +209,11 @@ impl LayoutCache {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp_path, &bytes)?;
-        std::fs::rename(&tmp_path, &final_path).inspect_err(|_| {
-            let _ = std::fs::remove_file(&tmp_path);
-        })?;
+        write_entry_durable(&self.dir, &tmp_path, &final_path, &bytes).inspect_err(
+            |_| {
+                let _ = std::fs::remove_file(&tmp_path);
+            },
+        )?;
         parhde_trace::counter!("serve.cache.store", 1);
         {
             let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
@@ -258,6 +269,54 @@ impl LayoutCache {
         walk(&self.dir, &mut out);
         out
     }
+}
+
+/// The durable write ladder behind [`LayoutCache::store`]: stage the
+/// bytes to `tmp`, `fsync` the staging file (so the *data* is on disk
+/// before the rename can make it visible), `rename(2)` into place, then
+/// `fsync` the parent directory (so the rename itself — a directory
+/// mutation — survives a power cut; without it the entry can vanish, or
+/// worse, reappear as the pre-rename `.tmp`). Failpoint sites
+/// `cache.write_entry` / `cache.fsync` / `cache.rename` let the chaos
+/// suite fail each rung; `partial` on the write stage leaves a torn
+/// staging file for the caller's cleanup path to reclaim.
+fn write_entry_durable(
+    dir: &Path,
+    tmp: &Path,
+    final_path: &Path,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    use parhde_util::failpoint;
+    use std::io::Write;
+    let mut f = std::fs::File::create(tmp)?;
+    match failpoint::check("cache.write_entry") {
+        Some(failpoint::Fired::Err) => {
+            return Err(failpoint::injected_io_error("cache.write_entry"))
+        }
+        Some(failpoint::Fired::Partial) => {
+            f.write_all(&bytes[..bytes.len() / 2])?;
+            return Err(failpoint::injected_io_error("cache.write_entry"));
+        }
+        _ => {}
+    }
+    f.write_all(bytes)?;
+    failpoint::io_inject("cache.fsync")?;
+    f.sync_all()?;
+    drop(f);
+    failpoint::io_inject("cache.rename")?;
+    std::fs::rename(tmp, final_path)?;
+    fsync_dir(dir)
+}
+
+/// Fsyncs a directory so a completed `rename(2)` within it is durable.
+/// Directory handles cannot be fsynced on all platforms; on non-unix this
+/// is a no-op (the rename is still atomic, just not power-cut durable).
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 /// Parses `layout-<16 hex>.bin` back to its key; `None` for anything else

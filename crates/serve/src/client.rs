@@ -1,7 +1,17 @@
-//! A minimal blocking client for the daemon, used by `parhde-loadgen`,
-//! the chaos harness, and tests. One request per connection.
+//! Blocking clients for the daemon, used by `parhde-loadgen`, the chaos
+//! harness, and tests.
+//!
+//! [`Client`] is the raw single-connection primitive; with the server's
+//! keep-alive state machine (DESIGN.md §16.2) one connection now serves
+//! many sequential [`Client::call`]s, and [`Client::pipeline`] sends a
+//! burst of frames before reading any response. [`RetryingClient`] wraps
+//! it with the retry contract (DESIGN.md §16.3): bounded retries on
+//! transport errors and retryable statuses (429/503), exponential backoff
+//! with decorrelated jitter, floored at the server's `retry-after-ms`
+//! hint.
 
 use crate::proto::{self, Request, Response};
+use parhde_util::SplitMix64;
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -31,7 +41,9 @@ impl Client {
         self.stream.set_write_timeout(Some(timeout))
     }
 
-    /// Sends one request and waits for its response.
+    /// Sends one request and waits for its response. On a keep-alive
+    /// connection this can be called repeatedly; the server closes after
+    /// its per-connection cap (`connection: close` on the last response).
     ///
     /// # Errors
     /// Propagates frame I/O errors; `InvalidData` on an unparseable
@@ -41,6 +53,29 @@ impl Client {
         let payload = proto::read_frame(&mut self.stream)?;
         Response::parse(&payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Pipelines a burst: writes every request frame before reading any
+    /// response, then reads exactly one response per request, in order.
+    /// Exercises the server's ordered writeback — response `k` must
+    /// answer request `k`.
+    ///
+    /// # Errors
+    /// Propagates frame I/O errors; `InvalidData` on an unparseable
+    /// response. A mid-burst failure loses the remaining responses (the
+    /// server cancels buffered successors when a connection dies).
+    pub fn pipeline(&mut self, reqs: &[Request]) -> std::io::Result<Vec<Response>> {
+        for req in reqs {
+            proto::write_frame(&mut self.stream, &req.encode())?;
+        }
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            let payload = proto::read_frame(&mut self.stream)?;
+            out.push(Response::parse(&payload).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+            })?);
+        }
+        Ok(out)
     }
 
     /// Sends one request and then drops the connection without reading
@@ -65,4 +100,227 @@ pub fn call_once(
     let mut client = Client::connect(addr)?;
     client.set_timeout(timeout)?;
     client.call(req)
+}
+
+/// The bounded-retry contract (DESIGN.md §16.3).
+///
+/// Sleep between attempts follows AWS-style *decorrelated jitter*:
+/// `sleep = min(cap, uniform(base, prev_sleep * 3))`, then raised to the
+/// server's `retry-after-ms` hint when the response carried one — the
+/// server knows its queue better than any client-side formula. Jitter
+/// decorrelates a thundering herd of shed clients; honoring the hint
+/// keeps a polite client from returning before the server expects
+/// capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Lower bound of every backoff sleep.
+    pub base: Duration,
+    /// Upper bound of every backoff sleep.
+    pub cap: Duration,
+    /// Seed of the jitter stream — retries are as reproducible as
+    /// everything else in this workspace.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(5),
+            seed: 0,
+        }
+    }
+}
+
+/// Whether a response status is worth retrying: overload (429) and drain
+/// (503) are explicitly temporary; everything else is either success or
+/// deterministic (400/408/413 would fail identically again).
+pub fn retryable_status(code: u16) -> bool {
+    code == proto::OVERLOADED || code == proto::DRAINING
+}
+
+/// What one [`RetryingClient::call`] did.
+#[derive(Clone, Debug)]
+pub struct CallOutcome {
+    /// The final response.
+    pub response: Response,
+    /// Attempts beyond the first (0 = first try succeeded).
+    pub retries: u32,
+}
+
+/// A [`Client`] wrapper that reuses one keep-alive connection across
+/// calls, transparently reconnects when the server closes it (request
+/// cap, idle timeout, drain), and retries failed attempts under a
+/// [`RetryPolicy`].
+pub struct RetryingClient {
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    conn: Option<Client>,
+    /// Previous backoff sleep, the "decorrelation memory" of the jitter.
+    prev_sleep: Duration,
+}
+
+impl RetryingClient {
+    /// A client for `addr` with a per-call response timeout.
+    pub fn new(addr: &str, timeout: Duration, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient {
+            addr: addr.to_string(),
+            timeout,
+            policy,
+            rng: SplitMix64::new(policy.seed),
+            conn: None,
+            prev_sleep: Duration::ZERO,
+        }
+    }
+
+    /// The next decorrelated-jitter sleep, raised to the server hint.
+    fn next_sleep(&mut self, hint_ms: Option<u64>) -> Duration {
+        let base = self.policy.base.max(Duration::from_millis(1));
+        let upper = (self.prev_sleep.max(base)) * 3;
+        let span = upper.saturating_sub(base).as_millis() as u64;
+        let jittered = base
+            + Duration::from_millis(if span == 0 { 0 } else { self.rng.next_u64() % span });
+        let mut sleep = jittered.min(self.policy.cap);
+        if let Some(hint) = hint_ms {
+            sleep = sleep.max(Duration::from_millis(hint)).min(self.policy.cap);
+        }
+        self.prev_sleep = sleep;
+        sleep
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut Client> {
+        if self.conn.is_none() {
+            let client = Client::connect(&self.addr)?;
+            client.set_timeout(self.timeout)?;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One attempt over the pooled connection. Any transport failure
+    /// discards the connection so the next attempt reconnects fresh.
+    fn attempt(&mut self, req: &Request) -> std::io::Result<Response> {
+        let fresh = self.conn.is_none();
+        let result = self.connect().and_then(|c| c.call(req));
+        match result {
+            Ok(resp) => {
+                // The server announces the close; believe it rather than
+                // discovering it as an error on the next call.
+                if resp.header("connection") == Some("close") {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) if !fresh => {
+                // A reused connection may have died between calls (idle
+                // close racing our write). One immediate same-attempt
+                // reconnect is safe and does NOT consume a retry: the
+                // request cannot have been processed if the transport was
+                // already dead. (A failure *after* processing started is
+                // indistinguishable, which is why layout is idempotent —
+                // deterministic + cached.)
+                self.conn = None;
+                let reconnected = self.connect().and_then(|c| c.call(req));
+                if reconnected.is_err() {
+                    self.conn = None;
+                }
+                reconnected.map_err(|_| e)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Calls with bounded retries: transport errors and retryable
+    /// statuses (429/503) back off and try again, up to the policy limit.
+    ///
+    /// # Errors
+    /// The *last* transport error once retries are exhausted.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<CallOutcome> {
+        let mut retries = 0u32;
+        loop {
+            let outcome = self.attempt(req);
+            let give_up = retries >= self.policy.max_retries;
+            match outcome {
+                Ok(resp) if !retryable_status(resp.code) || give_up => {
+                    return Ok(CallOutcome { response: resp, retries });
+                }
+                Ok(resp) => {
+                    let hint = resp
+                        .header("retry-after-ms")
+                        .and_then(|v| v.parse::<u64>().ok());
+                    std::thread::sleep(self.next_sleep(hint));
+                }
+                Err(e) if give_up => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(self.next_sleep(None));
+                }
+            }
+            retries += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_statuses_are_exactly_the_temporary_ones() {
+        assert!(retryable_status(proto::OVERLOADED));
+        assert!(retryable_status(proto::DRAINING));
+        for code in [
+            proto::OK,
+            proto::BAD_REQUEST,
+            proto::TIMEOUT,
+            proto::TOO_LARGE,
+            proto::CANCELLED,
+            proto::INTERNAL,
+        ] {
+            assert!(!retryable_status(code), "{code} must not be retried");
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_seeded_and_honors_the_hint() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(400),
+            seed: 7,
+        };
+        let mut a = RetryingClient::new("127.0.0.1:1", Duration::from_secs(1), policy);
+        let mut b = RetryingClient::new("127.0.0.1:1", Duration::from_secs(1), policy);
+        let mut prev_upper = policy.base * 3;
+        for _ in 0..32 {
+            let sa = a.next_sleep(None);
+            let sb = b.next_sleep(None);
+            assert_eq!(sa, sb, "same seed, same jitter schedule");
+            assert!(sa >= policy.base && sa <= policy.cap, "{sa:?} out of bounds");
+            assert!(sa <= prev_upper.min(policy.cap), "{sa:?} over decorrelation bound");
+            prev_upper = sa.max(policy.base) * 3;
+        }
+        // The server hint floors the sleep (still capped).
+        let hinted = a.next_sleep(Some(250));
+        assert!(hinted >= Duration::from_millis(250) && hinted <= policy.cap);
+        let capped = a.next_sleep(Some(60_000));
+        assert_eq!(capped, policy.cap, "hint must not exceed the cap");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mk = |seed| RetryPolicy { seed, ..RetryPolicy::default() };
+        let mut a = RetryingClient::new("127.0.0.1:1", Duration::from_secs(1), mk(1));
+        let mut b = RetryingClient::new("127.0.0.1:1", Duration::from_secs(1), mk(2));
+        let sa: Vec<_> = (0..16).map(|_| a.next_sleep(None)).collect();
+        let sb: Vec<_> = (0..16).map(|_| b.next_sleep(None)).collect();
+        assert_ne!(sa, sb, "two herd members must not back off in lockstep");
+    }
 }

@@ -26,8 +26,18 @@
 //!   by a client-disconnect watchdog) and degrades through the retry
 //!   ladder instead of failing; first SIGINT/SIGTERM drains, the second
 //!   force-exits 130.
-//! * [`client`] — a minimal blocking client used by `parhde-loadgen`, the
-//!   chaos harness, and tests.
+//! * [`client`] — blocking clients used by `parhde-loadgen`, the chaos
+//!   harness, and tests: the raw [`client::Client`] plus
+//!   [`client::RetryingClient`], which reuses a keep-alive connection and
+//!   retries under the bounded decorrelated-jitter contract of
+//!   DESIGN.md §16.3.
+//!
+//! PR 9 hardened the connection lifecycle (DESIGN.md §16): connections
+//! are keep-alive with request pipelining under a per-connection state
+//! machine with staged read deadlines, request caps, and idle timeouts;
+//! the whole serving path is threaded with deterministic
+//! [`parhde_util::failpoint`] sites so chaos runs are seeded and
+//! reproducible.
 
 #![warn(missing_docs)]
 
@@ -39,6 +49,6 @@ pub mod server;
 
 pub use budget::SharedSoftBudget;
 pub use cache::LayoutCache;
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use proto::{Request, Response};
 pub use server::{Server, ServerConfig};

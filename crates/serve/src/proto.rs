@@ -18,6 +18,8 @@
 //! detected as a short read, never misparsed as a smaller message.
 
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on one frame's payload: large enough for a multi-million-edge
 /// inline edge list or coordinate set, small enough that a hostile length
@@ -79,6 +81,180 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// Staged deadlines for [`read_frame_staged`] (DESIGN.md §16.2).
+///
+/// A keep-alive connection has two distinct waiting regimes: *idle*
+/// (between frames — nothing has arrived, waiting is normal and cheap)
+/// and *mid-frame* (the first byte of a length prefix has arrived — the
+/// peer owes us a whole frame). The old flat
+/// `set_read_timeout(2s)` + `read_exact` conflated them: each received
+/// byte reset the clock, so a byte-dripping client could hold a worker
+/// forever at one byte per 2 s. Here the frame clock starts at the first
+/// byte and never resets.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadBudget {
+    /// How long to wait for the *first byte* of the next frame.
+    pub idle: Duration,
+    /// Wall-clock budget for one whole frame (prefix + payload), counted
+    /// from its first byte.
+    pub frame: Duration,
+}
+
+/// Why [`read_frame_staged`] returned without a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// No byte arrived within the idle budget. Close quietly.
+    Idle,
+    /// The abort condition (drain) became true while idle. Close quietly.
+    Aborted,
+    /// Clean EOF on a frame boundary. Close quietly.
+    Eof,
+    /// EOF after the frame started: the peer died mid-frame.
+    TruncatedEof,
+    /// The frame's first byte arrived but the whole frame did not land
+    /// within the frame budget (byte-dripping or a stalled peer).
+    Timeout,
+    /// The length prefix exceeds [`MAX_FRAME`]; payload never allocated.
+    TooLarge(u32),
+    /// A real transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Idle => write!(f, "idle timeout waiting for next frame"),
+            FrameError::Aborted => write!(f, "aborted while idle"),
+            FrameError::Eof => write!(f, "clean EOF on frame boundary"),
+            FrameError::TruncatedEof => write!(f, "EOF mid-frame"),
+            FrameError::Timeout => write!(f, "frame budget exhausted mid-frame"),
+            FrameError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME}")
+            }
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+/// Granularity of the poll loop inside [`read_frame_staged`]. Small
+/// enough that drain aborts and deadline checks stay responsive, large
+/// enough that an idle connection costs a handful of syscalls per second.
+const POLL_SLICE: Duration = Duration::from_millis(100);
+
+/// One bounded poll: sets the stream's read timeout to the remaining
+/// slice and reads whatever is available. Returns the byte count.
+fn poll_read(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    budget: &ReadBudget,
+    idle_start: Instant,
+    frame_start: Option<Instant>,
+    abort: &impl Fn() -> bool,
+) -> Result<usize, FrameError> {
+    loop {
+        // Recompute the governing deadline every slice: the regime flips
+        // from idle to frame once the first byte lands, and the frame
+        // clock must never reset on progress.
+        let remaining = match frame_start {
+            None => budget
+                .idle
+                .checked_sub(idle_start.elapsed())
+                .ok_or(FrameError::Idle)?,
+            Some(t0) => budget
+                .frame
+                .checked_sub(t0.elapsed())
+                .ok_or(FrameError::Timeout)?,
+        };
+        // set_read_timeout rejects zero; clamp the slice to ≥ 1 ms. This
+        // must be (re)set before every read: the disconnect watchdog's
+        // `try_clone` shares the file description, so its 1 ms probe
+        // timeout would otherwise stick to this stream.
+        let slice = remaining.min(POLL_SLICE).max(Duration::from_millis(1));
+        stream.set_read_timeout(Some(slice)).map_err(FrameError::Io)?;
+        match Read::read(&mut { stream }, buf) {
+            Ok(0) => {
+                return Err(match frame_start {
+                    None => FrameError::Eof,
+                    Some(_) => FrameError::TruncatedEof,
+                })
+            }
+            Ok(n) => return Ok(n),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Abort is checked only after an *empty* slice: bytes the
+                // peer already sent always win over the abort condition,
+                // so a draining server still reads — and answers — a
+                // request that was fully buffered before drain began.
+                if frame_start.is_none() && abort() {
+                    return Err(FrameError::Aborted);
+                }
+                continue;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+}
+
+/// Reads one frame under staged deadlines (DESIGN.md §16.2).
+///
+/// Waits up to `budget.idle` for the first byte; from that byte on, the
+/// entire frame must land within `budget.frame` of wall clock — progress
+/// does not extend the deadline, which is what defeats byte-dripping
+/// (slowloris) clients. `abort` is polled (≈ every [`POLL_SLICE`]) only
+/// while idle, so a draining server reclaims parked keep-alive workers
+/// promptly but still finishes — and answers — a frame already in
+/// flight.
+///
+/// On success returns the payload and the instant the frame's first byte
+/// arrived, which the server uses as the queue-admission timestamp for
+/// pipelined requests.
+///
+/// # Errors
+/// A typed [`FrameError`]; `Idle`, `Aborted`, and `Eof` are the quiet
+/// close paths of a healthy keep-alive connection.
+pub fn read_frame_staged(
+    stream: &TcpStream,
+    budget: &ReadBudget,
+    abort: impl Fn() -> bool,
+) -> Result<(Vec<u8>, Instant), FrameError> {
+    let idle_start = Instant::now();
+    let mut frame_start: Option<Instant> = None;
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        let n = poll_read(stream, &mut prefix[got..], budget, idle_start, frame_start, &abort)?;
+        if frame_start.is_none() {
+            frame_start = Some(Instant::now());
+        }
+        got += n;
+    }
+    let t0 = frame_start.unwrap_or(idle_start);
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < payload.len() {
+        let n = poll_read(
+            stream,
+            &mut payload[got..],
+            budget,
+            idle_start,
+            frame_start,
+            &abort,
+        )?;
+        got += n;
+    }
+    Ok((payload, t0))
 }
 
 /// Operations a client can request.
@@ -327,5 +503,155 @@ mod tests {
         assert!(Request::parse(b"PARHDE/1 FROBNICATE\n\n").is_err());
         assert!(Response::parse(b"PARHDE/1 notanumber ok\n\n").is_err());
         assert!(Request::parse(&[0xff, 0xfe, 0x00]).is_err());
+    }
+
+    #[test]
+    fn zero_length_frame_reads_but_parses_to_typed_error() {
+        // A 0-byte payload is a legal *frame* (the prefix is honest) but
+        // an illegal *request*: it must surface as a parse error the
+        // server answers with 400, never as a panic or a hang.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        assert_eq!(buf, vec![0, 0, 0, 0]);
+        let payload = read_frame(&mut buf.as_slice()).unwrap();
+        assert!(payload.is_empty());
+        assert!(Request::parse(&payload).unwrap_err().contains("empty request"));
+    }
+
+    #[test]
+    fn frame_cap_is_exact_at_the_boundary() {
+        // Exactly MAX_FRAME is accepted; MAX_FRAME + 1 is rejected
+        // before the payload allocation.
+        let head = MAX_FRAME.to_le_bytes();
+        let mut r = head.chain(std::io::repeat(0x2a).take(u64::from(MAX_FRAME)));
+        let payload = read_frame(&mut r).unwrap();
+        assert_eq!(payload.len(), MAX_FRAME as usize);
+        assert_eq!(payload[MAX_FRAME as usize - 1], 0x2a);
+        drop(payload);
+
+        let head = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = head.chain(std::io::repeat(0).take(u64::from(MAX_FRAME) + 1));
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Loopback socket pair for the staged-reader tests.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn staged_read_reassembles_header_split_across_segments() {
+        let (client, server) = socket_pair();
+        let body = Request::new(Op::Ping).encode();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &body).unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut c = &client;
+            // Drip the length prefix two bytes at a time, then the
+            // payload in two segments, with real gaps between writes.
+            c.write_all(&frame[..2]).unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+            c.write_all(&frame[2..4]).unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+            let mid = 4 + (frame.len() - 4) / 2;
+            c.write_all(&frame[4..mid]).unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+            c.write_all(&frame[mid..]).unwrap();
+        });
+        let budget = ReadBudget {
+            idle: Duration::from_secs(2),
+            frame: Duration::from_secs(2),
+        };
+        let (payload, _t0) = read_frame_staged(&server, &budget, || false).unwrap();
+        assert_eq!(payload, body);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn staged_read_times_out_on_byte_drip_without_resetting() {
+        let (client, server) = socket_pair();
+        let writer = std::thread::spawn(move || {
+            let mut c = &client;
+            // One byte every 60 ms would satisfy a per-read timeout
+            // forever; the whole-frame budget must still trip.
+            for b in 0u8..20 {
+                if c.write_all(&[b]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(60));
+            }
+        });
+        let budget = ReadBudget {
+            idle: Duration::from_secs(5),
+            frame: Duration::from_millis(250),
+        };
+        let t0 = Instant::now();
+        let err = read_frame_staged(&server, &budget, || false).unwrap_err();
+        assert!(matches!(err, FrameError::Timeout), "got {err}");
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "budget must not reset per byte (took {elapsed:?})"
+        );
+        drop(server);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn staged_read_idle_and_abort_paths() {
+        let (_client, server) = socket_pair();
+        let budget = ReadBudget {
+            idle: Duration::from_millis(120),
+            frame: Duration::from_secs(1),
+        };
+        let err = read_frame_staged(&server, &budget, || false).unwrap_err();
+        assert!(matches!(err, FrameError::Idle), "got {err}");
+
+        let long = ReadBudget { idle: Duration::from_secs(10), frame: Duration::from_secs(1) };
+        let t0 = Instant::now();
+        let err = read_frame_staged(&server, &long, || true).unwrap_err();
+        assert!(matches!(err, FrameError::Aborted), "got {err}");
+        assert!(t0.elapsed() < Duration::from_secs(2), "abort must be prompt");
+    }
+
+    #[test]
+    fn staged_read_reports_clean_vs_truncated_eof() {
+        let (client, server) = socket_pair();
+        drop(client);
+        let budget = ReadBudget {
+            idle: Duration::from_secs(1),
+            frame: Duration::from_secs(1),
+        };
+        let err = read_frame_staged(&server, &budget, || false).unwrap_err();
+        assert!(matches!(err, FrameError::Eof), "got {err}");
+
+        let (client, server) = socket_pair();
+        {
+            let mut c = &client;
+            c.write_all(&[7, 0]).unwrap(); // half a length prefix
+        }
+        drop(client);
+        let err = read_frame_staged(&server, &budget, || false).unwrap_err();
+        assert!(matches!(err, FrameError::TruncatedEof), "got {err}");
+    }
+
+    #[test]
+    fn staged_read_rejects_hostile_length_before_allocating() {
+        let (client, server) = socket_pair();
+        {
+            let mut c = &client;
+            c.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        }
+        let budget = ReadBudget {
+            idle: Duration::from_secs(1),
+            frame: Duration::from_secs(1),
+        };
+        let err = read_frame_staged(&server, &budget, || false).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge(l) if l == MAX_FRAME + 1), "got {err}");
     }
 }

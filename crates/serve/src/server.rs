@@ -83,6 +83,20 @@ pub struct ServerConfig {
     /// ID, op, status, duration). Off by default so in-process test
     /// servers stay quiet; the binary turns it on.
     pub log_requests: bool,
+    /// How long a fresh connection may sit silent before its *first*
+    /// frame starts (replaces the old flat 2 s read timeout).
+    pub header_timeout: Duration,
+    /// Wall-clock budget for one whole frame counted from its first
+    /// byte. Unlike a per-read timeout it never resets on progress, so a
+    /// byte-dripping client is bounded by this, not by patience.
+    pub frame_budget: Duration,
+    /// How long a keep-alive connection may idle between frames before
+    /// the server closes it.
+    pub keepalive_idle: Duration,
+    /// Requests served per connection before the server closes it
+    /// (`connection: close` on the last response). Bounds how long one
+    /// client can monopolize a worker; min 1.
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +113,10 @@ impl Default for ServerConfig {
             max_deadline: Duration::from_secs(60),
             drain_grace: Duration::from_secs(2),
             log_requests: false,
+            header_timeout: Duration::from_secs(2),
+            frame_budget: Duration::from_secs(2),
+            keepalive_idle: Duration::from_secs(5),
+            max_requests_per_conn: 64,
         }
     }
 }
@@ -122,6 +140,13 @@ struct Metrics {
     connections_unreadable: Arc<Counter>,
     requests_unparseable: Arc<Counter>,
     panics: Arc<Counter>,
+    // Keep-alive connection lifecycle (DESIGN.md §16.2).
+    keepalive_requests: Arc<Counter>,
+    connections_closed_idle: Arc<Counter>,
+    connections_closed_cap: Arc<Counter>,
+    connections_closed_fair: Arc<Counter>,
+    frame_timeouts: Arc<Counter>,
+    pipeline_cancelled: Arc<Counter>,
     // Layout lifecycle: one start, exactly one terminal.
     layout_started: Arc<Counter>,
     layout_completed: Arc<Counter>,
@@ -168,6 +193,12 @@ impl Metrics {
             connections_unreadable: c("parhde_connections_unreadable_total"),
             requests_unparseable: c("parhde_requests_unparseable_total"),
             panics: c("parhde_panics_total"),
+            keepalive_requests: c("parhde_keepalive_requests_total"),
+            connections_closed_idle: c("parhde_connections_closed_idle_total"),
+            connections_closed_cap: c("parhde_connections_closed_cap_total"),
+            connections_closed_fair: c("parhde_connections_closed_fair_total"),
+            frame_timeouts: c("parhde_frame_timeouts_total"),
+            pipeline_cancelled: c("parhde_pipeline_cancelled_total"),
             layout_started: c("parhde_requests_started_total"),
             layout_completed: c("parhde_layout_completed_total"),
             layout_rejected: c("parhde_layout_rejected_total"),
@@ -475,68 +506,269 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Why the per-connection loop decided to stop serving frames.
+enum CloseCause {
+    /// Clean EOF, idle timeout after ≥ 1 request, drain while idle, or a
+    /// voluntary fairness close — nothing is owed to the peer.
+    Quiet,
+    /// The first frame never arrived or was unreadable (counts
+    /// `connections_unreadable`, matching the pre-keep-alive daemon).
+    Unreadable,
+}
+
+/// The per-connection protocol state machine (DESIGN.md §16.2). One
+/// worker owns the connection and loops: staged frame read → dispatch →
+/// ordered response write → next frame. Pipelined frames the client sent
+/// ahead simply wait in the socket buffer and become the next iteration;
+/// responses go back strictly in request order because the loop is
+/// serial. The connection closes on: quiet EOF, idle timeout, the
+/// per-connection request cap, drain, fairness (another connection is
+/// queued while this one idles), a hostile frame, or a failed write — a
+/// failed write also counts the pipelined successors already buffered as
+/// cancelled, because they were received but will never be answered.
 fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
     let Pending { mut stream, accepted } = pending;
     shared
         .metrics
         .queue_wait_ms
         .record(accepted.elapsed().as_secs_f64() * 1e3);
-    // A worker must not hang on a half-sent request (slowloris).
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let payload = match proto::read_frame(&mut stream) {
-        Ok(p) => p,
-        Err(_) => {
-            // Nothing parseable arrived; no reply possible.
-            shared.metrics.connections_unreadable.inc();
-            return;
-        }
-    };
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let trace_id = shared.next_trace_id();
-    let mut op_name = "INVALID";
-    // Panic boundary: a panic anywhere in request handling must cost the
-    // *request* (typed 500), never the worker thread — a daemon that
-    // silently loses workers to hostile inputs eventually serves nobody.
-    // (Layout requests carry their own inner boundary so panics still
-    // land in a lifecycle terminal counter; this one covers the rest.)
-    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        match Request::parse(&payload) {
-            Err(msg) => {
-                shared.metrics.requests_unparseable.inc();
-                Response::new(proto::BAD_REQUEST, "bad request").with("error", msg)
+    // Keep-alive responses must not queue behind Nagle: a pipelining peer
+    // may not ACK promptly, and a delayed-ACK stall per response would
+    // dominate sub-millisecond cache hits.
+    let _ = stream.set_nodelay(true);
+    let mut served: usize = 0;
+    let cap = shared.cfg.max_requests_per_conn.max(1);
+    let cause = loop {
+        let is_first = served == 0;
+        let budget = proto::ReadBudget {
+            idle: if is_first {
+                shared.cfg.header_timeout
+            } else {
+                shared.cfg.keepalive_idle
+            },
+            frame: shared.cfg.frame_budget,
+        };
+        // Fairness: an idle keep-alive connection yields its worker when
+        // other connections are waiting in the queue (checked only after
+        // an empty poll slice — buffered frames always win). The first
+        // request is exempt: it was queued and popped fairly already.
+        let abort = || {
+            shared.draining()
+                || (!is_first
+                    && !shared.queue.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+        };
+        if let Some(fired) = parhde_util::failpoint::check("serve.read_frame") {
+            if matches!(
+                fired,
+                parhde_util::failpoint::Fired::Err | parhde_util::failpoint::Fired::Partial
+            ) {
+                break if is_first { CloseCause::Unreadable } else { CloseCause::Quiet };
             }
-            Ok(req) => {
-                op_name = match req.op {
-                    Op::Ping => "PING",
-                    Op::Stats => "STATS",
-                    Op::Layout => "LAYOUT",
+        }
+        let (payload, frame_start) = match proto::read_frame_staged(&stream, &budget, abort)
+        {
+            Ok(frame) => frame,
+            Err(proto::FrameError::Eof) => {
+                break if is_first { CloseCause::Unreadable } else { CloseCause::Quiet }
+            }
+            Err(proto::FrameError::Idle) => {
+                if !is_first {
+                    shared.metrics.connections_closed_idle.inc();
+                }
+                break if is_first { CloseCause::Unreadable } else { CloseCause::Quiet };
+            }
+            Err(proto::FrameError::Aborted) => {
+                if !is_first && !shared.draining() {
+                    shared.metrics.connections_closed_fair.inc();
+                }
+                break if is_first && !shared.draining() {
+                    CloseCause::Unreadable
+                } else {
+                    CloseCause::Quiet
                 };
-                match req.op {
-                    Op::Ping => ping_response(shared),
-                    Op::Stats => stats_response(shared, &req),
-                    Op::Layout => handle_layout(shared, &req, &stream, accepted, &trace_id),
+            }
+            Err(proto::FrameError::Timeout) => {
+                // The peer started a frame and stalled: answer 408 (it
+                // may still be listening) and close — the stream is no
+                // longer frame-synchronized.
+                shared.metrics.frame_timeouts.inc();
+                parhde_trace::counter!("serve.frame.timeout", 1);
+                let resp = Response::new(proto::TIMEOUT, "frame timeout")
+                    .with("error", "whole-frame read budget exhausted")
+                    .with("connection", "close")
+                    .with("trace-id", shared.next_trace_id());
+                let _ = write_response_frame(&mut stream, &resp.encode());
+                break if is_first { CloseCause::Unreadable } else { CloseCause::Quiet };
+            }
+            Err(proto::FrameError::TooLarge(len)) => {
+                // A hostile or desynchronized length prefix: best-effort
+                // typed rejection, then close (the payload bytes were
+                // never read, so the stream cannot be re-synchronized).
+                let resp = Response::new(proto::BAD_REQUEST, "frame too large")
+                    .with("error", format!("frame length {len} exceeds cap"))
+                    .with("connection", "close")
+                    .with("trace-id", shared.next_trace_id());
+                let _ = write_response_frame(&mut stream, &resp.encode());
+                break if is_first { CloseCause::Unreadable } else { CloseCause::Quiet };
+            }
+            Err(proto::FrameError::TruncatedEof | proto::FrameError::Io(_)) => {
+                break if is_first { CloseCause::Unreadable } else { CloseCause::Quiet }
+            }
+        };
+        // Pipelined deadlines are per-request: request k's clock starts
+        // at its own first byte, not at connection accept — otherwise a
+        // burst of pipelined frames would all age while their
+        // predecessors run.
+        let req_accepted = if is_first { accepted } else { frame_start };
+        if !is_first {
+            shared.metrics.keepalive_requests.inc();
+        }
+        let trace_id = shared.next_trace_id();
+        let mut op_name = "INVALID";
+        // Panic boundary: a panic anywhere in request handling must cost
+        // the *request* (typed 500), never the worker thread — a daemon
+        // that silently loses workers to hostile inputs eventually serves
+        // nobody. (Layout requests carry their own inner boundary so
+        // panics still land in a lifecycle terminal counter; this one
+        // covers the rest.)
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match Request::parse(&payload) {
+                Err(msg) => {
+                    shared.metrics.requests_unparseable.inc();
+                    Response::new(proto::BAD_REQUEST, "bad request").with("error", msg)
+                }
+                Ok(req) => {
+                    op_name = match req.op {
+                        Op::Ping => "PING",
+                        Op::Stats => "STATS",
+                        Op::Layout => "LAYOUT",
+                    };
+                    match req.op {
+                        Op::Ping => ping_response(shared),
+                        Op::Stats => stats_response(shared, &req),
+                        Op::Layout => {
+                            handle_layout(shared, &req, &stream, req_accepted, &trace_id)
+                        }
+                    }
                 }
             }
+        }))
+        .unwrap_or_else(|panic| {
+            shared.metrics.panics.inc();
+            parhde_trace::counter!("serve.panic.request", 1);
+            Response::new(proto::INTERNAL, "internal error (bug)")
+                .with("error", panic_message(&panic))
+        });
+        served += 1;
+        let close = shared.draining() || served >= cap;
+        let response = response
+            .with("trace-id", &trace_id)
+            .with("connection", if close { "close" } else { "keep-alive" });
+        let write = write_response_frame(&mut stream, &response.encode());
+        let elapsed_ms = req_accepted.elapsed().as_secs_f64() * 1e3;
+        if op_name == "LAYOUT" && response.code == proto::OK {
+            // Full server-side latency of a successful layout: queue wait
+            // through response write — the population `parhde-loadgen
+            // --scrape` cross-checks against client-observed latencies.
+            shared.metrics.request_duration_ms.record(elapsed_ms);
         }
-    }))
-    .unwrap_or_else(|panic| {
-        shared.metrics.panics.inc();
-        parhde_trace::counter!("serve.panic.request", 1);
-        Response::new(proto::INTERNAL, "internal error (bug)")
-            .with("error", panic_message(&panic))
-    });
-    let response = response.with("trace-id", &trace_id);
-    let _ = proto::write_frame(&mut stream, &response.encode());
-    let elapsed_ms = accepted.elapsed().as_secs_f64() * 1e3;
-    if op_name == "LAYOUT" && response.code == proto::OK {
-        // Full server-side latency of a successful layout: queue wait
-        // through response write — the population `parhde-loadgen
-        // --scrape` cross-checks against client-observed latencies.
-        shared.metrics.request_duration_ms.record(elapsed_ms);
+        if shared.cfg.log_requests {
+            log_request_event(&trace_id, op_name, response.code, &response.reason, elapsed_ms);
+        }
+        if let Err(e) = write {
+            // The connection died with this response unsent. Pipelined
+            // successors already buffered were *received* but will never
+            // be answered: account them as cancelled so the pipeline's
+            // books balance.
+            let orphans = count_buffered_frames(&stream);
+            if orphans > 0 {
+                shared.metrics.pipeline_cancelled.add(orphans);
+                parhde_trace::counter!("serve.pipeline.cancelled", orphans);
+            }
+            if shared.cfg.log_requests {
+                log_warn_event("response-write-failed", &trace_id, &e.to_string());
+            }
+            break CloseCause::Quiet;
+        }
+        if close {
+            if served >= cap && !shared.draining() {
+                shared.metrics.connections_closed_cap.inc();
+            }
+            break CloseCause::Quiet;
+        }
+    };
+    if matches!(cause, CloseCause::Unreadable) {
+        shared.metrics.connections_unreadable.inc();
     }
-    if shared.cfg.log_requests {
-        log_request_event(&trace_id, op_name, response.code, &response.reason, elapsed_ms);
+}
+
+/// Writes one response frame, honoring the `serve.write_response`
+/// failpoint: `err` fails before any byte (the peer sees a clean close or
+/// reset), `partial` writes the length prefix plus half the payload then
+/// fails (the peer sees a torn frame and must treat it as a transport
+/// error, never a response).
+///
+/// Prefix and payload go out in ONE write: two small writes on a reused
+/// keep-alive connection trip Nagle + delayed-ACK (the prefix segment
+/// sits unacknowledged, so the payload waits out the peer's ~40 ms
+/// delayed ACK — invisible on fresh connections, where Linux starts in
+/// quickack mode, which is why the one-request-per-connection server
+/// never saw it).
+fn write_response_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    use parhde_util::failpoint;
+    use std::io::Write;
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= proto::MAX_FRAME)
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+        })?;
+    match failpoint::check("serve.write_response") {
+        Some(failpoint::Fired::Err) => {
+            return Err(failpoint::injected_io_error("serve.write_response"))
+        }
+        Some(failpoint::Fired::Partial) => {
+            let mut torn = Vec::with_capacity(4 + payload.len() / 2);
+            torn.extend_from_slice(&len.to_le_bytes());
+            torn.extend_from_slice(&payload[..payload.len() / 2]);
+            stream.write_all(&torn)?;
+            let _ = stream.flush();
+            return Err(failpoint::injected_io_error("serve.write_response"));
+        }
+        _ => {}
     }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// Counts complete frames already sitting in the connection's receive
+/// buffer (best-effort, via a non-blocking `peek`): the pipelined
+/// successors a dead connection strands.
+fn count_buffered_frames(stream: &TcpStream) -> u64 {
+    let mut buf = [0u8; 64 * 1024];
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    let n = match stream.peek(&mut buf) {
+        Ok(n) => n,
+        Err(_) => return 0,
+    };
+    let mut frames = 0u64;
+    let mut at = 0usize;
+    while at + 4 <= n {
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap_or_default());
+        let Some(end) = at.checked_add(4).and_then(|s| s.checked_add(len as usize)) else {
+            break;
+        };
+        if len > proto::MAX_FRAME || end > n {
+            break;
+        }
+        frames += 1;
+        at = end;
+    }
+    frames
 }
 
 /// Best-effort human text out of a caught panic payload.
@@ -909,6 +1141,9 @@ fn classify_error(e: &HdeError) -> (u16, &'static str) {
         HdeError::DeadlineExceeded { .. } => (proto::TIMEOUT, "deadline exceeded"),
         HdeError::MemoryBudgetExceeded { .. } => (proto::TOO_LARGE, "memory budget"),
         HdeError::Internal(_) => (proto::INTERNAL, "internal error"),
+        // Disk trouble (checkpoint write, cache I/O) is the server's
+        // fault, not the request's.
+        HdeError::Io(_) => (proto::INTERNAL, "io error"),
         // Parse/config/degenerate/non-finite: the *request* was bad.
         _ => (proto::BAD_REQUEST, "layout failed"),
     }
@@ -1168,8 +1403,14 @@ fn unregister_watch(shared: &Arc<Shared>, id: u64) {
 
 /// Polls every in-flight request's socket; a clean EOF or a hard error
 /// means the client is gone → fire that request's cancel flag. `peek`
-/// never consumes bytes, so a (protocol-violating) pipelined byte stays
-/// readable. Runs until the server fully drains.
+/// never consumes bytes, so a pipelined frame the client sent ahead
+/// stays buffered and becomes the connection loop's next request once
+/// the current one answers. Runs until the server fully drains.
+///
+/// The watchdog's 1 ms probe timeout is set on a `try_clone` of the
+/// connection, which shares the underlying file description — the staged
+/// frame reader therefore re-asserts its own timeout before every read
+/// rather than trusting a previously set one.
 fn watchdog_loop(shared: &Arc<Shared>) {
     let mut buf = [0u8; 1];
     while !shared.stop_watchdog.load(Ordering::Relaxed) {

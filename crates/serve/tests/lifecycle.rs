@@ -1,0 +1,219 @@
+//! Connection-lifecycle tests for the keep-alive state machine
+//! (DESIGN.md §16.2): pipelined ordered writeback, per-connection request
+//! caps, idle reaping, staged read deadlines, and the lifecycle-counter
+//! invariant under connection reuse.
+//!
+//! Like the chaos suite, these serialize on one mutex (the ambient run
+//! budget and trace collector are process-exclusive).
+
+use parhde_serve::client::{Client, RetryPolicy, RetryingClient};
+use parhde_serve::proto::{self, Op, Request, Response};
+use parhde_serve::server::{serve, Server, ServerConfig};
+use parhde_trace::registry::Snapshot;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = serve(cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn layout_req(spec: &str) -> Request {
+    Request::new(Op::Layout).with("graph", spec).with("deadline-ms", 30_000)
+}
+
+fn stats_snapshot(addr: &str) -> Snapshot {
+    let req = Request::new(Op::Stats).with("format", "ndjson");
+    let resp = parhde_serve::client::call_once(addr, &req, Duration::from_secs(30))
+        .expect("stats exchange");
+    assert!(resp.is_ok(), "stats failed: {} {}", resp.code, resp.reason);
+    Snapshot::from_ndjson(&resp.body).expect("valid metrics ndjson")
+}
+
+fn counter(addr: &str, name: &str) -> u64 {
+    stats_snapshot(addr).counter(name).unwrap_or(0)
+}
+
+const TERMINALS: [&str; 8] = [
+    "parhde_layout_completed_total",
+    "parhde_layout_rejected_total",
+    "parhde_layout_timeout_total",
+    "parhde_layout_too_large_total",
+    "parhde_layout_busy_total",
+    "parhde_layout_cancelled_total",
+    "parhde_layout_failed_total",
+    "parhde_layout_drained_total",
+];
+
+#[test]
+fn one_connection_serves_many_requests() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig::default());
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_timeout(Duration::from_secs(60)).unwrap();
+    let specs = ["gen:grid:8:8", "gen:grid:9:9", "gen:grid:8:8", "gen:grid:10:10"];
+    for (i, spec) in specs.iter().enumerate() {
+        let resp = client.call(&layout_req(spec)).unwrap();
+        assert!(resp.is_ok(), "request {i}: {} {}", resp.code, resp.reason);
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+    drop(client);
+
+    // Requests 2..4 rode the keep-alive connection; the invariant holds.
+    let snap = stats_snapshot(&addr);
+    assert!(
+        snap.counter("parhde_keepalive_requests_total").unwrap_or(0) >= 3,
+        "keep-alive requests not counted"
+    );
+    let started = snap.counter("parhde_requests_started_total").unwrap_or(0);
+    let terminals: u64 = TERMINALS.iter().map(|n| snap.counter(n).unwrap_or(0)).sum();
+    assert_eq!(started, terminals, "lifecycle invariant broken under keep-alive");
+    server.drain();
+}
+
+#[test]
+fn pipelined_burst_is_answered_in_order() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig::default());
+
+    // Distinct vertex counts: response k must answer request k, and the
+    // `n` header proves which request a response belongs to.
+    let sides = [6usize, 9, 7, 10, 8];
+    let reqs: Vec<Request> =
+        sides.iter().map(|s| layout_req(&format!("gen:grid:{s}:{s}"))).collect();
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_timeout(Duration::from_secs(120)).unwrap();
+    let responses = client.pipeline(&reqs).expect("pipelined exchange");
+    assert_eq!(responses.len(), sides.len());
+    for (resp, side) in responses.iter().zip(sides) {
+        assert!(resp.is_ok(), "{} {}", resp.code, resp.reason);
+        assert_eq!(
+            resp.header("n"),
+            Some(format!("{}", side * side).as_str()),
+            "responses arrived out of order"
+        );
+    }
+    server.drain();
+}
+
+#[test]
+fn request_cap_is_announced_and_enforced() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig {
+        max_requests_per_conn: 2,
+        ..Default::default()
+    });
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_timeout(Duration::from_secs(60)).unwrap();
+    let first = client.call(&layout_req("gen:grid:8:8")).unwrap();
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    let second = client.call(&layout_req("gen:grid:8:8")).unwrap();
+    assert_eq!(second.header("connection"), Some("close"), "cap not announced");
+    // The server hung up after the announced close.
+    let third = client.call(&layout_req("gen:grid:8:8"));
+    assert!(third.is_err(), "server served past its per-connection cap");
+    assert!(counter(&addr, "parhde_connections_closed_cap_total") >= 1);
+
+    // The retrying client absorbs cap closes invisibly: 5 calls on a
+    // cap-2 server all succeed through transparent reconnects.
+    let mut retrying = RetryingClient::new(
+        &addr,
+        Duration::from_secs(60),
+        RetryPolicy::default(),
+    );
+    for i in 0..5 {
+        let out = retrying.call(&layout_req("gen:grid:9:9")).unwrap();
+        assert!(out.response.is_ok(), "call {i} through cap closes failed");
+        assert_eq!(out.retries, 0, "an announced close must not burn a retry");
+    }
+    server.drain();
+}
+
+#[test]
+fn idle_keepalive_connections_are_reaped() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig {
+        keepalive_idle: Duration::from_millis(200),
+        ..Default::default()
+    });
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_timeout(Duration::from_secs(60)).unwrap();
+    let first = client.call(&layout_req("gen:grid:8:8")).unwrap();
+    assert!(first.is_ok());
+
+    // Outlive the idle budget; the server must close, not wait forever.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while counter(&addr, "parhde_connections_closed_idle_total") == 0 {
+        assert!(Instant::now() < deadline, "idle connection was never reaped");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let second = client.call(&layout_req("gen:grid:8:8"));
+    assert!(second.is_err(), "reaped connection still answered");
+    server.drain();
+}
+
+#[test]
+fn byte_drip_exhausts_the_frame_budget_with_a_408() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig {
+        frame_budget: Duration::from_millis(400),
+        ..Default::default()
+    });
+
+    // A slowloris peer: start a frame, then drip one byte and stall. The
+    // whole-frame clock (started at the first byte) must expire even
+    // though the connection is never idle long enough to trip that limit.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(&[4u8]).unwrap(); // first byte of the length prefix
+    std::thread::sleep(Duration::from_millis(150));
+    stream.write_all(&[0u8]).unwrap(); // still three prefix bytes short
+
+    let payload = proto::read_frame(&mut stream).expect("408 before close");
+    let resp = Response::parse(&payload).unwrap();
+    assert_eq!(resp.code, proto::TIMEOUT, "{} {}", resp.code, resp.reason);
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(counter(&addr, "parhde_frame_timeouts_total") >= 1);
+
+    // And the stream really is closed afterwards.
+    let mut byte = [0u8; 1];
+    assert_eq!(stream.read(&mut byte).unwrap_or(0), 0, "expected EOF after 408");
+    server.drain();
+}
+
+#[test]
+fn garbage_after_a_valid_frame_closes_with_a_typed_400() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig::default());
+
+    // A valid PING followed by bytes that parse as an absurd length
+    // prefix: the first request is answered, the garbage is rejected as a
+    // too-large frame, and the connection closes (it cannot be
+    // re-synchronized — the payload bytes were never read).
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    proto::write_frame(&mut stream, &Request::new(Op::Ping).encode()).unwrap();
+    stream.write_all(&[0xFF; 8]).unwrap();
+
+    let first = Response::parse(&proto::read_frame(&mut stream).unwrap()).unwrap();
+    assert!(first.is_ok(), "valid frame before garbage must be answered");
+    let second = Response::parse(&proto::read_frame(&mut stream).unwrap()).unwrap();
+    assert_eq!(second.code, proto::BAD_REQUEST, "{} {}", second.code, second.reason);
+    assert_eq!(second.header("connection"), Some("close"));
+    let mut byte = [0u8; 1];
+    assert_eq!(stream.read(&mut byte).unwrap_or(0), 0, "expected EOF after 400");
+    server.drain();
+}
+

@@ -1,0 +1,546 @@
+//! Process-wide deterministic fault injection (DESIGN.md §16.1).
+//!
+//! A *failpoint* is a named site in production code — `serve.read_frame`,
+//! `cache.rename`, `checkpoint.write`, … — where a chaos schedule may
+//! inject a typed I/O error, a delay, a partial read/write, or a one-shot
+//! panic. The design goals, in priority order:
+//!
+//! 1. **Free when disarmed.** [`check`] is a single relaxed atomic load on
+//!    the hot path when no schedule is armed — the sites stay compiled
+//!    into release binaries and cost nothing measurable (gated by
+//!    BENCH_pr9's armed-vs-disarmed A/B).
+//! 2. **Seed-reproducible.** Every site draws from its own [`SplitMix64`]
+//!    stream seeded by `global_seed ^ fnv(site)`; the decision for the
+//!    k-th evaluation at a site is a pure function of `(seed, site, k)`.
+//!    Two runs that evaluate a site the same number of times observe the
+//!    *identical* fire schedule, regardless of thread interleaving
+//!    elsewhere — which is what lets CI re-run a chaos seed and diff the
+//!    fire counters.
+//! 3. **Auditable.** Every evaluation and every fire increments registry
+//!    counters (`parhde_failpoint_evaluations_total`,
+//!    `parhde_failpoint_fired_total`, and a per-site
+//!    `parhde_failpoint_fired_<site>_total`), so a `STATS` scrape shows
+//!    exactly what a chaos run injected.
+//!
+//! # Schedule grammar
+//!
+//! A schedule is a comma-separated list, armed from the
+//! `PARHDE_FAILPOINTS` environment variable or `parhde-serve
+//! --failpoints`:
+//!
+//! ```text
+//! seed=42,serve.*=err:0.05,cache.rename=delay:200ms,checkpoint.write=panic:once
+//! ```
+//!
+//! * `seed=N` — the global schedule seed (default 0).
+//! * `<site>=<action>` — arm one site or, with a trailing `*`, a prefix
+//!   of sites. First matching rule wins, in written order.
+//!
+//! Actions:
+//!
+//! | action | effect at the site |
+//! |---|---|
+//! | `err:P` | with probability `P`, inject a typed I/O error |
+//! | `delay:DUR[:P]` | sleep `DUR` (`150ms`, `2s`), probability `P` (default 1) |
+//! | `partial:P` | with probability `P`, ask the site to truncate its I/O |
+//! | `panic[:once]` | panic at the site; `once` disarms after the first fire |
+//!
+//! Sites that cannot express a partial operation treat `partial` as `err`
+//! (see [`fired_to_io`]). Delays are slept inside [`check`] — the caller
+//! only has to act on `Err` and `Partial`.
+
+use crate::rng::SplitMix64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Whether any schedule is armed. The entire cost of a disarmed failpoint
+/// is one relaxed load of this flag.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The armed schedule (rules + per-site decision streams). Locked only on
+/// the armed slow path and by arm/disarm.
+static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+
+/// What an armed failpoint decided to inject at this evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fired {
+    /// Inject a typed I/O error (the site should fail the operation).
+    Err,
+    /// A delay was injected; [`check`] already slept it. Callers may
+    /// ignore this variant — it exists so tests can observe the schedule.
+    Delayed,
+    /// Truncate the I/O operation (write or read only part of the data,
+    /// then fail). Sites without a natural partial form treat this as
+    /// [`Fired::Err`].
+    Partial,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Err,
+    Delay { millis: u64 },
+    Partial,
+    Panic { once: bool },
+}
+
+#[derive(Clone, Debug)]
+struct Rule {
+    /// Site name, or a prefix when `wildcard` (written with a trailing
+    /// `*`: `serve.*` matches `serve.read_frame`).
+    pattern: String,
+    wildcard: bool,
+    kind: Kind,
+    /// Fire probability in [0, 1]; compared against a u64 draw.
+    threshold: u64,
+    /// Set once a `panic:once` rule has fired (it then stops matching).
+    spent: bool,
+}
+
+impl Rule {
+    fn matches(&self, site: &str) -> bool {
+        !self.spent
+            && if self.wildcard {
+                site.starts_with(&self.pattern)
+            } else {
+                site == self.pattern
+            }
+    }
+}
+
+/// Per-site decision stream and audit counts.
+struct SiteState {
+    name: String,
+    rng: SplitMix64,
+    evaluations: u64,
+    fired: u64,
+}
+
+struct Plan {
+    seed: u64,
+    rules: Vec<Rule>,
+    sites: Vec<SiteState>,
+}
+
+impl Plan {
+    fn site_state(&mut self, site: &str) -> &mut SiteState {
+        if let Some(i) = self.sites.iter().position(|s| s.name == site) {
+            return &mut self.sites[i];
+        }
+        // Each site gets an independent stream so concurrency at *other*
+        // sites cannot perturb this one's schedule.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in site.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.sites.push(SiteState {
+            name: site.to_string(),
+            rng: SplitMix64::new(self.seed ^ h),
+            evaluations: 0,
+            fired: 0,
+        });
+        self.sites.last_mut().expect("just pushed")
+    }
+}
+
+/// Probability → threshold on a uniform u64 draw. `p >= 1` always fires,
+/// `p <= 0` never does.
+fn threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else if p <= 0.0 {
+        0
+    } else {
+        (p * u64::MAX as f64) as u64
+    }
+}
+
+fn parse_duration_ms(s: &str) -> Result<u64, String> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1000)
+    } else {
+        return Err(format!("duration {s:?} needs an ms/s suffix"));
+    };
+    num.parse::<u64>()
+        .map(|v| v * scale)
+        .map_err(|_| format!("bad duration {s:?}"))
+}
+
+fn parse_rule(pattern: &str, action: &str) -> Result<Rule, String> {
+    let (pattern, wildcard) = match pattern.strip_suffix('*') {
+        Some(prefix) => (prefix, true),
+        None => (pattern, false),
+    };
+    if pattern.is_empty() && !wildcard {
+        return Err("empty failpoint pattern".into());
+    }
+    let mut parts = action.split(':');
+    let verb = parts.next().unwrap_or("");
+    let (kind, probability) = match verb {
+        "err" => {
+            let p: f64 = parts
+                .next()
+                .ok_or("err needs a probability (err:0.05)")?
+                .parse()
+                .map_err(|_| format!("bad probability in {action:?}"))?;
+            (Kind::Err, p)
+        }
+        "partial" => {
+            let p: f64 = parts
+                .next()
+                .ok_or("partial needs a probability (partial:0.05)")?
+                .parse()
+                .map_err(|_| format!("bad probability in {action:?}"))?;
+            (Kind::Partial, p)
+        }
+        "delay" => {
+            let millis =
+                parse_duration_ms(parts.next().ok_or("delay needs a duration")?)?;
+            let p: f64 = match parts.next() {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("bad probability in {action:?}"))?,
+                None => 1.0,
+            };
+            (Kind::Delay { millis }, p)
+        }
+        "panic" => {
+            let once = match parts.next() {
+                None => false,
+                Some("once") => true,
+                Some(other) => return Err(format!("unknown panic mode {other:?}")),
+            };
+            (Kind::Panic { once }, 1.0)
+        }
+        other => return Err(format!("unknown failpoint action {other:?}")),
+    };
+    if parts.next().is_some() {
+        return Err(format!("trailing garbage in action {action:?}"));
+    }
+    if !(0.0..=1.0).contains(&probability) {
+        return Err(format!("probability {probability} outside [0, 1]"));
+    }
+    Ok(Rule {
+        pattern: pattern.to_string(),
+        wildcard,
+        kind,
+        threshold: threshold(probability),
+        spent: false,
+    })
+}
+
+/// Parses and arms a schedule, replacing any previously armed one.
+///
+/// # Errors
+/// A description of the first grammar violation; the previous schedule
+/// (if any) stays armed on error.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let mut seed = 0u64;
+    let mut rules = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("entry {entry:?} is not key=value"))?;
+        if key.trim() == "seed" {
+            seed = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad seed {value:?}"))?;
+        } else {
+            rules.push(parse_rule(key.trim(), value.trim())?);
+        }
+    }
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let any = !rules.is_empty();
+    *plan = Some(Plan { seed, rules, sites: Vec::new() });
+    ARMED.store(any, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Arms from `PARHDE_FAILPOINTS` if set. Returns whether a schedule was
+/// armed.
+///
+/// # Errors
+/// Grammar errors from [`arm`].
+pub fn arm_from_env() -> Result<bool, String> {
+    match std::env::var("PARHDE_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => arm(&spec).map(|()| true),
+        _ => Ok(false),
+    }
+}
+
+/// Disarms all failpoints and discards the schedule.
+pub fn disarm() {
+    let mut plan = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    *plan = None;
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Whether any schedule is armed (one relaxed load).
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Evaluates the failpoint `site`. Disarmed cost: one relaxed atomic
+/// load. Armed: draws the site's next scheduled decision; sleeps delays
+/// and raises panics internally, and returns `Some(Err | Partial |
+/// Delayed)` when something was injected.
+///
+/// # Panics
+/// When the armed schedule says this site should panic (that is the
+/// point: exercising the daemon's panic boundaries).
+#[inline]
+pub fn check(site: &str) -> Option<Fired> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_armed(site)
+}
+
+#[cold]
+fn check_armed(site: &str) -> Option<Fired> {
+    let decision = {
+        let mut guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = guard.as_mut()?;
+        let rule_idx = plan.rules.iter().position(|r| r.matches(site))?;
+        let (threshold, kind) = (plan.rules[rule_idx].threshold, plan.rules[rule_idx].kind);
+        let state = plan.site_state(site);
+        state.evaluations += 1;
+        let draw = state.rng.next_u64();
+        // `threshold == u64::MAX` must always fire, draw == MAX included.
+        let fire = threshold == u64::MAX || draw < threshold;
+        if !fire {
+            record_evaluation(site, false);
+            return None;
+        }
+        state.fired += 1;
+        if let Kind::Panic { once: true } = kind {
+            plan.rules[rule_idx].spent = true;
+        }
+        kind
+    };
+    record_evaluation(site, true);
+    // The lock is released before sleeping or panicking.
+    match decision {
+        Kind::Err => Some(Fired::Err),
+        Kind::Partial => Some(Fired::Partial),
+        Kind::Delay { millis } => {
+            std::thread::sleep(Duration::from_millis(millis));
+            Some(Fired::Delayed)
+        }
+        Kind::Panic { .. } => {
+            panic!("failpoint {site}: scheduled panic");
+        }
+    }
+}
+
+/// Audit counters in the process-global metrics registry, so a `STATS`
+/// scrape of the daemon shows exactly what a chaos schedule injected.
+fn record_evaluation(site: &str, fired: bool) {
+    let reg = parhde_trace::registry::global();
+    reg.counter("parhde_failpoint_evaluations_total").inc();
+    if fired {
+        reg.counter("parhde_failpoint_fired_total").inc();
+        let per_site = format!(
+            "parhde_failpoint_fired_{}_total",
+            parhde_trace::registry::sanitize_name(site)
+        );
+        reg.counter(&per_site).inc();
+    }
+}
+
+/// Convenience for sites whose only failure mode is an I/O error: maps
+/// `Err` *and* `Partial` to a typed [`std::io::Error`] and swallows
+/// `Delayed` (the sleep already happened).
+///
+/// # Errors
+/// The injected error when the site fires.
+#[inline]
+pub fn io_inject(site: &str) -> std::io::Result<()> {
+    match check(site) {
+        Some(Fired::Err) | Some(Fired::Partial) => Err(injected_io_error(site)),
+        _ => Ok(()),
+    }
+}
+
+/// The typed error injected at `site` — `ErrorKind::Other` with a message
+/// naming the site, so logs and tests can tell injected faults from real
+/// ones.
+pub fn injected_io_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("failpoint {site}: injected fault"))
+}
+
+/// Per-site `(site, evaluations, fired)` audit counts of the armed
+/// schedule, in first-evaluation order. Empty when disarmed.
+pub fn site_counts() -> Vec<(String, u64, u64)> {
+    let guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(plan) => plan
+            .sites
+            .iter()
+            .map(|s| (s.name.clone(), s.evaluations, s.fired))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, MutexGuard};
+
+    /// The plan is process-global; tests that arm it must not interleave.
+    static TEST_LOCK: TestMutex<()> = TestMutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replays `n` evaluations of `site`, returning the fire pattern.
+    fn schedule_of(spec: &str, site: &str, n: usize) -> Vec<bool> {
+        arm(spec).unwrap();
+        let out = (0..n).map(|_| check(site).is_some()).collect();
+        disarm();
+        out
+    }
+
+    #[test]
+    fn disarmed_is_none_and_cheap() {
+        let _guard = exclusive();
+        disarm();
+        assert!(!armed());
+        assert_eq!(check("serve.read_frame"), None);
+        assert!(io_inject("serve.read_frame").is_ok());
+        assert!(site_counts().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let _guard = exclusive();
+        let a = schedule_of("seed=42,serve.*=err:0.2", "serve.read_frame", 400);
+        let b = schedule_of("seed=42,serve.*=err:0.2", "serve.read_frame", 400);
+        assert_eq!(a, b, "same seed must replay the identical schedule");
+        let fires = a.iter().filter(|&&f| f).count();
+        assert!((20..=140).contains(&fires), "p=0.2 over 400 draws fired {fires}");
+        let c = schedule_of("seed=43,serve.*=err:0.2", "serve.read_frame", 400);
+        assert_ne!(a, c, "a different seed must produce a different schedule");
+    }
+
+    #[test]
+    fn sites_have_independent_streams() {
+        let _guard = exclusive();
+        arm("seed=7,serve.*=err:0.5").unwrap();
+        let solo: Vec<bool> =
+            (0..64).map(|_| check("serve.read_frame").is_some()).collect();
+        disarm();
+        // Interleaving evaluations of a *different* site must not perturb
+        // serve.read_frame's schedule.
+        arm("seed=7,serve.*=err:0.5").unwrap();
+        let mixed: Vec<bool> = (0..64)
+            .map(|_| {
+                let _ = check("serve.write_response");
+                check("serve.read_frame").is_some()
+            })
+            .collect();
+        disarm();
+        assert_eq!(solo, mixed);
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_exact_beats_nothing() {
+        let _guard = exclusive();
+        arm("cache.rename=err:1,cache.*=err:0").unwrap();
+        assert_eq!(check("cache.rename"), Some(Fired::Err));
+        assert_eq!(check("cache.read_entry"), None, "cache.* rule is err:0");
+        assert_eq!(check("serve.read_frame"), None, "unmatched site");
+        disarm();
+    }
+
+    #[test]
+    fn probability_bounds_always_and_never() {
+        let _guard = exclusive();
+        arm("seed=1,a=err:1,b=err:0").unwrap();
+        for _ in 0..64 {
+            assert_eq!(check("a"), Some(Fired::Err));
+            assert_eq!(check("b"), None);
+        }
+        let counts = site_counts();
+        assert!(counts.contains(&("a".into(), 64, 64)));
+        assert!(counts.contains(&("b".into(), 64, 0)));
+        disarm();
+    }
+
+    #[test]
+    fn delay_sleeps_and_reports() {
+        let _guard = exclusive();
+        arm("x=delay:30ms").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(check("x"), Some(Fired::Delayed));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        disarm();
+    }
+
+    #[test]
+    fn panic_once_fires_exactly_once() {
+        let _guard = exclusive();
+        arm("boom=panic:once").unwrap();
+        let caught = std::panic::catch_unwind(|| check("boom"));
+        assert!(caught.is_err(), "first evaluation must panic");
+        assert_eq!(check("boom"), None, "one-shot panic must disarm itself");
+        disarm();
+    }
+
+    #[test]
+    fn partial_maps_to_io_error_via_io_inject() {
+        let _guard = exclusive();
+        arm("w=partial:1").unwrap();
+        assert_eq!(check("w"), Some(Fired::Partial));
+        let err = io_inject("w").unwrap_err();
+        assert!(err.to_string().contains("failpoint w"));
+        disarm();
+    }
+
+    #[test]
+    fn grammar_rejects_garbage() {
+        let _guard = exclusive();
+        for bad in [
+            "seed=notanumber",
+            "site",
+            "site=explode:1",
+            "site=err",
+            "site=err:2.0",
+            "site=err:-1",
+            "site=delay:10",
+            "site=delay:xms",
+            "site=panic:twice",
+            "site=err:0.5:extra",
+        ] {
+            assert!(arm(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // A valid spec still arms after rejected attempts.
+        arm("seed=3,ok=err:1").unwrap();
+        assert_eq!(check("ok"), Some(Fired::Err));
+        disarm();
+    }
+
+    #[test]
+    fn env_arming_round_trips() {
+        let _guard = exclusive();
+        // `arm_from_env` with the variable unset is a no-op.
+        std::env::remove_var("PARHDE_FAILPOINTS");
+        assert_eq!(arm_from_env(), Ok(false));
+        std::env::set_var("PARHDE_FAILPOINTS", "seed=9,e=err:1");
+        assert_eq!(arm_from_env(), Ok(true));
+        assert_eq!(check("e"), Some(Fired::Err));
+        std::env::remove_var("PARHDE_FAILPOINTS");
+        disarm();
+    }
+}

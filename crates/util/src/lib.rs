@@ -18,9 +18,13 @@
 //! * [`supervisor`] — run budgets (wall-clock deadlines, soft memory
 //!   budgets, cancellation tokens) polled cooperatively by the kernel hot
 //!   loops, plus the ambient installation machinery and signal handlers.
+//! * [`failpoint`] — process-wide deterministic fault injection: named
+//!   sites compiled to one relaxed atomic load when disarmed, armed from
+//!   a seed-reproducible schedule (`PARHDE_FAILPOINTS`) for chaos tests.
 
 #![warn(missing_docs)]
 
+pub mod failpoint;
 pub mod fmt;
 pub mod rng;
 pub mod stats;

@@ -9,8 +9,12 @@
 //! ```text
 //! parhde-layout <input> [options]
 //!
-//!   <input>                .mtx (MatrixMarket) or edge-list text file, or a
-//!                          generated pseudo-input:
+//!   <input>                .mtx (MatrixMarket) or edge-list text file, a
+//!                          packed compressed snapshot (.phdegrf, from
+//!                          parhde-pack — opened mmap-backed so graphs
+//!                          larger than RAM stream through the kernels;
+//!                          --algo parhde only), or a generated
+//!                          pseudo-input:
 //!                            gen:kron:<scale>[:<edgefactor>]   Kronecker
 //!                            gen:grid:<rows>[x<cols>]          2-D grid
 //!                            gen:pref:<n>[:<attach>]           pref. attachment
@@ -77,7 +81,8 @@ use std::time::Duration;
 use parhde_draw::render::{try_render_graph, RenderOptions};
 use parhde_graph::prep::largest_component;
 use parhde_graph::report::GraphReport;
-use parhde_graph::{gen, CsrGraph};
+use parhde_graph::store::GraphStore;
+use parhde_graph::{gen, CompressedCsr, CsrGraph};
 use parhde_trace::{RunReport, TraceSession};
 use parhde_util::Timer;
 use std::path::PathBuf;
@@ -458,13 +463,70 @@ fn run() {
         em.report.config.push(("mem_budget_bytes".into(), b.to_string()));
     }
 
-    // Load: file input, or a generated pseudo-input.
-    let raw: CsrGraph = if input.starts_with("gen:") {
+    let cli = CliOpts {
+        input: input.clone(),
+        algo,
+        report,
+        size,
+        vertex_radius,
+        out,
+        no_png,
+        csv,
+        deadline,
+        mem_budget,
+        checkpoint_dir,
+        resume_path,
+    };
+    let base_cfg = ParHdeConfig {
+        subspace,
+        pivots,
+        bfs_mode,
+        ortho,
+        linalg_mode,
+        backend,
+        d_orthogonalize,
+        seed,
+        ..ParHdeConfig::default()
+    };
+
+    // Load: file input, or a generated pseudo-input. A packed snapshot
+    // (`PHDEGRF1` magic, from parhde-pack) is binary — the sniff happens on
+    // raw file bytes, *before* any UTF-8 text decode — and is opened
+    // mmap-backed: neighbor blocks stay behind a read-only file mapping the
+    // kernel pages in on demand, so the graph may exceed RAM.
+    if input.starts_with("gen:") {
+        let raw = {
+            let _s = parhde_trace::span!("load");
+            generate(&input, seed, &mut em)
+        };
+        run_plain(em, raw, base_cfg, cli);
+        return;
+    }
+    let path = PathBuf::from(&input);
+    if sniff_packed(&path) {
+        let load_span = parhde_trace::span!("load");
+        let g = match CompressedCsr::open_mmap(&path) {
+            Ok(g) => g,
+            Err(e) => em.fail_typed(
+                &format!("cannot open packed snapshot {}", path.display()),
+                &HdeError::from(e),
+            ),
+        };
+        drop(load_span);
+        eprintln!(
+            "loaded {input}: n = {} m = {} (packed {:.2}x, {:.1} MB resident, {:.1} MB mapped)",
+            g.num_vertices(),
+            g.num_edges(),
+            g.compression_ratio(),
+            g.resident_bytes() as f64 / (1024.0 * 1024.0),
+            g.mapped_bytes() as f64 / (1024.0 * 1024.0),
+        );
+        em.report.config.push(("storage".into(), g.storage().label().into()));
+        layout_and_emit(em, &g, None, base_cfg, cli);
+        return;
+    }
+    let raw: CsrGraph = {
         let _s = parhde_trace::span!("load");
-        generate(&input, seed, &mut em)
-    } else {
-        let _s = parhde_trace::span!("load");
-        let path = PathBuf::from(&input);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => em.fail_typed(
@@ -487,38 +549,86 @@ fn run() {
             }
         }
     };
+    run_plain(em, raw, base_cfg, cli);
+}
 
-    // Preprocess (§4.1).
+/// `true` when the file starts with the `PHDEGRF1` snapshot magic. A short
+/// or unreadable file is simply "not packed" — the text loader will produce
+/// the proper diagnostic.
+fn sniff_packed(path: &PathBuf) -> bool {
+    use std::io::Read as _;
+    let mut magic = [0u8; 8];
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_exact(&mut magic).is_ok() && &magic == parhde_graph::SNAPSHOT_MAGIC,
+        Err(_) => false,
+    }
+}
+
+/// Everything parsed off the command line that the layout/render/export
+/// stages need after the graph is loaded.
+struct CliOpts {
+    input: String,
+    algo: String,
+    report: bool,
+    size: u32,
+    vertex_radius: f64,
+    out: Option<PathBuf>,
+    no_png: bool,
+    csv: Option<PathBuf>,
+    deadline: Option<Duration>,
+    mem_budget: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume_path: Option<PathBuf>,
+}
+
+/// The plain-CSR path: preprocess to the largest connected component
+/// (§4.1), then hand off to the storage-generic pipeline with the id
+/// mapping for CSV export.
+fn run_plain(em: Emitter, raw: CsrGraph, cfg: ParHdeConfig, cli: CliOpts) {
     let prep_span = parhde_trace::span!("preprocess");
     let ex = largest_component(&raw);
     let g = ex.graph;
     drop(prep_span);
     eprintln!(
-        "loaded {input}: n = {} m = {} (largest component of {} vertices)",
+        "loaded {}: n = {} m = {} (largest component of {} vertices)",
+        cli.input,
         g.num_vertices(),
         g.num_edges(),
         raw.num_vertices()
     );
+    layout_and_emit(em, &g, Some(&ex.old_ids), cfg, cli);
+}
+
+/// Lays out, renders and exports a loaded graph through any
+/// [`GraphStore`]. `old_ids` maps component-local vertex ids back to the
+/// original input ids (absent for packed snapshots, whose ids are already
+/// final). Algorithms that rebuild plain CSR graphs (phde, pivotmds,
+/// multilevel) are gated on [`GraphStore::as_csr`].
+fn layout_and_emit<G: GraphStore>(
+    mut em: Emitter,
+    g: &G,
+    old_ids: Option<&[u32]>,
+    mut cfg: ParHdeConfig,
+    cli: CliOpts,
+) {
     em.report.graph_n = g.num_vertices() as u64;
     em.report.graph_m = g.num_edges() as u64;
-    if report {
-        eprintln!("report: {}", GraphReport::of(&g).summary());
+    if cli.report {
+        match g.as_csr() {
+            Some(csr) => eprintln!("report: {}", GraphReport::of(csr).summary()),
+            None => eprintln!(
+                "report: n = {} m = {} (structural report needs a plain input)",
+                g.num_vertices(),
+                g.num_edges()
+            ),
+        }
     }
     if g.num_vertices() < 8 {
         em.fail(2, "graph too small to lay out (need ≥ 8 vertices)");
     }
-
-    let cfg = ParHdeConfig {
-        subspace: subspace.min(g.num_vertices() / 2).max(2),
-        pivots,
-        bfs_mode,
-        ortho,
-        linalg_mode,
-        backend,
-        d_orthogonalize,
-        seed,
-        ..ParHdeConfig::default()
-    };
+    cfg.subspace = cfg.subspace.min(g.num_vertices() / 2).max(2);
+    let algo = cli.algo.clone();
+    let backend = cfg.backend;
 
     // Install the backend eagerly so a forced-but-unsupported `simd` fails
     // with its typed error (exit 12) on every algo path, including the
@@ -540,24 +650,24 @@ fn run() {
     // gets a manually installed budget so deadlines, memory trips and
     // SIGINT/SIGTERM still unwind cooperatively.
     let mut manual = supervisor::RunBudget::unbounded();
-    if let Some(d) = deadline {
+    if let Some(d) = cli.deadline {
         manual = manual.with_deadline(d);
     }
-    if let Some(b) = mem_budget {
+    if let Some(b) = cli.mem_budget {
         manual = manual.with_mem_budget(b);
     }
     let manual = manual.honoring_global_cancel();
-    let _guard = if algo != "parhde" || resume_path.is_some() {
+    let _guard = if algo != "parhde" || cli.resume_path.is_some() {
         Some(supervisor::install(&manual))
     } else {
         None
     };
     let t = Timer::start();
     let layout: Layout = match algo.as_str() {
-        "parhde" if resume_path.is_some() => {
+        "parhde" if cli.resume_path.is_some() => {
             // Resume shares the cooperative checks (via the manual budget
             // above) but not the ladder: the checkpoint pins the subspace.
-            let ckpt_path = resume_path.as_deref().unwrap();
+            let ckpt_path = cli.resume_path.as_deref().unwrap();
             let ckpt = match Checkpoint::read(ckpt_path) {
                 Ok(c) => c,
                 Err(e) => em.fail_typed(
@@ -565,7 +675,7 @@ fn run() {
                     &e,
                 ),
             };
-            match try_par_hde_resume(&g, &cfg, 2, &ckpt) {
+            match try_par_hde_resume(g, &cfg, 2, &ckpt) {
                 Ok((coords, stats)) => {
                     absorb_stats(&mut em, &stats);
                     if em.active() {
@@ -578,14 +688,14 @@ fn run() {
         }
         "parhde" => {
             let opts = SuperviseOptions {
-                deadline,
-                mem_budget_bytes: mem_budget,
-                checkpoint: checkpoint_dir.clone().map(CheckpointSpec::in_dir),
+                deadline: cli.deadline,
+                mem_budget_bytes: cli.mem_budget,
+                checkpoint: cli.checkpoint_dir.clone().map(CheckpointSpec::in_dir),
                 honor_global_cancel: true,
                 cancel_flag: None,
                 trace_id: None,
             };
-            match try_par_hde_nd_supervised(&g, &cfg, 2, &opts) {
+            match try_par_hde_nd_supervised(g, &cfg, 2, &opts) {
                 Ok(sup) => {
                     for step in &sup.ladder {
                         eprintln!(
@@ -612,29 +722,42 @@ fn run() {
                 Err(e) => em.fail_typed("layout failed", &e),
             }
         }
-        "phde" => match try_phde(&g, &PhdeConfig::from(&cfg)) {
-            Ok((layout, stats)) => {
-                absorb_stats(&mut em, &stats);
-                if em.active() {
-                    print_breakdown(&stats);
+        // The remaining pipelines coarsen or re-slice the graph as plain
+        // CSR; a packed snapshot must be laid out with --algo parhde.
+        "phde" | "pivotmds" | "multilevel" => {
+            let Some(csr) = g.as_csr() else {
+                em.fail(2, &format!(
+                    "--algo {algo} needs a plain .mtx/edge-list input \
+                     (packed .phdegrf snapshots support --algo parhde)"
+                ));
+            };
+            match algo.as_str() {
+                "phde" => match try_phde(csr, &PhdeConfig::from(&cfg)) {
+                    Ok((layout, stats)) => {
+                        absorb_stats(&mut em, &stats);
+                        if em.active() {
+                            print_breakdown(&stats);
+                        }
+                        layout
+                    }
+                    Err(e) => em.fail_typed("layout failed", &e),
+                },
+                "pivotmds" => match try_pivot_mds(csr, &PhdeConfig::from(&cfg)) {
+                    Ok((layout, stats)) => {
+                        absorb_stats(&mut em, &stats);
+                        if em.active() {
+                            print_breakdown(&stats);
+                        }
+                        layout
+                    }
+                    Err(e) => em.fail_typed("layout failed", &e),
+                },
+                _ => {
+                    let _s = parhde_trace::span!("multilevel");
+                    multilevel_hde(csr, &MultilevelConfig { base: cfg, ..Default::default() })
+                        .0
                 }
-                layout
             }
-            Err(e) => em.fail_typed("layout failed", &e),
-        },
-        "pivotmds" => match try_pivot_mds(&g, &PhdeConfig::from(&cfg)) {
-            Ok((layout, stats)) => {
-                absorb_stats(&mut em, &stats);
-                if em.active() {
-                    print_breakdown(&stats);
-                }
-                layout
-            }
-            Err(e) => em.fail_typed("layout failed", &e),
-        },
-        "multilevel" => {
-            let _s = parhde_trace::span!("multilevel");
-            multilevel_hde(&g, &MultilevelConfig { base: cfg, ..Default::default() }).0
         }
         other => {
             let msg = format!("unknown algorithm {other}");
@@ -643,26 +766,29 @@ fn run() {
     };
     eprintln!("{algo} layout in {:.1} ms", t.seconds() * 1e3);
 
-    // Render.
-    if !no_png {
+    // Render. Edge enumeration goes through the store (a packed snapshot
+    // decodes block by block); the renderer collects edges anyway.
+    if !cli.no_png {
         let render_span = parhde_trace::span!("render");
         let opts = RenderOptions {
-            width: size,
-            height: size,
-            vertex_radius,
+            width: cli.size,
+            height: cli.size,
+            vertex_radius: cli.vertex_radius,
             ..RenderOptions::default()
         };
-        let canvas = match try_render_graph(g.edges(), &layout.x, &layout.y, &opts) {
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(g.num_edges());
+        g.for_each_edge(|u, v| edges.push((u, v)));
+        let canvas = match try_render_graph(edges.into_iter(), &layout.x, &layout.y, &opts) {
             Ok(c) => c,
             Err(e) => {
                 em.fail_typed("render failed", &HdeError::Internal(e.to_string()))
             }
         };
-        let out = out.unwrap_or_else(|| {
-            if input.starts_with("gen:") {
-                PathBuf::from(format!("{}.png", input.replace(':', "_")))
+        let out = cli.out.clone().unwrap_or_else(|| {
+            if cli.input.starts_with("gen:") {
+                PathBuf::from(format!("{}.png", cli.input.replace(':', "_")))
             } else {
-                PathBuf::from(&input).with_extension("png")
+                PathBuf::from(&cli.input).with_extension("png")
             }
         });
         if let Err(e) = canvas.save_png(&out) {
@@ -673,16 +799,16 @@ fn run() {
         println!("wrote {}", out.display());
     }
 
-    // Optional CSV (ids are the ORIGINAL input ids via the LCC mapping).
-    if let Some(csv_path) = csv {
+    // Optional CSV. Plain inputs map component-local vertices back to the
+    // ORIGINAL input ids via the LCC mapping; packed snapshot ids are
+    // already final.
+    if let Some(csv_path) = &cli.csv {
         let mut text = String::from("id,x,y\n");
         for v in 0..g.num_vertices() {
-            text.push_str(&format!(
-                "{},{},{}\n",
-                ex.old_ids[v], layout.x[v], layout.y[v]
-            ));
+            let id = old_ids.map_or(v as u32, |ids| ids[v]);
+            text.push_str(&format!("{},{},{}\n", id, layout.x[v], layout.y[v]));
         }
-        if let Err(e) = std::fs::write(&csv_path, text) {
+        if let Err(e) = std::fs::write(csv_path, text) {
             let msg = format!("cannot write {}: {e}", csv_path.display());
             em.fail(2, &msg)
         }

@@ -71,6 +71,13 @@ pub fn fig2(opts: &Opts) {
             if d.total == expect { "ok" } else { "MISMATCH" },
             100.0 * d.fraction_below(64)
         );
+        // What the gap skew is worth on disk: the exact byte-coded varint
+        // cost a `parhde-pack` snapshot of this graph would spend.
+        let est = parhde_graph::gaps::varint_size_estimate(&g);
+        println!(
+            "  packed estimate: {:.2} B/edge ({:.2} B/arc, {:.2}x vs plain u32 CSR, {} adjacency bytes)",
+            est.bytes_per_edge, est.bytes_per_arc, est.ratio, est.encoded_bytes
+        );
         // Log-log series, a few representative bins.
         print!("  [upper:count] ");
         for b in d.bins.iter().filter(|b| b.count > 0).take(18) {

@@ -32,12 +32,17 @@
 
 use crate::frontier::{for_each_lane, lane_coords, lane_words};
 use crate::{BfsResult, UNREACHED};
-use parhde_graph::CsrGraph;
+use parhde_graph::store::{GraphStore, NeighborScratch};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Rows per update-sweep work unit (and per dirty-flag granule).
 const ROW_BLOCK: usize = 2048;
+
+/// Frontier vertices per expand-sweep work unit. Chunking (rather than
+/// per-vertex rayon items) lets each task reuse one decode scratch across
+/// the whole chunk when the graph is compressed.
+const EXPAND_CHUNK: usize = 256;
 
 /// Geometry and work counters from one batched multi-source traversal.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -69,8 +74,8 @@ pub struct BatchBfsStats {
 ///
 /// # Panics
 /// Panics on length mismatches or out-of-range sources.
-pub fn bfs_batched_into_f64(
-    g: &CsrGraph,
+pub fn bfs_batched_into_f64<G: GraphStore>(
+    g: &G,
     sources: &[u32],
     columns: &mut [&mut [f64]],
 ) -> BatchBfsStats {
@@ -140,32 +145,41 @@ pub fn bfs_batched_into_f64(
         // Expand: one scan of each frontier vertex's adjacency advances all
         // of its active lanes at once.
         let scanned: u64 = frontier_verts
-            .par_iter()
-            .map(|&v| {
-                let base = v as usize * words;
-                if words == 1 {
-                    let fw = frontier[base].load(Ordering::Relaxed);
-                    for &u in g.neighbors(v) {
-                        next[u as usize].fetch_or(fw, Ordering::Relaxed);
-                        dirty[u as usize / ROW_BLOCK].store(true, Ordering::Relaxed);
-                    }
-                    g.degree(v) as u64
-                } else {
-                    let active: Vec<(usize, u64)> = (0..words)
-                        .filter_map(|w| {
+            .par_chunks(EXPAND_CHUNK)
+            .map(|chunk| {
+                let mut scratch = NeighborScratch::new();
+                let mut active: Vec<(usize, u64)> = Vec::with_capacity(words);
+                let mut scanned = 0u64;
+                for &v in chunk {
+                    let base = v as usize * words;
+                    if words == 1 {
+                        let fw = frontier[base].load(Ordering::Relaxed);
+                        let nb = g.neighbors_in(v, &mut scratch);
+                        for &u in nb {
+                            next[u as usize].fetch_or(fw, Ordering::Relaxed);
+                            dirty[u as usize / ROW_BLOCK]
+                                .store(true, Ordering::Relaxed);
+                        }
+                        scanned += nb.len() as u64;
+                    } else {
+                        active.clear();
+                        active.extend((0..words).filter_map(|w| {
                             let fw = frontier[base + w].load(Ordering::Relaxed);
                             (fw != 0).then_some((w, fw))
-                        })
-                        .collect();
-                    for &u in g.neighbors(v) {
-                        let ubase = u as usize * words;
-                        for &(w, fw) in &active {
-                            next[ubase + w].fetch_or(fw, Ordering::Relaxed);
+                        }));
+                        let nb = g.neighbors_in(v, &mut scratch);
+                        for &u in nb {
+                            let ubase = u as usize * words;
+                            for &(w, fw) in &active {
+                                next[ubase + w].fetch_or(fw, Ordering::Relaxed);
+                            }
+                            dirty[u as usize / ROW_BLOCK]
+                                .store(true, Ordering::Relaxed);
                         }
-                        dirty[u as usize / ROW_BLOCK].store(true, Ordering::Relaxed);
+                        scanned += (nb.len() * active.len()) as u64;
                     }
-                    (g.degree(v) * active.len()) as u64
                 }
+                scanned
             })
             .sum();
         words_scanned += scanned;
@@ -267,7 +281,7 @@ pub fn bfs_batched_into_f64(
 ///
 /// # Panics
 /// Panics if any source is out of range.
-pub fn bfs_batched(g: &CsrGraph, sources: &[u32]) -> Vec<BfsResult> {
+pub fn bfs_batched<G: GraphStore>(g: &G, sources: &[u32]) -> Vec<BfsResult> {
     let n = g.num_vertices();
     if sources.is_empty() {
         return Vec::new();

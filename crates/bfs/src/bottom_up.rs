@@ -14,7 +14,7 @@
 
 use crate::frontier::AtomicBitmap;
 use crate::UNREACHED;
-use parhde_graph::CsrGraph;
+use parhde_graph::store::{GraphStore, NeighborScratch};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -26,8 +26,8 @@ const VERTEX_CHUNK: usize = 1024;
 /// `current` marks the frontier (vertices at `level − 1`); discovered
 /// vertices are written into `next` and their distances set to `level`.
 /// Returns `(awakened_count, edges_scanned)`.
-pub fn bottom_up_step(
-    g: &CsrGraph,
+pub fn bottom_up_step<G: GraphStore>(
+    g: &G,
     current: &AtomicBitmap,
     next: &AtomicBitmap,
     dist: &[AtomicU32],
@@ -43,12 +43,17 @@ pub fn bottom_up_step(
         .map(|&(lo, hi)| {
             let mut awakened = 0usize;
             let mut scanned = 0usize;
+            let mut scratch = NeighborScratch::new();
             #[allow(clippy::needless_range_loop)] // v is simultaneously the vertex id
             for v in lo..hi {
                 if dist[v].load(Ordering::Relaxed) != UNREACHED {
                     continue;
                 }
-                for &u in g.neighbors(v as u32) {
+                // `neighbors_while` streams adjacency (decoding varints one at
+                // a time on compressed stores) so the first-parent early exit
+                // skips decoding the rest of the block — the same property
+                // that makes bottom-up cheap on plain CSR.
+                g.neighbors_while(v as u32, &mut scratch, |u| {
                     scanned += 1;
                     if current.get(u as usize) {
                         // Atomic-free distance write: v is only touched by
@@ -56,9 +61,11 @@ pub fn bottom_up_step(
                         dist[v].store(level, Ordering::Relaxed);
                         next.set(v);
                         awakened += 1;
-                        break; // early exit: first parent suffices
+                        false // early exit: first parent suffices
+                    } else {
+                        true
                     }
-                }
+                });
             }
             (awakened, scanned)
         })

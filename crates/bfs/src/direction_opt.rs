@@ -19,7 +19,7 @@ use crate::bottom_up::bottom_up_step;
 use crate::frontier::AtomicBitmap;
 use crate::top_down::top_down_step;
 use crate::{BfsResult, TraversalStats, UNREACHED};
-use parhde_graph::CsrGraph;
+use parhde_graph::store::GraphStore;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// GAP's α: top-down → bottom-up threshold divisor.
@@ -31,7 +31,7 @@ pub const BETA: usize = 18;
 ///
 /// # Panics
 /// Panics if `source` is out of range.
-pub fn bfs_direction_opt(g: &CsrGraph, source: u32) -> (BfsResult, TraversalStats) {
+pub fn bfs_direction_opt<G: GraphStore>(g: &G, source: u32) -> (BfsResult, TraversalStats) {
     bfs_direction_opt_params(g, source, ALPHA, BETA)
 }
 
@@ -42,8 +42,8 @@ pub fn bfs_direction_opt(g: &CsrGraph, source: u32) -> (BfsResult, TraversalStat
 ///
 /// # Panics
 /// Panics if `source` is out of range or `beta` is zero.
-pub fn bfs_direction_opt_params(
-    g: &CsrGraph,
+pub fn bfs_direction_opt_params<G: GraphStore>(
+    g: &G,
     source: u32,
     alpha: usize,
     beta: usize,
@@ -141,8 +141,8 @@ pub fn bfs_direction_opt_params(
 /// Direction-optimizing BFS writing distances straight into an `f64` column
 /// of the embedding matrix `B` (unreached → `f64::INFINITY`); returns the
 /// number of reached vertices and the traversal stats.
-pub fn bfs_direction_opt_into_f64(
-    g: &CsrGraph,
+pub fn bfs_direction_opt_into_f64<G: GraphStore>(
+    g: &G,
     source: u32,
     out: &mut [f64],
 ) -> (usize, TraversalStats) {

@@ -26,7 +26,7 @@
 
 use crate::serial::bfs_serial;
 use crate::{BfsResult, UNREACHED};
-use parhde_graph::CsrGraph;
+use parhde_graph::store::GraphStore;
 use rayon::prelude::*;
 
 /// Runs one independent sequential BFS per source, concurrently.
@@ -35,7 +35,7 @@ use rayon::prelude::*;
 ///
 /// # Panics
 /// Panics if any source is out of range.
-pub fn bfs_multi_source(g: &CsrGraph, sources: &[u32]) -> Vec<BfsResult> {
+pub fn bfs_multi_source<G: GraphStore>(g: &G, sources: &[u32]) -> Vec<BfsResult> {
     sources.par_iter().map(|&s| bfs_serial(g, s)).collect()
 }
 
@@ -48,8 +48,8 @@ pub fn bfs_multi_source(g: &CsrGraph, sources: &[u32]) -> Vec<BfsResult> {
 ///
 /// # Panics
 /// Panics on length mismatches or out-of-range sources.
-pub fn bfs_multi_source_into_f64(
-    g: &CsrGraph,
+pub fn bfs_multi_source_into_f64<G: GraphStore>(
+    g: &G,
     sources: &[u32],
     columns: &mut [&mut [f64]],
 ) -> Vec<usize> {

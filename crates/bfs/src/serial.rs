@@ -6,19 +6,24 @@
 //! Table 6 (many *sequential* BFSes run concurrently).
 
 use crate::{BfsResult, UNREACHED};
-use parhde_graph::CsrGraph;
+use parhde_graph::store::{GraphStore, NeighborScratch};
 
 /// Runs a sequential BFS from `source`, returning hop distances.
 ///
+/// Generic over [`GraphStore`]: the traversal streams adjacency through a
+/// single reused decode scratch, so compressed (and mmap-backed) graphs
+/// run without materializing their adjacency.
+///
 /// # Panics
 /// Panics if `source` is out of range.
-pub fn bfs_serial(g: &CsrGraph, source: u32) -> BfsResult {
+pub fn bfs_serial<G: GraphStore>(g: &G, source: u32) -> BfsResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source {source} out of range");
     let mut dist = vec![UNREACHED; n];
     dist[source as usize] = 0;
     let mut frontier = vec![source];
     let mut next = Vec::new();
+    let mut scratch = NeighborScratch::new();
     let mut reached = 1usize;
     let mut levels = 1usize;
     let mut level = 0u32;
@@ -32,7 +37,7 @@ pub fn bfs_serial(g: &CsrGraph, source: u32) -> BfsResult {
         }
         level += 1;
         for &v in &frontier {
-            for &u in g.neighbors(v) {
+            for &u in g.neighbors_in(v, &mut scratch) {
                 if dist[u as usize] == UNREACHED {
                     dist[u as usize] = level;
                     next.push(u);
@@ -55,7 +60,7 @@ pub fn bfs_serial(g: &CsrGraph, source: u32) -> BfsResult {
 /// directly avoids an extra `u32` buffer per source in the prior-work
 /// baseline). Unreached vertices get `f64::INFINITY`. Returns the number of
 /// vertices reached.
-pub fn bfs_serial_into_f64(g: &CsrGraph, source: u32, out: &mut [f64]) -> usize {
+pub fn bfs_serial_into_f64<G: GraphStore>(g: &G, source: u32, out: &mut [f64]) -> usize {
     let r = bfs_serial(g, source);
     assert_eq!(out.len(), r.dist.len(), "output column length mismatch");
     for (o, &d) in out.iter_mut().zip(&r.dist) {

@@ -9,7 +9,7 @@
 //! into a thread-local buffer; buffers concatenate into the next frontier.
 
 use crate::{BfsResult, UNREACHED};
-use parhde_graph::CsrGraph;
+use parhde_graph::store::{GraphStore, NeighborScratch};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -21,8 +21,8 @@ const FRONTIER_CHUNK: usize = 256;
 ///
 /// Claims each newly discovered vertex by CAS-ing its `dist` cell from
 /// [`UNREACHED`] to `level`. Returns `(next_frontier, edges_scanned)`.
-pub fn top_down_step(
-    g: &CsrGraph,
+pub fn top_down_step<G: GraphStore>(
+    g: &G,
     frontier: &[u32],
     dist: &[AtomicU32],
     level: u32,
@@ -32,8 +32,11 @@ pub fn top_down_step(
         .map(|chunk| {
             let mut local = Vec::new();
             let mut scanned = 0usize;
+            // One decode scratch per chunk: compressed stores reuse its
+            // allocation across the whole chunk (plain CSR ignores it).
+            let mut scratch = NeighborScratch::new();
             for &v in chunk {
-                let nb = g.neighbors(v);
+                let nb = g.neighbors_in(v, &mut scratch);
                 scanned += nb.len();
                 for &u in nb {
                     if dist[u as usize].load(Ordering::Relaxed) == UNREACHED
@@ -66,7 +69,7 @@ pub fn top_down_step(
 ///
 /// # Panics
 /// Panics if `source` is out of range.
-pub fn bfs_top_down(g: &CsrGraph, source: u32) -> BfsResult {
+pub fn bfs_top_down<G: GraphStore>(g: &G, source: u32) -> BfsResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source {source} out of range");
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();

@@ -70,6 +70,10 @@ impl GraphBuilder {
 /// Builds a clean undirected CSR graph from an arbitrary edge list
 /// (self-loops and duplicates permitted; they are removed).
 pub fn build_from_edges(num_vertices: usize, edges: Vec<(u32, u32)>) -> CsrGraph {
+    assert!(
+        num_vertices <= u32::MAX as usize + 1,
+        "vertex count {num_vertices} exceeds the u32 vertex-id space"
+    );
     // Materialize both arc directions, dropping self-loops.
     let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
     for &(u, v) in &edges {

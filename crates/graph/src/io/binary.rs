@@ -51,10 +51,28 @@ pub fn read_csr_binary(mut data: &[u8]) -> Result<CsrGraph, GraphIoError> {
         ));
     }
     data.advance(8);
-    let n = data.get_u64_le() as usize;
-    let arcs = data.get_u64_le() as usize;
-    // Declared sizes are untrusted: check them against the real payload
-    // length with overflow-safe arithmetic before allocating anything.
+    let n64 = data.get_u64_le();
+    let arcs64 = data.get_u64_le();
+    // Declared counts are untrusted: checked conversions (no silent `as`
+    // wrap on 32-bit targets, no n past the u32 vertex-id space) before
+    // size arithmetic, and size arithmetic before any allocation.
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(GraphIoError::TooLarge {
+            what: "vertex count",
+            value: n64,
+            max: u32::MAX as u64 + 1,
+        });
+    }
+    let n = usize::try_from(n64).map_err(|_| GraphIoError::TooLarge {
+        what: "vertex count",
+        value: n64,
+        max: usize::MAX as u64,
+    })?;
+    let arcs = usize::try_from(arcs64).map_err(|_| GraphIoError::TooLarge {
+        what: "arc count",
+        value: arcs64,
+        max: usize::MAX as u64,
+    })?;
     let need = n
         .checked_add(1)
         .and_then(|o| o.checked_mul(8))
@@ -101,7 +119,7 @@ pub fn load_csr(path: &std::path::Path) -> std::io::Result<CsrGraph> {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::gen::{grid2d, kron};
@@ -130,6 +148,18 @@ mod tests {
     fn rejects_bad_magic() {
         assert!(read_csr_binary(b"NOTAGRAPH0000000000000000").is_err());
         assert!(read_csr_binary(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_vertex_count_typed() {
+        // Declared n past the u32 id space must come back as TooLarge
+        // before any allocation, not wrap or OOM.
+        let mut bytes = write_csr_binary(&grid2d(3, 3)).to_vec();
+        bytes[8..16].copy_from_slice(&(u32::MAX as u64 + 2).to_le_bytes());
+        match read_csr_binary(&bytes) {
+            Err(GraphIoError::TooLarge { what, .. }) => assert_eq!(what, "vertex count"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub enum GraphIoError {
     /// Structurally invalid data: out-of-range indices, broken CSR
     /// invariants, or values (NaN/∞) the graph model cannot represent.
     Invalid(String),
+    /// A declared count exceeds what the graph model can address — vertex
+    /// counts past the `u32` id space, or sizes past `usize` — detected by
+    /// checked conversion instead of silently wrapping.
+    TooLarge {
+        /// Which quantity overflowed (e.g. `"vertex count"`).
+        what: &'static str,
+        /// The declared value.
+        value: u64,
+        /// The largest representable value for this quantity.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for GraphIoError {
@@ -51,6 +62,9 @@ impl std::fmt::Display for GraphIoError {
                 "truncated input: need {needed} bytes, have {available}"
             ),
             Self::Invalid(m) => write!(f, "invalid graph data: {m}"),
+            Self::TooLarge { what, value, max } => {
+                write!(f, "{what} {value} exceeds the representable maximum {max}")
+            }
         }
     }
 }
@@ -82,6 +96,11 @@ impl From<super::matrix_market::MatrixMarketError> for GraphIoError {
                 line,
                 column: 1,
                 message: "vertex index out of declared range".into(),
+            },
+            M::TooLarge(_, value) => Self::TooLarge {
+                what: "declared matrix dimension",
+                value,
+                max: u32::MAX as u64 + 1,
             },
         }
     }

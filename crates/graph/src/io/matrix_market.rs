@@ -29,6 +29,10 @@ pub enum MatrixMarketError {
     BadLine(usize, usize, String),
     /// Entry indices out of the declared dimensions.
     OutOfRange(usize),
+    /// A declared dimension exceeds the `u32` vertex-id space (1-indexed
+    /// line, declared value) — caught by checked conversion instead of
+    /// letting `as u32` silently wrap entry indices.
+    TooLarge(usize, u64),
 }
 
 impl std::fmt::Display for MatrixMarketError {
@@ -40,6 +44,9 @@ impl std::fmt::Display for MatrixMarketError {
                 write!(f, "malformed line {ln}, column {col}: {s}")
             }
             Self::OutOfRange(ln) => write!(f, "index out of range on line {ln}"),
+            Self::TooLarge(ln, v) => {
+                write!(f, "dimension {v} on line {ln} exceeds the u32 vertex-id space")
+            }
         }
     }
 }
@@ -107,6 +114,12 @@ fn parse(text: &str) -> Result<Parsed, MatrixMarketError> {
             let r: usize = want(&mut it, ln, line, "row count")?;
             let c: usize = want(&mut it, ln, line, "column count")?;
             let nnz: usize = want(&mut it, ln, line, "entry count")?;
+            // Vertex ids are u32: a dimension past that space would make
+            // the `(index − 1) as u32` conversion below wrap silently.
+            let max_dim = u32::MAX as usize + 1;
+            if let Some(&too_big) = [r, c].iter().find(|&&d| d > max_dim) {
+                return Err(MatrixMarketError::TooLarge(ln, too_big as u64));
+            }
             size = Some((r, c));
             // A hostile size line can declare an absurd nnz; cap the
             // up-front reservation so it cannot OOM before entries exist.
@@ -190,10 +203,25 @@ pub fn write_matrix_market(g: &CsrGraph) -> String {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::gen::grid2d;
+
+    #[test]
+    fn oversized_dimension_rejected_typed() {
+        let text = format!(
+            "%%MatrixMarket matrix coordinate pattern general\n{} 3 1\n1 2\n",
+            u32::MAX as u64 + 2
+        );
+        match parse_matrix_market(&text) {
+            Err(MatrixMarketError::TooLarge(line, v)) => {
+                assert_eq!(line, 2);
+                assert_eq!(v, u32::MAX as u64 + 2);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
 
     const TRIANGLE: &str = "%%MatrixMarket matrix coordinate pattern symmetric\n\
                             % a comment\n\

@@ -17,7 +17,13 @@
 //! * [`order`] — vertex reorderings (random shuffle, BFS, degree) for the
 //!   §4.4 locality experiments.
 //! * [`gaps`] — adjacency-gap distributions with Fibonacci binning
-//!   (Figure 2).
+//!   (Figure 2), plus the varint bytes/edge estimate that predicts
+//!   on-disk size before packing.
+//! * [`store`] — the [`store::GraphStore`] neighbor-access trait the BFS
+//!   and SpMM kernels are generic over.
+//! * [`compressed`] — byte-coded gap-compressed CSR
+//!   ([`compressed::CompressedCsr`]) and the mmap-backed `PHDEGRF` v1
+//!   snapshot format for out-of-core graphs.
 //! * [`io`] — Matrix Market and edge-list text formats and a fast binary
 //!   snapshot format.
 //! * [`coarsen`] — matching-based coarsening hierarchies (the multilevel
@@ -43,6 +49,7 @@
 
 pub mod builder;
 pub mod coarsen;
+pub mod compressed;
 pub mod csr;
 pub mod decompose;
 pub mod gaps;
@@ -51,6 +58,9 @@ pub mod io;
 pub mod order;
 pub mod prep;
 pub mod report;
+pub mod store;
 
 pub use builder::GraphBuilder;
+pub use compressed::{CompressedCsr, SNAPSHOT_MAGIC};
 pub use csr::{CsrGraph, WeightedCsr};
+pub use store::{GraphStore, NeighborScratch, StorageKind};

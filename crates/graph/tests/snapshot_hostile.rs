@@ -1,0 +1,224 @@
+//! Adversarial `PHDEGRF` snapshot sweep (ISSUE 10 satellite, mirroring the
+//! checkpoint loader's hostile suite): the snapshot parser must survive
+//! truncated, bit-flipped, and hostile-length inputs without panicking or
+//! over-allocating — every failure is a typed [`GraphIoError`], never a
+//! crash. `parhde-serve --graph-dir` hands this parser files a client can
+//! *name* (`graph: packed:<name>`) from a directory a crash, a concurrent
+//! packer, or an operator's stray `dd` may have mangled, so "garbage in →
+//! typed error out" is a load-bearing contract, not defensive polish.
+
+use parhde_graph::gen::grid2d;
+use parhde_graph::io::GraphIoError;
+use parhde_graph::store::{GraphStore, NeighborScratch};
+use parhde_graph::{CompressedCsr, CsrGraph, SNAPSHOT_MAGIC};
+
+/// A valid snapshot's bytes, produced through the real writer.
+fn valid_bytes() -> (CsrGraph, Vec<u8>) {
+    let g = grid2d(7, 5);
+    let bytes = CompressedCsr::from_csr(&g).snapshot_bytes();
+    // Sanity: the untampered bytes parse and decode exactly.
+    let c = CompressedCsr::from_snapshot_bytes(&bytes).expect("valid snapshot parses");
+    let mut scratch = NeighborScratch::new();
+    for v in 0..g.num_vertices() as u32 {
+        assert_eq!(c.neighbors_in(v, &mut scratch), g.neighbors(v));
+    }
+    (g, bytes)
+}
+
+/// FNV-1a over a byte slice — the snapshot's whole-image checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Replaces the header checksum so only the *structural* validation under
+/// test can reject the tampered bytes.
+fn reseal(bytes: &mut [u8]) {
+    let sum = fnv64(&bytes[16..]);
+    bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Byte offsets of every section boundary in the version-1 layout for the
+/// `grid2d(7, 5)` fixture (n = 35).
+fn section_boundaries(total: usize) -> Vec<usize> {
+    // magic 8 | checksum 8 | n 8 | m 8 | blocks_len 8 | max_degree 8
+    // | (n+1)×u64 offsets | n×u32 degrees | varint blocks
+    let n = 35;
+    let mut cuts = vec![0, 4, 8, 16, 24, 32, 40, 48];
+    cuts.push(48 + (n + 1) * 8); // after the offset array
+    cuts.push(48 + (n + 1) * 8 + n * 4); // after the degree array
+    cuts.push(total - 1); // one byte short
+    cuts.retain(|&c| c < total);
+    cuts
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_a_typed_error() {
+    let (_, bytes) = valid_bytes();
+    for cut in section_boundaries(bytes.len()) {
+        let err = CompressedCsr::from_snapshot_bytes(&bytes[..cut])
+            .expect_err(&format!("truncation to {cut} bytes parsed"));
+        assert!(
+            matches!(err, GraphIoError::Header(_) | GraphIoError::Truncated { .. }),
+            "truncation to {cut} bytes: unexpected error class: {err}"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_a_typed_error() {
+    let (_, bytes) = valid_bytes();
+    let mut long = bytes.clone();
+    long.extend_from_slice(b"trailing junk");
+    let err = long_err(&long);
+    assert!(
+        matches!(err, GraphIoError::Truncated { .. }),
+        "oversized image: unexpected error class: {err}"
+    );
+}
+
+fn long_err(bytes: &[u8]) -> GraphIoError {
+    CompressedCsr::from_snapshot_bytes(bytes)
+        .expect_err("tampered snapshot parsed")
+}
+
+#[test]
+fn every_unresealed_bit_flip_is_caught() {
+    let (_, bytes) = valid_bytes();
+    // Stride through the image flipping one bit at a time; the magic check
+    // catches the first 8 bytes and the whole-image checksum everything
+    // after (including flips inside the checksum field itself).
+    let stride = (bytes.len() / 97).max(1);
+    for at in (0..bytes.len()).step_by(stride) {
+        let mut evil = bytes.clone();
+        evil[at] ^= 0x10;
+        let err = long_err(&evil);
+        let ok = matches!(
+            err,
+            GraphIoError::Header(_) | GraphIoError::Invalid(_) | GraphIoError::Truncated { .. }
+        );
+        assert!(ok, "bit flip at byte {at}: unexpected error class: {err}");
+    }
+}
+
+#[test]
+fn hostile_header_lengths_neither_panic_nor_overallocate() {
+    let (_, bytes) = valid_bytes();
+    // Each case tampers one header field to a hostile value and reseals,
+    // so the checksum cannot mask the structural check under test.
+    let cases: Vec<(&str, usize, u64)> = vec![
+        ("vertex count beyond u32 space", 16, u32::MAX as u64 + 2),
+        ("vertex count near usize::MAX", 16, u64::MAX - 7),
+        ("edge count absurd", 24, u64::MAX / 2),
+        ("block length huge", 32, u64::MAX / 2),
+        ("block length off by one", 32, 1 << 20),
+        ("max degree inflated", 40, 9_999),
+    ];
+    for (label, at, v) in cases {
+        let mut evil = bytes.clone();
+        put_u64(&mut evil, at, v);
+        reseal(&mut evil);
+        let err = long_err(&evil);
+        assert!(
+            matches!(
+                err,
+                GraphIoError::TooLarge { .. }
+                    | GraphIoError::Truncated { .. }
+                    | GraphIoError::Invalid(_)
+            ),
+            "{label}: unexpected error class: {err}"
+        );
+    }
+}
+
+#[test]
+fn resealed_index_tampering_is_caught_structurally() {
+    let (_, bytes) = valid_bytes();
+    let n = 35usize;
+    let off_base = 48;
+    let deg_base = off_base + (n + 1) * 8;
+
+    // offsets[0] pushed off zero.
+    let mut evil = bytes.clone();
+    put_u64(&mut evil, off_base, 3);
+    reseal(&mut evil);
+    assert!(matches!(long_err(&evil), GraphIoError::Invalid(_)), "offsets[0]");
+
+    // A middle offset made non-monotone.
+    let mut evil = bytes.clone();
+    put_u64(&mut evil, off_base + 10 * 8, u64::MAX / 2);
+    reseal(&mut evil);
+    assert!(matches!(long_err(&evil), GraphIoError::Invalid(_)), "monotonicity");
+
+    // A degree bumped: the Σdeg = 2m identity must fire.
+    let mut evil = bytes.clone();
+    let at = deg_base + 4 * 4;
+    let d = u32::from_le_bytes(evil[at..at + 4].try_into().unwrap());
+    evil[at..at + 4].copy_from_slice(&(d + 1).to_le_bytes());
+    reseal(&mut evil);
+    assert!(matches!(long_err(&evil), GraphIoError::Invalid(_)), "degree sum");
+
+    // Block bytes zeroed under intact indexes: per-block decode validation
+    // must reject (wrong consumption, wrong count, or unsorted output).
+    let blocks_start = deg_base + n * 4;
+    let mut evil = bytes.clone();
+    for b in &mut evil[blocks_start..] {
+        *b = 0;
+    }
+    reseal(&mut evil);
+    assert!(matches!(long_err(&evil), GraphIoError::Invalid(_)), "zeroed blocks");
+}
+
+#[test]
+fn foreign_and_empty_files_are_rejected_with_bad_magic() {
+    for image in [
+        &b""[..],
+        &b"PHDE"[..],
+        &b"PHDECKPTextra bytes beyond the checkpoint magic"[..],
+        &[0u8; 48][..],
+    ] {
+        let err = CompressedCsr::from_snapshot_bytes(image)
+            .expect_err("non-snapshot bytes parsed");
+        assert!(
+            matches!(err, GraphIoError::Header(_)),
+            "unexpected error class for foreign bytes: {err}"
+        );
+    }
+    // The real magic alone (no header behind it) is still short.
+    let err = CompressedCsr::from_snapshot_bytes(SNAPSHOT_MAGIC)
+        .expect_err("bare magic parsed");
+    assert!(matches!(err, GraphIoError::Header(_)));
+}
+
+#[test]
+fn hostile_files_error_identically_through_both_open_paths() {
+    let (_, bytes) = valid_bytes();
+    let dir = std::env::temp_dir().join(format!(
+        "parhde-snap-hostile-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let mut evil = bytes.clone();
+    evil[32] ^= 0x40; // blocks_len tampered, not resealed
+    for (name, image) in [("trunc.phdegrf", &bytes[..40]), ("flip.phdegrf", &evil[..])] {
+        let path = dir.join(name);
+        std::fs::write(&path, image).expect("write hostile file");
+        assert!(CompressedCsr::open_heap(&path).is_err(), "{name} via heap");
+        assert!(CompressedCsr::open_mmap(&path).is_err(), "{name} via mmap");
+    }
+    // A missing file is an error, not a panic, through both paths.
+    let gone = dir.join("nope.phdegrf");
+    assert!(CompressedCsr::open_heap(&gone).is_err());
+    assert!(CompressedCsr::open_mmap(&gone).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,7 +40,7 @@ use parhde_bfs::direction_opt::bfs_direction_opt_into_f64;
 use parhde_bfs::frontier::lane_words;
 use parhde_bfs::multi::bfs_multi_source_into_f64;
 use parhde_bfs::serial::bfs_serial_into_f64;
-use parhde_graph::CsrGraph;
+use parhde_graph::store::{GraphStore, StorageKind};
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_util::Xoshiro256StarStar;
 
@@ -102,6 +102,25 @@ const LOW_DEGREE_AVG: f64 = 6.5;
 /// sweeps (below this, too few lanes share each word operation).
 const MIN_BATCH_LANES: usize = 8;
 
+/// Compressed-storage overrides of the two crossover constants above.
+///
+/// On a gap-coded store every adjacency scan pays a varint decode on top of
+/// the memory traffic, and that cost is *per scan*: the per-source ensemble
+/// decodes the whole graph once per source, while the batched kernel decodes
+/// each frontier vertex once per level regardless of lane count. Decode
+/// cost therefore scales exactly like the memory-traffic term the planner
+/// already reasons about, only larger — so the batched-vs-per-source
+/// crossover shifts toward batched. Concretely: fewer lanes suffice to
+/// amortize a shared sweep, and moderately sparse graphs (avg degree 4–6.5)
+/// that were borderline on plain CSR now favor the shared sweep because the
+/// s-fold re-decode dwarfs the per-level sync rounds.
+const COMPRESSED_MIN_BATCH_LANES: usize = 4;
+
+/// Compressed-storage high-diameter cutoff (see [`LOW_DEGREE_AVG`]): only
+/// genuinely road-like graphs (avg degree < 4) keep per-source traversals,
+/// since their diameter-many frontier rounds still dominate decode cost.
+const COMPRESSED_LOW_DEGREE_AVG: f64 = 4.0;
+
 /// Picks the BFS execution mode for a random-pivot phase with `s` sources
 /// on a graph of `n` vertices and `m` undirected edges, given `threads`
 /// rayon workers. A non-`Auto` `knob` forces that mode.
@@ -123,9 +142,30 @@ pub fn plan_bfs_phase(
     threads: usize,
     knob: BfsMode,
 ) -> BfsPlan {
+    plan_bfs_phase_stored(n, m, s, threads, knob, StorageKind::Plain)
+}
+
+/// Storage-aware planner: like [`plan_bfs_phase`] but with the graph's
+/// [`StorageKind`] in the decision. On compressed stores the per-scan varint
+/// decode shifts the batched-vs-per-source crossover toward batched (see
+/// [`COMPRESSED_MIN_BATCH_LANES`] / [`COMPRESSED_LOW_DEGREE_AVG`] for the
+/// model); plain storage reproduces the original decision table exactly.
+pub fn plan_bfs_phase_stored(
+    n: usize,
+    m: usize,
+    s: usize,
+    threads: usize,
+    knob: BfsMode,
+    storage: StorageKind,
+) -> BfsPlan {
     let lanes = s;
     let words = lane_words(s);
     let plan = |mode, reason| BfsPlan { mode, lanes, words, reason };
+    let (low_degree_avg, min_batch_lanes) = if storage.is_compressed() {
+        (COMPRESSED_LOW_DEGREE_AVG, COMPRESSED_MIN_BATCH_LANES)
+    } else {
+        (LOW_DEGREE_AVG, MIN_BATCH_LANES)
+    };
     match knob {
         BfsMode::DirectionOpt => {
             plan(PlannedBfsMode::DirectionOpt, "forced by BfsMode::DirectionOpt")
@@ -141,7 +181,7 @@ pub fn plan_bfs_phase(
                     PlannedBfsMode::PerSource,
                     "tiny graph: traversals are cache-resident, no sync overhead",
                 )
-            } else if avg_deg < LOW_DEGREE_AVG {
+            } else if avg_deg < low_degree_avg {
                 if s >= threads {
                     plan(
                         PlannedBfsMode::PerSource,
@@ -155,10 +195,15 @@ pub fn plan_bfs_phase(
                          parallel BFS keeps all cores busy",
                     )
                 }
-            } else if s >= MIN_BATCH_LANES {
+            } else if s >= min_batch_lanes {
                 plan(
                     PlannedBfsMode::Batched,
-                    "low-diameter graph, enough lanes to amortize shared sweeps",
+                    if storage.is_compressed() {
+                        "low-diameter compressed graph: a shared sweep decodes \
+                         each frontier block once per level, not once per source"
+                    } else {
+                        "low-diameter graph, enough lanes to amortize shared sweeps"
+                    },
                 )
             } else if s < threads {
                 plan(
@@ -204,8 +249,8 @@ fn trace_plan(plan: &BfsPlan) {
 ///
 /// # Errors
 /// [`HdeError::Disconnected`] if a traversal fails to reach every vertex.
-pub(crate) fn run_bfs_phase(
-    g: &CsrGraph,
+pub(crate) fn run_bfs_phase<G: GraphStore>(
+    g: &G,
     s: usize,
     strategy: PivotStrategy,
     mode: BfsMode,
@@ -274,12 +319,13 @@ pub(crate) fn run_bfs_phase(
                 .collect();
             stats.sources = sources.clone();
             let knob = if parallel_bfs { mode } else { BfsMode::PerSource };
-            let plan = plan_bfs_phase(
+            let plan = plan_bfs_phase_stored(
                 n,
                 g.num_edges(),
                 s,
                 rayon::current_num_threads(),
                 knob,
+                g.storage(),
             );
             stats.bfs_mode = Some(plan.mode.label());
             trace_plan(&plan);
@@ -501,6 +547,43 @@ mod tests {
         assert_eq!(
             plan_bfs_phase(1 << 20, 3 << 20, 50, 8, BfsMode::Auto).mode,
             PerSource
+        );
+    }
+
+    #[test]
+    fn compressed_storage_shifts_batched_crossover() {
+        use PlannedBfsMode::*;
+        // Moderately sparse (avg degree 6 — mesh-like): per-source on plain
+        // CSR, batched when every re-scan would pay a varint decode.
+        let (n, m) = (1 << 20, 3 << 20);
+        assert_eq!(plan_bfs_phase(n, m, 50, 8, BfsMode::Auto).mode, PerSource);
+        for kind in [StorageKind::CompressedHeap, StorageKind::CompressedMmap] {
+            assert_eq!(
+                plan_bfs_phase_stored(n, m, 50, 8, BfsMode::Auto, kind).mode,
+                Batched,
+                "{kind:?}"
+            );
+        }
+        // Few lanes (s = 5): below the plain MIN_BATCH_LANES but above the
+        // compressed one.
+        let (n, m) = (1 << 20, 1 << 23);
+        assert_eq!(plan_bfs_phase(n, m, 5, 2, BfsMode::Auto).mode, PerSource);
+        assert_eq!(
+            plan_bfs_phase_stored(n, m, 5, 2, BfsMode::Auto, StorageKind::CompressedHeap)
+                .mode,
+            Batched
+        );
+        // Genuinely road-like (avg degree 3): per-source either way.
+        let (n, m) = (1 << 20, (1 << 20) * 3 / 2);
+        assert_eq!(
+            plan_bfs_phase_stored(n, m, 50, 8, BfsMode::Auto, StorageKind::CompressedMmap)
+                .mode,
+            PerSource
+        );
+        // Plain storage reproduces the original table exactly.
+        assert_eq!(
+            plan_bfs_phase_stored(n, m, 50, 8, BfsMode::Auto, StorageKind::Plain),
+            plan_bfs_phase(n, m, 50, 8, BfsMode::Auto)
         );
     }
 

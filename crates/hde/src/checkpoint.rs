@@ -35,7 +35,7 @@
 
 use crate::config::{BfsMode, OrthoMethod, ParHdeConfig, PivotStrategy};
 use crate::error::HdeError;
-use parhde_graph::CsrGraph;
+use parhde_graph::store::{GraphStore, NeighborScratch};
 use parhde_linalg::dense::ColMajorMatrix;
 use std::path::{Path, PathBuf};
 
@@ -115,19 +115,32 @@ impl Fnv64 {
     }
 }
 
-/// Digest of a CSR graph's exact structure: `n`, `m`, the offset array and
-/// the adjacency array. Two graphs collide only if they are structurally
+/// Digest of a graph's exact structure: `n`, `m`, the offset array and the
+/// adjacency array. Two graphs collide only if they are structurally
 /// identical (up to hash collision); vertex relabeling changes the digest,
 /// which is intentional — `B`'s rows are indexed by vertex id.
-pub fn graph_digest(g: &CsrGraph) -> u64 {
+///
+/// Generic over [`GraphStore`]: offsets are recomputed cumulatively from
+/// degrees and adjacency streamed through a decode scratch, producing the
+/// **same byte stream** (hence the same digest) for plain and compressed
+/// storage of the same graph — a checkpoint written against one storage
+/// resumes against the other.
+pub fn graph_digest<G: GraphStore>(g: &G) -> u64 {
+    let n = g.num_vertices();
     let mut h = Fnv64::new();
-    h.update(&(g.num_vertices() as u64).to_le_bytes());
+    h.update(&(n as u64).to_le_bytes());
     h.update(&(g.num_edges() as u64).to_le_bytes());
-    for &o in g.offsets() {
-        h.update(&(o as u64).to_le_bytes());
+    let mut off = 0u64;
+    h.update(&off.to_le_bytes());
+    for v in 0..n as u32 {
+        off += g.degree(v) as u64;
+        h.update(&off.to_le_bytes());
     }
-    for &v in g.adjacency() {
-        h.update(&v.to_le_bytes());
+    let mut scratch = NeighborScratch::new();
+    for v in 0..n as u32 {
+        for &u in g.neighbors_in(v, &mut scratch) {
+            h.update(&u.to_le_bytes());
+        }
     }
     h.finish()
 }
@@ -183,9 +196,9 @@ pub fn config_fingerprint(cfg: &ParHdeConfig) -> u64 {
 /// # Errors
 /// [`HdeError::Io`] if the directory cannot be created or any write
 /// stage fails.
-pub fn write_post_bfs(
+pub fn write_post_bfs<G: GraphStore>(
     spec: &CheckpointSpec,
-    g: &CsrGraph,
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     seed: u64,
@@ -249,8 +262,8 @@ fn fsync_dir(dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
-fn serialize(
-    g: &CsrGraph,
+fn serialize<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     seed: u64,
@@ -420,9 +433,9 @@ impl Checkpoint {
     ///
     /// # Errors
     /// [`HdeError::CheckpointMismatch`] naming the first mismatching field.
-    pub fn validate_for(
+    pub fn validate_for<G: GraphStore>(
         &self,
-        g: &CsrGraph,
+        g: &G,
         cfg: &ParHdeConfig,
         p: usize,
     ) -> Result<(), HdeError> {
@@ -469,6 +482,7 @@ fn oversized(_: std::num::TryFromIntError) -> HdeError {
 mod tests {
     use super::*;
     use parhde_graph::gen::grid2d;
+    use parhde_graph::CsrGraph;
 
     fn sample() -> (CsrGraph, ParHdeConfig, Vec<u32>, ColMajorMatrix) {
         let g = grid2d(4, 4);
@@ -578,6 +592,17 @@ mod tests {
             ck.validate_for(&g, &cfg, 3).unwrap_err(),
             HdeError::CheckpointMismatch(m) if m.contains("dimension")
         ));
+    }
+
+    #[test]
+    fn digest_identical_across_storages() {
+        // The digest must not depend on how the adjacency is stored: a
+        // checkpoint written against plain CSR resumes against the
+        // compressed (or mmap-backed) store of the same graph.
+        for g in [grid2d(7, 9), parhde_graph::gen::kron(8, 6, 2)] {
+            let c = parhde_graph::CompressedCsr::from_csr(&g);
+            assert_eq!(graph_digest(&g), graph_digest(&c));
+        }
     }
 
     #[test]

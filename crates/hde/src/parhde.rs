@@ -17,7 +17,7 @@ use crate::layout::Layout;
 use crate::stats::{phase, trace_warning, HdeStats, PhaseSpan};
 use crate::supervise::budget_check;
 use parhde_graph::prep;
-use parhde_graph::CsrGraph;
+use parhde_graph::store::GraphStore;
 use parhde_linalg::blas1::{dot, dot_weighted};
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_linalg::eig::jacobi::try_symmetric_eigen;
@@ -49,7 +49,7 @@ const MAX_REPIVOT_RETRIES: usize = 3;
 /// the paper's §4.1 preprocessing), or if fewer than two independent
 /// subspace directions survive orthogonalization. Use [`try_par_hde`] for
 /// a non-panicking, gracefully degrading variant.
-pub fn par_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
+pub fn par_hde<G: GraphStore>(g: &G, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
     let (coords, stats) = par_hde_nd(g, cfg, 2);
     (
         Layout::new(coords.col(0).to_vec(), coords.col(1).to_vec()),
@@ -65,8 +65,8 @@ pub fn par_hde(g: &CsrGraph, cfg: &ParHdeConfig) -> (Layout, HdeStats) {
 /// # Panics
 /// As [`par_hde`]; additionally requires `1 ≤ p` and at least `p`
 /// surviving subspace directions.
-pub fn par_hde_nd(
-    g: &CsrGraph,
+pub fn par_hde_nd<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
 ) -> (ColMajorMatrix, HdeStats) {
@@ -90,8 +90,8 @@ pub fn par_hde_nd(
 /// [`HdeError::InvalidConfig`] for unusable parameters,
 /// [`HdeError::DegenerateSubspace`] when re-pivot retries are exhausted,
 /// and [`HdeError::NonFiniteValue`] if a numeric phase produces NaN/∞.
-pub fn try_par_hde(
-    g: &CsrGraph,
+pub fn try_par_hde<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
 ) -> Result<(Layout, HdeStats), HdeError> {
     let (coords, stats) = try_par_hde_nd(g, cfg, 2)?;
@@ -106,8 +106,8 @@ pub fn try_par_hde(
 ///
 /// # Errors
 /// As [`try_par_hde`].
-pub fn try_par_hde_nd(
-    g: &CsrGraph,
+pub fn try_par_hde_nd<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
 ) -> Result<(ColMajorMatrix, HdeStats), HdeError> {
@@ -123,8 +123,8 @@ pub fn try_par_hde_nd(
 /// # Errors
 /// As [`try_par_hde_nd`], plus [`HdeError::Io`] if the checkpoint cannot
 /// be written.
-pub fn try_par_hde_nd_checkpointed(
-    g: &CsrGraph,
+pub fn try_par_hde_nd_checkpointed<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     spec: &CheckpointSpec,
@@ -135,8 +135,8 @@ pub fn try_par_hde_nd_checkpointed(
 /// Crate-internal fail-soft entry used by the supervised ladder
 /// ([`crate::supervise`]): identical to [`try_par_hde_nd_checkpointed`]
 /// with an optional checkpoint.
-pub(crate) fn run_failsoft_nd(
-    g: &CsrGraph,
+pub(crate) fn run_failsoft_nd<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     ckpt: Option<&CheckpointSpec>,
@@ -161,8 +161,8 @@ pub(crate) fn run_failsoft_nd(
 /// [`try_par_hde_nd`], except that a degenerate subspace is not retried —
 /// re-pivoting would need a fresh BFS phase, which is exactly what a
 /// resume avoids.
-pub fn try_par_hde_resume(
-    g: &CsrGraph,
+pub fn try_par_hde_resume<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     ckpt: &Checkpoint,
@@ -192,19 +192,26 @@ pub fn try_par_hde_resume(
         }));
         cfg.subspace = feasible;
     }
-    if !prep::is_connected(g) {
-        let components = prep::connected_components(g).count();
-        let ext = prep::largest_component(g);
-        let kept = ext.graph.num_vertices();
-        let fallback =
-            trace_warning(Warning::DisconnectedFallback { components, kept, n });
-        let (sub_coords, mut stats) = try_par_hde_resume(&ext.graph, &cfg, p, ckpt)?;
-        let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
-        stats.warnings.splice(
-            0..0,
-            warnings.into_iter().chain(std::iter::once(fallback)),
-        );
-        return Ok((coords, stats));
+    // The largest-component fallback needs plain CSR (component extraction
+    // relabels vertices and rebuilds adjacency); on a compressed store a
+    // disconnected graph surfaces as the checkpoint's digest mismatch or
+    // the pipeline's Disconnected error instead of silently degrading.
+    if let Some(csr) = g.as_csr() {
+        if !prep::is_connected(csr) {
+            let components = prep::connected_components(csr).count();
+            let ext = prep::largest_component(csr);
+            let kept = ext.graph.num_vertices();
+            let fallback =
+                trace_warning(Warning::DisconnectedFallback { components, kept, n });
+            let (sub_coords, mut stats) =
+                try_par_hde_resume(&ext.graph, &cfg, p, ckpt)?;
+            let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
+            stats.warnings.splice(
+                0..0,
+                warnings.into_iter().chain(std::iter::once(fallback)),
+            );
+            return Ok((coords, stats));
+        }
     }
     cfg.validate(n)?;
     ckpt.validate_for(g, &cfg, p)?;
@@ -225,8 +232,8 @@ pub fn try_par_hde_resume(
 
 /// Shared driver: handles degradation (fail-soft) and the retry loop, then
 /// delegates each attempt to [`pipeline_once`].
-fn run_nd(
-    g: &CsrGraph,
+fn run_nd<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     mode: Mode,
@@ -261,20 +268,31 @@ fn run_nd(
             cfg.subspace = feasible;
         }
         // Disconnected input: lay out the largest component (paper §4.1)
-        // and park the remaining vertices at the layout centroid.
-        if !prep::is_connected(g) {
-            let components = prep::connected_components(g).count();
-            let ext = prep::largest_component(g);
-            let kept = ext.graph.num_vertices();
-            let fallback =
-                trace_warning(Warning::DisconnectedFallback { components, kept, n });
-            let (sub_coords, mut stats) = run_nd(&ext.graph, &cfg, p, mode, ckpt)?;
-            let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
-            stats.warnings.splice(
-                0..0,
-                warnings.into_iter().chain(std::iter::once(fallback)),
-            );
-            return Ok((coords, stats));
+        // and park the remaining vertices at the layout centroid. Only
+        // available on plain CSR — component extraction relabels vertices
+        // and rebuilds adjacency, which a compressed (possibly mmap-backed)
+        // store cannot do without materializing itself; there, a
+        // disconnected graph surfaces as the BFS phase's typed
+        // `Disconnected` error. Writers are expected to pack the largest
+        // component (parhde-pack does this by default).
+        if let Some(csr) = g.as_csr() {
+            if !prep::is_connected(csr) {
+                let components = prep::connected_components(csr).count();
+                let ext = prep::largest_component(csr);
+                let kept = ext.graph.num_vertices();
+                let fallback = trace_warning(Warning::DisconnectedFallback {
+                    components,
+                    kept,
+                    n,
+                });
+                let (sub_coords, mut stats) = run_nd(&ext.graph, &cfg, p, mode, ckpt)?;
+                let coords = scatter_coords(n, &sub_coords, &ext.old_ids);
+                stats.warnings.splice(
+                    0..0,
+                    warnings.into_iter().chain(std::iter::once(fallback)),
+                );
+                return Ok((coords, stats));
+            }
         }
     }
     cfg.validate(n)?;
@@ -321,8 +339,8 @@ fn run_nd(
 
 /// One attempt at the full Algorithm 3 pipeline. All defects surface as
 /// typed errors; degradation policy lives in [`run_nd`].
-fn pipeline_once(
-    g: &CsrGraph,
+fn pipeline_once<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     seed: u64,
@@ -355,8 +373,8 @@ fn pipeline_once(
 /// a live run ([`pipeline_once`]) and checkpoint resumption
 /// ([`try_par_hde_resume`]) — both paths execute the same floating-point
 /// operations in the same order, which is what makes resume bit-identical.
-fn pipeline_from_b(
-    g: &CsrGraph,
+fn pipeline_from_b<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     b: &ColMajorMatrix,

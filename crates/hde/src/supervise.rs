@@ -32,7 +32,7 @@ use crate::config::{BfsMode, LinalgMode, ParHdeConfig, PivotStrategy};
 use crate::error::{trivial_coords, HdeError, Warning};
 use crate::phde::PhdeConfig;
 use crate::stats::{trace_warning, HdeStats};
-use parhde_graph::CsrGraph;
+use parhde_graph::store::GraphStore;
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_util::supervisor;
 use parhde_util::RunBudget;
@@ -105,12 +105,46 @@ pub fn estimate_run_bytes(
     mode: BfsMode,
     linalg: LinalgMode,
 ) -> u64 {
+    let graph = (n as u64 + 1) * 8 + 2 * m as u64 * 4; // offsets + symmetric u32 adjacency
+    graph + estimate_workspace_bytes(n, s, p, mode, linalg)
+}
+
+/// [`estimate_run_bytes`] with the graph term priced from the store that
+/// will actually be traversed instead of the plain-CSR formula.
+///
+/// For [`StorageKind::Plain`](parhde_graph::store::StorageKind) the two
+/// agree exactly (a `CsrGraph`'s resident bytes *are* its offsets plus
+/// adjacency). Compressed storage is charged its resident footprint —
+/// heap-held varint blocks, or just the offset/degree sidecars when the
+/// blocks live in a file mapping the kernel pages on demand — plus one
+/// max-degree decode scratch per worker thread, which is what the chunked
+/// kernels actually allocate. This is how admission learns that a
+/// compressed or mmap-backed graph leaves more of the budget for the
+/// subspace.
+pub fn estimate_run_bytes_stored<G: GraphStore>(
+    g: &G,
+    s: usize,
+    p: usize,
+    mode: BfsMode,
+    linalg: LinalgMode,
+) -> u64 {
+    let decode_scratch = if g.storage().is_compressed() {
+        rayon::current_num_threads() as u64 * g.max_degree() as u64 * 4
+    } else {
+        0
+    };
+    g.resident_bytes() as u64
+        + decode_scratch
+        + estimate_workspace_bytes(g.num_vertices(), s, p, mode, linalg)
+}
+
+/// The non-graph share of the peak working set: everything
+/// [`estimate_run_bytes`] counts except the graph's own storage.
+fn estimate_workspace_bytes(n: usize, s: usize, p: usize, mode: BfsMode, linalg: LinalgMode) -> u64 {
     const F: u64 = 8; // bytes per f64 / usize / lane word
     let n = n as u64;
-    let m = m as u64;
     let s = s as u64;
     let p = p as u64;
-    let graph = (n + 1) * F + 2 * m * 4; // offsets + symmetric u32 adjacency
     let b = n * s * F;
     let smat = n * (s + 1) * F;
     let prod = match linalg {
@@ -131,7 +165,7 @@ pub fn estimate_run_bytes(
     };
     let small = 3 * (s + 1) * (s + 1) * F; // Z, T and the eigenvector matrix
     let coords = n * p * F;
-    graph + b + smat + prod + degrees + bfs_scratch + small + coords
+    b + smat + prod + degrees + bfs_scratch + small + coords
 }
 
 /// Memory admission's verdict for one run.
@@ -158,10 +192,34 @@ pub fn admit(
     linalg: LinalgMode,
     budget_bytes: u64,
 ) -> Option<Admission> {
+    admit_with(s, p, budget_bytes, |cur| estimate_run_bytes(n, m, cur, p, mode, linalg))
+}
+
+/// [`admit`] priced against the actual store via
+/// [`estimate_run_bytes_stored`]: a compressed or mmap-backed graph's
+/// smaller resident footprint admits larger subspaces under the same
+/// budget.
+pub fn admit_stored<G: GraphStore>(
+    g: &G,
+    s: usize,
+    p: usize,
+    mode: BfsMode,
+    linalg: LinalgMode,
+    budget_bytes: u64,
+) -> Option<Admission> {
+    admit_with(s, p, budget_bytes, |cur| estimate_run_bytes_stored(g, cur, p, mode, linalg))
+}
+
+fn admit_with(
+    s: usize,
+    p: usize,
+    budget_bytes: u64,
+    estimate: impl Fn(usize) -> u64,
+) -> Option<Admission> {
     let floor = p.max(2);
     let mut cur = s.max(floor);
     loop {
-        let estimated = estimate_run_bytes(n, m, cur, p, mode, linalg);
+        let estimated = estimate(cur);
         if estimated <= budget_bytes {
             return Some(Admission {
                 subspace: cur,
@@ -246,12 +304,17 @@ const SLICE_PHDE: f64 = 0.97;
 /// hold their own [`supervisor::install`] guard around this call (ambient
 /// installation is exclusive; the inner install would block).
 ///
+/// Works on any [`GraphStore`]; memory admission prices the store's actual
+/// resident footprint ([`admit_stored`]), and the PHDE rung — whose
+/// coarsening pipeline rebuilds plain CSR graphs — is skipped silently on
+/// compressed storage, the same way it is skipped for non-2-D runs.
+///
 /// # Errors
 /// [`HdeError::Cancelled`] if the run is cancelled; otherwise any
 /// non-budget error of [`crate::try_par_hde_nd`]. Budget trips themselves
 /// never surface: the trivial rung always succeeds.
-pub fn try_par_hde_nd_supervised(
-    g: &CsrGraph,
+pub fn try_par_hde_nd_supervised<G: GraphStore>(
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     opts: &SuperviseOptions,
@@ -279,7 +342,7 @@ pub fn try_par_hde_nd_supervised(
     let mut cfg = cfg.clone();
     let mut pre_warnings: Vec<Warning> = Vec::new();
     if let Some(bytes) = opts.mem_budget_bytes {
-        match admit(n, g.num_edges(), cfg.subspace, p, cfg.bfs_mode, cfg.linalg_mode, bytes) {
+        match admit_stored(g, cfg.subspace, p, cfg.bfs_mode, cfg.linalg_mode, bytes) {
             Some(a) if a.downscaled => {
                 parhde_trace::counter!("supervisor.admission.downscaled", 1);
                 pre_warnings.push(trace_warning(Warning::AdmissionDownscaled {
@@ -348,7 +411,7 @@ pub fn try_par_hde_nd_supervised(
                 rung_cfg.bfs_mode = BfsMode::Batched;
             }
             "phde" => {
-                if p != 2 || n < 3 {
+                if p != 2 || n < 3 || g.as_csr().is_none() {
                     continue;
                 }
             }
@@ -358,8 +421,10 @@ pub fn try_par_hde_nd_supervised(
             budget.arm_deadline_at(start + d.mul_f64(slice));
         }
         let attempt = if rung == "phde" {
+            // The rung-selection arm above guarantees plain storage here.
+            let csr = g.as_csr().expect("phde rung is gated on as_csr()");
             let phde_cfg = PhdeConfig::from(&rung_cfg);
-            crate::phde::try_phde(g, &phde_cfg).map(|(layout, stats)| {
+            crate::phde::try_phde(csr, &phde_cfg).map(|(layout, stats)| {
                 let mut coords = ColMajorMatrix::zeros(layout.len(), 2);
                 coords.col_mut(0).copy_from_slice(&layout.x);
                 coords.col_mut(1).copy_from_slice(&layout.y);
@@ -496,5 +561,52 @@ mod tests {
         let floor = estimate_run_bytes(50_000, 200_000, 3, 3, BfsMode::Auto, LinalgMode::Fused);
         let a = admit(50_000, 200_000, 40, 3, BfsMode::Auto, LinalgMode::Fused, floor).unwrap();
         assert!(a.subspace >= 3);
+    }
+
+    #[test]
+    fn stored_estimate_matches_formula_on_plain_csr() {
+        // A plain CSR's resident bytes are exactly the offsets + adjacency
+        // the formula charges, so the two estimates must agree bit-for-bit
+        // (admission behavior is unchanged for in-RAM graphs).
+        let g = parhde_graph::gen::grid2d(40, 30);
+        let est = estimate_run_bytes_stored(&g, 12, 2, BfsMode::Auto, LinalgMode::Fused);
+        let formula = estimate_run_bytes(
+            g.num_vertices(),
+            g.num_edges(),
+            12,
+            2,
+            BfsMode::Auto,
+            LinalgMode::Fused,
+        );
+        assert_eq!(est, formula);
+    }
+
+    #[test]
+    fn compressed_estimate_is_below_plain() {
+        let g = parhde_graph::gen::kron(10, 8, 5);
+        let c = parhde_graph::CompressedCsr::from_csr(&g);
+        let plain = estimate_run_bytes_stored(&g, 16, 2, BfsMode::Auto, LinalgMode::Fused);
+        let comp = estimate_run_bytes_stored(&c, 16, 2, BfsMode::Auto, LinalgMode::Fused);
+        assert!(
+            comp < plain,
+            "compressed residency must shrink the estimate: {comp} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn compressed_admission_admits_larger_subspaces() {
+        // Pin the budget just under the plain estimate at the requested
+        // subspace: plain admission halves, compressed admission fits.
+        let g = parhde_graph::gen::kron(10, 8, 5);
+        let c = parhde_graph::CompressedCsr::from_csr(&g);
+        let budget =
+            estimate_run_bytes_stored(&g, 32, 2, BfsMode::Auto, LinalgMode::Fused) - 1;
+        let plain =
+            admit_stored(&g, 32, 2, BfsMode::Auto, LinalgMode::Fused, budget).unwrap();
+        let comp =
+            admit_stored(&c, 32, 2, BfsMode::Auto, LinalgMode::Fused, budget).unwrap();
+        assert!(plain.downscaled);
+        assert!(!comp.downscaled, "compressed store must fit the same budget");
+        assert_eq!(comp.subspace, 32);
     }
 }

@@ -35,7 +35,8 @@
 use crate::dense::ColMajorMatrix;
 use crate::error::LinalgError;
 use crate::gemm::{accumulate_block, ROW_CHUNK};
-use parhde_graph::{CsrGraph, WeightedCsr};
+use parhde_graph::store::{GraphStore, NeighborScratch};
+use parhde_graph::WeightedCsr;
 use rayon::prelude::*;
 
 /// Rows per cache-resident `L·S` panel inside one leaf: at `s = 51` a
@@ -50,9 +51,17 @@ const PACK_CHUNK: usize = 4096;
 /// Computes `Z = Sᵀ·L·S` in one pass; bitwise identical to
 /// `at_b(s, laplacian_spmm(g, degrees, s))` at any thread count.
 ///
+/// Generic over [`GraphStore`]: each leaf of the reduction tree owns one
+/// decode scratch, so compressed stores stream their adjacency without
+/// changing the operation order (the bitwise contract holds per storage).
+///
 /// # Panics
 /// Panics if dimensions disagree.
-pub fn triple_product(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColMajorMatrix {
+pub fn triple_product<G: GraphStore>(
+    g: &G,
+    degrees: &[f64],
+    s: &ColMajorMatrix,
+) -> ColMajorMatrix {
     let n = g.num_vertices();
     assert_eq!(s.rows(), n, "S row count must equal n");
     assert_eq!(degrees.len(), n, "degree vector length must equal n");
@@ -68,13 +77,13 @@ pub fn triple_product(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
     );
     let pack = pack_row_major(s);
     let be = crate::backend::active();
-    let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row| {
+    let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row, scratch| {
         be.laplacian_row(
             row,
             degrees[v],
             &pack[v * k..(v + 1) * k],
             &pack,
-            g.neighbors(v as u32),
+            g.neighbors_in(v as u32, scratch),
         );
     });
     ColMajorMatrix::from_data(k, k, zdata)
@@ -106,7 +115,7 @@ pub fn triple_product_weighted(
     );
     let pack = pack_row_major(s);
     let be = crate::backend::active();
-    let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row| {
+    let zdata = partial_triple(s.data(), n, k, 0, n, &|v, row, _scratch| {
         be.row_scale(row, degrees[v], &pack[v * k..(v + 1) * k]);
         for (u, w) in g.neighbors(v as u32) {
             be.row_sub_scaled(row, w, &pack[u as usize * k..(u as usize + 1) * k]);
@@ -121,8 +130,8 @@ pub fn triple_product_weighted(
 /// # Errors
 /// [`LinalgError::InvalidArgument`] on shape mismatch,
 /// [`LinalgError::NonFinite`] on poison data. Never panics.
-pub fn try_triple_product(
-    g: &CsrGraph,
+pub fn try_triple_product<G: GraphStore>(
+    g: &G,
     degrees: &[f64],
     s: &ColMajorMatrix,
 ) -> Result<ColMajorMatrix, LinalgError> {
@@ -193,19 +202,22 @@ pub(crate) fn pack_row_major(s: &ColMajorMatrix) -> Vec<f64> {
 
 /// The `k×k` partial product of rows `lo..hi`: the same fixed-split
 /// recursion as `gemm::partial_at_b`, with each leaf streaming `L·S` row
-/// panels through the microkernel. `fill_row(v, row)` writes row `v` of
-/// `L·S` into `row` in `laplacian_spmm`'s operation order.
+/// panels through the microkernel. `fill_row(v, row, scratch)` writes row
+/// `v` of `L·S` into `row` in `laplacian_spmm`'s operation order; the leaf
+/// owns the decode scratch so compressed adjacency reuses one allocation
+/// per leaf.
 fn partial_triple(
     sdata: &[f64],
     n: usize,
     k: usize,
     lo: usize,
     hi: usize,
-    fill_row: &(dyn Fn(usize, &mut [f64]) + Sync),
+    fill_row: &(dyn Fn(usize, &mut [f64], &mut NeighborScratch) + Sync),
 ) -> Vec<f64> {
     if hi - lo <= ROW_CHUNK {
         let mut z = vec![0.0; k * k];
         let mut panel = vec![0.0; PANEL_ROWS * k];
+        let mut scratch = NeighborScratch::new();
         let mut plo = lo;
         while plo < hi {
             // Cooperative cancellation point (once per panel): remaining
@@ -216,7 +228,7 @@ fn partial_triple(
             }
             let phi = (plo + PANEL_ROWS).min(hi);
             for v in plo..phi {
-                fill_row(v, &mut panel[(v - plo) * k..(v - plo + 1) * k]);
+                fill_row(v, &mut panel[(v - plo) * k..(v - plo + 1) * k], &mut scratch);
             }
             // Row-major panel: element (r, c) at (r − plo)·k + c.
             accumulate_block(

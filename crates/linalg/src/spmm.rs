@@ -18,6 +18,7 @@
 
 use crate::dense::ColMajorMatrix;
 use crate::error::LinalgError;
+use parhde_graph::store::{GraphStore, NeighborScratch};
 use parhde_graph::{CsrGraph, WeightedCsr};
 use rayon::prelude::*;
 
@@ -34,9 +35,17 @@ const ROW_CHUNK: usize = 512;
 /// stack-local buffer, giving the `O(s)` arithmetic intensity the paper
 /// notes for the `m/n ≫ s` regime.
 ///
+/// Generic over [`GraphStore`]: each row block decodes adjacency through a
+/// reused per-block scratch, so compressed and mmap-backed graphs stream
+/// through the product without materializing plain CSR.
+///
 /// # Panics
 /// Panics if dimensions disagree.
-pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColMajorMatrix {
+pub fn laplacian_spmm<G: GraphStore>(
+    g: &G,
+    degrees: &[f64],
+    s: &ColMajorMatrix,
+) -> ColMajorMatrix {
     let n = g.num_vertices();
     assert_eq!(s.rows(), n, "S row count must equal n");
     assert_eq!(degrees.len(), n, "degree vector length must equal n");
@@ -65,13 +74,14 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
                 return (lo, block);
             }
             let mut acc = vec![0.0; k];
+            let mut scratch = NeighborScratch::new();
             for v in lo..hi {
                 be.laplacian_row(
                     &mut acc,
                     degrees[v],
                     &pack[v * k..(v + 1) * k],
                     &pack,
-                    g.neighbors(v as u32),
+                    g.neighbors_in(v as u32, &mut scratch),
                 );
                 for c in 0..k {
                     block[c * (hi - lo) + (v - lo)] = acc[c];
@@ -100,8 +110,8 @@ pub fn laplacian_spmm(g: &CsrGraph, degrees: &[f64], s: &ColMajorMatrix) -> ColM
 /// # Errors
 /// [`LinalgError::InvalidArgument`] on shape mismatch,
 /// [`LinalgError::NonFinite`] on poison data. Never panics.
-pub fn try_laplacian_spmm(
-    g: &CsrGraph,
+pub fn try_laplacian_spmm<G: GraphStore>(
+    g: &G,
     degrees: &[f64],
     s: &ColMajorMatrix,
 ) -> Result<ColMajorMatrix, LinalgError> {

@@ -6,8 +6,13 @@
 //!              [--report-dir DIR] [--default-deadline-ms MS]
 //!              [--max-deadline-ms MS] [--drain-grace-ms MS]
 //!              [--keepalive-idle-ms MS] [--max-requests-per-conn N]
-//!              [--failpoints SPEC] [--no-request-log] [--no-telemetry]
+//!              [--graph-dir DIR] [--failpoints SPEC] [--no-request-log]
+//!              [--no-telemetry]
 //! ```
+//!
+//! `--graph-dir DIR` serves packed `.phdegrf` snapshots (from parhde-pack)
+//! via the request header `graph: packed:<name>`; the snapshot is opened
+//! mmap-backed, so served graphs may exceed RAM.
 //!
 //! Prints `listening on <addr>` once the socket is bound (tests and
 //! supervisors wait for that line). Emits one NDJSON event per answered
@@ -42,7 +47,8 @@ fn usage() -> ! {
          \x20                   [--default-deadline-ms MS]\n\
          \x20                   [--max-deadline-ms MS] [--drain-grace-ms MS]\n\
          \x20                   [--keepalive-idle-ms MS] [--max-requests-per-conn N]\n\
-         \x20                   [--failpoints SPEC] [--no-request-log] [--no-telemetry]"
+         \x20                   [--graph-dir DIR] [--failpoints SPEC]\n\
+         \x20                   [--no-request-log] [--no-telemetry]"
     );
     exit(2);
 }
@@ -94,6 +100,7 @@ fn main() {
                 cfg.cache_max_bytes = Some(mb.saturating_mul(1 << 20));
             }
             "--report-dir" => cfg.report_dir = Some(value!().into()),
+            "--graph-dir" => cfg.graph_dir = Some(value!().into()),
             "--no-request-log" => cfg.log_requests = false,
             "--no-telemetry" => parhde_trace::registry::set_enabled(false),
             "--default-deadline-ms" => {

@@ -13,7 +13,8 @@
 //!   from an EWMA of recent service times.
 
 use parhde::config::ParHdeConfig;
-use parhde::supervise::estimate_run_bytes;
+use parhde::supervise::{estimate_run_bytes, estimate_run_bytes_stored};
+use parhde_graph::GraphStore;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -120,10 +121,35 @@ impl SharedSoftBudget {
         cfg: &ParHdeConfig,
         p: usize,
     ) -> Result<Reservation, AdmitError> {
+        self.admit_with(cfg, p, |s| {
+            estimate_run_bytes(n, m, s, p, cfg.bfs_mode, cfg.linalg_mode)
+        })
+    }
+
+    /// [`admit`](Self::admit) priced against the request's actual graph
+    /// store: a packed mmap-backed snapshot reserves its (much smaller)
+    /// resident footprint, not the plain-CSR bytes it never allocates, so
+    /// more such requests run concurrently under the same pool.
+    pub fn admit_stored<G: GraphStore>(
+        self: &Arc<Self>,
+        g: &G,
+        cfg: &ParHdeConfig,
+        p: usize,
+    ) -> Result<Reservation, AdmitError> {
+        self.admit_with(cfg, p, |s| {
+            estimate_run_bytes_stored(g, s, p, cfg.bfs_mode, cfg.linalg_mode)
+        })
+    }
+
+    fn admit_with(
+        self: &Arc<Self>,
+        cfg: &ParHdeConfig,
+        p: usize,
+        estimate: impl Fn(usize) -> u64,
+    ) -> Result<Reservation, AdmitError> {
         let floor = p.max(2);
         let requested = cfg.subspace.max(floor);
-        let min_bytes =
-            estimate_run_bytes(n, m, floor, p, cfg.bfs_mode, cfg.linalg_mode);
+        let min_bytes = estimate(floor);
         if min_bytes > self.total {
             return Err(AdmitError::NeverFits { min_bytes, total: self.total });
         }
@@ -136,7 +162,7 @@ impl SharedSoftBudget {
         }
         let mut s = requested;
         loop {
-            let bytes = estimate_run_bytes(n, m, s, p, cfg.bfs_mode, cfg.linalg_mode);
+            let bytes = estimate(s);
             if bytes <= self.total && self.try_reserve(bytes) {
                 return Ok(Reservation {
                     budget: Arc::clone(self),

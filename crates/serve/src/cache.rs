@@ -28,7 +28,7 @@
 use parhde::checkpoint::{config_fingerprint, graph_digest, Fnv64};
 use parhde::config::ParHdeConfig;
 use parhde::CheckpointSpec;
-use parhde_graph::CsrGraph;
+use parhde_graph::GraphStore;
 use parhde_linalg::dense::ColMajorMatrix;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,8 +83,10 @@ pub struct CacheUsage {
     pub evictions: u64,
 }
 
-/// The cache key of one (graph, config, dimension) request.
-pub fn cache_key(g: &CsrGraph, cfg: &ParHdeConfig, p: usize) -> u64 {
+/// The cache key of one (graph, config, dimension) request. Generic over
+/// storage: the digest streams degrees and adjacency, so plain and packed
+/// representations of the same graph share cache entries and warm starts.
+pub fn cache_key<G: GraphStore>(g: &G, cfg: &ParHdeConfig, p: usize) -> u64 {
     let mut h = Fnv64::new();
     h.update(&graph_digest(g).to_le_bytes());
     h.update(&config_fingerprint(cfg).to_le_bytes());

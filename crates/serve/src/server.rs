@@ -38,7 +38,8 @@ use parhde::{
 use parhde_graph::gen;
 use parhde_graph::io::{parse_edge_list, parse_matrix_market};
 use parhde_graph::prep::largest_component;
-use parhde_graph::CsrGraph;
+use parhde_graph::store::GraphStore;
+use parhde_graph::{CompressedCsr, CsrGraph};
 use parhde_linalg::dense::ColMajorMatrix;
 use parhde_trace::registry::{self, Counter, Gauge, Histogram, Registry};
 use parhde_trace::{RunReport, TraceSession};
@@ -97,6 +98,10 @@ pub struct ServerConfig {
     /// (`connection: close` on the last response). Bounds how long one
     /// client can monopolize a worker; min 1.
     pub max_requests_per_conn: usize,
+    /// Directory of packed `.phdegrf` snapshots servable via
+    /// `graph: packed:<name>` (opened mmap-backed, so the graph may exceed
+    /// RAM). `None` rejects `packed:` specs.
+    pub graph_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +122,7 @@ impl Default for ServerConfig {
             frame_budget: Duration::from_secs(2),
             keepalive_idle: Duration::from_secs(5),
             max_requests_per_conn: 64,
+            graph_dir: None,
         }
     }
 }
@@ -893,10 +899,41 @@ const MAX_GEN_KRON_SCALE: u32 = 20;
 const MAX_GEN_GRID_SIDE: usize = 4096;
 const MAX_GEN_PREF_N: usize = 2_000_000;
 
-/// Resolves the request's graph: `gen:` specs or the inline body.
-fn resolve_graph(req: &Request) -> Result<CsrGraph, String> {
+/// A resolved request graph: parsed/generated plain CSR, or a packed
+/// snapshot opened mmap-backed from the server's `graph_dir`.
+enum ResolvedGraph {
+    Plain(CsrGraph),
+    Packed(CompressedCsr),
+}
+
+/// Resolves the request's graph: `gen:` specs, `packed:<name>` snapshots
+/// (when `--graph-dir` is configured), or the inline body.
+fn resolve_graph(shared: &Arc<Shared>, req: &Request) -> Result<ResolvedGraph, String> {
     let spec = req.header("graph").unwrap_or("inline");
     let parts: Vec<&str> = spec.split(':').collect();
+    if let ["packed", name] = parts.as_slice() {
+        let Some(dir) = &shared.cfg.graph_dir else {
+            return Err("packed graphs not enabled (start with --graph-dir)".into());
+        };
+        // The name is a single path component chosen by the client; keep it
+        // to a conservative charset and never let it traverse.
+        let ok = !name.is_empty()
+            && !name.starts_with('.')
+            && !name.contains("..")
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if !ok {
+            return Err(format!("bad packed graph name {name:?}"));
+        }
+        let file = if name.ends_with(".phdegrf") {
+            name.to_string()
+        } else {
+            format!("{name}.phdegrf")
+        };
+        let g = CompressedCsr::open_mmap(&dir.join(file)).map_err(|e| e.to_string())?;
+        return Ok(ResolvedGraph::Packed(g));
+    }
     let parsed = match parts.as_slice() {
         ["inline"] => {
             if req.body.trim_start().starts_with("%%MatrixMarket") {
@@ -928,7 +965,7 @@ fn resolve_graph(req: &Request) -> Result<CsrGraph, String> {
         }
         _ => return Err(format!("unknown graph spec {spec:?}")),
     };
-    Ok(parsed)
+    Ok(ResolvedGraph::Plain(parsed))
 }
 
 fn dim(s: &str) -> Result<usize, String> {
@@ -1006,29 +1043,97 @@ fn handle_layout_inner(
         .unwrap_or(shared.cfg.default_deadline);
 
     // ---- Resolve the graph ----------------------------------------------
-    let g = match resolve_graph(req) {
+    let resolved = match resolve_graph(shared, req) {
         Ok(g) => g,
         Err(msg) => {
             shared.metrics.layout_rejected.inc();
             return Response::new(proto::BAD_REQUEST, "bad graph").with("error", msg);
         }
     };
-    // Same preprocessing as the CLI: lay out the largest component. An
-    // empty parse (e.g. an empty body) must reject here —
-    // `largest_component` requires at least one vertex.
-    if g.num_vertices() == 0 {
-        shared.metrics.layout_rejected.inc();
-        return Response::new(proto::BAD_REQUEST, "bad graph")
-            .with("error", "graph has no vertices");
+    match resolved {
+        ResolvedGraph::Plain(g) => {
+            // Same preprocessing as the CLI: lay out the largest component.
+            // An empty parse (e.g. an empty body) must reject here —
+            // `largest_component` requires at least one vertex.
+            if g.num_vertices() == 0 {
+                shared.metrics.layout_rejected.inc();
+                return Response::new(proto::BAD_REQUEST, "bad graph")
+                    .with("error", "graph has no vertices");
+            }
+            let g = largest_component(&g).graph;
+            if g.num_vertices() < 2 {
+                shared.metrics.layout_rejected.inc();
+                return Response::new(proto::BAD_REQUEST, "bad graph").with(
+                    "error",
+                    format!(
+                        "largest component has {} vertices; need >= 2",
+                        g.num_vertices()
+                    ),
+                );
+            }
+            layout_resolved(
+                shared, &g, stream, accepted, trace_id, p, deadline, subspace, seed,
+                no_cache, hold_ms,
+            )
+        }
+        ResolvedGraph::Packed(g) => {
+            // parhde-pack already extracted the largest component (the
+            // compressed pipeline cannot re-extract one); a disconnected
+            // snapshot surfaces as a typed Disconnected error from the run.
+            if g.num_vertices() < 2 {
+                shared.metrics.layout_rejected.inc();
+                return Response::new(proto::BAD_REQUEST, "bad graph")
+                    .with("error", "packed graph has < 2 vertices");
+            }
+            shared
+                .metrics
+                .registry
+                .gauge("parhde_graph_compression_ratio")
+                .set(g.compression_ratio());
+            let resp = layout_resolved(
+                shared, &g, stream, accepted, trace_id, p, deadline, subspace, seed,
+                no_cache, hold_ms,
+            );
+            // Decode-buffer telemetry: how much varint decoding this
+            // request's traversals and row scans actually did.
+            let (calls, arcs) = g.decode_stats();
+            shared.metrics.registry.counter("parhde_graph_decode_calls_total").add(calls);
+            shared.metrics.registry.counter("parhde_graph_decoded_arcs_total").add(arcs);
+            resp
+        }
     }
-    let g = largest_component(&g).graph;
+}
+
+/// The storage-generic tail of a layout request: config clamp, cache
+/// lookup, shared-budget admission, and the supervised run.
+#[allow(clippy::too_many_arguments)]
+fn layout_resolved<G: GraphStore>(
+    shared: &Arc<Shared>,
+    g: &G,
+    stream: &TcpStream,
+    accepted: Instant,
+    trace_id: &str,
+    p: usize,
+    deadline: Duration,
+    subspace: Option<usize>,
+    seed: Option<u64>,
+    no_cache: bool,
+    hold_ms: u64,
+) -> Response {
     let n = g.num_vertices();
     let m = g.num_edges();
-    if n < 2 {
-        shared.metrics.layout_rejected.inc();
-        return Response::new(proto::BAD_REQUEST, "bad graph")
-            .with("error", format!("largest component has {n} vertices; need >= 2"));
-    }
+    // Residency gauges: what the graph itself costs this process in RAM
+    // versus what rides behind a file mapping the kernel pages on demand.
+    shared
+        .metrics
+        .registry
+        .gauge("parhde_graph_bytes_resident")
+        .set(g.resident_bytes() as f64);
+    shared
+        .metrics
+        .registry
+        .gauge("parhde_graph_bytes_mapped")
+        .set(g.mapped_bytes() as f64);
 
     // Post-clamp config, exactly as an uninterrupted CLI run would see it.
     let mut cfg = ParHdeConfig::for_graph(n);
@@ -1057,7 +1162,7 @@ fn handle_layout_inner(
     }
 
     // ---- Cache lookup ----------------------------------------------------
-    let key = cache_key(&g, &cfg, p);
+    let key = cache_key(g, &cfg, p);
     if !no_cache && shared.cache.is_some() {
         if let Some(hit) = shared.cache.as_ref().and_then(|c| c.load(key)) {
             shared.metrics.cache_hits.inc();
@@ -1071,7 +1176,7 @@ fn handle_layout_inner(
     }
 
     // ---- Shared-budget admission ----------------------------------------
-    let reservation = match shared.budget.admit(n, m, &cfg, p) {
+    let reservation = match shared.budget.admit_stored(g, &cfg, p) {
         Ok(r) => r,
         Err(AdmitError::NeverFits { min_bytes, total }) => {
             shared.metrics.layout_too_large.inc();
@@ -1106,7 +1211,7 @@ fn handle_layout_inner(
     let watch_id = shared.watch_seq.fetch_add(1, Ordering::Relaxed);
     let _inflight = InflightGuard::enter(shared, watch_id, stream, &flag);
     let result = run_layout(
-        shared, trace_id, &g, &cfg, p, hard_deadline, &flag, key, no_cache, hold_ms,
+        shared, trace_id, g, &cfg, p, hard_deadline, &flag, key, no_cache, hold_ms,
     );
     drop(_inflight);
     drop(reservation);
@@ -1157,10 +1262,10 @@ struct Done {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_layout(
+fn run_layout<G: GraphStore>(
     shared: &Arc<Shared>,
     trace_id: &str,
-    g: &CsrGraph,
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     hard_deadline: Instant,
@@ -1196,10 +1301,10 @@ fn run_layout(
 /// The actual layout: warm-resume from a cached checkpoint when possible,
 /// else the full supervised ladder.
 #[allow(clippy::too_many_arguments)]
-fn run_layout_inner(
+fn run_layout_inner<G: GraphStore>(
     shared: &Arc<Shared>,
     trace_id: &str,
-    g: &CsrGraph,
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     hard_deadline: Instant,
@@ -1440,10 +1545,10 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn write_report(
+fn write_report<G: GraphStore>(
     shared: &Arc<Shared>,
     trace_id: &str,
-    g: &CsrGraph,
+    g: &G,
     cfg: &ParHdeConfig,
     p: usize,
     trace: &parhde_trace::Trace,

@@ -1,0 +1,140 @@
+//! Serving packed `.phdegrf` snapshots (DESIGN.md §17): the `packed:`
+//! graph source resolves against `--graph-dir`, the layout is bit-identical
+//! to the same graph served inline, traversal-hostile names are rejected,
+//! and the storage gauges/decode counters land in the scrape.
+//!
+//! Serialized on one mutex like the other suites: the ambient run budget
+//! and trace collector are process-exclusive.
+
+use parhde_serve::client::call_once;
+use parhde_serve::proto::{Op, Request};
+use parhde_serve::server::{serve, Server, ServerConfig};
+use parhde_graph::gen;
+use parhde_graph::CompressedCsr;
+use parhde_trace::registry::Snapshot;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn start(cfg: ServerConfig) -> (Server, String) {
+    let server = serve(cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parhde-packed-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn stats_snapshot(addr: &str) -> Snapshot {
+    let req = Request::new(Op::Stats).with("format", "ndjson");
+    let resp = call_once(addr, &req, Duration::from_secs(30)).expect("stats exchange");
+    assert!(resp.is_ok(), "stats failed: {} {}", resp.code, resp.reason);
+    Snapshot::from_ndjson(&resp.body).expect("valid metrics ndjson")
+}
+
+#[test]
+fn packed_layout_is_bit_identical_to_inline() {
+    let _guard = serialize();
+    let dir = scratch("roundtrip");
+    // A connected graph, so the inline path's largest-component extraction
+    // is the identity and both requests lay out the same vertex set.
+    let g = gen::grid2d(14, 11);
+    CompressedCsr::from_csr(&g)
+        .write_snapshot(&dir.join("grid.phdegrf"))
+        .expect("snapshot written");
+    let mut inline_body = String::new();
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                inline_body.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+
+    let (server, addr) =
+        start(ServerConfig { graph_dir: Some(dir.clone()), ..Default::default() });
+    let packed = call_once(
+        &addr,
+        &Request::new(Op::Layout)
+            .with("graph", "packed:grid")
+            .with("no-cache", 1)
+            .with("deadline-ms", 30_000),
+        Duration::from_secs(60),
+    )
+    .expect("packed round trip");
+    assert!(packed.is_ok(), "packed: {} {}", packed.code, packed.reason);
+    assert_eq!(packed.header("n"), Some(&*(14 * 11).to_string()));
+
+    let mut inline_req = Request::new(Op::Layout)
+        .with("no-cache", 1)
+        .with("deadline-ms", 30_000);
+    inline_req.body = inline_body;
+    let inline = call_once(&addr, &inline_req, Duration::from_secs(60))
+        .expect("inline round trip");
+    assert!(inline.is_ok(), "inline: {} {}", inline.code, inline.reason);
+
+    // Same graph, same config, different storage: byte-identical bodies.
+    assert_eq!(packed.body, inline.body, "packed and inline layouts differ");
+
+    // Storage telemetry made it into the scrape.
+    let snap = stats_snapshot(&addr);
+    let ratio = snap.gauge("parhde_graph_compression_ratio").unwrap_or(0.0);
+    assert!(ratio > 1.0, "compression ratio gauge missing or <= 1: {ratio}");
+    assert!(
+        snap.counter("parhde_graph_decode_calls_total").unwrap_or(0) > 0,
+        "decode-call counter missing from scrape"
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_and_missing_packed_names_are_rejected() {
+    let _guard = serialize();
+    let dir = scratch("hostile");
+    let (server, addr) =
+        start(ServerConfig { graph_dir: Some(dir.clone()), ..Default::default() });
+    for name in ["packed:../etc/passwd", "packed:.hidden", "packed:", "packed:no/slash"] {
+        let resp = call_once(
+            &addr,
+            &Request::new(Op::Layout).with("graph", name).with("deadline-ms", 5_000),
+            Duration::from_secs(30),
+        )
+        .expect("exchange");
+        assert_eq!(resp.code, parhde_serve::proto::BAD_REQUEST, "{name}: {}", resp.reason);
+    }
+    // A well-formed name that simply does not exist is also a bad request.
+    let resp = call_once(
+        &addr,
+        &Request::new(Op::Layout).with("graph", "packed:missing").with("deadline-ms", 5_000),
+        Duration::from_secs(30),
+    )
+    .expect("exchange");
+    assert_eq!(resp.code, parhde_serve::proto::BAD_REQUEST, "{}", resp.reason);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn packed_spec_without_graph_dir_is_rejected() {
+    let _guard = serialize();
+    let (server, addr) = start(ServerConfig::default());
+    let resp = call_once(
+        &addr,
+        &Request::new(Op::Layout).with("graph", "packed:any").with("deadline-ms", 5_000),
+        Duration::from_secs(30),
+    )
+    .expect("exchange");
+    assert_eq!(resp.code, parhde_serve::proto::BAD_REQUEST, "{}", resp.reason);
+    drop(server);
+}
